@@ -1,0 +1,244 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// (one bench per artifact — see DESIGN.md's per-experiment index), plus
+// microbenchmarks of the hot paths. Run:
+//
+//	go test -bench=. -benchmem
+//
+// Each experiment bench executes the same runner the rlive-sim CLI uses, at
+// a bench-sized scale, and logs the resulting tables on the first
+// iteration (visible with -v).
+package repro_test
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/chain"
+	"repro/internal/experiments"
+	"repro/internal/media"
+	"repro/internal/recovery"
+	"repro/internal/scheduler"
+	"repro/internal/simnet"
+	"repro/internal/stats"
+	"repro/internal/transport"
+)
+
+// benchScale keeps per-iteration work bounded for benchmarking.
+func benchScale() experiments.Scale {
+	sc := experiments.Quick
+	sc.Duration = 20 * time.Second
+	return sc
+}
+
+func benchExperiment(b *testing.B, id string) {
+	run, ok := experiments.Registry[id]
+	if !ok {
+		b.Fatalf("unknown experiment %q", id)
+	}
+	sc := benchScale()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := run(sc)
+		if i == 0 {
+			b.Log("\n" + res.String())
+		}
+	}
+}
+
+// One bench per paper table/figure.
+
+func BenchmarkFig1bCapacityCDF(b *testing.B)    { benchExperiment(b, "fig1b") }
+func BenchmarkFig2aStrawmanQoE(b *testing.B)    { benchExperiment(b, "fig2a") }
+func BenchmarkFig2bExpansionRate(b *testing.B)  { benchExperiment(b, "fig2b") }
+func BenchmarkFig2cLifespan(b *testing.B)       { benchExperiment(b, "fig2c") }
+func BenchmarkFig2dDelayJitter(b *testing.B)    { benchExperiment(b, "fig2d") }
+func BenchmarkFig3Retransmission(b *testing.B)  { benchExperiment(b, "fig3") }
+func BenchmarkTable1Diurnal(b *testing.B)       { benchExperiment(b, "tab1") }
+func BenchmarkFig8ABFairness(b *testing.B)      { benchExperiment(b, "fig8") }
+func BenchmarkFig9ABTests(b *testing.B)         { benchExperiment(b, "fig9") }
+func BenchmarkTable2EqT(b *testing.B)           { benchExperiment(b, "tab2") }
+func BenchmarkFig10Energy(b *testing.B)         { benchExperiment(b, "fig10") }
+func BenchmarkFig11MultiVsSingle(b *testing.B)  { benchExperiment(b, "fig11") }
+func BenchmarkFig12ControlPlane(b *testing.B)   { benchExperiment(b, "fig12") }
+func BenchmarkTable3Sequencing(b *testing.B)    { benchExperiment(b, "tab3") }
+func BenchmarkFig13RTM(b *testing.B)            { benchExperiment(b, "fig13") }
+func BenchmarkTable4FlashCrowd(b *testing.B)    { benchExperiment(b, "tab4") }
+func BenchmarkFallbackThreshold(b *testing.B)   { benchExperiment(b, "fallback") }
+func BenchmarkAblationChainLength(b *testing.B) { benchExperiment(b, "abl-chain") }
+func BenchmarkAblationSubstreamCount(b *testing.B) {
+	benchExperiment(b, "abl-k")
+}
+func BenchmarkAblationProbeCount(b *testing.B) { benchExperiment(b, "abl-probe") }
+func BenchmarkAblationExploreExploit(b *testing.B) {
+	benchExperiment(b, "abl-explore")
+}
+func BenchmarkAblationPartitionHash(b *testing.B) {
+	benchExperiment(b, "abl-hash")
+}
+func BenchmarkAblationRedundancy(b *testing.B) {
+	benchExperiment(b, "abl-redundant")
+}
+func BenchmarkAblationNATRefinement(b *testing.B) {
+	benchExperiment(b, "abl-nat")
+}
+
+// Microbenchmarks of the hot paths.
+
+func mkHeaders(n int) []media.Header {
+	hs := make([]media.Header, n)
+	for i := range hs {
+		typ := media.FrameP
+		if i%30 == 0 {
+			typ = media.FrameI
+		}
+		hs[i] = media.Header{Stream: 1, Dts: uint64(i) * 33, Type: typ, Size: 8000, Seq: uint32(i)}
+	}
+	return hs
+}
+
+func BenchmarkFootprintCRC(b *testing.B) {
+	hs := mkHeaders(3)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = chain.ComputeCRC(hs[2], hs[1], hs[0])
+	}
+}
+
+func BenchmarkChainTryMatch(b *testing.B) {
+	hs := mkHeaders(256)
+	gen := chain.NewLocalGenerator(4)
+	chains := make([][]chain.Footprint, len(hs))
+	for i, h := range hs {
+		gen.Observe(h, 7)
+		chains[i] = gen.Chain()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g := chain.NewGlobal(0)
+		for _, h := range hs {
+			g.AddHeader(h)
+		}
+		for _, lc := range chains {
+			g.TryMatch(lc)
+		}
+	}
+}
+
+func BenchmarkLocalChainObserve(b *testing.B) {
+	hs := mkHeaders(1024)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		gen := chain.NewLocalGenerator(4)
+		for _, h := range hs {
+			gen.Observe(h, 7)
+		}
+	}
+}
+
+func newBenchScheduler(nodes int) *scheduler.Scheduler {
+	rng := stats.NewRNG(1)
+	s := scheduler.New(scheduler.Config{}, rng, func() time.Duration { return time.Hour })
+	for i := 0; i < nodes; i++ {
+		addr := simnet.Addr(100000 + i)
+		s.RegisterNode(addr, scheduler.StaticFeatures{
+			Region: i % 8, ISP: i % 4, CostUnit: 0.7,
+		}, 16)
+		s.Ingest(scheduler.Heartbeat{Addr: addr, ResidualBps: 50e6, ConnSuccess: 0.9, QuotaLeft: 16})
+	}
+	return s
+}
+
+func BenchmarkSchedulerRecommend(b *testing.B) {
+	s := newBenchScheduler(10000)
+	key := scheduler.SubstreamKey{Stream: 1, Substream: 2}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Recommend(key, scheduler.ClientInfo{Region: i % 8, ISP: i % 4})
+	}
+}
+
+func BenchmarkSchedulerIngest(b *testing.B) {
+	s := newBenchScheduler(10000)
+	key := scheduler.SubstreamKey{Stream: 1, Substream: 0}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Ingest(scheduler.Heartbeat{
+			Addr: simnet.Addr(100000 + i%10000), ResidualBps: 40e6,
+			Utilization: 0.5, QuotaLeft: 8,
+			Forwarding: []scheduler.SubstreamKey{key},
+		})
+	}
+}
+
+func BenchmarkPacketCodec(b *testing.B) {
+	p := &transport.DataPacket{
+		Key:    scheduler.SubstreamKey{Stream: 1, Substream: 2},
+		Header: media.Header{Stream: 1, Dts: 99999, Size: 8000},
+		Seq:    3, Count: 7, PayloadLen: transport.PacketPayload,
+		Chain:   []chain.Footprint{{Dts: 1}, {Dts: 2}, {Dts: 3}, {Dts: 4}},
+		Payload: make([]byte, transport.PacketPayload),
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf := transport.MarshalDataPacket(p)
+		if _, err := transport.UnmarshalDataPacket(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRecoveryDecision(b *testing.B) {
+	eng := recovery.NewEngine(recovery.DefaultCosts())
+	edf := stats.NewEDF(256)
+	rng := stats.NewRNG(1)
+	for i := 0; i < 200; i++ {
+		edf.Observe(rng.LogNormalMedian(71, 0.4))
+	}
+	frames := make([]recovery.FrameState, 16)
+	for i := range frames {
+		frames[i] = recovery.FrameState{
+			Dts: uint64(i) * 33, Substream: media.SubstreamID(i % 4),
+			Deadline:  time.Duration(200+i*33) * time.Millisecond,
+			SizeBytes: 8000, MissingPackets: 1 + i%5, PacketBytes: 1200,
+		}
+	}
+	st := recovery.Stats{
+		PktSuccess: 0.9, BERetryRTT: 120 * time.Millisecond,
+		DedicatedEDF: edf, BufferMs: 800, FallbackThresholdMs: 400,
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.Decide(frames, st)
+	}
+}
+
+func BenchmarkSimnetEventLoop(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sim := simnet.NewSim()
+		rng := stats.NewRNG(1)
+		net := simnet.NewNetwork(sim, rng)
+		net.Register(1, simnet.LinkState{UplinkBps: 100e6, BaseOWD: time.Millisecond}, nil)
+		received := 0
+		net.Register(2, simnet.LinkState{UplinkBps: 100e6}, func(simnet.Addr, any) { received++ })
+		for j := 0; j < 1000; j++ {
+			j := j
+			sim.At(time.Duration(j)*time.Millisecond, func() { net.Send(1, 2, 1200, j) })
+		}
+		sim.Run(2 * time.Second)
+	}
+}
+
+func BenchmarkPartitionAssign(b *testing.B) {
+	p := media.Partitioner{K: 4}
+	var acc media.SubstreamID
+	for i := 0; i < b.N; i++ {
+		acc ^= p.Assign(uint64(i) * 33)
+	}
+	_ = acc
+}

@@ -1,0 +1,65 @@
+// Command rlive-client runs a viewer session: it discovers relays via the
+// scheduler directory (or takes explicit relay addresses), subscribes each
+// substream, reassembles via frame chains, and reports QoE on exit.
+//
+//	rlive-client -cdn 127.0.0.1:8400 -scheduler 127.0.0.1:8401 -stream 1 -k 4 -duration 30s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+	"time"
+
+	"repro/internal/livenet"
+	"repro/internal/media"
+)
+
+func main() {
+	var (
+		cdn      = flag.String("cdn", "127.0.0.1:8400", "CDN origin address")
+		sched    = flag.String("scheduler", "", "scheduler directory address")
+		relays   = flag.String("relays", "", "comma-separated relay addresses (overrides discovery)")
+		stream   = flag.Uint("stream", 1, "stream ID")
+		k        = flag.Int("k", 4, "substream count")
+		fps      = flag.Int("fps", 30, "frames per second")
+		duration = flag.Duration("duration", 30*time.Second, "viewing duration")
+	)
+	flag.Parse()
+
+	var addrs []string
+	if *relays != "" {
+		addrs = strings.Split(*relays, ",")
+	} else if *sched != "" {
+		var err error
+		addrs, err = livenet.FetchCandidates(*sched)
+		if err != nil {
+			log.Fatalf("rlive-client: candidate fetch: %v", err)
+		}
+	}
+	assign := map[media.SubstreamID]string{}
+	for i := 0; i < *k && len(addrs) > 0; i++ {
+		assign[media.SubstreamID(i)] = addrs[i%len(addrs)]
+	}
+	if len(assign) == 0 {
+		log.Printf("rlive-client: no relays; playing directly from the CDN origin")
+	}
+
+	viewer, err := livenet.NewViewer("127.0.0.1:0", *cdn, media.StreamID(*stream), *k, *fps)
+	if err != nil {
+		log.Fatalf("rlive-client: %v", err)
+	}
+	defer viewer.Close()
+	if err := viewer.Start(assign); err != nil {
+		log.Fatalf("rlive-client: start: %v", err)
+	}
+	log.Printf("rlive-client: watching stream %d for %v (relays: %d)", *stream, *duration, len(assign))
+	time.Sleep(*duration)
+
+	q := viewer.QoE
+	fmt.Printf("frames played:    %d\n", q.FramesPlayed)
+	fmt.Printf("mean bitrate:     %.2f Mbps\n", q.MeanBitrate()/1e6)
+	fmt.Printf("rebuffer events:  %d (%.1f /100s)\n", q.RebufferEvents, q.RebufferPer100s())
+	fmt.Printf("E2E latency P50:  %.0f ms\n", q.E2ELatency.Percentile(50))
+}

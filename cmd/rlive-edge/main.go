@@ -1,0 +1,50 @@
+// Command rlive-edge runs a best-effort relay node: it pulls substreams
+// (plus the frame-header side-channel) from a CDN origin, generates local
+// frame chains, and pushes fixed-size packets to UDP subscribers. It
+// heartbeats to the scheduler directory so viewers can discover it.
+//
+//	rlive-edge -listen 127.0.0.1:0 -cdn 127.0.0.1:8400 -scheduler 127.0.0.1:8401
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+	"os/signal"
+	"time"
+
+	"repro/internal/livenet"
+)
+
+func main() {
+	var (
+		listen = flag.String("listen", "127.0.0.1:0", "UDP listen address")
+		cdn    = flag.String("cdn", "127.0.0.1:8400", "CDN origin address")
+		sched  = flag.String("scheduler", "", "scheduler directory address (optional)")
+		quota  = flag.Int("quota", 64, "session quota")
+	)
+	flag.Parse()
+
+	relay, err := livenet.NewRelay(*listen, *cdn, *quota)
+	if err != nil {
+		log.Fatalf("rlive-edge: %v", err)
+	}
+	defer relay.Close()
+	log.Printf("rlive-edge: serving on %s, pulling from %s", relay.Addr(), *cdn)
+
+	if *sched != "" {
+		go func() {
+			for {
+				if err := livenet.RegisterWith(*sched, relay.Addr(), relay.Sessions(), *quota); err != nil {
+					log.Printf("rlive-edge: heartbeat failed: %v", err)
+				}
+				time.Sleep(5 * time.Second)
+			}
+		}()
+	}
+
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, os.Interrupt)
+	<-ch
+	log.Printf("rlive-edge: shutting down")
+}

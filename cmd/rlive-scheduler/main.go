@@ -1,0 +1,31 @@
+// Command rlive-scheduler runs the global control-plane directory: relays
+// register and heartbeat; viewers fetch candidate relays.
+//
+//	rlive-scheduler -listen 127.0.0.1:8401
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+	"os/signal"
+
+	"repro/internal/livenet"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:8401", "HTTP listen address")
+	flag.Parse()
+
+	dir, err := livenet.NewDirectory(*listen)
+	if err != nil {
+		log.Fatalf("rlive-scheduler: %v", err)
+	}
+	defer dir.Close()
+	log.Printf("rlive-scheduler: listening on %s (POST /register, GET /candidates)", dir.Addr())
+
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, os.Interrupt)
+	<-ch
+	log.Printf("rlive-scheduler: shutting down")
+}

@@ -1,0 +1,70 @@
+// Command rlive-sim runs the paper-reproduction experiments on the
+// simulated deployment and prints their tables/series.
+//
+// Usage:
+//
+//	rlive-sim -exp fig9            # one experiment
+//	rlive-sim -exp all             # the whole evaluation
+//	rlive-sim -list                # list experiment IDs
+//	rlive-sim -exp fig11 -scale full -seed 7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		exp      = flag.String("exp", "all", "experiment ID (see -list) or 'all'")
+		list     = flag.Bool("list", false, "list experiment IDs and exit")
+		scale    = flag.String("scale", "quick", "quick or full")
+		seed     = flag.Uint64("seed", 1, "base RNG seed (paired runs share it)")
+		clients  = flag.Int("clients", 0, "override concurrent clients")
+		nodes    = flag.Int("nodes", 0, "override best-effort node count")
+		duration = flag.Duration("duration", 0, "override measured duration")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiments.IDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+
+	sc := experiments.Quick
+	if *scale == "full" {
+		sc = experiments.Full
+	}
+	sc.Seed = *seed
+	if *clients > 0 {
+		sc.Clients = *clients
+	}
+	if *nodes > 0 {
+		sc.BestEffort = *nodes
+	}
+	if *duration > 0 {
+		sc.Duration = *duration
+	}
+
+	ids := []string{*exp}
+	if *exp == "all" {
+		ids = experiments.IDs()
+	}
+	for _, id := range ids {
+		run, ok := experiments.Registry[id]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "rlive-sim: unknown experiment %q (try -list)\n", id)
+			os.Exit(2)
+		}
+		start := time.Now()
+		res := run(sc)
+		fmt.Print(res.String())
+		fmt.Printf("-- %s done in %v\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+}

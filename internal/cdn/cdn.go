@@ -1,0 +1,269 @@
+// Package cdn implements the dedicated CDN node: the origin of live frames
+// and the reliable anchor of RLive's data plane. Per §6 the required CDN
+// changes are deliberately minimal: forwarding full streams and substreams
+// (plus a header-only side channel for sequencing), and dts-indexed frame
+// recovery.
+package cdn
+
+import (
+	"time"
+
+	"repro/internal/media"
+	"repro/internal/scheduler"
+	"repro/internal/simnet"
+	"repro/internal/stats"
+	"repro/internal/transport"
+)
+
+// subscription modes per subscriber.
+type subMode struct {
+	fullStream  bool
+	substream   media.SubstreamID
+	wantHeaders bool
+}
+
+// streamState is the per-stream origin state on this node.
+type streamState struct {
+	source *media.Source
+	part   media.Partitioner
+	// recent retains frames for dts-indexed recovery, a ring of the last
+	// retainFrames frames.
+	recent map[uint64]media.Frame
+	order  []uint64
+	// subscribers maps subscriber address to its delivery mode(s). A
+	// subscriber can hold several substream subscriptions (clients doing
+	// substream switchback), hence the slice. subOrder mirrors the map in
+	// arrival order: fan-out iterates it so jitter/loss draws — and thus
+	// whole simulation runs — stay deterministic.
+	subscribers map[simnet.Addr][]subMode
+	subOrder    []simnet.Addr
+	running     bool
+}
+
+// Node is one dedicated CDN node.
+type Node struct {
+	Addr simnet.Addr
+
+	sim *simnet.Sim
+	net *simnet.Network
+	rng *stats.RNG
+
+	streams      map[media.StreamID]*streamState
+	retainFrames int
+
+	// Stats.
+	FramesServed   uint64
+	HeadersServed  uint64
+	RecoveryServed uint64
+	RecoveryMissed uint64
+}
+
+// New returns a CDN node bound to addr. Call net.SetHandler(addr,
+// node.Handle) (done by core.System) to receive messages.
+func New(addr simnet.Addr, sim *simnet.Sim, net *simnet.Network, rng *stats.RNG) *Node {
+	return &Node{
+		Addr:         addr,
+		sim:          sim,
+		net:          net,
+		rng:          rng,
+		streams:      make(map[media.StreamID]*streamState),
+		retainFrames: 600, // 20 s at 30 fps
+	}
+}
+
+// HostStream makes this node the origin for a stream, generating frames at
+// the source rate once started. K is the substream count for partitioning.
+func (n *Node) HostStream(cfg media.SourceConfig, k int) {
+	st := &streamState{
+		source:      media.NewSource(cfg, n.rng.Fork()),
+		part:        media.Partitioner{K: k},
+		recent:      make(map[uint64]media.Frame),
+		subscribers: make(map[simnet.Addr][]subMode),
+	}
+	n.streams[cfg.Stream] = st
+}
+
+// Start begins frame generation for all hosted streams.
+func (n *Node) Start() {
+	for id, st := range n.streams {
+		if st.running {
+			continue
+		}
+		st.running = true
+		id, st := id, st
+		n.sim.Every(st.source.Interval(), func() bool {
+			n.generate(id, st)
+			return st.running
+		})
+	}
+}
+
+// Stop halts frame generation (ends the live broadcasts).
+func (n *Node) Stop() {
+	for _, st := range n.streams {
+		st.running = false
+	}
+}
+
+// generate emits the next frame of a stream and fans it out.
+func (n *Node) generate(id media.StreamID, st *streamState) {
+	f := st.source.Next(int64(n.sim.Now()))
+	st.recent[f.Dts] = f
+	st.order = append(st.order, f.Dts)
+	if len(st.order) > n.retainFrames {
+		delete(st.recent, st.order[0])
+		st.order = st.order[1:]
+	}
+	ssid := st.part.Assign(f.Dts)
+	for _, addr := range st.subOrder {
+		for _, m := range st.subscribers[addr] {
+			switch {
+			case m.fullStream:
+				n.sendFrame(addr, f, true, false)
+			case m.substream == ssid:
+				n.sendFrame(addr, f, true, false)
+			case m.wantHeaders:
+				n.sendFrame(addr, f, false, false)
+			}
+		}
+	}
+}
+
+// sendFrame pushes one CDNFrame record to a subscriber.
+func (n *Node) sendFrame(to simnet.Addr, f media.Frame, full, recovered bool) {
+	msg := &transport.CDNFrame{Header: f.Header, Full: full, GeneratedAt: f.GeneratedAt, Recovered: recovered}
+	n.net.Send(n.Addr, to, transport.WireSize(msg), msg)
+	if full {
+		n.FramesServed++
+	} else {
+		n.HeadersServed++
+	}
+}
+
+// Handle processes inbound messages; register it as the node's handler.
+func (n *Node) Handle(from simnet.Addr, msg any) {
+	switch m := msg.(type) {
+	case *transport.CDNSubscribeReq:
+		n.subscribe(from, m)
+	case *transport.CDNUnsubscribeReq:
+		n.unsubscribe(from, m)
+	case *transport.FrameReq:
+		n.recoverFrame(from, m)
+	case *transport.ProbeReq:
+		resp := &transport.ProbeResp{Nonce: m.Nonce, Key: m.Key, Accepting: true}
+		n.net.Send(n.Addr, from, transport.WireSize(resp), resp)
+	}
+}
+
+func (n *Node) subscribe(from simnet.Addr, m *transport.CDNSubscribeReq) {
+	st, ok := n.streams[m.Stream]
+	if !ok {
+		return
+	}
+	mode := subMode{fullStream: m.FullStream, substream: m.Substream, wantHeaders: m.WantHeaders}
+	modes := st.subscribers[from]
+	for _, ex := range modes {
+		if ex == mode {
+			return // idempotent
+		}
+	}
+	if len(modes) == 0 {
+		st.subOrder = append(st.subOrder, from)
+	}
+	st.subscribers[from] = append(modes, mode)
+	// Warm-up: send the two most recent frame headers so the subscriber's
+	// frame-chain context starts with true predecessors — footprints CRC
+	// the current plus prior two headers, so a mid-stream joiner would
+	// otherwise compute divergent footprints for its first frames.
+	k := len(st.order) - 2
+	if k < 0 {
+		k = 0
+	}
+	for _, dts := range st.order[k:] {
+		if f, ok := st.recent[dts]; ok {
+			n.sendFrame(from, f, false, false)
+		}
+	}
+}
+
+func (n *Node) unsubscribe(from simnet.Addr, m *transport.CDNUnsubscribeReq) {
+	st, ok := n.streams[m.Stream]
+	if !ok {
+		return
+	}
+	modes := st.subscribers[from]
+	kept := modes[:0]
+	for _, ex := range modes {
+		if ex.fullStream == m.FullStream && (m.FullStream || ex.substream == m.Substream) {
+			continue
+		}
+		kept = append(kept, ex)
+	}
+	if len(kept) == 0 {
+		delete(st.subscribers, from)
+		for i, a := range st.subOrder {
+			if a == from {
+				st.subOrder = append(st.subOrder[:i], st.subOrder[i+1:]...)
+				break
+			}
+		}
+	} else {
+		st.subscribers[from] = kept
+	}
+}
+
+// recoverFrame serves a dts-indexed frame recovery request (§6). A miss
+// (frame rotated out of the retention window) is counted but unanswered;
+// the client's deadline machinery handles it.
+func (n *Node) recoverFrame(from simnet.Addr, m *transport.FrameReq) {
+	st, ok := n.streams[m.Stream]
+	if !ok {
+		n.RecoveryMissed++
+		return
+	}
+	f, ok := st.recent[m.Dts]
+	if !ok {
+		n.RecoveryMissed++
+		return
+	}
+	n.RecoveryServed++
+	n.sendFrame(from, f, true, true)
+}
+
+// Subscribers returns the subscriber count for a stream (testing/metrics).
+func (n *Node) Subscribers(id media.StreamID) int {
+	st, ok := n.streams[id]
+	if !ok {
+		return 0
+	}
+	return len(st.subscribers)
+}
+
+// HostsStream reports whether this node originates the stream.
+func (n *Node) HostsStream(id media.StreamID) bool {
+	_, ok := n.streams[id]
+	return ok
+}
+
+// Partitioner returns the substream partitioner for a hosted stream.
+func (n *Node) Partitioner(id media.StreamID) (media.Partitioner, bool) {
+	st, ok := n.streams[id]
+	if !ok {
+		return media.Partitioner{}, false
+	}
+	return st.part, true
+}
+
+// FrameInterval returns the frame interval of a hosted stream.
+func (n *Node) FrameInterval(id media.StreamID) (time.Duration, bool) {
+	st, ok := n.streams[id]
+	if !ok {
+		return 0, false
+	}
+	return st.source.Interval(), true
+}
+
+// SchedulerKey builds the SubstreamKey for a stream/substream pair.
+func SchedulerKey(id media.StreamID, ss media.SubstreamID) scheduler.SubstreamKey {
+	return scheduler.SubstreamKey{Stream: id, Substream: ss}
+}

@@ -1,0 +1,235 @@
+package cdn
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/media"
+	"repro/internal/simnet"
+	"repro/internal/stats"
+	"repro/internal/transport"
+)
+
+type harness struct {
+	sim  *simnet.Sim
+	net  *simnet.Network
+	node *Node
+	// inbox collects messages arriving at the client address.
+	inbox []any
+}
+
+const clientAddr = simnet.Addr(5000)
+
+func newHarness(t *testing.T) *harness {
+	t.Helper()
+	h := &harness{sim: simnet.NewSim()}
+	rng := stats.NewRNG(1)
+	h.net = simnet.NewNetwork(h.sim, rng.Fork())
+	h.net.Register(1000, simnet.LinkState{UplinkBps: 10e9, BaseOWD: time.Millisecond}, nil)
+	h.net.Register(clientAddr, simnet.LinkState{UplinkBps: 100e6, BaseOWD: time.Millisecond},
+		func(from simnet.Addr, msg any) { h.inbox = append(h.inbox, msg) })
+	h.node = New(1000, h.sim, h.net, rng)
+	h.net.SetHandler(1000, h.node.Handle)
+	h.node.HostStream(media.SourceConfig{Stream: 1, FPS: 30}, 4)
+	return h
+}
+
+func (h *harness) send(msg any) {
+	h.net.Send(clientAddr, 1000, transport.WireSize(msg), msg)
+}
+
+func (h *harness) frames() []*transport.CDNFrame {
+	var out []*transport.CDNFrame
+	for _, m := range h.inbox {
+		if f, ok := m.(*transport.CDNFrame); ok {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+func TestFullStreamSubscription(t *testing.T) {
+	h := newHarness(t)
+	h.send(&transport.CDNSubscribeReq{Stream: 1, FullStream: true})
+	h.node.Start()
+	h.sim.Run(time.Second)
+	fs := h.frames()
+	if len(fs) < 25 || len(fs) > 31 {
+		t.Fatalf("frames in 1s at 30fps = %d", len(fs))
+	}
+	for _, f := range fs {
+		if !f.Full {
+			t.Fatal("full-stream subscriber got header-only record")
+		}
+	}
+	// Dts must be increasing.
+	for i := 1; i < len(fs); i++ {
+		if fs[i].Header.Dts <= fs[i-1].Header.Dts {
+			t.Fatal("frames out of order from CDN")
+		}
+	}
+}
+
+func TestSubstreamWithHeaders(t *testing.T) {
+	h := newHarness(t)
+	h.send(&transport.CDNSubscribeReq{Stream: 1, Substream: 2, WantHeaders: true})
+	h.node.Start()
+	h.sim.Run(2 * time.Second)
+	part, _ := h.node.Partitioner(1)
+	full, hdr := 0, 0
+	for _, f := range h.frames() {
+		if f.Full {
+			full++
+			if part.Assign(f.Header.Dts) != 2 {
+				t.Fatal("full frame from wrong substream")
+			}
+		} else {
+			hdr++
+			if part.Assign(f.Header.Dts) == 2 {
+				t.Fatal("own-substream frame arrived header-only")
+			}
+		}
+	}
+	if full == 0 || hdr == 0 {
+		t.Fatalf("full=%d hdr=%d, want both nonzero", full, hdr)
+	}
+	// Every frame (60 in 2s) must arrive in some form.
+	if total := full + hdr; total < 55 {
+		t.Fatalf("total records = %d, want ~60", total)
+	}
+	// Roughly 1/4 of frames belong to substream 2.
+	frac := float64(full) / float64(full+hdr)
+	if frac < 0.10 || frac > 0.45 {
+		t.Fatalf("substream share = %.2f, want ~0.25", frac)
+	}
+}
+
+func TestSubstreamWithoutHeaders(t *testing.T) {
+	h := newHarness(t)
+	h.send(&transport.CDNSubscribeReq{Stream: 1, Substream: 0})
+	h.node.Start()
+	h.sim.Run(time.Second)
+	for _, f := range h.frames() {
+		if !f.Full {
+			t.Fatal("headers delivered without WantHeaders")
+		}
+	}
+}
+
+func TestUnsubscribeStopsDelivery(t *testing.T) {
+	h := newHarness(t)
+	h.send(&transport.CDNSubscribeReq{Stream: 1, FullStream: true})
+	h.node.Start()
+	h.sim.Run(time.Second)
+	n1 := len(h.frames())
+	h.send(&transport.CDNUnsubscribeReq{Stream: 1, FullStream: true})
+	h.sim.Run(1200 * time.Millisecond) // allow the unsubscribe to arrive
+	base := len(h.frames())
+	h.sim.Run(3 * time.Second)
+	if got := len(h.frames()); got > base+2 {
+		t.Fatalf("frames kept flowing after unsubscribe: %d -> %d (n1=%d)", base, got, n1)
+	}
+	if h.node.Subscribers(1) != 0 {
+		t.Fatal("subscriber not removed")
+	}
+}
+
+func TestFrameRecoveryByDts(t *testing.T) {
+	h := newHarness(t)
+	h.node.Start()
+	h.sim.Run(time.Second) // generate ~30 frames
+	// Request a recent dts: frame at 330ms (seq 10).
+	h.send(&transport.FrameReq{Stream: 1, Dts: 330})
+	h.sim.Run(1100 * time.Millisecond)
+	fs := h.frames()
+	if len(fs) != 1 {
+		t.Fatalf("recovery frames = %d, want 1", len(fs))
+	}
+	if fs[0].Header.Dts != 330 || !fs[0].Full || !fs[0].Recovered {
+		t.Fatalf("recovered frame wrong: %+v", fs[0])
+	}
+	if h.node.RecoveryServed != 1 {
+		t.Fatal("recovery counter")
+	}
+}
+
+func TestFrameRecoveryMiss(t *testing.T) {
+	h := newHarness(t)
+	h.node.Start()
+	h.sim.Run(time.Second)
+	h.send(&transport.FrameReq{Stream: 1, Dts: 999999}) // never generated
+	h.send(&transport.FrameReq{Stream: 42, Dts: 0})     // unknown stream
+	h.sim.Run(1100 * time.Millisecond)
+	if len(h.frames()) != 0 {
+		t.Fatal("miss produced a frame")
+	}
+	if h.node.RecoveryMissed != 2 {
+		t.Fatalf("missed = %d, want 2", h.node.RecoveryMissed)
+	}
+}
+
+func TestRetentionWindow(t *testing.T) {
+	h := newHarness(t)
+	h.node.retainFrames = 30 // 1s
+	h.node.Start()
+	h.sim.Run(3 * time.Second)
+	h.send(&transport.FrameReq{Stream: 1, Dts: 0}) // rotated out
+	h.sim.Run(3100 * time.Millisecond)
+	if h.node.RecoveryMissed != 1 {
+		t.Fatal("rotated frame should miss")
+	}
+}
+
+func TestProbeAnswered(t *testing.T) {
+	h := newHarness(t)
+	h.send(&transport.ProbeReq{Nonce: 9})
+	h.sim.Run(time.Second)
+	found := false
+	for _, m := range h.inbox {
+		if r, ok := m.(*transport.ProbeResp); ok && r.Nonce == 9 && r.Accepting {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("probe unanswered")
+	}
+}
+
+func TestIdempotentSubscribe(t *testing.T) {
+	h := newHarness(t)
+	h.send(&transport.CDNSubscribeReq{Stream: 1, FullStream: true})
+	h.send(&transport.CDNSubscribeReq{Stream: 1, FullStream: true})
+	h.node.Start()
+	h.sim.Run(time.Second)
+	// 30 fps for ~1s: duplicates would double this.
+	if n := len(h.frames()); n > 31 {
+		t.Fatalf("duplicate subscription caused duplicate delivery: %d frames", n)
+	}
+}
+
+func TestStopHaltsGeneration(t *testing.T) {
+	h := newHarness(t)
+	h.send(&transport.CDNSubscribeReq{Stream: 1, FullStream: true})
+	h.node.Start()
+	h.sim.Run(time.Second)
+	h.node.Stop()
+	n := len(h.frames())
+	h.sim.Run(3 * time.Second)
+	if got := len(h.frames()); got > n+2 {
+		t.Fatalf("frames after stop: %d -> %d", n, got)
+	}
+}
+
+func TestHostsStreamAndInterval(t *testing.T) {
+	h := newHarness(t)
+	if !h.node.HostsStream(1) || h.node.HostsStream(2) {
+		t.Fatal("HostsStream wrong")
+	}
+	iv, ok := h.node.FrameInterval(1)
+	if !ok || iv != time.Second/30 {
+		t.Fatalf("interval = %v %v", iv, ok)
+	}
+	if _, ok := h.node.FrameInterval(2); ok {
+		t.Fatal("interval for unknown stream")
+	}
+}

@@ -1,0 +1,123 @@
+package chain
+
+import (
+	"testing"
+
+	"repro/internal/media"
+)
+
+func TestAppendSelfExtendsChain(t *testing.T) {
+	hs := mkHeaders(6)
+	gen := NewLocalGenerator(4)
+	g := NewGlobal(0)
+	// Seed via a real local chain for the first three frames.
+	for i := 0; i < 3; i++ {
+		gen.Observe(hs[i], 3)
+		g.AddHeader(hs[i])
+		g.TryMatch(gen.Chain())
+	}
+	// Extend with self-computed footprints: the chain must stay fully
+	// linked and consistent with what an edge would have produced.
+	for i := 3; i < 6; i++ {
+		if !g.AppendSelf(hs[i], 3) {
+			t.Fatalf("AppendSelf failed at %d", i)
+		}
+	}
+	if got := len(g.NextLinked()); got != 6 {
+		t.Fatalf("linked = %d, want 6 (%s)", got, g)
+	}
+	// The self-appended footprints must EQUAL the generator's: a later
+	// real chain covering the same frames must merge, not conflict.
+	for i := 3; i < 6; i++ {
+		gen.Observe(hs[i], 3)
+	}
+	if !g.TryMatch(gen.Chain()) {
+		t.Fatal("edge chain no longer matches after self-appends")
+	}
+	if g.CRCFailures != 0 {
+		t.Fatalf("self-append diverged from edge footprints: %s", g)
+	}
+}
+
+func TestAppendSelfRejectsEmptyChain(t *testing.T) {
+	g := NewGlobal(0)
+	hs := mkHeaders(1)
+	if g.AppendSelf(hs[0], 3) {
+		t.Fatal("AppendSelf on empty chain must fail (seed via TryMatch)")
+	}
+}
+
+func TestAppendSelfRejectsNonAdvancingDts(t *testing.T) {
+	hs := mkHeaders(3)
+	gen := NewLocalGenerator(4)
+	g := NewGlobal(0)
+	for _, h := range hs {
+		gen.Observe(h, 3)
+		g.AddHeader(h)
+		g.TryMatch(gen.Chain())
+	}
+	if g.AppendSelf(hs[1], 3) {
+		t.Fatal("AppendSelf must reject dts <= terminal")
+	}
+}
+
+func TestAppendSelfNeedsTailHeader(t *testing.T) {
+	// Seed a chain whose terminal header is NOT in the pool: AppendSelf
+	// cannot compute a consistent footprint and must refuse.
+	hs := mkHeaders(4)
+	fps := footprints(hs)
+	g := NewGlobal(0)
+	g.TryMatch(fps[:3]) // seed; no headers added
+	if g.AppendSelf(hs[3], 3) {
+		t.Fatal("AppendSelf without tail header must fail")
+	}
+}
+
+func TestFirst(t *testing.T) {
+	g := NewGlobal(0)
+	if _, ok := g.First(); ok {
+		t.Fatal("empty chain has no first entry")
+	}
+	hs := mkHeaders(3)
+	gen := NewLocalGenerator(4)
+	for _, h := range hs {
+		gen.Observe(h, 3)
+		g.AddHeader(h)
+		g.TryMatch(gen.Chain())
+	}
+	first, ok := g.First()
+	if !ok || first.Dts != hs[0].Dts {
+		t.Fatalf("first = %v %v", first, ok)
+	}
+}
+
+// The chain head (first two entries) is validated by header presence only —
+// their CRCs fold in context the receiver cannot reconstruct. Entries from
+// index 2 on must still be CRC-validated.
+func TestChainHeadValidationRelaxed(t *testing.T) {
+	hs := mkHeaders(5)
+	// A chain computed by a generator that started mid-stream (zero
+	// predecessors for its first entries).
+	gen := NewLocalGenerator(4)
+	var fps []Footprint
+	for _, h := range hs[2:] { // starts at frame 2
+		fps = append(fps, gen.Observe(h, 3))
+	}
+	g := NewGlobal(0)
+	for _, h := range hs {
+		g.AddHeader(h)
+	}
+	if !g.TryMatch(fps) {
+		t.Fatal("seed failed")
+	}
+	if got := len(g.NextLinked()); got != 3 {
+		t.Fatalf("linked = %d, want 3 (%s)", got, g)
+	}
+	// A forged entry appended beyond the head must still be caught.
+	term, _ := g.Terminal()
+	g.TryMatch([]Footprint{term, {Dts: term.Dts + 33, CRC: 0xBAD, CNT: 3}})
+	g.AddHeader(media.Header{Stream: 1, Dts: term.Dts + 33, Size: 1})
+	if g.CRCFailures == 0 {
+		t.Fatalf("forged non-head entry not caught: %s", g)
+	}
+}

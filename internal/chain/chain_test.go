@@ -1,0 +1,422 @@
+package chain
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/media"
+	"repro/internal/stats"
+)
+
+// mkHeaders builds n sequential frame headers for stream 1.
+func mkHeaders(n int) []media.Header {
+	hs := make([]media.Header, n)
+	for i := range hs {
+		typ := media.FrameP
+		if i%30 == 0 {
+			typ = media.FrameI
+		}
+		hs[i] = media.Header{
+			Stream: 1,
+			Dts:    uint64(i) * 33,
+			Type:   typ,
+			Size:   uint32(1000 + i),
+			Seq:    uint32(i),
+		}
+	}
+	return hs
+}
+
+// footprints computes footprints for headers in order.
+func footprints(hs []media.Header) []Footprint {
+	fps := make([]Footprint, len(hs))
+	var p1, p2 media.Header
+	for i, h := range hs {
+		fps[i] = New(h, p1, p2, 3)
+		p2, p1 = p1, h
+	}
+	return fps
+}
+
+func TestFootprintRoundTrip(t *testing.T) {
+	fp := Footprint{Dts: 12345, CRC: 0xdeadbeef, CNT: 7}
+	b := fp.Marshal()
+	got, err := UnmarshalFootprint(b[:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != fp {
+		t.Fatalf("round trip mismatch: %+v vs %+v", got, fp)
+	}
+}
+
+func TestFootprintRoundTripProperty(t *testing.T) {
+	f := func(dts uint64, crc uint32, cnt uint16) bool {
+		fp := Footprint{Dts: dts, CRC: crc, CNT: cnt}
+		b := fp.Marshal()
+		got, err := UnmarshalFootprint(b[:])
+		return err == nil && got == fp
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnmarshalFootprintShort(t *testing.T) {
+	if _, err := UnmarshalFootprint(make([]byte, 5)); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestCRCOrderSensitivity(t *testing.T) {
+	hs := mkHeaders(3)
+	inOrder := ComputeCRC(hs[2], hs[1], hs[0])
+	swapped := ComputeCRC(hs[2], hs[0], hs[1])
+	if inOrder == swapped {
+		t.Fatal("CRC must depend on predecessor order")
+	}
+}
+
+func TestCRCUniqueAcrossFrames(t *testing.T) {
+	hs := mkHeaders(1000)
+	fps := footprints(hs)
+	seen := make(map[Footprint]bool)
+	for _, fp := range fps {
+		if seen[fp] {
+			t.Fatalf("duplicate footprint %v", fp)
+		}
+		seen[fp] = true
+	}
+}
+
+func TestLocalGeneratorChainShape(t *testing.T) {
+	g := NewLocalGenerator(4)
+	hs := mkHeaders(10)
+	for i, h := range hs {
+		g.Observe(h, 3)
+		c := g.Chain()
+		wantLen := i + 1
+		if wantLen > 4 {
+			wantLen = 4
+		}
+		if len(c) != wantLen {
+			t.Fatalf("after %d frames chain len = %d, want %d", i+1, len(c), wantLen)
+		}
+		if c[len(c)-1].Dts != h.Dts {
+			t.Fatalf("chain must end at newest frame")
+		}
+	}
+	if g.Observed() != 10 {
+		t.Fatalf("observed = %d", g.Observed())
+	}
+}
+
+func TestLocalGeneratorDefaultDelta(t *testing.T) {
+	if NewLocalGenerator(0).Delta() != DefaultLength {
+		t.Fatal("default delta not applied")
+	}
+}
+
+func TestLocalGeneratorMatchesManualFootprints(t *testing.T) {
+	g := NewLocalGenerator(4)
+	hs := mkHeaders(20)
+	want := footprints(hs)
+	for i, h := range hs {
+		fp := g.Observe(h, 3)
+		if fp != want[i] {
+			t.Fatalf("frame %d footprint mismatch", i)
+		}
+	}
+}
+
+// deliver simulates the client receiving frame headers and local chains
+// from one or more generators, in the given frame order.
+func TestGlobalSeedAndValidate(t *testing.T) {
+	hs := mkHeaders(8)
+	gen := NewLocalGenerator(4)
+	g := NewGlobal(0)
+	for _, h := range hs {
+		gen.Observe(h, 3)
+		g.AddHeader(h)
+		if !g.TryMatch(gen.Chain()) {
+			t.Fatalf("in-order chain must always match, dts=%d", h.Dts)
+		}
+	}
+	linked := g.NextLinked()
+	if len(linked) != 8 {
+		t.Fatalf("linked = %d, want 8 (%s)", len(linked), g)
+	}
+	for i, fp := range linked {
+		if fp.Dts != uint64(i)*33 {
+			t.Fatalf("linked order wrong at %d: %v", i, fp)
+		}
+	}
+}
+
+func TestGlobalTwoSourcesInterleaved(t *testing.T) {
+	// Two generators observe the same stream (as two best-effort nodes
+	// would); their chains arrive interleaved at the client.
+	hs := mkHeaders(30)
+	genA := NewLocalGenerator(4)
+	genB := NewLocalGenerator(4)
+	g := NewGlobal(0)
+	for i, h := range hs {
+		genA.Observe(h, 3)
+		genB.Observe(h, 3)
+		g.AddHeader(h)
+		if i%2 == 0 {
+			g.TryMatch(genA.Chain())
+		} else {
+			g.TryMatch(genB.Chain())
+		}
+	}
+	if got := len(g.NextLinked()); got != 30 {
+		t.Fatalf("linked = %d, want 30 (%s)", got, g)
+	}
+}
+
+func TestGlobalSurvivesChainLoss(t *testing.T) {
+	// Mirrors Figure 7(b): local chains are lost entirely; as long as a
+	// later chain still contains the global terminal, merging succeeds.
+	// With δ=4 the chain of frame i covers frames i-3..i, so up to 2
+	// consecutive lost chain copies are bridged by the next arrival.
+	hs := mkHeaders(12)
+	gen := NewLocalGenerator(4)
+	g := NewGlobal(0)
+	for i, h := range hs {
+		gen.Observe(h, 3)
+		g.AddHeader(h)
+		// Drop the chains carried by frames 4..5; chain of frame 6
+		// covers frames 3..6 and contains terminal (frame 3).
+		if i >= 4 && i <= 5 {
+			continue
+		}
+		g.TryMatch(gen.Chain())
+	}
+	if got := len(g.NextLinked()); got != 12 {
+		t.Fatalf("linked = %d, want 12 (%s)", got, g)
+	}
+}
+
+func TestGlobalGapParksAndRecovers(t *testing.T) {
+	// Lose enough consecutive chains to exceed δ: the next chain cannot
+	// attach (gap) and must park; once an overlapping chain arrives the
+	// parked one merges too.
+	hs := mkHeaders(16)
+	gen := NewLocalGenerator(4)
+	g := NewGlobal(0)
+	var chains [][]Footprint
+	for _, h := range hs {
+		gen.Observe(h, 3)
+		chains = append(chains, gen.Chain())
+		g.AddHeader(h)
+	}
+	// Deliver chains 0..3 (linking frames 0..3).
+	for i := 0; i <= 3; i++ {
+		g.TryMatch(chains[i])
+	}
+	// Chain 10 covers frames 7..10: terminal is frame 3, no overlap -> park.
+	if g.TryMatch(chains[10]) {
+		t.Fatal("gapped chain should not match")
+	}
+	if g.PendingMismatches() != 1 {
+		t.Fatalf("parked = %d, want 1", g.PendingMismatches())
+	}
+	// Chain 7 covers 4..7, overlaps terminal 3? chain 7 = frames 4,5,6,7
+	// -> contains no frame 3. It covers 4..7; terminal is frame 3. The
+	// continuity check needs the terminal INSIDE the local chain, so
+	// chain 6 (frames 3..6) is the one that attaches.
+	if !g.TryMatch(chains[6]) {
+		t.Fatal("overlapping chain should match")
+	}
+	// Parked chain 10 (frames 7..10) now overlaps terminal (frame 6)?
+	// chains[10] = frames 7,8,9,10; terminal after merge = frame 6. No
+	// overlap -> still parked. Deliver chain 8 (frames 5..8).
+	g.TryMatch(chains[8])
+	// Now terminal = frame 8, chains[10] contains 7..10 including 8 ->
+	// the retry loop should have merged it.
+	if g.PendingMismatches() != 0 {
+		t.Fatalf("parked chain not retried: %s", g)
+	}
+	if got := len(g.NextLinked()); got != 11 {
+		t.Fatalf("linked = %d, want 11 (%s)", got, g)
+	}
+}
+
+func TestGlobalRejectsCorruptChain(t *testing.T) {
+	hs := mkHeaders(10)
+	gen := NewLocalGenerator(4)
+	g := NewGlobal(0)
+	for i := 0; i < 5; i++ {
+		gen.Observe(hs[i], 3)
+		g.AddHeader(hs[i])
+		g.TryMatch(gen.Chain())
+	}
+	// Forge a chain that claims a different frame follows frame 4.
+	term, _ := g.Terminal()
+	forged := []Footprint{term, {Dts: 9999, CRC: 0x12345678, CNT: 1}}
+	g.TryMatch(forged)
+	// Deliver the forged frame's header so validation runs and fails.
+	g.AddHeader(media.Header{Stream: 1, Dts: 9999, Size: 1, Seq: 99})
+	if g.CRCFailures == 0 {
+		t.Fatalf("expected CRC failure: %s", g)
+	}
+	// The real continuation must still merge cleanly.
+	for i := 5; i < 10; i++ {
+		gen.Observe(hs[i], 3)
+		g.AddHeader(hs[i])
+		if !g.TryMatch(gen.Chain()) {
+			t.Fatalf("real chain rejected after forgery eviction at %d", i)
+		}
+	}
+	if got := len(g.NextLinked()); got != 10 {
+		t.Fatalf("linked = %d, want 10 (%s)", got, g)
+	}
+}
+
+func TestGlobalConsumeAndCompact(t *testing.T) {
+	hs := mkHeaders(300)
+	gen := NewLocalGenerator(4)
+	g := NewGlobal(64)
+	for _, h := range hs {
+		gen.Observe(h, 3)
+		g.AddHeader(h)
+		g.TryMatch(gen.Chain())
+		for _, fp := range g.NextLinked() {
+			g.MarkConsumed(fp.Dts)
+		}
+	}
+	if g.Len() > 64 {
+		t.Fatalf("chain grew unbounded: len=%d", g.Len())
+	}
+}
+
+func TestGlobalConsumedNotReturned(t *testing.T) {
+	hs := mkHeaders(5)
+	gen := NewLocalGenerator(4)
+	g := NewGlobal(0)
+	for _, h := range hs {
+		gen.Observe(h, 3)
+		g.AddHeader(h)
+		g.TryMatch(gen.Chain())
+	}
+	g.MarkConsumed(hs[2].Dts)
+	next := g.NextLinked()
+	if len(next) != 2 || next[0].Dts != hs[3].Dts {
+		t.Fatalf("NextLinked after consume = %v", next)
+	}
+}
+
+func TestGlobalEmptyChainInput(t *testing.T) {
+	g := NewGlobal(0)
+	if g.TryMatch(nil) {
+		t.Fatal("empty chain must not match")
+	}
+	if g.TryMatch([]Footprint{{}}) {
+		t.Fatal("all-zero chain must not match")
+	}
+}
+
+func TestGlobalContainedChainIsSuccess(t *testing.T) {
+	hs := mkHeaders(6)
+	gen := NewLocalGenerator(4)
+	g := NewGlobal(0)
+	var chains [][]Footprint
+	for _, h := range hs {
+		gen.Observe(h, 3)
+		g.AddHeader(h)
+		chains = append(chains, gen.Chain())
+		g.TryMatch(chains[len(chains)-1])
+	}
+	// Re-delivering an old chain (duplicate packets) must be a no-op success.
+	before := g.Len()
+	if !g.TryMatch(chains[2]) {
+		t.Fatal("contained chain should report success")
+	}
+	if g.Len() != before {
+		t.Fatal("contained chain must not grow the global chain")
+	}
+}
+
+// Property: delivering the per-frame local chains in ANY order links a
+// contiguous suffix of the stream ending at the newest frame. The chain
+// seeds wherever the first-delivered chain starts (a live client joins
+// mid-stream), so frames before the seed point are intentionally
+// unreachable; everything after must link once all chains have been seen
+// (parked chains are retried after each merge).
+func TestGlobalOrderIndependenceProperty(t *testing.T) {
+	const n = 40
+	hs := mkHeaders(n)
+	gen := NewLocalGenerator(4)
+	var chains [][]Footprint
+	for _, h := range hs {
+		gen.Observe(h, 3)
+		chains = append(chains, gen.Chain())
+	}
+	rng := stats.NewRNG(99)
+	for trial := 0; trial < 25; trial++ {
+		g := NewGlobal(0)
+		for _, h := range hs {
+			g.AddHeader(h)
+		}
+		perm := rng.Perm(n)
+		for _, i := range perm {
+			g.TryMatch(chains[i])
+		}
+		// A second pass guarantees any chain rejected while its
+		// predecessors were missing gets another chance (in the real
+		// system publishers keep sending fresh chains).
+		for _, i := range perm {
+			g.TryMatch(chains[i])
+		}
+		linked := g.NextLinked()
+		if len(linked) == 0 {
+			t.Fatalf("trial %d: nothing linked (%s)", trial, g)
+		}
+		// Contiguous suffix ending at the newest frame.
+		last := linked[len(linked)-1].Dts
+		if last != hs[n-1].Dts {
+			t.Fatalf("trial %d: suffix does not reach newest frame: %d != %d (%s)",
+				trial, last, hs[n-1].Dts, g)
+		}
+		for j := 1; j < len(linked); j++ {
+			if linked[j].Dts != linked[j-1].Dts+33 {
+				t.Fatalf("trial %d: linked run not contiguous at %d", trial, j)
+			}
+		}
+	}
+}
+
+// Delivering chains strictly in order always links every frame.
+func TestGlobalInOrderLinksAll(t *testing.T) {
+	const n = 40
+	hs := mkHeaders(n)
+	gen := NewLocalGenerator(4)
+	g := NewGlobal(0)
+	for _, h := range hs {
+		gen.Observe(h, 3)
+		g.AddHeader(h)
+		g.TryMatch(gen.Chain())
+	}
+	if got := len(g.NextLinked()); got != n {
+		t.Fatalf("linked %d/%d (%s)", got, n, g)
+	}
+}
+
+func TestGlobalTerminal(t *testing.T) {
+	g := NewGlobal(0)
+	if _, ok := g.Terminal(); ok {
+		t.Fatal("empty chain has no terminal")
+	}
+	hs := mkHeaders(3)
+	gen := NewLocalGenerator(4)
+	for _, h := range hs {
+		gen.Observe(h, 3)
+		g.AddHeader(h)
+		g.TryMatch(gen.Chain())
+	}
+	term, ok := g.Terminal()
+	if !ok || term.Dts != hs[2].Dts {
+		t.Fatalf("terminal = %v %v", term, ok)
+	}
+}

@@ -1,0 +1,95 @@
+// Package chain implements RLive's distributed frame sequencing (§5.2):
+// lightweight frame footprints computed from headers only, local frame
+// chains generated independently by each best-effort node, and the client's
+// global chain that merges local chains from multiple sources into a single
+// authoritative frame order (Algorithm 1 in the paper).
+//
+// The design intent: mainstream live protocols (HLS, FLV) carry no explicit
+// frame sequence number, and a centralized sequencing server is a
+// scalability and fault-tolerance liability. Instead, every best-effort node
+// derives the same chain from the header side-channel the CDN provides, and
+// embeds the last δ footprints in each data packet. Clients stitch these
+// local chains together; loss of any individual chain copy is masked by the
+// copies arriving from other substream publishers.
+package chain
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+
+	"repro/internal/media"
+)
+
+// DefaultLength is the local chain length δ carried in every packet. The
+// paper sets δ = 4.
+const DefaultLength = 4
+
+// FootprintSize is the encoded size of a footprint in bytes.
+const FootprintSize = 14
+
+// Footprint uniquely identifies a frame using only header information:
+// the decoding timestamp, a CRC folding in the current and prior two frame
+// headers (so the checksum also validates the *order* of the chain), and the
+// packet count the frame was sliced into.
+type Footprint struct {
+	Dts uint64
+	CRC uint32
+	CNT uint16
+}
+
+// Zero reports whether the footprint is the zero value (used for the
+// padding entries at stream start, before three headers exist).
+func (f Footprint) Zero() bool { return f == Footprint{} }
+
+// String formats the footprint compactly for logs.
+func (f Footprint) String() string {
+	return fmt.Sprintf("fp{dts=%d crc=%08x cnt=%d}", f.Dts, f.CRC, f.CNT)
+}
+
+// Marshal encodes the footprint into a fixed 14-byte representation.
+func (f Footprint) Marshal() [FootprintSize]byte {
+	var b [FootprintSize]byte
+	binary.BigEndian.PutUint64(b[0:8], f.Dts)
+	binary.BigEndian.PutUint32(b[8:12], f.CRC)
+	binary.BigEndian.PutUint16(b[12:14], f.CNT)
+	return b
+}
+
+// UnmarshalFootprint decodes a footprint from b.
+func UnmarshalFootprint(b []byte) (Footprint, error) {
+	if len(b) < FootprintSize {
+		return Footprint{}, fmt.Errorf("chain: footprint too short: %d bytes", len(b))
+	}
+	return Footprint{
+		Dts: binary.BigEndian.Uint64(b[0:8]),
+		CRC: binary.BigEndian.Uint32(b[8:12]),
+		CNT: binary.BigEndian.Uint16(b[12:14]),
+	}, nil
+}
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// ComputeCRC computes the order-validating checksum over the current header
+// and the two headers immediately preceding it in stream order. At stream
+// start, missing predecessors are zero headers.
+func ComputeCRC(cur media.Header, prev1, prev2 media.Header) uint32 {
+	var buf [3 * media.HeaderSize]byte
+	b := cur.Marshal()
+	copy(buf[0:], b[:])
+	b = prev1.Marshal()
+	copy(buf[media.HeaderSize:], b[:])
+	b = prev2.Marshal()
+	copy(buf[2*media.HeaderSize:], b[:])
+	return crc32.Checksum(buf[:], crcTable)
+}
+
+// New computes the footprint of cur given its two predecessors and the
+// number of packets the frame is sliced into.
+func New(cur, prev1, prev2 media.Header, packetCount uint16) Footprint {
+	return Footprint{
+		Dts: cur.Dts,
+		CRC: ComputeCRC(cur, prev1, prev2),
+		CNT: packetCount,
+	}
+}

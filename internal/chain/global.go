@@ -1,0 +1,400 @@
+package chain
+
+import (
+	"fmt"
+
+	"repro/internal/media"
+)
+
+// LinkStatus marks whether a global-chain entry has been CRC-validated
+// against received frame headers.
+type LinkStatus uint8
+
+const (
+	// Unlinked entries were appended from a local chain but not yet
+	// validated: the frame's actual header (and its two predecessors)
+	// haven't all been seen, or validation hasn't run since they arrived.
+	Unlinked LinkStatus = iota
+	// Linked entries passed CRC validation; their order is authoritative.
+	Linked
+)
+
+// Entry is one element of the client's global frame chain.
+type Entry struct {
+	FP     Footprint
+	Status LinkStatus
+}
+
+// Global is the client-maintained global frame chain for a single stream.
+// Local chains arriving from different substream publishers are merged into
+// it (Algorithm 1), producing a single in-order frame sequence the player
+// buffer consumes. Chains that cannot attach yet (their oldest footprint is
+// beyond the current chain tail — a gap) park in a mismatch pool and are
+// retried after each successful merge.
+type Global struct {
+	entries []Entry
+	// headers holds received frame headers keyed by dts — the "dataPool"
+	// of Algorithm 1. CRC validation needs the header of the frame and of
+	// its two predecessors in chain order.
+	headers map[uint64]media.Header
+	// mismatched parks local chains awaiting earlier frames; keyed by the
+	// dts of their first footprint to bound duplicates.
+	mismatched map[uint64][]Footprint
+	// consumedDts tracks the newest dts handed to the player; merges that
+	// would resurrect older frames are ignored.
+	consumed    uint64
+	hasConsumed bool
+	// maxLen bounds memory: validated prefixes are compacted once
+	// consumed. Entries never exceeds maxLen after Compact.
+	maxLen int
+
+	// Stats for the evaluation harness.
+	Merges        uint64 // successful TryMatch calls
+	Rejects       uint64 // TryMatch returned false (no continuity)
+	CRCFailures   uint64 // validation failures that rolled back unlinked entries
+	ParkedRetries uint64 // mismatched chains that later merged
+}
+
+// NewGlobal returns an empty global chain. maxLen bounds retained entries
+// (<=0 means a generous default).
+func NewGlobal(maxLen int) *Global {
+	if maxLen <= 0 {
+		maxLen = 4096
+	}
+	return &Global{
+		headers:    make(map[uint64]media.Header),
+		mismatched: make(map[uint64][]Footprint),
+		maxLen:     maxLen,
+	}
+}
+
+// Len returns the number of entries currently in the chain.
+func (g *Global) Len() int { return len(g.entries) }
+
+// Entries returns a copy of the current chain entries (oldest first).
+func (g *Global) Entries() []Entry {
+	out := make([]Entry, len(g.entries))
+	copy(out, g.entries)
+	return out
+}
+
+// AddHeader records a received frame header into the data pool, then
+// revalidates any unlinked suffix (arrival of a missing header can unlock
+// validation of entries appended earlier).
+func (g *Global) AddHeader(h media.Header) {
+	g.headers[h.Dts] = h
+	g.validateSuffix()
+}
+
+// HasHeader reports whether the header for dts is in the data pool.
+func (g *Global) HasHeader(dts uint64) bool {
+	_, ok := g.headers[dts]
+	return ok
+}
+
+// lastLinkedIndex returns the index of the newest Linked entry, or -1.
+func (g *Global) lastLinkedIndex() int {
+	for i := len(g.entries) - 1; i >= 0; i-- {
+		if g.entries[i].Status == Linked {
+			return i
+		}
+	}
+	return -1
+}
+
+// TryMatch attempts to merge one local chain (oldest footprint first, as
+// produced by LocalGenerator.Chain) into the global chain, implementing
+// Algorithm 1:
+//
+//  1. Seed: an empty global chain adopts the local chain wholesale.
+//  2. Continuity: the local chain must contain the terminal frame of the
+//     global chain (by footprint equality); footprints after that point are
+//     appended with Unlinked status. A local chain entirely in the past is a
+//     no-op success; one that starts beyond the tail fails and is parked.
+//  3. Validation: each unlinked entry whose header (and two predecessors)
+//     are present in the data pool gets its CRC recomputed; a match flips it
+//     to Linked, a mismatch evicts the whole unlinked suffix.
+//
+// It returns true when the chain merged (or was already contained).
+func (g *Global) TryMatch(lchain []Footprint) bool {
+	lchain = trimZero(lchain)
+	if len(lchain) == 0 {
+		return false
+	}
+	if len(g.entries) == 0 {
+		// Seed the chain. First footprint becomes the anchor; it is
+		// validated lazily like any other entry.
+		for _, fp := range lchain {
+			g.entries = append(g.entries, Entry{FP: fp, Status: Unlinked})
+		}
+		g.Merges++
+		g.validateSuffix()
+		g.retryParked()
+		return true
+	}
+
+	terminal := g.entries[len(g.entries)-1].FP
+	// Look for the global terminal inside the local chain.
+	idx := -1
+	for i, fp := range lchain {
+		if fp == terminal {
+			idx = i
+			break
+		}
+	}
+	if idx == -1 {
+		// Either the local chain is entirely older than our tail
+		// (contained: every footprint already present) or there is a
+		// gap. Contained chains are a trivial success.
+		if g.contains(lchain) {
+			return true
+		}
+		g.Rejects++
+		g.park(lchain)
+		return false
+	}
+	appended := 0
+	for _, fp := range lchain[idx+1:] {
+		g.entries = append(g.entries, Entry{FP: fp, Status: Unlinked})
+		appended++
+	}
+	if appended > 0 {
+		g.Merges++
+	}
+	g.validateSuffix()
+	g.retryParked()
+	return true
+}
+
+// contains reports whether every footprint of lchain appears in order as a
+// contiguous run inside the global chain.
+func (g *Global) contains(lchain []Footprint) bool {
+	if len(lchain) == 0 {
+		return true
+	}
+	for i := range g.entries {
+		if g.entries[i].FP == lchain[0] {
+			if i+len(lchain) > len(g.entries) {
+				return false
+			}
+			for j, fp := range lchain {
+				if g.entries[i+j].FP != fp {
+					return false
+				}
+			}
+			return true
+		}
+	}
+	return false
+}
+
+// park stores a non-attaching chain for retry after future merges, bounded
+// to avoid unbounded growth under garbage input.
+func (g *Global) park(lchain []Footprint) {
+	if len(g.mismatched) > 256 {
+		// Drop oldest-keyed entry arbitrarily; the publisher resends
+		// chains with every packet so losing one is harmless.
+		for k := range g.mismatched {
+			delete(g.mismatched, k)
+			break
+		}
+	}
+	cp := make([]Footprint, len(lchain))
+	copy(cp, lchain)
+	g.mismatched[lchain[0].Dts] = cp
+}
+
+// retryParked re-attempts previously mismatched chains until none merges.
+func (g *Global) retryParked() {
+	for changed := true; changed; {
+		changed = false
+		for k, lc := range g.mismatched {
+			terminal := g.entries[len(g.entries)-1].FP
+			hit := false
+			for _, fp := range lc {
+				if fp == terminal {
+					hit = true
+					break
+				}
+			}
+			if !hit && !g.contains(lc) {
+				continue
+			}
+			delete(g.mismatched, k)
+			g.ParkedRetries++
+			if g.TryMatch(lc) {
+				changed = true
+			}
+		}
+	}
+}
+
+// validateSuffix walks unlinked entries in order and CRC-validates the ones
+// whose headers are available, implementing lines 14-23 of Algorithm 1. A
+// CRC mismatch evicts the entire unlinked suffix from the failing entry on.
+func (g *Global) validateSuffix() {
+	start := g.lastLinkedIndex() + 1
+	for i := start; i < len(g.entries); i++ {
+		e := &g.entries[i]
+		h, ok := g.headers[e.FP.Dts]
+		if !ok {
+			// Cannot validate yet; later entries can't become
+			// authoritative ahead of this one either.
+			return
+		}
+		// The first two entries of the chain have no (complete)
+		// predecessor context: their footprint CRC folds in headers
+		// the receiver cannot reconstruct, so order validation is
+		// vacuous there — header presence suffices. Compaction always
+		// retains two validated predecessors, so this only applies at
+		// the true chain head (session start).
+		if i >= 2 {
+			p1, ok1 := g.headers[g.entries[i-1].FP.Dts]
+			p2, ok2 := g.headers[g.entries[i-2].FP.Dts]
+			if !ok1 || !ok2 {
+				return
+			}
+			if ComputeCRC(h, p1, p2) != e.FP.CRC {
+				// Validation failure: push out the unlinked frames.
+				g.CRCFailures++
+				g.entries = g.entries[:i]
+				return
+			}
+		}
+		e.Status = Linked
+	}
+}
+
+// AppendSelf extends the chain with a footprint the receiver computes
+// itself from a fully received frame header — exactly what an edge node
+// would have computed, using the chain's actual tail entries as
+// predecessors so validation is consistent by construction. Used by
+// clients to bridge frames whose chain copies were lost or never sent
+// (CDN deliveries carry no chains). It returns false when the chain is
+// empty, the tail headers are unknown, or the dts does not advance.
+func (g *Global) AppendSelf(h media.Header, cnt uint16) bool {
+	nLen := len(g.entries)
+	if nLen == 0 {
+		return false
+	}
+	tail := g.entries[nLen-1].FP
+	if h.Dts <= tail.Dts {
+		return false
+	}
+	p1, ok := g.headers[tail.Dts]
+	if !ok {
+		return false
+	}
+	var p2 media.Header
+	if nLen >= 2 {
+		ph, ok := g.headers[g.entries[nLen-2].FP.Dts]
+		if !ok {
+			return false
+		}
+		p2 = ph
+	}
+	g.headers[h.Dts] = h
+	fp := New(h, p1, p2, cnt)
+	g.entries = append(g.entries, Entry{FP: fp, Status: Unlinked})
+	g.Merges++
+	g.validateSuffix()
+	g.retryParked()
+	return true
+}
+
+// NextLinked returns the footprints of linked entries with dts strictly
+// greater than the last consumed dts, in order — the frames eligible to
+// enter the ordered playout buffer.
+func (g *Global) NextLinked() []Footprint {
+	var out []Footprint
+	for _, e := range g.entries {
+		if e.Status != Linked {
+			break
+		}
+		if g.hasConsumed && e.FP.Dts <= g.consumed {
+			continue
+		}
+		out = append(out, e.FP)
+	}
+	return out
+}
+
+// MarkConsumed records that the player consumed the frame with the given
+// dts and compacts the validated prefix to bound memory.
+func (g *Global) MarkConsumed(dts uint64) {
+	if !g.hasConsumed || dts > g.consumed {
+		g.consumed = dts
+		g.hasConsumed = true
+	}
+	g.compact()
+}
+
+// compact drops fully consumed linked prefix entries beyond what CRC
+// validation of successors still needs (two predecessors).
+func (g *Global) compact() {
+	if len(g.entries) <= g.maxLen {
+		// Also trim consumed prefix when it grows past half the cap, to
+		// keep steady-state memory small.
+		if len(g.entries) < g.maxLen/2 {
+			return
+		}
+	}
+	// Find last linked+consumed index.
+	cut := 0
+	for i, e := range g.entries {
+		if e.Status == Linked && g.hasConsumed && e.FP.Dts <= g.consumed {
+			cut = i
+		} else {
+			break
+		}
+	}
+	// Keep two predecessors for CRC validation of the next entries.
+	cut -= 2
+	if cut <= 0 {
+		return
+	}
+	for _, e := range g.entries[:cut] {
+		delete(g.headers, e.FP.Dts)
+	}
+	g.entries = append(g.entries[:0], g.entries[cut:]...)
+}
+
+// First returns the footprint of the oldest entry and whether one exists.
+func (g *Global) First() (Footprint, bool) {
+	if len(g.entries) == 0 {
+		return Footprint{}, false
+	}
+	return g.entries[0].FP, true
+}
+
+// Terminal returns the footprint of the newest entry and whether one exists.
+func (g *Global) Terminal() (Footprint, bool) {
+	if len(g.entries) == 0 {
+		return Footprint{}, false
+	}
+	return g.entries[len(g.entries)-1].FP, true
+}
+
+// PendingMismatches returns how many local chains are parked awaiting gaps.
+func (g *Global) PendingMismatches() int { return len(g.mismatched) }
+
+// String summarizes the chain state for debugging.
+func (g *Global) String() string {
+	linked := 0
+	for _, e := range g.entries {
+		if e.Status == Linked {
+			linked++
+		}
+	}
+	return fmt.Sprintf("gchain{len=%d linked=%d parked=%d merges=%d rejects=%d crcfail=%d}",
+		len(g.entries), linked, len(g.mismatched), g.Merges, g.Rejects, g.CRCFailures)
+}
+
+// trimZero removes zero-footprint padding from the head of a local chain
+// (present in chains generated before three frames were observed).
+func trimZero(lchain []Footprint) []Footprint {
+	for len(lchain) > 0 && lchain[0].Zero() {
+		lchain = lchain[1:]
+	}
+	return lchain
+}

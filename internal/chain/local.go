@@ -1,0 +1,62 @@
+package chain
+
+import (
+	"repro/internal/media"
+)
+
+// LocalGenerator runs on each best-effort node. The CDN delivers the node
+// complete frames for its subscribed substream plus headers for every other
+// substream of the same stream, so the generator observes the *full* stream
+// order without pulling full data. For each frame it records the footprint
+// and can emit the local chain footprint_i -> footprint_{i-1} -> ... ->
+// footprint_{i-δ+1} that gets embedded into that frame's packets.
+type LocalGenerator struct {
+	delta int
+	// last two headers seen, for CRC computation.
+	prev1, prev2 media.Header
+	havePrev     int
+	// recent footprints, most recent last; capped at delta.
+	recent []Footprint
+	count  uint64
+}
+
+// NewLocalGenerator returns a generator with chain length delta
+// (DefaultLength if delta <= 0).
+func NewLocalGenerator(delta int) *LocalGenerator {
+	if delta <= 0 {
+		delta = DefaultLength
+	}
+	return &LocalGenerator{delta: delta, recent: make([]Footprint, 0, delta)}
+}
+
+// Delta returns the configured chain length.
+func (g *LocalGenerator) Delta() int { return g.delta }
+
+// Observe ingests the next frame header in stream order together with the
+// packet count the frame slices into, and returns the frame's footprint.
+func (g *LocalGenerator) Observe(h media.Header, packetCount uint16) Footprint {
+	fp := New(h, g.prev1, g.prev2, packetCount)
+	g.prev2 = g.prev1
+	g.prev1 = h
+	if g.havePrev < 2 {
+		g.havePrev++
+	}
+	g.recent = append(g.recent, fp)
+	if len(g.recent) > g.delta {
+		g.recent = g.recent[1:]
+	}
+	g.count++
+	return fp
+}
+
+// Chain returns the current local chain, ordered oldest to newest, ending at
+// the most recently observed frame. The returned slice is a copy safe to
+// embed in packets.
+func (g *LocalGenerator) Chain() []Footprint {
+	out := make([]Footprint, len(g.recent))
+	copy(out, g.recent)
+	return out
+}
+
+// Observed returns the total number of frames observed.
+func (g *LocalGenerator) Observed() uint64 { return g.count }

@@ -1,0 +1,156 @@
+package client
+
+import (
+	"time"
+
+	"repro/internal/chain"
+	"repro/internal/media"
+	"repro/internal/simnet"
+	"repro/internal/transport"
+)
+
+// ABR: adaptive bitrate over a ladder of variant streams. Variants are
+// independent streams end to end (separate stream IDs, separate frame
+// chains), matching how production ladders work; a variant switch tears
+// down the data plane and rebuilds it on the new stream ID while already
+// buffered frames keep playing. ABR interacts with RLive exactly as the
+// paper's Fig 9b measures: when dedicated CDN capacity saturates at peak,
+// CDN-only clients stall, downgrade, and stay low; RLive clients offload to
+// best-effort nodes and hold higher rungs.
+
+// ABRSwitchCounters expose adaptation activity for experiments.
+type ABRSwitchCounters struct {
+	Up   uint64
+	Down uint64
+}
+
+// Rung returns the current ladder rung (0 when ABR is disabled).
+func (c *Client) Rung() int { return c.rung }
+
+// abrStart initializes the ABR controller; called from Start when
+// Variants is configured.
+func (c *Client) abrStart() {
+	// Locate the starting rung from cfg.Stream's position in the ladder.
+	c.rung = len(c.cfg.Variants) - 1
+	for i, v := range c.cfg.Variants {
+		if v == c.stream {
+			c.rung = i
+		}
+	}
+	// Phase-jitter the adaptation clock: synchronized upgrade waves
+	// across a large audience would thundering-herd the origin.
+	offset := simnet.Time(c.rng.IntN(int(c.cfg.ABRCheckEvery)))
+	c.sim.After(offset, func() {
+		c.sim.Every(c.cfg.ABRCheckEvery, func() bool {
+			if c.stopped {
+				return false
+			}
+			c.abrTick()
+			return true
+		})
+	})
+}
+
+// abrTick applies the adaptation policy: downgrade on stalls or a low
+// buffer, upgrade one rung after a sustained stall-free window with a
+// healthy buffer.
+func (c *Client) abrTick() {
+	if len(c.cfg.Variants) < 2 {
+		return
+	}
+	now := c.sim.Now()
+	if !c.started {
+		// Startup ABR: a session that cannot establish its initial
+		// buffer (e.g. joining a saturated CDN at the top rung) steps
+		// down the ladder instead of waiting forever.
+		if now-c.sessionAt > simnet.Time(4*time.Second) &&
+			now-c.lastVariantSwitch >= simnet.Time(c.cfg.ABRMinHold) &&
+			c.rung > 0 {
+			c.switchVariant(c.rung - 1)
+			c.ABRDown++
+		}
+		return
+	}
+	buf := c.BufferMs()
+	stalledRecently := c.stalled || float64(c.QoE.RebufferEvents) > c.stallsAtLastABR
+	// The stall window is consumed every tick — including during the
+	// hold period after a switch — so the transient stall a variant
+	// switch itself causes is not blamed on the new rung.
+	c.stallsAtLastABR = float64(c.QoE.RebufferEvents)
+	if now-c.lastVariantSwitch < simnet.Time(c.cfg.ABRMinHold) {
+		return
+	}
+	stableFor := now - c.lastStallAt
+	if sinceSwitch := now - c.lastVariantSwitch; c.lastVariantSwitch > 0 && sinceSwitch < stableFor {
+		stableFor = sinceSwitch
+	}
+	switch {
+	case (stalledRecently || buf < c.cfg.ABRLowWaterMs) && c.rung > 0:
+		c.switchVariant(c.rung - 1)
+		c.ABRDown++
+	case !stalledRecently && buf >= c.cfg.ABRLowWaterMs &&
+		stableFor >= simnet.Time(c.cfg.ABRUpAfterStable) &&
+		c.rung < len(c.cfg.Variants)-1:
+		c.switchVariant(c.rung + 1)
+		c.ABRUp++
+	}
+}
+
+// switchVariant moves the session to another ladder rung: all current
+// subscriptions are torn down, chain state is reset (footprints are
+// per-variant), incomplete assemblies are discarded, and delivery restarts
+// on the new stream — full CDN first for fast recovery, multi-source
+// re-engaging after.
+func (c *Client) switchVariant(rung int) {
+	if rung < 0 || rung >= len(c.cfg.Variants) || c.cfg.Variants[rung] == c.stream {
+		return
+	}
+	c.lastVariantSwitch = c.sim.Now()
+
+	// Tear down the old variant's subscriptions.
+	for _, st := range c.subs {
+		for _, pub := range st.publishers {
+			c.sendTo(pub, &transport.UnsubscribeReq{Key: c.key(st.ss)})
+		}
+		st.publishers = nil
+		if st.switchedToCDN {
+			c.sendTo(c.cfg.CDN, &transport.CDNUnsubscribeReq{Stream: c.stream, Substream: st.ss})
+			st.switchedToCDN = false
+		}
+		st.candidates = nil
+		st.expected, st.received = 0, 0
+	}
+	wasFullCDN := c.fullCDN
+	if wasFullCDN {
+		c.sendTo(c.cfg.CDN, &transport.CDNUnsubscribeReq{Stream: c.stream, FullStream: true})
+		c.fullCDN = false
+	}
+
+	// Move to the new variant and reset per-variant state.
+	c.rung = rung
+	c.stream = c.cfg.Variants[rung]
+	c.gchain = chain.NewGlobal(0)
+	c.ownGen.started = false
+	for dts, a := range c.frames {
+		if !a.complete {
+			delete(c.frames, dts) // sizes/footprints differ per variant
+		}
+	}
+	c.frameReqAt = make(map[uint64]simnet.Time)
+
+	// Restart delivery: CDN full stream immediately; multi-source
+	// re-engages through the normal candidate path.
+	c.subscribeFullCDN()
+	if c.cfg.Mode != ModeCDNOnly {
+		c.rliveActive = true
+		c.refreshCandidates()
+	}
+}
+
+// abrEffectiveStream returns the stream a given variant rung maps to.
+func (c *Client) abrEffectiveStream(rung int) (media.StreamID, bool) {
+	if rung < 0 || rung >= len(c.cfg.Variants) {
+		return 0, false
+	}
+	return c.cfg.Variants[rung], true
+}

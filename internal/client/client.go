@@ -1,0 +1,578 @@
+// Package client implements the RLive client: the bottom layer of the
+// collaborative control plane and the point where the multi-source data
+// plane reassembles into a playable stream.
+//
+// Responsibilities (paper sections in parentheses):
+//   - Hybrid startup: pull the full stream from the CDN for fast first
+//     frame while concurrently fetching candidates and probing up to three
+//     of them per substream (§4.1).
+//   - Multi-substream reassembly: per-frame packet assembly, merging local
+//     frame chains into the global chain, ordered playout (§5.1–5.2).
+//   - QoE-driven loss recovery: deadline-aware action selection among BE
+//     packet retries, dedicated frame fetches, substream switchback, and
+//     full-stream fallback (§5.3, §7.4).
+//   - Real-time switching: RTT-based publisher re-selection and handling of
+//     edge advisers' proactive suggestions (§4.2).
+package client
+
+import (
+	"time"
+
+	"repro/internal/chain"
+	"repro/internal/media"
+	"repro/internal/metrics"
+	"repro/internal/recovery"
+	"repro/internal/scheduler"
+	"repro/internal/simnet"
+	"repro/internal/stats"
+	"repro/internal/transport"
+)
+
+// Mode selects the delivery strategy (RLive vs the baselines the paper
+// compares against).
+type Mode uint8
+
+const (
+	// ModeRLive is full multi-source multi-substream delivery.
+	ModeRLive Mode = iota
+	// ModeSingleSource is the strawman (§2.2): the whole stream relayed
+	// through one best-effort node (K=1).
+	ModeSingleSource
+	// ModeCDNOnly pulls the full stream from dedicated nodes only.
+	ModeCDNOnly
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	switch m {
+	case ModeRLive:
+		return "rlive"
+	case ModeSingleSource:
+		return "single-source"
+	default:
+		return "cdn-only"
+	}
+}
+
+// Config parameterizes a client session.
+type Config struct {
+	Stream media.StreamID
+	// K is the substream count (1 for single-source).
+	K int
+	// FrameInterval is the stream's frame spacing (for deadlines and the
+	// playout clock).
+	FrameInterval time.Duration
+	// CDN and Scheduler are the dedicated node and global scheduler
+	// addresses.
+	CDN       simnet.Addr
+	Scheduler simnet.Addr
+	Info      scheduler.ClientInfo
+	Mode      Mode
+
+	// ProbeCount bounds startup probing (paper: 3; more gives <1% gain).
+	ProbeCount int
+	// ProbeTimeout is how long to wait for probe responses before
+	// reporting failures and refetching candidates.
+	ProbeTimeout time.Duration
+	// TChange is the switching cost margin t_change in the rule
+	// RTT_cur > min_i(RTT_i + t_change).
+	TChange time.Duration
+	// SwitchCheckEvery is the client-side control cadence.
+	SwitchCheckEvery time.Duration
+	// CandidateRefreshEvery re-requests scheduler recommendations.
+	CandidateRefreshEvery time.Duration
+	// StartupBufferMs is the contiguous buffer needed before playout
+	// starts.
+	StartupBufferMs float64
+	// FallbackThresholdMs is the buffer level enabling full fallback
+	// (§7.4, production 400 ms).
+	FallbackThresholdMs float64
+	// RLiveAfter delays the CDN→multi-source transition (the deployment
+	// gates on stream popularity and ≥30 s viewing time; simulations use
+	// a shorter gate).
+	RLiveAfter time.Duration
+	// RecoveryCheckEvery is the recovery-engine cadence.
+	RecoveryCheckEvery time.Duration
+	// DeadPublisherAfter declares a silent publisher dead.
+	DeadPublisherAfter time.Duration
+	// MaxStallBeforeSkip caps a stall: live content older than this is
+	// abandoned and the playhead jumps to the next playable frame
+	// (counted as lost frames). Default 3 s.
+	MaxStallBeforeSkip time.Duration
+	// MaxLiveLagMs bounds playback latency: when accumulated stalls
+	// leave the playhead more than this far behind the ready buffer,
+	// the player chases the live edge by dropping frames down to the
+	// startup buffer level. Default 3000.
+	MaxLiveLagMs float64
+	// Redundancy subscribes each substream to this many publishers
+	// (1 = redundancy-free RLive; 2 = the duplicate-transmission
+	// baseline of prior work, for the abl-redundant ablation).
+	Redundancy int
+	// Recovery parameterizes the loss engine.
+	Recovery recovery.Costs
+	// CanConnect models NAT traversal toward an edge node; nil means
+	// always reachable. Probe and subscribe sends to unreachable nodes
+	// are silently dropped (the traversal fails; the client only
+	// observes the missing response).
+	CanConnect func(simnet.Addr) bool
+	// CentralSeq, when nonzero, disables trust in packet-embedded chains
+	// and polls a centralized sequencing service at this address instead
+	// (the pre-RLive design evaluated in Table 3).
+	CentralSeq simnet.Addr
+	// SeqPollEvery is the central-sequencing poll cadence.
+	SeqPollEvery time.Duration
+
+	// Variants, when set, enables ABR: it lists the variant stream IDs
+	// of the same content from lowest to highest bitrate; Stream must
+	// appear in the list (the starting rung). Switching variants tears
+	// down the data plane and rebuilds it on the new stream ID — the
+	// variant manifests are separate streams end to end, as in
+	// production HLS/FLV ladders.
+	Variants []media.StreamID
+	// ABRCheckEvery is the adaptation cadence (default 2 s).
+	ABRCheckEvery time.Duration
+	// ABRLowWaterMs triggers a downgrade (default 450). A live buffer
+	// cannot grow past the live edge, so upgrades key off stall-free
+	// time instead of a high-water mark.
+	ABRLowWaterMs float64
+	// ABRUpAfterStable upgrades one rung after this much stall-free,
+	// healthy-buffer playback (default 8 s).
+	ABRUpAfterStable time.Duration
+	// ABRMinHold is the minimum time between variant switches.
+	ABRMinHold time.Duration
+}
+
+func (c *Config) setDefaults() {
+	if c.K == 0 {
+		c.K = 4
+	}
+	if c.FrameInterval == 0 {
+		c.FrameInterval = time.Second / 30
+	}
+	if c.ProbeCount == 0 {
+		c.ProbeCount = 3
+	}
+	if c.ProbeTimeout == 0 {
+		c.ProbeTimeout = time.Second
+	}
+	if c.TChange == 0 {
+		c.TChange = 150 * time.Millisecond
+	}
+	if c.SwitchCheckEvery == 0 {
+		c.SwitchCheckEvery = 2 * time.Second
+	}
+	if c.CandidateRefreshEvery == 0 {
+		c.CandidateRefreshEvery = 10 * time.Second
+	}
+	if c.StartupBufferMs == 0 {
+		c.StartupBufferMs = 600
+	}
+	if c.FallbackThresholdMs == 0 {
+		c.FallbackThresholdMs = 400
+	}
+	if c.RLiveAfter == 0 {
+		c.RLiveAfter = 2 * time.Second
+	}
+	if c.RecoveryCheckEvery == 0 {
+		c.RecoveryCheckEvery = 100 * time.Millisecond
+	}
+	if c.DeadPublisherAfter == 0 {
+		c.DeadPublisherAfter = 2 * time.Second
+	}
+	if c.MaxStallBeforeSkip == 0 {
+		c.MaxStallBeforeSkip = 3 * time.Second
+	}
+	if c.MaxLiveLagMs == 0 {
+		c.MaxLiveLagMs = 3000
+	}
+	if c.Redundancy == 0 {
+		c.Redundancy = 1
+	}
+	if c.Recovery == (recovery.Costs{}) {
+		c.Recovery = recovery.DefaultCosts()
+	}
+	if c.SeqPollEvery == 0 {
+		c.SeqPollEvery = 200 * time.Millisecond
+	}
+	if c.ABRCheckEvery == 0 {
+		c.ABRCheckEvery = 2 * time.Second
+	}
+	if c.ABRLowWaterMs == 0 {
+		c.ABRLowWaterMs = 450
+	}
+	if c.ABRUpAfterStable == 0 {
+		c.ABRUpAfterStable = 10 * time.Second
+	}
+	if c.ABRMinHold == 0 {
+		c.ABRMinHold = 6 * time.Second
+	}
+	if c.Mode == ModeSingleSource {
+		c.K = 1
+		// The strawman (§2.2) predates RLive's QoE-driven fallback: it
+		// keeps pulling through its single relay and only re-maps when
+		// the relay dies — exactly why it degraded QoE. Negative
+		// disables the buffer-threshold fallback.
+		c.FallbackThresholdMs = -1
+	}
+}
+
+// frameAsm assembles one frame from packets.
+type frameAsm struct {
+	header    media.Header
+	haveHdr   bool
+	count     uint16
+	have      []bool
+	got       int
+	complete  bool
+	linked    bool
+	played    bool
+	generated int64
+	// retx bookkeeping for the recovery state.
+	retries     int
+	retxPending bool
+	lastRetx    simnet.Time
+	nextSeq     uint16 // fast-retransmit cursor
+	fastRetxAt  simnet.Time
+	// beUnavailable marks frames the publisher NACKed: only dedicated
+	// recovery can complete them.
+	beUnavailable bool
+	// viaCDN marks frames completed by a dedicated-node delivery: the
+	// CDN path is an ordered stream, so such frames are self-linkable
+	// even in the centralized-sequencing baseline.
+	viaCDN bool
+}
+
+func (a *frameAsm) missing() []uint16 {
+	var out []uint16
+	for s := uint16(0); s < a.count; s++ {
+		if !a.have[s] {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// substreamState is the per-substream delivery state.
+type substreamState struct {
+	ss         media.SubstreamID
+	publishers []simnet.Addr // active publishers (len == cfg.Redundancy when healthy)
+	candidates []scheduler.Candidate
+	lastData   simnet.Time
+	// switchedToCDN marks a substream pulled directly from dedicated
+	// nodes after recovery action a=2.
+	switchedToCDN bool
+	switchbackAt  simnet.Time
+	consecLost    int
+	expected      uint64 // packets expected (for loss estimation)
+	received      uint64
+}
+
+// Client is one viewing session.
+type Client struct {
+	Addr simnet.Addr
+	cfg  Config
+
+	sim *simnet.Sim
+	net *simnet.Network
+	rng *stats.RNG
+
+	// stream is the stream currently consumed; with ABR enabled it moves
+	// across the variant ladder.
+	stream media.StreamID
+	rung   int
+
+	part media.Partitioner
+	subs []*substreamState
+
+	frames map[uint64]*frameAsm
+	gchain *chain.Global
+	ownGen struct {
+		prev1, prev2 media.Header
+		have         int
+		lastDts      uint64
+		started      bool
+	}
+
+	// Playback state.
+	started     bool
+	stalled     bool
+	playhead    uint64 // dts of the next frame to play
+	playheadSet bool
+	fullCDN     bool // currently subscribed to the CDN full stream
+	rliveActive bool // multi-source delivery engaged
+	startedAt   simnet.Time
+	sessionAt   simnet.Time
+
+	// Recovery.
+	engine       *recovery.Engine
+	dedicatedEDF *stats.EDF
+	frameReqAt   map[uint64]simnet.Time
+	pktRetxSucc  uint64
+	pktRetxTried uint64
+	// Per-path retransmission latency instrumentation (Fig 3).
+	beRetxAt   map[uint64]simnet.Time
+	BERetxLat  *stats.Sample // best-effort retx request → first retx packet (ms)
+	DedRetxLat *stats.Sample // dedicated frame request → recovered frame (ms)
+
+	// Control.
+	nodeRTT    map[simnet.Addr]*stats.EWMA
+	probeSent  map[uint32]probeCtx
+	probeNonce uint32
+	pendingSub map[media.SubstreamID]bool // probe round outstanding
+	// badNodes is the client's LOCAL blacklist (§8.2): nodes whose
+	// probes went unanswered (usually NAT-unreachable from here — a
+	// per-path property the global scheduler cannot know) are skipped
+	// for a cooldown so candidate rounds move down the list.
+	badNodes map[simnet.Addr]simnet.Time
+	// Probe outcome counters: unanswered probes mean the recommended
+	// node was invalid — NAT-unreachable, offline, or at quota (Fig 12b).
+	ProbesSent    uint64
+	ProbeAnswers  uint64
+	ProbeRefusals uint64
+	// DupBytes counts payload bytes received for frames (or packets)
+	// already held — the cost of deliberate delivery overlap (§8.2).
+	DupBytes uint64
+
+	// QoE accounting.
+	QoE    *metrics.SessionQoE
+	Energy *metrics.Energy
+
+	// Counters for experiments.
+	FastRetx        uint64
+	TimeoutRetx     uint64
+	DedicatedFetch  uint64
+	SubstreamSwitch uint64
+	FullFallbacks   uint64
+	EdgeSwitches    uint64
+	SuggestionsRecv uint64
+	GapRepairs      uint64
+	ABRUp           uint64
+	ABRDown         uint64
+
+	lastVariantSwitch simnet.Time
+	lastStallAt       simnet.Time
+	stallOnsetAt      simnet.Time
+	handoverAt        simnet.Time
+	coveredSince      simnet.Time
+	belowSince        simnet.Time
+	fallbackAt        simnet.Time
+	stallMsOnCDN      float64
+	stallsAtLastABR   float64
+
+	stopped bool
+}
+
+type probeCtx struct {
+	at   simnet.Time
+	node simnet.Addr
+	ss   media.SubstreamID
+}
+
+// New returns a client session. Register c.Handle as the simnet handler for
+// addr, then call Start.
+func New(addr simnet.Addr, cfg Config, sim *simnet.Sim, net *simnet.Network, rng *stats.RNG) *Client {
+	cfg.setDefaults()
+	c := &Client{
+		Addr:         addr,
+		cfg:          cfg,
+		sim:          sim,
+		net:          net,
+		rng:          rng,
+		stream:       cfg.Stream,
+		part:         media.Partitioner{K: cfg.K},
+		frames:       make(map[uint64]*frameAsm),
+		gchain:       chain.NewGlobal(0),
+		engine:       recovery.NewEngine(cfg.Recovery),
+		dedicatedEDF: stats.NewEDF(256),
+		frameReqAt:   make(map[uint64]simnet.Time),
+		beRetxAt:     make(map[uint64]simnet.Time),
+		BERetxLat:    stats.NewSample(64),
+		DedRetxLat:   stats.NewSample(64),
+		nodeRTT:      make(map[simnet.Addr]*stats.EWMA),
+		probeSent:    make(map[uint32]probeCtx),
+		pendingSub:   make(map[media.SubstreamID]bool),
+		badNodes:     make(map[simnet.Addr]simnet.Time),
+		QoE:          metrics.NewSessionQoE(),
+		Energy:       &metrics.Energy{},
+	}
+	for i := 0; i < cfg.K; i++ {
+		c.subs = append(c.subs, &substreamState{ss: media.SubstreamID(i)})
+	}
+	return c
+}
+
+// Config returns the effective configuration.
+func (c *Client) Config() Config { return c.cfg }
+
+// RLiveActive reports whether multi-source delivery is engaged.
+func (c *Client) RLiveActive() bool { return c.rliveActive }
+
+// Start begins the session: parallel CDN pull + candidate fetching (§4.1),
+// then the periodic playout, recovery, and control loops.
+func (c *Client) Start() {
+	c.sessionAt = c.sim.Now()
+	// Task 1: fill the initial playout buffer from the CDN.
+	c.subscribeFullCDN()
+	// Task 2 (concurrent): identify best-effort nodes, unless CDN-only.
+	if c.cfg.Mode != ModeCDNOnly {
+		c.sim.After(c.cfg.RLiveAfter, c.engageRLive)
+	}
+	// Playout clock.
+	c.sim.Every(c.cfg.FrameInterval, func() bool {
+		if c.stopped {
+			return false
+		}
+		c.playTick()
+		return true
+	})
+	// Startup watchdog: the control channel is best-effort, so the
+	// initial CDN subscribe can be lost; re-send it (idempotent) until
+	// data flows.
+	c.sim.Every(500*time.Millisecond, func() bool {
+		if c.stopped || c.started {
+			return false
+		}
+		if c.fullCDN && len(c.frames) == 0 {
+			c.sendTo(c.cfg.CDN, &transport.CDNSubscribeReq{Stream: c.stream, FullStream: true})
+		}
+		return true
+	})
+	// Recovery engine.
+	c.sim.Every(c.cfg.RecoveryCheckEvery, func() bool {
+		if c.stopped {
+			return false
+		}
+		c.recoveryTick()
+		return true
+	})
+	// Client-side switching control + QoS reports.
+	c.sim.Every(c.cfg.SwitchCheckEvery, func() bool {
+		if c.stopped {
+			return false
+		}
+		c.switchTick()
+		return true
+	})
+	if c.cfg.Mode != ModeCDNOnly {
+		c.sim.Every(c.cfg.CandidateRefreshEvery, func() bool {
+			if c.stopped {
+				return false
+			}
+			c.refreshCandidates()
+			return true
+		})
+	}
+	if c.cfg.CentralSeq != 0 {
+		c.sim.Every(c.cfg.SeqPollEvery, func() bool {
+			if c.stopped {
+				return false
+			}
+			c.pollCentralSeq()
+			return true
+		})
+	}
+	if len(c.cfg.Variants) > 1 {
+		c.abrStart()
+	}
+}
+
+// Stop ends the session (viewer leaves).
+func (c *Client) Stop() {
+	if c.stopped {
+		return
+	}
+	c.stopped = true
+	for _, st := range c.subs {
+		for _, pub := range st.publishers {
+			c.sendTo(pub, &transport.UnsubscribeReq{Key: c.key(st.ss)})
+		}
+		if st.switchedToCDN {
+			c.sendTo(c.cfg.CDN, &transport.CDNUnsubscribeReq{Stream: c.stream, Substream: st.ss})
+		}
+	}
+	if c.fullCDN {
+		c.sendTo(c.cfg.CDN, &transport.CDNUnsubscribeReq{Stream: c.stream, FullStream: true})
+	}
+}
+
+// Stopped reports whether the session ended.
+func (c *Client) Stopped() bool { return c.stopped }
+
+func (c *Client) key(ss media.SubstreamID) scheduler.SubstreamKey {
+	return scheduler.SubstreamKey{Stream: c.stream, Substream: ss}
+}
+
+// sendTo transmits a message, applying the NAT reachability model for
+// edge-node destinations.
+func (c *Client) sendTo(to simnet.Addr, msg any) {
+	if c.cfg.CanConnect != nil && to != c.cfg.CDN && to != c.cfg.Scheduler && to != c.cfg.CentralSeq {
+		if !c.cfg.CanConnect(to) {
+			return // traversal failure: message never arrives
+		}
+	}
+	c.net.Send(c.Addr, to, transport.WireSize(msg), msg)
+}
+
+func (c *Client) subscribeFullCDN() {
+	if c.fullCDN {
+		return
+	}
+	c.fullCDN = true
+	c.sendTo(c.cfg.CDN, &transport.CDNSubscribeReq{Stream: c.stream, FullStream: true})
+}
+
+func (c *Client) unsubscribeFullCDN() {
+	if !c.fullCDN {
+		return
+	}
+	c.fullCDN = false
+	c.sendTo(c.cfg.CDN, &transport.CDNUnsubscribeReq{Stream: c.stream, FullStream: true})
+}
+
+// engageRLive starts the multi-source transition: fetch candidates for each
+// substream and begin probing.
+func (c *Client) engageRLive() {
+	if c.stopped || c.cfg.Mode == ModeCDNOnly {
+		return
+	}
+	c.rliveActive = true
+	c.refreshCandidates()
+}
+
+// refreshCandidates asks the scheduler for recommendations for every
+// substream lacking a healthy publisher set.
+func (c *Client) refreshCandidates() {
+	if !c.rliveActive {
+		return
+	}
+	for _, st := range c.subs {
+		if st.switchedToCDN {
+			continue
+		}
+		req := &transport.CandidateReq{Key: c.key(st.ss), Client: c.cfg.Info}
+		c.sendTo(c.cfg.Scheduler, req)
+	}
+}
+
+// Handle processes inbound messages.
+func (c *Client) Handle(from simnet.Addr, msg any) {
+	if c.stopped {
+		return
+	}
+	switch m := msg.(type) {
+	case *transport.DataPacket:
+		c.onDataPacket(from, m)
+	case *transport.CDNFrame:
+		c.onCDNFrame(m)
+	case *transport.CandidateResp:
+		c.onCandidates(m)
+	case *transport.ProbeResp:
+		c.onProbeResp(from, m)
+	case *transport.SwitchSuggestion:
+		c.onSuggestion(from, m)
+	case *transport.RetxNack:
+		c.onRetxNack(m)
+	case *transport.SeqUpdate:
+		c.onSeqUpdate(m)
+	}
+}

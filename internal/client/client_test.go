@@ -1,0 +1,385 @@
+package client
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/cdn"
+	"repro/internal/edge"
+	"repro/internal/media"
+	"repro/internal/scheduler"
+	"repro/internal/simnet"
+	"repro/internal/stats"
+	"repro/internal/transport"
+)
+
+const (
+	schedAddr  = simnet.Addr(1)
+	cdnAddr    = simnet.Addr(1000)
+	clientAddr = simnet.Addr(10000000)
+)
+
+// harness wires a CDN, a stub scheduler, several edges and one client.
+type harness struct {
+	sim    *simnet.Sim
+	net    *simnet.Network
+	cdn    *cdn.Node
+	edges  []*edge.Node
+	client *Client
+}
+
+// stubScheduler answers CandidateReq with the given edges in fixed order
+// and StreamUtilReq with a busy stream (no cost suggestions).
+func (h *harness) stubScheduler(edges []simnet.Addr) {
+	h.net.SetHandler(schedAddr, func(from simnet.Addr, msg any) {
+		switch m := msg.(type) {
+		case *transport.CandidateReq:
+			var cands []scheduler.Candidate
+			for _, e := range edges {
+				if h.net.Online(e) {
+					cands = append(cands, scheduler.Candidate{Addr: e, Score: 1})
+				}
+			}
+			resp := &transport.CandidateResp{Key: m.Key, Candidates: cands}
+			h.net.Send(schedAddr, from, transport.WireSize(resp), resp)
+		case *transport.StreamUtilReq:
+			resp := &transport.StreamUtilResp{Key: m.Key, Util: 0.9, N: 10}
+			h.net.Send(schedAddr, from, transport.WireSize(resp), resp)
+		}
+	})
+}
+
+type harnessOpts struct {
+	numEdges  int
+	edgeLink  simnet.LinkState
+	mode      Mode
+	k         int
+	canConn   func(simnet.Addr) bool
+	redund    int
+	seed      uint64
+	clientCfg func(*Config)
+}
+
+func newHarness(t *testing.T, o harnessOpts) *harness {
+	t.Helper()
+	if o.numEdges == 0 {
+		o.numEdges = 6
+	}
+	if o.k == 0 {
+		o.k = 4
+	}
+	if o.seed == 0 {
+		o.seed = 11
+	}
+	if o.edgeLink.UplinkBps == 0 {
+		o.edgeLink = simnet.LinkState{UplinkBps: 60e6, BaseOWD: 3 * time.Millisecond, JitterStd: time.Millisecond}
+	}
+	h := &harness{sim: simnet.NewSim()}
+	rng := stats.NewRNG(o.seed)
+	h.net = simnet.NewNetwork(h.sim, rng.Fork())
+	h.net.Register(schedAddr, simnet.LinkState{UplinkBps: 10e9, BaseOWD: 5 * time.Millisecond}, nil)
+	h.net.Register(cdnAddr, simnet.LinkState{UplinkBps: 10e9, BaseOWD: 8 * time.Millisecond}, nil)
+	h.net.Register(clientAddr, simnet.LinkState{UplinkBps: 200e6, BaseOWD: 2 * time.Millisecond}, nil)
+
+	h.cdn = cdn.New(cdnAddr, h.sim, h.net, rng.Fork())
+	h.net.SetHandler(cdnAddr, h.cdn.Handle)
+	h.cdn.HostStream(media.SourceConfig{Stream: 1, FPS: 30, BitrateBps: 2e6}, o.k)
+
+	var edgeAddrs []simnet.Addr
+	for i := 0; i < o.numEdges; i++ {
+		addr := simnet.Addr(100000 + i)
+		h.net.Register(addr, o.edgeLink, nil)
+		en := edge.New(addr, edge.Config{CDN: cdnAddr, Scheduler: schedAddr}, h.sim, h.net, rng.Fork())
+		en.SetSubstreamCount(1, o.k)
+		h.net.SetHandler(addr, en.Handle)
+		en.Start()
+		h.edges = append(h.edges, en)
+		edgeAddrs = append(edgeAddrs, addr)
+	}
+	h.stubScheduler(edgeAddrs)
+
+	cfg := Config{
+		Stream:     1,
+		K:          o.k,
+		CDN:        cdnAddr,
+		Scheduler:  schedAddr,
+		Mode:       o.mode,
+		CanConnect: o.canConn,
+		Redundancy: o.redund,
+		RLiveAfter: 2 * time.Second,
+	}
+	if o.clientCfg != nil {
+		o.clientCfg(&cfg)
+	}
+	h.client = New(clientAddr, cfg, h.sim, h.net, rng.Fork())
+	h.net.SetHandler(clientAddr, h.client.Handle)
+
+	h.cdn.Start()
+	h.client.Start()
+	return h
+}
+
+func TestStartupViaCDN(t *testing.T) {
+	h := newHarness(t, harnessOpts{mode: ModeCDNOnly})
+	h.sim.Run(5 * time.Second)
+	if !h.client.started {
+		t.Fatal("playback never started")
+	}
+	if h.client.QoE.FirstFrameMs > 2500 {
+		t.Fatalf("first frame took %.0f ms", h.client.QoE.FirstFrameMs)
+	}
+	if h.client.QoE.FramesPlayed < 60 {
+		t.Fatalf("frames played = %d", h.client.QoE.FramesPlayed)
+	}
+}
+
+func TestCDNOnlySmoothPlayback(t *testing.T) {
+	h := newHarness(t, harnessOpts{mode: ModeCDNOnly})
+	h.sim.Run(30 * time.Second)
+	q := h.client.QoE
+	if q.RebufferEvents > 1 {
+		t.Fatalf("CDN-only rebuffers on a clean network: %d", q.RebufferEvents)
+	}
+	if q.FramesPlayed < 700 {
+		t.Fatalf("frames played = %d, want ~850", q.FramesPlayed)
+	}
+	if br := q.MeanBitrate(); br < 1.5e6 || br > 2.6e6 {
+		t.Fatalf("bitrate = %.0f, want ~2e6", br)
+	}
+}
+
+func TestRLiveTransitionToMultiSource(t *testing.T) {
+	h := newHarness(t, harnessOpts{mode: ModeRLive})
+	h.sim.Run(20 * time.Second)
+	if !h.client.RLiveActive() {
+		t.Fatal("rlive never engaged")
+	}
+	covered := 0
+	for ss := media.SubstreamID(0); int(ss) < 4; ss++ {
+		if len(h.client.Publishers(ss)) > 0 {
+			covered++
+		}
+	}
+	if covered != 4 {
+		t.Fatalf("substreams with publishers = %d/4", covered)
+	}
+	if h.client.FullCDNActive() {
+		t.Fatal("full CDN pull still active after multi-source took over")
+	}
+	if h.client.QoE.FramesPlayed < 400 {
+		t.Fatalf("frames played = %d", h.client.QoE.FramesPlayed)
+	}
+}
+
+func TestRLiveSmoothPlaybackCleanNetwork(t *testing.T) {
+	h := newHarness(t, harnessOpts{mode: ModeRLive})
+	h.sim.Run(40 * time.Second)
+	q := h.client.QoE
+	if q.RebufferEvents > 2 {
+		t.Fatalf("rebuffer events = %d on clean network", q.RebufferEvents)
+	}
+	if q.FramesPlayed < 1000 {
+		t.Fatalf("frames played = %d", q.FramesPlayed)
+	}
+}
+
+func TestRecoveryUnderLoss(t *testing.T) {
+	h := newHarness(t, harnessOpts{
+		mode: ModeRLive,
+		edgeLink: simnet.LinkState{
+			UplinkBps: 60e6, BaseOWD: 3 * time.Millisecond,
+			LossRate: 0.03, JitterStd: 2 * time.Millisecond,
+		},
+	})
+	h.sim.Run(40 * time.Second)
+	q := h.client.QoE
+	if q.RetxRequests == 0 {
+		t.Fatal("no retransmissions under 3% loss")
+	}
+	// Playback must survive: played the overwhelming majority of frames.
+	if q.FramesPlayed < 900 {
+		t.Fatalf("frames played = %d under loss", q.FramesPlayed)
+	}
+	if h.client.FastRetx == 0 && h.client.TimeoutRetx == 0 && h.client.DedicatedFetch == 0 {
+		t.Fatal("no recovery path exercised")
+	}
+}
+
+func TestDeadPublisherFailover(t *testing.T) {
+	h := newHarness(t, harnessOpts{mode: ModeRLive})
+	h.sim.Run(10 * time.Second)
+	// Kill the publisher of substream 0.
+	pubs := h.client.Publishers(0)
+	if len(pubs) == 0 {
+		t.Fatal("no publisher to kill")
+	}
+	killed := pubs[0]
+	h.net.SetOnline(killed, false)
+	h.sim.Run(25 * time.Second)
+	newPubs := h.client.Publishers(0)
+	if len(newPubs) == 0 {
+		t.Fatal("no failover publisher")
+	}
+	if newPubs[0] == killed {
+		t.Fatal("still mapped to dead node")
+	}
+	// Playback must continue past the failover.
+	if h.client.QoE.FramesPlayed < 550 {
+		t.Fatalf("frames played = %d after failover", h.client.QoE.FramesPlayed)
+	}
+}
+
+func TestFullFallbackWhenAllEdgesDie(t *testing.T) {
+	h := newHarness(t, harnessOpts{mode: ModeRLive, clientCfg: func(c *Config) {
+		c.CandidateRefreshEvery = time.Hour // prevent quick re-probing to force fallback
+	}})
+	h.sim.Run(10 * time.Second)
+	for _, e := range h.edges {
+		h.net.SetOnline(e.Addr, false)
+	}
+	h.sim.Run(30 * time.Second)
+	if !h.client.FullCDNActive() && h.client.FullFallbacks == 0 {
+		t.Fatalf("no fallback after total edge failure (fallbacks=%d)", h.client.FullFallbacks)
+	}
+	// Total stall should be bounded.
+	if h.client.QoE.StalledMs > 15000 {
+		t.Fatalf("stalled %.0f ms, fallback too slow", h.client.QoE.StalledMs)
+	}
+}
+
+func TestNATBlockedCandidatesSkipped(t *testing.T) {
+	blocked := map[simnet.Addr]bool{100000: true, 100001: true}
+	h := newHarness(t, harnessOpts{
+		mode:    ModeRLive,
+		canConn: func(a simnet.Addr) bool { return !blocked[a] },
+	})
+	h.sim.Run(20 * time.Second)
+	for ss := media.SubstreamID(0); int(ss) < 4; ss++ {
+		for _, p := range h.client.Publishers(ss) {
+			if blocked[p] {
+				t.Fatalf("subscribed to NAT-blocked node %v", p)
+			}
+		}
+	}
+	if h.client.QoE.FramesPlayed < 400 {
+		t.Fatalf("frames played = %d", h.client.QoE.FramesPlayed)
+	}
+}
+
+func TestSingleSourceMode(t *testing.T) {
+	h := newHarness(t, harnessOpts{mode: ModeSingleSource, k: 1})
+	h.sim.Run(20 * time.Second)
+	if got := h.client.Config().K; got != 1 {
+		t.Fatalf("single-source K = %d", got)
+	}
+	if len(h.client.Publishers(0)) == 0 {
+		t.Fatal("no single-source publisher")
+	}
+	if h.client.QoE.FramesPlayed < 400 {
+		t.Fatalf("frames played = %d", h.client.QoE.FramesPlayed)
+	}
+}
+
+func TestRedundantModeDeliversDuplicates(t *testing.T) {
+	h := newHarness(t, harnessOpts{mode: ModeRLive, redund: 2})
+	h.sim.Run(20 * time.Second)
+	dup := 0
+	for ss := media.SubstreamID(0); int(ss) < 4; ss++ {
+		if len(h.client.Publishers(ss)) >= 2 {
+			dup++
+		}
+	}
+	if dup == 0 {
+		t.Fatal("redundant mode never attached a second publisher")
+	}
+	if h.client.QoE.FramesPlayed < 400 {
+		t.Fatalf("frames played = %d", h.client.QoE.FramesPlayed)
+	}
+}
+
+func TestSwitchRulePrefersLowerRTT(t *testing.T) {
+	// Edge 0 has terrible RTT; the switch rule should move away from it
+	// once probes accumulate.
+	h := newHarness(t, harnessOpts{mode: ModeRLive, numEdges: 3, k: 1,
+		clientCfg: func(c *Config) { c.SwitchCheckEvery = time.Second }})
+	// Degrade edge 0 permanently.
+	h.net.UpdateState(100000, func(st *simnet.LinkState) {
+		st.BaseOWD = 400 * time.Millisecond
+	})
+	h.sim.Run(40 * time.Second)
+	pubs := h.client.Publishers(0)
+	if len(pubs) == 0 {
+		t.Fatal("no publisher")
+	}
+	if pubs[0] == 100000 {
+		t.Fatalf("still on the 400ms node after 40s (switches=%d)", h.client.EdgeSwitches)
+	}
+}
+
+func TestSuggestionTriggersControl(t *testing.T) {
+	h := newHarness(t, harnessOpts{mode: ModeRLive, k: 1})
+	h.sim.Run(10 * time.Second)
+	pubs := h.client.Publishers(0)
+	if len(pubs) == 0 {
+		t.Fatal("no publisher")
+	}
+	before := h.client.SuggestionsRecv
+	sg := &transport.SwitchSuggestion{Key: scheduler.SubstreamKey{Stream: 1, Substream: 0}, Reason: transport.SuggestQoS}
+	h.net.Send(pubs[0], clientAddr, transport.WireSize(sg), sg)
+	h.sim.Run(11 * time.Second)
+	if h.client.SuggestionsRecv != before+1 {
+		t.Fatal("suggestion not processed")
+	}
+}
+
+func TestStopUnsubscribesEverything(t *testing.T) {
+	h := newHarness(t, harnessOpts{mode: ModeRLive})
+	h.sim.Run(15 * time.Second)
+	h.client.Stop()
+	h.sim.Run(17 * time.Second)
+	for _, e := range h.edges {
+		if e.Sessions() != 0 {
+			t.Fatalf("edge %v still has sessions after stop", e.Addr)
+		}
+	}
+	if h.cdn.Subscribers(1) != 0 {
+		t.Fatal("CDN still has subscribers after stop")
+	}
+	if !h.client.Stopped() {
+		t.Fatal("client not stopped")
+	}
+}
+
+func TestE2ELatencyRecorded(t *testing.T) {
+	h := newHarness(t, harnessOpts{mode: ModeRLive})
+	h.sim.Run(20 * time.Second)
+	lat := h.client.QoE.E2ELatency
+	if lat.N() < 100 {
+		t.Fatalf("latency samples = %d", lat.N())
+	}
+	p50 := lat.Percentile(50)
+	// E2E = network + buffer wait; should be sub-3s in this topology.
+	if p50 <= 0 || p50 > 3000 {
+		t.Fatalf("P50 E2E = %.0f ms", p50)
+	}
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	run := func() (int, float64, uint64) {
+		h := newHarness(t, harnessOpts{mode: ModeRLive, seed: 33,
+			edgeLink: simnet.LinkState{UplinkBps: 60e6, BaseOWD: 3 * time.Millisecond, LossRate: 0.01}})
+		h.sim.Run(15 * time.Second)
+		return h.client.QoE.FramesPlayed, h.client.QoE.StalledMs, h.client.DedicatedFetch
+	}
+	f1, s1, d1 := run()
+	f2, s2, d2 := run()
+	if f1 != f2 || s1 != s2 || d1 != d2 {
+		t.Fatalf("nondeterministic: (%d,%.1f,%d) vs (%d,%.1f,%d)", f1, s1, d1, f2, s2, d2)
+	}
+}
+
+func TestModeStrings(t *testing.T) {
+	if ModeRLive.String() != "rlive" || ModeSingleSource.String() != "single-source" || ModeCDNOnly.String() != "cdn-only" {
+		t.Fatal("mode strings wrong")
+	}
+}

@@ -1,0 +1,356 @@
+package client
+
+import (
+	"time"
+
+	"repro/internal/media"
+	"repro/internal/scheduler"
+	"repro/internal/simnet"
+	"repro/internal/stats"
+	"repro/internal/transport"
+)
+
+// onCandidates stores the scheduler's recommendations for a substream and
+// starts the local fine-tuning probe round (§4.1.2) if the substream has no
+// publisher yet.
+func (c *Client) onCandidates(m *transport.CandidateResp) {
+	ss := m.Key.Substream
+	if int(ss) >= len(c.subs) || m.Key.Stream != c.stream {
+		return
+	}
+	st := c.subs[ss]
+	st.candidates = m.Candidates
+	if len(st.publishers) < c.cfg.Redundancy && !st.switchedToCDN && c.rliveActive {
+		c.probeRound(st)
+	}
+}
+
+// probeRound actively probes up to ProbeCount candidates with
+// application-level connection attempts; the first responder wins
+// (§4.1.2). No response within ProbeTimeout reports the nodes to the
+// scheduler and refetches candidates.
+func (c *Client) probeRound(st *substreamState) {
+	if c.pendingSub[st.ss] {
+		return
+	}
+	n := 0
+	now := c.sim.Now()
+	var nonces []uint32
+	for _, cand := range st.candidates {
+		if n >= c.cfg.ProbeCount {
+			break
+		}
+		if c.isPublisher(st, cand.Addr) {
+			continue
+		}
+		if until, bad := c.badNodes[cand.Addr]; bad && now < until {
+			continue
+		}
+		c.probeNonce++
+		nonce := c.probeNonce
+		c.probeSent[nonce] = probeCtx{at: c.sim.Now(), node: cand.Addr, ss: st.ss}
+		c.sendTo(cand.Addr, &transport.ProbeReq{Nonce: nonce, Key: c.key(st.ss)})
+		c.ProbesSent++
+		nonces = append(nonces, nonce)
+		n++
+	}
+	if n == 0 {
+		return
+	}
+	c.pendingSub[st.ss] = true
+	ssid := st.ss
+	c.sim.After(simnet.Time(c.cfg.ProbeTimeout), func() {
+		if c.stopped {
+			return
+		}
+		// Unanswered probes are usually NAT-unreachability — a
+		// per-path property only this client observes — so blacklist
+		// LOCALLY (§8.2) and move down the candidate list. Global
+		// failure reports are reserved for dead publishers.
+		for _, nonce := range nonces {
+			if ctx, still := c.probeSent[nonce]; still {
+				delete(c.probeSent, nonce)
+				c.badNodes[ctx.node] = c.sim.Now() + simnet.Time(time.Minute)
+			}
+		}
+		if !c.pendingSub[ssid] {
+			return // a probe succeeded and subscribed already
+		}
+		c.pendingSub[ssid] = false
+		req := &transport.CandidateReq{Key: c.key(ssid), Client: c.cfg.Info}
+		c.sendTo(c.cfg.Scheduler, req)
+	})
+}
+
+func (c *Client) isPublisher(st *substreamState, addr simnet.Addr) bool {
+	for _, p := range st.publishers {
+		if p == addr {
+			return true
+		}
+	}
+	return false
+}
+
+// onProbeResp records the probe RTT and, during a pending subscription
+// round, subscribes to the first accepting responder.
+func (c *Client) onProbeResp(from simnet.Addr, m *transport.ProbeResp) {
+	ctx, ok := c.probeSent[m.Nonce]
+	if !ok {
+		return
+	}
+	delete(c.probeSent, m.Nonce)
+	c.ProbeAnswers++
+	rttMs := float64(c.sim.Now()-ctx.at) / 1e6
+	c.recordRTT(from, rttMs)
+	if !m.Accepting {
+		c.ProbeRefusals++
+		return
+	}
+	st := c.subs[ctx.ss]
+	if c.pendingSub[ctx.ss] && len(st.publishers) < c.cfg.Redundancy && !st.switchedToCDN {
+		c.subscribeEdge(st, from)
+		if len(st.publishers) >= c.cfg.Redundancy {
+			c.pendingSub[ctx.ss] = false
+		}
+	}
+}
+
+func (c *Client) recordRTT(node simnet.Addr, rttMs float64) {
+	ew, ok := c.nodeRTT[node]
+	if !ok {
+		ew = stats.NewEWMA(0.4)
+		c.nodeRTT[node] = ew
+	}
+	ew.Add(rttMs)
+}
+
+// subscribeEdge adds a publisher for the substream. The full CDN pull is
+// NOT dropped here: the handover happens in maybeHandover once playback is
+// established with a healthy buffer, accepting transient duplicate delivery
+// — the paper's deliberate "QoE-driven aggressiveness" trade (§8.2).
+func (c *Client) subscribeEdge(st *substreamState, node simnet.Addr) {
+	st.publishers = append(st.publishers, node)
+	st.lastData = c.sim.Now()
+	c.sendTo(node, &transport.SubscribeReq{Key: c.key(st.ss)})
+}
+
+// maybeHandover drops the full CDN pull once multi-source delivery covers
+// every substream and all of them are actually delivering. The buffer level
+// deliberately does not gate the handover: when the CDN itself is the
+// bottleneck (peak hours — the situation RLive exists for), the buffer can
+// only recover after load moves off the CDN. A short post-handover grace
+// (recoveryTick) keeps the fallback guard from bouncing straight back.
+func (c *Client) maybeHandover() {
+	if !c.fullCDN || !c.started || !c.rliveActive {
+		return
+	}
+	if !c.allSubstreamsCovered() {
+		return
+	}
+	now := c.sim.Now()
+	fresh := simnet.Time(time.Second)
+	for _, st := range c.subs {
+		if st.switchedToCDN {
+			continue
+		}
+		if st.lastData == 0 || now-st.lastData > fresh {
+			c.coveredSince = 0
+			return
+		}
+	}
+	if c.coveredSince == 0 {
+		c.coveredSince = now
+	}
+	// Prefer a safe handover (established buffer, with slack for playout
+	// discretization). If the buffer never establishes — the CDN itself
+	// is the bottleneck, which offloading would fix — hand over anyway
+	// after a bounded overlap window: dual delivery is deliberate but
+	// must stay short (§8.2 weighs this exact redundancy cost).
+	safe := c.cfg.StartupBufferMs - 2*float64(c.intervalMs())
+	if c.BufferMs() < safe && now-c.coveredSince < simnet.Time(2500*time.Millisecond) {
+		return
+	}
+	c.unsubscribeFullCDN()
+	c.handoverAt = now
+}
+
+func (c *Client) allSubstreamsCovered() bool {
+	for _, st := range c.subs {
+		if len(st.publishers) == 0 && !st.switchedToCDN {
+			return false
+		}
+	}
+	return true
+}
+
+// switchTick is the client-side control loop (§4.2.1): probe publishers and
+// candidates, apply the switching rule, detect dead publishers, and send
+// QoS reports to publishers.
+func (c *Client) switchTick() {
+	if !c.rliveActive {
+		return
+	}
+	now := c.sim.Now()
+	for _, st := range c.subs {
+		if st.switchedToCDN {
+			// Substreams parked on the CDN return to multi-source on
+			// candidate refresh after a cooldown.
+			if now-st.switchbackAt > simnet.Time(10*time.Second) {
+				st.switchedToCDN = false
+				req := &transport.CDNUnsubscribeReq{Stream: c.stream, Substream: st.ss}
+				c.sendTo(c.cfg.CDN, req)
+				req2 := &transport.CandidateReq{Key: c.key(st.ss), Client: c.cfg.Info}
+				c.sendTo(c.cfg.Scheduler, req2)
+			}
+			continue
+		}
+		// Dead publisher detection: no data within the timeout.
+		alive := st.publishers[:0]
+		for _, pub := range st.publishers {
+			if now-st.lastData > simnet.Time(c.cfg.DeadPublisherAfter) && len(st.publishers) == 1 {
+				c.sendTo(c.cfg.Scheduler, &transport.NodeFailureReport{Node: pub})
+				c.sendTo(pub, &transport.UnsubscribeReq{Key: c.key(st.ss)})
+				c.EdgeSwitches++
+				continue
+			}
+			alive = append(alive, pub)
+		}
+		st.publishers = alive
+		if len(st.publishers) < c.cfg.Redundancy {
+			c.probeRound(st)
+		}
+		// Probe publishers and the top candidates to refresh RTTs.
+		for _, pub := range st.publishers {
+			c.probeNode(pub, st.ss)
+		}
+		for i, cand := range st.candidates {
+			if i >= c.cfg.ProbeCount {
+				break
+			}
+			if !c.isPublisher(st, cand.Addr) {
+				c.probeNode(cand.Addr, st.ss)
+			}
+		}
+		c.applySwitchRule(st)
+		c.sendQoSReport(st)
+	}
+}
+
+// probeNode sends an RTT probe without subscription intent.
+func (c *Client) probeNode(node simnet.Addr, ss media.SubstreamID) {
+	c.probeNonce++
+	c.probeSent[c.probeNonce] = probeCtx{at: c.sim.Now(), node: node, ss: ss}
+	c.sendTo(node, &transport.ProbeReq{Nonce: c.probeNonce, Key: c.key(ss)})
+	c.ProbesSent++
+}
+
+// applySwitchRule implements RTT_cur > min_i(RTT_i + t_change) (§4.2.1).
+func (c *Client) applySwitchRule(st *substreamState) {
+	if len(st.publishers) == 0 {
+		return
+	}
+	cur := st.publishers[0]
+	curEW, ok := c.nodeRTT[cur]
+	if !ok || !curEW.Initialized() {
+		return
+	}
+	tchangeMs := float64(c.cfg.TChange.Milliseconds())
+	bestRTT := curEW.Value()
+	var best simnet.Addr
+	for _, cand := range st.candidates {
+		if c.isPublisher(st, cand.Addr) {
+			continue
+		}
+		ew, ok := c.nodeRTT[cand.Addr]
+		if !ok || !ew.Initialized() {
+			continue
+		}
+		if curEW.Value() > ew.Value()+tchangeMs && ew.Value() < bestRTT {
+			bestRTT = ew.Value()
+			best = cand.Addr
+		}
+	}
+	if best == 0 {
+		return
+	}
+	// Switch: subscribe the better node, drop the current one.
+	c.sendTo(cur, &transport.UnsubscribeReq{Key: c.key(st.ss)})
+	st.publishers[0] = best
+	c.sendTo(best, &transport.SubscribeReq{Key: c.key(st.ss)})
+	c.EdgeSwitches++
+	c.QoE.Switches++
+}
+
+// sendQoSReport piggybacks connection QoS to the primary publisher, feeding
+// the edge's Z-score trigger.
+func (c *Client) sendQoSReport(st *substreamState) {
+	if len(st.publishers) == 0 {
+		return
+	}
+	pub := st.publishers[0]
+	var rtt float64
+	if ew, ok := c.nodeRTT[pub]; ok {
+		rtt = ew.Value()
+	}
+	var loss float64
+	if st.expected > 0 {
+		loss = 1 - float64(st.received)/float64(st.expected)
+		if loss < 0 {
+			loss = 0
+		}
+	}
+	c.sendTo(pub, &transport.QoSReport{Key: c.key(st.ss), RTTms: rtt, LossRate: loss})
+}
+
+// onSuggestion handles an edge adviser's proactive switch suggestion
+// (§4.2.2): immediately run client-side control for that substream; if no
+// better node is known, ask the scheduler for fresh candidates instead of
+// switching blindly.
+func (c *Client) onSuggestion(from simnet.Addr, m *transport.SwitchSuggestion) {
+	ss := m.Key.Substream
+	if int(ss) >= len(c.subs) || m.Key.Stream != c.stream {
+		return
+	}
+	c.SuggestionsRecv++
+	st := c.subs[ss]
+	if !c.isPublisher(st, from) {
+		return
+	}
+	before := c.EdgeSwitches
+	c.applySwitchRule(st)
+	if c.EdgeSwitches == before {
+		// No better candidate: refresh the list (§4.2.2 last ¶).
+		req := &transport.CandidateReq{Key: c.key(ss), Client: c.cfg.Info}
+		c.sendTo(c.cfg.Scheduler, req)
+	}
+}
+
+// Publishers returns the current publisher set for a substream (testing).
+func (c *Client) Publishers(ss media.SubstreamID) []simnet.Addr {
+	if int(ss) >= len(c.subs) {
+		return nil
+	}
+	out := make([]simnet.Addr, len(c.subs[ss].publishers))
+	copy(out, c.subs[ss].publishers)
+	return out
+}
+
+// Candidates returns the last candidate list for a substream (testing).
+func (c *Client) Candidates(ss media.SubstreamID) []scheduler.Candidate {
+	if int(ss) >= len(c.subs) {
+		return nil
+	}
+	return c.subs[ss].candidates
+}
+
+// FullCDNActive reports whether the full-stream CDN subscription is active.
+func (c *Client) FullCDNActive() bool { return c.fullCDN }
+
+// SubstreamOnCDN reports whether a substream is currently pulled from the
+// CDN (switchback state).
+func (c *Client) SubstreamOnCDN(ss media.SubstreamID) bool {
+	if int(ss) >= len(c.subs) {
+		return false
+	}
+	return c.subs[ss].switchedToCDN
+}

@@ -1,0 +1,312 @@
+package client
+
+import (
+	"repro/internal/chain"
+	"repro/internal/media"
+	"repro/internal/simnet"
+	"repro/internal/transport"
+)
+
+// asm returns (creating if needed) the assembly for a frame.
+func (c *Client) asm(dts uint64) *frameAsm {
+	a, ok := c.frames[dts]
+	if !ok {
+		a = &frameAsm{}
+		c.frames[dts] = a
+	}
+	return a
+}
+
+// onDataPacket ingests one pushed packet from a best-effort publisher.
+func (c *Client) onDataPacket(from simnet.Addr, p *transport.DataPacket) {
+	ss := p.Key.Substream
+	if int(ss) >= len(c.subs) || p.Key.Stream != c.stream {
+		return
+	}
+	st := c.subs[ss]
+	st.lastData = c.sim.Now()
+	st.received++
+	c.Energy.AddCPU(1) // per-packet processing
+
+	a := c.asm(p.Header.Dts)
+	if !a.haveHdr {
+		a.header = p.Header
+		a.haveHdr = true
+		a.count = p.Count
+		if len(a.have) == 0 {
+			a.have = make([]bool, p.Count)
+		}
+		a.generated = p.GeneratedAt
+		st.expected += uint64(p.Count)
+		c.gchain.AddHeader(p.Header)
+		c.Energy.TrackMem(float64(len(c.frames)) * float64(p.Header.Size))
+	}
+	if int(p.Seq) < len(a.have) && !a.have[p.Seq] {
+		a.have[p.Seq] = true
+		a.got++
+	} else {
+		c.DupBytes += uint64(p.PayloadLen)
+	}
+	if p.Retransmit {
+		c.pktRetxSucc++
+		a.retxPending = false
+		if at, ok := c.beRetxAt[p.Header.Dts]; ok {
+			c.BERetxLat.Add(float64(c.sim.Now()-at) / 1e6)
+			delete(c.beRetxAt, p.Header.Dts)
+		}
+	}
+
+	// Fast retransmission (§5.3 action a=0): an out-of-order packet
+	// within the frame indicates loss of the skipped packets; request
+	// them immediately instead of waiting for the timeout path.
+	if !p.Retransmit && p.Seq > a.nextSeq && !a.complete {
+		if a.fastRetxAt == 0 || c.sim.Now()-a.fastRetxAt > c.cfg.RecoveryCheckEvery {
+			var missing []uint16
+			for s := a.nextSeq; s < p.Seq; s++ {
+				if !a.have[s] {
+					missing = append(missing, s)
+				}
+			}
+			if len(missing) > 0 {
+				c.requestRetx(st, p.Header.Dts, missing)
+				c.FastRetx++
+				a.fastRetxAt = c.sim.Now()
+			}
+		}
+	}
+	if p.Seq >= a.nextSeq {
+		a.nextSeq = p.Seq + 1
+	}
+
+	// Merge the embedded local chain — unless running the centralized
+	// sequencing baseline, where order comes from the super node.
+	if c.cfg.CentralSeq == 0 && len(p.Chain) > 0 {
+		c.gchain.TryMatch(p.Chain)
+		c.Energy.AddCPU(float64(len(p.Chain)))
+	}
+
+	if !a.complete && a.got == int(a.count) {
+		c.onFrameComplete(p.Header.Dts, a)
+	}
+	c.refreshLinked()
+}
+
+// onCDNFrame ingests a full frame from a dedicated node (full-stream
+// delivery, substream switchback delivery, or dts-indexed recovery).
+func (c *Client) onCDNFrame(m *transport.CDNFrame) {
+	if m.Header.Stream != c.stream {
+		return
+	}
+	c.Energy.AddCPU(1)
+	if !m.Full {
+		// Warm-up header: record it so chain footprints for the first
+		// delivered frames are computed with true predecessors.
+		a := c.asm(m.Header.Dts)
+		if !a.haveHdr {
+			a.header = m.Header
+			a.haveHdr = true
+			a.count = uint16(transport.PacketsForFrame(int(m.Header.Size)))
+			if len(a.have) == 0 {
+				a.have = make([]bool, a.count)
+			}
+			a.generated = m.GeneratedAt
+			c.gchain.AddHeader(m.Header)
+		}
+		return
+	}
+	a := c.asm(m.Header.Dts)
+	if !a.haveHdr {
+		a.header = m.Header
+		a.haveHdr = true
+		a.count = uint16(transport.PacketsForFrame(int(m.Header.Size)))
+		a.have = make([]bool, a.count)
+		a.generated = m.GeneratedAt
+		c.gchain.AddHeader(m.Header)
+		c.Energy.TrackMem(float64(len(c.frames)) * float64(m.Header.Size))
+	}
+	if m.Recovered {
+		if at, ok := c.frameReqAt[m.Header.Dts]; ok {
+			latMs := float64(c.sim.Now()-at) / 1e6
+			c.dedicatedEDF.Observe(latMs)
+			c.DedRetxLat.Add(latMs)
+			delete(c.frameReqAt, m.Header.Dts)
+			c.QoE.RetxSucceeded++
+		}
+	}
+	if !a.complete {
+		for s := range a.have {
+			a.have[s] = true
+		}
+		a.got = int(a.count)
+		a.viaCDN = true
+		c.onFrameComplete(m.Header.Dts, a)
+	} else {
+		c.DupBytes += uint64(m.Header.Size)
+	}
+	c.refreshLinked()
+}
+
+// onFrameComplete marks a frame fully received and tries to advance the
+// global chain: first by merging (already done for packet chains), then by
+// self-linking — computing the frame's footprint from its own and its
+// predecessors' headers, exactly as an edge node would, which closes chain
+// gaps whenever the data itself made it through (or came from the CDN,
+// which sends no chains).
+func (c *Client) onFrameComplete(dts uint64, a *frameAsm) {
+	a.complete = true
+	if st := c.sub(dts); st != nil {
+		st.consecLost = 0
+	}
+	// Self-linking is part of the distributed sequencing design (the
+	// client acts as an edge-grade sequencer); the centralized baseline
+	// depends on the super node for ordering edge-delivered frames. CDN
+	// deliveries arrive over an ordered stream and self-link regardless.
+	if c.cfg.CentralSeq == 0 || a.viaCDN {
+		c.selfLink(dts, a)
+	}
+}
+
+// sub returns the substream state owning a dts.
+func (c *Client) sub(dts uint64) *substreamState {
+	ss := c.part.Assign(dts)
+	if int(ss) >= len(c.subs) {
+		return nil
+	}
+	return c.subs[ss]
+}
+
+// selfLink seeds an empty global chain with the first complete frame. The
+// predecessor headers come from the CDN's warm-up records when available
+// (zero headers otherwise, matching a LocalGenerator at true stream start).
+func (c *Client) selfLink(dts uint64, a *frameAsm) {
+	if _, ok := c.gchain.Terminal(); ok || c.ownGen.started {
+		return
+	}
+	c.ownGen.started = true
+	iv := c.intervalMs()
+	var prev1, prev2 media.Header
+	if dts >= iv {
+		prev1, _ = c.headerOf(dts - iv)
+	}
+	if dts >= 2*iv {
+		prev2, _ = c.headerOf(dts - 2*iv)
+	}
+	fp := chain.New(a.header, prev1, prev2, a.count)
+	c.gchain.TryMatch([]chain.Footprint{fp})
+	c.ownGen.lastDts = dts
+}
+
+// linkConsecutive extends the global chain through complete frames that
+// directly follow the terminal in dts order but whose chain copies were
+// lost or never sent (CDN deliveries carry no chains). The chain computes
+// the footprint itself from its actual tail context (AppendSelf), exactly
+// as an edge node would have. It loops so a run of orphaned complete
+// frames links in one pass; a non-advancing terminal ends the loop.
+func (c *Client) linkConsecutive() {
+	iv := c.intervalMs()
+	for {
+		term, ok := c.gchain.Terminal()
+		if !ok {
+			return
+		}
+		next := term.Dts + iv
+		a, ok := c.frames[next]
+		if !ok || !a.complete || !a.haveHdr {
+			return
+		}
+		// Centralized-sequencing baseline: only CDN-delivered frames
+		// (ordered stream) may self-link; edge frames await the super
+		// node's ordering.
+		if c.cfg.CentralSeq != 0 && !a.viaCDN {
+			return
+		}
+		if !c.gchain.AppendSelf(a.header, a.count) {
+			return
+		}
+		c.Energy.AddCPU(2)
+		if t2, ok := c.gchain.Terminal(); !ok || t2.Dts <= term.Dts {
+			return // no progress; avoid spinning
+		}
+	}
+}
+
+// headerOf returns the received header for a dts.
+func (c *Client) headerOf(dts uint64) (media.Header, bool) {
+	a, ok := c.frames[dts]
+	if !ok || !a.haveHdr {
+		return media.Header{}, false
+	}
+	return a.header, true
+}
+
+// refreshLinked extends the chain through any orphaned consecutive frames,
+// then marks assemblies linked per the global chain.
+func (c *Client) refreshLinked() {
+	c.linkConsecutive()
+	for _, fp := range c.gchain.NextLinked() {
+		if a, ok := c.frames[fp.Dts]; ok {
+			a.linked = true
+			if !a.haveHdr {
+				// Header arrives with data; CNT from the
+				// footprint sizes the assembly so recovery can
+				// request it even with zero packets received.
+				a.count = fp.CNT
+				a.have = make([]bool, fp.CNT)
+			}
+		} else {
+			// A linked frame we have no data for at all: create the
+			// assembly from the footprint so recovery sees it.
+			a := &frameAsm{count: fp.CNT, have: make([]bool, fp.CNT)}
+			a.linked = true
+			c.frames[fp.Dts] = a
+		}
+	}
+}
+
+// requestRetx sends a packet retransmission request to the substream's
+// publisher (recovery action a=0).
+func (c *Client) requestRetx(st *substreamState, dts uint64, missing []uint16) {
+	if len(st.publishers) == 0 {
+		return
+	}
+	req := &transport.RetxReq{Key: c.key(st.ss), Dts: dts, Missing: missing}
+	c.sendTo(st.publishers[0], req)
+	if _, pending := c.beRetxAt[dts]; !pending {
+		c.beRetxAt[dts] = c.sim.Now()
+	}
+	c.pktRetxTried += uint64(len(missing))
+	c.QoE.RetxRequests++
+	c.QoE.RetxBytes += float64(len(missing) * transport.PacketPayload)
+}
+
+// onRetxNack handles a publisher's "cannot serve" for a retransmission:
+// the frame predates the relay's window, so only dedicated recovery works.
+func (c *Client) onRetxNack(m *transport.RetxNack) {
+	a, ok := c.frames[m.Dts]
+	if !ok || a.complete {
+		return
+	}
+	a.beUnavailable = true
+	a.retxPending = false
+	c.fetchDedicated(m.Dts, a)
+}
+
+// onSeqUpdate merges a centralized sequencing response (Table 3 baseline):
+// the super node's footprint list is just a long local chain.
+func (c *Client) onSeqUpdate(m *transport.SeqUpdate) {
+	if m.Stream != c.stream || len(m.Chain) == 0 {
+		return
+	}
+	c.gchain.TryMatch(m.Chain)
+	c.Energy.AddCPU(float64(len(m.Chain)))
+	c.refreshLinked()
+}
+
+// pollCentralSeq queries the sequencing super node.
+func (c *Client) pollCentralSeq() {
+	var since uint64
+	if term, ok := c.gchain.Terminal(); ok {
+		since = term.Dts
+	}
+	c.sendTo(c.cfg.CentralSeq, &transport.SeqQuery{Stream: c.stream, SinceDts: since})
+}

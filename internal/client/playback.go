@@ -1,0 +1,232 @@
+package client
+
+import (
+	"time"
+
+	"repro/internal/simnet"
+)
+
+// intervalMs returns the frame spacing in milliseconds.
+func (c *Client) intervalMs() uint64 {
+	ms := uint64(c.cfg.FrameInterval.Milliseconds())
+	if ms == 0 {
+		ms = 1
+	}
+	return ms
+}
+
+// ready reports whether the frame at dts can be played: data complete and
+// order confirmed by the global chain.
+func (c *Client) ready(dts uint64) bool {
+	a, ok := c.frames[dts]
+	return ok && a.complete && a.linked
+}
+
+// BufferMs returns the contiguous ready playout buffer ahead of the
+// playhead in milliseconds.
+func (c *Client) BufferMs() float64 {
+	if !c.playheadSet {
+		return 0
+	}
+	iv := c.intervalMs()
+	var ms float64
+	for dts := c.playhead; c.ready(dts); dts += iv {
+		ms += float64(iv)
+	}
+	return ms
+}
+
+// earliestReady finds the first playable frame to anchor the playhead.
+func (c *Client) earliestReady() (uint64, bool) {
+	best := uint64(0)
+	found := false
+	for dts, a := range c.frames {
+		if a.complete && a.linked && (!found || dts < best) {
+			best = dts
+			found = true
+		}
+	}
+	return best, found
+}
+
+// playTick runs once per frame interval: play the next frame if ready,
+// otherwise account a stall.
+func (c *Client) playTick() {
+	if !c.started {
+		c.tryStart()
+		return
+	}
+	c.maybeHandover()
+	// Latency chasing: stalls leave the playhead behind the live edge;
+	// once the ready backlog exceeds the live-lag bound, drop frames to
+	// return near the startup buffer level (live content expires).
+	if buf := c.BufferMs(); buf > c.cfg.MaxLiveLagMs {
+		iv := c.intervalMs()
+		drop := uint64(buf-c.cfg.StartupBufferMs) / iv * iv
+		c.QoE.FramesLost += int(drop / iv)
+		c.playhead += drop
+	}
+	a, ok := c.frames[c.playhead]
+	if ok && a.complete && a.linked {
+		c.playFrame(c.playhead, a)
+		return
+	}
+	// Stall.
+	onset := !c.stalled
+	c.stalled = true
+	c.lastStallAt = c.sim.Now()
+	if onset {
+		c.stallOnsetAt = c.sim.Now()
+	}
+	c.QoE.AddStall(c.cfg.FrameInterval, onset)
+	// Falling back was supposed to fix the stall; if the dedicated path
+	// itself keeps stalling (the CDN is the bottleneck — exactly the
+	// situation edge offload exists for), re-engage multi-source without
+	// waiting out the backoff.
+	if c.fullCDN && !c.rliveActive && c.cfg.Mode != ModeCDNOnly {
+		c.stallMsOnCDN += float64(c.cfg.FrameInterval) / 1e6
+		if c.stallMsOnCDN > 1500 {
+			c.stallMsOnCDN = 0
+			c.engageRLive()
+		}
+	}
+	// Live content has a shelf life: past the stall cap, abandon the
+	// missing frames and rejoin at the next playable one.
+	if c.sim.Now()-c.stallOnsetAt > simnet.Time(c.cfg.MaxStallBeforeSkip) {
+		c.SkipForward()
+	}
+}
+
+// tryStart anchors the playhead once the startup buffer is filled.
+func (c *Client) tryStart() {
+	first, ok := c.earliestReady()
+	if !ok {
+		return
+	}
+	if !c.playheadSet {
+		c.playhead = first
+		c.playheadSet = true
+	}
+	if c.BufferMs() < c.cfg.StartupBufferMs {
+		return
+	}
+	c.started = true
+	c.startedAt = c.sim.Now()
+	c.QoE.FirstFrameMs = float64(c.sim.Now()-c.sessionAt) / 1e6
+}
+
+// playFrame consumes one frame: QoE accounting and buffer advancement.
+func (c *Client) playFrame(dts uint64, a *frameAsm) {
+	c.stalled = false
+	if !a.played {
+		a.played = true
+		c.QoE.FramesPlayed++
+		// Decode + render dominates device compute; the delivery
+		// protocol's per-packet work rides on top of this baseline
+		// (Fig 10 measures that small relative overhead).
+		c.Energy.AddCPU(10000)
+		bits := float64(a.header.Size) * 8
+		if a.header.Size == 0 {
+			bits = float64(a.count) * 8 * 1200
+		}
+		c.QoE.AddPlayback(c.cfg.FrameInterval, bits/c.cfg.FrameInterval.Seconds())
+		if a.generated > 0 {
+			e2eMs := float64(int64(c.sim.Now())-a.generated) / 1e6
+			if e2eMs >= 0 {
+				c.QoE.E2ELatency.Add(e2eMs)
+			}
+		}
+	}
+	c.gchain.MarkConsumed(dts)
+	c.playhead = dts + c.intervalMs()
+	c.gcFrames()
+}
+
+// gcFrames drops assemblies far behind the playhead to bound memory.
+func (c *Client) gcFrames() {
+	if len(c.frames) < 512 {
+		return
+	}
+	horizon := uint64(10_000) // keep 10 s behind
+	if c.playhead < horizon {
+		return
+	}
+	cut := c.playhead - horizon
+	for dts := range c.frames {
+		if dts < cut {
+			delete(c.frames, dts)
+		}
+	}
+}
+
+// SkipForward abandons frames that can never play (e.g. after prolonged
+// stall with the source far ahead): jump the playhead to the next ready
+// frame, counting the skipped frames as lost.
+func (c *Client) SkipForward() {
+	if !c.playheadSet {
+		return
+	}
+	next, ok := c.earliestReadyAfter(c.playhead)
+	if !ok {
+		return
+	}
+	iv := c.intervalMs()
+	skipped := int((next - c.playhead) / iv)
+	c.QoE.FramesLost += skipped
+	c.playhead = next
+}
+
+func (c *Client) earliestReadyAfter(dts uint64) (uint64, bool) {
+	best := uint64(0)
+	found := false
+	for d, a := range c.frames {
+		if d > dts && a.complete && a.linked && (!found || d < best) {
+			best = d
+			found = true
+		}
+	}
+	return best, found
+}
+
+// PlaybackPosition returns the playhead dts and whether playback started.
+func (c *Client) PlaybackPosition() (uint64, bool) { return c.playhead, c.started }
+
+// Stalled reports whether playback is currently stalled.
+func (c *Client) Stalled() bool { return c.stalled }
+
+// SessionAge returns how long the session has existed.
+func (c *Client) SessionAge() time.Duration { return time.Duration(c.sim.Now() - c.sessionAt) }
+
+// RetxSuccessRates returns the observed per-path retransmission success
+// fractions: packet retries toward best-effort publishers and frame fetches
+// toward dedicated nodes (Fig 3).
+func (c *Client) RetxSuccessRates() (bestEffort, dedicated float64) {
+	if c.pktRetxTried > 0 {
+		bestEffort = float64(c.pktRetxSucc) / float64(c.pktRetxTried)
+		if bestEffort > 1 {
+			bestEffort = 1
+		}
+	}
+	if c.DedicatedFetch > 0 {
+		dedicated = float64(c.QoE.RetxSucceeded) / float64(c.DedicatedFetch)
+		if dedicated > 1 {
+			dedicated = 1
+		}
+	}
+	return bestEffort, dedicated
+}
+
+// DebugSummary reports internal counters for diagnostics: total tracked
+// frames, complete frames, linked frames, and the chain state string.
+func (c *Client) DebugSummary() (frames, complete, linked int, chainState string) {
+	for _, a := range c.frames {
+		frames++
+		if a.complete {
+			complete++
+		}
+		if a.linked {
+			linked++
+		}
+	}
+	return frames, complete, linked, c.gchain.String()
+}

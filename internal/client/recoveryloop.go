@@ -1,0 +1,319 @@
+package client
+
+import (
+	"time"
+
+	"repro/internal/media"
+	"repro/internal/recovery"
+	"repro/internal/simnet"
+	"repro/internal/transport"
+)
+
+// recoveryTick builds the retransmission list (incomplete frames ahead of
+// the playhead), consults the loss engine, and executes the chosen actions
+// (§5.3). It also repairs chain gaps and handles dead publishers' frames by
+// inference.
+func (c *Client) recoveryTick() {
+	if !c.playheadSet {
+		return
+	}
+	c.repairChainGaps()
+
+	now := c.sim.Now()
+	iv := c.intervalMs()
+	bufMs := c.BufferMs()
+
+	// Fallback threshold guard (§7.4): once playback has started, a
+	// buffer below the threshold switches to CDN full-stream delivery.
+	// This also covers total starvation (all publishers dead and no new
+	// chain entries to recover frame-by-frame).
+	// Hysteresis: the buffer must stay below the threshold for a
+	// sustained window (transient dips recover via retransmission), and
+	// a fresh handover gets a grace period before the guard re-arms.
+	handoverGrace := c.handoverAt > 0 && now-c.handoverAt < simnet.Time(5*time.Second)
+	if c.started && !c.fullCDN && c.cfg.FallbackThresholdMs > 0 && bufMs < c.cfg.FallbackThresholdMs {
+		if c.belowSince == 0 {
+			c.belowSince = now
+		}
+		if !handoverGrace && now-c.belowSince >= simnet.Time(700*time.Millisecond) {
+			c.fullFallback()
+		}
+	} else {
+		c.belowSince = 0
+	}
+
+	// The recovery horizon is every frame the global chain knows about
+	// from the playhead on — including UNLINKED entries, whose footprints
+	// carry dts and packet count (CNT) precisely so that fully-lost
+	// frames remain recoverable (§5.2).
+	entries := c.gchain.Entries()
+	if len(entries) == 0 {
+		return
+	}
+	var list []recovery.FrameState
+	asms := make(map[uint64]*frameAsm)
+	consec := make(map[media.SubstreamID]int)
+	run := make(map[media.SubstreamID]int)
+	for _, e := range entries {
+		dts := e.FP.Dts
+		if dts < c.playhead {
+			continue
+		}
+		ss := c.part.Assign(dts)
+		a, ok := c.frames[dts]
+		if ok && a.complete {
+			run[ss] = 0
+			continue
+		}
+		run[ss]++
+		if run[ss] > consec[ss] {
+			consec[ss] = run[ss]
+		}
+		if a == nil {
+			// Announced by a chain but no data at all: size the
+			// assembly from the footprint.
+			a = &frameAsm{count: e.FP.CNT, have: make([]bool, e.FP.CNT)}
+			c.frames[dts] = a
+		}
+		// Throttle: one outstanding action per frame per retry RTT.
+		if a.retxPending && now-a.lastRetx < simnet.Time(200*time.Millisecond) {
+			continue
+		}
+		size := int(a.header.Size)
+		if size == 0 {
+			size = int(a.count) * transport.PacketPayload
+		}
+		missing := int(a.count) - a.got
+		deadlineMs := float64(dts-c.playhead) / float64(iv) * float64(c.cfg.FrameInterval.Milliseconds())
+		list = append(list, recovery.FrameState{
+			Dts:            dts,
+			Substream:      ss,
+			Type:           a.header.Type,
+			Deadline:       time.Duration(deadlineMs) * time.Millisecond,
+			SizeBytes:      size,
+			MissingPackets: missing,
+			PacketBytes:    transport.PacketPayload,
+			RetriesUsed:    a.retries,
+		})
+		asms[dts] = a
+	}
+	if len(list) == 0 {
+		return
+	}
+
+	st := recovery.Stats{
+		PktSuccess:          c.pktSuccessRate(),
+		BERetryRTT:          c.beRetryRTT(),
+		DedicatedEDF:        c.dedicatedEDF,
+		ConsecutiveLost:     consec,
+		BufferMs:            bufMs,
+		FallbackThresholdMs: c.cfg.FallbackThresholdMs,
+	}
+	decisions := c.engine.Decide(list, st)
+	c.Energy.AddCPU(float64(len(list)))
+
+	switched := make(map[media.SubstreamID]bool)
+	for _, d := range decisions {
+		a := asms[d.Frame.Dts]
+		switch d.Action {
+		case recovery.RetryBestEffort:
+			sub := c.subs[d.Frame.Substream]
+			if len(sub.publishers) == 0 || sub.switchedToCDN || a.beUnavailable {
+				// No best-effort path: degrade to a dedicated fetch.
+				c.fetchDedicated(d.Frame.Dts, a)
+				continue
+			}
+			missing := a.missing()
+			if len(missing) == 0 {
+				continue
+			}
+			c.requestRetx(sub, d.Frame.Dts, missing)
+			a.retries++
+			a.retxPending = true
+			a.lastRetx = now
+			c.TimeoutRetx++
+		case recovery.FetchDedicated:
+			c.fetchDedicated(d.Frame.Dts, a)
+			a.retries++
+			a.lastRetx = now
+		case recovery.SwitchSubstream:
+			if !switched[d.Frame.Substream] {
+				switched[d.Frame.Substream] = true
+				c.switchSubstreamToCDN(d.Frame.Substream)
+			}
+			// The switch delivers subsequent frames; this one still
+			// needs an explicit fetch.
+			c.fetchDedicated(d.Frame.Dts, a)
+		case recovery.FullFallback:
+			c.fullFallback()
+			c.fetchDedicated(d.Frame.Dts, a)
+		}
+	}
+}
+
+// fetchDedicated requests one frame from the CDN by dts (action a=1),
+// deduplicating outstanding requests.
+func (c *Client) fetchDedicated(dts uint64, a *frameAsm) {
+	now := c.sim.Now()
+	if at, ok := c.frameReqAt[dts]; ok && now-at < simnet.Time(300*time.Millisecond) {
+		return
+	}
+	c.frameReqAt[dts] = now
+	c.sendTo(c.cfg.CDN, &transport.FrameReq{Stream: c.stream, Dts: dts})
+	c.DedicatedFetch++
+	c.QoE.RetxRequests++
+	if a != nil {
+		size := int(a.header.Size)
+		if size == 0 {
+			size = int(a.count) * transport.PacketPayload
+		}
+		c.QoE.RetxBytes += float64(size)
+	}
+}
+
+// switchSubstreamToCDN repoints one substream to dedicated delivery
+// (action a=2).
+func (c *Client) switchSubstreamToCDN(ss media.SubstreamID) {
+	st := c.subs[ss]
+	if st.switchedToCDN {
+		return
+	}
+	st.switchedToCDN = true
+	st.switchbackAt = c.sim.Now()
+	c.SubstreamSwitch++
+	for _, pub := range st.publishers {
+		c.sendTo(pub, &transport.UnsubscribeReq{Key: c.key(ss)})
+	}
+	st.publishers = nil
+	c.sendTo(c.cfg.CDN, &transport.CDNSubscribeReq{Stream: c.stream, Substream: ss})
+}
+
+// fullFallback pulls the entire stream from the CDN (action a=3). Edge
+// subscriptions are dropped; the client retries multi-source after the
+// buffer rebuilds (next candidate refresh re-engages).
+func (c *Client) fullFallback() {
+	if c.fullCDN {
+		return
+	}
+	c.FullFallbacks++
+	c.QoE.Fallbacks++
+	for _, st := range c.subs {
+		for _, pub := range st.publishers {
+			c.sendTo(pub, &transport.UnsubscribeReq{Key: c.key(st.ss)})
+		}
+		st.publishers = nil
+		if st.switchedToCDN {
+			c.sendTo(c.cfg.CDN, &transport.CDNUnsubscribeReq{Stream: c.stream, Substream: st.ss})
+			st.switchedToCDN = false
+		}
+	}
+	c.subscribeFullCDN()
+	c.rliveActive = false
+	c.belowSince = 0
+	c.fallbackAt = c.sim.Now()
+	c.stallMsOnCDN = 0
+	// Re-engage multi-source after the buffer has had time to rebuild,
+	// backing off exponentially with repeated fallbacks so a session
+	// that keeps failing on edges settles on the CDN.
+	shift := c.FullFallbacks
+	if shift > 3 {
+		shift = 3
+	}
+	delay := simnet.Time(5*time.Second) << shift
+	c.sim.After(delay, func() {
+		if !c.stopped && c.cfg.Mode != ModeCDNOnly {
+			c.engageRLive()
+		}
+	})
+}
+
+// repairChainGaps detects ordering gaps past the chain terminal — frames
+// whose data AND chain copies were all lost — and requests them from the
+// CDN by inferred dts (§8.1: the CDN supports dts-indexed recovery
+// precisely for this). A gap is evidenced by an "anchor" beyond the
+// terminal: any frame we have data or a header for but cannot link (its
+// chain parked or never sent). Fixed frame spacing identifies the missing
+// dts values in between; once they arrive, linkConsecutive reconnects the
+// chain and parked chains merge.
+func (c *Client) repairChainGaps() {
+	term, ok := c.gchain.Terminal()
+	if !ok {
+		return
+	}
+	iv := c.intervalMs()
+	// Pre-seed gap: after a chain reset (variant switch, fallback) the
+	// new chain can seed AHEAD of the playhead, leaving frames between
+	// playhead and the chain's first entry that no entry describes.
+	// Fetch them from the CDN by dts.
+	if first, ok := c.gchain.First(); ok && c.playheadSet && first.Dts > c.playhead {
+		n := 0
+		for dts := c.playhead; dts < first.Dts && n < 16; dts += iv {
+			if a, ok := c.frames[dts]; ok && a.complete {
+				continue
+			}
+			c.fetchDedicated(dts, c.frames[dts])
+			c.GapRepairs++
+			n++
+		}
+	}
+	// Farthest frame we have evidence for beyond the terminal (pure max
+	// over the map: deterministic regardless of iteration order).
+	horizon := uint64(0)
+	found := false
+	for dts, a := range c.frames {
+		if dts > term.Dts && (a.complete || a.haveHdr) && dts > horizon {
+			horizon = dts
+			found = true
+		}
+	}
+	if !found {
+		return
+	}
+	// Fetch incomplete or missing frames from the terminal toward the
+	// horizon; each completion lets linkConsecutive extend the chain and
+	// parked chains merge. The publishers cannot serve these (their chain
+	// copies and/or data are gone), so the CDN's dts-indexed recovery is
+	// the correct source.
+	const maxRepair = 8
+	n := 0
+	for dts := term.Dts + iv; dts <= horizon && n < maxRepair; dts += iv {
+		if a, ok := c.frames[dts]; ok && a.complete {
+			continue
+		}
+		c.fetchDedicated(dts, c.frames[dts])
+		c.GapRepairs++
+		n++
+	}
+}
+
+// pktSuccessRate returns p for the recovery model: observed packet
+// retransmission success, with an optimistic prior before evidence exists.
+func (c *Client) pktSuccessRate() float64 {
+	if c.pktRetxTried < 10 {
+		return 0.9
+	}
+	p := float64(c.pktRetxSucc) / float64(c.pktRetxTried)
+	if p > 0.99 {
+		p = 0.99
+	}
+	return p
+}
+
+// beRetryRTT estimates one best-effort retry round trip from publisher RTT
+// trackers (default 150 ms before measurements exist).
+func (c *Client) beRetryRTT() time.Duration {
+	var sum float64
+	var n int
+	for _, st := range c.subs {
+		for _, pub := range st.publishers {
+			if ew, ok := c.nodeRTT[pub]; ok && ew.Initialized() {
+				sum += ew.Value()
+				n++
+			}
+		}
+	}
+	if n == 0 {
+		return 150 * time.Millisecond
+	}
+	return time.Duration(sum/float64(n)) * time.Millisecond
+}

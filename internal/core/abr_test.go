@@ -1,0 +1,110 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/simnet"
+)
+
+var testLadder = []float64{0.8e6, 1.2e6, 2.0e6, 3.0e6}
+
+// cleanLastMile disables last-mile fade episodes so ABR tests isolate CDN
+// congestion effects.
+func cleanLastMile(st *simnet.LinkState) {
+	st.MeanDegradedEvery = 0
+	st.DegradedLoss = 0
+	st.LossRate = 0.0005
+}
+
+func TestABRHoldsTopRungWhenUncongested(t *testing.T) {
+	s := NewSystem(Config{Seed: 31, NumBestEffort: 16, Mode: client.ModeCDNOnly, ABRLadder: testLadder, ClientLinkTune: cleanLastMile})
+	s.Start()
+	c := s.AddClient(ClientSpec{})
+	s.Run(30 * time.Second)
+	if c.Rung() != len(testLadder)-1 {
+		t.Fatalf("rung = %d under no congestion, want top (down=%d)", c.Rung(), c.ABRDown)
+	}
+	br := c.QoE.MeanBitrate()
+	if br < 2.4e6 {
+		t.Fatalf("bitrate = %.0f, want ~3e6", br)
+	}
+}
+
+func TestABRDowngradesUnderCDNCongestion(t *testing.T) {
+	// One CDN node with capacity for ~4 top-rung viewers, 10 CDN-only
+	// viewers: stalls must push clients down the ladder, and the delivered
+	// bitrate must be below the top rung.
+	s := NewSystem(Config{
+		Seed: 33, NumDedicated: 1, NumBestEffort: 8,
+		Mode: client.ModeCDNOnly, ABRLadder: testLadder,
+		DedicatedUplinkBps: 14e6,
+		ClientLinkTune:     cleanLastMile,
+	})
+	s.Start()
+	for i := 0; i < 10; i++ {
+		s.AddClient(ClientSpec{Region: i % 4})
+	}
+	s.Run(60 * time.Second)
+	var down uint64
+	var brSum float64
+	for _, c := range s.Clients {
+		down += c.ABRDown
+		brSum += c.QoE.MeanBitrate()
+	}
+	if down == 0 {
+		t.Fatal("no downgrades under congestion")
+	}
+	if mean := brSum / 10; mean > 2.6e6 {
+		t.Fatalf("mean bitrate %.0f too high for a saturated CDN", mean)
+	}
+}
+
+func TestABRRLiveHoldsBitrateUnderCDNCongestion(t *testing.T) {
+	// Same saturated CDN, but RLive offloads delivery to best-effort
+	// nodes: clients should sustain a meaningfully higher bitrate than
+	// the CDN-only group — the Fig 9b mechanism.
+	// Enough viewers per stream for relay consolidation — below that
+	// scale the deployment would not even enable RLive (§7.1.1).
+	const viewers = 24
+	mk := func(mode client.Mode) float64 {
+		s := NewSystem(Config{
+			Seed: 35, NumDedicated: 1, NumBestEffort: 32,
+			Mode: mode, ABRLadder: testLadder,
+			DedicatedUplinkBps: 2.0e6 * viewers,
+			ClientLinkTune:     cleanLastMile,
+		})
+		s.Start()
+		for i := 0; i < viewers; i++ {
+			s.AddClient(ClientSpec{Region: 0})
+			s.Run(150 * time.Millisecond)
+		}
+		s.Run(60 * time.Second)
+		var brSum float64
+		for _, c := range s.Clients {
+			brSum += c.QoE.MeanBitrate()
+		}
+		return brSum / float64(len(s.Clients))
+	}
+	cdnOnly := mk(client.ModeCDNOnly)
+	rlive := mk(client.ModeRLive)
+	if rlive <= cdnOnly {
+		t.Fatalf("RLive bitrate %.0f not above CDN-only %.0f under congestion", rlive, cdnOnly)
+	}
+}
+
+func TestABRVariantSwitchKeepsPlaying(t *testing.T) {
+	s := NewSystem(Config{Seed: 37, NumBestEffort: 16, Mode: client.ModeRLive, ABRLadder: testLadder, ABRStartRung: 1, ClientLinkTune: cleanLastMile})
+	s.Start()
+	c := s.AddClient(ClientSpec{})
+	s.Run(40 * time.Second)
+	// Starting mid-ladder with a healthy network, the client should
+	// upgrade at least once and keep playing throughout.
+	if c.ABRUp == 0 {
+		t.Fatalf("no upgrades from rung 1 on a healthy network (rung=%d)", c.Rung())
+	}
+	if c.QoE.FramesPlayed < 800 {
+		t.Fatalf("frames played = %d across variant switches", c.QoE.FramesPlayed)
+	}
+}

@@ -1,0 +1,242 @@
+package core
+
+import (
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/fleet"
+	"repro/internal/media"
+	"repro/internal/metrics"
+	"repro/internal/scheduler"
+	"repro/internal/simnet"
+	"repro/internal/stats"
+)
+
+// ClientSpec customizes one viewer session.
+type ClientSpec struct {
+	Stream media.StreamID
+	Region int
+	ISP    int
+	// Mode overrides the system mode when >= 0 (cast from client.Mode).
+	ModeOverride *client.Mode
+}
+
+// AddClient creates, registers and starts one viewer session.
+func (s *System) AddClient(spec ClientSpec) *client.Client {
+	if spec.Stream == 0 {
+		spec.Stream = s.Cfg.Streams[0].Stream
+	}
+	addr := s.nextClient
+	s.nextClient++
+	s.clientRegion[addr] = spec.Region
+
+	// Access link: typical consumer last mile — mostly clean, with
+	// occasional short degradation episodes (radio fades, Wi-Fi
+	// contention) so even dedicated-CDN delivery sees realistic,
+	// nonzero rebuffering.
+	s.Net.Register(addr, simnet.LinkState{
+		UplinkBps: 50e6,
+		BaseOWD:   time.Duration(2+s.clientRNG.IntN(6)) * time.Millisecond,
+		LossRate:  0.001,
+		JitterStd: 2 * time.Millisecond,
+		MaxQueue:  300 * time.Millisecond,
+		// Episodes model radio fades / Wi-Fi contention: short windows
+		// of near-outage. These hit every delivery mode equally — the
+		// control group's nonzero rebuffering baseline. The rate is
+		// time-compressed (like churn) so sub-minute experiment runs
+		// sample them.
+		MeanDegradedEvery: time.Duration(45+s.clientRNG.IntN(60)) * time.Second,
+		MeanDegradedFor:   1500 * time.Millisecond,
+		DegradedExtraOWD:  150 * time.Millisecond,
+		DegradedLoss:      0.85,
+	}, nil)
+	if s.Cfg.ClientLinkTune != nil {
+		s.Net.UpdateState(addr, s.Cfg.ClientLinkTune)
+	}
+
+	mode := s.Cfg.Mode
+	if spec.ModeOverride != nil {
+		mode = *spec.ModeOverride
+	}
+	interval := time.Second / 30
+	for _, sc := range s.Cfg.Streams {
+		if sc.Stream == spec.Stream && sc.FPS > 0 {
+			interval = time.Second / time.Duration(sc.FPS)
+		}
+	}
+	// With an ABR ladder, the client consumes a variant stream.
+	startStream := spec.Stream
+	variants := s.Variants(spec.Stream)
+	if len(variants) > 0 {
+		r := s.Cfg.ABRStartRung
+		switch {
+		case r < 0:
+			r = 0 // conservative startup: lowest rung
+		case r == 0 || r >= len(variants):
+			r = len(variants) - 1 // default: top rung
+		}
+		startStream = variants[r]
+	}
+	host := s.cdnRouter(startStream)
+	ccfg := client.Config{
+		Stream:        startStream,
+		Variants:      variants,
+		K:             s.Cfg.K,
+		FrameInterval: interval,
+		CDN:           host,
+		Scheduler:     simnet.Addr(fleet.AddrSchedulerBase),
+		Info:          scheduler.ClientInfo{Addr: addr, Region: spec.Region, ISP: spec.ISP},
+		Mode:          mode,
+		Redundancy:    s.Cfg.Redundancy,
+		CanConnect:    func(edge simnet.Addr) bool { return s.CanConnect(addr, edge) },
+	}
+	if s.Cfg.FallbackThresholdMs > 0 {
+		ccfg.FallbackThresholdMs = s.Cfg.FallbackThresholdMs
+	}
+	if s.Cfg.CentralSequencing && s.SeqSrv != nil {
+		ccfg.CentralSeq = s.SeqSrv.Addr
+	}
+	if s.Cfg.ClientTune != nil {
+		s.Cfg.ClientTune(&ccfg)
+	}
+	c := client.New(addr, ccfg, s.Sim, s.Net, s.clientRNG.Fork())
+	s.Net.SetHandler(addr, c.Handle)
+	c.Start()
+	s.Clients = append(s.Clients, c)
+	return c
+}
+
+// CanConnect memoizes NAT traversal outcomes per (client, edge) pair: a
+// pair either punches through or it does not, stable for the session.
+func (s *System) CanConnect(clientAddr, edgeAddr simnet.Addr) bool {
+	key := uint64(clientAddr)<<32 | uint64(edgeAddr)
+	if v, ok := s.natPair[key]; ok {
+		return v
+	}
+	n := s.Fleet.Node(edgeAddr)
+	ok := true
+	if n != nil {
+		ok = s.Fleet.Traverser.Connect(n.NAT)
+	}
+	s.natPair[key] = ok
+	return ok
+}
+
+// Start begins frame generation on all CDN nodes. Call before or after
+// adding clients; clients tolerate joining mid-stream.
+func (s *System) Start() {
+	for _, h := range s.CDN {
+		h.Node.Start()
+	}
+}
+
+// Run advances the simulation by d.
+func (s *System) Run(d time.Duration) {
+	s.Sim.Run(s.Sim.Now() + d)
+}
+
+// StopClients ends all sessions (without advancing time).
+func (s *System) StopClients() {
+	for _, c := range s.Clients {
+		c.Stop()
+	}
+}
+
+// Aggregate collects QoE across all client sessions.
+func (s *System) Aggregate() *metrics.Aggregate {
+	agg := metrics.NewAggregate()
+	for _, c := range s.Clients {
+		agg.Absorb(c.QoE)
+	}
+	return agg
+}
+
+// ExpansionRates returns the traffic expansion rate γ of every best-effort
+// node that moved traffic (Fig 2b / Fig 11c).
+func (s *System) ExpansionRates() *stats.Sample {
+	out := stats.NewSample(len(s.Edges))
+	for _, n := range s.Fleet.BestEffort {
+		en := s.Edges[n.Addr]
+		if en == nil || en.BytesBackward == 0 {
+			continue
+		}
+		var ta metrics.TrafficAccount
+		ta.ServingBytes = float64(en.BytesServed)
+		ta.BackwardBytes = float64(en.BytesBackward)
+		out.Add(ta.ExpansionRate())
+	}
+	return out
+}
+
+// EqT computes total equivalent traffic: every node's transmitted bytes
+// weighted by its unit cost (§7.1.3).
+func (s *System) EqT() float64 {
+	var total float64
+	for _, n := range s.Fleet.Dedicated {
+		total += float64(s.Net.BytesSent(n.Addr)) * n.Cost
+	}
+	for _, n := range s.Fleet.BestEffort {
+		total += float64(s.Net.BytesSent(n.Addr)) * n.Cost
+	}
+	return total
+}
+
+// ServedBytes returns (dedicated, bestEffort) data-plane bytes served.
+// Best-effort volume comes from the edges' serving counters so that
+// control-plane chatter (heartbeats, probes) is excluded.
+func (s *System) ServedBytes() (float64, float64) {
+	var ded, be float64
+	for _, n := range s.Fleet.Dedicated {
+		ded += float64(s.Net.BytesSent(n.Addr))
+	}
+	for _, n := range s.Fleet.BestEffort {
+		if en := s.Edges[n.Addr]; en != nil {
+			be += float64(en.BytesServed)
+		}
+	}
+	return ded, be
+}
+
+// EnergyTotals sums client energy proxies.
+func (s *System) EnergyTotals() metrics.Energy {
+	var e metrics.Energy
+	for _, c := range s.Clients {
+		e.CPUUnits += c.Energy.CPUUnits
+		e.CopyBytes += c.Energy.CopyBytes
+		e.RadioActiveMs += c.Energy.RadioActiveMs
+		if c.Energy.MemBytesPeak > e.MemBytesPeak {
+			e.MemBytesPeak = c.Energy.MemBytesPeak
+		}
+	}
+	return e
+}
+
+// RecoveryCounters sums client recovery-path counters.
+type RecoveryCounters struct {
+	FastRetx        uint64
+	TimeoutRetx     uint64
+	DedicatedFetch  uint64
+	SubstreamSwitch uint64
+	FullFallbacks   uint64
+	EdgeSwitches    uint64
+	GapRepairs      uint64
+	RetxRequests    int
+	RetxSucceeded   int
+}
+
+// Recovery returns the summed recovery counters.
+func (s *System) Recovery() RecoveryCounters {
+	var r RecoveryCounters
+	for _, c := range s.Clients {
+		r.FastRetx += c.FastRetx
+		r.TimeoutRetx += c.TimeoutRetx
+		r.DedicatedFetch += c.DedicatedFetch
+		r.SubstreamSwitch += c.SubstreamSwitch
+		r.FullFallbacks += c.FullFallbacks
+		r.EdgeSwitches += c.EdgeSwitches
+		r.GapRepairs += c.GapRepairs
+		r.RetxRequests += c.QoE.RetxRequests
+		r.RetxSucceeded += c.QoE.RetxSucceeded
+	}
+	return r
+}

@@ -1,0 +1,73 @@
+// Package core wires RLive's components — synthetic fleet, simulated
+// network, global scheduler, dedicated CDN nodes, best-effort edge nodes,
+// and clients — into a runnable deployment, with the delivery-mode switches
+// the paper's evaluation compares (RLive multi-source, the single-source
+// strawman, CDN-only, redundant multi-source, centralized sequencing).
+package core
+
+import (
+	"repro/internal/scheduler"
+	"repro/internal/simnet"
+	"repro/internal/transport"
+)
+
+// SchedService exposes a scheduler.Scheduler over simulated network
+// messages: heartbeats in, candidate recommendations (with modeled
+// processing latency) out, plus node-failure reports and the cost-trigger's
+// stream-utilization double-check.
+type SchedService struct {
+	Addr  simnet.Addr
+	Sched *scheduler.Scheduler
+	sim   *simnet.Sim
+	net   *simnet.Network
+
+	// InvalidTracker counts candidates that turned out unusable, feeding
+	// Fig 12b. A recommendation is "invalid" when the client reports the
+	// node failed.
+	Recommended uint64
+	Reported    uint64
+}
+
+// NewSchedService creates the service; register svc.Handle as the handler
+// for addr.
+func NewSchedService(addr simnet.Addr, sched *scheduler.Scheduler, sim *simnet.Sim, net *simnet.Network) *SchedService {
+	return &SchedService{Addr: addr, Sched: sched, sim: sim, net: net}
+}
+
+// Handle processes control-plane messages.
+func (s *SchedService) Handle(from simnet.Addr, msg any) {
+	switch m := msg.(type) {
+	case *scheduler.Heartbeat:
+		s.Sched.Ingest(*m)
+	case *transport.CandidateReq:
+		info := m.Client
+		if info.Addr == 0 {
+			info.Addr = from
+		}
+		cands, lat := s.Sched.Recommend(m.Key, info)
+		s.Recommended += uint64(len(cands))
+		resp := &transport.CandidateResp{Key: m.Key, Candidates: cands}
+		// The modeled processing latency delays the response; the
+		// network adds its own RTT on top, reproducing the Fig 12a
+		// recommendation-time distribution end to end.
+		s.sim.After(lat, func() {
+			s.net.Send(s.Addr, from, transport.WireSize(resp), resp)
+		})
+	case *transport.NodeFailureReport:
+		s.Sched.ReportFailure(m.Node)
+		s.Reported++
+	case *transport.StreamUtilReq:
+		util, n := s.Sched.StreamUtilization(m.Key)
+		resp := &transport.StreamUtilResp{Key: m.Key, Util: util, N: n}
+		s.net.Send(s.Addr, from, transport.WireSize(resp), resp)
+	}
+}
+
+// InvalidFraction estimates the fraction of recommended nodes later
+// reported invalid (Fig 12b).
+func (s *SchedService) InvalidFraction() float64 {
+	if s.Recommended == 0 {
+		return 0
+	}
+	return float64(s.Reported) / float64(s.Recommended)
+}

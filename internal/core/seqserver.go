@@ -1,0 +1,87 @@
+package core
+
+import (
+	"repro/internal/chain"
+	"repro/internal/media"
+	"repro/internal/simnet"
+	"repro/internal/transport"
+)
+
+// SeqServer is the centralized frame-sequencing "super node" of the
+// pre-RLive design (§7.3.2, Table 3): it pulls frame order from the CDN,
+// computes footprints centrally, and answers client polls. Its scalability
+// and fault-tolerance problems — the reasons the paper moved to distributed
+// sequencing — are exactly what the Table 3 comparison measures: a limited
+// uplink that congests as pollers multiply, and total ordering loss while
+// the node is offline.
+type SeqServer struct {
+	Addr simnet.Addr
+	sim  *simnet.Sim
+	net  *simnet.Network
+
+	gens    map[media.StreamID]*chain.LocalGenerator
+	recent  map[media.StreamID][]chain.Footprint
+	keepFor int
+
+	Queries uint64
+}
+
+// NewSeqServer creates the server; register Handle for addr, then call
+// Follow for each stream (subscribing it to the CDN's header feed).
+func NewSeqServer(addr simnet.Addr, sim *simnet.Sim, net *simnet.Network) *SeqServer {
+	return &SeqServer{
+		Addr:    addr,
+		sim:     sim,
+		net:     net,
+		gens:    make(map[media.StreamID]*chain.LocalGenerator),
+		recent:  make(map[media.StreamID][]chain.Footprint),
+		keepFor: 90,
+	}
+}
+
+// Follow subscribes the server to a stream's header feed at the CDN.
+func (s *SeqServer) Follow(cdnAddr simnet.Addr, stream media.StreamID) {
+	s.gens[stream] = chain.NewLocalGenerator(8)
+	req := &transport.CDNSubscribeReq{Stream: stream, Substream: 0, WantHeaders: true}
+	s.net.Send(s.Addr, cdnAddr, transport.WireSize(req), req)
+}
+
+// Handle processes header records and sequence queries.
+func (s *SeqServer) Handle(from simnet.Addr, msg any) {
+	switch m := msg.(type) {
+	case *transport.CDNFrame:
+		gen, ok := s.gens[m.Header.Stream]
+		if !ok {
+			return
+		}
+		count := uint16(transport.PacketsForFrame(int(m.Header.Size)))
+		fp := gen.Observe(m.Header, count)
+		rs := append(s.recent[m.Header.Stream], fp)
+		if len(rs) > s.keepFor {
+			rs = rs[len(rs)-s.keepFor:]
+		}
+		s.recent[m.Header.Stream] = rs
+	case *transport.SeqQuery:
+		s.Queries++
+		rs := s.recent[m.Stream]
+		// Return footprints after SinceDts, bounded; include one
+		// overlapping entry so the client's TryMatch finds continuity.
+		start := 0
+		for i, fp := range rs {
+			if fp.Dts <= m.SinceDts {
+				start = i
+			}
+		}
+		out := rs[start:]
+		if len(out) > 32 {
+			out = out[:32]
+		}
+		if len(out) == 0 {
+			return
+		}
+		cp := make([]chain.Footprint, len(out))
+		copy(cp, out)
+		resp := &transport.SeqUpdate{Stream: m.Stream, Chain: cp}
+		s.net.Send(s.Addr, from, transport.WireSize(resp), resp)
+	}
+}

@@ -1,0 +1,362 @@
+package core
+
+import (
+	"time"
+
+	"repro/internal/cdn"
+	"repro/internal/client"
+	"repro/internal/edge"
+	"repro/internal/fleet"
+	"repro/internal/media"
+	"repro/internal/scheduler"
+	"repro/internal/simnet"
+	"repro/internal/stats"
+)
+
+// Config parameterizes a full deployment.
+type Config struct {
+	Seed uint64
+
+	NumDedicated  int
+	NumBestEffort int
+	Regions       int
+	ISPs          int
+
+	// Streams to host. Empty means one default 2 Mbps 30 fps stream.
+	Streams []media.SourceConfig
+
+	// ABRLadder, when set, hosts each stream as a ladder of variants at
+	// these bitrates (low→high); clients adapt across them. Variant
+	// stream IDs are base*16+rung, so base stream IDs must stay below
+	// 2^24. BitrateBps in Streams is ignored when a ladder is set.
+	ABRLadder []float64
+	// ABRStartRung is the rung clients begin on: 0 (default) means the
+	// top rung, a positive value selects that rung index, and a negative
+	// value means the lowest rung (conservative startup for surges).
+	ABRStartRung int
+
+	// K is the substream count (forced to 1 for single-source mode).
+	K int
+
+	// Mode is the delivery mode of clients added via AddClient.
+	Mode client.Mode
+	// Redundancy > 1 enables the duplicate multi-source baseline.
+	Redundancy int
+	// CentralSequencing routes frame ordering through a SeqServer
+	// instead of packet-embedded chains (Table 3 baseline).
+	CentralSequencing bool
+	// TopPercent restricts scheduler registration to the top fraction of
+	// best-effort nodes by quality (the strawman used 0.01); 0 means all.
+	TopPercent float64
+
+	ChurnEnabled bool
+	RefinedNAT   bool
+
+	// DedicatedUplinkBps overrides each dedicated node's uplink capacity
+	// (default 10 Gbps). Peak-hour experiments constrain it so that CDN
+	// bandwidth pressure — the condition RLive relieves — actually
+	// occurs.
+	DedicatedUplinkBps float64
+
+	// FallbackThresholdMs overrides the client fallback threshold.
+	FallbackThresholdMs float64
+	// ClientTune hooks client configs before creation.
+	ClientTune func(*client.Config)
+	// ClientLinkTune hooks each client's access-link model after the
+	// default last-mile parameters (including fade episodes) are set —
+	// experiments use it to harden or disable the last mile.
+	ClientLinkTune func(*simnet.LinkState)
+	// EdgeTune hooks edge configs before creation.
+	EdgeTune func(*edge.Config)
+	// SchedulerConfig tunes the global scheduler.
+	SchedulerConfig scheduler.Config
+	// AdvisersEnabled turns on edge proactive triggers (default true via
+	// setDefaults; set AdvisersDisabled to turn off).
+	AdvisersDisabled bool
+	// LifespanMedian overrides fleet churn speed (for short experiments).
+	LifespanMedian time.Duration
+}
+
+func (c *Config) setDefaults() {
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.NumDedicated == 0 {
+		c.NumDedicated = 2
+	}
+	if c.NumBestEffort == 0 {
+		c.NumBestEffort = 32
+	}
+	if c.K == 0 {
+		c.K = 4
+	}
+	if c.Mode == client.ModeSingleSource {
+		c.K = 1
+	}
+	if c.Redundancy == 0 {
+		c.Redundancy = 1
+	}
+	if len(c.Streams) == 0 {
+		c.Streams = []media.SourceConfig{{Stream: 1, FPS: 30, BitrateBps: 2e6}}
+	}
+}
+
+// System is a runnable RLive deployment.
+type System struct {
+	Cfg   Config
+	Sim   *simnet.Sim
+	Net   *simnet.Network
+	RNG   *stats.RNG
+	Fleet *fleet.Fleet
+
+	Sched    *scheduler.Scheduler
+	SchedSvc *SchedService
+	SeqSrv   *SeqServer
+
+	CDN     []*cdnHandle
+	Edges   map[simnet.Addr]*edge.Node
+	Clients []*client.Client
+
+	streamHost   map[media.StreamID]simnet.Addr
+	nextClient   simnet.Addr
+	natPair      map[uint64]bool
+	clientRegion map[simnet.Addr]int
+	clientRNG    *stats.RNG
+}
+
+// cdnHandle pairs a CDN node with its address.
+type cdnHandle struct {
+	Node *cdn.Node
+	Addr simnet.Addr
+}
+
+// NewSystem builds the deployment: network, fleet (registered on the
+// scheduler), CDN nodes hosting the configured streams, edge logic attached
+// to every best-effort node, and the control-plane services.
+func NewSystem(cfg Config) *System {
+	cfg.setDefaults()
+	rng := stats.NewRNG(cfg.Seed)
+	sim := simnet.NewSim()
+	net := simnet.NewNetwork(sim, rng.Fork())
+
+	s := &System{
+		Cfg:          cfg,
+		Sim:          sim,
+		Net:          net,
+		RNG:          rng,
+		Edges:        make(map[simnet.Addr]*edge.Node),
+		streamHost:   make(map[media.StreamID]simnet.Addr),
+		nextClient:   fleet.AddrClientBase,
+		natPair:      make(map[uint64]bool),
+		clientRegion: make(map[simnet.Addr]int),
+		clientRNG:    rng.Fork(),
+	}
+
+	// Scheduler endpoint.
+	schedAddr := simnet.Addr(fleet.AddrSchedulerBase)
+	net.Register(schedAddr, simnet.LinkState{UplinkBps: 100e9, BaseOWD: 10 * time.Millisecond}, nil)
+	scfg := cfg.SchedulerConfig
+	scfg.RefinedNAT = cfg.RefinedNAT
+	s.Sched = scheduler.New(scfg, rng.Fork(), func() time.Duration { return sim.Now() })
+	s.SchedSvc = NewSchedService(schedAddr, s.Sched, sim, net)
+	net.SetHandler(schedAddr, s.SchedSvc.Handle)
+
+	// Fleet.
+	s.Fleet = fleet.New(fleet.Config{
+		NumDedicated:   cfg.NumDedicated,
+		NumBestEffort:  cfg.NumBestEffort,
+		Regions:        cfg.Regions,
+		ISPs:           cfg.ISPs,
+		ChurnEnabled:   cfg.ChurnEnabled,
+		RefinedNAT:     cfg.RefinedNAT,
+		LifespanMedian: cfg.LifespanMedian,
+	}, rng, sim, net)
+
+	// CDN nodes host streams round-robin.
+	if cfg.DedicatedUplinkBps > 0 {
+		for _, n := range s.Fleet.Dedicated {
+			n.UplinkBps = cfg.DedicatedUplinkBps
+			net.UpdateState(n.Addr, func(st *simnet.LinkState) {
+				st.UplinkBps = cfg.DedicatedUplinkBps
+			})
+		}
+	}
+	for _, n := range s.Fleet.Dedicated {
+		h := &cdnHandle{Node: cdn.New(n.Addr, sim, net, rng.Fork()), Addr: n.Addr}
+		net.SetHandler(n.Addr, h.Node.Handle)
+		s.CDN = append(s.CDN, h)
+	}
+	for i, sc := range cfg.Streams {
+		host := s.CDN[i%len(s.CDN)]
+		if len(cfg.ABRLadder) > 0 {
+			for r, bps := range cfg.ABRLadder {
+				vc := sc
+				vc.Stream = VariantID(sc.Stream, r)
+				vc.BitrateBps = bps
+				host.Node.HostStream(vc, cfg.K)
+				s.streamHost[vc.Stream] = host.Addr
+			}
+		} else {
+			host.Node.HostStream(sc, cfg.K)
+		}
+		s.streamHost[sc.Stream] = host.Addr
+	}
+
+	// Edge logic on best-effort nodes; scheduler registration honours
+	// the TopPercent restriction (the strawman's "top 1%").
+	pool := s.Fleet.BestEffort
+	if cfg.TopPercent > 0 {
+		pool = s.Fleet.TopPercentByQuality(cfg.TopPercent)
+	}
+	inPool := make(map[simnet.Addr]bool, len(pool))
+	for _, n := range pool {
+		inPool[n.Addr] = true
+	}
+	for _, n := range s.Fleet.BestEffort {
+		ecfg := edge.Config{
+			CDN:               s.CDN[0].Addr,
+			CDNRouter:         s.cdnRouter,
+			Scheduler:         schedAddr,
+			SessionQuota:      n.SessionQuota,
+			HeartbeatsEnabled: true,
+			AdviserEnabled:    !cfg.AdvisersDisabled,
+		}
+		if cfg.EdgeTune != nil {
+			cfg.EdgeTune(&ecfg)
+		}
+		en := edge.New(n.Addr, ecfg, sim, net, rng.Fork())
+		for _, sc := range cfg.Streams {
+			en.SetSubstreamCount(sc.Stream, cfg.K)
+			for r := range cfg.ABRLadder {
+				en.SetSubstreamCount(VariantID(sc.Stream, r), cfg.K)
+			}
+		}
+		net.SetHandler(n.Addr, en.Handle)
+		en.Start()
+		s.Edges[n.Addr] = en
+		if inPool[n.Addr] {
+			s.Sched.RegisterNode(n.Addr, scheduler.StaticFeatures{
+				Region:   n.Region,
+				ISP:      n.ISP,
+				NAT:      n.NAT,
+				HighQ:    n.HighQ,
+				ConnTyp:  n.ConnTyp,
+				Class:    uint8(n.Class),
+				CostUnit: n.Cost,
+			}, n.SessionQuota)
+		}
+	}
+
+	// Centralized sequencing service (Table 3 baseline): a single
+	// high-quality best-effort node acts as the super node.
+	if cfg.CentralSequencing {
+		seqAddr := simnet.Addr(fleet.AddrSchedulerBase + 1)
+		// A super node is a good best-effort box, not a datacenter
+		// server: generous but finite uplink, degradation episodes, and
+		// outright failures — §7.3.2: "super node failures caused
+		// significant delays in recovering sequence chains".
+		net.Register(seqAddr, simnet.LinkState{
+			UplinkBps: 200e6, BaseOWD: 5 * time.Millisecond,
+			MeanDegradedEvery: 30 * time.Second, MeanDegradedFor: 3 * time.Second,
+			DegradedExtraOWD: 150 * time.Millisecond, DegradedLoss: 0.15,
+		}, nil)
+		outageRNG := rng.Fork()
+		var scheduleOutage func()
+		scheduleOutage = func() {
+			up := time.Duration(outageRNG.Exponential(float64(45 * time.Second)))
+			sim.After(up, func() {
+				net.SetOnline(seqAddr, false)
+				down := time.Duration(outageRNG.Exponential(float64(6 * time.Second)))
+				sim.After(down, func() {
+					net.SetOnline(seqAddr, true)
+					// The restarted super node lost its chain
+					// state and must rebuild from the CDN feed.
+					for _, sc := range cfg.Streams {
+						if len(cfg.ABRLadder) > 0 {
+							for r := range cfg.ABRLadder {
+								v := VariantID(sc.Stream, r)
+								s.SeqSrv.Follow(s.streamHost[v], v)
+							}
+						} else {
+							s.SeqSrv.Follow(s.streamHost[sc.Stream], sc.Stream)
+						}
+					}
+					scheduleOutage()
+				})
+			})
+		}
+		scheduleOutage()
+		s.SeqSrv = NewSeqServer(seqAddr, sim, net)
+		net.SetHandler(seqAddr, s.SeqSrv.Handle)
+		for _, sc := range cfg.Streams {
+			if len(cfg.ABRLadder) > 0 {
+				for r := range cfg.ABRLadder {
+					v := VariantID(sc.Stream, r)
+					s.SeqSrv.Follow(s.streamHost[v], v)
+				}
+			} else {
+				s.SeqSrv.Follow(s.streamHost[sc.Stream], sc.Stream)
+			}
+		}
+	}
+
+	// Region-distance propagation.
+	net.InterRegionOWD = s.interRegionOWD
+	// CDN→relay backhaul is prioritized: one substream feed serves many
+	// viewers, so the operator protects it from direct-viewer congestion
+	// on the origin uplink.
+	net.Priority = func(src, dst simnet.Addr) bool {
+		return src >= fleet.AddrDedicatedBase && src < fleet.AddrBestEffBase &&
+			dst >= fleet.AddrBestEffBase && dst < fleet.AddrClientBase
+	}
+	return s
+}
+
+// VariantID returns the stream ID of the rung-th ABR variant of a base
+// stream. Base IDs must stay below 2^24.
+func VariantID(base media.StreamID, rung int) media.StreamID {
+	return base*16 + media.StreamID(rung)
+}
+
+// Variants lists the variant stream IDs of a base stream, lowest bitrate
+// first, or nil when no ladder is configured.
+func (s *System) Variants(base media.StreamID) []media.StreamID {
+	if len(s.Cfg.ABRLadder) == 0 {
+		return nil
+	}
+	out := make([]media.StreamID, len(s.Cfg.ABRLadder))
+	for r := range s.Cfg.ABRLadder {
+		out[r] = VariantID(base, r)
+	}
+	return out
+}
+
+// cdnRouter returns the dedicated node hosting a stream.
+func (s *System) cdnRouter(id media.StreamID) simnet.Addr {
+	if a, ok := s.streamHost[id]; ok {
+		return a
+	}
+	return s.CDN[0].Addr
+}
+
+// interRegionOWD adds propagation distance between endpoints' regions.
+func (s *System) interRegionOWD(a, b simnet.Addr) time.Duration {
+	ra, rb := s.regionOf(a), s.regionOf(b)
+	d := ra - rb
+	if d < 0 {
+		d = -d
+	}
+	return time.Duration(d) * 4 * time.Millisecond
+}
+
+// regionOf maps an address to a region: fleet nodes carry one; clients are
+// assigned on creation.
+func (s *System) regionOf(a simnet.Addr) int {
+	if n := s.Fleet.Node(a); n != nil {
+		return n.Region
+	}
+	if r, ok := s.clientRegion[a]; ok {
+		return r
+	}
+	return 0
+}

@@ -1,0 +1,204 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/media"
+)
+
+func run(t *testing.T, cfg Config, clients int, d time.Duration) *System {
+	t.Helper()
+	s := NewSystem(cfg)
+	s.Start()
+	// Stagger client joins slightly for realism.
+	for i := 0; i < clients; i++ {
+		s.AddClient(ClientSpec{Region: i % 4, ISP: i % 2})
+		s.Run(200 * time.Millisecond)
+	}
+	s.Run(d)
+	return s
+}
+
+func TestRLiveSystemEndToEnd(t *testing.T) {
+	s := run(t, Config{Seed: 7, NumBestEffort: 24, Mode: client.ModeRLive,
+		ClientLinkTune: cleanLastMile}, 4, 30*time.Second)
+	agg := s.Aggregate()
+	if agg.Sessions != 4 {
+		t.Fatalf("sessions = %d", agg.Sessions)
+	}
+	for i, c := range s.Clients {
+		if c.QoE.FramesPlayed < 500 {
+			t.Fatalf("client %d played only %d frames", i, c.QoE.FramesPlayed)
+		}
+	}
+	// Most delivery should come from best-effort nodes once engaged.
+	_, be := s.ServedBytes()
+	if be == 0 {
+		t.Fatal("no best-effort traffic in RLive mode")
+	}
+	// Best-effort nodes remain inherently unstable (degradation
+	// episodes) even with a clean last mile; a stall every ~30 s of
+	// session is within expectation, sustained stalling is not.
+	if agg.Rebuffer.Percentile(50) > 8 {
+		t.Fatalf("median rebuffers/100s = %.1f on a mostly-clean network", agg.Rebuffer.Percentile(50))
+	}
+}
+
+func TestCDNOnlySystem(t *testing.T) {
+	s := run(t, Config{Seed: 7, NumBestEffort: 8, Mode: client.ModeCDNOnly}, 3, 20*time.Second)
+	_, be := s.ServedBytes()
+	if be != 0 {
+		t.Fatalf("best-effort traffic in CDN-only mode: %.0f bytes", be)
+	}
+	for _, c := range s.Clients {
+		if c.QoE.FramesPlayed < 400 {
+			t.Fatalf("cdn-only client played %d frames", c.QoE.FramesPlayed)
+		}
+	}
+}
+
+func TestSingleSourceSystem(t *testing.T) {
+	s := run(t, Config{Seed: 7, NumBestEffort: 32, Mode: client.ModeSingleSource, TopPercent: 0.1}, 3, 20*time.Second)
+	if s.Cfg.K != 1 {
+		t.Fatalf("single-source K = %d", s.Cfg.K)
+	}
+	for _, c := range s.Clients {
+		if c.QoE.FramesPlayed < 300 {
+			t.Fatalf("single-source client played %d frames", c.QoE.FramesPlayed)
+		}
+	}
+}
+
+func TestExpansionRatesPositive(t *testing.T) {
+	s := run(t, Config{Seed: 9, NumBestEffort: 24, Mode: client.ModeRLive}, 6, 30*time.Second)
+	rates := s.ExpansionRates()
+	if rates.N() == 0 {
+		t.Fatal("no expansion rates recorded")
+	}
+	if rates.Percentile(100) <= 0 {
+		t.Fatal("expansion rate not positive")
+	}
+}
+
+func TestEqTAccounting(t *testing.T) {
+	s := run(t, Config{Seed: 9, NumBestEffort: 16, Mode: client.ModeRLive}, 2, 15*time.Second)
+	if s.EqT() <= 0 {
+		t.Fatal("EqT not accumulated")
+	}
+	ded, be := s.ServedBytes()
+	if s.EqT() >= ded+be {
+		t.Fatal("EqT should be below raw bytes (best-effort discount)")
+	}
+}
+
+func TestChurnSurvival(t *testing.T) {
+	s := NewSystem(Config{
+		Seed: 11, NumBestEffort: 24, Mode: client.ModeRLive,
+		ChurnEnabled: true, LifespanMedian: 90 * time.Second,
+	})
+	s.Start()
+	for i := 0; i < 3; i++ {
+		s.AddClient(ClientSpec{Region: i})
+	}
+	s.Run(60 * time.Second)
+	for i, c := range s.Clients {
+		// 60s at 30fps = 1800 frames; allow sizable churn losses but
+		// demand sustained playback.
+		if c.QoE.FramesPlayed < 1000 {
+			t.Fatalf("client %d played %d frames under churn", i, c.QoE.FramesPlayed)
+		}
+	}
+}
+
+func TestCentralSequencingMode(t *testing.T) {
+	s := run(t, Config{Seed: 13, NumBestEffort: 16, Mode: client.ModeRLive, CentralSequencing: true}, 2, 20*time.Second)
+	if s.SeqSrv == nil || s.SeqSrv.Queries == 0 {
+		t.Fatal("sequencing server unused")
+	}
+	for _, c := range s.Clients {
+		if c.QoE.FramesPlayed < 300 {
+			t.Fatalf("central-seq client played %d frames", c.QoE.FramesPlayed)
+		}
+	}
+}
+
+func TestSchedulerIntegration(t *testing.T) {
+	s := run(t, Config{Seed: 15, NumBestEffort: 16, Mode: client.ModeRLive}, 2, 20*time.Second)
+	if s.Sched.Requests == 0 {
+		t.Fatal("scheduler never queried")
+	}
+	if s.Sched.Heartbeats == 0 {
+		t.Fatal("no heartbeats ingested")
+	}
+	if s.Sched.RecLatency.N() == 0 {
+		t.Fatal("no recommendation latency recorded")
+	}
+}
+
+func TestMultipleStreams(t *testing.T) {
+	cfg := Config{
+		Seed:          17,
+		NumDedicated:  2,
+		NumBestEffort: 24,
+		Mode:          client.ModeRLive,
+		Streams: []media.SourceConfig{
+			{Stream: 1, FPS: 30, BitrateBps: 2e6},
+			{Stream: 2, FPS: 30, BitrateBps: 1e6},
+		},
+	}
+	s := NewSystem(cfg)
+	s.Start()
+	c1 := s.AddClient(ClientSpec{Stream: 1})
+	c2 := s.AddClient(ClientSpec{Stream: 2})
+	s.Run(20 * time.Second)
+	if c1.QoE.FramesPlayed < 300 || c2.QoE.FramesPlayed < 300 {
+		t.Fatalf("multi-stream playback: %d / %d", c1.QoE.FramesPlayed, c2.QoE.FramesPlayed)
+	}
+	// Stream 2's bitrate should be about half of stream 1's.
+	b1, b2 := c1.QoE.MeanBitrate(), c2.QoE.MeanBitrate()
+	if b2 >= b1 {
+		t.Fatalf("bitrates: stream1=%.0f stream2=%.0f", b1, b2)
+	}
+}
+
+func TestSystemDeterminism(t *testing.T) {
+	snapshot := func() (int, float64, uint64) {
+		s := run(t, Config{Seed: 21, NumBestEffort: 16, Mode: client.ModeRLive, ChurnEnabled: true,
+			LifespanMedian: 2 * time.Minute}, 3, 20*time.Second)
+		var frames int
+		var stalled float64
+		for _, c := range s.Clients {
+			frames += c.QoE.FramesPlayed
+			stalled += c.QoE.StalledMs
+		}
+		return frames, stalled, s.Net.Delivered
+	}
+	f1, s1, d1 := snapshot()
+	f2, s2, d2 := snapshot()
+	if f1 != f2 || s1 != s2 || d1 != d2 {
+		t.Fatalf("nondeterministic: (%d,%.1f,%d) vs (%d,%.1f,%d)", f1, s1, d1, f2, s2, d2)
+	}
+}
+
+func TestRedundantModeCostsMore(t *testing.T) {
+	base := run(t, Config{Seed: 23, NumBestEffort: 24, Mode: client.ModeRLive}, 3, 20*time.Second)
+	red := run(t, Config{Seed: 23, NumBestEffort: 24, Mode: client.ModeRLive, Redundancy: 2}, 3, 20*time.Second)
+	_, beBase := base.ServedBytes()
+	_, beRed := red.ServedBytes()
+	if beRed < beBase*13/10 {
+		t.Fatalf("redundant mode should move noticeably more best-effort bytes: %.0f vs %.0f", beRed, beBase)
+	}
+}
+
+func TestStopClientsReleasesSessions(t *testing.T) {
+	s := run(t, Config{Seed: 25, NumBestEffort: 16, Mode: client.ModeRLive}, 3, 15*time.Second)
+	s.StopClients()
+	s.Run(5 * time.Second)
+	for addr, e := range s.Edges {
+		if e.Sessions() != 0 {
+			t.Fatalf("edge %v still holds sessions", addr)
+		}
+	}
+}

@@ -1,0 +1,653 @@
+// Package edge implements the best-effort edge node: RLive's relay layer
+// and the middle tier of the collaborative control plane. An edge node
+// subscribes to a dedicated CDN node for the substreams it relays (full
+// frames for its own substream, headers for the rest), slices frames into
+// fixed-size packets, embeds its locally generated frame chain in every
+// packet, and pushes them to subscribers (§5.1–5.2). As an "edge adviser"
+// it monitors its own utilization for the cost-aware trigger and its
+// subscribers' QoS for the Z-score outlier trigger, proactively suggesting
+// switches (§4.2.2). It sends 5 s/10 s heartbeats to the global scheduler.
+package edge
+
+import (
+	"time"
+
+	"repro/internal/chain"
+	"repro/internal/media"
+	"repro/internal/scheduler"
+	"repro/internal/simnet"
+	"repro/internal/stats"
+	"repro/internal/transport"
+)
+
+// Config parameterizes an edge node's behaviour.
+type Config struct {
+	// CDN is the dedicated node this edge pulls from by default.
+	CDN simnet.Addr
+	// CDNRouter, if set, picks the dedicated node hosting a given stream
+	// (deployments spread streams across CDN nodes).
+	CDNRouter func(media.StreamID) simnet.Addr
+	// Scheduler is the global scheduler's address.
+	Scheduler simnet.Addr
+	// ChainDelta is the local chain length δ (default chain.DefaultLength).
+	ChainDelta int
+	// UtilizationTheta is the cost-trigger threshold θ (default 0.6;
+	// the paper keeps utilization above 60% for most nodes).
+	UtilizationTheta float64
+	// CostCheckEvery is the utilization re-evaluation period (paper:
+	// every 10 s).
+	CostCheckEvery time.Duration
+	// QoSCheckEvery is the Z-score outlier scan period.
+	QoSCheckEvery time.Duration
+	// OutlierZ is the Z-score above which a connection counts as a top
+	// outlier; 1.65 ≈ top 5% one-sided.
+	OutlierZ float64
+	// SessionQuota caps concurrent subscribers (quota-based
+	// availability, §8.1).
+	SessionQuota int
+	// SubscriberTimeout reclaims sessions whose subscriber has gone
+	// silent (default 12 s; clients report QoS every ~2 s).
+	SubscriberTimeout time.Duration
+	// RetainFrames bounds the per-substream retransmission buffer.
+	RetainFrames int
+	// HeartbeatsEnabled turns on periodic scheduler heartbeats.
+	HeartbeatsEnabled bool
+	// AdviserEnabled turns on the proactive cost/QoS triggers.
+	AdviserEnabled bool
+}
+
+func (c *Config) setDefaults() {
+	if c.ChainDelta == 0 {
+		c.ChainDelta = chain.DefaultLength
+	}
+	if c.UtilizationTheta == 0 {
+		c.UtilizationTheta = 0.6
+	}
+	if c.CostCheckEvery == 0 {
+		c.CostCheckEvery = 10 * time.Second
+	}
+	if c.QoSCheckEvery == 0 {
+		c.QoSCheckEvery = 2 * time.Second
+	}
+	if c.OutlierZ == 0 {
+		c.OutlierZ = 1.65
+	}
+	if c.SessionQuota == 0 {
+		c.SessionQuota = 64
+	}
+	if c.SubscriberTimeout == 0 {
+		c.SubscriberTimeout = 8 * time.Second
+	}
+	if c.RetainFrames == 0 {
+		c.RetainFrames = 120
+	}
+}
+
+// retainedFrame is a relayed frame kept for packet retransmission.
+type retainedFrame struct {
+	header      media.Header
+	count       uint16
+	chain       []chain.Footprint
+	generatedAt int64
+}
+
+// relayState is the per-substream relay machinery. subOrder mirrors the
+// subscriber map in arrival order: all fan-out iterates it so simulation
+// runs stay deterministic (map iteration order would perturb the network
+// RNG draw sequence).
+type relayState struct {
+	key         scheduler.SubstreamKey
+	subscribers map[simnet.Addr]*connQoS
+	subOrder    []simnet.Addr
+	gen         *chain.LocalGenerator
+	recent      map[uint64]*retainedFrame
+	order       []uint64
+	subscribed  bool // CDN subscription active
+}
+
+// connQoS tracks one subscriber connection's reported QoS for the Z-score
+// trigger, plus liveness: subscribers report every couple of seconds, so a
+// long-silent one has left (the unsubscribe was lost in flight) and its
+// session is reclaimed.
+type connQoS struct {
+	rtt        stats.EWMA
+	loss       stats.EWMA
+	subscribed simnet.Time
+	lastSeen   simnet.Time
+}
+
+// Node is one best-effort edge node.
+type Node struct {
+	Addr simnet.Addr
+	cfg  Config
+
+	sim *simnet.Sim
+	net *simnet.Network
+	rng *stats.RNG
+
+	// Static features reported to the scheduler.
+	Static scheduler.StaticFeatures
+
+	relays     map[scheduler.SubstreamKey]*relayState
+	relayOrder []scheduler.SubstreamKey
+	// streamGens shares one chain generator per stream: the generator
+	// observes the full stream order via the header side channel, and
+	// all of the stream's substream relays embed chains from it.
+	streamGens map[media.StreamID]*chain.LocalGenerator
+	// substreamCount maps stream -> K (set by deployment wiring) so a
+	// node relaying several substreams of one stream can re-derive
+	// frame-to-substream assignment with the CDN's hash.
+	substreamCount map[media.StreamID]int
+	// lastObs tracks the newest observed dts per stream: observation must
+	// be monotone or the chain CRCs would record a false order.
+	lastObs  map[media.StreamID]uint64
+	util     *stats.EWMA
+	sessions int
+
+	// Stats.
+	PacketsPushed   uint64
+	PacketsRetx     uint64
+	BytesServed     uint64
+	BytesBackward   uint64
+	CostSuggestions uint64
+	QoSSuggestions  uint64
+}
+
+// New returns an edge node. Register node.Handle as the simnet handler and
+// call Start to begin periodic duties.
+func New(addr simnet.Addr, cfg Config, sim *simnet.Sim, net *simnet.Network, rng *stats.RNG) *Node {
+	cfg.setDefaults()
+	return &Node{
+		Addr:       addr,
+		cfg:        cfg,
+		sim:        sim,
+		net:        net,
+		rng:        rng,
+		relays:     make(map[scheduler.SubstreamKey]*relayState),
+		streamGens: make(map[media.StreamID]*chain.LocalGenerator),
+		lastObs:    make(map[media.StreamID]uint64),
+		util:       stats.NewEWMA(0.3),
+	}
+}
+
+// Config returns the effective configuration.
+func (n *Node) Config() Config { return n.cfg }
+
+// Sessions returns the current subscriber count across relays.
+func (n *Node) Sessions() int { return n.sessions }
+
+// Utilization returns the sliding-average resource utilization ū_node.
+func (n *Node) Utilization() float64 { return n.util.Value() }
+
+// Start arms the periodic duties: heartbeats, utilization sampling, cost
+// trigger, and QoS outlier scan.
+func (n *Node) Start() {
+	// Utilization sampling every second feeds the EWMA.
+	n.sim.Every(time.Second, func() bool {
+		n.sampleUtilization()
+		return true
+	})
+	n.sim.Every(2*time.Second, func() bool {
+		n.sweepSubscribers()
+		return true
+	})
+	if n.cfg.HeartbeatsEnabled {
+		n.scheduleHeartbeat()
+	}
+	if n.cfg.AdviserEnabled {
+		n.sim.Every(n.cfg.CostCheckEvery, func() bool {
+			n.costTrigger()
+			return true
+		})
+		n.sim.Every(n.cfg.QoSCheckEvery, func() bool {
+			n.qosTrigger()
+			return true
+		})
+	}
+}
+
+// sampleUtilization blends uplink occupancy and session/quota pressure into
+// the node's sliding-average utilization.
+func (n *Node) sampleUtilization() {
+	up := n.net.UplinkBusyFraction(n.Addr, time.Second)
+	sess := float64(n.sessions) / float64(n.cfg.SessionQuota)
+	if sess > 1 {
+		sess = 1
+	}
+	u := up
+	if sess > u {
+		u = sess
+	}
+	n.util.Add(u)
+}
+
+// scheduleHeartbeat sends status to the scheduler every 5 s when active,
+// 10 s when idle (§4.1.1).
+func (n *Node) scheduleHeartbeat() {
+	var tick func()
+	tick = func() {
+		if !n.net.Online(n.Addr) {
+			// Offline: retry on the idle cadence; heartbeats resume
+			// when churn brings the node back.
+			n.sim.After(scheduler.HeartbeatIdle, tick)
+			return
+		}
+		n.sendHeartbeat()
+		period := scheduler.HeartbeatIdle
+		if n.sessions > 0 {
+			period = scheduler.HeartbeatActive
+		}
+		n.sim.After(period, tick)
+	}
+	n.sim.After(time.Duration(n.rng.IntN(int(scheduler.HeartbeatActive))), tick)
+}
+
+func (n *Node) sendHeartbeat() {
+	st, _ := n.net.State(n.Addr)
+	residual := st.UplinkBps * (1 - n.util.Value())
+	hb := &scheduler.Heartbeat{
+		Addr:        n.Addr,
+		ResidualBps: residual,
+		Utilization: n.util.Value(),
+		Sessions:    n.sessions,
+		QuotaLeft:   n.cfg.SessionQuota - n.sessions,
+	}
+	for _, key := range n.relayOrder {
+		if r := n.relays[key]; len(r.subscribers) > 0 || r.subscribed {
+			hb.Forwarding = append(hb.Forwarding, key)
+		}
+	}
+	n.net.Send(n.Addr, n.cfg.Scheduler, transport.WireSize(hb), hb)
+}
+
+// Handle processes inbound messages.
+func (n *Node) Handle(from simnet.Addr, msg any) {
+	switch m := msg.(type) {
+	case *transport.SubscribeReq:
+		n.onSubscribe(from, m.Key)
+	case *transport.UnsubscribeReq:
+		n.onUnsubscribe(from, m.Key)
+	case *transport.CDNFrame:
+		n.onCDNFrame(m)
+	case *transport.RetxReq:
+		n.onRetx(from, m)
+	case *transport.ProbeReq:
+		resp := &transport.ProbeResp{
+			Nonce: m.Nonce, Key: m.Key,
+			Accepting: n.sessions < n.cfg.SessionQuota,
+		}
+		n.net.Send(n.Addr, from, transport.WireSize(resp), resp)
+	case *transport.QoSReport:
+		n.onQoSReport(from, m)
+	case *transport.StreamUtilResp:
+		n.onStreamUtil(m)
+	}
+}
+
+func (n *Node) onSubscribe(from simnet.Addr, key scheduler.SubstreamKey) {
+	if n.sessions >= n.cfg.SessionQuota {
+		return // at quota; client's probe timeout handles it
+	}
+	r := n.relay(key)
+	if _, dup := r.subscribers[from]; dup {
+		return
+	}
+	now := n.sim.Now()
+	r.subscribers[from] = &connQoS{
+		rtt: *stats.NewEWMA(0.3), loss: *stats.NewEWMA(0.3),
+		subscribed: now, lastSeen: now,
+	}
+	r.subOrder = append(r.subOrder, from)
+	n.sessions++
+	if !r.subscribed {
+		// Reset the stream's chain context when no relay of this stream
+		// was active: the header flow had a gap, so stale predecessor
+		// headers would produce footprints recording a false order. The
+		// CDN's warm-up headers rebuild the context.
+		active := false
+		for k2, r2 := range n.relays {
+			if k2.Stream == key.Stream && r2 != r && r2.subscribed {
+				active = true
+				break
+			}
+		}
+		if !active {
+			n.streamGens[key.Stream] = chain.NewLocalGenerator(n.cfg.ChainDelta)
+			r.gen = n.streamGens[key.Stream]
+			delete(n.lastObs, key.Stream)
+			// Other (inactive) relays of the stream share the new
+			// generator again.
+			for k2, r2 := range n.relays {
+				if k2.Stream == key.Stream {
+					r2.gen = r.gen
+				}
+			}
+		}
+		r.subscribed = true
+		req := &transport.CDNSubscribeReq{
+			Stream:      key.Stream,
+			Substream:   key.Substream,
+			WantHeaders: true,
+		}
+		n.net.Send(n.Addr, n.cdnFor(key.Stream), transport.WireSize(req), req)
+	}
+}
+
+// cdnFor returns the dedicated node to pull a stream from.
+func (n *Node) cdnFor(id media.StreamID) simnet.Addr {
+	if n.cfg.CDNRouter != nil {
+		return n.cfg.CDNRouter(id)
+	}
+	return n.cfg.CDN
+}
+
+func (n *Node) onUnsubscribe(from simnet.Addr, key scheduler.SubstreamKey) {
+	r, ok := n.relays[key]
+	if !ok {
+		return
+	}
+	if _, had := r.subscribers[from]; !had {
+		return
+	}
+	delete(r.subscribers, from)
+	for i, a := range r.subOrder {
+		if a == from {
+			r.subOrder = append(r.subOrder[:i], r.subOrder[i+1:]...)
+			break
+		}
+	}
+	n.sessions--
+	if len(r.subscribers) == 0 && r.subscribed {
+		r.subscribed = false
+		req := &transport.CDNUnsubscribeReq{Stream: key.Stream, Substream: key.Substream}
+		n.net.Send(n.Addr, n.cdnFor(key.Stream), transport.WireSize(req), req)
+	}
+}
+
+func (n *Node) relay(key scheduler.SubstreamKey) *relayState {
+	r, ok := n.relays[key]
+	if !ok {
+		r = &relayState{
+			key:         key,
+			subscribers: make(map[simnet.Addr]*connQoS),
+			recent:      make(map[uint64]*retainedFrame),
+		}
+		gen, ok := n.streamGens[key.Stream]
+		if !ok {
+			gen = chain.NewLocalGenerator(n.cfg.ChainDelta)
+			n.streamGens[key.Stream] = gen
+		}
+		r.gen = gen
+		n.relays[key] = r
+		n.relayOrder = append(n.relayOrder, key)
+	}
+	return r
+}
+
+// onCDNFrame ingests a frame record from the CDN: every record (full or
+// header-only) advances the stream's chain generator; full frames are
+// packetized and pushed to the owning relay's subscribers.
+func (n *Node) onCDNFrame(m *transport.CDNFrame) {
+	gen, ok := n.streamGens[m.Header.Stream]
+	if !ok {
+		return // no active relay for this stream
+	}
+	count := uint16(transport.PacketsForFrame(int(m.Header.Size)))
+	if !m.Recovered {
+		// Monotone observation only: a reordered or duplicate header
+		// would record a false frame order in the chain CRCs.
+		last, seen := n.lastObs[m.Header.Stream]
+		if !seen || m.Header.Dts > last {
+			gen.Observe(m.Header, count)
+			n.lastObs[m.Header.Stream] = m.Header.Dts
+		}
+	}
+	if !m.Full {
+		return
+	}
+	n.BytesBackward += uint64(m.Header.Size)
+	// Find the relay that owns this frame's substream. The CDN only
+	// sends us full frames for substreams we subscribed to, so scan the
+	// relays for this stream (K is small).
+	for _, key := range n.relayOrder {
+		r := n.relays[key]
+		if key.Stream != m.Header.Stream || !r.subscribed {
+			continue
+		}
+		// Delivery targeting: the frame belongs to exactly one
+		// substream; the CDN's partitioner decided which. We infer
+		// ownership by probing: the relay retains and serves the
+		// frame only if its subscriber set expects this substream.
+		// Since the CDN sends full frames only for our subscribed
+		// substreams, a node with a single relay per stream can
+		// accept directly; with multiple relays we re-derive the
+		// assignment with the same hash the CDN used.
+		part := media.Partitioner{K: n.substreamCountHint(key.Stream)}
+		if part.K > 1 && part.Assign(m.Header.Dts) != key.Substream {
+			continue
+		}
+		n.push(r, m, count)
+		break
+	}
+}
+
+// substreamCountHint returns K for a stream, defaulting to 1 when unset.
+func (n *Node) substreamCountHint(id media.StreamID) int {
+	if k, ok := n.substreamCount[id]; ok {
+		return k
+	}
+	return 1
+}
+
+// SetSubstreamCount tells the node how many substreams a stream has, so it
+// can re-derive frame-to-substream assignment for multi-relay nodes.
+func (n *Node) SetSubstreamCount(id media.StreamID, k int) {
+	if n.substreamCount == nil {
+		n.substreamCount = make(map[media.StreamID]int)
+	}
+	n.substreamCount[id] = k
+}
+
+// push slices a frame into packets and pushes them to all subscribers of
+// the relay, embedding the current local chain in every packet.
+func (n *Node) push(r *relayState, m *transport.CDNFrame, count uint16) {
+	lchain := r.gen.Chain()
+	rf := &retainedFrame{header: m.Header, count: count, chain: lchain, generatedAt: m.GeneratedAt}
+	r.recent[m.Header.Dts] = rf
+	r.order = append(r.order, m.Header.Dts)
+	if len(r.order) > n.cfg.RetainFrames {
+		delete(r.recent, r.order[0])
+		r.order = r.order[1:]
+	}
+	for _, sub := range r.subOrder {
+		n.sendFramePackets(sub, r.key, rf, nil, false)
+	}
+}
+
+// sendFramePackets transmits the frame's packets (all, or just the listed
+// seqs) to one subscriber.
+func (n *Node) sendFramePackets(to simnet.Addr, key scheduler.SubstreamKey, rf *retainedFrame, seqs []uint16, retx bool) {
+	total := int(rf.header.Size)
+	send := func(seq uint16) {
+		payLen := transport.PacketPayload
+		if int(seq) == int(rf.count)-1 {
+			payLen = total - (int(rf.count)-1)*transport.PacketPayload
+			if payLen <= 0 {
+				payLen = total % transport.PacketPayload
+				if payLen == 0 {
+					payLen = transport.PacketPayload
+				}
+			}
+		}
+		pkt := &transport.DataPacket{
+			Key:         key,
+			Header:      rf.header,
+			Seq:         seq,
+			Count:       rf.count,
+			PayloadLen:  payLen,
+			Chain:       rf.chain,
+			Publisher:   n.Addr,
+			GeneratedAt: rf.generatedAt,
+			Retransmit:  retx,
+		}
+		size := transport.WireSize(pkt)
+		n.net.Send(n.Addr, to, size, pkt)
+		n.BytesServed += uint64(size)
+		if retx {
+			n.PacketsRetx++
+		} else {
+			n.PacketsPushed++
+		}
+	}
+	if seqs == nil {
+		for s := uint16(0); s < rf.count; s++ {
+			send(s)
+		}
+	} else {
+		for _, s := range seqs {
+			if int(s) < int(rf.count) {
+				send(s)
+			}
+		}
+	}
+}
+
+// onRetx serves a packet retransmission request from the retained window,
+// or NACKs so the client escalates to dedicated recovery without burning
+// retry rounds (frames from before this relay's subscription, or rotated
+// out of the window, can never be served from here).
+func (n *Node) onRetx(from simnet.Addr, m *transport.RetxReq) {
+	r, ok := n.relays[m.Key]
+	if !ok {
+		nack := &transport.RetxNack{Key: m.Key, Dts: m.Dts}
+		n.net.Send(n.Addr, from, transport.WireSize(nack), nack)
+		return
+	}
+	rf, ok := r.recent[m.Dts]
+	if !ok {
+		nack := &transport.RetxNack{Key: m.Key, Dts: m.Dts}
+		n.net.Send(n.Addr, from, transport.WireSize(nack), nack)
+		return
+	}
+	n.sendFramePackets(from, m.Key, rf, m.Missing, true)
+}
+
+// onQoSReport folds a subscriber's report into its connection tracker.
+func (n *Node) onQoSReport(from simnet.Addr, m *transport.QoSReport) {
+	r, ok := n.relays[m.Key]
+	if !ok {
+		return
+	}
+	c, ok := r.subscribers[from]
+	if !ok {
+		return
+	}
+	c.lastSeen = n.sim.Now()
+	c.rtt.Add(m.RTTms)
+	c.loss.Add(m.LossRate)
+}
+
+// sweepSubscribers reclaims sessions whose subscriber went silent.
+func (n *Node) sweepSubscribers() {
+	now := n.sim.Now()
+	for _, key := range n.relayOrder {
+		r := n.relays[key]
+		for _, sub := range append([]simnet.Addr(nil), r.subOrder...) {
+			c := r.subscribers[sub]
+			if c == nil {
+				continue
+			}
+			if now-c.lastSeen > simnet.Time(n.cfg.SubscriberTimeout) {
+				n.onUnsubscribe(sub, key)
+			}
+		}
+	}
+}
+
+// costTrigger implements the cost-aware trigger (§4.2.2): when ū_node < θ,
+// ask the scheduler whether ū_stream is also below θ; the confirmation
+// arrives as a StreamUtilResp and completes in onStreamUtil.
+func (n *Node) costTrigger() {
+	if !n.net.Online(n.Addr) || n.sessions == 0 {
+		return
+	}
+	if !n.util.Initialized() || n.util.Value() >= n.cfg.UtilizationTheta {
+		return
+	}
+	for _, key := range n.relayOrder {
+		if len(n.relays[key].subscribers) == 0 {
+			continue
+		}
+		req := &transport.StreamUtilReq{Key: key}
+		n.net.Send(n.Addr, n.cfg.Scheduler, transport.WireSize(req), req)
+	}
+}
+
+// onStreamUtil completes the cost trigger: if the stream-wide utilization
+// is also below θ, suggest switches to this relay's subscribers so traffic
+// consolidates and back-to-CDN pulls drop.
+func (n *Node) onStreamUtil(m *transport.StreamUtilResp) {
+	if m.N == 0 || m.Util >= n.cfg.UtilizationTheta {
+		return
+	}
+	if !n.util.Initialized() || n.util.Value() >= n.cfg.UtilizationTheta {
+		return // re-check: our own state may have changed since asking
+	}
+	r, ok := n.relays[m.Key]
+	if !ok {
+		return
+	}
+	for _, sub := range r.subOrder {
+		sg := &transport.SwitchSuggestion{Key: m.Key, Reason: transport.SuggestCost}
+		n.net.Send(n.Addr, sub, transport.WireSize(sg), sg)
+		n.CostSuggestions++
+	}
+}
+
+// qosTrigger implements the QoS-aware trigger (§4.2.2): compute the Z-score
+// of each connection's QoS metric against the node's population and suggest
+// switches to top-5% outliers.
+func (n *Node) qosTrigger() {
+	if !n.net.Online(n.Addr) {
+		return
+	}
+	var w stats.Welford
+	type conn struct {
+		key scheduler.SubstreamKey
+		sub simnet.Addr
+		m   float64
+	}
+	var conns []conn
+	for _, key := range n.relayOrder {
+		r := n.relays[key]
+		for _, sub := range r.subOrder {
+			c := r.subscribers[sub]
+			if !c.rtt.Initialized() {
+				continue
+			}
+			// QoS metric: RTT inflated by loss.
+			m := c.rtt.Value() * (1 + 5*c.loss.Value())
+			w.Add(m)
+			conns = append(conns, conn{key, sub, m})
+		}
+	}
+	if w.N() < 4 {
+		return // too few connections for a meaningful Z-score
+	}
+	for _, c := range conns {
+		if w.ZScore(c.m) > n.cfg.OutlierZ {
+			sg := &transport.SwitchSuggestion{Key: c.key, Reason: transport.SuggestQoS}
+			n.net.Send(n.Addr, c.sub, transport.WireSize(sg), sg)
+			n.QoSSuggestions++
+		}
+	}
+}
+
+// Subscribers returns the subscriber count for one relay key.
+func (n *Node) Subscribers(key scheduler.SubstreamKey) int {
+	r, ok := n.relays[key]
+	if !ok {
+		return 0
+	}
+	return len(r.subscribers)
+}

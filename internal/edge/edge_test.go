@@ -1,0 +1,414 @@
+package edge
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/cdn"
+	"repro/internal/media"
+	"repro/internal/scheduler"
+	"repro/internal/simnet"
+	"repro/internal/stats"
+	"repro/internal/transport"
+)
+
+const (
+	cdnAddr    = simnet.Addr(1000)
+	schedAddr  = simnet.Addr(1)
+	edgeAddr   = simnet.Addr(100000)
+	clientAddr = simnet.Addr(5000)
+)
+
+type harness struct {
+	sim   *simnet.Sim
+	net   *simnet.Network
+	cdn   *cdn.Node
+	node  *Node
+	inbox []any // messages arriving at the client
+	sched []any // messages arriving at the scheduler
+}
+
+func newHarness(t *testing.T, cfg Config) *harness {
+	t.Helper()
+	h := &harness{sim: simnet.NewSim()}
+	rng := stats.NewRNG(3)
+	h.net = simnet.NewNetwork(h.sim, rng.Fork())
+	h.net.Register(cdnAddr, simnet.LinkState{UplinkBps: 10e9, BaseOWD: 2 * time.Millisecond}, nil)
+	h.net.Register(schedAddr, simnet.LinkState{UplinkBps: 10e9, BaseOWD: 2 * time.Millisecond},
+		func(from simnet.Addr, msg any) { h.sched = append(h.sched, msg) })
+	h.net.Register(edgeAddr, simnet.LinkState{UplinkBps: 50e6, BaseOWD: time.Millisecond}, nil)
+	h.net.Register(clientAddr, simnet.LinkState{UplinkBps: 100e6, BaseOWD: time.Millisecond},
+		func(from simnet.Addr, msg any) { h.inbox = append(h.inbox, msg) })
+
+	h.cdn = cdn.New(cdnAddr, h.sim, h.net, rng.Fork())
+	h.net.SetHandler(cdnAddr, h.cdn.Handle)
+	h.cdn.HostStream(media.SourceConfig{Stream: 1, FPS: 30}, 4)
+
+	cfg.CDN = cdnAddr
+	cfg.Scheduler = schedAddr
+	h.node = New(edgeAddr, cfg, h.sim, h.net, rng.Fork())
+	h.node.SetSubstreamCount(1, 4)
+	h.net.SetHandler(edgeAddr, h.node.Handle)
+	return h
+}
+
+func (h *harness) clientSend(msg any) {
+	h.net.Send(clientAddr, edgeAddr, transport.WireSize(msg), msg)
+}
+
+func (h *harness) packets() []*transport.DataPacket {
+	var out []*transport.DataPacket
+	for _, m := range h.inbox {
+		if p, ok := m.(*transport.DataPacket); ok {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func key(ss media.SubstreamID) scheduler.SubstreamKey {
+	return scheduler.SubstreamKey{Stream: 1, Substream: ss}
+}
+
+func TestSubscribeRelaysSubstream(t *testing.T) {
+	h := newHarness(t, Config{})
+	h.clientSend(&transport.SubscribeReq{Key: key(2)})
+	h.cdn.Start()
+	h.node.Start()
+	h.sim.Run(3 * time.Second)
+
+	pkts := h.packets()
+	if len(pkts) == 0 {
+		t.Fatal("no packets relayed")
+	}
+	part, _ := h.cdn.Partitioner(1)
+	seen := map[uint64]bool{}
+	for _, p := range pkts {
+		if p.Key != key(2) {
+			t.Fatalf("packet for wrong key: %+v", p.Key)
+		}
+		if part.Assign(p.Header.Dts) != 2 {
+			t.Fatalf("relayed frame from wrong substream: dts=%d", p.Header.Dts)
+		}
+		if p.Publisher != edgeAddr {
+			t.Fatal("publisher address not embedded")
+		}
+		if len(p.Chain) == 0 {
+			t.Fatal("packet without local chain")
+		}
+		seen[p.Header.Dts] = true
+	}
+	// ~90 frames in 3s, 1/4 on substream 2 => ~22 distinct frames.
+	if len(seen) < 10 {
+		t.Fatalf("distinct frames relayed = %d, want >= 10", len(seen))
+	}
+	if h.node.Sessions() != 1 {
+		t.Fatalf("sessions = %d", h.node.Sessions())
+	}
+}
+
+func TestChainAdvancesAcrossAllSubstreams(t *testing.T) {
+	// The local chain must reflect the FULL stream order (headers of
+	// other substreams included), not just relayed frames: consecutive
+	// relayed frames of one substream carry chains whose tail includes
+	// footprints of frames from other substreams.
+	h := newHarness(t, Config{})
+	h.clientSend(&transport.SubscribeReq{Key: key(0)})
+	h.cdn.Start()
+	h.node.Start()
+	h.sim.Run(3 * time.Second)
+	part, _ := h.cdn.Partitioner(1)
+	foreign := 0
+	for _, p := range h.packets() {
+		for _, fp := range p.Chain {
+			if fp.Zero() {
+				continue
+			}
+			if part.Assign(fp.Dts) != 0 {
+				foreign++
+			}
+		}
+	}
+	if foreign == 0 {
+		t.Fatal("chains never reference other substreams' frames; header side-channel not sequenced")
+	}
+}
+
+func TestPacketCountMatchesFrameSize(t *testing.T) {
+	h := newHarness(t, Config{})
+	h.clientSend(&transport.SubscribeReq{Key: key(1)})
+	h.cdn.Start()
+	h.node.Start()
+	h.sim.Run(2 * time.Second)
+	byFrame := map[uint64]map[uint16]*transport.DataPacket{}
+	for _, p := range h.packets() {
+		if byFrame[p.Header.Dts] == nil {
+			byFrame[p.Header.Dts] = map[uint16]*transport.DataPacket{}
+		}
+		byFrame[p.Header.Dts][p.Seq] = p
+	}
+	checked := 0
+	for dts, pkts := range byFrame {
+		var total, count int
+		for _, p := range pkts {
+			total += p.PayloadLen
+			count = int(p.Count)
+		}
+		if len(pkts) != count {
+			continue // some packets may be in flight/lost; only check complete frames
+		}
+		var hdrSize int
+		for _, p := range pkts {
+			hdrSize = int(p.Header.Size)
+			break
+		}
+		if total != hdrSize {
+			t.Fatalf("frame %d: payload sum %d != frame size %d", dts, total, hdrSize)
+		}
+		checked++
+	}
+	if checked == 0 {
+		t.Fatal("no complete frames to check")
+	}
+}
+
+func TestRetransmission(t *testing.T) {
+	h := newHarness(t, Config{})
+	h.clientSend(&transport.SubscribeReq{Key: key(1)})
+	h.cdn.Start()
+	h.node.Start()
+	h.sim.Run(2 * time.Second)
+	pkts := h.packets()
+	if len(pkts) == 0 {
+		t.Fatal("no packets")
+	}
+	target := pkts[len(pkts)-1]
+	before := len(h.packets())
+	h.clientSend(&transport.RetxReq{Key: key(1), Dts: target.Header.Dts, Missing: []uint16{0}})
+	h.sim.Run(2200 * time.Millisecond)
+	var retx *transport.DataPacket
+	for _, p := range h.packets()[before:] {
+		if p.Retransmit && p.Header.Dts == target.Header.Dts && p.Seq == 0 {
+			retx = p
+		}
+	}
+	if retx == nil {
+		t.Fatal("retransmission not served")
+	}
+	if h.node.PacketsRetx == 0 {
+		t.Fatal("retx counter")
+	}
+}
+
+func TestRetxOutOfWindowIgnored(t *testing.T) {
+	h := newHarness(t, Config{})
+	h.clientSend(&transport.SubscribeReq{Key: key(1)})
+	h.cdn.Start()
+	h.node.Start()
+	h.sim.Run(time.Second)
+	h.clientSend(&transport.RetxReq{Key: key(1), Dts: 999999, Missing: []uint16{0}})
+	h.sim.Run(1200 * time.Millisecond)
+	for _, p := range h.packets() {
+		if p.Retransmit {
+			t.Fatal("phantom retransmission")
+		}
+	}
+}
+
+func TestUnsubscribeStopsRelay(t *testing.T) {
+	h := newHarness(t, Config{})
+	h.clientSend(&transport.SubscribeReq{Key: key(1)})
+	h.cdn.Start()
+	h.node.Start()
+	h.sim.Run(time.Second)
+	h.clientSend(&transport.UnsubscribeReq{Key: key(1)})
+	h.sim.Run(1200 * time.Millisecond)
+	n := len(h.packets())
+	h.sim.Run(3 * time.Second)
+	if got := len(h.packets()); got > n+4 {
+		t.Fatalf("packets after unsubscribe: %d -> %d", n, got)
+	}
+	if h.node.Sessions() != 0 {
+		t.Fatal("session not released")
+	}
+	// Edge should also have unsubscribed from the CDN.
+	if h.cdn.Subscribers(1) != 0 {
+		t.Fatal("edge still subscribed to CDN")
+	}
+}
+
+func TestQuotaRejectsSubscriptions(t *testing.T) {
+	h := newHarness(t, Config{SessionQuota: 1})
+	other := simnet.Addr(5001)
+	h.net.Register(other, simnet.LinkState{UplinkBps: 100e6}, func(simnet.Addr, any) {})
+	h.clientSend(&transport.SubscribeReq{Key: key(1)})
+	h.sim.Run(100 * time.Millisecond)
+	h.net.Send(other, edgeAddr, 36, &transport.SubscribeReq{Key: key(2)})
+	h.sim.Run(200 * time.Millisecond)
+	if h.node.Sessions() != 1 {
+		t.Fatalf("sessions = %d, want 1 (quota)", h.node.Sessions())
+	}
+	if h.node.Subscribers(key(2)) != 0 {
+		t.Fatal("over-quota subscription accepted")
+	}
+}
+
+func TestProbeReflectsQuota(t *testing.T) {
+	h := newHarness(t, Config{SessionQuota: 1})
+	h.clientSend(&transport.ProbeReq{Nonce: 1, Key: key(0)})
+	h.sim.Run(100 * time.Millisecond)
+	h.clientSend(&transport.SubscribeReq{Key: key(0)})
+	h.sim.Run(200 * time.Millisecond)
+	h.clientSend(&transport.ProbeReq{Nonce: 2, Key: key(1)})
+	h.sim.Run(300 * time.Millisecond)
+	var first, second *transport.ProbeResp
+	for _, m := range h.inbox {
+		if r, ok := m.(*transport.ProbeResp); ok {
+			switch r.Nonce {
+			case 1:
+				first = r
+			case 2:
+				second = r
+			}
+		}
+	}
+	if first == nil || !first.Accepting {
+		t.Fatal("probe before quota should accept")
+	}
+	if second == nil || second.Accepting {
+		t.Fatal("probe at quota should refuse")
+	}
+}
+
+func TestHeartbeats(t *testing.T) {
+	// Long subscriber timeout: this test's client never sends QoS
+	// reports, and the sweep would otherwise reclaim its session.
+	h := newHarness(t, Config{HeartbeatsEnabled: true, SubscriberTimeout: time.Hour})
+	h.node.Start()
+	h.sim.Run(25 * time.Second)
+	idleHBs := 0
+	for _, m := range h.sched {
+		if _, ok := m.(*scheduler.Heartbeat); ok {
+			idleHBs++
+		}
+	}
+	// Idle cadence 10 s: expect ~2-3 heartbeats in 25 s.
+	if idleHBs < 2 || idleHBs > 4 {
+		t.Fatalf("idle heartbeats in 25s = %d, want ~2-3", idleHBs)
+	}
+	// Subscribe: cadence should double.
+	h.clientSend(&transport.SubscribeReq{Key: key(0)})
+	h.cdn.Start()
+	start := len(h.sched)
+	h.sim.Run(50 * time.Second)
+	activeHBs := 0
+	for _, m := range h.sched[start:] {
+		if hb, ok := m.(*scheduler.Heartbeat); ok {
+			activeHBs++
+			if len(hb.Forwarding) == 0 {
+				t.Fatal("active heartbeat missing forwarding set")
+			}
+		}
+	}
+	if activeHBs < 4 {
+		t.Fatalf("active heartbeats in 25s = %d, want ~5", activeHBs)
+	}
+}
+
+func TestCostTriggerSuggestsWhenUnderutilized(t *testing.T) {
+	h := newHarness(t, Config{AdviserEnabled: true, CostCheckEvery: 5 * time.Second})
+	// Wire the scheduler to answer StreamUtilReq with low utilization.
+	h.net.SetHandler(schedAddr, func(from simnet.Addr, msg any) {
+		if r, ok := msg.(*transport.StreamUtilReq); ok {
+			resp := &transport.StreamUtilResp{Key: r.Key, Util: 0.1, N: 5}
+			h.net.Send(schedAddr, from, transport.WireSize(resp), resp)
+		}
+	})
+	h.clientSend(&transport.SubscribeReq{Key: key(0)})
+	h.cdn.Start()
+	h.node.Start()
+	h.sim.Run(30 * time.Second)
+	suggestions := 0
+	for _, m := range h.inbox {
+		if s, ok := m.(*transport.SwitchSuggestion); ok && s.Reason == transport.SuggestCost {
+			suggestions++
+		}
+	}
+	if suggestions == 0 {
+		t.Fatal("underutilized node never suggested a switch")
+	}
+	if h.node.CostSuggestions == 0 {
+		t.Fatal("cost suggestion counter")
+	}
+}
+
+func TestCostTriggerSilentWhenStreamBusy(t *testing.T) {
+	h := newHarness(t, Config{AdviserEnabled: true, CostCheckEvery: 5 * time.Second})
+	h.net.SetHandler(schedAddr, func(from simnet.Addr, msg any) {
+		if r, ok := msg.(*transport.StreamUtilReq); ok {
+			resp := &transport.StreamUtilResp{Key: r.Key, Util: 0.9, N: 5} // stream busy
+			h.net.Send(schedAddr, from, transport.WireSize(resp), resp)
+		}
+	})
+	h.clientSend(&transport.SubscribeReq{Key: key(0)})
+	h.cdn.Start()
+	h.node.Start()
+	h.sim.Run(30 * time.Second)
+	for _, m := range h.inbox {
+		if s, ok := m.(*transport.SwitchSuggestion); ok && s.Reason == transport.SuggestCost {
+			t.Fatal("suggested despite busy stream (double-check failed)")
+		}
+	}
+}
+
+func TestQoSTriggerFlagsOutlier(t *testing.T) {
+	h := newHarness(t, Config{AdviserEnabled: true, QoSCheckEvery: time.Second})
+	// 8 subscribers; one reports much worse RTT.
+	subs := make([]simnet.Addr, 8)
+	var outlierInbox []any
+	for i := range subs {
+		subs[i] = simnet.Addr(6000 + i)
+		addr := subs[i]
+		if i == 0 {
+			h.net.Register(addr, simnet.LinkState{UplinkBps: 100e6},
+				func(from simnet.Addr, msg any) { outlierInbox = append(outlierInbox, msg) })
+		} else {
+			h.net.Register(addr, simnet.LinkState{UplinkBps: 100e6}, func(simnet.Addr, any) {})
+		}
+		h.net.Send(addr, edgeAddr, 36, &transport.SubscribeReq{Key: key(0)})
+	}
+	h.sim.Run(100 * time.Millisecond)
+	// Reports: sub 0 at 500ms, rest at ~30ms.
+	for round := 0; round < 5; round++ {
+		for i, addr := range subs {
+			rtt := 30.0
+			if i == 0 {
+				rtt = 500
+			}
+			h.net.Send(addr, edgeAddr, 52, &transport.QoSReport{Key: key(0), RTTms: rtt})
+		}
+		h.sim.Run(h.sim.Now() + 500*time.Millisecond)
+	}
+	h.node.Start()
+	h.sim.Run(h.sim.Now() + 5*time.Second)
+	flagged := false
+	for _, m := range outlierInbox {
+		if s, ok := m.(*transport.SwitchSuggestion); ok && s.Reason == transport.SuggestQoS {
+			flagged = true
+		}
+	}
+	if !flagged {
+		t.Fatalf("outlier connection not flagged (qos suggestions=%d)", h.node.QoSSuggestions)
+	}
+}
+
+func TestBackwardTrafficAccounting(t *testing.T) {
+	h := newHarness(t, Config{})
+	h.clientSend(&transport.SubscribeReq{Key: key(0)})
+	h.cdn.Start()
+	h.node.Start()
+	h.sim.Run(3 * time.Second)
+	if h.node.BytesBackward == 0 || h.node.BytesServed == 0 {
+		t.Fatalf("traffic accounting empty: back=%d served=%d", h.node.BytesBackward, h.node.BytesServed)
+	}
+}

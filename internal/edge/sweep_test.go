@@ -1,0 +1,100 @@
+package edge
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/transport"
+)
+
+func TestSubscriberSweepReclaimsSilentSessions(t *testing.T) {
+	h := newHarness(t, Config{SubscriberTimeout: 6 * time.Second})
+	h.node.Start()
+	h.clientSend(&transport.SubscribeReq{Key: key(0)})
+	h.sim.Run(time.Second)
+	if h.node.Sessions() != 1 {
+		t.Fatal("subscription not established")
+	}
+	// The client never sends QoS reports; the sweep must reclaim it.
+	h.sim.Run(12 * time.Second)
+	if h.node.Sessions() != 0 {
+		t.Fatalf("silent session not reclaimed: %d", h.node.Sessions())
+	}
+	// And the CDN feed must be released too.
+	if h.cdn.Subscribers(1) != 0 {
+		t.Fatal("CDN feed kept after sweep")
+	}
+}
+
+func TestQoSReportsKeepSessionAlive(t *testing.T) {
+	h := newHarness(t, Config{SubscriberTimeout: 4 * time.Second})
+	h.node.Start()
+	h.clientSend(&transport.SubscribeReq{Key: key(0)})
+	for i := 0; i < 10; i++ {
+		h.sim.Run(h.sim.Now() + 2*time.Second)
+		h.clientSend(&transport.QoSReport{Key: key(0), RTTms: 20})
+	}
+	h.sim.Run(h.sim.Now() + time.Second)
+	if h.node.Sessions() != 1 {
+		t.Fatalf("reporting session was swept: %d", h.node.Sessions())
+	}
+}
+
+func TestRetxNackWhenFrameUnknown(t *testing.T) {
+	h := newHarness(t, Config{})
+	h.clientSend(&transport.SubscribeReq{Key: key(0)})
+	h.cdn.Start()
+	h.node.Start()
+	h.sim.Run(2 * time.Second)
+	// A dts from before this relay's window.
+	h.clientSend(&transport.RetxReq{Key: key(0), Dts: 1, Missing: []uint16{0}})
+	h.sim.Run(2200 * time.Millisecond)
+	found := false
+	for _, m := range h.inbox {
+		if n, ok := m.(*transport.RetxNack); ok && n.Dts == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("no NACK for an unservable retransmission")
+	}
+}
+
+func TestRetxNackForUnknownRelay(t *testing.T) {
+	h := newHarness(t, Config{})
+	h.node.Start()
+	h.clientSend(&transport.RetxReq{Key: key(3), Dts: 42, Missing: []uint16{0}})
+	h.sim.Run(time.Second)
+	found := false
+	for _, m := range h.inbox {
+		if n, ok := m.(*transport.RetxNack); ok && n.Key == key(3) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("no NACK for an unknown relay key")
+	}
+}
+
+func TestRetxEmptyMissingResendsAll(t *testing.T) {
+	h := newHarness(t, Config{})
+	h.clientSend(&transport.SubscribeReq{Key: key(1)})
+	h.cdn.Start()
+	h.node.Start()
+	h.sim.Run(2 * time.Second)
+	var target *transport.DataPacket
+	for _, m := range h.inbox {
+		if p, ok := m.(*transport.DataPacket); ok {
+			target = p
+		}
+	}
+	if target == nil {
+		t.Fatal("no packets")
+	}
+	before := h.node.PacketsRetx
+	h.clientSend(&transport.RetxReq{Key: key(1), Dts: target.Header.Dts}) // Missing empty = all
+	h.sim.Run(2200 * time.Millisecond)
+	if got := h.node.PacketsRetx - before; got != uint64(target.Count) {
+		t.Fatalf("retransmitted %d packets, want the whole frame (%d)", got, target.Count)
+	}
+}

@@ -1,0 +1,357 @@
+package experiments
+
+import (
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/simnet"
+	"repro/internal/stats"
+)
+
+// peakLoad describes one time-of-day load level for the A/B experiments.
+type peakLoad struct {
+	name string
+	// cdnPerClientBps sizes the dedicated uplink per client: < top rung
+	// means CDN congestion when everyone pulls from the CDN.
+	cdnPerClientBps float64
+}
+
+var (
+	eveningPeak = peakLoad{name: "evening", cdnPerClientBps: 2.4e6} // pressure at the top rung
+	noonPeak    = peakLoad{name: "noon", cdnPerClientBps: 2.9e6}    // milder pressure
+	offPeak     = peakLoad{name: "off-peak", cdnPerClientBps: 8e6}  // headroom
+)
+
+var abLadder = []float64{0.8e6, 1.2e6, 2.0e6, 3.0e6}
+
+// abRun runs one group at one load level and returns the system. RLive's
+// CDN relief requires enough viewers per stream for relay consolidation
+// (the deployment gates RLive on stream popularity, §7.1.1), so the viewer
+// count is floored and viewers concentrate in two regions.
+func abRun(sc Scale, mode client.Mode, load peakLoad, tune func(*core.Config)) *core.System {
+	if sc.Clients < 24 {
+		sc.Clients = 24
+	}
+	if sc.BestEffort < 32 {
+		sc.BestEffort = 32
+	}
+	cfg := core.Config{
+		Seed:               sc.Seed,
+		NumDedicated:       1,
+		NumBestEffort:      sc.BestEffort,
+		Mode:               mode,
+		ABRLadder:          abLadder,
+		DedicatedUplinkBps: load.cdnPerClientBps * float64(sc.Clients),
+		ChurnEnabled:       true,
+		LifespanMedian:     5 * time.Minute,
+	}
+	if tune != nil {
+		tune(&cfg)
+	}
+	s := core.NewSystem(cfg)
+	s.Start()
+	ramp := sc.Duration / 5 / time.Duration(max(1, sc.Clients))
+	for i := 0; i < sc.Clients; i++ {
+		s.AddClient(core.ClientSpec{Region: i % 2, ISP: i % 2})
+		s.Run(ramp)
+	}
+	s.Run(sc.Duration)
+	return s
+}
+
+// abMetrics extracts the three headline QoE numbers.
+type abMetrics struct {
+	rebufPer100 float64
+	bitrate     float64
+	e2eP50      float64
+	eqt         float64
+	energy      metrics.Energy
+	stallMs     float64
+}
+
+func measure(s *core.System) abMetrics {
+	agg := s.Aggregate()
+	return abMetrics{
+		rebufPer100: agg.Rebuffer.Mean(),
+		bitrate:     agg.Bitrate.Mean(),
+		e2eP50:      agg.E2EMs.Percentile(50),
+		eqt:         s.EqT(),
+		energy:      s.EnergyTotals(),
+		stallMs:     agg.StallTime.Mean(),
+	}
+}
+
+// Fig8ABFairness reproduces Figure 8: splitting users into control and test
+// groups by ID hash yields view/viewer counts that differ only by noise
+// (~0.01–0.1%), establishing A/B fairness. This is a property of the
+// assignment mechanism, reproduced on synthetic user activity.
+func Fig8ABFairness(sc Scale) *Result {
+	rng := stats.NewRNG(sc.Seed)
+	users := 200000
+	days := 14
+	viewsSeries := &Series{ID: "fig8", Title: "Daily view-count diff between groups",
+		XLabel: "day", YLabel: "diff (%)"}
+	viewersSeries := &Series{ID: "fig8", Title: "Daily viewer-count diff between groups",
+		XLabel: "day", YLabel: "diff (%)"}
+	var maxViewDiff, maxViewerDiff float64
+	for day := 1; day <= days; day++ {
+		var views [2]float64
+		var viewers [2]float64
+		for u := 0; u < users; u++ {
+			g := u & 1 // group by unique ID
+			// Daily activity: most users watch, view counts are
+			// heavy-tailed.
+			if rng.Bool(0.8) {
+				viewers[g]++
+				views[g] += float64(1 + rng.Zipf(50, 1.5))
+			}
+		}
+		vd := metrics.RelDiff(views[1], views[0]) * 100
+		ud := metrics.RelDiff(viewers[1], viewers[0]) * 100
+		viewsSeries.Add(float64(day), vd)
+		viewersSeries.Add(float64(day), ud)
+		if abs(vd) > maxViewDiff {
+			maxViewDiff = abs(vd)
+		}
+		if abs(ud) > maxViewerDiff {
+			maxViewerDiff = abs(ud)
+		}
+	}
+	tbl := &Table{ID: "fig8", Title: "A/B split fairness",
+		Header: []string{"metric", "max |diff|", "paper"}}
+	tbl.AddRow("views", pct(maxViewDiff/100), "O(0.01-0.1%)")
+	tbl.AddRow("viewers", pct(maxViewerDiff/100), "O(0.01-0.1%)")
+	return &Result{ID: "fig8", Tables: []*Table{tbl}, Series: []*Series{viewsSeries, viewersSeries}}
+}
+
+// Fig9ABTests reproduces Figure 9: the two production A/B tests.
+// Test 1 (evening peak): control pulls full streams from the dedicated CDN,
+// test pulls through RLive. Test 2 (double vs evening peak): the noon-peak
+// comparison, where CDN pressure is milder so gains are smaller.
+// Paper: rebuffering −15% / further −10%; bitrate +10.5% / +7%;
+// E2E latency +4–6% in both.
+func Fig9ABTests(sc Scale) *Result {
+	// Test 1: evening peak.
+	ctrl1 := abRun(sc, client.ModeCDNOnly, eveningPeak, nil)
+	test1 := abRun(sc, client.ModeRLive, eveningPeak, nil)
+	m1c, m1t := measure(ctrl1), measure(test1)
+
+	// Test 2: noon peak (the incremental window the second test adds).
+	ctrl2 := abRun(sc, client.ModeCDNOnly, noonPeak, nil)
+	test2 := abRun(sc, client.ModeRLive, noonPeak, nil)
+	m2c, m2t := measure(ctrl2), measure(test2)
+
+	tbl := &Table{ID: "fig9", Title: "A/B tests: RLive vs CDN-only (diff vs control)",
+		Header: []string{"metric", "test1 (evening)", "test2 (noon)", "paper"}}
+	tbl.AddRow("rebuffering /100s",
+		pct(metrics.RelDiff(m1t.rebufPer100, m1c.rebufPer100)),
+		pct(metrics.RelDiff(m2t.rebufPer100, m2c.rebufPer100)),
+		"~-15% / ~-10%")
+	tbl.AddRow("video bitrate",
+		pct(metrics.RelDiff(m1t.bitrate, m1c.bitrate)),
+		pct(metrics.RelDiff(m2t.bitrate, m2c.bitrate)),
+		"~+10.5% / ~+7%")
+	tbl.AddRow("E2E latency P50",
+		pct(metrics.RelDiff(m1t.e2eP50, m1c.e2eP50)),
+		pct(metrics.RelDiff(m2t.e2eP50, m2c.e2eP50)),
+		"+4..6%")
+	// Under peak congestion the control's own stall-lag inflates its
+	// latency, masking RLive's relay/reassembly penalty; the off-peak
+	// pair isolates it (the paper's +4–6% is the uncongested-path cost).
+	ctrl3 := abRun(sc, client.ModeCDNOnly, offPeak, nil)
+	test3 := abRun(sc, client.ModeRLive, offPeak, nil)
+	m3c, m3t := measure(ctrl3), measure(test3)
+	tbl.AddRow("E2E latency P50 (off-peak)",
+		pct(metrics.RelDiff(m3t.e2eP50, m3c.e2eP50)), "-", "+4..6%")
+	detail := &Table{ID: "fig9", Title: "Raw group values",
+		Header: []string{"group", "rebuf/100s", "bitrate (Mbps)", "E2E P50 (ms)"}}
+	detail.AddRow("evening cdn-only", f2(m1c.rebufPer100), f2(m1c.bitrate/1e6), f0(m1c.e2eP50))
+	detail.AddRow("evening rlive", f2(m1t.rebufPer100), f2(m1t.bitrate/1e6), f0(m1t.e2eP50))
+	detail.AddRow("noon cdn-only", f2(m2c.rebufPer100), f2(m2c.bitrate/1e6), f0(m2c.e2eP50))
+	detail.AddRow("noon rlive", f2(m2t.rebufPer100), f2(m2t.bitrate/1e6), f0(m2t.e2eP50))
+	return &Result{ID: "fig9", Tables: []*Table{tbl, detail}}
+}
+
+// Table2EqT reproduces Table 2: equivalent-traffic (cost-weighted volume)
+// reduction from serving through cheaper best-effort nodes. Paper: test 1
+// cuts evening EqT ~8%, test 2 cuts non-peak (noon) EqT ~6%.
+func Table2EqT(sc Scale) *Result {
+	ctrl1 := abRun(sc, client.ModeCDNOnly, eveningPeak, nil)
+	test1 := abRun(sc, client.ModeRLive, eveningPeak, nil)
+	ctrl2 := abRun(sc, client.ModeCDNOnly, noonPeak, nil)
+	test2 := abRun(sc, client.ModeRLive, noonPeak, nil)
+
+	// RLive also delivers a HIGHER bitrate under peak pressure (Fig 9b),
+	// so raw EqT is not service-equivalent; normalize by the video bits
+	// actually delivered to viewers. The paper's A/B groups delivered
+	// comparable video, making raw EqT comparable there.
+	norm := func(s *core.System) float64 {
+		var bits float64
+		for _, c := range s.Clients {
+			bits += c.QoE.MeanBitrate() * c.QoE.PlayedMs / 1000
+		}
+		if bits == 0 {
+			return 0
+		}
+		return s.EqT() / (bits / 8)
+	}
+	tbl := &Table{ID: "tab2", Title: "Equivalent traffic (EqT) per delivered video byte",
+		Header: []string{"window", "EqT/byte diff", "paper"}}
+	tbl.AddRow("evening (test 1)", pct(metrics.RelDiff(norm(test1), norm(ctrl1))), "-7.99%")
+	tbl.AddRow("noon/non-peak (test 2)", pct(metrics.RelDiff(norm(test2), norm(ctrl2))), "-6.16%")
+	raw := &Table{ID: "tab2", Title: "Traffic composition (MB)",
+		Header: []string{"group", "EqT", "dedicated", "best-effort", "dup@client"}}
+	row := func(name string, s *core.System) {
+		ded, be := s.ServedBytes()
+		var dup float64
+		for _, c := range s.Clients {
+			dup += float64(c.DupBytes)
+		}
+		raw.AddRow(name, f0(s.EqT()/1e6), f0(ded/1e6), f0(be/1e6), f0(dup/1e6))
+	}
+	row("evening cdn-only", ctrl1)
+	row("evening rlive", test1)
+	row("noon cdn-only", ctrl2)
+	row("noon rlive", test2)
+	return &Result{ID: "tab2", Tables: []*Table{tbl, raw}}
+}
+
+// Fig10Energy reproduces Figure 10: client-side energy/resource overhead of
+// RLive vs CDN-only delivery, via simulation proxies (compute work units,
+// peak buffer memory). Paper: CPU +0.58–0.74%, memory +0.21–0.22%, with
+// temperature/battery below 0.2%.
+func Fig10Energy(sc Scale) *Result {
+	// Uncongested so the comparison isolates protocol overhead rather
+	// than stall-induced differences.
+	ctrl := abRun(sc, client.ModeCDNOnly, offPeak, nil)
+	test := abRun(sc, client.ModeRLive, offPeak, nil)
+	ce, te := ctrl.EnergyTotals(), test.EnergyTotals()
+
+	// Normalize per played frame so slight playback differences cancel.
+	cf, tf := 0.0, 0.0
+	for _, c := range ctrl.Clients {
+		cf += float64(c.QoE.FramesPlayed)
+	}
+	for _, c := range test.Clients {
+		tf += float64(c.QoE.FramesPlayed)
+	}
+	tbl := &Table{ID: "fig10", Title: "Client energy proxies (RLive vs CDN-only)",
+		Header: []string{"proxy", "cdn-only", "rlive", "diff", "paper"}}
+	cCPU, tCPU := ce.CPUUnits/cf, te.CPUUnits/tf
+	tbl.AddRow("cpu work / frame", f2(cCPU), f2(tCPU), pct(metrics.RelDiff(tCPU, cCPU)), "+0.58..0.74% (abs)")
+	tbl.AddRow("peak buffer mem (MB)", f2(ce.MemBytesPeak/1e6), f2(te.MemBytesPeak/1e6),
+		pct(metrics.RelDiff(te.MemBytesPeak, ce.MemBytesPeak)), "+0.21..0.22% (abs)")
+	return &Result{ID: "fig10", Tables: []*Table{tbl}}
+}
+
+// Fig13RTM reproduces Figure 13: the RTM (WebRTC-based, sub-second latency)
+// protocol variant. RLive on top of RTM should cost ~1% E2E latency with
+// bitrate and rebuffering essentially unchanged, while shifting load off
+// the CDN. RTM is modeled as an ultra-low-latency client profile: small
+// startup buffer and fallback threshold.
+func Fig13RTM(sc Scale) *Result {
+	rtmTune := func(cfg *core.Config) {
+		cfg.ClientTune = func(cc *client.Config) {
+			cc.StartupBufferMs = 300
+			cc.FallbackThresholdMs = 200
+			cc.ABRCheckEvery = time.Second
+		}
+		cfg.FallbackThresholdMs = 200
+		// Isolate the protocol-generality question from last-mile
+		// robustness noise.
+		cfg.ClientLinkTune = func(st *simnet.LinkState) {
+			st.MeanDegradedEvery = 0
+			st.DegradedLoss = 0
+		}
+	}
+	ctrl := abRun(sc, client.ModeCDNOnly, offPeak, rtmTune)
+	test := abRun(sc, client.ModeRLive, offPeak, rtmTune)
+	mc, mt := measure(ctrl), measure(test)
+	cDed, _ := ctrl.ServedBytes()
+	tDed, tBE := test.ServedBytes()
+
+	tbl := &Table{ID: "fig13", Title: "RTM protocol: RTM+RLive vs RTM-only (diff vs control)",
+		Header: []string{"metric", "diff", "paper"}}
+	tbl.AddRow("E2E latency P50", pct(metrics.RelDiff(mt.e2eP50, mc.e2eP50)), "~+1%")
+	tbl.AddRow("bitrate", pct(metrics.RelDiff(mt.bitrate, mc.bitrate)), "~0%")
+	tbl.AddRow("rebuffering /100s", pct(metrics.RelDiff(mt.rebufPer100, mc.rebufPer100)), "~0%")
+	tbl.AddRow("CDN bytes served", pct(metrics.RelDiff(tDed, cDed)), "reduced")
+	tbl.AddRow("BE share of delivery", f2(tBE/(tBE+tDed)), "substantial")
+	return &Result{ID: "fig13", Tables: []*Table{tbl}}
+}
+
+// Table4FlashCrowd reproduces Table 4: the 2022 FIFA World Cup case study —
+// a flash crowd beyond dedicated capacity, where RLive mobilizes
+// best-effort resources to carry more viewers at CDN-grade QoE.
+// Paper (Dec 4 match): +21.78% views, −8.82% rebuffering, +1.72% bitrate,
+// −4.75% E2E latency.
+func Table4FlashCrowd(sc Scale) *Result {
+	// The crowd: a surge well beyond ordinary peak sizing, arriving
+	// fast, against a CDN that cannot even serve the bottom rung to
+	// everyone — the situation where RLive's rapid mobilization of
+	// best-effort resources carries the extra views.
+	crowd := sc.Clients * 2
+	if crowd < 48 {
+		crowd = 48
+	}
+	nodes := sc.BestEffort
+	if nodes < 48 {
+		nodes = 48
+	}
+	mk := func(mode client.Mode) *core.System {
+		s := core.NewSystem(core.Config{
+			Seed:          sc.Seed,
+			NumDedicated:  1,
+			NumBestEffort: nodes,
+			Mode:          mode,
+			ABRLadder:     abLadder,
+			// Slightly below bottom-rung demand for the full crowd:
+			// the CDN alone cannot hold everyone even at minimum
+			// quality.
+			DedicatedUplinkBps: 0.75e6 * float64(crowd),
+			// Surge viewers start conservative and climb.
+			ABRStartRung: -1,
+		})
+		s.Start()
+		for i := 0; i < crowd; i++ {
+			s.AddClient(core.ClientSpec{Region: i % 2, ISP: i % 2})
+			s.Run(sc.Duration / 4 / time.Duration(crowd))
+		}
+		s.Run(sc.Duration)
+		return s
+	}
+	ctrl := mk(client.ModeCDNOnly)
+	test := mk(client.ModeRLive)
+
+	// A "view" counts when the session achieved sustained smooth
+	// playback: at least 75% of its wall time playing rather than
+	// stalled (live-edge skips still count as watching).
+	countViews := func(s *core.System) (views float64) {
+		for _, c := range s.Clients {
+			total := c.QoE.PlayedMs + c.QoE.StalledMs
+			if total > 0 && c.QoE.PlayedMs/total >= 0.75 && c.QoE.FramesPlayed > 0 {
+				views++
+			}
+		}
+		return views
+	}
+	mc, mt := measure(ctrl), measure(test)
+	cv, tv := countViews(ctrl), countViews(test)
+
+	tbl := &Table{ID: "tab4", Title: "Flash crowd case study: RLive vs CDN-only",
+		Header: []string{"metric", "diff", "paper"}}
+	tbl.AddRow("#views (sustained)", pct(metrics.RelDiff(tv, cv)), "+21.78%")
+	tbl.AddRow("rebuffering /100s", pct(metrics.RelDiff(mt.rebufPer100, mc.rebufPer100)), "-8.82%")
+	tbl.AddRow("bitrate", pct(metrics.RelDiff(mt.bitrate, mc.bitrate)), "+1.72%")
+	tbl.AddRow("E2E latency P50", pct(metrics.RelDiff(mt.e2eP50, mc.e2eP50)), "-4.75%")
+	return &Result{ID: "tab4", Tables: []*Table{tbl}}
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

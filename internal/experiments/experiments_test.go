@@ -1,0 +1,103 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// tiny is a very small scale for smoke-testing the runners.
+var tiny = Scale{BestEffort: 16, Dedicated: 1, Clients: 4, Duration: 10 * time.Second, Seed: 1}
+
+func TestRegistryMatchesIDs(t *testing.T) {
+	for _, id := range IDs() {
+		if _, ok := Registry[id]; !ok {
+			t.Errorf("IDs() lists %q but Registry lacks it", id)
+		}
+	}
+	if len(Registry) != len(IDs()) {
+		t.Errorf("Registry has %d entries, IDs lists %d", len(Registry), len(IDs()))
+	}
+}
+
+// Cheap experiments run at tiny scale; every runner must produce at least
+// one table with rows and render without panicking.
+func TestCheapExperimentsSmoke(t *testing.T) {
+	for _, id := range []string{"fig1b", "fig2c", "fig2d", "tab1", "fig8", "abl-hash"} {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			res := Registry[id](tiny)
+			if len(res.Tables) == 0 {
+				t.Fatal("no tables")
+			}
+			for _, tbl := range res.Tables {
+				if len(tbl.Rows) == 0 {
+					t.Fatalf("table %q has no rows", tbl.Title)
+				}
+			}
+			if !strings.Contains(res.String(), "== ") {
+				t.Fatal("rendering produced no section headers")
+			}
+		})
+	}
+}
+
+// One full-system experiment exercises the paired-run machinery end to end.
+func TestPairedExperimentSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paired system runs skipped in -short mode")
+	}
+	res := Fig2aStrawmanQoE(tiny) // internally floors clients/duration
+	if len(res.Tables) != 1 || len(res.Tables[0].Rows) != 2 {
+		t.Fatalf("unexpected fig2a result shape: %+v", res.Tables)
+	}
+}
+
+func TestFig1bMatchesPaperBands(t *testing.T) {
+	res := Fig1bCapacity(tiny)
+	rows := res.Tables[0].Rows
+	// Row 0: fraction below 10 Mbps — the paper's ~29%, accept 0.2–0.45.
+	frac := rows[0][1]
+	if !(strings.HasPrefix(frac, "0.2") || strings.HasPrefix(frac, "0.3") || strings.HasPrefix(frac, "0.4")) {
+		t.Fatalf("frac below 10 Mbps = %s, outside the plausible band", frac)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tbl := &Table{ID: "x", Title: "demo", Header: []string{"a", "bb"}}
+	tbl.AddRow("1", "2")
+	tbl.AddRow("333", "4")
+	out := tbl.String()
+	if !strings.Contains(out, "demo") || !strings.Contains(out, "333") {
+		t.Fatalf("rendering lost content:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 { // title + header + 2 rows
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+}
+
+func TestSeriesRenderingDownsamples(t *testing.T) {
+	s := &Series{ID: "x", Title: "demo", XLabel: "x", YLabel: "y"}
+	for i := 0; i < 1000; i++ {
+		s.Add(float64(i), float64(i*i))
+	}
+	lines := strings.Split(strings.TrimSpace(s.String()), "\n")
+	if len(lines) > 30 {
+		t.Fatalf("series rendering not downsampled: %d lines", len(lines))
+	}
+}
+
+func TestDiurnalTableAnchors(t *testing.T) {
+	res := Table1Diurnal(tiny)
+	rows := res.Tables[0].Rows
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[0][1] != "0.70" {
+		t.Fatalf("6am streams = %s, want 0.70", rows[0][1])
+	}
+	if rows[4][1] != "2.47" {
+		t.Fatalf("max streams = %s, want 2.47", rows[4][1])
+	}
+}

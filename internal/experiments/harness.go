@@ -1,0 +1,188 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation (§2, §7) on the simulated deployment: workload generation,
+// parameter sweeps, baselines, and printers that emit the same rows/series
+// the paper reports. Absolute numbers differ — the substrate is a
+// simulator, not ByteDance's production CDN — but each experiment is built
+// to reproduce the paper's shape: who wins, by roughly what factor, and
+// where crossovers fall.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Scale sizes an experiment run. Quick keeps tests and benches fast; Full
+// is the CLI default.
+type Scale struct {
+	// BestEffort is the synthetic best-effort fleet size.
+	BestEffort int
+	// Dedicated is the dedicated CDN node count.
+	Dedicated int
+	// Clients is the concurrent viewer count.
+	Clients int
+	// Duration is the measured period per run.
+	Duration time.Duration
+	// Seed is the base RNG seed; paired runs share it (common random
+	// numbers) so A/B differences are not noise.
+	Seed uint64
+}
+
+// Quick is the test/bench scale.
+var Quick = Scale{BestEffort: 32, Dedicated: 1, Clients: 8, Duration: 40 * time.Second, Seed: 1}
+
+// Full is the CLI default scale.
+var Full = Scale{BestEffort: 200, Dedicated: 2, Clients: 40, Duration: 3 * time.Minute, Seed: 1}
+
+// Table is a rendered experiment result matching one paper table or the
+// scalar annotations of a figure.
+type Table struct {
+	ID     string
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// AddRow appends one row.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// String renders the table as aligned text.
+func (t *Table) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s\n", t.ID, t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[min(i, len(widths)-1)], c)
+		}
+		b.WriteString("\n")
+	}
+	line(t.Header)
+	for _, r := range t.Rows {
+		line(r)
+	}
+	return b.String()
+}
+
+// Series is a figure data series (CDF, time series, sweep).
+type Series struct {
+	ID     string
+	Title  string
+	XLabel string
+	YLabel string
+	X, Y   []float64
+}
+
+// Add appends one point.
+func (s *Series) Add(x, y float64) {
+	s.X = append(s.X, x)
+	s.Y = append(s.Y, y)
+}
+
+// String renders the series as two columns, downsampled to at most 24
+// rows for terminal output.
+func (s *Series) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s\n%-14s %-14s\n", s.ID, s.Title, s.XLabel, s.YLabel)
+	n := len(s.X)
+	step := 1
+	if n > 24 {
+		step = n / 24
+	}
+	for i := 0; i < n; i += step {
+		fmt.Fprintf(&b, "%-14.4g %-14.4g\n", s.X[i], s.Y[i])
+	}
+	return b.String()
+}
+
+// Result bundles an experiment's outputs.
+type Result struct {
+	ID     string
+	Tables []*Table
+	Series []*Series
+}
+
+// String renders all outputs.
+func (r *Result) String() string {
+	var b strings.Builder
+	for _, t := range r.Tables {
+		b.WriteString(t.String())
+		b.WriteString("\n")
+	}
+	for _, s := range r.Series {
+		b.WriteString(s.String())
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// pct formats a relative difference as a signed percentage.
+func pct(x float64) string { return fmt.Sprintf("%+.1f%%", x*100) }
+
+// f2 formats with two decimals.
+func f2(x float64) string { return fmt.Sprintf("%.2f", x) }
+
+// f0 formats with no decimals.
+func f0(x float64) string { return fmt.Sprintf("%.0f", x) }
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Registry maps experiment IDs to runners so the CLI and benches share one
+// catalogue.
+var Registry = map[string]func(Scale) *Result{
+	"fig1b":    Fig1bCapacity,
+	"fig2a":    Fig2aStrawmanQoE,
+	"fig2b":    Fig2bExpansionRate,
+	"fig2c":    Fig2cLifespan,
+	"fig2d":    Fig2dDelayJitter,
+	"fig3":     Fig3Retransmission,
+	"tab1":     Table1Diurnal,
+	"fig8":     Fig8ABFairness,
+	"fig9":     Fig9ABTests,
+	"tab2":     Table2EqT,
+	"fig10":    Fig10Energy,
+	"fig11":    Fig11MultiVsSingle,
+	"fig12":    Fig12ControlPlane,
+	"tab3":     Table3Sequencing,
+	"fig13":    Fig13RTM,
+	"tab4":     Table4FlashCrowd,
+	"fallback": FallbackThreshold,
+
+	"abl-chain":     AblationChainLength,
+	"abl-k":         AblationSubstreamCount,
+	"abl-probe":     AblationProbeCount,
+	"abl-explore":   AblationExploreExploit,
+	"abl-hash":      AblationPartitionHash,
+	"abl-redundant": AblationRedundancy,
+	"abl-nat":       AblationNATRefinement,
+}
+
+// IDs returns the registered experiment IDs in a stable order.
+func IDs() []string {
+	return []string{
+		"fig1b", "fig2a", "fig2b", "fig2c", "fig2d", "fig3", "tab1",
+		"fig8", "fig9", "tab2", "fig10", "fig11", "fig12", "tab3",
+		"fig13", "tab4", "fallback",
+		"abl-chain", "abl-k", "abl-probe", "abl-explore", "abl-hash", "abl-redundant",
+		"abl-nat",
+	}
+}

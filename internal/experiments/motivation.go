@@ -1,0 +1,283 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/core"
+	"repro/internal/fleet"
+	"repro/internal/metrics"
+	"repro/internal/simnet"
+	"repro/internal/stats"
+)
+
+// Fig1bCapacity reproduces Figure 1(b): the bandwidth-capacity distribution
+// of best-effort nodes. Paper: ~29% below 10 Mbps, only ~12% above 100 Mbps.
+func Fig1bCapacity(sc Scale) *Result {
+	rng := stats.NewRNG(sc.Seed)
+	n := sc.BestEffort * 500
+	if n < 10000 {
+		n = 10000
+	}
+	s := stats.NewSample(n)
+	for i := 0; i < n; i++ {
+		s.Add(fleet.SampleCapacityBps(rng) / 1e6)
+	}
+	tbl := &Table{ID: "fig1b", Title: "Best-effort node capacity distribution",
+		Header: []string{"bucket", "fraction", "paper"}}
+	below10 := s.FracBelow(10)
+	mid := s.FracBelow(100) - below10
+	above100 := 1 - s.FracBelow(100)
+	tbl.AddRow("< 10 Mbps", f2(below10), "~0.29")
+	tbl.AddRow("10-100 Mbps", f2(mid), "~0.59")
+	tbl.AddRow("> 100 Mbps", f2(above100), "~0.12")
+
+	cdf := &Series{ID: "fig1b", Title: "Capacity CDF", XLabel: "Mbps", YLabel: "CDF"}
+	for _, p := range s.CDF(40) {
+		cdf.Add(p.X, p.F)
+	}
+	return &Result{ID: "fig1b", Tables: []*Table{tbl}, Series: []*Series{cdf}}
+}
+
+// motivationSystem builds the environment for the §2.2 strawman study:
+// uncongested CDN, full churny fleet, viewers joining over the first
+// quarter of the run.
+func motivationSystem(sc Scale, mode client.Mode, topPercent float64) *core.System {
+	s := core.NewSystem(core.Config{
+		Seed:           sc.Seed,
+		NumDedicated:   sc.Dedicated,
+		NumBestEffort:  sc.BestEffort,
+		Mode:           mode,
+		TopPercent:     topPercent,
+		ChurnEnabled:   true,
+		LifespanMedian: 4 * time.Minute, // compressed churn for short runs
+	})
+	s.Start()
+	ramp := sc.Duration / 4 / time.Duration(max(1, sc.Clients))
+	for i := 0; i < sc.Clients; i++ {
+		s.AddClient(core.ClientSpec{Region: i % 4, ISP: i % 2})
+		s.Run(ramp)
+	}
+	s.Run(sc.Duration)
+	return s
+}
+
+// strawmanTopPercent returns the "top 1%" pool fraction adapted to small
+// synthetic fleets (at least 3 nodes).
+func strawmanTopPercent(n int) float64 {
+	f := 0.01
+	if float64(n)*f < 3 {
+		f = 3 / float64(n)
+	}
+	return f
+}
+
+// Fig2aStrawmanQoE reproduces Figure 2(a): single-source transmission
+// through top-tier best-effort nodes vs dedicated-CDN-only delivery.
+// Paper: +26–35% E2E latency, +37.5–44.7% rebuffering events.
+func Fig2aStrawmanQoE(sc Scale) *Result {
+	// Rebuffering events are rare; this experiment needs enough
+	// client-time for stable statistics regardless of scale.
+	if sc.Clients < 12 {
+		sc.Clients = 12
+	}
+	if sc.Duration < 2*time.Minute {
+		sc.Duration = 2 * time.Minute
+	}
+	ctrl := motivationSystem(sc, client.ModeCDNOnly, 0)
+	test := motivationSystem(sc, client.ModeSingleSource, strawmanTopPercent(sc.BestEffort))
+	ca, ta := ctrl.Aggregate(), test.Aggregate()
+
+	tbl := &Table{ID: "fig2a", Title: "Strawman single-source vs CDN-only (diff vs control)",
+		Header: []string{"metric", "cdn-only", "single-source", "diff", "paper"}}
+	// Mean E2E latency captures the stall-induced lag drift that the
+	// buffer-dominated median hides.
+	latC, latT := ca.E2EMs.Mean(), ta.E2EMs.Mean()
+	rbC, rbT := ca.Rebuffer.Mean(), ta.Rebuffer.Mean()
+	tbl.AddRow("E2E latency mean (ms)", f0(latC), f0(latT), pct(metrics.RelDiff(latT, latC)), "+26..35%")
+	tbl.AddRow("rebuffers /100s", f2(rbC), f2(rbT), pct(metrics.RelDiff(rbT, rbC)), "+37.5..44.7%")
+	return &Result{ID: "fig2a", Tables: []*Table{tbl}}
+}
+
+// Fig2bExpansionRate reproduces Figure 2(b): the traffic expansion rate γ
+// of best-effort nodes under single-source transmission. Paper: median
+// γ ≈ 3.7 and 58.5% of nodes below γ = 5.
+func Fig2bExpansionRate(sc Scale) *Result {
+	s := motivationSystem(sc, client.ModeSingleSource, strawmanTopPercent(sc.BestEffort))
+	rates := s.ExpansionRates()
+
+	tbl := &Table{ID: "fig2b", Title: "Traffic expansion rate (single-source)",
+		Header: []string{"stat", "value", "paper"}}
+	tbl.AddRow("median gamma", f2(rates.Percentile(50)), "~3.7")
+	tbl.AddRow("frac gamma<5", f2(rates.FracBelow(5)), "~0.585")
+	cdf := &Series{ID: "fig2b", Title: "Expansion rate CDF", XLabel: "gamma", YLabel: "CDF"}
+	for _, p := range rates.CDF(20) {
+		cdf.Add(p.X, p.F)
+	}
+	return &Result{ID: "fig2b", Tables: []*Table{tbl}, Series: []*Series{cdf}}
+}
+
+// Fig2cLifespan reproduces Figure 2(c): the live-span distribution of
+// best-effort nodes. Paper: P50 ≈ 25.4 h, ~50% of nodes live ≤ 1 day.
+func Fig2cLifespan(sc Scale) *Result {
+	rng := stats.NewRNG(sc.Seed)
+	sim := simnet.NewSim()
+	net := simnet.NewNetwork(sim, rng.Fork())
+	n := sc.BestEffort * 200
+	if n < 5000 {
+		n = 5000
+	}
+	f := fleet.New(fleet.Config{NumBestEffort: n}, rng, sim, net)
+	s := stats.NewSample(n)
+	for _, nd := range f.BestEffort {
+		s.Add(nd.MeanLifespan.Hours())
+	}
+	tbl := &Table{ID: "fig2c", Title: "Best-effort node live span",
+		Header: []string{"stat", "value", "paper"}}
+	tbl.AddRow("P50 (hours)", f2(s.Percentile(50)), "~25.4")
+	tbl.AddRow("frac <= 1 day", f2(s.FracBelow(24)), "~0.50")
+	cdf := &Series{ID: "fig2c", Title: "Live span CDF", XLabel: "hours", YLabel: "CDF"}
+	for _, p := range s.CDF(30) {
+		cdf.Add(p.X, p.F)
+	}
+	return &Result{ID: "fig2c", Tables: []*Table{tbl}, Series: []*Series{cdf}}
+}
+
+// Fig2dDelayJitter reproduces Figure 2(d): one-way delay over a viewing
+// session through one best-effort node, showing jitter spikes during
+// degradation episodes.
+func Fig2dDelayJitter(sc Scale) *Result {
+	rng := stats.NewRNG(sc.Seed)
+	sim := simnet.NewSim()
+	net := simnet.NewNetwork(sim, rng.Fork())
+	// One weak best-effort node and one client endpoint.
+	net.Register(1, simnet.LinkState{
+		UplinkBps: 8e6, BaseOWD: 3 * time.Millisecond,
+		MeanDegradedEvery: 25 * time.Second, MeanDegradedFor: 4 * time.Second,
+		DegradedExtraOWD: 250 * time.Millisecond, JitterStd: 8 * time.Millisecond,
+	}, nil)
+	net.Register(2, simnet.LinkState{UplinkBps: 100e6, BaseOWD: 2 * time.Millisecond}, nil)
+
+	series := &Series{ID: "fig2d", Title: "One-way delay through one best-effort node",
+		XLabel: "time (s)", YLabel: "OWD (ms)"}
+	peak := 0.0
+	for t := time.Duration(0); t < 100*time.Second; t += 250 * time.Millisecond {
+		sim.Run(t)
+		rtt, ok := net.SampleRTT(1, 2)
+		if !ok {
+			continue
+		}
+		owd := float64(rtt) / 2 / 1e6
+		if owd > peak {
+			peak = owd
+		}
+		series.Add(t.Seconds(), owd)
+	}
+	tbl := &Table{ID: "fig2d", Title: "Delay jitter summary",
+		Header: []string{"stat", "value", "paper shape"}}
+	tbl.AddRow("peak OWD (ms)", f0(peak), "spikes > 100ms during episodes")
+	return &Result{ID: "fig2d", Tables: []*Table{tbl}, Series: []*Series{series}}
+}
+
+// Fig3Retransmission reproduces Figure 3: per-request retransmission
+// success rate and completion time toward dedicated vs best-effort nodes.
+// Paper: dedicated 94.09% success / 71.1 ms median; best-effort 91.44% /
+// 778 ms.
+func Fig3Retransmission(sc Scale) *Result {
+	// Lossy enough that both recovery paths see real traffic.
+	s := core.NewSystem(core.Config{
+		Seed:          sc.Seed,
+		NumDedicated:  sc.Dedicated,
+		NumBestEffort: sc.BestEffort,
+		Mode:          client.ModeRLive,
+		EdgeTune:      nil,
+	})
+	// Degrade best-effort links heavily: the paper's retransmission gap
+	// (dedicated ~71 ms / 94% vs best-effort ~778 ms / 91%) reflects
+	// retransmissions concentrated in bad windows on weak hole-punched
+	// paths, where each retry round is slow and lossy.
+	for _, n := range s.Fleet.BestEffort {
+		s.Net.UpdateState(n.Addr, func(st *simnet.LinkState) {
+			st.LossRate += 0.05
+			st.DegradedLoss += 0.35
+			st.MeanDegradedEvery = 15 * time.Second
+			st.MeanDegradedFor = 4 * time.Second
+			st.DegradedExtraOWD += 300 * time.Millisecond
+			st.JitterStd += 25 * time.Millisecond
+		})
+	}
+	s.Start()
+	for i := 0; i < sc.Clients; i++ {
+		s.AddClient(core.ClientSpec{Region: i % 4, ISP: i % 2})
+		s.Run(300 * time.Millisecond)
+	}
+	s.Run(sc.Duration)
+
+	beLat := stats.NewSample(1024)
+	dedLat := stats.NewSample(1024)
+	var beSuccSum, dedSuccSum float64
+	var beN, dedN int
+	for _, c := range s.Clients {
+		for _, v := range c.BERetxLat.Values() {
+			beLat.Add(v)
+		}
+		for _, v := range c.DedRetxLat.Values() {
+			dedLat.Add(v)
+		}
+		be, ded := c.RetxSuccessRates()
+		if be > 0 {
+			beSuccSum += be
+			beN++
+		}
+		if ded > 0 {
+			dedSuccSum += ded
+			dedN++
+		}
+	}
+	tbl := &Table{ID: "fig3", Title: "Retransmission requests by source",
+		Header: []string{"source", "success", "median (ms)", "P90 (ms)", "paper"}}
+	beSucc, dedSucc := 0.0, 0.0
+	if beN > 0 {
+		beSucc = beSuccSum / float64(beN)
+	}
+	if dedN > 0 {
+		dedSucc = dedSuccSum / float64(dedN)
+	}
+	tbl.AddRow("dedicated", f2(dedSucc), f0(dedLat.Percentile(50)), f0(dedLat.Percentile(90)), "94.09% / 71.1ms")
+	tbl.AddRow("best-effort", f2(beSucc), f0(beLat.Percentile(50)), f0(beLat.Percentile(90)), "91.44% / 778ms")
+	return &Result{ID: "fig3", Tables: []*Table{tbl}}
+}
+
+// Table1Diurnal reproduces Table 1: concurrent stream and node counts
+// through the day.
+func Table1Diurnal(Scale) *Result {
+	d := fleet.DefaultDiurnal
+	tbl := &Table{ID: "tab1", Title: "Live streaming service overview (modeled, production scale)",
+		Header: []string{"time", "#streams (M)", "#nodes (M)", "paper #streams"}}
+	rows := []struct {
+		label string
+		tod   time.Duration
+		paper string
+	}{
+		{"6 am", 6 * time.Hour, "~0.70M"},
+		{"12 pm", 12 * time.Hour, "~1.60M"},
+		{"6 pm", 18 * time.Hour, "~1.75M"},
+		{"12 am", 0, "~1.38M"},
+		{"max", 21 * time.Hour, "~2.47M"},
+	}
+	for _, r := range rows {
+		tbl.AddRow(r.label,
+			fmt.Sprintf("%.2f", d.Streams(r.tod)/1e6),
+			fmt.Sprintf("%.2f", d.Nodes(r.tod)/1e6),
+			r.paper)
+	}
+	return &Result{ID: "tab1", Tables: []*Table{tbl}}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

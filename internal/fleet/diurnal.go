@@ -1,0 +1,83 @@
+package fleet
+
+import (
+	"math"
+	"time"
+)
+
+// Diurnal models the time-of-day pattern of the live streaming service
+// (Table 1): concurrent stream count rises from a morning trough (~0.70M at
+// 6 am) through a noon peak (~1.60M), an evening peak (~1.75M at 6 pm,
+// bursting to ~2.47M max), while the active node count stays nearly flat
+// (~0.9M–1.05M), since nodes are infrastructure rather than viewers.
+type Diurnal struct {
+	// PeakStreams scales the curve; the shape is normalized to the
+	// paper's Table 1 ratios.
+	PeakStreams float64
+	// BaseNodes and PeakNodes bound the slowly varying node count.
+	BaseNodes float64
+	PeakNodes float64
+}
+
+// DefaultDiurnal mirrors Table 1 at full production scale.
+var DefaultDiurnal = Diurnal{PeakStreams: 2.47e6, BaseNodes: 0.9e6, PeakNodes: 1.05e6}
+
+// table1Shape gives relative stream load at the four reported hours plus
+// interpolation anchors (hour -> fraction of max).
+var table1Shape = []struct {
+	hour float64
+	frac float64
+}{
+	{0, 1.38 / 2.47 * 0.8}, // after midnight tail-off
+	{3, 0.35},
+	{6, 0.70 / 2.47},
+	{9, 1.10 / 2.47},
+	{12, 1.60 / 2.47},
+	{15, 1.50 / 2.47},
+	{18, 1.75 / 2.47},
+	{21, 1.0}, // evening burst max
+	{24, 1.38 / 2.47 * 0.8},
+}
+
+// StreamLoadFrac returns the fraction of peak concurrent streams at the
+// given time of day, interpolating Table 1's anchors.
+func (d Diurnal) StreamLoadFrac(tod time.Duration) float64 {
+	h := math.Mod(tod.Hours(), 24)
+	if h < 0 {
+		h += 24
+	}
+	for i := 1; i < len(table1Shape); i++ {
+		a, b := table1Shape[i-1], table1Shape[i]
+		if h <= b.hour {
+			t := (h - a.hour) / (b.hour - a.hour)
+			return a.frac + (b.frac-a.frac)*t
+		}
+	}
+	return table1Shape[len(table1Shape)-1].frac
+}
+
+// Streams returns the modeled concurrent stream count at the time of day.
+func (d Diurnal) Streams(tod time.Duration) float64 {
+	return d.PeakStreams * d.StreamLoadFrac(tod)
+}
+
+// Nodes returns the modeled active node count at the time of day: nearly
+// flat with a slight evening rise (Table 1).
+func (d Diurnal) Nodes(tod time.Duration) float64 {
+	f := d.StreamLoadFrac(tod)
+	return d.BaseNodes + (d.PeakNodes-d.BaseNodes)*f
+}
+
+// IsEveningPeak reports whether the time of day falls in the 8 pm–11 pm
+// evening peak window used by the A/B tests (§7.1.1).
+func IsEveningPeak(tod time.Duration) bool {
+	h := math.Mod(tod.Hours(), 24)
+	return h >= 20 && h < 23
+}
+
+// IsNoonPeak reports whether the time of day falls in the 11 am–2 pm noon
+// peak window (§7.1.1).
+func IsNoonPeak(tod time.Duration) bool {
+	h := math.Mod(tod.Hours(), 24)
+	return h >= 11 && h < 14
+}

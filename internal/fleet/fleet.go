@@ -1,0 +1,370 @@
+// Package fleet synthesizes the node population RLive runs on: the
+// dedicated CDN nodes and the hyperscale pool of best-effort edge nodes.
+// Since the paper's ~1M vendor-operated boxes are not available, the fleet
+// is generated to match the measured marginals the paper reports:
+//
+//   - Bandwidth capacity (Fig 1b): ~29% of nodes below 10 Mbps, only ~12%
+//     above 100 Mbps.
+//   - Lifespan / churn (Fig 2c): median live span ≈ 25.4 h, with ~50% of
+//     nodes going offline at least once per day.
+//   - NAT type mix (§2.1, §8.1) and ISP/region static attributes used by the
+//     global scheduler's tree retrieval.
+//   - Unit bandwidth cost 20–40% below dedicated nodes (§2.1).
+//   - Quota-based availability (§8.1): some nodes bottleneck on CPU/memory
+//     before bandwidth.
+package fleet
+
+import (
+	"math"
+	"sort"
+	"time"
+
+	"repro/internal/nat"
+	"repro/internal/simnet"
+	"repro/internal/stats"
+)
+
+// NodeClass distinguishes dedicated CDN nodes from best-effort nodes.
+type NodeClass uint8
+
+const (
+	// Dedicated is a CDN-operated node with high, stable capacity.
+	Dedicated NodeClass = iota
+	// BestEffort is a third-party edge node with limited, unstable
+	// capacity.
+	BestEffort
+)
+
+// String names the class.
+func (c NodeClass) String() string {
+	if c == Dedicated {
+		return "dedicated"
+	}
+	return "best-effort"
+}
+
+// Bottleneck marks which resource caps a node's concurrent sessions
+// (quota-based availability, §8.1).
+type Bottleneck uint8
+
+const (
+	// BottleneckBandwidth means the uplink is the limit (the common case).
+	BottleneckBandwidth Bottleneck = iota
+	// BottleneckCPU means packetization/forwarding CPU saturates first.
+	BottleneckCPU
+	// BottleneckMemory means buffer memory saturates first.
+	BottleneckMemory
+)
+
+// String names the bottleneck.
+func (b Bottleneck) String() string {
+	switch b {
+	case BottleneckCPU:
+		return "cpu"
+	case BottleneckMemory:
+		return "memory"
+	default:
+		return "bandwidth"
+	}
+}
+
+// Node is one synthesized node.
+type Node struct {
+	Addr  simnet.Addr
+	Class NodeClass
+
+	// Static features (the global scheduler's confident view).
+	Region  int
+	ISP     int
+	NAT     nat.Type
+	HighQ   bool // "node type": whether a high-quality node (top tier)
+	ConnTyp int  // access technology bucket (fiber/cable/cellular)
+
+	// Capacity.
+	UplinkBps float64
+	// SessionQuota is the max concurrent serving sessions implied by the
+	// node's actual bottleneck; for CPU/memory-bottlenecked nodes this is
+	// lower than bandwidth alone would suggest.
+	SessionQuota int
+	Bottleneck   Bottleneck
+
+	// Cost is the relative unit bandwidth cost (dedicated = 1.0).
+	Cost float64
+
+	// Churn: the node's sessions of uptime. MeanLifespan parameterizes
+	// the exponential on/off process seeded from the lognormal draw.
+	MeanLifespan time.Duration
+	MeanDowntime time.Duration
+}
+
+// Config parameterizes fleet synthesis.
+type Config struct {
+	NumDedicated  int
+	NumBestEffort int
+	// Regions and ISPs are the numbers of distinct regions / ISPs.
+	Regions int
+	ISPs    int
+	// ChurnEnabled schedules on/off transitions on the simulator.
+	ChurnEnabled bool
+	// LifespanMedian is the median best-effort node live span
+	// (default 25.4 h per Fig 2c).
+	LifespanMedian time.Duration
+	// LifespanSigma is the lognormal sigma (default 1.3, giving a heavy
+	// lower tail: ~half the nodes live under a day).
+	LifespanSigma float64
+	// RefinedNAT enables §8.1 traversal refinements.
+	RefinedNAT bool
+}
+
+func (c *Config) setDefaults() {
+	if c.Regions == 0 {
+		c.Regions = 8
+	}
+	if c.ISPs == 0 {
+		c.ISPs = 4
+	}
+	if c.LifespanMedian == 0 {
+		c.LifespanMedian = time.Duration(25.4 * float64(time.Hour))
+	}
+	if c.LifespanSigma == 0 {
+		c.LifespanSigma = 1.3
+	}
+}
+
+// Fleet is the synthesized population plus its churn driver.
+type Fleet struct {
+	cfg        Config
+	rng        *stats.RNG
+	Dedicated  []*Node
+	BestEffort []*Node
+	byAddr     map[simnet.Addr]*Node
+	Traverser  *nat.Traverser
+
+	// OnChurn, if set, is invoked when a node transitions on/offline.
+	OnChurn func(n *Node, online bool)
+}
+
+// AddrBase offsets for the different entity families sharing the simnet
+// address space.
+const (
+	AddrSchedulerBase = 1
+	AddrDedicatedBase = 1000
+	AddrBestEffBase   = 100000
+	AddrClientBase    = 10000000
+)
+
+// New synthesizes a fleet. Nodes are registered on net with link states
+// derived from their class.
+func New(cfg Config, rng *stats.RNG, sim *simnet.Sim, net *simnet.Network) *Fleet {
+	cfg.setDefaults()
+	f := &Fleet{
+		cfg:       cfg,
+		rng:       rng,
+		byAddr:    make(map[simnet.Addr]*Node, cfg.NumDedicated+cfg.NumBestEffort),
+		Traverser: nat.NewTraverser(rng.Fork(), cfg.RefinedNAT),
+	}
+	for i := 0; i < cfg.NumDedicated; i++ {
+		n := f.synthDedicated(i)
+		f.Dedicated = append(f.Dedicated, n)
+		f.byAddr[n.Addr] = n
+		net.Register(n.Addr, dedicatedLinkState(n), nil)
+	}
+	for i := 0; i < cfg.NumBestEffort; i++ {
+		n := f.synthBestEffort(i)
+		f.BestEffort = append(f.BestEffort, n)
+		f.byAddr[n.Addr] = n
+	}
+	// "High quality" is a ranked property — the top decile by capacity ×
+	// stability — so the tier exists at any fleet size. Link states are
+	// registered after ranking since HighQ nodes degrade less.
+	if len(f.BestEffort) > 0 {
+		ranked := f.TopPercentByQuality(0.10)
+		for _, n := range ranked {
+			n.HighQ = true
+		}
+		for _, n := range f.BestEffort {
+			net.Register(n.Addr, bestEffortLinkState(n, rng), nil)
+		}
+	}
+	if cfg.ChurnEnabled && sim != nil && net != nil {
+		for _, n := range f.BestEffort {
+			f.scheduleChurn(sim, net, n)
+		}
+	}
+	return f
+}
+
+// Node returns the node with the given address, or nil.
+func (f *Fleet) Node(addr simnet.Addr) *Node { return f.byAddr[addr] }
+
+// Config returns the fleet configuration with defaults applied.
+func (f *Fleet) Config() Config { return f.cfg }
+
+func (f *Fleet) synthDedicated(i int) *Node {
+	return &Node{
+		Addr:         simnet.Addr(AddrDedicatedBase + i),
+		Class:        Dedicated,
+		Region:       i % f.cfg.Regions,
+		ISP:          i % f.cfg.ISPs,
+		NAT:          nat.Public,
+		HighQ:        true,
+		ConnTyp:      0,
+		UplinkBps:    10e9, // 10 Gbps
+		SessionQuota: 1 << 20,
+		Cost:         1.0,
+		MeanLifespan: 365 * 24 * time.Hour,
+	}
+}
+
+// SampleCapacityBps draws a best-effort uplink capacity matching Fig 1b:
+// a lognormal calibrated so ~29% of nodes fall below 10 Mbps and ~12%
+// exceed 100 Mbps. Median ≈ 10^(1.27) ≈ 19 Mbps, sigma(log10) ≈ 0.76.
+func SampleCapacityBps(rng *stats.RNG) float64 {
+	// log10(capacity_Mbps) ~ N(1.27, 0.66):
+	//   P(X < 10 Mbps)  = Phi((1-1.27)/0.66)  ≈ 0.34
+	//   P(X > 100 Mbps) = 1-Phi((2-1.27)/0.66) ≈ 0.13
+	log10c := rng.Normal(1.27, 0.66)
+	mbps := math.Pow(10, log10c)
+	if mbps < 0.5 {
+		mbps = 0.5
+	}
+	if mbps > 1000 {
+		mbps = 1000
+	}
+	return mbps * 1e6
+}
+
+func (f *Fleet) synthBestEffort(i int) *Node {
+	capBps := SampleCapacityBps(f.rng)
+	// Lifespan: lognormal with median 25.4h (Fig 2c).
+	life := time.Duration(f.rng.LogNormalMedian(float64(f.cfg.LifespanMedian), f.cfg.LifespanSigma))
+	if life < 10*time.Minute {
+		life = 10 * time.Minute
+	}
+	// Quota-based availability: ~15% of nodes bottleneck on CPU, ~8% on
+	// memory (§8.1: nodes hit CPU/mem limits even at ~10% bandwidth
+	// utilization).
+	bn := BottleneckBandwidth
+	quota := int(capBps / 2.0e6 * 1.2) // sessions at ~2 Mbps each, some headroom
+	if quota < 1 {
+		quota = 1
+	}
+	switch u := f.rng.Float64(); {
+	case u < 0.15:
+		bn = BottleneckCPU
+		quota = minInt(quota, 2+f.rng.IntN(6))
+	case u < 0.23:
+		bn = BottleneckMemory
+		quota = minInt(quota, 4+f.rng.IntN(8))
+	}
+	n := &Node{
+		Addr:         simnet.Addr(AddrBestEffBase + i),
+		Class:        BestEffort,
+		Region:       f.rng.IntN(f.cfg.Regions),
+		ISP:          f.rng.IntN(f.cfg.ISPs),
+		NAT:          nat.Sample(f.rng),
+		ConnTyp:      f.rng.IntN(3),
+		UplinkBps:    capBps,
+		SessionQuota: quota,
+		Bottleneck:   bn,
+		Cost:         f.rng.Uniform(0.60, 0.80), // 20-40% cheaper
+		MeanLifespan: life,
+		MeanDowntime: time.Duration(f.rng.Exponential(float64(30 * time.Minute))),
+	}
+	if n.MeanDowntime < time.Minute {
+		n.MeanDowntime = time.Minute
+	}
+	// HighQ ("node type" in the scheduler's static features) is assigned
+	// after synthesis by ranking; see New.
+	return n
+}
+
+func dedicatedLinkState(n *Node) simnet.LinkState {
+	return simnet.LinkState{
+		UplinkBps: n.UplinkBps,
+		BaseOWD:   8 * time.Millisecond,
+		LossRate:  0.0005,
+		JitterStd: 1 * time.Millisecond,
+		MaxQueue:  400 * time.Millisecond,
+	}
+}
+
+func bestEffortLinkState(n *Node, rng *stats.RNG) simnet.LinkState {
+	// Weaker nodes degrade more often and more severely; the top tier
+	// (high capacity AND long lifespan — the strawman's "top 1%") is
+	// markedly more stable, though still far from dedicated-grade.
+	weakness := 1.0
+	if n.UplinkBps < 10e6 {
+		weakness = 2.5
+	} else if n.UplinkBps < 50e6 {
+		weakness = 1.5
+	}
+	if n.HighQ {
+		weakness = 0.3
+	}
+	return simnet.LinkState{
+		UplinkBps:         n.UplinkBps,
+		BaseOWD:           3 * time.Millisecond, // closer to users than dedicated
+		LossRate:          0.002 * weakness,
+		DegradedLoss:      0.04 * weakness,
+		DegradedExtraOWD:  time.Duration(float64(120*time.Millisecond) * weakness),
+		MeanDegradedEvery: time.Duration(float64(90*time.Second) / weakness),
+		MeanDegradedFor:   time.Duration(float64(4*time.Second) * weakness),
+		JitterStd:         time.Duration(float64(4*time.Millisecond) * weakness),
+		MaxQueue:          300 * time.Millisecond,
+	}
+}
+
+// scheduleChurn drives the node's on/off process on the simulator.
+func (f *Fleet) scheduleChurn(sim *simnet.Sim, net *simnet.Network, n *Node) {
+	var up, down func()
+	up = func() {
+		// Node stays online for ~Exp(MeanLifespan).
+		d := time.Duration(f.rng.Exponential(float64(n.MeanLifespan)))
+		sim.After(d, func() {
+			net.SetOnline(n.Addr, false)
+			if f.OnChurn != nil {
+				f.OnChurn(n, false)
+			}
+			down()
+		})
+	}
+	down = func() {
+		d := time.Duration(f.rng.Exponential(float64(n.MeanDowntime)))
+		sim.After(d, func() {
+			net.SetOnline(n.Addr, true)
+			if f.OnChurn != nil {
+				f.OnChurn(n, true)
+			}
+			up()
+		})
+	}
+	up()
+}
+
+// TopPercentByQuality returns the top fraction (e.g. 0.01 for the strawman's
+// "top 1%") of best-effort nodes ranked by capacity and stability.
+func (f *Fleet) TopPercentByQuality(frac float64) []*Node {
+	n := int(float64(len(f.BestEffort)) * frac)
+	if n < 1 {
+		n = 1
+	}
+	sorted := make([]*Node, len(f.BestEffort))
+	copy(sorted, f.BestEffort)
+	// Rank by capacity × lifespan (both matter for the strawman tier).
+	score := func(nd *Node) float64 {
+		return nd.UplinkBps * float64(nd.MeanLifespan)
+	}
+	sort.SliceStable(sorted, func(i, j int) bool { return score(sorted[i]) > score(sorted[j]) })
+	if n > len(sorted) {
+		n = len(sorted)
+	}
+	return sorted[:n]
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

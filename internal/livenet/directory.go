@@ -1,0 +1,126 @@
+package livenet
+
+import (
+	"bytes"
+	"encoding/json"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// Directory is the global scheduler's real-network face: an HTTP/JSON
+// service where relays register and heartbeat and viewers fetch candidate
+// relay addresses per substream. It is intentionally simple — the full
+// scoring/retrieval logic lives in internal/scheduler and runs inside the
+// simulator; the directory demonstrates the control-plane wiring on real
+// sockets for the daemons and the udplive example.
+type Directory struct {
+	srv *http.Server
+	ln  net.Listener
+
+	mu     sync.Mutex
+	relays map[string]relayEntry
+}
+
+type relayEntry struct {
+	Addr     string    `json:"addr"`
+	Sessions int       `json:"sessions"`
+	Quota    int       `json:"quota"`
+	Seen     time.Time `json:"-"`
+}
+
+// RegisterMsg is a relay's heartbeat payload.
+type RegisterMsg struct {
+	Addr     string `json:"addr"`
+	Sessions int    `json:"sessions"`
+	Quota    int    `json:"quota"`
+}
+
+// CandidatesResp is the viewer-facing recommendation payload.
+type CandidatesResp struct {
+	Relays []string `json:"relays"`
+}
+
+// NewDirectory serves on addr.
+func NewDirectory(addr string) (*Directory, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	d := &Directory{relays: make(map[string]relayEntry)}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/register", d.handleRegister)
+	mux.HandleFunc("/candidates", d.handleCandidates)
+	d.srv = &http.Server{Handler: mux}
+	d.ln = ln
+	go d.srv.Serve(ln)
+	return d, nil
+}
+
+// Addr returns the HTTP listen address.
+func (d *Directory) Addr() string { return d.ln.Addr().String() }
+
+func (d *Directory) handleRegister(w http.ResponseWriter, r *http.Request) {
+	var m RegisterMsg
+	if err := json.NewDecoder(r.Body).Decode(&m); err != nil || m.Addr == "" {
+		http.Error(w, "bad register", http.StatusBadRequest)
+		return
+	}
+	d.mu.Lock()
+	d.relays[m.Addr] = relayEntry{Addr: m.Addr, Sessions: m.Sessions, Quota: m.Quota, Seen: time.Now()}
+	d.mu.Unlock()
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (d *Directory) handleCandidates(w http.ResponseWriter, r *http.Request) {
+	d.mu.Lock()
+	var out []string
+	now := time.Now()
+	for _, e := range d.relays {
+		if now.Sub(e.Seen) > 30*time.Second {
+			continue
+		}
+		if e.Quota > 0 && e.Sessions >= e.Quota {
+			continue
+		}
+		out = append(out, e.Addr)
+	}
+	d.mu.Unlock()
+	json.NewEncoder(w).Encode(CandidatesResp{Relays: out})
+}
+
+// NumRelays returns the count of live registrations.
+func (d *Directory) NumRelays() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.relays)
+}
+
+// Close stops the server.
+func (d *Directory) Close() { d.srv.Close() }
+
+// RegisterWith posts a heartbeat to a directory (relay-side helper).
+func RegisterWith(directory, relayAddr string, sessions, quota int) error {
+	body, _ := json.Marshal(RegisterMsg{Addr: relayAddr, Sessions: sessions, Quota: quota})
+	resp, err := http.Post("http://"+directory+"/register", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	resp.Body.Close()
+	return nil
+}
+
+// FetchCandidates queries a directory for relay addresses (viewer-side).
+func FetchCandidates(directory string) ([]string, error) {
+	resp, err := http.Get("http://" + directory + "/candidates")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var c CandidatesResp
+	if err := json.NewDecoder(resp.Body).Decode(&c); err != nil {
+		return nil, err
+	}
+	return c.Relays, nil
+}

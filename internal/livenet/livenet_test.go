@@ -1,0 +1,143 @@
+package livenet
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/media"
+)
+
+// TestLoopbackPipeline runs the full real-network path on localhost:
+// origin → relays (one per substream) → viewer, with the directory
+// mediating discovery. It exercises actual TCP/UDP sockets and the shared
+// wire codecs; assertions are tolerant of scheduling jitter.
+func TestLoopbackPipeline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-network test skipped in -short mode")
+	}
+	const k = 2
+	origin, err := NewOrigin("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer origin.Close()
+	origin.HostStream(media.SourceConfig{Stream: 1, FPS: 30, BitrateBps: 1e6}, k, 42)
+
+	dir, err := NewDirectory("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dir.Close()
+
+	var relays []*Relay
+	for i := 0; i < k; i++ {
+		rl, err := NewRelay("127.0.0.1:0", origin.Addr(), 16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer rl.Close()
+		relays = append(relays, rl)
+		if err := RegisterWith(dir.Addr(), rl.Addr(), 0, 16); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	cands, err := FetchCandidates(dir.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cands) != k {
+		t.Fatalf("directory returned %d candidates, want %d", len(cands), k)
+	}
+
+	// Let the origin accumulate a couple of frames first.
+	time.Sleep(300 * time.Millisecond)
+
+	viewer, err := NewViewer("127.0.0.1:0", origin.Addr(), 1, k, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer viewer.Close()
+	assign := map[media.SubstreamID]string{}
+	for i, rl := range relays {
+		assign[media.SubstreamID(i)] = rl.Addr()
+	}
+	if err := viewer.Start(assign); err != nil {
+		t.Fatal(err)
+	}
+
+	deadline := time.Now().Add(8 * time.Second)
+	for time.Now().Before(deadline) {
+		if viewer.Played() >= 60 {
+			break
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	played := viewer.Played()
+	if played < 60 {
+		t.Fatalf("viewer played %d frames in 8s, want >= 60", played)
+	}
+	// The relays must actually be serving subscribers.
+	total := 0
+	for _, rl := range relays {
+		total += rl.Sessions()
+	}
+	if total == 0 {
+		t.Fatal("no relay sessions established")
+	}
+	if br := viewer.QoE.MeanBitrate(); br < 0.3e6 {
+		t.Fatalf("mean bitrate %.0f, want ~1e6", br)
+	}
+}
+
+func TestDirectoryFiltersFullRelays(t *testing.T) {
+	dir, err := NewDirectory("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dir.Close()
+	if err := RegisterWith(dir.Addr(), "10.0.0.1:1000", 0, 8); err != nil {
+		t.Fatal(err)
+	}
+	if err := RegisterWith(dir.Addr(), "10.0.0.2:1000", 8, 8); err != nil {
+		t.Fatal(err) // at quota
+	}
+	cands, err := FetchCandidates(dir.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cands) != 1 || cands[0] != "10.0.0.1:1000" {
+		t.Fatalf("candidates = %v, want only the non-full relay", cands)
+	}
+	if dir.NumRelays() != 2 {
+		t.Fatalf("registered relays = %d", dir.NumRelays())
+	}
+}
+
+func TestFrameRecordRoundTrip(t *testing.T) {
+	// Covered indirectly by the pipeline; this checks the codec directly
+	// through a TCP pair.
+	origin, err := NewOrigin("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer origin.Close()
+	origin.HostStream(media.SourceConfig{Stream: 9, FPS: 30, BitrateBps: 5e5}, 1, 7)
+	time.Sleep(200 * time.Millisecond)
+
+	v, err := NewViewer("127.0.0.1:0", origin.Addr(), 9, 1, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer v.Close()
+	if err := v.Start(nil); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) && v.Played() < 20 {
+		time.Sleep(100 * time.Millisecond)
+	}
+	if v.Played() < 20 {
+		t.Fatalf("origin-only viewer played %d frames", v.Played())
+	}
+}

@@ -1,0 +1,313 @@
+// Package livenet is the real-network implementation of RLive: a TCP CDN
+// origin, UDP best-effort relays, an HTTP/JSON directory (global
+// scheduler), and a UDP viewer. It exists so the system is a runnable
+// deliverable on real sockets, not only a simulator — the cmd/rlive-*
+// daemons and the examples/udplive pipeline are built on it. The data-plane
+// wire format is shared with the simulator (internal/transport).
+//
+// Framing:
+//   - Origin (TCP): control lines are newline-delimited JSON; frames flow
+//     as length-prefixed binary records (4-byte big-endian length, then
+//     media.Header bytes followed by payload for full frames).
+//   - Relay→viewer (UDP): transport.MarshalDataPacket datagrams.
+//   - Viewer→relay (UDP): transport subscribe/retx/probe datagrams.
+package livenet
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/media"
+	"repro/internal/stats"
+)
+
+// OriginCtl is the JSON control message a subscriber sends on connect.
+type OriginCtl struct {
+	// Op is "subscribe" or "frame" (dts-indexed recovery).
+	Op string `json:"op"`
+	// Stream is the stream ID.
+	Stream media.StreamID `json:"stream"`
+	// Mode is "full", "substream", or "headers" (substream + header
+	// side-channel).
+	Mode string `json:"mode,omitempty"`
+	// Substream selects the substream for substream/headers modes.
+	Substream media.SubstreamID `json:"substream,omitempty"`
+	// Dts is the recovery target for op "frame".
+	Dts uint64 `json:"dts,omitempty"`
+}
+
+// frameRecord is the binary framing: length, full flag, header, payload.
+const recHeaderLen = 1 + media.HeaderSize + 8 // full flag + header + generatedAt
+
+func writeFrameRecord(w *bufio.Writer, f media.Frame, full bool) error {
+	payload := 0
+	if full {
+		payload = len(f.Data)
+	}
+	var lenBuf [4]byte
+	binary.BigEndian.PutUint32(lenBuf[:], uint32(recHeaderLen+payload))
+	if _, err := w.Write(lenBuf[:]); err != nil {
+		return err
+	}
+	flag := byte(0)
+	if full {
+		flag = 1
+	}
+	if err := w.WriteByte(flag); err != nil {
+		return err
+	}
+	hb := f.Header.Marshal()
+	if _, err := w.Write(hb[:]); err != nil {
+		return err
+	}
+	var gen [8]byte
+	binary.BigEndian.PutUint64(gen[:], uint64(f.GeneratedAt))
+	if _, err := w.Write(gen[:]); err != nil {
+		return err
+	}
+	if full {
+		if _, err := w.Write(f.Data); err != nil {
+			return err
+		}
+	}
+	return w.Flush()
+}
+
+// ReadFrameRecord reads one frame record from an origin connection.
+func ReadFrameRecord(r *bufio.Reader) (media.Frame, bool, error) {
+	var lenBuf [4]byte
+	if _, err := ioReadFull(r, lenBuf[:]); err != nil {
+		return media.Frame{}, false, err
+	}
+	n := binary.BigEndian.Uint32(lenBuf[:])
+	if n < recHeaderLen || n > 32<<20 {
+		return media.Frame{}, false, fmt.Errorf("livenet: bad record length %d", n)
+	}
+	buf := make([]byte, n)
+	if _, err := ioReadFull(r, buf); err != nil {
+		return media.Frame{}, false, err
+	}
+	full := buf[0] == 1
+	h, err := media.UnmarshalHeader(buf[1:])
+	if err != nil {
+		return media.Frame{}, false, err
+	}
+	gen := int64(binary.BigEndian.Uint64(buf[1+media.HeaderSize:]))
+	f := media.Frame{Header: h, GeneratedAt: gen}
+	if full {
+		f.Data = buf[recHeaderLen:]
+	}
+	return f, full, nil
+}
+
+func ioReadFull(r *bufio.Reader, buf []byte) (int, error) {
+	total := 0
+	for total < len(buf) {
+		n, err := r.Read(buf[total:])
+		total += n
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
+// originSub is one live subscription on the origin.
+type originSub struct {
+	mode      string
+	substream media.SubstreamID
+	w         *bufio.Writer
+	conn      net.Conn
+	mu        sync.Mutex
+	dead      bool
+}
+
+// Origin is the dedicated CDN node on real sockets.
+type Origin struct {
+	ln net.Listener
+
+	mu      sync.Mutex
+	streams map[media.StreamID]*originStream
+	stopped bool
+	wg      sync.WaitGroup
+}
+
+type originStream struct {
+	src    *media.Source
+	part   media.Partitioner
+	recent map[uint64]media.Frame
+	order  []uint64
+	subs   map[*originSub]struct{}
+}
+
+// NewOrigin listens on addr (e.g. "127.0.0.1:0").
+func NewOrigin(addr string) (*Origin, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	o := &Origin{ln: ln, streams: make(map[media.StreamID]*originStream)}
+	o.wg.Add(1)
+	go o.acceptLoop()
+	return o, nil
+}
+
+// Addr returns the listen address.
+func (o *Origin) Addr() string { return o.ln.Addr().String() }
+
+// HostStream starts generating a stream at its real-time frame rate.
+func (o *Origin) HostStream(cfg media.SourceConfig, k int, seed uint64) {
+	src := media.NewSource(cfg, stats.NewRNG(seed))
+	st := &originStream{
+		src:    src,
+		part:   media.Partitioner{K: k},
+		recent: make(map[uint64]media.Frame),
+		subs:   make(map[*originSub]struct{}),
+	}
+	o.mu.Lock()
+	o.streams[cfg.Stream] = st
+	o.mu.Unlock()
+
+	o.wg.Add(1)
+	go func() {
+		defer o.wg.Done()
+		tick := time.NewTicker(src.Interval())
+		defer tick.Stop()
+		for range tick.C {
+			o.mu.Lock()
+			if o.stopped {
+				o.mu.Unlock()
+				return
+			}
+			f := src.Next(time.Now().UnixNano())
+			f.Data = make([]byte, f.Size)
+			st.recent[f.Dts] = f
+			st.order = append(st.order, f.Dts)
+			if len(st.order) > 600 {
+				delete(st.recent, st.order[0])
+				st.order = st.order[1:]
+			}
+			ssid := st.part.Assign(f.Dts)
+			subs := make([]*originSub, 0, len(st.subs))
+			for s := range st.subs {
+				subs = append(subs, s)
+			}
+			o.mu.Unlock()
+			for _, s := range subs {
+				full := s.mode == "full" || (s.mode != "full" && s.substream == ssid)
+				if s.mode == "substream" && s.substream != ssid {
+					continue // no header side-channel requested
+				}
+				o.deliver(st, s, f, full)
+			}
+		}
+	}()
+}
+
+func (o *Origin) deliver(st *originStream, s *originSub, f media.Frame, full bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.dead {
+		return
+	}
+	s.conn.SetWriteDeadline(time.Now().Add(2 * time.Second))
+	if err := writeFrameRecord(s.w, f, full); err != nil {
+		s.dead = true
+		s.conn.Close()
+		o.mu.Lock()
+		delete(st.subs, s)
+		o.mu.Unlock()
+	}
+}
+
+func (o *Origin) acceptLoop() {
+	defer o.wg.Done()
+	for {
+		conn, err := o.ln.Accept()
+		if err != nil {
+			return
+		}
+		o.wg.Add(1)
+		go func() {
+			defer o.wg.Done()
+			o.handle(conn)
+		}()
+	}
+}
+
+func (o *Origin) handle(conn net.Conn) {
+	r := bufio.NewReader(conn)
+	w := bufio.NewWriter(conn)
+	dec := json.NewDecoder(r)
+	var sub *originSub
+	for {
+		var ctl OriginCtl
+		if err := dec.Decode(&ctl); err != nil {
+			break
+		}
+		o.mu.Lock()
+		st, ok := o.streams[ctl.Stream]
+		o.mu.Unlock()
+		if !ok {
+			continue
+		}
+		switch ctl.Op {
+		case "subscribe":
+			if sub != nil {
+				continue
+			}
+			mode := ctl.Mode
+			if mode == "" {
+				mode = "full"
+			}
+			// Warm-up: last two headers for chain context.
+			o.mu.Lock()
+			k := len(st.order) - 2
+			if k < 0 {
+				k = 0
+			}
+			warm := make([]media.Frame, 0, 2)
+			for _, dts := range st.order[k:] {
+				warm = append(warm, st.recent[dts])
+			}
+			o.mu.Unlock()
+			sub = &originSub{mode: mode, substream: ctl.Substream, w: w, conn: conn}
+			for _, f := range warm {
+				writeFrameRecord(w, f, false)
+			}
+			o.mu.Lock()
+			st.subs[sub] = struct{}{}
+			o.mu.Unlock()
+		case "frame":
+			o.mu.Lock()
+			f, ok := st.recent[ctl.Dts]
+			o.mu.Unlock()
+			if !ok {
+				continue
+			}
+			tmp := &originSub{mode: "full", w: w, conn: conn}
+			o.deliver(st, tmp, f, true)
+		}
+	}
+	if sub != nil {
+		o.mu.Lock()
+		for _, st := range o.streams {
+			delete(st.subs, sub)
+		}
+		o.mu.Unlock()
+	}
+	conn.Close()
+}
+
+// Close stops the origin.
+func (o *Origin) Close() {
+	o.mu.Lock()
+	o.stopped = true
+	o.mu.Unlock()
+	o.ln.Close()
+}

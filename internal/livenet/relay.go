@@ -1,0 +1,299 @@
+package livenet
+
+import (
+	"bufio"
+	"encoding/json"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/chain"
+	"repro/internal/media"
+	"repro/internal/scheduler"
+	"repro/internal/transport"
+)
+
+// Relay is a best-effort edge node on real sockets: it pulls a substream
+// (plus the header side-channel) from the origin over TCP and pushes
+// fixed-size packets with embedded frame chains to UDP subscribers.
+type Relay struct {
+	udp    *net.UDPConn
+	origin string
+
+	mu      sync.Mutex
+	relays  map[scheduler.SubstreamKey]*relayState
+	gens    map[media.StreamID]*chain.LocalGenerator
+	lastObs map[media.StreamID]uint64
+	quota   int
+	subs    int
+	stopped bool
+	wg      sync.WaitGroup
+}
+
+type relayState struct {
+	subs   map[string]*net.UDPAddr
+	recent map[uint64]relayFrame
+	order  []uint64
+	cancel chan struct{}
+}
+
+type relayFrame struct {
+	header media.Header
+	data   []byte
+	count  uint16
+	chain  []chain.Footprint
+	genAt  int64
+}
+
+// NewRelay binds a UDP socket on addr and remembers the origin address.
+func NewRelay(addr, origin string, quota int) (*Relay, error) {
+	uaddr, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, err
+	}
+	conn, err := net.ListenUDP("udp", uaddr)
+	if err != nil {
+		return nil, err
+	}
+	if quota <= 0 {
+		quota = 64
+	}
+	r := &Relay{
+		udp:     conn,
+		origin:  origin,
+		relays:  make(map[scheduler.SubstreamKey]*relayState),
+		gens:    make(map[media.StreamID]*chain.LocalGenerator),
+		lastObs: make(map[media.StreamID]uint64),
+		quota:   quota,
+	}
+	r.wg.Add(1)
+	go r.udpLoop()
+	return r, nil
+}
+
+// Addr returns the UDP listen address.
+func (r *Relay) Addr() string { return r.udp.LocalAddr().String() }
+
+// udpLoop serves subscriber datagrams.
+func (r *Relay) udpLoop() {
+	defer r.wg.Done()
+	buf := make([]byte, 64<<10)
+	for {
+		n, from, err := r.udp.ReadFromUDP(buf)
+		if err != nil {
+			return
+		}
+		typ, err := transport.PeekType(buf[:n])
+		if err != nil {
+			continue
+		}
+		switch typ {
+		case transport.TypeSubscribe, transport.TypeUnsubscribe:
+			key, unsub, err := transport.UnmarshalSubscribe(buf[:n])
+			if err != nil {
+				continue
+			}
+			if unsub {
+				r.unsubscribe(key, from)
+			} else {
+				r.subscribe(key, from)
+			}
+		case transport.TypeProbe:
+			nonce, key, _, _, err := transport.UnmarshalProbe(buf[:n])
+			if err != nil {
+				continue
+			}
+			r.mu.Lock()
+			accepting := r.subs < r.quota
+			r.mu.Unlock()
+			resp := transport.MarshalProbe(nonce, key, true, accepting)
+			r.udp.WriteToUDP(resp, from)
+		case transport.TypeRetx:
+			req, err := transport.UnmarshalRetxReq(buf[:n])
+			if err != nil {
+				continue
+			}
+			r.retransmit(req, from)
+		}
+	}
+}
+
+// subscribe adds a UDP subscriber and (on first subscriber) opens the
+// origin feed for the substream.
+func (r *Relay) subscribe(key scheduler.SubstreamKey, from *net.UDPAddr) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.subs >= r.quota {
+		return
+	}
+	rs, ok := r.relays[key]
+	if !ok {
+		rs = &relayState{
+			subs:   make(map[string]*net.UDPAddr),
+			recent: make(map[uint64]relayFrame),
+			cancel: make(chan struct{}),
+		}
+		r.relays[key] = rs
+		if _, ok := r.gens[key.Stream]; !ok {
+			r.gens[key.Stream] = chain.NewLocalGenerator(chain.DefaultLength)
+		}
+		r.wg.Add(1)
+		go r.pull(key, rs)
+	}
+	if _, dup := rs.subs[from.String()]; !dup {
+		rs.subs[from.String()] = from
+		r.subs++
+	}
+}
+
+func (r *Relay) unsubscribe(key scheduler.SubstreamKey, from *net.UDPAddr) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	rs, ok := r.relays[key]
+	if !ok {
+		return
+	}
+	if _, had := rs.subs[from.String()]; had {
+		delete(rs.subs, from.String())
+		r.subs--
+	}
+	if len(rs.subs) == 0 {
+		close(rs.cancel)
+		delete(r.relays, key)
+	}
+}
+
+// pull streams the substream + headers from the origin and pushes packets.
+func (r *Relay) pull(key scheduler.SubstreamKey, rs *relayState) {
+	defer r.wg.Done()
+	conn, err := net.DialTimeout("tcp", r.origin, 3*time.Second)
+	if err != nil {
+		return
+	}
+	defer conn.Close()
+	enc := json.NewEncoder(conn)
+	enc.Encode(OriginCtl{Op: "subscribe", Stream: key.Stream, Mode: "headers", Substream: key.Substream})
+	br := bufio.NewReaderSize(conn, 1<<20)
+	for {
+		select {
+		case <-rs.cancel:
+			return
+		default:
+		}
+		conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+		f, full, err := ReadFrameRecord(br)
+		if err != nil {
+			return
+		}
+		r.onFrame(key, rs, f, full)
+	}
+}
+
+func (r *Relay) onFrame(key scheduler.SubstreamKey, rs *relayState, f media.Frame, full bool) {
+	r.mu.Lock()
+	gen := r.gens[key.Stream]
+	count := uint16(transport.PacketsForFrame(int(f.Header.Size)))
+	if last, seen := r.lastObs[key.Stream]; !seen || f.Header.Dts > last {
+		gen.Observe(f.Header, count)
+		r.lastObs[key.Stream] = f.Header.Dts
+	}
+	if !full {
+		r.mu.Unlock()
+		return
+	}
+	lchain := gen.Chain()
+	rf := relayFrame{header: f.Header, data: f.Data, count: count, chain: lchain, genAt: f.GeneratedAt}
+	rs.recent[f.Header.Dts] = rf
+	rs.order = append(rs.order, f.Header.Dts)
+	if len(rs.order) > 150 {
+		delete(rs.recent, rs.order[0])
+		rs.order = rs.order[1:]
+	}
+	targets := make([]*net.UDPAddr, 0, len(rs.subs))
+	for _, a := range rs.subs {
+		targets = append(targets, a)
+	}
+	r.mu.Unlock()
+
+	for _, to := range targets {
+		r.pushFrame(key, rf, to, nil, false)
+	}
+}
+
+// pushFrame transmits the frame's packets (all, or the listed seqs).
+func (r *Relay) pushFrame(key scheduler.SubstreamKey, rf relayFrame, to *net.UDPAddr, seqs []uint16, retx bool) {
+	send := func(seq uint16) {
+		lo := int(seq) * transport.PacketPayload
+		hi := lo + transport.PacketPayload
+		if hi > len(rf.data) {
+			hi = len(rf.data)
+		}
+		if lo > hi {
+			lo = hi
+		}
+		pkt := &transport.DataPacket{
+			Key:         key,
+			Header:      rf.header,
+			Seq:         seq,
+			Count:       rf.count,
+			PayloadLen:  hi - lo,
+			Chain:       rf.chain,
+			GeneratedAt: rf.genAt,
+			Payload:     rf.data[lo:hi],
+			Retransmit:  retx,
+		}
+		r.udp.WriteToUDP(transport.MarshalDataPacket(pkt), to)
+	}
+	if seqs == nil {
+		for s := uint16(0); s < rf.count; s++ {
+			send(s)
+		}
+	} else {
+		for _, s := range seqs {
+			if int(s) < int(rf.count) {
+				send(s)
+			}
+		}
+	}
+}
+
+func (r *Relay) retransmit(req *transport.RetxReq, from *net.UDPAddr) {
+	r.mu.Lock()
+	rs, ok := r.relays[req.Key]
+	var rf relayFrame
+	if ok {
+		rf, ok = rs.recent[req.Dts]
+	}
+	r.mu.Unlock()
+	if !ok {
+		return // viewer's timeout escalates to the origin
+	}
+	missing := req.Missing
+	if len(missing) == 0 {
+		missing = nil // resend everything
+	}
+	r.pushFrame(req.Key, rf, from, missing, true)
+}
+
+// Sessions returns the current subscriber count.
+func (r *Relay) Sessions() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.subs
+}
+
+// Close stops the relay.
+func (r *Relay) Close() {
+	r.mu.Lock()
+	r.stopped = true
+	for _, rs := range r.relays {
+		select {
+		case <-rs.cancel:
+		default:
+			close(rs.cancel)
+		}
+	}
+	r.relays = make(map[scheduler.SubstreamKey]*relayState)
+	r.mu.Unlock()
+	r.udp.Close()
+}

@@ -1,0 +1,326 @@
+package livenet
+
+import (
+	"bufio"
+	"encoding/json"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/chain"
+	"repro/internal/media"
+	"repro/internal/metrics"
+	"repro/internal/scheduler"
+	"repro/internal/transport"
+)
+
+// Viewer is an RLive client on real sockets: it subscribes substreams to
+// UDP relays, reassembles frames via the global chain, and plays against
+// the wall clock. The origin serves startup, gap recovery, and fallback.
+type Viewer struct {
+	udp    *net.UDPConn
+	origin string
+	stream media.StreamID
+	k      int
+	iv     time.Duration
+
+	mu       sync.Mutex
+	frames   map[uint64]*viewAsm
+	gchain   *chain.Global
+	playhead uint64
+	started  bool
+	seeded   bool
+	QoE      *metrics.SessionQoE
+	relays   map[media.SubstreamID]*net.UDPAddr
+	stopped  chan struct{}
+	wg       sync.WaitGroup
+
+	originConn net.Conn
+	originEnc  *json.Encoder
+}
+
+type viewAsm struct {
+	header   media.Header
+	haveHdr  bool
+	count    uint16
+	have     []bool
+	got      int
+	complete bool
+	linked   bool
+	played   bool
+	genAt    int64
+	viaCDN   bool
+}
+
+// NewViewer binds a UDP socket for relay traffic and opens the origin
+// control connection.
+func NewViewer(addr, origin string, stream media.StreamID, k int, fps int) (*Viewer, error) {
+	uaddr, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, err
+	}
+	conn, err := net.ListenUDP("udp", uaddr)
+	if err != nil {
+		return nil, err
+	}
+	v := &Viewer{
+		udp:     conn,
+		origin:  origin,
+		stream:  stream,
+		k:       k,
+		iv:      time.Second / time.Duration(fps),
+		frames:  make(map[uint64]*viewAsm),
+		gchain:  chain.NewGlobal(0),
+		QoE:     metrics.NewSessionQoE(),
+		relays:  make(map[media.SubstreamID]*net.UDPAddr),
+		stopped: make(chan struct{}),
+	}
+	return v, nil
+}
+
+// Start begins the session: origin full-stream pull, UDP receive loop, and
+// the playout clock. relays maps each substream to a relay's UDP address;
+// the viewer subscribes each and drops the origin pull once all substreams
+// flow.
+func (v *Viewer) Start(relays map[media.SubstreamID]string) error {
+	oc, err := net.DialTimeout("tcp", v.origin, 3*time.Second)
+	if err != nil {
+		return err
+	}
+	v.originConn = oc
+	v.originEnc = json.NewEncoder(oc)
+	v.originEnc.Encode(OriginCtl{Op: "subscribe", Stream: v.stream, Mode: "full"})
+	v.wg.Add(1)
+	go v.originLoop(oc)
+
+	for ss, addr := range relays {
+		ua, err := net.ResolveUDPAddr("udp", addr)
+		if err != nil {
+			continue
+		}
+		v.mu.Lock()
+		v.relays[ss] = ua
+		v.mu.Unlock()
+		sub := transport.MarshalSubscribe(scheduler.SubstreamKey{Stream: v.stream, Substream: ss}, false)
+		v.udp.WriteToUDP(sub, ua)
+	}
+
+	v.wg.Add(2)
+	go v.udpLoop()
+	go v.playLoop()
+	return nil
+}
+
+func (v *Viewer) originLoop(conn net.Conn) {
+	defer v.wg.Done()
+	br := bufio.NewReaderSize(conn, 1<<20)
+	for {
+		conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+		f, full, err := ReadFrameRecord(br)
+		if err != nil {
+			return
+		}
+		if !full {
+			continue // warm-up header; real viewers record it, we rely on chains
+		}
+		v.mu.Lock()
+		a := v.asm(f.Header.Dts)
+		if !a.haveHdr {
+			a.header = f.Header
+			a.haveHdr = true
+			a.count = uint16(transport.PacketsForFrame(int(f.Header.Size)))
+			a.have = make([]bool, a.count)
+			a.genAt = f.GeneratedAt
+			v.gchain.AddHeader(f.Header)
+		}
+		if !a.complete {
+			for i := range a.have {
+				a.have[i] = true
+			}
+			a.got = int(a.count)
+			a.complete = true
+			a.viaCDN = true
+			v.seedOrExtend(a)
+		}
+		v.refreshLinked()
+		v.mu.Unlock()
+	}
+}
+
+func (v *Viewer) asm(dts uint64) *viewAsm {
+	a, ok := v.frames[dts]
+	if !ok {
+		a = &viewAsm{}
+		v.frames[dts] = a
+	}
+	return a
+}
+
+// seedOrExtend seeds an empty chain or extends it through consecutive
+// complete frames (mirrors the simulator client's self-link logic).
+func (v *Viewer) seedOrExtend(a *viewAsm) {
+	if _, ok := v.gchain.Terminal(); !ok && !v.seeded {
+		v.seeded = true
+		fp := chain.New(a.header, media.Header{}, media.Header{}, a.count)
+		v.gchain.TryMatch([]chain.Footprint{fp})
+		return
+	}
+	iv := uint64(v.iv.Milliseconds())
+	for {
+		term, ok := v.gchain.Terminal()
+		if !ok {
+			return
+		}
+		next, ok := v.frames[term.Dts+iv]
+		if !ok || !next.complete || !next.haveHdr {
+			return
+		}
+		if !v.gchain.AppendSelf(next.header, next.count) {
+			return
+		}
+		if t2, _ := v.gchain.Terminal(); t2.Dts <= term.Dts {
+			return
+		}
+	}
+}
+
+func (v *Viewer) refreshLinked() {
+	for _, fp := range v.gchain.NextLinked() {
+		if a, ok := v.frames[fp.Dts]; ok {
+			a.linked = true
+		}
+	}
+}
+
+func (v *Viewer) udpLoop() {
+	defer v.wg.Done()
+	buf := make([]byte, 64<<10)
+	for {
+		v.udp.SetReadDeadline(time.Now().Add(time.Second))
+		n, _, err := v.udp.ReadFromUDP(buf)
+		if err != nil {
+			select {
+			case <-v.stopped:
+				return
+			default:
+				continue
+			}
+		}
+		typ, err := transport.PeekType(buf[:n])
+		if err != nil || typ != transport.TypeData {
+			continue
+		}
+		p, err := transport.UnmarshalDataPacket(buf[:n])
+		if err != nil {
+			continue
+		}
+		v.mu.Lock()
+		a := v.asm(p.Header.Dts)
+		if !a.haveHdr {
+			a.header = p.Header
+			a.haveHdr = true
+			a.count = p.Count
+			a.have = make([]bool, p.Count)
+			a.genAt = p.GeneratedAt
+			v.gchain.AddHeader(p.Header)
+		}
+		if int(p.Seq) < len(a.have) && !a.have[p.Seq] {
+			a.have[p.Seq] = true
+			a.got++
+		}
+		if len(p.Chain) > 0 {
+			v.gchain.TryMatch(p.Chain)
+		}
+		if !a.complete && a.got == int(a.count) {
+			a.complete = true
+			v.seedOrExtend(a)
+		}
+		v.refreshLinked()
+		v.mu.Unlock()
+	}
+}
+
+// playLoop consumes frames at the wall-clock frame rate.
+func (v *Viewer) playLoop() {
+	defer v.wg.Done()
+	tick := time.NewTicker(v.iv)
+	defer tick.Stop()
+	for {
+		select {
+		case <-v.stopped:
+			return
+		case <-tick.C:
+		}
+		v.mu.Lock()
+		if !v.started {
+			// Anchor at the earliest linked complete frame once a
+			// modest buffer exists.
+			var first uint64
+			found := false
+			ready := 0
+			for dts, a := range v.frames {
+				if a.complete && a.linked {
+					ready++
+					if !found || dts < first {
+						first = dts
+						found = true
+					}
+				}
+			}
+			if found && ready >= 10 {
+				v.playhead = first
+				v.started = true
+			}
+			v.mu.Unlock()
+			continue
+		}
+		a, ok := v.frames[v.playhead]
+		if ok && a.complete && a.linked {
+			if !a.played {
+				a.played = true
+				v.QoE.FramesPlayed++
+				v.QoE.AddPlayback(v.iv, float64(a.header.Size)*8/v.iv.Seconds())
+				if a.genAt > 0 {
+					lat := float64(time.Now().UnixNano()-a.genAt) / 1e6
+					if lat >= 0 {
+						v.QoE.E2ELatency.Add(lat)
+					}
+				}
+			}
+			v.gchain.MarkConsumed(v.playhead)
+			v.playhead += uint64(v.iv.Milliseconds())
+			v.mu.Unlock()
+			continue
+		}
+		// Missing frame: request recovery from the origin and count the
+		// stall tick.
+		v.QoE.AddStall(v.iv, true)
+		dts := v.playhead
+		v.mu.Unlock()
+		if v.originEnc != nil {
+			v.originEnc.Encode(OriginCtl{Op: "frame", Stream: v.stream, Dts: dts})
+		}
+	}
+}
+
+// Played returns frames played so far.
+func (v *Viewer) Played() int {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.QoE.FramesPlayed
+}
+
+// Close ends the session, unsubscribing from relays.
+func (v *Viewer) Close() {
+	close(v.stopped)
+	v.mu.Lock()
+	for ss, ua := range v.relays {
+		un := transport.MarshalSubscribe(scheduler.SubstreamKey{Stream: v.stream, Substream: ss}, true)
+		v.udp.WriteToUDP(un, ua)
+	}
+	v.mu.Unlock()
+	if v.originConn != nil {
+		v.originConn.Close()
+	}
+	v.udp.Close()
+}

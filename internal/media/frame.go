@@ -1,0 +1,103 @@
+// Package media models the live video content that RLive delivers: frames
+// (standing in for H.264/H.265 NALUs — the paper treats one NALU as one
+// frame), GoP-structured synthetic sources with realistic size distributions,
+// a bitrate ladder for ABR, and the compact binary frame header that the
+// distributed sequencing algorithm fingerprints.
+package media
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// StreamID identifies one live stream.
+type StreamID uint32
+
+// FrameType distinguishes frame roles in the GoP; the recovery policy
+// assigns a much higher loss risk to I-frames because losing one makes every
+// dependent frame in the GoP undecodable.
+type FrameType uint8
+
+const (
+	// FrameI is an intra-coded (key) frame.
+	FrameI FrameType = iota
+	// FrameP is a predicted frame referencing earlier frames.
+	FrameP
+)
+
+// String returns "I" or "P".
+func (t FrameType) String() string {
+	switch t {
+	case FrameI:
+		return "I"
+	case FrameP:
+		return "P"
+	default:
+		return fmt.Sprintf("FrameType(%d)", uint8(t))
+	}
+}
+
+// HeaderSize is the encoded size of a Header in bytes.
+const HeaderSize = 19
+
+// Header is the frame metadata carried by the CDN's header-only side channel
+// and hashed into frame footprints. It deliberately excludes the payload:
+// footprints over headers alone let a best-effort node sequence frames of
+// substreams it does not pull (§5.2).
+type Header struct {
+	Stream StreamID
+	// Dts is the decoding timestamp in milliseconds since stream start.
+	// FLV and fMP4 carry dts natively; it is the only ordering hint
+	// mainstream live protocols provide.
+	Dts uint64
+	// Type is the frame type (I or P).
+	Type FrameType
+	// Size is the payload size in bytes.
+	Size uint32
+	// Seq is the source-side frame index. It exists for bookkeeping and
+	// validation in the reproduction; RLive's sequencing deliberately
+	// never transmits it to clients (mainstream protocols lack it, §2.4).
+	Seq uint32
+}
+
+// Marshal encodes the header into a fixed 19-byte representation.
+func (h Header) Marshal() [HeaderSize]byte {
+	var b [HeaderSize]byte
+	binary.BigEndian.PutUint32(b[0:4], uint32(h.Stream))
+	binary.BigEndian.PutUint64(b[4:12], h.Dts)
+	b[12] = byte(h.Type)
+	binary.BigEndian.PutUint32(b[13:17], h.Size)
+	binary.BigEndian.PutUint16(b[17:19], uint16(h.Seq)) // low 16 bits: wire hint only
+	return b
+}
+
+// UnmarshalHeader decodes a header from b.
+func UnmarshalHeader(b []byte) (Header, error) {
+	if len(b) < HeaderSize {
+		return Header{}, fmt.Errorf("media: header too short: %d bytes", len(b))
+	}
+	return Header{
+		Stream: StreamID(binary.BigEndian.Uint32(b[0:4])),
+		Dts:    binary.BigEndian.Uint64(b[4:12]),
+		Type:   FrameType(b[12]),
+		Size:   binary.BigEndian.Uint32(b[13:17]),
+		Seq:    uint32(binary.BigEndian.Uint16(b[17:19])),
+	}, nil
+}
+
+// Frame is one deliverable unit: a header plus (synthetic) payload size.
+// The reproduction does not materialize payload bytes for simulated
+// delivery — only sizes matter to the transport and QoE models — but the
+// real-network path (internal/livenet) fills Data.
+type Frame struct {
+	Header
+	// Data is the payload. nil in simulation (Size still set); populated
+	// on the real-network path.
+	Data []byte
+	// GeneratedAt is the source generation time in nanoseconds of
+	// simulation time, used to measure end-to-end latency.
+	GeneratedAt int64
+}
+
+// IsKey reports whether the frame is an I-frame.
+func (f *Frame) IsKey() bool { return f.Type == FrameI }

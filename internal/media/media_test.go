@@ -1,0 +1,206 @@
+package media
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/stats"
+)
+
+func TestHeaderRoundTrip(t *testing.T) {
+	h := Header{Stream: 7, Dts: 123456789, Type: FrameI, Size: 98765, Seq: 41}
+	b := h.Marshal()
+	got, err := UnmarshalHeader(b[:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != h {
+		t.Fatalf("round trip mismatch: got %+v want %+v", got, h)
+	}
+}
+
+func TestHeaderRoundTripProperty(t *testing.T) {
+	f := func(stream uint32, dts uint64, typ bool, size uint32, seq uint16) bool {
+		h := Header{Stream: StreamID(stream), Dts: dts, Type: FrameP, Size: size, Seq: uint32(seq)}
+		if typ {
+			h.Type = FrameI
+		}
+		b := h.Marshal()
+		got, err := UnmarshalHeader(b[:])
+		return err == nil && got == h
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnmarshalHeaderShort(t *testing.T) {
+	if _, err := UnmarshalHeader(make([]byte, HeaderSize-1)); err == nil {
+		t.Fatal("expected error for short header")
+	}
+}
+
+func TestFrameTypeString(t *testing.T) {
+	if FrameI.String() != "I" || FrameP.String() != "P" {
+		t.Fatal("frame type strings wrong")
+	}
+}
+
+func TestSourceGoPStructure(t *testing.T) {
+	src := NewSource(SourceConfig{Stream: 1, FPS: 30, GoPFrames: 30}, stats.NewRNG(1))
+	for i := 0; i < 90; i++ {
+		f := src.Next(0)
+		wantKey := i%30 == 0
+		if f.IsKey() != wantKey {
+			t.Fatalf("frame %d key=%v, want %v", i, f.IsKey(), wantKey)
+		}
+		if f.Seq != uint32(i) {
+			t.Fatalf("frame %d seq=%d", i, f.Seq)
+		}
+	}
+}
+
+func TestSourceDtsSpacing(t *testing.T) {
+	src := NewSource(SourceConfig{Stream: 1, FPS: 25}, stats.NewRNG(1))
+	prev := src.Next(0)
+	for i := 0; i < 50; i++ {
+		f := src.Next(0)
+		if f.Dts-prev.Dts != 40 {
+			t.Fatalf("dts spacing = %d ms, want 40", f.Dts-prev.Dts)
+		}
+		prev = f
+	}
+}
+
+func TestSourceBitrateCalibration(t *testing.T) {
+	const target = 2.0e6
+	src := NewSource(SourceConfig{Stream: 1, BitrateBps: target}, stats.NewRNG(2))
+	var bytes float64
+	const secs = 60
+	n := 30 * secs
+	for i := 0; i < n; i++ {
+		bytes += float64(src.Next(0).Size)
+	}
+	got := bytes * 8 / secs
+	if math.Abs(got-target)/target > 0.10 {
+		t.Fatalf("achieved bitrate %.0f bps, want within 10%% of %.0f", got, target)
+	}
+}
+
+func TestSourceIFramesLarger(t *testing.T) {
+	src := NewSource(SourceConfig{Stream: 1}, stats.NewRNG(3))
+	var iSum, pSum float64
+	var iN, pN int
+	for i := 0; i < 600; i++ {
+		f := src.Next(0)
+		if f.IsKey() {
+			iSum += float64(f.Size)
+			iN++
+		} else {
+			pSum += float64(f.Size)
+			pN++
+		}
+	}
+	iMean, pMean := iSum/float64(iN), pSum/float64(pN)
+	if iMean < 3*pMean {
+		t.Fatalf("I-frame mean %.0f not much larger than P-frame mean %.0f", iMean, pMean)
+	}
+}
+
+func TestSourceInterval(t *testing.T) {
+	src := NewSource(SourceConfig{Stream: 1, FPS: 30}, stats.NewRNG(1))
+	if src.Interval() != time.Second/30 {
+		t.Fatalf("interval = %v", src.Interval())
+	}
+}
+
+func TestSourceMinFrameSize(t *testing.T) {
+	src := NewSource(SourceConfig{Stream: 1, BitrateBps: 1000}, stats.NewRNG(4))
+	for i := 0; i < 100; i++ {
+		if f := src.Next(0); f.Size < 64 {
+			t.Fatalf("frame size %d below floor", f.Size)
+		}
+	}
+}
+
+func TestPartitionerUniformity(t *testing.T) {
+	p := Partitioner{K: 4}
+	counts := make([]int, 4)
+	for dts := uint64(0); dts < 4000; dts += 33 {
+		counts[p.Assign(dts)]++
+	}
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	for i, c := range counts {
+		frac := float64(c) / float64(total)
+		if frac < 0.15 || frac > 0.35 {
+			t.Fatalf("substream %d got %.2f of frames, want ~0.25", i, frac)
+		}
+	}
+}
+
+func TestPartitionerDeterministic(t *testing.T) {
+	p := Partitioner{K: 8}
+	for dts := uint64(0); dts < 1000; dts += 7 {
+		if p.Assign(dts) != p.Assign(dts) {
+			t.Fatal("assignment not deterministic")
+		}
+	}
+}
+
+func TestPartitionerK1(t *testing.T) {
+	p := Partitioner{K: 1}
+	for dts := uint64(0); dts < 100; dts++ {
+		if p.Assign(dts) != 0 {
+			t.Fatal("K=1 must always assign substream 0")
+		}
+	}
+}
+
+func TestPartitionerPlainModulo(t *testing.T) {
+	p := Partitioner{K: 4, PlainModulo: true}
+	if p.Assign(7) != 3 || p.Assign(8) != 0 {
+		t.Fatal("plain modulo wrong")
+	}
+}
+
+// FNV-1a should break up runs: consecutive dts values (spaced by the frame
+// interval) should rarely map to the same substream many times in a row.
+func TestPartitionerBreaksRuns(t *testing.T) {
+	p := Partitioner{K: 4}
+	longestRun, run := 0, 0
+	var prev SubstreamID = 255
+	for i := 0; i < 3000; i++ {
+		ss := p.Assign(uint64(i) * 33)
+		if ss == prev {
+			run++
+		} else {
+			run = 1
+			prev = ss
+		}
+		if run > longestRun {
+			longestRun = run
+		}
+	}
+	if longestRun > 12 {
+		t.Fatalf("longest same-substream run = %d, hash not mixing", longestRun)
+	}
+}
+
+func TestLadderRung(t *testing.T) {
+	cases := []struct {
+		bps  float64
+		want int
+	}{
+		{0, 0}, {0.9e6, 0}, {1.3e6, 1}, {5e6, 4}, {3.0e6, 3},
+	}
+	for _, c := range cases {
+		if got := LadderRung(DefaultLadder, c.bps); got != c.want {
+			t.Errorf("LadderRung(%v) = %d, want %d", c.bps, got, c.want)
+		}
+	}
+}

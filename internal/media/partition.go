@@ -1,0 +1,46 @@
+package media
+
+// SubstreamID identifies one of the K substreams a stream is split into.
+type SubstreamID uint8
+
+// Partitioner assigns frames to substreams. RLive adopts a static
+// round-robin partition keyed by the dts field so that every node and the
+// client agree on the assignment without coordination (§6):
+//
+//	ssid(f) = Hash(dts(f)) mod K
+//
+// The FNV-1a hash decorrelates the assignment from dts arithmetic so that
+// runs of consecutive large frames do not land on one substream and cause
+// bursty traffic on a single best-effort uplink.
+type Partitioner struct {
+	K int
+	// PlainModulo disables the hash (ssid = dts/frameInterval mod K) and
+	// exists for the abl-hash ablation showing why FNV-1a is used.
+	PlainModulo bool
+}
+
+// fnv1a64 hashes the 8 dts bytes with FNV-1a.
+func fnv1a64(x uint64) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for i := 0; i < 8; i++ {
+		h ^= x & 0xff
+		h *= prime
+		x >>= 8
+	}
+	return h
+}
+
+// Assign returns the substream for a frame with the given dts.
+func (p Partitioner) Assign(dts uint64) SubstreamID {
+	if p.K <= 1 {
+		return 0
+	}
+	if p.PlainModulo {
+		return SubstreamID(dts % uint64(p.K))
+	}
+	return SubstreamID(fnv1a64(dts) % uint64(p.K))
+}

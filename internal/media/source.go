@@ -1,0 +1,130 @@
+package media
+
+import (
+	"math"
+	"time"
+
+	"repro/internal/stats"
+)
+
+// Ladder is a bitrate ladder in bits per second, ordered low to high. The
+// default matches common mobile live-streaming rungs.
+var DefaultLadder = []float64{0.8e6, 1.2e6, 2.0e6, 3.0e6, 4.5e6}
+
+// SourceConfig parameterizes a synthetic live source.
+type SourceConfig struct {
+	Stream StreamID
+	// FPS is frames per second (default 30).
+	FPS int
+	// GoPFrames is the number of frames per group of pictures; the first
+	// frame of each GoP is an I-frame (default 60, i.e. a 2 s GoP).
+	GoPFrames int
+	// BitrateBps is the target encoding bitrate in bits per second.
+	BitrateBps float64
+	// IFrameRatio is the mean size of an I-frame relative to a P-frame
+	// (default 6).
+	IFrameRatio float64
+	// SizeJitterSigma is the lognormal sigma applied to frame sizes
+	// (default 0.25); real encoders produce bursty frame sizes, which is
+	// exactly what makes naive round-robin substream partitioning bursty
+	// (motivating the FNV-1a hash, §6).
+	SizeJitterSigma float64
+}
+
+func (c *SourceConfig) setDefaults() {
+	if c.FPS == 0 {
+		c.FPS = 30
+	}
+	if c.GoPFrames == 0 {
+		c.GoPFrames = 60
+	}
+	if c.BitrateBps == 0 {
+		c.BitrateBps = 2.0e6
+	}
+	if c.IFrameRatio == 0 {
+		c.IFrameRatio = 6
+	}
+	if c.SizeJitterSigma == 0 {
+		c.SizeJitterSigma = 0.25
+	}
+}
+
+// Source generates the frame sequence of one live stream deterministically.
+// It is driven by whoever owns the clock (the simulator or a wall-clock
+// ticker in the real-network path).
+type Source struct {
+	cfg      SourceConfig
+	rng      *stats.RNG
+	next     uint32 // next frame seq
+	pMean    float64
+	iMean    float64
+	interval time.Duration
+}
+
+// NewSource returns a source emitting cfg.FPS frames per second.
+func NewSource(cfg SourceConfig, rng *stats.RNG) *Source {
+	cfg.setDefaults()
+	// Solve per-frame mean sizes so that one GoP hits the target bitrate:
+	// (iMean + (G-1)*pMean) * 8 * FPS / G = bitrate, iMean = ratio*pMean.
+	g := float64(cfg.GoPFrames)
+	bytesPerGoP := cfg.BitrateBps / 8 * g / float64(cfg.FPS)
+	pMean := bytesPerGoP / (cfg.IFrameRatio + g - 1)
+	return &Source{
+		cfg:      cfg,
+		rng:      rng,
+		pMean:    pMean,
+		iMean:    cfg.IFrameRatio * pMean,
+		interval: time.Second / time.Duration(cfg.FPS),
+	}
+}
+
+// Interval returns the inter-frame interval.
+func (s *Source) Interval() time.Duration { return s.interval }
+
+// Config returns the source configuration (with defaults applied).
+func (s *Source) Config() SourceConfig { return s.cfg }
+
+// Next produces the next frame. now is the generation timestamp in
+// simulation nanoseconds.
+func (s *Source) Next(now int64) Frame {
+	seq := s.next
+	s.next++
+	typ := FrameP
+	mean := s.pMean
+	if int(seq)%s.cfg.GoPFrames == 0 {
+		typ = FrameI
+		mean = s.iMean
+	}
+	// Lognormal jitter with mean preserved: E[exp(N(mu, sigma))] = mean
+	// requires mu = ln(mean) - sigma^2/2.
+	sigma := s.cfg.SizeJitterSigma
+	size := s.rng.LogNormal(math.Log(mean)-sigma*sigma/2, sigma)
+	if size < 64 {
+		size = 64
+	}
+	dts := uint64(seq) * uint64(s.interval/time.Millisecond)
+	return Frame{
+		Header: Header{
+			Stream: s.cfg.Stream,
+			Dts:    dts,
+			Type:   typ,
+			Size:   uint32(size),
+			Seq:    seq,
+		},
+		GeneratedAt: now,
+	}
+}
+
+// FramesGenerated returns how many frames this source has emitted.
+func (s *Source) FramesGenerated() uint32 { return s.next }
+
+// LadderRung returns the index of the highest ladder rung <= bps, or 0.
+func LadderRung(ladder []float64, bps float64) int {
+	best := 0
+	for i, r := range ladder {
+		if r <= bps {
+			best = i
+		}
+	}
+	return best
+}

@@ -1,0 +1,204 @@
+// Package metrics collects the QoE and cost measures the paper evaluates:
+// rebuffering events and duration per hundred seconds of playback, video
+// bitrate, end-to-end latency, the traffic expansion rate γ of best-effort
+// nodes (serving traffic / backward traffic, §2.2), equivalent traffic
+// EqT = unit cost × volume (§7.1.3), client energy proxies (§7.1.4), and
+// retransmission accounting (Fig 3, Table 3).
+package metrics
+
+import (
+	"time"
+
+	"repro/internal/stats"
+)
+
+// SessionQoE accumulates per-viewing-session QoE. One instance per client
+// session; aggregate across sessions with Aggregate.
+type SessionQoE struct {
+	// PlayedMs is total playback wall time (excluding stalls).
+	PlayedMs float64
+	// StalledMs is total rebuffering time.
+	StalledMs float64
+	// RebufferEvents counts stall onsets.
+	RebufferEvents int
+	// BitrateBps tracks the time-weighted delivered bitrate.
+	bitrateWeighted float64
+	// E2ELatency samples frame end-to-end latency (generation to
+	// playout readiness) in milliseconds.
+	E2ELatency *stats.Sample
+	// FirstFrameMs is the startup latency.
+	FirstFrameMs float64
+
+	// Retransmission accounting.
+	RetxRequests  int
+	RetxSucceeded int
+	RetxBytes     float64
+
+	// FramesPlayed and FramesLost count playout outcomes.
+	FramesPlayed int
+	FramesLost   int
+
+	// Switches counts edge-node switches (client- or edge-initiated).
+	Switches int
+	// Fallbacks counts full-stream fallbacks to the CDN.
+	Fallbacks int
+}
+
+// NewSessionQoE returns an empty session accumulator.
+func NewSessionQoE() *SessionQoE {
+	return &SessionQoE{E2ELatency: stats.NewSample(256)}
+}
+
+// AddPlayback records d of smooth playback at the given delivered bitrate.
+func (q *SessionQoE) AddPlayback(d time.Duration, bitrateBps float64) {
+	ms := float64(d) / float64(time.Millisecond)
+	q.PlayedMs += ms
+	q.bitrateWeighted += ms * bitrateBps
+}
+
+// AddStall records a rebuffering interval; onset marks a new event.
+func (q *SessionQoE) AddStall(d time.Duration, onset bool) {
+	q.StalledMs += float64(d) / float64(time.Millisecond)
+	if onset {
+		q.RebufferEvents++
+	}
+}
+
+// MeanBitrate returns the playback-time-weighted mean bitrate.
+func (q *SessionQoE) MeanBitrate() float64 {
+	if q.PlayedMs == 0 {
+		return 0
+	}
+	return q.bitrateWeighted / q.PlayedMs
+}
+
+// RebufferPer100s returns rebuffering events per hundred seconds of
+// playback — the paper's headline robustness metric.
+func (q *SessionQoE) RebufferPer100s() float64 {
+	secs := (q.PlayedMs + q.StalledMs) / 1000
+	if secs == 0 {
+		return 0
+	}
+	return float64(q.RebufferEvents) / secs * 100
+}
+
+// StallPer100s returns rebuffering milliseconds per hundred seconds.
+func (q *SessionQoE) StallPer100s() float64 {
+	secs := (q.PlayedMs + q.StalledMs) / 1000
+	if secs == 0 {
+		return 0
+	}
+	return q.StalledMs / secs * 100
+}
+
+// RetxSuccessRate returns the fraction of retransmission requests that
+// succeeded.
+func (q *SessionQoE) RetxSuccessRate() float64 {
+	if q.RetxRequests == 0 {
+		return 0
+	}
+	return float64(q.RetxSucceeded) / float64(q.RetxRequests)
+}
+
+// TrafficAccount tracks serving vs backward traffic for one best-effort
+// node, yielding the traffic expansion rate γ.
+type TrafficAccount struct {
+	// ServingBytes is data delivered to clients.
+	ServingBytes float64
+	// BackwardBytes is data pulled from dedicated CDN nodes.
+	BackwardBytes float64
+}
+
+// ExpansionRate returns γ = serving / backward (0 when no backward
+// traffic has occurred).
+func (t *TrafficAccount) ExpansionRate() float64 {
+	if t.BackwardBytes == 0 {
+		return 0
+	}
+	return t.ServingBytes / t.BackwardBytes
+}
+
+// EqT computes equivalent traffic: Σ unit-cost × volume. Volumes and costs
+// are supplied by the caller per node class.
+func EqT(volumesBytes []float64, unitCosts []float64) float64 {
+	var sum float64
+	for i := range volumesBytes {
+		c := 1.0
+		if i < len(unitCosts) {
+			c = unitCosts[i]
+		}
+		sum += volumesBytes[i] * c
+	}
+	return sum
+}
+
+// Energy aggregates client-side resource proxies (Fig 10). The simulation
+// counts work units; the A/B comparison reports relative differences, so
+// absolute units are irrelevant.
+type Energy struct {
+	// CPUUnits counts compute work: packets processed, CRCs, chain
+	// merges, recovery decisions.
+	CPUUnits float64
+	// MemBytesPeak tracks the high-water buffer usage.
+	MemBytesPeak float64
+	// CopyBytes counts data copies (the paper's optimizations reduced
+	// redundant copies).
+	CopyBytes float64
+	// RadioActiveMs approximates battery/temperature impact via radio
+	// active time.
+	RadioActiveMs float64
+}
+
+// AddCPU adds n units of compute work.
+func (e *Energy) AddCPU(n float64) { e.CPUUnits += n }
+
+// TrackMem updates the memory high-water mark.
+func (e *Energy) TrackMem(cur float64) {
+	if cur > e.MemBytesPeak {
+		e.MemBytesPeak = cur
+	}
+}
+
+// Aggregate summarizes many sessions into the figures the paper reports.
+type Aggregate struct {
+	Rebuffer  *stats.Sample // rebuffer events per 100 s
+	StallTime *stats.Sample // stall ms per 100 s
+	Bitrate   *stats.Sample // mean session bitrate (bps)
+	E2EMs     *stats.Sample // per-frame E2E latency samples (ms)
+	Startup   *stats.Sample // first-frame latency (ms)
+	Sessions  int
+}
+
+// NewAggregate returns an empty aggregate.
+func NewAggregate() *Aggregate {
+	return &Aggregate{
+		Rebuffer:  stats.NewSample(256),
+		StallTime: stats.NewSample(256),
+		Bitrate:   stats.NewSample(256),
+		E2EMs:     stats.NewSample(4096),
+		Startup:   stats.NewSample(256),
+	}
+}
+
+// Absorb folds one session into the aggregate.
+func (a *Aggregate) Absorb(q *SessionQoE) {
+	a.Sessions++
+	a.Rebuffer.Add(q.RebufferPer100s())
+	a.StallTime.Add(q.StallPer100s())
+	a.Bitrate.Add(q.MeanBitrate())
+	for _, v := range q.E2ELatency.Values() {
+		a.E2EMs.Add(v)
+	}
+	if q.FirstFrameMs > 0 {
+		a.Startup.Add(q.FirstFrameMs)
+	}
+}
+
+// RelDiff returns (test - control) / control, the paper's A/B reporting
+// convention, or 0 when control is zero.
+func RelDiff(test, control float64) float64 {
+	if control == 0 {
+		return 0
+	}
+	return (test - control) / control
+}

@@ -1,0 +1,116 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestSessionQoEBasics(t *testing.T) {
+	q := NewSessionQoE()
+	q.AddPlayback(90*time.Second, 2e6)
+	q.AddStall(10*time.Second, true)
+	q.AddStall(0, false) // continuation, no new event
+
+	if got := q.MeanBitrate(); got != 2e6 {
+		t.Errorf("mean bitrate = %v", got)
+	}
+	// 1 event over 100s total.
+	if got := q.RebufferPer100s(); math.Abs(got-1) > 1e-9 {
+		t.Errorf("rebuffer/100s = %v, want 1", got)
+	}
+	if got := q.StallPer100s(); math.Abs(got-10000) > 1e-9 {
+		t.Errorf("stall ms/100s = %v, want 10000", got)
+	}
+}
+
+func TestSessionQoEEmpty(t *testing.T) {
+	q := NewSessionQoE()
+	if q.MeanBitrate() != 0 || q.RebufferPer100s() != 0 || q.StallPer100s() != 0 || q.RetxSuccessRate() != 0 {
+		t.Fatal("empty session should report zeros")
+	}
+}
+
+func TestBitrateTimeWeighting(t *testing.T) {
+	q := NewSessionQoE()
+	q.AddPlayback(30*time.Second, 1e6)
+	q.AddPlayback(10*time.Second, 5e6)
+	want := (30.0*1e6 + 10.0*5e6) / 40.0
+	if got := q.MeanBitrate(); math.Abs(got-want) > 1 {
+		t.Errorf("weighted bitrate = %v, want %v", got, want)
+	}
+}
+
+func TestRetxSuccessRate(t *testing.T) {
+	q := NewSessionQoE()
+	q.RetxRequests = 10
+	q.RetxSucceeded = 9
+	if got := q.RetxSuccessRate(); got != 0.9 {
+		t.Errorf("retx success = %v", got)
+	}
+}
+
+func TestTrafficExpansionRate(t *testing.T) {
+	var ta TrafficAccount
+	if ta.ExpansionRate() != 0 {
+		t.Fatal("zero backward traffic should give 0")
+	}
+	ta.BackwardBytes = 100
+	ta.ServingBytes = 370
+	if got := ta.ExpansionRate(); math.Abs(got-3.7) > 1e-9 {
+		t.Errorf("gamma = %v, want 3.7", got)
+	}
+}
+
+func TestEqT(t *testing.T) {
+	// 100 GB at dedicated price 1.0 + 200 GB at best-effort 0.65.
+	got := EqT([]float64{100, 200}, []float64{1.0, 0.65})
+	if math.Abs(got-230) > 1e-9 {
+		t.Errorf("EqT = %v, want 230", got)
+	}
+	// Missing cost defaults to 1.
+	if got := EqT([]float64{50, 50}, []float64{0.5}); math.Abs(got-75) > 1e-9 {
+		t.Errorf("EqT default cost = %v, want 75", got)
+	}
+}
+
+func TestEnergy(t *testing.T) {
+	var e Energy
+	e.AddCPU(10)
+	e.AddCPU(5)
+	e.TrackMem(1000)
+	e.TrackMem(500) // lower, no change
+	if e.CPUUnits != 15 || e.MemBytesPeak != 1000 {
+		t.Fatalf("energy = %+v", e)
+	}
+}
+
+func TestAggregateAbsorb(t *testing.T) {
+	a := NewAggregate()
+	for i := 0; i < 3; i++ {
+		q := NewSessionQoE()
+		q.AddPlayback(100*time.Second, float64(i+1)*1e6)
+		q.AddStall(time.Duration(i)*time.Second, i > 0)
+		q.E2ELatency.Add(500)
+		q.FirstFrameMs = 300
+		a.Absorb(q)
+	}
+	if a.Sessions != 3 {
+		t.Fatalf("sessions = %d", a.Sessions)
+	}
+	if a.Bitrate.N() != 3 || a.E2EMs.N() != 3 || a.Startup.N() != 3 {
+		t.Fatal("sample counts wrong")
+	}
+	if a.Bitrate.Percentile(100) != 3e6 {
+		t.Errorf("max bitrate = %v", a.Bitrate.Percentile(100))
+	}
+}
+
+func TestRelDiff(t *testing.T) {
+	if got := RelDiff(85, 100); math.Abs(got+0.15) > 1e-9 {
+		t.Errorf("RelDiff(85,100) = %v, want -0.15", got)
+	}
+	if RelDiff(5, 0) != 0 {
+		t.Error("zero control should give 0")
+	}
+}

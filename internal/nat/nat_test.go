@@ -1,0 +1,90 @@
+package nat
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+func TestMixSumsToOne(t *testing.T) {
+	sum := 0.0
+	for _, p := range Mix {
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("Mix sums to %v", sum)
+	}
+}
+
+func TestTypeStrings(t *testing.T) {
+	if Public.String() != "public" || Symmetric.String() != "symmetric" {
+		t.Fatal("type names wrong")
+	}
+	if Type(200).String() != "unknown" {
+		t.Fatal("unknown type name wrong")
+	}
+}
+
+func TestSampleDistribution(t *testing.T) {
+	rng := stats.NewRNG(1)
+	counts := make([]int, NumTypes())
+	const n = 100000
+	for i := 0; i < n; i++ {
+		counts[Sample(rng)]++
+	}
+	for tt := Type(0); int(tt) < NumTypes(); tt++ {
+		got := float64(counts[tt]) / n
+		if math.Abs(got-Mix[tt]) > 0.01 {
+			t.Errorf("type %v frequency %.3f, want %.3f", tt, got, Mix[tt])
+		}
+	}
+}
+
+func TestRefinementImprovesHardTypes(t *testing.T) {
+	for _, tt := range []Type{SymmetricIncremental, SequentialFilter} {
+		if SuccessProbStatic(tt, true) <= SuccessProbStatic(tt, false) {
+			t.Errorf("refinement does not help %v", tt)
+		}
+	}
+	// Easy types should be unaffected or nearly so.
+	if SuccessProbStatic(Public, true) != SuccessProbStatic(Public, false) {
+		t.Error("refinement should not change public nodes")
+	}
+}
+
+func TestUsablePoolExpansion(t *testing.T) {
+	base := UsablePoolFraction(false)
+	refined := UsablePoolFraction(true)
+	gain := (refined - base) / base
+	// The paper reports ~22% pool expansion; our mix should land in the
+	// same neighbourhood (5-30%).
+	if gain < 0.03 || gain > 0.35 {
+		t.Fatalf("pool expansion %.1f%%, want single-to-low-double digits", gain*100)
+	}
+}
+
+func TestTraverserConnectRate(t *testing.T) {
+	tr := NewTraverser(stats.NewRNG(2), false)
+	succ := 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		if tr.Connect(PortRestricted) {
+			succ++
+		}
+	}
+	got := float64(succ) / n
+	if math.Abs(got-baseSuccess[PortRestricted]) > 0.02 {
+		t.Fatalf("connect rate %.3f, want %.3f", got, baseSuccess[PortRestricted])
+	}
+}
+
+func TestSuccessProbUnknownType(t *testing.T) {
+	tr := NewTraverser(stats.NewRNG(3), true)
+	if tr.SuccessProb(Type(99)) != 0 {
+		t.Fatal("unknown type should have zero success")
+	}
+	if SuccessProbStatic(Type(99), false) != 0 {
+		t.Fatal("unknown type should have zero success (static)")
+	}
+}

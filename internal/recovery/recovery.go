@@ -1,0 +1,335 @@
+// Package recovery implements RLive's QoE-driven sub-stream loss recovery
+// (§5.3): a state-aware decision framework that, for each incomplete frame,
+// picks among four recovery actions by minimizing a probabilistic loss
+// function combining bandwidth cost, the probability the frame misses its
+// playback deadline, and the playout impact of losing it.
+//
+// The core trade-off it encodes (Fig 3): best-effort retransmissions are
+// cheap but slow and less reliable (median ≈ 778 ms, ≈ 91% success in the
+// paper), dedicated-node retransmissions are fast and reliable (≈ 71 ms,
+// ≈ 94%) but cost more per byte. The policy prefers best-effort recovery
+// whenever it is likely to complete before the frame's deadline, escalating
+// to dedicated frames, substream switchback, or a full-stream fallback as
+// buffers drain or losses concentrate.
+package recovery
+
+import (
+	"math"
+	"time"
+
+	"repro/internal/media"
+	"repro/internal/stats"
+)
+
+// Action is one recovery choice for a frame (the per-frame components a_i
+// of the action vector A).
+type Action uint8
+
+const (
+	// RetryBestEffort (a=0) requests packet-level retransmission from
+	// the best-effort publisher (fast-retransmit on reordering, timeout
+	// otherwise).
+	RetryBestEffort Action = iota
+	// FetchDedicated (a=1) retrieves the whole frame from a dedicated
+	// node while subsequent frames keep flowing from best-effort nodes.
+	FetchDedicated
+	// SwitchSubstream (a=2) repoints the afflicted substream to a
+	// dedicated node — chosen when consecutive frames of one substream
+	// are lost, making per-frame fetches inefficient.
+	SwitchSubstream
+	// FullFallback (a=3) pulls the entire stream from dedicated nodes —
+	// the last resort when QoE cannot otherwise be maintained.
+	FullFallback
+
+	numActions
+)
+
+// String names the action.
+func (a Action) String() string {
+	switch a {
+	case RetryBestEffort:
+		return "retry-best-effort"
+	case FetchDedicated:
+		return "fetch-dedicated"
+	case SwitchSubstream:
+		return "switch-substream"
+	case FullFallback:
+		return "full-fallback"
+	default:
+		return "unknown"
+	}
+}
+
+// FrameState is the per-frame slice of the decision state S: deadline,
+// size, retransmission history toward this frame, and which substream it
+// belongs to.
+type FrameState struct {
+	Dts       uint64
+	Substream media.SubstreamID
+	Type      media.FrameType
+	// Deadline is the remaining time until the frame must be playable.
+	Deadline time.Duration
+	// SizeBytes is the frame size (cost of a dedicated re-fetch).
+	SizeBytes int
+	// MissingPackets is x_fail,i: packets still missing.
+	MissingPackets int
+	// PacketBytes is the wire size per packet (cost of BE retries).
+	PacketBytes int
+	// RetriesUsed is n_fail,i: retransmission attempts already spent.
+	RetriesUsed int
+}
+
+// Stats carries the session-level observations the model conditions on.
+type Stats struct {
+	// PktSuccess is p: the per-packet retransmission success rate toward
+	// the best-effort publisher, x_succ/n_succ over the session window.
+	PktSuccess float64
+	// BERetryRTT is the expected single retry round-trip toward the
+	// best-effort publisher (drives how many retries fit a deadline).
+	BERetryRTT time.Duration
+	// DedicatedEDF is F_N: the empirical distribution of dedicated-node
+	// frame-retrieval latency (L in the paper).
+	DedicatedEDF *stats.EDF
+	// ConsecutiveLost counts consecutively lost frames per substream —
+	// the signal for substream switchback.
+	ConsecutiveLost map[media.SubstreamID]int
+	// BufferMs is the current playout buffer level.
+	BufferMs float64
+	// FallbackThresholdMs is the buffer level below which full fallback
+	// engages (§7.4: 400 ms in production).
+	FallbackThresholdMs float64
+}
+
+// Costs parameterizes the loss function.
+type Costs struct {
+	// BECostPerByte and DedicatedCostPerByte are relative unit bandwidth
+	// prices (paper: best-effort 20–40% cheaper).
+	BECostPerByte        float64
+	DedicatedCostPerByte float64
+	// Lambda weighs playout risk against bandwidth cost. Cost is
+	// measured in (relative-price × bytes), so Lambda must be large
+	// enough that meaningful deadline-miss probabilities outweigh
+	// frame-sized byte costs.
+	Lambda float64
+	// RiskI and RiskP are risk(F_i) constants by frame type; losing an
+	// I-frame stalls the whole GoP so RiskI >> RiskP.
+	RiskI float64
+	RiskP float64
+	// RequestOverheadBytes is the per-request overhead of an individual
+	// dedicated frame fetch (headers, connection bookkeeping) — the
+	// inefficiency that makes repeated per-frame fetches lose to a
+	// substream switch during loss bursts.
+	RequestOverheadBytes int
+	// SwitchOverheadBytes models the reconnection cost of a substream
+	// switch; FullOverheadBytes that of a full-stream pull (initial GoP).
+	SwitchOverheadBytes int
+	FullOverheadBytes   int
+	// ConsecutiveLossSwitch is the consecutive-frame-loss count on one
+	// substream at which switchback becomes admissible.
+	ConsecutiveLossSwitch int
+}
+
+// DefaultCosts returns production-like parameters.
+func DefaultCosts() Costs {
+	return Costs{
+		BECostPerByte:         0.65,
+		DedicatedCostPerByte:  1.0,
+		Lambda:                100_000,
+		RiskI:                 10,
+		RiskP:                 1,
+		RequestOverheadBytes:  1500,
+		SwitchOverheadBytes:   4000,
+		FullOverheadBytes:     200_000,
+		ConsecutiveLossSwitch: 3,
+	}
+}
+
+// Decision is the chosen action and its modeled loss for one frame.
+type Decision struct {
+	Frame  FrameState
+	Action Action
+	Loss   float64
+	// PFail is the modeled probability the frame misses its deadline
+	// under the chosen action.
+	PFail float64
+}
+
+// Engine evaluates the loss function and picks actions.
+type Engine struct {
+	Costs Costs
+}
+
+// NewEngine returns an engine with the given cost parameters.
+func NewEngine(c Costs) *Engine { return &Engine{Costs: c} }
+
+// risk returns risk(F_i) by frame type.
+func (e *Engine) risk(t media.FrameType) float64 {
+	if t == media.FrameI {
+		return e.Costs.RiskI
+	}
+	return e.Costs.RiskP
+}
+
+// pFailBestEffort models P(F_i | a_i = 0, S): packet-level retries toward
+// the best-effort publisher. With per-packet success p, r feasible retry
+// rounds before the deadline, and x missing packets, a packet is recovered
+// within r rounds with probability 1-(1-p)^r; the frame completes iff all x
+// packets recover:
+//
+//	P_fail = 1 - (1 - (1-p)^r)^x
+//
+// r <= 0 (deadline already closer than one retry RTT) yields P_fail = 1.
+func (e *Engine) pFailBestEffort(f FrameState, s Stats) float64 {
+	if f.MissingPackets <= 0 {
+		return 0
+	}
+	p := s.PktSuccess
+	if p <= 0 {
+		return 1
+	}
+	if p > 1 {
+		p = 1
+	}
+	if s.BERetryRTT <= 0 {
+		return 1
+	}
+	r := int(f.Deadline / s.BERetryRTT)
+	if r <= 0 {
+		return 1
+	}
+	pktRecovered := 1 - math.Pow(1-p, float64(r))
+	return 1 - math.Pow(pktRecovered, float64(f.MissingPackets))
+}
+
+// pFailDedicated models P(F_i | a_i >= 1, S) = 1 - F_N(tau_i): the
+// dedicated node retransmits the entire frame in a single attempt with
+// empirically distributed latency.
+func (e *Engine) pFailDedicated(f FrameState, s Stats) float64 {
+	if s.DedicatedEDF == nil {
+		return 1
+	}
+	tau := float64(f.Deadline) / float64(time.Millisecond)
+	return 1 - s.DedicatedEDF.F(tau)
+}
+
+// cost returns cost(a_i) in relative price units for one frame.
+func (e *Engine) cost(a Action, f FrameState) float64 {
+	c := e.Costs
+	switch a {
+	case RetryBestEffort:
+		// Expected retransmitted bytes: the missing packets, possibly
+		// more than once; one round's worth is the dominant term.
+		return c.BECostPerByte * float64(f.MissingPackets*f.PacketBytes)
+	case FetchDedicated:
+		return c.DedicatedCostPerByte * float64(f.SizeBytes+c.RequestOverheadBytes)
+	case SwitchSubstream:
+		// Per-frame share when the switch covers a burst: the frame's
+		// bytes at dedicated price; the one-time reconnection overhead
+		// is added once at the group level in Decide.
+		return c.DedicatedCostPerByte * float64(f.SizeBytes)
+	case FullFallback:
+		return c.DedicatedCostPerByte * float64(f.SizeBytes+c.FullOverheadBytes)
+	default:
+		return math.Inf(1)
+	}
+}
+
+// pFail returns the failure probability for one frame under an action.
+func (e *Engine) pFail(a Action, f FrameState, s Stats) float64 {
+	switch a {
+	case RetryBestEffort:
+		return e.pFailBestEffort(f, s)
+	case FetchDedicated:
+		return e.pFailDedicated(f, s)
+	case SwitchSubstream:
+		// Same dedicated latency profile, minus per-frame request
+		// round trips for subsequent frames; model as the dedicated
+		// EDF with a small reconnection penalty folded into the
+		// deadline.
+		g := f
+		g.Deadline -= 30 * time.Millisecond
+		if g.Deadline < 0 {
+			g.Deadline = 0
+		}
+		return e.pFailDedicated(g, s)
+	case FullFallback:
+		// Dedicated full-stream delivery effectively guarantees the
+		// frame if any buffer remains; keep a floor for realism.
+		p := e.pFailDedicated(f, s) * 0.5
+		if p < 0.001 {
+			p = 0.001
+		}
+		return p
+	default:
+		return 1
+	}
+}
+
+// loss computes Loss(a_i) = cost + λ·P_fail·risk for one frame.
+func (e *Engine) loss(a Action, f FrameState, s Stats) (float64, float64) {
+	pf := e.pFail(a, f, s)
+	return e.cost(a, f) + e.Costs.Lambda*pf*e.risk(f.Type), pf
+}
+
+// DecideFrame picks the minimum-loss per-frame action (a=0, a=1, or — when
+// the buffer has drained below the fallback threshold — a=3). Substream
+// switchback (a=2) is a burst-level action evaluated in Decide, since its
+// benefit is amortizing reconnection overhead over consecutive losses.
+func (e *Engine) DecideFrame(f FrameState, s Stats) Decision {
+	best := Decision{Frame: f, Action: RetryBestEffort}
+	best.Loss, best.PFail = e.loss(RetryBestEffort, f, s)
+
+	consider := func(a Action) {
+		l, pf := e.loss(a, f, s)
+		if l < best.Loss {
+			best.Action, best.Loss, best.PFail = a, l, pf
+		}
+	}
+	consider(FetchDedicated)
+	if s.BufferMs < s.FallbackThresholdMs {
+		consider(FullFallback)
+	}
+	return best
+}
+
+// Decide evaluates the retransmission list (all incomplete frames) and
+// returns the action vector A = (a_1, ..., a_m) minimizing the additive
+// loss. Per-frame minima are computed first; then, for each substream whose
+// loss burst reaches the consecutive-loss threshold (counting both frames in
+// the list and the session's running consecutive-loss counter), the group
+// alternative "switch the substream to a dedicated node" — one reconnection
+// overhead plus dedicated delivery of every frame — replaces the per-frame
+// decisions when its total loss is lower (§5.3 action a_i = 2).
+func (e *Engine) Decide(frames []FrameState, s Stats) []Decision {
+	out := make([]Decision, len(frames))
+	perSS := make(map[media.SubstreamID][]int)
+	for i, f := range frames {
+		out[i] = e.DecideFrame(f, s)
+		perSS[f.Substream] = append(perSS[f.Substream], i)
+	}
+	for ss, idxs := range perSS {
+		burst := len(idxs)
+		if s.ConsecutiveLost != nil {
+			burst += s.ConsecutiveLost[ss]
+		}
+		if burst < e.Costs.ConsecutiveLossSwitch {
+			continue
+		}
+		// Group loss under per-frame decisions vs under a switch.
+		var cur, sw float64
+		swDecisions := make([]Decision, len(idxs))
+		for j, i := range idxs {
+			cur += out[i].Loss
+			l, pf := e.loss(SwitchSubstream, frames[i], s)
+			sw += l
+			swDecisions[j] = Decision{Frame: frames[i], Action: SwitchSubstream, Loss: l, PFail: pf}
+		}
+		sw += e.Costs.DedicatedCostPerByte * float64(e.Costs.SwitchOverheadBytes)
+		if sw < cur {
+			for j, i := range idxs {
+				out[i] = swDecisions[j]
+			}
+		}
+	}
+	return out
+}

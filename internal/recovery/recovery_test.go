@@ -1,0 +1,306 @@
+package recovery
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/media"
+	"repro/internal/stats"
+)
+
+// dedicatedEDF returns an EDF with the paper's dedicated-node latency
+// profile: tight around ~71 ms.
+func dedicatedEDF() *stats.EDF {
+	e := stats.NewEDF(0)
+	rng := stats.NewRNG(1)
+	for i := 0; i < 500; i++ {
+		e.Observe(rng.LogNormalMedian(71, 0.4))
+	}
+	return e
+}
+
+func baseStats() Stats {
+	return Stats{
+		PktSuccess:          0.91,
+		BERetryRTT:          120 * time.Millisecond,
+		DedicatedEDF:        dedicatedEDF(),
+		ConsecutiveLost:     map[media.SubstreamID]int{},
+		BufferMs:            2000,
+		FallbackThresholdMs: 400,
+	}
+}
+
+func baseFrame() FrameState {
+	return FrameState{
+		Dts:            1000,
+		Substream:      1,
+		Type:           media.FrameP,
+		Deadline:       1500 * time.Millisecond,
+		SizeBytes:      8000,
+		MissingPackets: 2,
+		PacketBytes:    1200,
+	}
+}
+
+func TestHealthyBufferPrefersBestEffort(t *testing.T) {
+	e := NewEngine(DefaultCosts())
+	d := e.DecideFrame(baseFrame(), baseStats())
+	if d.Action != RetryBestEffort {
+		t.Fatalf("with a deep buffer the cheap path should win, got %v (loss=%.1f pfail=%.3f)",
+			d.Action, d.Loss, d.PFail)
+	}
+}
+
+func TestTightDeadlineEscalatesToDedicated(t *testing.T) {
+	e := NewEngine(DefaultCosts())
+	f := baseFrame()
+	f.Deadline = 150 * time.Millisecond // one BE retry round at most
+	s := baseStats()
+	s.BufferMs = 600 // above fallback threshold: full fallback inadmissible
+	d := e.DecideFrame(f, s)
+	if d.Action != FetchDedicated {
+		t.Fatalf("tight deadline should escalate, got %v (pfail=%.3f)", d.Action, d.PFail)
+	}
+}
+
+func TestLowBufferTriggersFullFallback(t *testing.T) {
+	e := NewEngine(DefaultCosts())
+	f := baseFrame()
+	f.Deadline = 60 * time.Millisecond // even dedicated per-frame fetch is risky
+	f.Type = media.FrameI
+	s := baseStats()
+	s.BufferMs = 100 // below fallback threshold
+	d := e.DecideFrame(f, s)
+	if d.Action != FullFallback {
+		t.Fatalf("depleted buffer + desperate deadline should fall back, got %v", d.Action)
+	}
+}
+
+func TestFullFallbackInadmissibleAboveThreshold(t *testing.T) {
+	e := NewEngine(DefaultCosts())
+	f := baseFrame()
+	f.Deadline = 10 * time.Millisecond
+	s := baseStats()
+	s.BufferMs = 5000
+	d := e.DecideFrame(f, s)
+	if d.Action == FullFallback {
+		t.Fatal("full fallback chosen despite healthy buffer")
+	}
+}
+
+func TestConsecutiveLossEnablesSwitchback(t *testing.T) {
+	e := NewEngine(DefaultCosts())
+	s := baseStats()
+	s.PktSuccess = 0.3 // BE path unattractive: per-frame minima pick FetchDedicated
+
+	mkBurst := func(n int) []FrameState {
+		frames := make([]FrameState, n)
+		for i := range frames {
+			f := baseFrame()
+			f.Substream = 2
+			f.Deadline = 250 * time.Millisecond
+			f.MissingPackets = 4
+			frames[i] = f
+		}
+		return frames
+	}
+
+	// A burst below the threshold must not switch.
+	for _, d := range e.Decide(mkBurst(2), s) {
+		if d.Action == SwitchSubstream {
+			t.Fatal("switchback chosen below consecutive-loss threshold")
+		}
+	}
+	// A long burst amortizes the switch overhead: per-frame dedicated
+	// fetches each pay RequestOverheadBytes, the switch pays
+	// SwitchOverheadBytes once, so with 5 frames the switch must win.
+	ds := e.Decide(mkBurst(5), s)
+	for i, d := range ds {
+		if d.Action != SwitchSubstream {
+			t.Fatalf("frame %d: got %v, want switch-substream (loss=%.0f)", i, d.Action, d.Loss)
+		}
+	}
+	// The running consecutive-loss counter also counts toward the
+	// threshold: 1 listed frame + 4 prior losses crosses it, but a
+	// 1-frame group cannot amortize the overhead, so it still fetches.
+	s.ConsecutiveLost[2] = 4
+	ds = e.Decide(mkBurst(1), s)
+	if ds[0].Action == RetryBestEffort {
+		t.Fatalf("unreliable path retained: %v", ds[0].Action)
+	}
+}
+
+func TestIFrameEscalatesEarlier(t *testing.T) {
+	e := NewEngine(DefaultCosts())
+	s := baseStats()
+	s.PktSuccess = 0.5
+	f := baseFrame()
+	f.Deadline = 400 * time.Millisecond
+	f.MissingPackets = 4
+
+	f.Type = media.FrameP
+	dp := e.DecideFrame(f, s)
+	f.Type = media.FrameI
+	di := e.DecideFrame(f, s)
+	// The I-frame must never take a riskier path than the P-frame under
+	// identical conditions.
+	if di.Action == RetryBestEffort && dp.Action == FetchDedicated {
+		t.Fatal("I-frame chose riskier action than P-frame")
+	}
+	// And with these parameters the risk gap should actually flip the
+	// I-frame to the reliable path.
+	if di.Action != FetchDedicated {
+		t.Fatalf("I-frame should escalate (got %v, pfail=%.3f)", di.Action, di.PFail)
+	}
+}
+
+func TestPFailMonotoneInMissingPackets(t *testing.T) {
+	e := NewEngine(DefaultCosts())
+	s := baseStats()
+	f := baseFrame()
+	prev := -1.0
+	for x := 0; x <= 20; x++ {
+		f.MissingPackets = x
+		pf := e.pFailBestEffort(f, s)
+		if pf < prev {
+			t.Fatalf("P_fail not monotone in missing packets at x=%d: %v < %v", x, pf, prev)
+		}
+		if pf < 0 || pf > 1 {
+			t.Fatalf("P_fail out of range: %v", pf)
+		}
+		prev = pf
+	}
+}
+
+func TestPFailMonotoneInDeadline(t *testing.T) {
+	e := NewEngine(DefaultCosts())
+	s := baseStats()
+	f := baseFrame()
+	prev := 2.0
+	for d := 50 * time.Millisecond; d < 3*time.Second; d += 100 * time.Millisecond {
+		f.Deadline = d
+		pf := e.pFailBestEffort(f, s)
+		if pf > prev {
+			t.Fatalf("P_fail not non-increasing in deadline at %v", d)
+		}
+		prev = pf
+	}
+}
+
+func TestPFailEdgeCases(t *testing.T) {
+	e := NewEngine(DefaultCosts())
+	s := baseStats()
+	f := baseFrame()
+	f.MissingPackets = 0
+	if pf := e.pFailBestEffort(f, s); pf != 0 {
+		t.Fatalf("no missing packets must give pfail 0, got %v", pf)
+	}
+	f.MissingPackets = 3
+	s.PktSuccess = 0
+	if pf := e.pFailBestEffort(f, s); pf != 1 {
+		t.Fatalf("zero success rate must give pfail 1, got %v", pf)
+	}
+	s = baseStats()
+	f.Deadline = 0
+	if pf := e.pFailBestEffort(f, s); pf != 1 {
+		t.Fatalf("expired deadline must give pfail 1, got %v", pf)
+	}
+}
+
+func TestPFailDedicatedUsesEDF(t *testing.T) {
+	e := NewEngine(DefaultCosts())
+	s := baseStats()
+	f := baseFrame()
+	f.Deadline = 500 * time.Millisecond
+	pfLong := e.pFailDedicated(f, s)
+	f.Deadline = 20 * time.Millisecond
+	pfShort := e.pFailDedicated(f, s)
+	if pfLong >= pfShort {
+		t.Fatalf("longer deadline should reduce dedicated pfail: %v vs %v", pfLong, pfShort)
+	}
+	if pfLong > 0.2 {
+		t.Fatalf("500ms deadline vs ~71ms median should almost always make it: pfail=%v", pfLong)
+	}
+}
+
+func TestPFailDedicatedNilEDF(t *testing.T) {
+	e := NewEngine(DefaultCosts())
+	f := baseFrame()
+	if pf := e.pFailDedicated(f, Stats{}); pf != 1 {
+		t.Fatalf("nil EDF must be pessimistic, got %v", pf)
+	}
+}
+
+func TestDecideVector(t *testing.T) {
+	e := NewEngine(DefaultCosts())
+	s := baseStats()
+	frames := []FrameState{baseFrame(), baseFrame(), baseFrame()}
+	frames[1].Deadline = 100 * time.Millisecond
+	frames[2].MissingPackets = 0
+	ds := e.Decide(frames, s)
+	if len(ds) != 3 {
+		t.Fatalf("decisions = %d", len(ds))
+	}
+	if ds[0].Action != RetryBestEffort {
+		t.Errorf("frame 0: %v", ds[0].Action)
+	}
+	if ds[1].Action != FetchDedicated {
+		t.Errorf("frame 1 (tight): %v", ds[1].Action)
+	}
+	if ds[2].Action != RetryBestEffort || ds[2].PFail != 0 {
+		t.Errorf("frame 2 (complete): %v pfail=%v", ds[2].Action, ds[2].PFail)
+	}
+}
+
+func TestActionStrings(t *testing.T) {
+	want := map[Action]string{
+		RetryBestEffort: "retry-best-effort",
+		FetchDedicated:  "fetch-dedicated",
+		SwitchSubstream: "switch-substream",
+		FullFallback:    "full-fallback",
+		Action(99):      "unknown",
+	}
+	for a, s := range want {
+		if a.String() != s {
+			t.Errorf("%d.String() = %q, want %q", a, a.String(), s)
+		}
+	}
+}
+
+// Property: the probability model always returns values in [0,1] for any
+// non-degenerate inputs.
+func TestPFailRangeProperty(t *testing.T) {
+	e := NewEngine(DefaultCosts())
+	f := func(p float64, deadlineMs uint16, missing uint8) bool {
+		s := baseStats()
+		s.PktSuccess = p
+		fr := baseFrame()
+		fr.Deadline = time.Duration(deadlineMs) * time.Millisecond
+		fr.MissingPackets = int(missing)
+		pf := e.pFailBestEffort(fr, s)
+		return pf >= 0 && pf <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: increasing Lambda can only shift decisions toward more reliable
+// (lower-pfail) actions, never less reliable ones.
+func TestLambdaMonotonicity(t *testing.T) {
+	s := baseStats()
+	s.PktSuccess = 0.6
+	f := baseFrame()
+	f.Deadline = 300 * time.Millisecond
+	var prevPFail = 2.0
+	for _, lambda := range []float64{1, 100, 3000, 100000} {
+		c := DefaultCosts()
+		c.Lambda = lambda
+		d := NewEngine(c).DecideFrame(f, s)
+		if d.PFail > prevPFail+1e-12 {
+			t.Fatalf("higher lambda picked less reliable action: pfail %v after %v", d.PFail, prevPFail)
+		}
+		prevPFail = d.PFail
+	}
+}

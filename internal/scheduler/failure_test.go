@@ -1,0 +1,46 @@
+package scheduler
+
+import (
+	"testing"
+	"time"
+)
+
+func TestFailureWindowResets(t *testing.T) {
+	f := newFixture(Config{TopK: 5, BlacklistFor: 2 * time.Minute})
+	f.addNode(900, 0, 0, 5)
+	// Two failures, then a quiet period longer than the 30 s window,
+	// then two more: the counter must have reset, so no blacklist.
+	f.s.ReportFailure(900)
+	f.s.ReportFailure(900)
+	f.now = time.Minute
+	f.s.Ingest(Heartbeat{Addr: 900, ResidualBps: 50e6, ConnSuccess: 0.95, QuotaLeft: 5})
+	f.s.ReportFailure(900)
+	f.s.ReportFailure(900)
+	if cands, _ := f.s.Recommend(SubstreamKey{Stream: 1}, ClientInfo{}); len(cands) != 1 {
+		t.Fatal("node blacklisted despite window reset")
+	}
+	// A third strike inside the window does blacklist.
+	f.s.ReportFailure(900)
+	if cands, _ := f.s.Recommend(SubstreamKey{Stream: 1}, ClientInfo{}); len(cands) != 0 {
+		t.Fatal("third strike in window did not blacklist")
+	}
+}
+
+func TestFailureDecaysSuccessPrior(t *testing.T) {
+	f := newFixture(Config{TopK: 5})
+	f.addNode(901, 0, 0, 5)
+	before, _ := f.s.NodeStatus(901)
+	f.s.ReportFailure(901)
+	after, _ := f.s.NodeStatus(901)
+	if after.ConnSuccess >= before.ConnSuccess {
+		t.Fatalf("success prior did not decay: %v -> %v", before.ConnSuccess, after.ConnSuccess)
+	}
+}
+
+func TestReportFailureUnknownNode(t *testing.T) {
+	f := newFixture(Config{})
+	f.s.ReportFailure(4242) // must not panic or create a phantom
+	if f.s.NumNodes() != 0 {
+		t.Fatal("phantom node created")
+	}
+}

@@ -1,0 +1,379 @@
+package scheduler
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/nat"
+	"repro/internal/simnet"
+	"repro/internal/stats"
+)
+
+// Weights are the per-platform scoring coefficients α1..α4 of
+// S(n,c) = α1·N(n,c) + α2·G(n,c) + α3·R(n,c) + α4·B_n (§4.1.1). The paper
+// notes these differ across platforms (Android/iOS) and applications.
+type Weights struct {
+	SameNetwork float64 // α1: same BGP prefix / local network preference
+	Proximity   float64 // α2: geographic closeness
+	NATSuccess  float64 // α3: NAT-type historical connection success
+	Bandwidth   float64 // α4: residual bandwidth availability
+}
+
+// DefaultWeights is a reasonable production-like weighting.
+var DefaultWeights = Weights{SameNetwork: 0.35, Proximity: 0.25, NATSuccess: 0.20, Bandwidth: 0.20}
+
+// ClientInfo is the client-side context a recommendation is personalized
+// for.
+type ClientInfo struct {
+	Addr     simnet.Addr
+	Region   int
+	ISP      int
+	Platform string
+}
+
+// Candidate is one scored recommendation.
+type Candidate struct {
+	Addr  simnet.Addr
+	Score float64
+	// AlreadyForwarding means the node already relays the requested
+	// substream, so no extra back-to-CDN traffic is incurred (cost model
+	// of §4.1.1).
+	AlreadyForwarding bool
+}
+
+// Config parameterizes the scheduler.
+type Config struct {
+	// TopK is the number of candidates returned to clients (default 8).
+	TopK int
+	// RetrievePool is how many nodes retrieval pulls before scoring
+	// (default 4×TopK).
+	RetrievePool int
+	// ExploreFrac mixes idle/underused candidates into the result to
+	// avoid overloading historically good nodes (§8.2 explore-exploit);
+	// default 0.25.
+	ExploreFrac float64
+	// Weights are the scoring coefficients.
+	Weights Weights
+	// StaleAfter drops nodes whose last heartbeat is older than this
+	// (default 30 s).
+	StaleAfter time.Duration
+	// BlacklistFor is the cooldown applied when a client reports a
+	// failing node (default 2 min).
+	BlacklistFor time.Duration
+	// RefinedNAT selects the traversal success priors.
+	RefinedNAT bool
+}
+
+func (c *Config) setDefaults() {
+	if c.TopK == 0 {
+		c.TopK = 8
+	}
+	if c.RetrievePool == 0 {
+		c.RetrievePool = 4 * c.TopK
+	}
+	if c.ExploreFrac == 0 {
+		c.ExploreFrac = 0.25
+	}
+	if c.Weights == (Weights{}) {
+		c.Weights = DefaultWeights
+	}
+	if c.StaleAfter == 0 {
+		c.StaleAfter = 30 * time.Second
+	}
+	if c.BlacklistFor == 0 {
+		c.BlacklistFor = 2 * time.Minute
+	}
+}
+
+// Scheduler is the global control-plane service.
+type Scheduler struct {
+	cfg   Config
+	rng   *stats.RNG
+	now   func() time.Duration
+	nodes map[simnet.Addr]*Status
+	tree  *treeIndex
+
+	// Metrics.
+	Requests    uint64
+	Heartbeats  uint64
+	RecLatency  *stats.Sample // modeled per-request processing latency (ms)
+	perReqNodes *stats.Welford
+}
+
+// New returns a scheduler. now supplies the current (simulation) time; rng
+// drives explore sampling and the latency model.
+func New(cfg Config, rng *stats.RNG, now func() time.Duration) *Scheduler {
+	cfg.setDefaults()
+	return &Scheduler{
+		cfg:         cfg,
+		rng:         rng,
+		now:         now,
+		nodes:       make(map[simnet.Addr]*Status),
+		tree:        newTreeIndex(),
+		RecLatency:  stats.NewSample(1024),
+		perReqNodes: &stats.Welford{},
+	}
+}
+
+// Config returns the effective configuration.
+func (s *Scheduler) Config() Config { return s.cfg }
+
+// RegisterNode introduces a node with its static features. Nodes start
+// idle.
+func (s *Scheduler) RegisterNode(addr simnet.Addr, static StaticFeatures, quota int) {
+	st := &Status{
+		Addr:        addr,
+		Static:      static,
+		ConnSuccess: nat.SuccessProbStatic(static.NAT, s.cfg.RefinedNAT),
+		Forwarding:  make(map[SubstreamKey]int),
+		QuotaLeft:   quota,
+		LastUpdate:  s.now(),
+	}
+	s.nodes[addr] = st
+	s.tree.SetIdle(addr, static, true)
+}
+
+// RemoveNode forgets a node entirely (e.g. deprovisioned).
+func (s *Scheduler) RemoveNode(addr simnet.Addr) {
+	st, ok := s.nodes[addr]
+	if !ok {
+		return
+	}
+	for key := range st.Forwarding {
+		s.tree.SetForwarding(addr, st.Static, key, false)
+	}
+	s.tree.SetIdle(addr, st.Static, false)
+	delete(s.nodes, addr)
+}
+
+// NumNodes returns the registered node count.
+func (s *Scheduler) NumNodes() int { return len(s.nodes) }
+
+// Ingest applies a heartbeat. The scheduler's view of temporal features is
+// only as fresh as these (second-scale) updates — the deliberate source of
+// the temporal misalignment the collaborative design tolerates (§2.4).
+func (s *Scheduler) Ingest(hb Heartbeat) {
+	s.Heartbeats++
+	st, ok := s.nodes[hb.Addr]
+	if !ok {
+		return
+	}
+	st.ResidualBps = hb.ResidualBps
+	st.Utilization = hb.Utilization
+	if hb.ConnSuccess > 0 {
+		st.ConnSuccess = hb.ConnSuccess
+	}
+	st.Sessions = hb.Sessions
+	st.QuotaLeft = hb.QuotaLeft
+	st.LastUpdate = s.now()
+
+	// Reconcile forwarding set. Insertions iterate the heartbeat's
+	// ordered slice (not a map) so the tree's insertion-ordered sets —
+	// and therefore candidate retrieval order — stay deterministic.
+	newSet := make(map[SubstreamKey]int, len(hb.Forwarding))
+	for _, k := range hb.Forwarding {
+		newSet[k] = newSet[k] + 1
+	}
+	for k := range st.Forwarding {
+		if _, still := newSet[k]; !still {
+			s.tree.SetForwarding(hb.Addr, st.Static, k, false)
+		}
+	}
+	for _, k := range hb.Forwarding {
+		if _, had := st.Forwarding[k]; !had {
+			s.tree.SetForwarding(hb.Addr, st.Static, k, true)
+			st.Forwarding[k] = 1 // guard against duplicate slice entries
+		}
+	}
+	st.Forwarding = newSet
+	s.tree.SetIdle(hb.Addr, st.Static, len(newSet) == 0)
+}
+
+// ReportFailure records a client-reported connection failure. Repeated
+// reports within a short window blacklist the node for the configured
+// cooldown — a single report is often the client's own path problem, and
+// blacklisting whole pools on transient storms would freeze the control
+// plane (§8.2's "locally blacklisting persistently failing nodes").
+func (s *Scheduler) ReportFailure(addr simnet.Addr) {
+	st, ok := s.nodes[addr]
+	if !ok {
+		return
+	}
+	now := s.now()
+	if now-st.lastFailure > 30*time.Second {
+		st.failures = 0
+	}
+	st.failures++
+	st.lastFailure = now
+	// Decay the success prior so scoring also learns.
+	st.ConnSuccess *= 0.9
+	if st.failures >= 3 {
+		st.blacklistedUntil = now + s.cfg.BlacklistFor
+		st.failures = 0
+	}
+}
+
+// usable reports whether a node may be recommended right now.
+func (s *Scheduler) usable(st *Status) bool {
+	now := s.now()
+	if st.blacklistedUntil > now {
+		return false
+	}
+	if now-st.LastUpdate > s.cfg.StaleAfter {
+		return false
+	}
+	return st.QuotaLeft > 0
+}
+
+// score computes S(n, c) for a candidate.
+func (s *Scheduler) score(st *Status, c ClientInfo) float64 {
+	w := s.cfg.Weights
+	var nScore float64
+	if st.Static.ISP == c.ISP && st.Static.Region == c.Region {
+		nScore = 1 // same local network (same BGP prefix proxy)
+	} else if st.Static.ISP == c.ISP {
+		nScore = 0.4
+	}
+	var gScore float64
+	switch d := regionDistance(st.Static.Region, c.Region); {
+	case d == 0:
+		gScore = 1
+	case d == 1:
+		gScore = 0.5
+	default:
+		gScore = 1 / float64(1+d)
+	}
+	rScore := st.ConnSuccess
+	// Bandwidth availability normalized against a 100 Mbps reference.
+	bScore := st.ResidualBps / 100e6
+	if bScore > 1 {
+		bScore = 1
+	}
+	return w.SameNetwork*nScore + w.Proximity*gScore + w.NATSuccess*rScore + w.Bandwidth*bScore
+}
+
+// regionDistance is a simple ring metric over region IDs standing in for
+// geographic distance.
+func regionDistance(a, b int) int {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d
+}
+
+// Recommend returns the top-K candidates for the client's substream
+// request, maximizing Σ a_i/p_i (availability per unit cost): retrieval
+// prefers nodes already forwarding the substream (their marginal cost
+// excludes back-to-CDN traffic), scoring ranks by availability factors, and
+// an explore fraction mixes in idle nodes to keep utilization discoverable.
+// It also returns the modeled processing latency for control-plane
+// evaluation (Fig 12a).
+func (s *Scheduler) Recommend(key SubstreamKey, c ClientInfo) ([]Candidate, time.Duration) {
+	s.Requests++
+	q := Query{Key: key, ISP: c.ISP, HighQ: false, Region: c.Region}
+	fwd, idle := s.tree.Retrieve(q, s.cfg.RetrievePool)
+
+	type scored struct {
+		cand Candidate
+		eff  float64 // score / cost — the a_i / p_i objective
+	}
+	var pool []scored
+	consider := func(addr simnet.Addr, forwarding bool) {
+		st, ok := s.nodes[addr]
+		if !ok || !s.usable(st) {
+			return
+		}
+		sc := s.score(st, c)
+		cost := st.Static.CostUnit
+		if cost <= 0 {
+			cost = 1
+		}
+		if !forwarding {
+			// Extra back-to-CDN traffic: one substream pull shared
+			// across this node's subscribers; for a new relay the
+			// client bears it alone.
+			cost *= 1.5
+		}
+		pool = append(pool, scored{
+			cand: Candidate{Addr: addr, Score: sc, AlreadyForwarding: forwarding},
+			eff:  sc / cost,
+		})
+	}
+	for _, a := range fwd {
+		consider(a, true)
+	}
+	for _, a := range idle {
+		consider(a, false)
+	}
+	sort.SliceStable(pool, func(i, j int) bool { return pool[i].eff > pool[j].eff })
+
+	k := s.cfg.TopK
+	if k > len(pool) {
+		k = len(pool)
+	}
+	out := make([]Candidate, 0, k)
+	// Exploit: the best (1-ExploreFrac)·K by efficiency.
+	exploit := k - int(float64(k)*s.cfg.ExploreFrac)
+	for i := 0; i < exploit && i < len(pool); i++ {
+		out = append(out, pool[i].cand)
+	}
+	// Explore: random picks from the remainder (idle or underused nodes
+	// whose scores are stale or unproven).
+	rest := pool[exploit:]
+	for len(out) < k && len(rest) > 0 {
+		i := s.rng.IntN(len(rest))
+		out = append(out, rest[i].cand)
+		rest[i] = rest[len(rest)-1]
+		rest = rest[:len(rest)-1]
+	}
+
+	lat := s.modelLatency(len(pool))
+	s.RecLatency.Add(float64(lat) / float64(time.Millisecond))
+	s.perReqNodes.Add(float64(len(pool)))
+	return out, lat
+}
+
+// modelLatency models per-request processing time: index walk plus scoring
+// cost per pooled node, plus a heavy queueing/shard-fan-out tail.
+// Calibrated to the paper's Fig 12a shape (P50 ≈ 58 ms, P90 ≈ 112 ms) —
+// the dominant term in production is fan-out to status shards, which the
+// simulation does not execute, so the model stands in for it.
+func (s *Scheduler) modelLatency(pooled int) time.Duration {
+	base := 30 + 0.35*float64(pooled) // ms
+	tail := s.rng.LogNormal(3.0, 0.9)
+	return time.Duration((base + tail) * float64(time.Millisecond))
+}
+
+// StreamUtilization returns the average utilization of nodes forwarding the
+// given substream — the global half of the cost-aware trigger's
+// double-check (§4.2.2: the node consults the scheduler for ū_stream).
+func (s *Scheduler) StreamUtilization(key SubstreamKey) (float64, int) {
+	var sum float64
+	var n int
+	// The tree holds exactly the forwarding set.
+	sl, ok := s.tree.perStream[key]
+	if !ok {
+		return 0, 0
+	}
+	sl.all.each(func(addr simnet.Addr) bool {
+		if st, ok := s.nodes[addr]; ok {
+			sum += st.Utilization
+			n++
+		}
+		return true
+	})
+	if n == 0 {
+		return 0, 0
+	}
+	return sum / float64(n), n
+}
+
+// NodeStatus returns a copy of the stored status for inspection.
+func (s *Scheduler) NodeStatus(addr simnet.Addr) (Status, bool) {
+	st, ok := s.nodes[addr]
+	if !ok {
+		return Status{}, false
+	}
+	return *st, true
+}

@@ -1,0 +1,241 @@
+package scheduler
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/nat"
+	"repro/internal/simnet"
+	"repro/internal/stats"
+)
+
+type fixture struct {
+	s   *Scheduler
+	now time.Duration
+}
+
+func newFixture(cfg Config) *fixture {
+	f := &fixture{}
+	f.s = New(cfg, stats.NewRNG(1), func() time.Duration { return f.now })
+	return f
+}
+
+func (f *fixture) addNode(addr simnet.Addr, region, isp int, quota int) {
+	f.s.RegisterNode(addr, StaticFeatures{Region: region, ISP: isp, NAT: nat.FullCone, CostUnit: 0.7}, quota)
+	f.s.Ingest(Heartbeat{Addr: addr, ResidualBps: 50e6, ConnSuccess: 0.95, QuotaLeft: quota})
+}
+
+func TestRegisterAndRecommend(t *testing.T) {
+	f := newFixture(Config{TopK: 3})
+	for i := 0; i < 10; i++ {
+		f.addNode(simnet.Addr(100+i), i%2, i%2, 5)
+	}
+	key := SubstreamKey{Stream: 1, Substream: 0}
+	cands, lat := f.s.Recommend(key, ClientInfo{Region: 0, ISP: 0})
+	if len(cands) != 3 {
+		t.Fatalf("candidates = %d, want 3", len(cands))
+	}
+	if lat <= 0 {
+		t.Fatal("latency model returned nonpositive")
+	}
+	if f.s.Requests != 1 {
+		t.Fatal("request counter")
+	}
+}
+
+func TestForwardingNodesPreferred(t *testing.T) {
+	f := newFixture(Config{TopK: 4, ExploreFrac: 0.01})
+	key := SubstreamKey{Stream: 1, Substream: 2}
+	// 20 idle nodes, 3 forwarding the requested substream.
+	for i := 0; i < 20; i++ {
+		f.addNode(simnet.Addr(200+i), 0, 0, 5)
+	}
+	for i := 0; i < 3; i++ {
+		addr := simnet.Addr(300 + i)
+		f.addNode(addr, 0, 0, 5)
+		f.s.Ingest(Heartbeat{Addr: addr, ResidualBps: 50e6, ConnSuccess: 0.95, QuotaLeft: 5,
+			Forwarding: []SubstreamKey{key}})
+	}
+	cands, _ := f.s.Recommend(key, ClientInfo{Region: 0, ISP: 0})
+	fwdCount := 0
+	for _, c := range cands {
+		if c.AlreadyForwarding {
+			fwdCount++
+		}
+	}
+	if fwdCount != 3 {
+		t.Fatalf("forwarding candidates in top-K = %d, want 3 (cheaper, same score)", fwdCount)
+	}
+}
+
+func TestRelaxationFindsDistantNodes(t *testing.T) {
+	f := newFixture(Config{TopK: 4})
+	// All nodes in a different region and ISP than the client.
+	for i := 0; i < 6; i++ {
+		f.addNode(simnet.Addr(400+i), 5, 3, 5)
+	}
+	cands, _ := f.s.Recommend(SubstreamKey{Stream: 9}, ClientInfo{Region: 0, ISP: 0})
+	if len(cands) == 0 {
+		t.Fatal("relaxation failed: no candidates despite available nodes")
+	}
+}
+
+func TestSameNetworkScoredHigher(t *testing.T) {
+	f := newFixture(Config{TopK: 10, ExploreFrac: 0.01})
+	f.addNode(500, 0, 0, 5) // same region+ISP as client
+	f.addNode(501, 4, 2, 5) // far
+	cands, _ := f.s.Recommend(SubstreamKey{Stream: 2}, ClientInfo{Region: 0, ISP: 0})
+	if len(cands) < 2 {
+		t.Fatalf("want 2 candidates, got %d", len(cands))
+	}
+	if cands[0].Addr != 500 {
+		t.Fatalf("local node not ranked first: %+v", cands)
+	}
+	if cands[0].Score <= cands[1].Score {
+		t.Fatalf("local node score %v not above remote %v", cands[0].Score, cands[1].Score)
+	}
+}
+
+func TestStaleNodesExcluded(t *testing.T) {
+	f := newFixture(Config{TopK: 5, StaleAfter: 30 * time.Second})
+	f.addNode(600, 0, 0, 5)
+	f.now = 60 * time.Second // heartbeat now stale
+	cands, _ := f.s.Recommend(SubstreamKey{Stream: 3}, ClientInfo{Region: 0, ISP: 0})
+	if len(cands) != 0 {
+		t.Fatalf("stale node recommended: %+v", cands)
+	}
+	// A fresh heartbeat revives it.
+	f.s.Ingest(Heartbeat{Addr: 600, ResidualBps: 50e6, QuotaLeft: 5})
+	cands, _ = f.s.Recommend(SubstreamKey{Stream: 3}, ClientInfo{Region: 0, ISP: 0})
+	if len(cands) != 1 {
+		t.Fatalf("fresh node not recommended")
+	}
+}
+
+func TestQuotaExhaustedExcluded(t *testing.T) {
+	f := newFixture(Config{TopK: 5})
+	f.addNode(700, 0, 0, 5)
+	f.s.Ingest(Heartbeat{Addr: 700, ResidualBps: 50e6, QuotaLeft: 0})
+	cands, _ := f.s.Recommend(SubstreamKey{Stream: 4}, ClientInfo{Region: 0, ISP: 0})
+	if len(cands) != 0 {
+		t.Fatal("quota-exhausted node recommended")
+	}
+}
+
+func TestBlacklistCooldown(t *testing.T) {
+	f := newFixture(Config{TopK: 5, BlacklistFor: 2 * time.Minute})
+	f.addNode(800, 0, 0, 5)
+	// A single report must NOT blacklist (it is usually the reporter's
+	// own path); repeated reports within the window do.
+	f.s.ReportFailure(800)
+	if cands, _ := f.s.Recommend(SubstreamKey{Stream: 5}, ClientInfo{}); len(cands) != 1 {
+		t.Fatal("single report should not blacklist")
+	}
+	f.s.ReportFailure(800)
+	f.s.ReportFailure(800)
+	if cands, _ := f.s.Recommend(SubstreamKey{Stream: 5}, ClientInfo{}); len(cands) != 0 {
+		t.Fatal("blacklisted node recommended")
+	}
+	f.now = 3 * time.Minute
+	f.s.Ingest(Heartbeat{Addr: 800, ResidualBps: 50e6, QuotaLeft: 5})
+	if cands, _ := f.s.Recommend(SubstreamKey{Stream: 5}, ClientInfo{}); len(cands) != 1 {
+		t.Fatal("node not restored after cooldown")
+	}
+}
+
+func TestRemoveNode(t *testing.T) {
+	f := newFixture(Config{TopK: 5})
+	f.addNode(900, 0, 0, 5)
+	if f.s.NumNodes() != 1 {
+		t.Fatal("node count")
+	}
+	f.s.RemoveNode(900)
+	if f.s.NumNodes() != 0 {
+		t.Fatal("node not removed")
+	}
+	if cands, _ := f.s.Recommend(SubstreamKey{Stream: 6}, ClientInfo{}); len(cands) != 0 {
+		t.Fatal("removed node recommended")
+	}
+}
+
+func TestForwardingReconciliation(t *testing.T) {
+	f := newFixture(Config{TopK: 5})
+	f.addNode(1000, 0, 0, 5)
+	k1 := SubstreamKey{Stream: 1, Substream: 0}
+	k2 := SubstreamKey{Stream: 1, Substream: 1}
+	f.s.Ingest(Heartbeat{Addr: 1000, ResidualBps: 1e6, QuotaLeft: 5, Forwarding: []SubstreamKey{k1}})
+	if u, n := f.s.StreamUtilization(k1); n != 1 || u != 0 {
+		t.Fatalf("stream util after first hb: %v %v", u, n)
+	}
+	// Switch to k2: k1 bucket must empty.
+	f.s.Ingest(Heartbeat{Addr: 1000, ResidualBps: 1e6, Utilization: 0.5, QuotaLeft: 5, Forwarding: []SubstreamKey{k2}})
+	if _, n := f.s.StreamUtilization(k1); n != 0 {
+		t.Fatal("stale forwarding entry kept")
+	}
+	if u, n := f.s.StreamUtilization(k2); n != 1 || u != 0.5 {
+		t.Fatalf("k2 util = %v n=%v", u, n)
+	}
+}
+
+func TestStreamUtilizationEmpty(t *testing.T) {
+	f := newFixture(Config{})
+	if u, n := f.s.StreamUtilization(SubstreamKey{Stream: 42}); u != 0 || n != 0 {
+		t.Fatal("empty stream utilization should be 0,0")
+	}
+}
+
+func TestExploreMixesCandidates(t *testing.T) {
+	// With a large pool and high explore fraction, recommendations must
+	// not always be the same top nodes.
+	f := newFixture(Config{TopK: 8, ExploreFrac: 0.5, RetrievePool: 64})
+	for i := 0; i < 64; i++ {
+		f.addNode(simnet.Addr(2000+i), 0, 0, 5)
+	}
+	seen := make(map[simnet.Addr]bool)
+	for r := 0; r < 20; r++ {
+		cands, _ := f.s.Recommend(SubstreamKey{Stream: 7}, ClientInfo{Region: 0, ISP: 0})
+		for _, c := range cands {
+			seen[c.Addr] = true
+		}
+	}
+	if len(seen) <= 8 {
+		t.Fatalf("explore ineffective: only %d distinct nodes recommended", len(seen))
+	}
+}
+
+func TestRecommendLatencyShape(t *testing.T) {
+	f := newFixture(Config{TopK: 8})
+	for i := 0; i < 100; i++ {
+		f.addNode(simnet.Addr(3000+i), i%4, i%2, 5)
+	}
+	for r := 0; r < 500; r++ {
+		f.s.Recommend(SubstreamKey{Stream: 8}, ClientInfo{Region: r % 4, ISP: r % 2})
+	}
+	p50 := f.s.RecLatency.Percentile(50)
+	p90 := f.s.RecLatency.Percentile(90)
+	if p50 < 30 || p50 > 120 {
+		t.Errorf("P50 latency = %.1f ms, want Fig 12a neighbourhood (~58)", p50)
+	}
+	if p90 <= p50 {
+		t.Errorf("P90 (%.1f) not above P50 (%.1f)", p90, p50)
+	}
+}
+
+func TestHeartbeatForUnknownNodeIgnored(t *testing.T) {
+	f := newFixture(Config{})
+	f.s.Ingest(Heartbeat{Addr: 9999, ResidualBps: 1})
+	if f.s.NumNodes() != 0 {
+		t.Fatal("phantom node created")
+	}
+}
+
+func TestConnSuccessPreservedWhenHeartbeatOmitsIt(t *testing.T) {
+	f := newFixture(Config{})
+	f.s.RegisterNode(1, StaticFeatures{NAT: nat.Public, CostUnit: 0.7}, 5)
+	before, _ := f.s.NodeStatus(1)
+	f.s.Ingest(Heartbeat{Addr: 1, ResidualBps: 1e6, QuotaLeft: 5}) // ConnSuccess 0 = not reported
+	after, _ := f.s.NodeStatus(1)
+	if after.ConnSuccess != before.ConnSuccess {
+		t.Fatalf("omitted ConnSuccess overwrote prior: %v -> %v", before.ConnSuccess, after.ConnSuccess)
+	}
+}

@@ -1,0 +1,79 @@
+// Package scheduler implements RLive's global scheduler: the top layer of
+// the collaborative control plane (§4.1.1). It ingests lightweight periodic
+// status updates from millions of best-effort nodes, retrieves candidates
+// through a tree-based hash structure filtered by static features with
+// progressive relaxation, ranks them with a per-client personalized score,
+// and returns the top-K for client-side fine-tuning. It deliberately avoids
+// chasing volatile per-packet state: the paper's lesson is that at
+// hyperscale, a responsive and resilient strategy beats exhaustive
+// optimization ("When Optimality Hurts Scalability", §8.1).
+package scheduler
+
+import (
+	"time"
+
+	"repro/internal/media"
+	"repro/internal/nat"
+	"repro/internal/simnet"
+)
+
+// SubstreamKey identifies one substream of one stream.
+type SubstreamKey struct {
+	Stream    media.StreamID
+	Substream media.SubstreamID
+}
+
+// HeartbeatActive and HeartbeatIdle are the paper's status update periods:
+// 5 s while forwarding streams, 10 s while idle (§4.1.1), with ~150-byte
+// payloads.
+const (
+	HeartbeatActive = 5 * time.Second
+	HeartbeatIdle   = 10 * time.Second
+	HeartbeatBytes  = 150
+)
+
+// StaticFeatures are the node attributes the scheduler trusts most: they
+// change rarely, so a second-scale update lag cannot invalidate them.
+type StaticFeatures struct {
+	Region   int
+	ISP      int
+	NAT      nat.Type
+	HighQ    bool
+	ConnTyp  int
+	Class    uint8 // fleet.NodeClass; kept as raw to avoid a dependency cycle
+	CostUnit float64
+}
+
+// Status is one node's scheduler-visible state: static features plus the
+// temporal features carried by heartbeats.
+type Status struct {
+	Addr   simnet.Addr
+	Static StaticFeatures
+
+	// Temporal features (heartbeat-updated).
+	ResidualBps float64 // available serving bandwidth
+	Utilization float64 // sliding-average resource utilization [0,1]
+	ConnSuccess float64 // recent connection success rate [0,1]
+	Forwarding  map[SubstreamKey]int
+	Sessions    int
+	QuotaLeft   int
+	LastUpdate  time.Duration // sim time of last heartbeat
+
+	// blacklistedUntil implements the edge-driven lightweight feedback
+	// (§8.2): clients report persistently failing nodes, which the
+	// scheduler excludes for a cooldown after repeated reports.
+	blacklistedUntil time.Duration
+	failures         int
+	lastFailure      time.Duration
+}
+
+// Heartbeat is the wire update a node sends; ~150 bytes encoded.
+type Heartbeat struct {
+	Addr        simnet.Addr
+	ResidualBps float64
+	Utilization float64
+	ConnSuccess float64
+	Sessions    int
+	QuotaLeft   int
+	Forwarding  []SubstreamKey
+}

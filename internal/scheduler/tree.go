@@ -1,0 +1,234 @@
+package scheduler
+
+import (
+	"repro/internal/simnet"
+)
+
+// addrSet is an insertion-ordered set of node addresses. Retrieval must be
+// deterministic — candidate order feeds client probing, so map-iteration
+// order would make whole simulation runs irreproducible. Deletions leave
+// tombstones in the order slice that are compacted once they dominate.
+type addrSet struct {
+	m     map[simnet.Addr]struct{}
+	order []simnet.Addr
+	dead  int
+}
+
+func newAddrSet() *addrSet {
+	return &addrSet{m: make(map[simnet.Addr]struct{})}
+}
+
+func (s *addrSet) add(a simnet.Addr) {
+	if _, ok := s.m[a]; ok {
+		return
+	}
+	s.m[a] = struct{}{}
+	s.order = append(s.order, a)
+}
+
+func (s *addrSet) remove(a simnet.Addr) {
+	if _, ok := s.m[a]; !ok {
+		return
+	}
+	delete(s.m, a)
+	s.dead++
+	if s.dead > len(s.order)/2 && s.dead > 16 {
+		kept := s.order[:0]
+		for _, x := range s.order {
+			if _, ok := s.m[x]; ok {
+				kept = append(kept, x)
+			}
+		}
+		s.order = kept
+		s.dead = 0
+	}
+}
+
+func (s *addrSet) len() int { return len(s.m) }
+
+// each visits live members in insertion order until fn returns false.
+func (s *addrSet) each(fn func(simnet.Addr) bool) {
+	for _, a := range s.order {
+		if _, ok := s.m[a]; !ok {
+			continue
+		}
+		if !fn(a) {
+			return
+		}
+	}
+}
+
+// treeIndex is the tree-based hash structure for priority-aware node
+// retrieval (§4.1.1). Each layer hashes one static attribute; retrieval
+// walks the full attribute path (stream → ISP → node type → region) for an
+// exact match, then progressively relaxes constraints in reverse priority
+// order (region first, node type next, ISP last) when the match set is too
+// small. The stream layer is never relaxed: a node is only useful if it can
+// serve (or cheaply start serving) the requested substream — relaxing the
+// stream means falling back to the "any idle node" pool, which the index
+// also maintains.
+type treeIndex struct {
+	// perStream[stream] -> isp -> highQ -> region -> set of node addrs.
+	perStream map[SubstreamKey]*ispLayer
+	// idle holds nodes not currently forwarding anything, indexed by the
+	// same sub-path (isp/highQ/region) for attribute-aware fallback.
+	idle *ispLayer
+}
+
+type ispLayer struct {
+	byISP map[int]*typeLayer
+	all   *addrSet
+}
+
+type typeLayer struct {
+	byType map[bool]*regionLayer
+	all    *addrSet
+}
+
+type regionLayer struct {
+	byRegion map[int]*addrSet
+	all      *addrSet
+}
+
+func newTreeIndex() *treeIndex {
+	return &treeIndex{
+		perStream: make(map[SubstreamKey]*ispLayer),
+		idle:      newISPLayer(),
+	}
+}
+
+func newISPLayer() *ispLayer {
+	return &ispLayer{byISP: make(map[int]*typeLayer), all: newAddrSet()}
+}
+
+func (l *ispLayer) insert(addr simnet.Addr, s StaticFeatures) {
+	l.all.add(addr)
+	tl, ok := l.byISP[s.ISP]
+	if !ok {
+		tl = &typeLayer{byType: make(map[bool]*regionLayer), all: newAddrSet()}
+		l.byISP[s.ISP] = tl
+	}
+	tl.all.add(addr)
+	rl, ok := tl.byType[s.HighQ]
+	if !ok {
+		rl = &regionLayer{byRegion: make(map[int]*addrSet), all: newAddrSet()}
+		tl.byType[s.HighQ] = rl
+	}
+	rl.all.add(addr)
+	set, ok := rl.byRegion[s.Region]
+	if !ok {
+		set = newAddrSet()
+		rl.byRegion[s.Region] = set
+	}
+	set.add(addr)
+}
+
+func (l *ispLayer) remove(addr simnet.Addr, s StaticFeatures) {
+	l.all.remove(addr)
+	tl, ok := l.byISP[s.ISP]
+	if !ok {
+		return
+	}
+	tl.all.remove(addr)
+	rl, ok := tl.byType[s.HighQ]
+	if !ok {
+		return
+	}
+	rl.all.remove(addr)
+	if set, ok := rl.byRegion[s.Region]; ok {
+		set.remove(addr)
+	}
+}
+
+// Query describes the attribute path for a retrieval.
+type Query struct {
+	Key     SubstreamKey
+	ISP     int
+	HighQ   bool
+	Region  int
+	WantMin int // stop relaxing once at least this many candidates found
+}
+
+// collect appends up to want addresses from set into dst, skipping ones
+// already present in seen.
+func collect(dst []simnet.Addr, set *addrSet, seen map[simnet.Addr]struct{}, want int) []simnet.Addr {
+	set.each(func(a simnet.Addr) bool {
+		if len(dst) >= want {
+			return false
+		}
+		if _, dup := seen[a]; dup {
+			return true
+		}
+		seen[a] = struct{}{}
+		dst = append(dst, a)
+		return true
+	})
+	return dst
+}
+
+// retrieve walks one ispLayer with progressive relaxation. Relaxation
+// order (reverse priority): exact(isp,type,region) → drop region →
+// drop type → drop isp.
+func (l *ispLayer) retrieve(q Query, want int) []simnet.Addr {
+	seen := make(map[simnet.Addr]struct{})
+	var out []simnet.Addr
+	if tl, ok := l.byISP[q.ISP]; ok {
+		if rl, ok := tl.byType[q.HighQ]; ok {
+			if set, ok := rl.byRegion[q.Region]; ok {
+				out = collect(out, set, seen, want)
+			}
+			if len(out) < want {
+				out = collect(out, rl.all, seen, want)
+			}
+		}
+		if len(out) < want {
+			out = collect(out, tl.all, seen, want)
+		}
+	}
+	if len(out) < want {
+		out = collect(out, l.all, seen, want)
+	}
+	return out
+}
+
+// Retrieve returns candidate addresses for the query: first nodes already
+// forwarding the requested substream (no extra back-to-CDN cost), then idle
+// nodes, both with attribute relaxation. want bounds the result size.
+func (t *treeIndex) Retrieve(q Query, want int) (forwarding, idle []simnet.Addr) {
+	if sl, ok := t.perStream[q.Key]; ok {
+		forwarding = sl.retrieve(q, want)
+	}
+	if len(forwarding) < want {
+		idle = t.idle.retrieve(q, want-len(forwarding))
+	}
+	return forwarding, idle
+}
+
+// SetForwarding moves a node in or out of a substream bucket.
+func (t *treeIndex) SetForwarding(addr simnet.Addr, s StaticFeatures, key SubstreamKey, on bool) {
+	sl, ok := t.perStream[key]
+	if !ok {
+		if !on {
+			return
+		}
+		sl = newISPLayer()
+		t.perStream[key] = sl
+	}
+	if on {
+		sl.insert(addr, s)
+	} else {
+		sl.remove(addr, s)
+		if sl.all.len() == 0 {
+			delete(t.perStream, key)
+		}
+	}
+}
+
+// SetIdle moves a node in or out of the idle pool.
+func (t *treeIndex) SetIdle(addr simnet.Addr, s StaticFeatures, on bool) {
+	if on {
+		t.idle.insert(addr, s)
+	} else {
+		t.idle.remove(addr, s)
+	}
+}

@@ -1,0 +1,338 @@
+package simnet
+
+import (
+	"time"
+
+	"repro/internal/stats"
+)
+
+// Addr identifies a network endpoint (CDN node, best-effort node, client,
+// or the global scheduler).
+type Addr uint32
+
+// Handler receives a delivered message.
+type Handler func(from Addr, msg any)
+
+// LinkState captures the dynamic condition of a node's access link. Nodes
+// enter degradation episodes — sustained windows of elevated delay and loss
+// — matching the paper's observation that degradation exhibits temporal
+// locality across consecutive frames (§2.3) and that best-effort nodes show
+// heavy one-way delay jitter (Fig 2d).
+type LinkState struct {
+	// UplinkBps is the serving (upstream) capacity in bits per second.
+	UplinkBps float64
+	// BaseOWD is the baseline one-way propagation delay contributed by
+	// this endpoint's location.
+	BaseOWD time.Duration
+	// LossRate is the steady-state packet loss probability.
+	LossRate float64
+	// DegradedLoss and DegradedExtraOWD apply while a degradation
+	// episode is active.
+	DegradedLoss     float64
+	DegradedExtraOWD time.Duration
+	// MeanDegradedEvery and MeanDegradedFor parameterize the episode
+	// process (exponential holding times). Zero disables episodes.
+	MeanDegradedEvery time.Duration
+	MeanDegradedFor   time.Duration
+	// JitterStd is the per-packet one-way delay jitter standard
+	// deviation outside episodes.
+	JitterStd time.Duration
+	// MaxQueue bounds the uplink queue by delay: a packet that would
+	// wait longer than this behind already-committed transmissions is
+	// dropped (drop-tail). Zero means unbounded (no congestion loss).
+	MaxQueue time.Duration
+}
+
+// node is the network's view of one endpoint.
+type node struct {
+	addr    Addr
+	state   LinkState
+	handler Handler
+	online  bool
+	// degradedUntil > now means the node is inside an episode.
+	degradedUntil Time
+	nextEpisode   Time
+	// uplinkFreeAt models serialization: the time at which the uplink
+	// finishes transmitting everything queued so far.
+	uplinkFreeAt Time
+	// stats
+	bytesSent     uint64
+	bytesReceived uint64
+	dropped       uint64
+}
+
+// Network delivers messages between registered endpoints over the simulated
+// links. Message payloads are passed by reference (entities must treat them
+// as immutable); the byte size given to Send drives the timing model.
+type Network struct {
+	sim   *Sim
+	rng   *stats.RNG
+	nodes map[Addr]*node
+	// InterRegionOWD returns extra propagation delay between two
+	// endpoints; nil means zero. Installed by the fleet model.
+	InterRegionOWD func(a, b Addr) time.Duration
+	// Priority marks sender→receiver pairs whose traffic bypasses the
+	// sender's uplink queue (it still pays serialization, propagation,
+	// jitter and loss). Deployments use it for CDN→relay backhaul: one
+	// prioritized substream feed serves many viewers, so operators
+	// protect it from direct-viewer congestion.
+	Priority func(src, dst Addr) bool
+	// Delivered counts successfully delivered messages.
+	Delivered uint64
+	// Dropped counts messages lost to link loss or offline receivers.
+	Dropped uint64
+}
+
+// NewNetwork returns a network on the given simulator and RNG.
+func NewNetwork(sim *Sim, rng *stats.RNG) *Network {
+	return &Network{sim: sim, rng: rng, nodes: make(map[Addr]*node)}
+}
+
+// Register adds an endpoint with the given link state and message handler.
+// Endpoints start online.
+func (n *Network) Register(addr Addr, state LinkState, h Handler) {
+	n.nodes[addr] = &node{addr: addr, state: state, handler: h, online: true}
+}
+
+// SetHandler replaces the handler for addr (used by entities constructed
+// after registration).
+func (n *Network) SetHandler(addr Addr, h Handler) {
+	if nd, ok := n.nodes[addr]; ok {
+		nd.handler = h
+	}
+}
+
+// SetOnline marks a node online or offline. Messages to or from an offline
+// node are dropped, and its episode state resets on return.
+func (n *Network) SetOnline(addr Addr, online bool) {
+	nd, ok := n.nodes[addr]
+	if !ok {
+		return
+	}
+	nd.online = online
+	if online {
+		nd.degradedUntil = 0
+		nd.nextEpisode = 0
+		nd.uplinkFreeAt = n.sim.Now()
+	}
+}
+
+// Online reports whether addr is registered and online.
+func (n *Network) Online(addr Addr) bool {
+	nd, ok := n.nodes[addr]
+	return ok && nd.online
+}
+
+// UpdateState mutates the link state of addr (e.g. capacity re-planning).
+func (n *Network) UpdateState(addr Addr, f func(*LinkState)) {
+	if nd, ok := n.nodes[addr]; ok {
+		f(&nd.state)
+	}
+}
+
+// State returns a copy of the link state for addr.
+func (n *Network) State(addr Addr) (LinkState, bool) {
+	nd, ok := n.nodes[addr]
+	if !ok {
+		return LinkState{}, false
+	}
+	return nd.state, true
+}
+
+// degraded advances the episode process and reports whether the node is in
+// a degradation episode at the current time.
+func (n *Network) degraded(nd *node) bool {
+	if nd.state.MeanDegradedEvery == 0 {
+		return false
+	}
+	now := n.sim.Now()
+	if nd.nextEpisode == 0 {
+		nd.nextEpisode = now + Time(n.rng.Exponential(float64(nd.state.MeanDegradedEvery)))
+	}
+	for now >= nd.nextEpisode {
+		dur := Time(n.rng.Exponential(float64(nd.state.MeanDegradedFor)))
+		nd.degradedUntil = nd.nextEpisode + dur
+		nd.nextEpisode = nd.degradedUntil + Time(n.rng.Exponential(float64(nd.state.MeanDegradedEvery)))
+	}
+	return now < nd.degradedUntil
+}
+
+// Degraded reports whether addr is currently inside a degradation episode.
+func (n *Network) Degraded(addr Addr) bool {
+	nd, ok := n.nodes[addr]
+	if !ok {
+		return false
+	}
+	return n.degraded(nd)
+}
+
+// owd computes the one-way delay for size bytes from src to dst at the
+// current instant, including serialization on src's uplink, queueing behind
+// src's already-committed transmissions, propagation, jitter, and episode
+// penalties. It advances src's uplink occupancy.
+func (n *Network) owd(src, dst *node, size int) (time.Duration, bool) {
+	now := n.sim.Now()
+	srcDeg := n.degraded(src)
+	dstDeg := n.degraded(dst)
+
+	// Loss: independent per side.
+	loss := src.state.LossRate + dst.state.LossRate
+	if srcDeg {
+		loss += src.state.DegradedLoss
+	}
+	if dstDeg {
+		loss += dst.state.DegradedLoss
+	}
+	if n.rng.Bool(loss) {
+		return 0, false
+	}
+
+	// Serialization + queueing on the sender's uplink, with drop-tail
+	// once the backlog exceeds the queue bound. Priority traffic jumps
+	// the queue (and, being small relative to capacity by design, is
+	// approximated as not consuming backlog).
+	var ser time.Duration
+	if src.state.UplinkBps > 0 {
+		ser = time.Duration(float64(size*8) / src.state.UplinkBps * float64(time.Second))
+	}
+	var queueing time.Duration
+	if n.Priority != nil && n.Priority(src.addr, dst.addr) {
+		// Queue-jump: pay serialization only.
+	} else {
+		start := now
+		if src.uplinkFreeAt > start {
+			start = src.uplinkFreeAt
+		}
+		queueing = start - now
+		if src.state.MaxQueue > 0 && queueing > src.state.MaxQueue {
+			return 0, false
+		}
+		src.uplinkFreeAt = start + ser
+	}
+
+	prop := src.state.BaseOWD + dst.state.BaseOWD
+	if n.InterRegionOWD != nil {
+		prop += n.InterRegionOWD(src.addr, dst.addr)
+	}
+
+	var jitter time.Duration
+	if js := src.state.JitterStd + dst.state.JitterStd; js > 0 {
+		j := n.rng.Normal(0, float64(js))
+		if j < 0 {
+			j = -j / 4 // asymmetric: delays inflate more than they deflate
+		}
+		jitter = time.Duration(j)
+	}
+	if srcDeg {
+		jitter += src.state.DegradedExtraOWD
+	}
+	if dstDeg {
+		jitter += dst.state.DegradedExtraOWD
+	}
+	return queueing + ser + prop + jitter, true
+}
+
+// Send transmits msg of the given wire size from src to dst, invoking the
+// destination handler after the simulated one-way delay, or dropping it on
+// loss or endpoint churn. Delivery re-checks that the destination is still
+// online at arrival time.
+func (n *Network) Send(src, dst Addr, size int, msg any) {
+	s, ok := n.nodes[src]
+	if !ok || !s.online {
+		n.Dropped++
+		return
+	}
+	d, ok := n.nodes[dst]
+	if !ok || !d.online {
+		n.Dropped++
+		if ok {
+			d.dropped++
+		}
+		return
+	}
+	delay, delivered := n.owd(s, d, size)
+	if !delivered {
+		n.Dropped++
+		d.dropped++
+		return
+	}
+	s.bytesSent += uint64(size)
+	n.sim.After(delay, func() {
+		if !d.online || d.handler == nil {
+			n.Dropped++
+			d.dropped++
+			return
+		}
+		d.bytesReceived += uint64(size)
+		n.Delivered++
+		d.handler(src, msg)
+	})
+}
+
+// SampleRTT returns the instantaneous round-trip time estimate between a and
+// b for a small probe, without consuming uplink capacity. It reflects
+// current degradation episodes, which is what makes client-side probing
+// informative.
+func (n *Network) SampleRTT(a, b Addr) (time.Duration, bool) {
+	na, ok := n.nodes[a]
+	if !ok || !na.online {
+		return 0, false
+	}
+	nb, ok := n.nodes[b]
+	if !ok || !nb.online {
+		return 0, false
+	}
+	prop := na.state.BaseOWD + nb.state.BaseOWD
+	if n.InterRegionOWD != nil {
+		prop += n.InterRegionOWD(a, b)
+	}
+	rtt := 2 * prop
+	if n.degraded(na) {
+		rtt += na.state.DegradedExtraOWD
+	}
+	if n.degraded(nb) {
+		rtt += nb.state.DegradedExtraOWD
+	}
+	if js := na.state.JitterStd + nb.state.JitterStd; js > 0 {
+		j := n.rng.Normal(0, float64(js))
+		if j < 0 {
+			j = -j
+		}
+		rtt += time.Duration(j)
+	}
+	return rtt, true
+}
+
+// BytesSent returns the total bytes transmitted by addr.
+func (n *Network) BytesSent(addr Addr) uint64 {
+	if nd, ok := n.nodes[addr]; ok {
+		return nd.bytesSent
+	}
+	return 0
+}
+
+// BytesReceived returns the total bytes received by addr.
+func (n *Network) BytesReceived(addr Addr) uint64 {
+	if nd, ok := n.nodes[addr]; ok {
+		return nd.bytesReceived
+	}
+	return 0
+}
+
+// UplinkBusyFraction estimates addr's uplink utilization as the fraction of
+// the lookback window the uplink spent transmitting (1 when backlogged).
+func (n *Network) UplinkBusyFraction(addr Addr, lookback time.Duration) float64 {
+	nd, ok := n.nodes[addr]
+	if !ok || lookback <= 0 {
+		return 0
+	}
+	busy := nd.uplinkFreeAt - n.sim.Now()
+	if busy <= 0 {
+		return 0
+	}
+	f := float64(busy) / float64(lookback)
+	if f > 1 {
+		f = 1
+	}
+	return f
+}

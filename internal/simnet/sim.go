@@ -1,0 +1,113 @@
+// Package simnet is the deterministic discrete-event network simulator the
+// evaluation runs on. It substitutes for the paper's production WAN: virtual
+// time, per-node uplinks with serialization and queueing, region-based
+// propagation delay, one-way delay jitter, Gilbert-Elliott style degradation
+// episodes with temporal locality (the paper observes that link degradation
+// "spans multiple consecutive video frames"), packet loss, and node churn.
+package simnet
+
+import (
+	"container/heap"
+	"time"
+)
+
+// Time is virtual simulation time measured from simulation start.
+type Time = time.Duration
+
+// event is one scheduled callback.
+type event struct {
+	at  Time
+	seq uint64 // tiebreaker for deterministic FIFO ordering at equal times
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Sim owns the virtual clock and event queue. It is single-threaded: all
+// entity logic runs inside event callbacks, which keeps runs fully
+// deterministic for a given seed.
+type Sim struct {
+	now    Time
+	events eventHeap
+	seq    uint64
+	count  uint64
+}
+
+// NewSim returns a simulator with the clock at zero.
+func NewSim() *Sim {
+	return &Sim{}
+}
+
+// Now returns the current virtual time.
+func (s *Sim) Now() Time { return s.now }
+
+// At schedules fn at absolute virtual time t (clamped to now).
+func (s *Sim) At(t Time, fn func()) {
+	if t < s.now {
+		t = s.now
+	}
+	s.seq++
+	heap.Push(&s.events, &event{at: t, seq: s.seq, fn: fn})
+}
+
+// After schedules fn d after the current time.
+func (s *Sim) After(d Time, fn func()) { s.At(s.now+d, fn) }
+
+// Every schedules fn at the given period starting after one period, until
+// fn returns false.
+func (s *Sim) Every(period Time, fn func() bool) {
+	var tick func()
+	tick = func() {
+		if fn() {
+			s.After(period, tick)
+		}
+	}
+	s.After(period, tick)
+}
+
+// Step executes the next event, returning false when the queue is empty.
+func (s *Sim) Step() bool {
+	if len(s.events) == 0 {
+		return false
+	}
+	e := heap.Pop(&s.events).(*event)
+	s.now = e.at
+	s.count++
+	e.fn()
+	return true
+}
+
+// Run executes events until the queue is empty or the clock passes until.
+// The clock finishes at exactly until when events remain beyond it.
+func (s *Sim) Run(until Time) {
+	for len(s.events) > 0 && s.events[0].at <= until {
+		s.Step()
+	}
+	if s.now < until {
+		s.now = until
+	}
+}
+
+// Processed returns the total number of events executed.
+func (s *Sim) Processed() uint64 { return s.count }
+
+// Pending returns the number of queued events.
+func (s *Sim) Pending() int { return len(s.events) }

@@ -1,0 +1,346 @@
+package simnet
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/stats"
+)
+
+func TestSimEventOrdering(t *testing.T) {
+	s := NewSim()
+	var order []int
+	s.At(30*time.Millisecond, func() { order = append(order, 3) })
+	s.At(10*time.Millisecond, func() { order = append(order, 1) })
+	s.At(20*time.Millisecond, func() { order = append(order, 2) })
+	s.Run(time.Second)
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order = %v", order)
+	}
+	if s.Now() != time.Second {
+		t.Fatalf("clock = %v, want 1s", s.Now())
+	}
+}
+
+func TestSimFIFOAtSameTime(t *testing.T) {
+	s := NewSim()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.At(time.Millisecond, func() { order = append(order, i) })
+	}
+	s.Run(time.Second)
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-time events not FIFO: %v", order)
+		}
+	}
+}
+
+func TestSimPastSchedulingClamped(t *testing.T) {
+	s := NewSim()
+	s.At(100*time.Millisecond, func() {
+		fired := false
+		s.At(1*time.Millisecond, func() { fired = true }) // in the past
+		s.Run(200 * time.Millisecond)
+		_ = fired
+	})
+	ran := false
+	s.At(50*time.Millisecond, func() { ran = true })
+	s.Run(time.Second)
+	if !ran {
+		t.Fatal("event did not run")
+	}
+}
+
+func TestSimAfterNesting(t *testing.T) {
+	s := NewSim()
+	var times []Time
+	s.After(10*time.Millisecond, func() {
+		times = append(times, s.Now())
+		s.After(5*time.Millisecond, func() {
+			times = append(times, s.Now())
+		})
+	})
+	s.Run(time.Second)
+	if len(times) != 2 || times[0] != 10*time.Millisecond || times[1] != 15*time.Millisecond {
+		t.Fatalf("times = %v", times)
+	}
+}
+
+func TestSimEvery(t *testing.T) {
+	s := NewSim()
+	n := 0
+	s.Every(100*time.Millisecond, func() bool {
+		n++
+		return n < 5
+	})
+	s.Run(10 * time.Second)
+	if n != 5 {
+		t.Fatalf("ticks = %d, want 5", n)
+	}
+}
+
+func TestSimRunStopsAtBoundary(t *testing.T) {
+	s := NewSim()
+	fired := false
+	s.At(2*time.Second, func() { fired = true })
+	s.Run(time.Second)
+	if fired {
+		t.Fatal("event beyond until fired")
+	}
+	if s.Pending() != 1 {
+		t.Fatalf("pending = %d", s.Pending())
+	}
+	s.Run(3 * time.Second)
+	if !fired {
+		t.Fatal("event did not fire on second run")
+	}
+}
+
+func newTestNet() (*Sim, *Network) {
+	s := NewSim()
+	n := NewNetwork(s, stats.NewRNG(1))
+	return s, n
+}
+
+func TestNetworkBasicDelivery(t *testing.T) {
+	s, n := newTestNet()
+	var got []any
+	n.Register(1, LinkState{UplinkBps: 100e6, BaseOWD: 5 * time.Millisecond}, nil)
+	n.Register(2, LinkState{UplinkBps: 100e6, BaseOWD: 5 * time.Millisecond}, func(from Addr, msg any) {
+		if from != 1 {
+			t.Errorf("from = %v", from)
+		}
+		got = append(got, msg)
+	})
+	n.Send(1, 2, 1000, "hello")
+	s.Run(time.Second)
+	if len(got) != 1 || got[0] != "hello" {
+		t.Fatalf("got = %v", got)
+	}
+	if n.BytesSent(1) != 1000 || n.BytesReceived(2) != 1000 {
+		t.Fatal("byte accounting wrong")
+	}
+}
+
+func TestNetworkDeliveryDelayIncludesPropagation(t *testing.T) {
+	s, n := newTestNet()
+	var at Time
+	n.Register(1, LinkState{UplinkBps: 1e12, BaseOWD: 10 * time.Millisecond}, nil)
+	n.Register(2, LinkState{UplinkBps: 1e12, BaseOWD: 15 * time.Millisecond}, func(Addr, any) { at = s.Now() })
+	n.Send(1, 2, 100, nil)
+	s.Run(time.Second)
+	if at < 25*time.Millisecond {
+		t.Fatalf("delivered at %v, want >= 25ms", at)
+	}
+}
+
+func TestNetworkSerializationQueueing(t *testing.T) {
+	// 1 Mbps uplink, 10 packets of 12500 bytes = 100ms serialization each.
+	s, n := newTestNet()
+	var deliveries []Time
+	n.Register(1, LinkState{UplinkBps: 1e6}, nil)
+	n.Register(2, LinkState{UplinkBps: 1e9}, func(Addr, any) { deliveries = append(deliveries, s.Now()) })
+	for i := 0; i < 5; i++ {
+		n.Send(1, 2, 12500, i)
+	}
+	s.Run(10 * time.Second)
+	if len(deliveries) != 5 {
+		t.Fatalf("delivered %d, want 5", len(deliveries))
+	}
+	// Packet i should arrive no earlier than (i+1)*100ms.
+	for i, at := range deliveries {
+		want := time.Duration(i+1) * 100 * time.Millisecond
+		if at < want {
+			t.Fatalf("packet %d at %v, want >= %v", i, at, want)
+		}
+	}
+}
+
+func TestNetworkLoss(t *testing.T) {
+	s, n := newTestNet()
+	delivered := 0
+	n.Register(1, LinkState{UplinkBps: 1e12, LossRate: 0.5}, nil)
+	n.Register(2, LinkState{UplinkBps: 1e12}, func(Addr, any) { delivered++ })
+	for i := 0; i < 2000; i++ {
+		n.Send(1, 2, 100, nil)
+	}
+	s.Run(time.Minute)
+	frac := float64(delivered) / 2000
+	if frac < 0.4 || frac > 0.6 {
+		t.Fatalf("delivered fraction %.2f, want ~0.5", frac)
+	}
+	if n.Dropped == 0 {
+		t.Fatal("drop counter not incremented")
+	}
+}
+
+func TestNetworkOfflineDrops(t *testing.T) {
+	s, n := newTestNet()
+	delivered := 0
+	n.Register(1, LinkState{UplinkBps: 1e9}, nil)
+	n.Register(2, LinkState{UplinkBps: 1e9}, func(Addr, any) { delivered++ })
+	n.SetOnline(2, false)
+	n.Send(1, 2, 100, nil)
+	s.Run(time.Second)
+	if delivered != 0 {
+		t.Fatal("message delivered to offline node")
+	}
+	if n.Online(2) {
+		t.Fatal("node should be offline")
+	}
+	n.SetOnline(2, true)
+	n.Send(1, 2, 100, nil)
+	s.Run(2 * time.Second)
+	if delivered != 1 {
+		t.Fatal("message not delivered after coming back online")
+	}
+}
+
+func TestNetworkChurnMidFlight(t *testing.T) {
+	// A node going offline while a packet is in flight drops the packet.
+	s, n := newTestNet()
+	delivered := 0
+	n.Register(1, LinkState{UplinkBps: 1e9, BaseOWD: 50 * time.Millisecond}, nil)
+	n.Register(2, LinkState{UplinkBps: 1e9}, func(Addr, any) { delivered++ })
+	n.Send(1, 2, 100, nil)
+	s.At(10*time.Millisecond, func() { n.SetOnline(2, false) })
+	s.Run(time.Second)
+	if delivered != 0 {
+		t.Fatal("in-flight packet delivered to node that went offline")
+	}
+}
+
+func TestNetworkDegradationEpisodes(t *testing.T) {
+	s, n := newTestNet()
+	st := LinkState{
+		UplinkBps:         1e9,
+		MeanDegradedEvery: 500 * time.Millisecond,
+		MeanDegradedFor:   200 * time.Millisecond,
+		DegradedExtraOWD:  100 * time.Millisecond,
+	}
+	n.Register(1, st, nil)
+	n.Register(2, LinkState{UplinkBps: 1e9}, nil)
+	sawDegraded := 0
+	samples := 0
+	s.Every(10*time.Millisecond, func() bool {
+		samples++
+		if n.Degraded(1) {
+			sawDegraded++
+		}
+		return samples < 1000
+	})
+	s.Run(time.Minute)
+	frac := float64(sawDegraded) / float64(samples)
+	// Expected duty cycle: 200 / (500+200) ~= 0.29.
+	if frac < 0.1 || frac > 0.55 {
+		t.Fatalf("degraded fraction %.2f, want ~0.29", frac)
+	}
+}
+
+func TestNetworkRTTReflectsDegradation(t *testing.T) {
+	s, n := newTestNet()
+	n.Register(1, LinkState{UplinkBps: 1e9, BaseOWD: 10 * time.Millisecond,
+		MeanDegradedEvery: time.Hour, MeanDegradedFor: time.Hour,
+		DegradedExtraOWD: 500 * time.Millisecond}, nil)
+	n.Register(2, LinkState{UplinkBps: 1e9, BaseOWD: 10 * time.Millisecond}, nil)
+	rtt0, ok := n.SampleRTT(1, 2)
+	if !ok {
+		t.Fatal("sample failed")
+	}
+	if rtt0 < 40*time.Millisecond {
+		t.Fatalf("baseline rtt = %v, want >= 40ms", rtt0)
+	}
+	// Force into episode by advancing past the first scheduled episode.
+	s.Run(2 * time.Hour)
+	// The first episode starts ~Exp(1h) in; sample repeatedly until seen.
+	found := false
+	for i := 0; i < 100 && !found; i++ {
+		s.Run(s.Now() + 10*time.Minute)
+		if n.Degraded(1) {
+			rtt, _ := n.SampleRTT(1, 2)
+			if rtt > rtt0+400*time.Millisecond {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Fatal("degraded RTT never observed")
+	}
+}
+
+func TestNetworkSampleRTTOffline(t *testing.T) {
+	_, n := newTestNet()
+	n.Register(1, LinkState{}, nil)
+	n.Register(2, LinkState{}, nil)
+	n.SetOnline(2, false)
+	if _, ok := n.SampleRTT(1, 2); ok {
+		t.Fatal("RTT to offline node should fail")
+	}
+	if _, ok := n.SampleRTT(3, 1); ok {
+		t.Fatal("RTT from unknown node should fail")
+	}
+}
+
+func TestNetworkDeterminism(t *testing.T) {
+	run := func() (uint64, uint64, Time) {
+		s := NewSim()
+		n := NewNetwork(s, stats.NewRNG(77))
+		n.Register(1, LinkState{UplinkBps: 10e6, LossRate: 0.05, JitterStd: 5 * time.Millisecond}, nil)
+		last := Time(0)
+		n.Register(2, LinkState{UplinkBps: 10e6}, func(Addr, any) { last = s.Now() })
+		for i := 0; i < 500; i++ {
+			s.At(time.Duration(i)*time.Millisecond, func() { n.Send(1, 2, 1200, nil) })
+		}
+		s.Run(time.Minute)
+		return n.Delivered, n.Dropped, last
+	}
+	d1, dr1, l1 := run()
+	d2, dr2, l2 := run()
+	if d1 != d2 || dr1 != dr2 || l1 != l2 {
+		t.Fatalf("nondeterministic: (%d,%d,%v) vs (%d,%d,%v)", d1, dr1, l1, d2, dr2, l2)
+	}
+}
+
+func TestNetworkInterRegionOWD(t *testing.T) {
+	s, n := newTestNet()
+	n.Register(1, LinkState{UplinkBps: 1e12}, nil)
+	var at Time
+	n.Register(2, LinkState{UplinkBps: 1e12}, func(Addr, any) { at = s.Now() })
+	n.InterRegionOWD = func(a, b Addr) time.Duration { return 40 * time.Millisecond }
+	n.Send(1, 2, 100, nil)
+	s.Run(time.Second)
+	if at < 40*time.Millisecond {
+		t.Fatalf("delivery at %v ignored inter-region delay", at)
+	}
+}
+
+func TestUplinkBusyFraction(t *testing.T) {
+	s, n := newTestNet()
+	n.Register(1, LinkState{UplinkBps: 1e6}, nil) // 1 Mbps
+	n.Register(2, LinkState{UplinkBps: 1e9}, func(Addr, any) {})
+	if f := n.UplinkBusyFraction(1, time.Second); f != 0 {
+		t.Fatalf("idle busy fraction = %v", f)
+	}
+	// Queue 1 second of serialization (125000 bytes at 1 Mbps).
+	n.Send(1, 2, 125000, nil)
+	f := n.UplinkBusyFraction(1, time.Second)
+	if f < 0.9 {
+		t.Fatalf("busy fraction = %v, want ~1", f)
+	}
+	s.Run(10 * time.Second)
+	if f := n.UplinkBusyFraction(1, time.Second); f != 0 {
+		t.Fatalf("busy fraction after drain = %v", f)
+	}
+}
+
+func TestNetworkStateUpdate(t *testing.T) {
+	_, n := newTestNet()
+	n.Register(1, LinkState{UplinkBps: 1e6}, nil)
+	n.UpdateState(1, func(st *LinkState) { st.UplinkBps = 5e6 })
+	st, ok := n.State(1)
+	if !ok || st.UplinkBps != 5e6 {
+		t.Fatalf("state = %+v", st)
+	}
+}

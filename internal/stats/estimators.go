@@ -1,0 +1,348 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Welford accumulates mean and variance in a single pass using Welford's
+// online algorithm. The zero value is ready to use.
+type Welford struct {
+	n    int64
+	mean float64
+	m2   float64
+}
+
+// Add incorporates one observation.
+func (w *Welford) Add(x float64) {
+	w.n++
+	d := x - w.mean
+	w.mean += d / float64(w.n)
+	w.m2 += d * (x - w.mean)
+}
+
+// N returns the number of observations.
+func (w *Welford) N() int64 { return w.n }
+
+// Mean returns the running mean (0 for no observations).
+func (w *Welford) Mean() float64 { return w.mean }
+
+// Variance returns the population variance.
+func (w *Welford) Variance() float64 {
+	if w.n < 1 {
+		return 0
+	}
+	return w.m2 / float64(w.n)
+}
+
+// Stddev returns the population standard deviation.
+func (w *Welford) Stddev() float64 { return math.Sqrt(w.Variance()) }
+
+// ZScore returns (x - mean) / stddev, or 0 when the deviation is zero.
+func (w *Welford) ZScore(x float64) float64 {
+	sd := w.Stddev()
+	if sd == 0 {
+		return 0
+	}
+	return (x - w.mean) / sd
+}
+
+// Sample collects raw observations for percentile/CDF queries. The zero
+// value is ready to use.
+type Sample struct {
+	xs     []float64
+	sorted bool
+}
+
+// NewSample returns a Sample pre-sized for n observations.
+func NewSample(n int) *Sample { return &Sample{xs: make([]float64, 0, n)} }
+
+// Add appends one observation.
+func (s *Sample) Add(x float64) {
+	s.xs = append(s.xs, x)
+	s.sorted = false
+}
+
+// N returns the number of observations.
+func (s *Sample) N() int { return len(s.xs) }
+
+// Values returns the raw observations (not a copy; callers must not mutate).
+func (s *Sample) Values() []float64 { return s.xs }
+
+func (s *Sample) ensureSorted() {
+	if !s.sorted {
+		sort.Float64s(s.xs)
+		s.sorted = true
+	}
+}
+
+// Percentile returns the p-th percentile (p in [0,100]) using linear
+// interpolation between closest ranks. It returns 0 for an empty sample.
+func (s *Sample) Percentile(p float64) float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	s.ensureSorted()
+	if p <= 0 {
+		return s.xs[0]
+	}
+	if p >= 100 {
+		return s.xs[len(s.xs)-1]
+	}
+	rank := p / 100 * float64(len(s.xs)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return s.xs[lo]
+	}
+	frac := rank - float64(lo)
+	return s.xs[lo]*(1-frac) + s.xs[hi]*frac
+}
+
+// Mean returns the arithmetic mean, or 0 for an empty sample.
+func (s *Sample) Mean() float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range s.xs {
+		sum += x
+	}
+	return sum / float64(len(s.xs))
+}
+
+// Stddev returns the population standard deviation.
+func (s *Sample) Stddev() float64 {
+	n := len(s.xs)
+	if n == 0 {
+		return 0
+	}
+	m := s.Mean()
+	acc := 0.0
+	for _, x := range s.xs {
+		d := x - m
+		acc += d * d
+	}
+	return math.Sqrt(acc / float64(n))
+}
+
+// FracBelow returns the fraction of observations strictly below x.
+func (s *Sample) FracBelow(x float64) float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	s.ensureSorted()
+	i := sort.SearchFloat64s(s.xs, x)
+	return float64(i) / float64(len(s.xs))
+}
+
+// CDFPoint is one (x, F(x)) pair of an exported CDF.
+type CDFPoint struct {
+	X float64
+	F float64
+}
+
+// CDF exports the sample's empirical CDF evaluated at n evenly spaced
+// quantiles, suitable for plotting a figure series.
+func (s *Sample) CDF(n int) []CDFPoint {
+	if len(s.xs) == 0 || n <= 0 {
+		return nil
+	}
+	s.ensureSorted()
+	out := make([]CDFPoint, 0, n)
+	for i := 1; i <= n; i++ {
+		f := float64(i) / float64(n)
+		idx := int(f*float64(len(s.xs))) - 1
+		if idx < 0 {
+			idx = 0
+		}
+		out = append(out, CDFPoint{X: s.xs[idx], F: f})
+	}
+	return out
+}
+
+// EDF is an empirical distribution function over a bounded window of
+// observations. RLive's recovery policy uses an EDF over historical
+// dedicated-node retransmission latencies to estimate the probability that a
+// frame fetched from a dedicated node arrives before its playout deadline
+// (§5.3: P(F_i | a_i >= 1, S) = 1 - F_N(tau_i)).
+//
+// The window bound keeps the estimate responsive to current conditions; the
+// paper records "historical latency records L" per session.
+type EDF struct {
+	window int
+	xs     []float64
+	sorted []float64
+	dirty  bool
+}
+
+// NewEDF returns an EDF retaining at most window observations (FIFO
+// eviction). window <= 0 means unbounded.
+func NewEDF(window int) *EDF { return &EDF{window: window} }
+
+// Observe records one latency observation.
+func (e *EDF) Observe(x float64) {
+	e.xs = append(e.xs, x)
+	if e.window > 0 && len(e.xs) > e.window {
+		e.xs = e.xs[1:]
+	}
+	e.dirty = true
+}
+
+// N returns the number of retained observations.
+func (e *EDF) N() int { return len(e.xs) }
+
+// F returns the empirical F(t) = (1/N) * sum(1{x_i <= t}). With no
+// observations it returns 0 (pessimistic: unknown latency never beats the
+// deadline), which pushes early decisions toward reliable sources until
+// history accumulates.
+func (e *EDF) F(t float64) float64 {
+	if len(e.xs) == 0 {
+		return 0
+	}
+	if e.dirty {
+		e.sorted = append(e.sorted[:0], e.xs...)
+		sort.Float64s(e.sorted)
+		e.dirty = false
+	}
+	// Count x_i <= t: find first index with x > t.
+	i := sort.Search(len(e.sorted), func(i int) bool { return e.sorted[i] > t })
+	return float64(i) / float64(len(e.sorted))
+}
+
+// Quantile returns the q-th quantile (q in [0,1]) of the retained window.
+func (e *EDF) Quantile(q float64) float64 {
+	if len(e.xs) == 0 {
+		return 0
+	}
+	if e.dirty {
+		e.sorted = append(e.sorted[:0], e.xs...)
+		sort.Float64s(e.sorted)
+		e.dirty = false
+	}
+	idx := int(q * float64(len(e.sorted)-1))
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(e.sorted) {
+		idx = len(e.sorted) - 1
+	}
+	return e.sorted[idx]
+}
+
+// EWMA is an exponentially weighted moving average; the zero value with a
+// positive alpha is usable after the first Add. Edge nodes use it as the
+// "sliding average of resource utilization" for the cost-aware trigger.
+type EWMA struct {
+	Alpha float64
+	val   float64
+	init  bool
+}
+
+// NewEWMA returns an EWMA with the given smoothing factor in (0, 1].
+func NewEWMA(alpha float64) *EWMA { return &EWMA{Alpha: alpha} }
+
+// Add folds in a new observation and returns the updated average.
+func (e *EWMA) Add(x float64) float64 {
+	if !e.init {
+		e.val = x
+		e.init = true
+		return e.val
+	}
+	e.val = e.Alpha*x + (1-e.Alpha)*e.val
+	return e.val
+}
+
+// Value returns the current average (0 before any observation).
+func (e *EWMA) Value() float64 { return e.val }
+
+// Initialized reports whether at least one observation was added.
+func (e *EWMA) Initialized() bool { return e.init }
+
+// Histogram is a fixed-bucket histogram over [Lo, Hi) with uniform or
+// logarithmic buckets, used to export figure series (e.g. Fig 1b capacity
+// buckets).
+type Histogram struct {
+	lo, hi float64
+	log    bool
+	counts []int64
+	under  int64
+	over   int64
+	total  int64
+}
+
+// NewHistogram returns a uniform-bucket histogram.
+func NewHistogram(lo, hi float64, buckets int) *Histogram {
+	return &Histogram{lo: lo, hi: hi, counts: make([]int64, buckets)}
+}
+
+// NewLogHistogram returns a histogram with log-spaced buckets over [lo, hi);
+// lo must be > 0.
+func NewLogHistogram(lo, hi float64, buckets int) *Histogram {
+	if lo <= 0 {
+		panic(fmt.Sprintf("stats: log histogram lower bound must be positive, got %g", lo))
+	}
+	return &Histogram{lo: lo, hi: hi, log: true, counts: make([]int64, buckets)}
+}
+
+// Add records one observation.
+func (h *Histogram) Add(x float64) {
+	h.total++
+	var frac float64
+	if h.log {
+		if x < h.lo {
+			h.under++
+			return
+		}
+		frac = (math.Log(x) - math.Log(h.lo)) / (math.Log(h.hi) - math.Log(h.lo))
+	} else {
+		frac = (x - h.lo) / (h.hi - h.lo)
+	}
+	if frac < 0 {
+		h.under++
+		return
+	}
+	idx := int(frac * float64(len(h.counts)))
+	if idx >= len(h.counts) {
+		h.over++
+		return
+	}
+	h.counts[idx]++
+}
+
+// Total returns the number of observations.
+func (h *Histogram) Total() int64 { return h.total }
+
+// Bucket returns the [lo, hi) bounds and count of bucket i.
+func (h *Histogram) Bucket(i int) (lo, hi float64, count int64) {
+	n := float64(len(h.counts))
+	if h.log {
+		llo, lhi := math.Log(h.lo), math.Log(h.hi)
+		lo = math.Exp(llo + (lhi-llo)*float64(i)/n)
+		hi = math.Exp(llo + (lhi-llo)*float64(i+1)/n)
+	} else {
+		lo = h.lo + (h.hi-h.lo)*float64(i)/n
+		hi = h.lo + (h.hi-h.lo)*float64(i+1)/n
+	}
+	return lo, hi, h.counts[i]
+}
+
+// Buckets returns the number of buckets.
+func (h *Histogram) Buckets() int { return len(h.counts) }
+
+// FracUnder returns the fraction of observations below the histogram range.
+func (h *Histogram) FracUnder() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return float64(h.under) / float64(h.total)
+}
+
+// FracOver returns the fraction of observations at or above the upper bound.
+func (h *Histogram) FracOver() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return float64(h.over) / float64(h.total)
+}

@@ -1,0 +1,109 @@
+// Package stats provides the statistical substrate used across the RLive
+// reproduction: a seeded deterministic RNG, the distributions needed to
+// synthesize the edge fleet and network behaviour, and estimators (CDFs,
+// percentiles, empirical distribution functions, Z-scores, sliding averages)
+// used by the control plane and the evaluation harness.
+package stats
+
+import (
+	"math"
+	"math/rand/v2"
+)
+
+// RNG is a deterministic random source. All randomness in a simulation flows
+// from a single RNG (or children derived from it via Fork) so that a given
+// seed reproduces an identical run.
+type RNG struct {
+	r *rand.Rand
+}
+
+// NewRNG returns an RNG seeded with the given seed.
+func NewRNG(seed uint64) *RNG {
+	return &RNG{r: rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15))}
+}
+
+// Fork derives an independent child RNG. The child's stream is a pure
+// function of the parent state at the time of the call, preserving
+// determinism while decoupling consumers from each other's draw counts.
+func (g *RNG) Fork() *RNG {
+	return &RNG{r: rand.New(rand.NewPCG(g.r.Uint64(), g.r.Uint64()))}
+}
+
+// Float64 returns a uniform value in [0,1).
+func (g *RNG) Float64() float64 { return g.r.Float64() }
+
+// IntN returns a uniform int in [0,n). It panics if n <= 0.
+func (g *RNG) IntN(n int) int { return g.r.IntN(n) }
+
+// Uint64 returns a uniform 64-bit value.
+func (g *RNG) Uint64() uint64 { return g.r.Uint64() }
+
+// NormFloat64 returns a standard normal variate.
+func (g *RNG) NormFloat64() float64 { return g.r.NormFloat64() }
+
+// ExpFloat64 returns an exponential variate with rate 1.
+func (g *RNG) ExpFloat64() float64 { return g.r.ExpFloat64() }
+
+// Bool returns true with probability p.
+func (g *RNG) Bool(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return g.r.Float64() < p
+}
+
+// Normal returns a normal variate with the given mean and standard deviation.
+func (g *RNG) Normal(mean, stddev float64) float64 {
+	return mean + stddev*g.r.NormFloat64()
+}
+
+// LogNormal returns a lognormal variate where the underlying normal has the
+// given mu and sigma: exp(N(mu, sigma)).
+func (g *RNG) LogNormal(mu, sigma float64) float64 {
+	return math.Exp(mu + sigma*g.r.NormFloat64())
+}
+
+// LogNormalMedian returns a lognormal variate parameterized by its median
+// (exp(mu)) and sigma, which is the natural way to calibrate against the
+// paper's reported medians (e.g. node lifespan P50 = 25.4 h).
+func (g *RNG) LogNormalMedian(median, sigma float64) float64 {
+	return g.LogNormal(math.Log(median), sigma)
+}
+
+// Exponential returns an exponential variate with the given mean.
+func (g *RNG) Exponential(mean float64) float64 {
+	return mean * g.r.ExpFloat64()
+}
+
+// Pareto returns a Pareto variate with scale xm and shape alpha.
+func (g *RNG) Pareto(xm, alpha float64) float64 {
+	u := g.r.Float64()
+	for u == 0 {
+		u = g.r.Float64()
+	}
+	return xm / math.Pow(u, 1/alpha)
+}
+
+// Uniform returns a uniform variate in [lo, hi).
+func (g *RNG) Uniform(lo, hi float64) float64 {
+	return lo + (hi-lo)*g.r.Float64()
+}
+
+// Zipf draws from a Zipf distribution over [0, n) with exponent s >= 1.
+// It is used to model stream popularity: a few streams attract most viewers.
+func (g *RNG) Zipf(n int, s float64) int {
+	if n <= 1 {
+		return 0
+	}
+	z := rand.NewZipf(g.r, s, 1, uint64(n-1))
+	return int(z.Uint64())
+}
+
+// Perm returns a random permutation of [0, n).
+func (g *RNG) Perm(n int) []int { return g.r.Perm(n) }
+
+// Shuffle shuffles n elements using the provided swap function.
+func (g *RNG) Shuffle(n int, swap func(i, j int)) { g.r.Shuffle(n, swap) }

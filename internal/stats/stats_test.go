@@ -1,0 +1,295 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a := NewRNG(42)
+	b := NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatalf("same seed diverged at draw %d", i)
+		}
+	}
+}
+
+func TestRNGForkIndependence(t *testing.T) {
+	a := NewRNG(7)
+	child := a.Fork()
+	// The child's stream must be reproducible from the same parent state.
+	b := NewRNG(7)
+	child2 := b.Fork()
+	for i := 0; i < 100; i++ {
+		if child.Float64() != child2.Float64() {
+			t.Fatalf("forked streams diverged at draw %d", i)
+		}
+	}
+}
+
+func TestRNGBoolEdges(t *testing.T) {
+	g := NewRNG(1)
+	for i := 0; i < 100; i++ {
+		if g.Bool(0) {
+			t.Fatal("Bool(0) returned true")
+		}
+		if !g.Bool(1) {
+			t.Fatal("Bool(1) returned false")
+		}
+	}
+}
+
+func TestLogNormalMedian(t *testing.T) {
+	g := NewRNG(3)
+	s := NewSample(20000)
+	for i := 0; i < 20000; i++ {
+		s.Add(g.LogNormalMedian(25.4, 1.5))
+	}
+	p50 := s.Percentile(50)
+	if p50 < 22 || p50 > 29 {
+		t.Fatalf("lognormal median calibration off: got P50=%.2f want ~25.4", p50)
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	g := NewRNG(5)
+	counts := make([]int, 100)
+	for i := 0; i < 50000; i++ {
+		counts[g.Zipf(100, 1.2)]++
+	}
+	if counts[0] < counts[50]*5 {
+		t.Fatalf("zipf not skewed: head=%d mid=%d", counts[0], counts[50])
+	}
+}
+
+func TestWelford(t *testing.T) {
+	var w Welford
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	for _, x := range xs {
+		w.Add(x)
+	}
+	if got := w.Mean(); math.Abs(got-5) > 1e-9 {
+		t.Errorf("mean = %v, want 5", got)
+	}
+	if got := w.Stddev(); math.Abs(got-2) > 1e-9 {
+		t.Errorf("stddev = %v, want 2", got)
+	}
+	if got := w.ZScore(9); math.Abs(got-2) > 1e-9 {
+		t.Errorf("zscore(9) = %v, want 2", got)
+	}
+}
+
+func TestWelfordZeroVariance(t *testing.T) {
+	var w Welford
+	w.Add(3)
+	w.Add(3)
+	if z := w.ZScore(10); z != 0 {
+		t.Errorf("zscore with zero variance = %v, want 0", z)
+	}
+}
+
+func TestSamplePercentile(t *testing.T) {
+	s := NewSample(0)
+	for i := 1; i <= 100; i++ {
+		s.Add(float64(i))
+	}
+	cases := []struct{ p, want float64 }{
+		{0, 1}, {50, 50.5}, {100, 100}, {25, 25.75},
+	}
+	for _, c := range cases {
+		if got := s.Percentile(c.p); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("P%.0f = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestSampleEmpty(t *testing.T) {
+	var s Sample
+	if s.Percentile(50) != 0 || s.Mean() != 0 || s.Stddev() != 0 {
+		t.Fatal("empty sample should report zeros")
+	}
+	if s.CDF(10) != nil {
+		t.Fatal("empty CDF should be nil")
+	}
+}
+
+func TestSampleFracBelow(t *testing.T) {
+	s := NewSample(0)
+	for i := 0; i < 10; i++ {
+		s.Add(float64(i))
+	}
+	if got := s.FracBelow(5); got != 0.5 {
+		t.Errorf("FracBelow(5) = %v, want 0.5", got)
+	}
+	if got := s.FracBelow(0); got != 0 {
+		t.Errorf("FracBelow(0) = %v, want 0", got)
+	}
+	if got := s.FracBelow(100); got != 1 {
+		t.Errorf("FracBelow(100) = %v, want 1", got)
+	}
+}
+
+func TestSampleAddAfterQueryKeepsOrder(t *testing.T) {
+	s := NewSample(0)
+	s.Add(5)
+	s.Add(1)
+	_ = s.Percentile(50) // forces sort
+	s.Add(3)
+	if got := s.Percentile(100); got != 5 {
+		t.Errorf("max after interleaved add = %v, want 5", got)
+	}
+	if got := s.Percentile(0); got != 1 {
+		t.Errorf("min after interleaved add = %v, want 1", got)
+	}
+}
+
+func TestEDF(t *testing.T) {
+	e := NewEDF(0)
+	for _, x := range []float64{10, 20, 30, 40} {
+		e.Observe(x)
+	}
+	cases := []struct{ tt, want float64 }{
+		{5, 0}, {10, 0.25}, {25, 0.5}, {40, 1}, {100, 1},
+	}
+	for _, c := range cases {
+		if got := e.F(c.tt); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("F(%v) = %v, want %v", c.tt, got, c.want)
+		}
+	}
+}
+
+func TestEDFEmptyIsPessimistic(t *testing.T) {
+	e := NewEDF(10)
+	if e.F(1e9) != 0 {
+		t.Fatal("empty EDF must return 0 (pessimistic)")
+	}
+}
+
+func TestEDFWindow(t *testing.T) {
+	e := NewEDF(2)
+	e.Observe(1)
+	e.Observe(2)
+	e.Observe(100) // evicts 1
+	if e.N() != 2 {
+		t.Fatalf("window N = %d, want 2", e.N())
+	}
+	if got := e.F(1); got != 0 {
+		t.Errorf("F(1) after eviction = %v, want 0", got)
+	}
+}
+
+func TestEDFMonotoneProperty(t *testing.T) {
+	g := NewRNG(11)
+	f := func(seed uint64) bool {
+		e := NewEDF(0)
+		for i := 0; i < 50; i++ {
+			e.Observe(g.Exponential(100))
+		}
+		prev := -1.0
+		for t := 0.0; t < 1000; t += 17 {
+			v := e.F(t)
+			if v < prev || v < 0 || v > 1 {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEWMA(t *testing.T) {
+	e := NewEWMA(0.5)
+	if e.Initialized() {
+		t.Fatal("zero EWMA should be uninitialized")
+	}
+	e.Add(10)
+	if e.Value() != 10 {
+		t.Fatalf("first add should set value, got %v", e.Value())
+	}
+	e.Add(20)
+	if e.Value() != 15 {
+		t.Fatalf("ewma = %v, want 15", e.Value())
+	}
+}
+
+func TestHistogramUniform(t *testing.T) {
+	h := NewHistogram(0, 10, 10)
+	for i := 0; i < 10; i++ {
+		h.Add(float64(i) + 0.5)
+	}
+	h.Add(-1) // under
+	h.Add(10) // over (upper bound exclusive)
+	for i := 0; i < 10; i++ {
+		if _, _, c := h.Bucket(i); c != 1 {
+			t.Errorf("bucket %d count = %d, want 1", i, c)
+		}
+	}
+	if h.FracUnder() != 1.0/12 || h.FracOver() != 1.0/12 {
+		t.Errorf("under/over fractions wrong: %v %v", h.FracUnder(), h.FracOver())
+	}
+}
+
+func TestLogHistogram(t *testing.T) {
+	h := NewLogHistogram(1, 1000, 3)
+	h.Add(5)    // decade 1: [1,10)
+	h.Add(50)   // decade 2: [10,100)
+	h.Add(500)  // decade 3: [100,1000)
+	h.Add(0.5)  // under
+	h.Add(2000) // over
+	for i := 0; i < 3; i++ {
+		if _, _, c := h.Bucket(i); c != 1 {
+			t.Errorf("log bucket %d count = %d, want 1", i, c)
+		}
+	}
+	lo, hi, _ := h.Bucket(1)
+	if math.Abs(lo-10) > 1e-6 || math.Abs(hi-100) > 1e-6 {
+		t.Errorf("log bucket 1 bounds = [%v, %v), want [10, 100)", lo, hi)
+	}
+}
+
+func TestLogHistogramPanicsOnNonPositiveLo(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for lo <= 0")
+		}
+	}()
+	NewLogHistogram(0, 10, 5)
+}
+
+func TestCDFExport(t *testing.T) {
+	s := NewSample(0)
+	for i := 1; i <= 1000; i++ {
+		s.Add(float64(i))
+	}
+	pts := s.CDF(10)
+	if len(pts) != 10 {
+		t.Fatalf("CDF points = %d, want 10", len(pts))
+	}
+	if pts[9].F != 1.0 {
+		t.Errorf("last CDF point F = %v, want 1", pts[9].F)
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].X < pts[i-1].X || pts[i].F <= pts[i-1].F {
+			t.Errorf("CDF not monotone at %d: %+v %+v", i, pts[i-1], pts[i])
+		}
+	}
+}
+
+func TestParetoTail(t *testing.T) {
+	g := NewRNG(9)
+	s := NewSample(10000)
+	for i := 0; i < 10000; i++ {
+		s.Add(g.Pareto(1, 2))
+	}
+	if min := s.Percentile(0); min < 1 {
+		t.Errorf("pareto min = %v, want >= 1", min)
+	}
+	if p99, p50 := s.Percentile(99), s.Percentile(50); p99 < 3*p50 {
+		t.Errorf("pareto tail too light: p99=%v p50=%v", p99, p50)
+	}
+}

@@ -1,0 +1,238 @@
+package transport
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/chain"
+	"repro/internal/media"
+	"repro/internal/scheduler"
+	"repro/internal/simnet"
+)
+
+// MsgType tags a wire message on the real-network path.
+type MsgType uint8
+
+const (
+	// TypeData is a DataPacket.
+	TypeData MsgType = iota + 1
+	// TypeSubscribe is a SubscribeReq.
+	TypeSubscribe
+	// TypeUnsubscribe is an UnsubscribeReq.
+	TypeUnsubscribe
+	// TypeRetx is a RetxReq.
+	TypeRetx
+	// TypeProbe is a ProbeReq.
+	TypeProbe
+	// TypeProbeResp is a ProbeResp.
+	TypeProbeResp
+	// TypeQoSReport is a QoSReport.
+	TypeQoSReport
+	// TypeSuggest is a SwitchSuggestion.
+	TypeSuggest
+)
+
+// Magic identifies RLive datagrams.
+const Magic uint16 = 0x524C // "RL"
+
+// codec buffer layout: magic(2) type(1) then type-specific body.
+
+func putKey(b []byte, k scheduler.SubstreamKey) {
+	binary.BigEndian.PutUint32(b[0:4], uint32(k.Stream))
+	b[4] = byte(k.Substream)
+}
+
+func getKey(b []byte) scheduler.SubstreamKey {
+	return scheduler.SubstreamKey{
+		Stream:    media.StreamID(binary.BigEndian.Uint32(b[0:4])),
+		Substream: media.SubstreamID(b[4]),
+	}
+}
+
+// MarshalDataPacket encodes p for UDP transmission. Layout after the common
+// prefix: key(5) seq(2) count(2) payloadLen(2) publisher(4) genAt(8)
+// retrans(1) header(19) chainLen(1) chain(14×n) payload.
+func MarshalDataPacket(p *DataPacket) []byte {
+	n := 3 + 5 + 2 + 2 + 2 + 4 + 8 + 1 + media.HeaderSize + 1 + len(p.Chain)*chain.FootprintSize + len(p.Payload)
+	b := make([]byte, n)
+	binary.BigEndian.PutUint16(b[0:2], Magic)
+	b[2] = byte(TypeData)
+	putKey(b[3:], p.Key)
+	binary.BigEndian.PutUint16(b[8:10], p.Seq)
+	binary.BigEndian.PutUint16(b[10:12], p.Count)
+	binary.BigEndian.PutUint16(b[12:14], uint16(p.PayloadLen))
+	binary.BigEndian.PutUint32(b[14:18], uint32(p.Publisher))
+	binary.BigEndian.PutUint64(b[18:26], uint64(p.GeneratedAt))
+	if p.Retransmit {
+		b[26] = 1
+	}
+	hb := p.Header.Marshal()
+	copy(b[27:], hb[:])
+	off := 27 + media.HeaderSize
+	b[off] = byte(len(p.Chain))
+	off++
+	for _, fp := range p.Chain {
+		fb := fp.Marshal()
+		copy(b[off:], fb[:])
+		off += chain.FootprintSize
+	}
+	copy(b[off:], p.Payload)
+	return b
+}
+
+// UnmarshalDataPacket decodes a TypeData datagram (including prefix).
+func UnmarshalDataPacket(b []byte) (*DataPacket, error) {
+	const fixed = 3 + 5 + 2 + 2 + 2 + 4 + 8 + 1 + media.HeaderSize + 1
+	if len(b) < fixed {
+		return nil, fmt.Errorf("transport: data packet too short: %d", len(b))
+	}
+	if binary.BigEndian.Uint16(b[0:2]) != Magic || MsgType(b[2]) != TypeData {
+		return nil, fmt.Errorf("transport: bad magic/type")
+	}
+	p := &DataPacket{
+		Key:        getKey(b[3:]),
+		Seq:        binary.BigEndian.Uint16(b[8:10]),
+		Count:      binary.BigEndian.Uint16(b[10:12]),
+		PayloadLen: int(binary.BigEndian.Uint16(b[12:14])),
+		Publisher:  simnet.Addr(binary.BigEndian.Uint32(b[14:18])),
+		GeneratedAt: int64(
+			binary.BigEndian.Uint64(b[18:26])),
+		Retransmit: b[26] == 1,
+	}
+	h, err := media.UnmarshalHeader(b[27:])
+	if err != nil {
+		return nil, err
+	}
+	p.Header = h
+	off := 27 + media.HeaderSize
+	cl := int(b[off])
+	off++
+	if len(b) < off+cl*chain.FootprintSize {
+		return nil, fmt.Errorf("transport: truncated chain")
+	}
+	p.Chain = make([]chain.Footprint, cl)
+	for i := 0; i < cl; i++ {
+		fp, err := chain.UnmarshalFootprint(b[off:])
+		if err != nil {
+			return nil, err
+		}
+		p.Chain[i] = fp
+		off += chain.FootprintSize
+	}
+	if len(b) < off+p.PayloadLen {
+		return nil, fmt.Errorf("transport: truncated payload: have %d want %d", len(b)-off, p.PayloadLen)
+	}
+	p.Payload = b[off : off+p.PayloadLen]
+	return p, nil
+}
+
+// MarshalRetxReq encodes r for UDP transmission.
+func MarshalRetxReq(r *RetxReq) []byte {
+	b := make([]byte, 3+5+8+2+2*len(r.Missing))
+	binary.BigEndian.PutUint16(b[0:2], Magic)
+	b[2] = byte(TypeRetx)
+	putKey(b[3:], r.Key)
+	binary.BigEndian.PutUint64(b[8:16], r.Dts)
+	binary.BigEndian.PutUint16(b[16:18], uint16(len(r.Missing)))
+	off := 18
+	for _, m := range r.Missing {
+		binary.BigEndian.PutUint16(b[off:], m)
+		off += 2
+	}
+	return b
+}
+
+// UnmarshalRetxReq decodes a TypeRetx datagram.
+func UnmarshalRetxReq(b []byte) (*RetxReq, error) {
+	if len(b) < 18 {
+		return nil, fmt.Errorf("transport: retx too short")
+	}
+	if binary.BigEndian.Uint16(b[0:2]) != Magic || MsgType(b[2]) != TypeRetx {
+		return nil, fmt.Errorf("transport: bad magic/type")
+	}
+	r := &RetxReq{Key: getKey(b[3:]), Dts: binary.BigEndian.Uint64(b[8:16])}
+	n := int(binary.BigEndian.Uint16(b[16:18]))
+	if len(b) < 18+2*n {
+		return nil, fmt.Errorf("transport: truncated retx list")
+	}
+	r.Missing = make([]uint16, n)
+	for i := 0; i < n; i++ {
+		r.Missing[i] = binary.BigEndian.Uint16(b[18+2*i:])
+	}
+	return r, nil
+}
+
+// MarshalSubscribe encodes a subscribe or unsubscribe request.
+func MarshalSubscribe(key scheduler.SubstreamKey, unsubscribe bool) []byte {
+	b := make([]byte, 8)
+	binary.BigEndian.PutUint16(b[0:2], Magic)
+	if unsubscribe {
+		b[2] = byte(TypeUnsubscribe)
+	} else {
+		b[2] = byte(TypeSubscribe)
+	}
+	putKey(b[3:], key)
+	return b
+}
+
+// UnmarshalSubscribe decodes a subscribe/unsubscribe datagram, returning the
+// key and whether it is an unsubscribe.
+func UnmarshalSubscribe(b []byte) (scheduler.SubstreamKey, bool, error) {
+	if len(b) < 8 {
+		return scheduler.SubstreamKey{}, false, fmt.Errorf("transport: subscribe too short")
+	}
+	if binary.BigEndian.Uint16(b[0:2]) != Magic {
+		return scheduler.SubstreamKey{}, false, fmt.Errorf("transport: bad magic")
+	}
+	switch MsgType(b[2]) {
+	case TypeSubscribe:
+		return getKey(b[3:]), false, nil
+	case TypeUnsubscribe:
+		return getKey(b[3:]), true, nil
+	default:
+		return scheduler.SubstreamKey{}, false, fmt.Errorf("transport: not a subscribe")
+	}
+}
+
+// MarshalProbe encodes a probe request or response.
+func MarshalProbe(nonce uint32, key scheduler.SubstreamKey, resp, accepting bool) []byte {
+	b := make([]byte, 13)
+	binary.BigEndian.PutUint16(b[0:2], Magic)
+	if resp {
+		b[2] = byte(TypeProbeResp)
+	} else {
+		b[2] = byte(TypeProbe)
+	}
+	binary.BigEndian.PutUint32(b[3:7], nonce)
+	putKey(b[7:], key)
+	if accepting {
+		b[12] = 1
+	}
+	return b
+}
+
+// UnmarshalProbe decodes a probe datagram.
+func UnmarshalProbe(b []byte) (nonce uint32, key scheduler.SubstreamKey, resp, accepting bool, err error) {
+	if len(b) < 13 {
+		return 0, scheduler.SubstreamKey{}, false, false, fmt.Errorf("transport: probe too short")
+	}
+	if binary.BigEndian.Uint16(b[0:2]) != Magic {
+		return 0, scheduler.SubstreamKey{}, false, false, fmt.Errorf("transport: bad magic")
+	}
+	switch MsgType(b[2]) {
+	case TypeProbe:
+	case TypeProbeResp:
+		resp = true
+	default:
+		return 0, scheduler.SubstreamKey{}, false, false, fmt.Errorf("transport: not a probe")
+	}
+	return binary.BigEndian.Uint32(b[3:7]), getKey(b[7:]), resp, b[12] == 1, nil
+}
+
+// PeekType returns the message type of a datagram.
+func PeekType(b []byte) (MsgType, error) {
+	if len(b) < 3 || binary.BigEndian.Uint16(b[0:2]) != Magic {
+		return 0, fmt.Errorf("transport: bad datagram")
+	}
+	return MsgType(b[2]), nil
+}

@@ -1,0 +1,289 @@
+// Package transport defines RLive's wire protocol: the subscribe-push data
+// plane messages exchanged between CDN nodes, best-effort edge nodes and
+// clients, plus the control-plane messages to the global scheduler. The
+// same message structs flow through the discrete-event simulator (passed by
+// reference, with WireSize driving the timing model) and over real UDP/TCP
+// via the binary codecs in this package.
+//
+// Design notes from the paper honored here:
+//   - Subscribe-push (§6): edges push fixed-size packets immediately on
+//     receipt, with no per-hop congestion control or loss detection.
+//   - Local frame chains are embedded in every data packet (§5.2 and §8.2:
+//     "embed the contextual metadata directly into data packets").
+//   - Packets carry the publisher's address so clients bypass DNS on
+//     recovery redirects (§8.1 "Accelerating Frame Recovery via DNS Bypass").
+package transport
+
+import (
+	"repro/internal/chain"
+	"repro/internal/media"
+	"repro/internal/scheduler"
+	"repro/internal/simnet"
+)
+
+// PacketPayload is the fixed data-packet payload size in bytes (§5.1:
+// "segments the frame into fixed-size packets").
+const PacketPayload = 1200
+
+// PacketsForFrame returns how many packets a frame of the given size
+// slices into (at least 1).
+func PacketsForFrame(size int) int {
+	if size <= 0 {
+		return 1
+	}
+	return (size + PacketPayload - 1) / PacketPayload
+}
+
+// SubscribeReq asks a best-effort node to add the sender to the subscriber
+// list of one substream.
+type SubscribeReq struct {
+	Key scheduler.SubstreamKey
+}
+
+// UnsubscribeReq removes the sender from a substream's subscriber list.
+type UnsubscribeReq struct {
+	Key scheduler.SubstreamKey
+}
+
+// CDNSubscribeReq asks a dedicated node for a delivery. Exactly one of the
+// three modes applies:
+//   - FullStream: complete frames of every substream (client startup and
+//     full fallback).
+//   - Substream + WantHeaders: complete frames of one substream plus
+//     header-only records of all other frames (the edge-node feed that
+//     powers distributed sequencing).
+//   - Substream alone: complete frames of one substream (client substream
+//     switchback, recovery action a=2).
+type CDNSubscribeReq struct {
+	Stream      media.StreamID
+	Substream   media.SubstreamID
+	FullStream  bool
+	WantHeaders bool
+}
+
+// CDNUnsubscribeReq cancels a CDN delivery.
+type CDNUnsubscribeReq struct {
+	Stream     media.StreamID
+	Substream  media.SubstreamID
+	FullStream bool
+}
+
+// CDNFrame is a frame record pushed by a dedicated node: either a full
+// frame (payload included on the real network; size-modeled in sim) or a
+// header-only record for sequencing.
+type CDNFrame struct {
+	Header      media.Header
+	Full        bool
+	GeneratedAt int64
+	// Recovered marks a frame sent in response to a FrameReq.
+	Recovered bool
+}
+
+// DataPacket is one fixed-size slice of a frame pushed by a best-effort
+// node to a subscriber.
+type DataPacket struct {
+	Key    scheduler.SubstreamKey
+	Header media.Header
+	// Seq is the packet index within the frame, Count the total packet
+	// count of the frame.
+	Seq   uint16
+	Count uint16
+	// PayloadLen is the bytes of frame data carried (== PacketPayload
+	// except for the final packet).
+	PayloadLen int
+	// Chain is the publisher's local frame chain, oldest first.
+	Chain []chain.Footprint
+	// Publisher is the sending node's address, embedded for DNS-bypass
+	// recovery.
+	Publisher simnet.Addr
+	// GeneratedAt is the frame's source generation time (for E2E
+	// latency measurement).
+	GeneratedAt int64
+	// Payload carries frame bytes on the real-network path; nil in sim.
+	Payload []byte
+	// Retransmit marks packets resent in response to a RetxReq.
+	Retransmit bool
+}
+
+// RetxReq asks the publisher to resend specific packets of a frame
+// (recovery action a=0).
+type RetxReq struct {
+	Key     scheduler.SubstreamKey
+	Dts     uint64
+	Missing []uint16
+}
+
+// RetxNack tells a requester the publisher cannot serve a retransmission
+// (the frame predates its relay window or its own feed missed it), so the
+// client escalates to dedicated recovery immediately instead of burning
+// retry rounds.
+type RetxNack struct {
+	Key scheduler.SubstreamKey
+	Dts uint64
+}
+
+// FrameReq asks a dedicated node for one complete frame by dts (recovery
+// action a=1; the CDN supports dts-indexed frame recovery, §6).
+type FrameReq struct {
+	Stream media.StreamID
+	Dts    uint64
+}
+
+// ProbeReq is the client's application-level connection attempt used in
+// local fine-tuning (§4.1.2) — deliberately not a bare ping, so the
+// response exercises the full path.
+type ProbeReq struct {
+	Nonce uint32
+	Key   scheduler.SubstreamKey
+}
+
+// ProbeResp answers a probe.
+type ProbeResp struct {
+	Nonce uint32
+	Key   scheduler.SubstreamKey
+	// Accepting is false when the node is at quota.
+	Accepting bool
+}
+
+// QoSReport is the lightweight per-connection feedback a client piggybacks
+// to each publisher, feeding the edge's Z-score outlier detection (§4.2.2).
+type QoSReport struct {
+	Key      scheduler.SubstreamKey
+	RTTms    float64
+	LossRate float64
+}
+
+// SuggestReason explains an edge-initiated switch suggestion.
+type SuggestReason uint8
+
+const (
+	// SuggestCost means the node is underutilized and wants to shed
+	// subscribers to cut back-to-CDN cost.
+	SuggestCost SuggestReason = iota
+	// SuggestQoS means this connection is a QoS outlier on the node.
+	SuggestQoS
+)
+
+// String names the reason.
+func (r SuggestReason) String() string {
+	if r == SuggestCost {
+		return "cost"
+	}
+	return "qos"
+}
+
+// SwitchSuggestion is the edge adviser's proactive hint to a client
+// (§4.2.2).
+type SwitchSuggestion struct {
+	Key    scheduler.SubstreamKey
+	Reason SuggestReason
+}
+
+// CandidateReq asks the global scheduler for recommendations.
+type CandidateReq struct {
+	Key    scheduler.SubstreamKey
+	Client scheduler.ClientInfo
+}
+
+// CandidateResp returns the scheduler's top-K.
+type CandidateResp struct {
+	Key        scheduler.SubstreamKey
+	Candidates []scheduler.Candidate
+}
+
+// NodeFailureReport tells the scheduler a node kept failing connections.
+type NodeFailureReport struct {
+	Node simnet.Addr
+}
+
+// StreamUtilReq asks the scheduler for a stream's average forwarding
+// utilization (cost-trigger double-check, §4.2.2).
+type StreamUtilReq struct {
+	Key scheduler.SubstreamKey
+}
+
+// StreamUtilResp answers a StreamUtilReq.
+type StreamUtilResp struct {
+	Key  scheduler.SubstreamKey
+	Util float64
+	N    int
+}
+
+// SeqQuery polls the centralized sequencing "super node" for frame order
+// past SinceDts. This message belongs to the pre-RLive centralized design
+// the paper abandons (§7.3.2, Table 3), kept as an evaluation baseline.
+type SeqQuery struct {
+	Stream   media.StreamID
+	SinceDts uint64
+}
+
+// SeqUpdate carries the super node's footprint chain for a stream.
+type SeqUpdate struct {
+	Stream media.StreamID
+	Chain  []chain.Footprint
+}
+
+// WireSize returns the modeled on-wire size in bytes of a message,
+// including protocol overhead (UDP/IP framing plus our own headers). The
+// simulator charges this size against link capacity.
+func WireSize(msg any) int {
+	const hdr = 28 + 8 // IP+UDP + magic/type/version
+	switch m := msg.(type) {
+	case *DataPacket:
+		return hdr + media.HeaderSize + 16 + len(m.Chain)*chain.FootprintSize + m.PayloadLen
+	case DataPacket:
+		return hdr + media.HeaderSize + 16 + len(m.Chain)*chain.FootprintSize + m.PayloadLen
+	case *CDNFrame:
+		if m.Full {
+			return hdr + media.HeaderSize + 10 + int(m.Header.Size)
+		}
+		return hdr + media.HeaderSize + 10
+	case CDNFrame:
+		if m.Full {
+			return hdr + media.HeaderSize + 10 + int(m.Header.Size)
+		}
+		return hdr + media.HeaderSize + 10
+	case *RetxReq:
+		return hdr + 16 + 2*len(m.Missing)
+	case RetxReq:
+		return hdr + 16 + 2*len(m.Missing)
+	case *CandidateResp:
+		return hdr + 8 + 12*len(m.Candidates)
+	case CandidateResp:
+		return hdr + 8 + 12*len(m.Candidates)
+	case scheduler.Heartbeat:
+		return scheduler.HeartbeatBytes
+	case *scheduler.Heartbeat:
+		return scheduler.HeartbeatBytes
+	case SubscribeReq, UnsubscribeReq, *SubscribeReq, *UnsubscribeReq:
+		return hdr + 8
+	case CDNSubscribeReq, CDNUnsubscribeReq, *CDNSubscribeReq, *CDNUnsubscribeReq:
+		return hdr + 10
+	case FrameReq, *FrameReq:
+		return hdr + 12
+	case RetxNack, *RetxNack:
+		return hdr + 13
+	case ProbeReq, ProbeResp, *ProbeReq, *ProbeResp:
+		return hdr + 13
+	case QoSReport, *QoSReport:
+		return hdr + 24
+	case SwitchSuggestion, *SwitchSuggestion:
+		return hdr + 9
+	case CandidateReq, *CandidateReq:
+		return hdr + 20
+	case NodeFailureReport, *NodeFailureReport:
+		return hdr + 4
+	case StreamUtilReq, *StreamUtilReq:
+		return hdr + 8
+	case StreamUtilResp, *StreamUtilResp:
+		return hdr + 20
+	case SeqQuery, *SeqQuery:
+		return hdr + 12
+	case *SeqUpdate:
+		return hdr + 4 + len(m.Chain)*chain.FootprintSize
+	case SeqUpdate:
+		return hdr + 4 + len(m.Chain)*chain.FootprintSize
+	default:
+		return hdr + 16
+	}
+}

@@ -1,0 +1,190 @@
+package transport
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/chain"
+	"repro/internal/media"
+	"repro/internal/scheduler"
+	"repro/internal/simnet"
+)
+
+func samplePacket() *DataPacket {
+	return &DataPacket{
+		Key:         scheduler.SubstreamKey{Stream: 7, Substream: 2},
+		Header:      media.Header{Stream: 7, Dts: 12345, Type: media.FrameI, Size: 4096, Seq: 11},
+		Seq:         1,
+		Count:       4,
+		PayloadLen:  1200,
+		Chain:       []chain.Footprint{{Dts: 1, CRC: 2, CNT: 3}, {Dts: 4, CRC: 5, CNT: 6}},
+		Publisher:   100001,
+		GeneratedAt: 987654321,
+		Payload:     make([]byte, 1200),
+		Retransmit:  true,
+	}
+}
+
+func TestPacketsForFrame(t *testing.T) {
+	cases := []struct{ size, want int }{
+		{0, 1}, {1, 1}, {1200, 1}, {1201, 2}, {2400, 2}, {6000, 5}, {6001, 6},
+	}
+	for _, c := range cases {
+		if got := PacketsForFrame(c.size); got != c.want {
+			t.Errorf("PacketsForFrame(%d) = %d, want %d", c.size, got, c.want)
+		}
+	}
+}
+
+func TestDataPacketRoundTrip(t *testing.T) {
+	p := samplePacket()
+	for i := range p.Payload {
+		p.Payload[i] = byte(i)
+	}
+	b := MarshalDataPacket(p)
+	got, err := UnmarshalDataPacket(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Key != p.Key || got.Header != p.Header || got.Seq != p.Seq ||
+		got.Count != p.Count || got.PayloadLen != p.PayloadLen ||
+		got.Publisher != p.Publisher || got.GeneratedAt != p.GeneratedAt ||
+		got.Retransmit != p.Retransmit {
+		t.Fatalf("fields mismatch:\n got %+v\nwant %+v", got, p)
+	}
+	if len(got.Chain) != 2 || got.Chain[0] != p.Chain[0] || got.Chain[1] != p.Chain[1] {
+		t.Fatalf("chain mismatch: %v", got.Chain)
+	}
+	for i := range got.Payload {
+		if got.Payload[i] != byte(i) {
+			t.Fatal("payload corrupted")
+		}
+	}
+}
+
+func TestDataPacketRoundTripProperty(t *testing.T) {
+	f := func(stream uint32, dts uint64, seq, count uint16, payLen uint8, pub uint32, gen int64) bool {
+		p := &DataPacket{
+			Key:         scheduler.SubstreamKey{Stream: media.StreamID(stream), Substream: media.SubstreamID(seq % 8)},
+			Header:      media.Header{Stream: media.StreamID(stream), Dts: dts, Size: uint32(payLen)},
+			Seq:         seq,
+			Count:       count,
+			PayloadLen:  int(payLen),
+			Publisher:   simnet.Addr(100000 + (pub % 1000)),
+			GeneratedAt: gen,
+			Payload:     make([]byte, payLen),
+		}
+		b := MarshalDataPacket(p)
+		got, err := UnmarshalDataPacket(b)
+		return err == nil && got.Header == p.Header && got.Seq == p.Seq &&
+			got.PayloadLen == p.PayloadLen && got.GeneratedAt == p.GeneratedAt
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDataPacketTruncation(t *testing.T) {
+	b := MarshalDataPacket(samplePacket())
+	for _, cut := range []int{2, 10, 30, len(b) - 1} {
+		if _, err := UnmarshalDataPacket(b[:cut]); err == nil {
+			t.Errorf("truncation at %d not detected", cut)
+		}
+	}
+}
+
+func TestDataPacketBadMagic(t *testing.T) {
+	b := MarshalDataPacket(samplePacket())
+	b[0] = 0xFF
+	if _, err := UnmarshalDataPacket(b); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+}
+
+func TestRetxReqRoundTrip(t *testing.T) {
+	r := &RetxReq{
+		Key:     scheduler.SubstreamKey{Stream: 3, Substream: 1},
+		Dts:     424242,
+		Missing: []uint16{0, 5, 9},
+	}
+	got, err := UnmarshalRetxReq(MarshalRetxReq(r))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Key != r.Key || got.Dts != r.Dts || len(got.Missing) != 3 || got.Missing[1] != 5 {
+		t.Fatalf("mismatch: %+v", got)
+	}
+}
+
+func TestRetxReqEmptyMissing(t *testing.T) {
+	r := &RetxReq{Key: scheduler.SubstreamKey{Stream: 1}, Dts: 1}
+	got, err := UnmarshalRetxReq(MarshalRetxReq(r))
+	if err != nil || len(got.Missing) != 0 {
+		t.Fatalf("empty missing list mishandled: %v %v", got, err)
+	}
+}
+
+func TestSubscribeRoundTrip(t *testing.T) {
+	key := scheduler.SubstreamKey{Stream: 9, Substream: 3}
+	for _, unsub := range []bool{false, true} {
+		k, u, err := UnmarshalSubscribe(MarshalSubscribe(key, unsub))
+		if err != nil || k != key || u != unsub {
+			t.Fatalf("subscribe round trip: %v %v %v", k, u, err)
+		}
+	}
+}
+
+func TestProbeRoundTrip(t *testing.T) {
+	key := scheduler.SubstreamKey{Stream: 5, Substream: 1}
+	n, k, resp, acc, err := UnmarshalProbe(MarshalProbe(77, key, true, true))
+	if err != nil || n != 77 || k != key || !resp || !acc {
+		t.Fatalf("probe round trip: %v %v %v %v %v", n, k, resp, acc, err)
+	}
+	_, _, resp, acc, err = UnmarshalProbe(MarshalProbe(1, key, false, false))
+	if err != nil || resp || acc {
+		t.Fatalf("probe req decoded wrong: %v %v %v", resp, acc, err)
+	}
+}
+
+func TestPeekType(t *testing.T) {
+	b := MarshalSubscribe(scheduler.SubstreamKey{}, false)
+	typ, err := PeekType(b)
+	if err != nil || typ != TypeSubscribe {
+		t.Fatalf("peek = %v %v", typ, err)
+	}
+	if _, err := PeekType([]byte{1}); err == nil {
+		t.Fatal("short datagram accepted")
+	}
+}
+
+func TestWireSizes(t *testing.T) {
+	p := samplePacket()
+	ws := WireSize(p)
+	// Must at least cover payload + chain + header.
+	min := p.PayloadLen + len(p.Chain)*chain.FootprintSize + media.HeaderSize
+	if ws < min {
+		t.Fatalf("wire size %d below content size %d", ws, min)
+	}
+	// Value and pointer forms must agree.
+	if WireSize(*p) != ws {
+		t.Fatal("value/pointer wire sizes disagree")
+	}
+	full := CDNFrame{Header: media.Header{Size: 5000}, Full: true}
+	hdrOnly := CDNFrame{Header: media.Header{Size: 5000}, Full: false}
+	if WireSize(full) <= WireSize(hdrOnly) {
+		t.Fatal("full frame should cost more than header-only")
+	}
+	if WireSize(hdrOnly) > 100 {
+		t.Fatalf("header-only record too expensive: %d", WireSize(hdrOnly))
+	}
+	hb := scheduler.Heartbeat{}
+	if WireSize(hb) != scheduler.HeartbeatBytes {
+		t.Fatal("heartbeat wire size should match the paper's ~150 B")
+	}
+}
+
+func TestWireSizeUnknownType(t *testing.T) {
+	if WireSize(struct{}{}) <= 0 {
+		t.Fatal("unknown types need a positive default size")
+	}
+}
