@@ -1,0 +1,27 @@
+# Developer entry points for the RLive reproduction. The tier1 target is
+# the acceptance gate every PR must keep green.
+
+GO ?= go
+
+.PHONY: tier1 build test vet race bench chaos
+
+tier1: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench . -benchtime 1x -run '^$$' .
+
+# Run the headline resilience drill end to end.
+chaos:
+	$(GO) run ./cmd/rlive-sim -exp chaos-scheduler-outage

@@ -82,6 +82,17 @@ func BenchmarkAblationNATRefinement(b *testing.B) {
 	benchExperiment(b, "abl-nat")
 }
 
+// Chaos drills: the resilience scenarios under paired A/B.
+
+func BenchmarkChaosSchedulerOutage(b *testing.B)  { benchExperiment(b, "chaos-scheduler-outage") }
+func BenchmarkChaosSchedulerSlow(b *testing.B)    { benchExperiment(b, "chaos-scheduler-slow") }
+func BenchmarkChaosRegionBlackout(b *testing.B)   { benchExperiment(b, "chaos-region-blackout") }
+func BenchmarkChaosRegionPartition(b *testing.B)  { benchExperiment(b, "chaos-region-partition") }
+func BenchmarkChaosChurnStorm(b *testing.B)       { benchExperiment(b, "chaos-churn-storm") }
+func BenchmarkChaosOriginSaturation(b *testing.B) { benchExperiment(b, "chaos-origin-saturation") }
+func BenchmarkChaosDegradationWave(b *testing.B)  { benchExperiment(b, "chaos-degradation-wave") }
+func BenchmarkChaosNATFlap(b *testing.B)          { benchExperiment(b, "chaos-nat-flap") }
+
 // Microbenchmarks of the hot paths.
 
 func mkHeaders(n int) []media.Header {

@@ -7,9 +7,12 @@
 //	rlive-sim -exp all             # the whole evaluation
 //	rlive-sim -list                # list experiment IDs
 //	rlive-sim -exp fig11 -scale full -seed 7
+//	rlive-sim -exp chaos-scheduler-outage            # a resilience drill
+//	rlive-sim -exp fig9 -json out.json               # machine-readable results
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -17,6 +20,20 @@ import (
 
 	"repro/internal/experiments"
 )
+
+// jsonDoc is the machine-readable result document the -json flag writes,
+// feeding the BENCH_*.json perf-trajectory tooling.
+type jsonDoc struct {
+	Scale       experiments.Scale `json:"scale"`
+	Experiments []jsonExperiment  `json:"experiments"`
+}
+
+type jsonExperiment struct {
+	ID        string                `json:"id"`
+	ElapsedMs int64                 `json:"elapsed_ms"`
+	Tables    []*experiments.Table  `json:"tables,omitempty"`
+	Series    []*experiments.Series `json:"series,omitempty"`
+}
 
 func main() {
 	var (
@@ -27,6 +44,7 @@ func main() {
 		clients  = flag.Int("clients", 0, "override concurrent clients")
 		nodes    = flag.Int("nodes", 0, "override best-effort node count")
 		duration = flag.Duration("duration", 0, "override measured duration")
+		jsonPath = flag.String("json", "", "also write results as JSON to this path")
 	)
 	flag.Parse()
 
@@ -56,6 +74,7 @@ func main() {
 	if *exp == "all" {
 		ids = experiments.IDs()
 	}
+	doc := jsonDoc{Scale: sc}
 	for _, id := range ids {
 		run, ok := experiments.Registry[id]
 		if !ok {
@@ -64,7 +83,27 @@ func main() {
 		}
 		start := time.Now()
 		res := run(sc)
+		elapsed := time.Since(start)
 		fmt.Print(res.String())
-		fmt.Printf("-- %s done in %v\n\n", id, time.Since(start).Round(time.Millisecond))
+		fmt.Printf("-- %s done in %v\n\n", id, elapsed.Round(time.Millisecond))
+		if *jsonPath != "" {
+			doc.Experiments = append(doc.Experiments, jsonExperiment{
+				ID: id, ElapsedMs: elapsed.Milliseconds(),
+				Tables: res.Tables, Series: res.Series,
+			})
+		}
+	}
+	if *jsonPath != "" {
+		buf, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rlive-sim: marshal results: %v\n", err)
+			os.Exit(1)
+		}
+		buf = append(buf, '\n')
+		if err := os.WriteFile(*jsonPath, buf, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "rlive-sim: write %s: %v\n", *jsonPath, err)
+			os.Exit(1)
+		}
+		fmt.Printf("-- results written to %s\n", *jsonPath)
 	}
 }

@@ -48,7 +48,12 @@ type Node struct {
 	net *simnet.Network
 	rng *stats.RNG
 
-	streams      map[media.StreamID]*streamState
+	streams map[media.StreamID]*streamState
+	// streamOrder mirrors streams in HostStream order: Start registers the
+	// per-stream frame generators by iterating it, so ticker registration
+	// order — and with it the fan-out interleaving of same-instant frames
+	// across variant streams — is deterministic instead of map-ordered.
+	streamOrder  []media.StreamID
 	retainFrames int
 
 	// Stats.
@@ -80,12 +85,16 @@ func (n *Node) HostStream(cfg media.SourceConfig, k int) {
 		recent:      make(map[uint64]media.Frame),
 		subscribers: make(map[simnet.Addr][]subMode),
 	}
+	if _, exists := n.streams[cfg.Stream]; !exists {
+		n.streamOrder = append(n.streamOrder, cfg.Stream)
+	}
 	n.streams[cfg.Stream] = st
 }
 
 // Start begins frame generation for all hosted streams.
 func (n *Node) Start() {
-	for id, st := range n.streams {
+	for _, id := range n.streamOrder {
+		st := n.streams[id]
 		if st.running {
 			continue
 		}
@@ -129,9 +138,14 @@ func (n *Node) generate(id media.StreamID, st *streamState) {
 	}
 }
 
-// sendFrame pushes one CDNFrame record to a subscriber.
+// sendFrame pushes one CDNFrame record to a subscriber, stamped with the
+// stream's authoritative substream count.
 func (n *Node) sendFrame(to simnet.Addr, f media.Frame, full, recovered bool) {
-	msg := &transport.CDNFrame{Header: f.Header, Full: full, GeneratedAt: f.GeneratedAt, Recovered: recovered}
+	k := 0
+	if st, ok := n.streams[f.Header.Stream]; ok {
+		k = st.part.K
+	}
+	msg := &transport.CDNFrame{Header: f.Header, Full: full, GeneratedAt: f.GeneratedAt, Recovered: recovered, K: k}
 	n.net.Send(n.Addr, to, transport.WireSize(msg), msg)
 	if full {
 		n.FramesServed++

@@ -38,8 +38,12 @@ type Global struct {
 	// its two predecessors in chain order.
 	headers map[uint64]media.Header
 	// mismatched parks local chains awaiting earlier frames; keyed by the
-	// dts of their first footprint to bound duplicates.
+	// dts of their first footprint to bound duplicates. mmOrder mirrors the
+	// map in insertion order: retries merge chains in that order, because
+	// merge order decides how the chain extends and map iteration would make
+	// whole simulation runs irreproducible.
 	mismatched map[uint64][]Footprint
+	mmOrder    []uint64
 	// consumedDts tracks the newest dts handed to the player; merges that
 	// would resurrect older frames are ignored.
 	consumed    uint64
@@ -192,23 +196,39 @@ func (g *Global) contains(lchain []Footprint) bool {
 // to avoid unbounded growth under garbage input.
 func (g *Global) park(lchain []Footprint) {
 	if len(g.mismatched) > 256 {
-		// Drop oldest-keyed entry arbitrarily; the publisher resends
-		// chains with every packet so losing one is harmless.
-		for k := range g.mismatched {
-			delete(g.mismatched, k)
-			break
-		}
+		// Drop the oldest-parked entry; the publisher resends chains with
+		// every packet so losing one is harmless.
+		g.unpark(g.mmOrder[0])
+	}
+	if _, dup := g.mismatched[lchain[0].Dts]; !dup {
+		g.mmOrder = append(g.mmOrder, lchain[0].Dts)
 	}
 	cp := make([]Footprint, len(lchain))
 	copy(cp, lchain)
 	g.mismatched[lchain[0].Dts] = cp
 }
 
-// retryParked re-attempts previously mismatched chains until none merges.
+// unpark removes one parked chain from the pool and its order mirror.
+func (g *Global) unpark(k uint64) {
+	delete(g.mismatched, k)
+	for i, d := range g.mmOrder {
+		if d == k {
+			g.mmOrder = append(g.mmOrder[:i], g.mmOrder[i+1:]...)
+			break
+		}
+	}
+}
+
+// retryParked re-attempts previously mismatched chains until none merges,
+// in park order.
 func (g *Global) retryParked() {
 	for changed := true; changed; {
 		changed = false
-		for k, lc := range g.mismatched {
+		for _, k := range append([]uint64(nil), g.mmOrder...) {
+			lc, ok := g.mismatched[k]
+			if !ok {
+				continue
+			}
 			terminal := g.entries[len(g.entries)-1].FP
 			hit := false
 			for _, fp := range lc {
@@ -220,7 +240,7 @@ func (g *Global) retryParked() {
 			if !hit && !g.contains(lc) {
 				continue
 			}
-			delete(g.mismatched, k)
+			g.unpark(k)
 			g.ParkedRetries++
 			if g.TryMatch(lc) {
 				changed = true

@@ -1,0 +1,281 @@
+package chaos
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/fleet"
+	"repro/internal/simnet"
+	"repro/internal/stats"
+)
+
+// Injector binds a scenario to a running system: it schedules every fault
+// event on the simulator and records a human-readable timeline. All
+// randomness (churn-storm node selection, downtime draws) comes from its
+// own forked RNG, so injection neither perturbs the system's RNG stream
+// nor depends on it.
+type Injector struct {
+	sys *core.System
+	rng *stats.RNG
+
+	// partitions holds the active region pairs consulted by the
+	// net.Blocked hook.
+	partitions [][2]int
+	// savedUplink remembers pre-saturation dedicated capacities.
+	savedUplink map[simnet.Addr]float64
+
+	// Timeline records injected transitions as "t=30s scheduler-outage
+	// start" lines, in injection order — the determinism witness.
+	Timeline []string
+}
+
+// NewInjector creates an injector for sys. The scenario seed (or the
+// system seed when the scenario leaves it zero) feeds the injector RNG.
+func NewInjector(sys *core.System, sc Scenario) *Injector {
+	seed := sc.Seed
+	if seed == 0 {
+		seed = sys.Cfg.Seed ^ 0xc4a05c4a05c4a05
+	}
+	return &Injector{
+		sys:         sys,
+		rng:         stats.NewRNG(seed),
+		savedUplink: make(map[simnet.Addr]float64),
+	}
+}
+
+func (in *Injector) logf(format string, args ...any) {
+	t := time.Duration(in.sys.Sim.Now()).Round(time.Millisecond)
+	in.Timeline = append(in.Timeline, fmt.Sprintf("t=%s %s", t, fmt.Sprintf(format, args...)))
+}
+
+// Schedule arms every scenario event relative to the current simulation
+// time. It installs the partition hook if any partition events exist.
+func (in *Injector) Schedule(sc Scenario) {
+	now := in.sys.Sim.Now()
+	for _, e := range sc.Events {
+		if e.Kind == RegionPartition {
+			in.installPartitionHook()
+			break
+		}
+	}
+	for _, e := range sc.Events {
+		e := e
+		in.sys.Sim.At(now+simnet.Time(e.Start), func() { in.begin(e) })
+		if e.Duration > 0 {
+			in.sys.Sim.At(now+simnet.Time(e.End()), func() { in.end(e) })
+		}
+	}
+}
+
+// installPartitionHook points net.Blocked at the injector's active
+// partition set. Dedicated nodes and the scheduler ride the CDN backbone,
+// which partitions between access regions do not sever.
+func (in *Injector) installPartitionHook() {
+	sys := in.sys
+	sys.Net.Blocked = func(a, b simnet.Addr) bool {
+		if len(in.partitions) == 0 {
+			return false
+		}
+		if backbone(sys, a) || backbone(sys, b) {
+			return false
+		}
+		ra, rb := sys.RegionOf(a), sys.RegionOf(b)
+		for _, p := range in.partitions {
+			if (ra == p[0] && rb == p[1]) || (ra == p[1] && rb == p[0]) {
+				return true
+			}
+		}
+		return false
+	}
+}
+
+// backbone reports whether addr is CDN/scheduler infrastructure.
+func backbone(sys *core.System, addr simnet.Addr) bool {
+	if addr < fleet.AddrBestEffBase {
+		return true // scheduler, seq server, dedicated nodes
+	}
+	if n := sys.Fleet.Node(addr); n != nil {
+		return n.Class == fleet.Dedicated
+	}
+	return false
+}
+
+func (in *Injector) begin(e Event) {
+	switch e.Kind {
+	case SchedulerOutage:
+		in.sys.SchedSvc.SetOutage(true)
+		in.logf("scheduler-outage start")
+	case SchedulerSlow:
+		in.sys.SchedSvc.SetExtraLatency(e.ExtraOWD)
+		in.logf("scheduler-slow start (+%s)", e.ExtraOWD)
+	case RegionBlackout:
+		n := in.blackout(e.Region)
+		in.logf("region-blackout start region=%d nodes=%d", e.Region, n)
+	case RegionPartition:
+		in.partitions = append(in.partitions, [2]int{e.Region, e.RegionB})
+		in.logf("region-partition start %d<->%d", e.Region, e.RegionB)
+	case ChurnStorm:
+		n := in.churnStorm(e)
+		in.logf("churn-storm start severity=%.2f hit=%d", e.Severity, n)
+	case OriginSaturation:
+		in.saturateOrigin(e.Severity)
+		in.logf("origin-saturation start factor=%.2f", e.Severity)
+	case DegradationWave:
+		if e.Region >= 0 {
+			in.perturbRegion(e.Region, e.Severity, e.ExtraOWD)
+			in.logf("degradation-wave start region=%d", e.Region)
+		} else {
+			in.rollingWave(e)
+			in.logf("degradation-wave start rolling")
+		}
+	case NATFlap:
+		in.sys.SetNATFlap(true)
+		in.logf("nat-flap start")
+	}
+}
+
+func (in *Injector) end(e Event) {
+	switch e.Kind {
+	case SchedulerOutage:
+		in.sys.SchedSvc.SetOutage(false)
+		in.logf("scheduler-outage end (dropped %d msgs)", in.sys.SchedSvc.OutageDropped)
+	case SchedulerSlow:
+		in.sys.SchedSvc.SetExtraLatency(0)
+		in.logf("scheduler-slow end")
+	case RegionBlackout:
+		n := in.restoreRegion(e.Region)
+		in.logf("region-blackout end region=%d restored=%d", e.Region, n)
+	case RegionPartition:
+		for i, p := range in.partitions {
+			if p == [2]int{e.Region, e.RegionB} {
+				in.partitions = append(in.partitions[:i], in.partitions[i+1:]...)
+				break
+			}
+		}
+		in.logf("region-partition end %d<->%d", e.Region, e.RegionB)
+	case ChurnStorm:
+		in.logf("churn-storm window end")
+	case OriginSaturation:
+		in.restoreOrigin()
+		in.logf("origin-saturation end")
+	case DegradationWave:
+		if e.Region >= 0 {
+			in.perturbRegion(e.Region, 0, 0)
+		}
+		// The rolling wave clears each region as it moves on.
+		in.logf("degradation-wave end")
+	case NATFlap:
+		in.sys.SetNATFlap(false)
+		in.logf("nat-flap end")
+	}
+}
+
+// blackout takes every online best-effort node in the region offline,
+// returning the count. Fleet.BestEffort has a stable order, keeping the
+// injection deterministic.
+func (in *Injector) blackout(region int) int {
+	n := 0
+	for _, nd := range in.sys.Fleet.BestEffort {
+		if nd.Region == region && in.sys.Net.Online(nd.Addr) {
+			in.sys.Net.SetOnline(nd.Addr, false)
+			n++
+		}
+	}
+	return n
+}
+
+// restoreRegion brings back the region's offline nodes. Nodes the churn
+// process took down independently also return here; their own recovery
+// timers will simply find them already online.
+func (in *Injector) restoreRegion(region int) int {
+	n := 0
+	for _, nd := range in.sys.Fleet.BestEffort {
+		if nd.Region == region && !in.sys.Net.Online(nd.Addr) {
+			in.sys.Net.SetOnline(nd.Addr, true)
+			n++
+		}
+	}
+	return n
+}
+
+// churnStorm drops a Severity fraction of online best-effort nodes at
+// once; each returns after an individually-drawn downtime ~Exp(Duration/3)
+// capped at the storm window, modeling correlated lifespan truncation.
+func (in *Injector) churnStorm(e Event) int {
+	hit := 0
+	for _, nd := range in.sys.Fleet.BestEffort {
+		if !in.rng.Bool(e.Severity) || !in.sys.Net.Online(nd.Addr) {
+			continue
+		}
+		in.sys.Net.SetOnline(nd.Addr, false)
+		hit++
+		down := time.Duration(in.rng.Exponential(float64(e.Duration) / 3))
+		if down > e.Duration {
+			down = e.Duration
+		}
+		if down < time.Second {
+			down = time.Second
+		}
+		addr := nd.Addr
+		in.sys.Sim.After(down, func() {
+			if !in.sys.Net.Online(addr) {
+				in.sys.Net.SetOnline(addr, true)
+			}
+		})
+	}
+	return hit
+}
+
+func (in *Injector) saturateOrigin(factor float64) {
+	for _, nd := range in.sys.Fleet.Dedicated {
+		addr := nd.Addr
+		in.sys.Net.UpdateState(addr, func(st *simnet.LinkState) {
+			in.savedUplink[addr] = st.UplinkBps
+			st.UplinkBps *= factor
+		})
+	}
+}
+
+func (in *Injector) restoreOrigin() {
+	for _, nd := range in.sys.Fleet.Dedicated {
+		addr := nd.Addr
+		if orig, ok := in.savedUplink[addr]; ok {
+			in.sys.Net.UpdateState(addr, func(st *simnet.LinkState) {
+				st.UplinkBps = orig
+			})
+			delete(in.savedUplink, addr)
+		}
+	}
+}
+
+// perturbRegion overlays (or clears, with zeros) loss/latency perturbation
+// on every best-effort node in the region.
+func (in *Injector) perturbRegion(region int, loss float64, owd time.Duration) {
+	for _, nd := range in.sys.Fleet.BestEffort {
+		if nd.Region == region {
+			in.sys.Net.SetPerturb(nd.Addr, loss, owd)
+		}
+	}
+}
+
+// rollingWave sweeps the degradation across all regions sequentially
+// within the event window.
+func (in *Injector) rollingWave(e Event) {
+	regions := in.sys.Fleet.Config().Regions
+	if regions <= 0 {
+		regions = 1
+	}
+	slice := e.Duration / time.Duration(regions)
+	now := in.sys.Sim.Now()
+	for r := 0; r < regions; r++ {
+		r := r
+		in.sys.Sim.At(now+simnet.Time(r)*simnet.Time(slice), func() {
+			in.perturbRegion(r, e.Severity, e.ExtraOWD)
+			in.logf("degradation-wave hits region=%d", r)
+		})
+		in.sys.Sim.At(now+simnet.Time(r+1)*simnet.Time(slice), func() {
+			in.perturbRegion(r, 0, 0)
+		})
+	}
+}

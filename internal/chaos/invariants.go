@@ -1,0 +1,268 @@
+package chaos
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+)
+
+// Verdict is one invariant's outcome after a scenario run.
+type Verdict struct {
+	Name   string
+	Pass   bool
+	Value  float64
+	Bound  float64
+	Detail string
+}
+
+// String renders the verdict as one line.
+func (v Verdict) String() string {
+	status := "PASS"
+	if !v.Pass {
+		status = "FAIL"
+	}
+	return fmt.Sprintf("%-22s %s  %s", v.Name, status, v.Detail)
+}
+
+// Checker observes the system at every tick of a scenario run and renders
+// a verdict at the end. Implementations are single-run, single-use.
+type Checker interface {
+	Name() string
+	// Sample is called once per runner tick with the elapsed time since
+	// the scenario run began.
+	Sample(sys *core.System, elapsed time.Duration)
+	// Verdict is called once, after the run completes.
+	Verdict(sys *core.System) Verdict
+}
+
+// Checkers builds the scenario's default invariant suite: data-plane
+// continuity over the fault window, bounded QoE degradation, recovery
+// escalation, and post-fault convergence.
+func (s Scenario) Checkers() []Checker {
+	s.applyDefaults()
+	return []Checker{
+		&continuityChecker{
+			window: [2]time.Duration{s.FirstFaultStart(), s.LastFaultEnd()},
+			min:    s.ContinuityMin,
+		},
+		&boundedQoEChecker{ceiling: s.RebufferCeiling},
+		&escalationChecker{deadline: s.EscalationDeadline},
+		&convergenceChecker{
+			faultStart: s.FirstFaultStart(),
+			faultEnd:   s.LastFaultEnd(),
+			eps:        s.ConvergeEpsilon,
+			within:     s.ConvergeWithin,
+		},
+	}
+}
+
+func totalFramesPlayed(sys *core.System) float64 {
+	var n float64
+	for _, c := range sys.Clients {
+		n += float64(c.QoE.FramesPlayed)
+	}
+	return n
+}
+
+func totalPlayStall(sys *core.System) (played, stalled float64) {
+	for _, c := range sys.Clients {
+		played += c.QoE.PlayedMs
+		stalled += c.QoE.StalledMs
+	}
+	return
+}
+
+// continuityChecker enforces data-plane continuity: during the fault
+// window clients must keep playing at least `min` of the nominal frame
+// rate. This is the control-plane-distribution invariant — the data plane
+// survives on last-known-good state while the scheduler is dark.
+type continuityChecker struct {
+	window   [2]time.Duration
+	min      float64
+	atStart  float64
+	atEnd    float64
+	clients  int
+	gotStart bool
+	gotEnd   bool
+}
+
+func (c *continuityChecker) Name() string { return "data-plane-continuity" }
+
+func (c *continuityChecker) Sample(sys *core.System, t time.Duration) {
+	if !c.gotStart && t >= c.window[0] {
+		c.gotStart = true
+		c.atStart = totalFramesPlayed(sys)
+		c.clients = len(sys.Clients)
+	}
+	if !c.gotEnd && t >= c.window[1] {
+		c.gotEnd = true
+		c.atEnd = totalFramesPlayed(sys)
+	}
+}
+
+func (c *continuityChecker) Verdict(sys *core.System) Verdict {
+	if !c.gotEnd {
+		c.atEnd = totalFramesPlayed(sys)
+	}
+	fps := 30.0
+	if len(sys.Cfg.Streams) > 0 && sys.Cfg.Streams[0].FPS > 0 {
+		fps = float64(sys.Cfg.Streams[0].FPS)
+	}
+	secs := (c.window[1] - c.window[0]).Seconds()
+	nominal := fps * secs * float64(c.clients)
+	ratio := 0.0
+	if nominal > 0 {
+		ratio = (c.atEnd - c.atStart) / nominal
+	}
+	return Verdict{
+		Name:   c.Name(),
+		Pass:   ratio >= c.min,
+		Value:  ratio,
+		Bound:  c.min,
+		Detail: fmt.Sprintf("played %.0f%% of nominal frames during fault (floor %.0f%%)", ratio*100, c.min*100),
+	}
+}
+
+// boundedQoEChecker enforces bounded QoE degradation: mean rebuffering
+// events per 100 s across the run stays under the scenario ceiling.
+type boundedQoEChecker struct {
+	ceiling float64
+}
+
+func (c *boundedQoEChecker) Name() string { return "bounded-qoe-degradation" }
+
+func (c *boundedQoEChecker) Sample(*core.System, time.Duration) {}
+
+func (c *boundedQoEChecker) Verdict(sys *core.System) Verdict {
+	v := sys.Aggregate().Rebuffer.Mean()
+	return Verdict{
+		Name:   c.Name(),
+		Pass:   v <= c.ceiling,
+		Value:  v,
+		Bound:  c.ceiling,
+		Detail: fmt.Sprintf("mean rebuffer/100s %.2f (ceiling %.1f)", v, c.ceiling),
+	}
+}
+
+// escalationChecker enforces recovery escalation: once a retransmission
+// NACK arrives (a publisher cannot serve the frame), a dedicated-CDN fetch
+// must follow within the deadline. Progress on the dedicated path clears
+// outstanding NACKs.
+type escalationChecker struct {
+	deadline     time.Duration
+	lastNacks    uint64
+	lastFetch    uint64
+	pending      bool
+	pendingSince time.Duration
+	violatedAt   time.Duration
+	violated     bool
+	nacksSeen    uint64
+}
+
+func (c *escalationChecker) Name() string { return "recovery-escalation" }
+
+func (c *escalationChecker) Sample(sys *core.System, t time.Duration) {
+	r := sys.Recovery()
+	fetchInc := r.DedicatedFetch > c.lastFetch
+	nackInc := r.RetxNacks > c.lastNacks
+	if fetchInc {
+		c.pending = false
+	}
+	if nackInc {
+		c.nacksSeen += r.RetxNacks - c.lastNacks
+		if !fetchInc && !c.pending {
+			c.pending = true
+			c.pendingSince = t
+		}
+	}
+	if c.pending && t-c.pendingSince > c.deadline && !c.violated {
+		c.violated = true
+		c.violatedAt = t
+	}
+	c.lastNacks = r.RetxNacks
+	c.lastFetch = r.DedicatedFetch
+}
+
+func (c *escalationChecker) Verdict(*core.System) Verdict {
+	detail := fmt.Sprintf("%d NACKs, all escalated to dedicated within %s", c.nacksSeen, c.deadline)
+	if c.violated {
+		detail = fmt.Sprintf("NACK unanswered past %s (at t=%s)", c.deadline, c.violatedAt)
+	}
+	return Verdict{
+		Name:   c.Name(),
+		Pass:   !c.violated,
+		Value:  float64(c.nacksSeen),
+		Bound:  c.deadline.Seconds(),
+		Detail: detail,
+	}
+}
+
+// convergenceChecker enforces post-fault convergence: the per-tick stall
+// fraction must return to within eps of the pre-fault baseline within
+// `within` of the last fault ending.
+type convergenceChecker struct {
+	faultStart time.Duration
+	faultEnd   time.Duration
+	eps        float64
+	within     time.Duration
+
+	lastPlayed  float64
+	lastStalled float64
+	baseSum     float64
+	baseN       int
+	convergedAt time.Duration
+	converged   bool
+	lastRate    float64
+}
+
+func (c *convergenceChecker) Name() string { return "post-fault-convergence" }
+
+func (c *convergenceChecker) Sample(sys *core.System, t time.Duration) {
+	played, stalled := totalPlayStall(sys)
+	dp, ds := played-c.lastPlayed, stalled-c.lastStalled
+	c.lastPlayed, c.lastStalled = played, stalled
+	rate := 0.0
+	if dp+ds > 0 {
+		rate = ds / (dp + ds)
+	}
+	c.lastRate = rate
+	switch {
+	case t <= c.faultStart:
+		c.baseSum += rate
+		c.baseN++
+	case t > c.faultEnd && !c.converged:
+		if rate <= c.baseline()+c.eps {
+			c.converged = true
+			c.convergedAt = t
+		}
+	}
+}
+
+func (c *convergenceChecker) baseline() float64 {
+	if c.baseN == 0 {
+		return 0
+	}
+	return c.baseSum / float64(c.baseN)
+}
+
+func (c *convergenceChecker) Verdict(*core.System) Verdict {
+	if !c.converged {
+		return Verdict{
+			Name:  c.Name(),
+			Pass:  false,
+			Value: c.lastRate,
+			Bound: c.baseline() + c.eps,
+			Detail: fmt.Sprintf("stall fraction %.3f never returned to baseline %.3f+%.2f",
+				c.lastRate, c.baseline(), c.eps),
+		}
+	}
+	lag := c.convergedAt - c.faultEnd
+	return Verdict{
+		Name:   c.Name(),
+		Pass:   lag <= c.within,
+		Value:  lag.Seconds(),
+		Bound:  c.within.Seconds(),
+		Detail: fmt.Sprintf("stall fraction back to baseline %s after fault end (limit %s)", lag, c.within),
+	}
+}

@@ -1,0 +1,90 @@
+package chaos
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/simnet"
+)
+
+// Report is the outcome of one scenario run on one system.
+type Report struct {
+	Scenario string
+	Timeline []string
+	Verdicts []Verdict
+
+	// Headline QoE over the whole run.
+	RebufPer100   float64
+	StallPer100   float64
+	BitrateBps    float64
+	E2EP50Ms      float64
+	OutageDropped uint64
+	Recovery      core.RecoveryCounters
+}
+
+// Pass reports whether every invariant held.
+func (r *Report) Pass() bool {
+	for _, v := range r.Verdicts {
+		if !v.Pass {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the report: timeline, verdicts, QoE.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "scenario %s\n", r.Scenario)
+	for _, l := range r.Timeline {
+		fmt.Fprintf(&b, "  %s\n", l)
+	}
+	for _, v := range r.Verdicts {
+		fmt.Fprintf(&b, "  %s\n", v)
+	}
+	fmt.Fprintf(&b, "  rebuf/100s=%.2f stall/100s=%.0fms bitrate=%.2fMbps e2eP50=%.0fms\n",
+		r.RebufPer100, r.StallPer100, r.BitrateBps/1e6, r.E2EP50Ms)
+	return b.String()
+}
+
+// Run injects the scenario into sys and drives the simulation to the
+// scenario's end in one-second ticks, sampling every checker at each tick.
+// Call after the system has been started and clients added (warm-up
+// belongs to the caller; event offsets are relative to this call). Pass
+// nil checkers to use the scenario's default invariant suite.
+func Run(sys *core.System, sc Scenario, checkers []Checker) *Report {
+	sc.applyDefaults()
+	if checkers == nil {
+		checkers = sc.Checkers()
+	}
+	inj := NewInjector(sys, sc)
+	inj.Schedule(sc)
+
+	start := sys.Sim.Now()
+	total := sc.Total()
+	tick := time.Second
+	for elapsed := tick; elapsed <= total; elapsed += tick {
+		sys.Sim.Run(start + simnet.Time(elapsed))
+		for _, c := range checkers {
+			c.Sample(sys, elapsed)
+		}
+	}
+
+	agg := sys.Aggregate()
+	rep := &Report{
+		Scenario:      sc.Name,
+		Timeline:      inj.Timeline,
+		RebufPer100:   agg.Rebuffer.Mean(),
+		StallPer100:   agg.StallTime.Mean(),
+		BitrateBps:    agg.Bitrate.Mean(),
+		E2EP50Ms:      agg.E2EMs.Percentile(50),
+		OutageDropped: sys.SchedSvc.OutageDropped,
+		Recovery:      sys.Recovery(),
+	}
+	for _, c := range checkers {
+		rep.Verdicts = append(rep.Verdicts, c.Verdict(sys))
+	}
+	return rep
+}

@@ -1,0 +1,299 @@
+// Package chaos is a deterministic scenario-driven fault-injection engine
+// layered on simnet, fleet, scheduler and core.System. A Scenario is a
+// seeded timeline of typed fault events (scheduler outages, region
+// blackouts and partitions, churn storms, origin saturation, degradation
+// waves, NAT flaps); an Injector schedules the events on the simulator;
+// InvariantCheckers sampled throughout the run decide whether the system
+// upheld the paper's resilience claims — above all that the data plane
+// survives control-plane failure on last-known-good state.
+//
+// Everything is seeded: the same scenario on the same system seed yields an
+// identical event timeline, identical QoE numbers, and identical invariant
+// verdicts.
+package chaos
+
+import (
+	"fmt"
+	"time"
+)
+
+// Kind enumerates the fault event types.
+type Kind uint8
+
+const (
+	// SchedulerOutage drops every control-plane message at the scheduler
+	// service: no candidate responses, no heartbeat ingest. The data
+	// plane must keep flowing on cached candidates.
+	SchedulerOutage Kind = iota
+	// SchedulerSlow leaves the scheduler alive but adds ExtraOWD of
+	// processing latency to every recommendation.
+	SchedulerSlow
+	// RegionBlackout takes every best-effort node in Region offline for
+	// the window (correlated power/transit failure).
+	RegionBlackout
+	// RegionPartition severs overlay paths between Region and RegionB:
+	// traffic between the two regions is dropped unless one endpoint is
+	// dedicated-CDN/scheduler infrastructure (the CDN backbone survives
+	// inter-ISP peering disputes; peer-to-peer paths do not).
+	RegionPartition
+	// ChurnStorm truncates the lifespan of a correlated Severity fraction
+	// of best-effort nodes at Start: they all drop at once and return
+	// after short, individually-drawn downtimes within ~Duration.
+	ChurnStorm
+	// OriginSaturation scales every dedicated node's uplink capacity by
+	// Severity (e.g. 0.25 = the origin retains a quarter of its
+	// capacity) for the window.
+	OriginSaturation
+	// DegradationWave overlays Severity extra loss and ExtraOWD extra
+	// delay on best-effort nodes: on one region when Region >= 0, or
+	// rolling sequentially across all regions when Region == -1.
+	DegradationWave
+	// NATFlap breaks hole punching to every non-public edge node for the
+	// window (STUN/relay-assist infrastructure failure).
+	NATFlap
+)
+
+// String names the event kind.
+func (k Kind) String() string {
+	switch k {
+	case SchedulerOutage:
+		return "scheduler-outage"
+	case SchedulerSlow:
+		return "scheduler-slow"
+	case RegionBlackout:
+		return "region-blackout"
+	case RegionPartition:
+		return "region-partition"
+	case ChurnStorm:
+		return "churn-storm"
+	case OriginSaturation:
+		return "origin-saturation"
+	case DegradationWave:
+		return "degradation-wave"
+	case NATFlap:
+		return "nat-flap"
+	default:
+		return fmt.Sprintf("kind(%d)", k)
+	}
+}
+
+// Event is one fault on the scenario timeline. Start is relative to the
+// moment the scenario run begins (after any caller-side warm-up).
+type Event struct {
+	Kind     Kind
+	Start    time.Duration
+	Duration time.Duration
+	// Region scopes RegionBlackout/RegionPartition/DegradationWave; -1
+	// on a DegradationWave means a rolling sweep across all regions.
+	Region int
+	// RegionB is the second region of a RegionPartition.
+	RegionB int
+	// Severity is kind-specific: node fraction for ChurnStorm, capacity
+	// factor for OriginSaturation, extra loss rate for DegradationWave.
+	Severity float64
+	// ExtraOWD is the added latency for SchedulerSlow/DegradationWave.
+	ExtraOWD time.Duration
+}
+
+// End returns the event's end offset.
+func (e Event) End() time.Duration { return e.Start + e.Duration }
+
+// Scenario is a named, seeded fault timeline plus the bounds its invariant
+// checkers enforce.
+type Scenario struct {
+	Name string
+	// Seed salts the injector's RNG (node selection in churn storms).
+	// Zero means derive from the system seed.
+	Seed   uint64
+	Events []Event
+	// Tail is how long the run continues after the last fault ends, so
+	// post-fault convergence can be observed.
+	Tail time.Duration
+
+	// ContinuityMin is the data-plane-continuity floor: fraction of
+	// nominal frames that must still be played during the fault window.
+	ContinuityMin float64
+	// RebufferCeiling bounds mean rebuffering events per 100 s across
+	// the whole run (bounded-QoE-degradation).
+	RebufferCeiling float64
+	// EscalationDeadline bounds how long a retransmission NACK may stay
+	// unanswered before a dedicated-CDN fetch must have occurred.
+	EscalationDeadline time.Duration
+	// ConvergeEpsilon and ConvergeWithin parameterize post-fault
+	// convergence: the windowed stall fraction must return to within
+	// epsilon (absolute) of the pre-fault baseline within this long of
+	// the last fault ending.
+	ConvergeEpsilon float64
+	ConvergeWithin  time.Duration
+}
+
+// applyDefaults fills unset invariant bounds with permissive defaults.
+func (s *Scenario) applyDefaults() {
+	if s.ContinuityMin == 0 {
+		s.ContinuityMin = 0.5
+	}
+	if s.RebufferCeiling == 0 {
+		s.RebufferCeiling = 12
+	}
+	if s.EscalationDeadline == 0 {
+		s.EscalationDeadline = 10 * time.Second
+	}
+	if s.ConvergeEpsilon == 0 {
+		s.ConvergeEpsilon = 0.05
+	}
+	if s.ConvergeWithin == 0 {
+		s.ConvergeWithin = 30 * time.Second
+	}
+	if s.Tail == 0 {
+		s.Tail = 30 * time.Second
+	}
+}
+
+// FirstFaultStart returns the earliest event start (0 if no events).
+func (s Scenario) FirstFaultStart() time.Duration {
+	if len(s.Events) == 0 {
+		return 0
+	}
+	first := s.Events[0].Start
+	for _, e := range s.Events[1:] {
+		if e.Start < first {
+			first = e.Start
+		}
+	}
+	return first
+}
+
+// LastFaultEnd returns the latest event end (0 if no events).
+func (s Scenario) LastFaultEnd() time.Duration {
+	var last time.Duration
+	for _, e := range s.Events {
+		if e.End() > last {
+			last = e.End()
+		}
+	}
+	return last
+}
+
+// Total returns the scenario run length: last fault end plus tail.
+func (s Scenario) Total() time.Duration { return s.LastFaultEnd() + s.Tail }
+
+// Catalog returns the named scenarios the resilience experiments run. The
+// scheduler-outage timeline is fixed at 60 s of control-plane death
+// mid-run regardless of experiment scale — the headline drill.
+func Catalog() []Scenario {
+	return []Scenario{
+		SchedulerOutageScenario(),
+		SchedulerSlowScenario(),
+		RegionBlackoutScenario(),
+		RegionPartitionScenario(),
+		ChurnStormScenario(),
+		OriginSaturationScenario(),
+		DegradationWaveScenario(),
+		NATFlapScenario(),
+	}
+}
+
+// SchedulerOutageScenario kills the control plane for 60 s after a 30 s
+// pre-fault baseline. Data-plane continuity is the invariant under test:
+// clients must keep playing from cached candidates the whole time.
+func SchedulerOutageScenario() Scenario {
+	return Scenario{
+		Name: "scheduler-outage",
+		Events: []Event{
+			{Kind: SchedulerOutage, Start: 30 * time.Second, Duration: 60 * time.Second},
+		},
+		Tail:          45 * time.Second,
+		ContinuityMin: 0.6,
+	}
+}
+
+// SchedulerSlowScenario degrades rather than kills the control plane:
+// every recommendation is delayed by an extra 250 ms for 40 s. Startup and
+// switching must tolerate stale, slow candidates.
+func SchedulerSlowScenario() Scenario {
+	return Scenario{
+		Name: "scheduler-slow",
+		Events: []Event{
+			{Kind: SchedulerSlow, Start: 20 * time.Second, Duration: 40 * time.Second, ExtraOWD: 250 * time.Millisecond},
+		},
+		Tail: 40 * time.Second,
+	}
+}
+
+// RegionBlackoutScenario takes every best-effort node in region 0 down for
+// 40 s: viewers relaying from that region must recover via other
+// candidates or dedicated fallback.
+func RegionBlackoutScenario() Scenario {
+	return Scenario{
+		Name: "region-blackout",
+		Events: []Event{
+			{Kind: RegionBlackout, Start: 20 * time.Second, Duration: 40 * time.Second, Region: 0},
+		},
+		Tail: 40 * time.Second,
+	}
+}
+
+// RegionPartitionScenario severs overlay paths between regions 0 and 1 for
+// 40 s while the CDN backbone stays reachable.
+func RegionPartitionScenario() Scenario {
+	return Scenario{
+		Name: "region-partition",
+		Events: []Event{
+			{Kind: RegionPartition, Start: 20 * time.Second, Duration: 40 * time.Second, Region: 0, RegionB: 1},
+		},
+		Tail: 40 * time.Second,
+	}
+}
+
+// ChurnStormScenario drops half the best-effort fleet at once, with
+// individual recoveries spread over the following ~30 s (correlated
+// lifespan truncation — a vendor-fleet mass restart).
+func ChurnStormScenario() Scenario {
+	return Scenario{
+		Name: "churn-storm",
+		Events: []Event{
+			{Kind: ChurnStorm, Start: 20 * time.Second, Duration: 30 * time.Second, Severity: 0.5},
+		},
+		Tail: 40 * time.Second,
+	}
+}
+
+// OriginSaturationScenario squeezes every dedicated node to a quarter of
+// its uplink for 40 s: the window where best-effort relays must carry the
+// load because the origin cannot.
+func OriginSaturationScenario() Scenario {
+	return Scenario{
+		Name: "origin-saturation",
+		Events: []Event{
+			{Kind: OriginSaturation, Start: 20 * time.Second, Duration: 40 * time.Second, Severity: 0.25},
+		},
+		Tail:            40 * time.Second,
+		RebufferCeiling: 25,
+	}
+}
+
+// DegradationWaveScenario rolls elevated loss and delay across every
+// region in sequence over 48 s — the temporal-locality degradation the
+// paper measures, at regional scale.
+func DegradationWaveScenario() Scenario {
+	return Scenario{
+		Name: "degradation-wave",
+		Events: []Event{
+			{Kind: DegradationWave, Start: 20 * time.Second, Duration: 48 * time.Second,
+				Region: -1, Severity: 0.08, ExtraOWD: 150 * time.Millisecond},
+		},
+		Tail: 40 * time.Second,
+	}
+}
+
+// NATFlapScenario breaks hole punching to all non-public edges for 40 s:
+// new relay connections fail; established ones keep flowing.
+func NATFlapScenario() Scenario {
+	return Scenario{
+		Name: "nat-flap",
+		Events: []Event{
+			{Kind: NATFlap, Start: 20 * time.Second, Duration: 40 * time.Second},
+		},
+		Tail: 40 * time.Second,
+	}
+}

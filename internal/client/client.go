@@ -346,8 +346,11 @@ type Client struct {
 	EdgeSwitches    uint64
 	SuggestionsRecv uint64
 	GapRepairs      uint64
-	ABRUp           uint64
-	ABRDown         uint64
+	// RetxNacks counts publisher "cannot serve" responses that forced
+	// escalation to dedicated-CDN recovery.
+	RetxNacks uint64
+	ABRUp     uint64
+	ABRDown   uint64
 
 	lastVariantSwitch simnet.Time
 	lastStallAt       simnet.Time

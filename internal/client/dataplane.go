@@ -288,6 +288,7 @@ func (c *Client) onRetxNack(m *transport.RetxNack) {
 	}
 	a.beUnavailable = true
 	a.retxPending = false
+	c.RetxNacks++
 	c.fetchDedicated(m.Dts, a)
 }
 

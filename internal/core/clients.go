@@ -7,6 +7,7 @@ import (
 	"repro/internal/fleet"
 	"repro/internal/media"
 	"repro/internal/metrics"
+	"repro/internal/nat"
 	"repro/internal/scheduler"
 	"repro/internal/simnet"
 	"repro/internal/stats"
@@ -106,9 +107,20 @@ func (s *System) AddClient(spec ClientSpec) *client.Client {
 	return c
 }
 
+// SetNATFlap toggles an injected NAT-infrastructure fault: while active,
+// hole punching to every non-public edge fails, as if the STUN/relay
+// assist path is down. Memoized outcomes are not poisoned — traversal
+// resumes with the pre-fault pair decisions when the flap lifts.
+func (s *System) SetNATFlap(active bool) { s.natFlap = active }
+
 // CanConnect memoizes NAT traversal outcomes per (client, edge) pair: a
 // pair either punches through or it does not, stable for the session.
 func (s *System) CanConnect(clientAddr, edgeAddr simnet.Addr) bool {
+	if s.natFlap {
+		if n := s.Fleet.Node(edgeAddr); n != nil && n.NAT != nat.Public {
+			return false
+		}
+	}
 	key := uint64(clientAddr)<<32 | uint64(edgeAddr)
 	if v, ok := s.natPair[key]; ok {
 		return v
@@ -220,6 +232,7 @@ type RecoveryCounters struct {
 	FullFallbacks   uint64
 	EdgeSwitches    uint64
 	GapRepairs      uint64
+	RetxNacks       uint64
 	RetxRequests    int
 	RetxSucceeded   int
 }
@@ -235,6 +248,7 @@ func (s *System) Recovery() RecoveryCounters {
 		r.FullFallbacks += c.FullFallbacks
 		r.EdgeSwitches += c.EdgeSwitches
 		r.GapRepairs += c.GapRepairs
+		r.RetxNacks += c.RetxNacks
 		r.RetxRequests += c.QoE.RetxRequests
 		r.RetxSucceeded += c.QoE.RetxSucceeded
 	}

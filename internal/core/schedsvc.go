@@ -6,6 +6,8 @@
 package core
 
 import (
+	"time"
+
 	"repro/internal/scheduler"
 	"repro/internal/simnet"
 	"repro/internal/transport"
@@ -26,7 +28,29 @@ type SchedService struct {
 	// node failed.
 	Recommended uint64
 	Reported    uint64
+
+	// outage simulates a full control-plane failure: every inbound
+	// message is silently discarded, so heartbeats go stale and
+	// candidate requests never answer. The data plane must survive on
+	// last-known-good state.
+	outage bool
+	// extraLatency models a slow (overloaded) scheduler: it is added to
+	// the modeled processing latency of each recommendation.
+	extraLatency time.Duration
+	// OutageDropped counts messages discarded while in outage.
+	OutageDropped uint64
 }
+
+// SetOutage turns full control-plane failure on or off. During an outage
+// the service drops all inbound messages (counted in OutageDropped).
+func (s *SchedService) SetOutage(down bool) { s.outage = down }
+
+// Outage reports whether the service is in an injected outage.
+func (s *SchedService) Outage() bool { return s.outage }
+
+// SetExtraLatency adds delay to every recommendation response, modeling a
+// degraded-but-alive scheduler. Zero restores normal speed.
+func (s *SchedService) SetExtraLatency(d time.Duration) { s.extraLatency = d }
 
 // NewSchedService creates the service; register svc.Handle as the handler
 // for addr.
@@ -36,6 +60,10 @@ func NewSchedService(addr simnet.Addr, sched *scheduler.Scheduler, sim *simnet.S
 
 // Handle processes control-plane messages.
 func (s *SchedService) Handle(from simnet.Addr, msg any) {
+	if s.outage {
+		s.OutageDropped++
+		return
+	}
 	switch m := msg.(type) {
 	case *scheduler.Heartbeat:
 		s.Sched.Ingest(*m)
@@ -50,6 +78,7 @@ func (s *SchedService) Handle(from simnet.Addr, msg any) {
 		// The modeled processing latency delays the response; the
 		// network adds its own RTT on top, reproducing the Fig 12a
 		// recommendation-time distribution end to end.
+		lat += s.extraLatency
 		s.sim.After(lat, func() {
 			s.net.Send(s.Addr, from, transport.WireSize(resp), resp)
 		})

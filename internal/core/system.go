@@ -120,6 +120,7 @@ type System struct {
 	streamHost   map[media.StreamID]simnet.Addr
 	nextClient   simnet.Addr
 	natPair      map[uint64]bool
+	natFlap      bool
 	clientRegion map[simnet.Addr]int
 	clientRNG    *stats.RNG
 }
@@ -360,3 +361,7 @@ func (s *System) regionOf(a simnet.Addr) int {
 	}
 	return 0
 }
+
+// RegionOf exposes the address→region mapping for fault-injection scoping
+// (region blackouts, partitions, degradation waves).
+func (s *System) RegionOf(a simnet.Addr) int { return s.regionOf(a) }

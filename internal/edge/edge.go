@@ -392,6 +392,12 @@ func (n *Node) onCDNFrame(m *transport.CDNFrame) {
 	if !ok {
 		return // no active relay for this stream
 	}
+	// The feed stamps the origin's authoritative substream count on every
+	// record; adopt it so a missing or stale local hint (a chaos-induced
+	// resubscription, a K change at the origin) cannot mis-partition.
+	if m.K > 0 && n.substreamCountHint(m.Header.Stream) != m.K {
+		n.SetSubstreamCount(m.Header.Stream, m.K)
+	}
 	count := uint16(transport.PacketsForFrame(int(m.Header.Size)))
 	if !m.Recovered {
 		// Monotone observation only: a reordered or duplicate header
@@ -431,12 +437,23 @@ func (n *Node) onCDNFrame(m *transport.CDNFrame) {
 	}
 }
 
-// substreamCountHint returns K for a stream, defaulting to 1 when unset.
+// substreamCountHint returns K for a stream. When no hint has been set
+// (deployment wiring skipped, or state lost across a resubscription) it
+// infers a floor from the substreams this node actually relays: holding a
+// relay for substream s proves K > s. The inference can undercount — the
+// stamped CDNFrame.K in onCDNFrame is the authoritative correction — but
+// it can never place a frame on a relay that provably does not own it.
 func (n *Node) substreamCountHint(id media.StreamID) int {
 	if k, ok := n.substreamCount[id]; ok {
 		return k
 	}
-	return 1
+	k := 1
+	for _, key := range n.relayOrder {
+		if key.Stream == id && int(key.Substream)+1 > k {
+			k = int(key.Substream) + 1
+		}
+	}
+	return k
 }
 
 // SetSubstreamCount tells the node how many substreams a stream has, so it

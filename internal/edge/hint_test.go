@@ -1,0 +1,126 @@
+package edge
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/cdn"
+	"repro/internal/media"
+	"repro/internal/simnet"
+	"repro/internal/stats"
+	"repro/internal/transport"
+)
+
+// newHintHarness is newHarness without the deployment-wiring
+// SetSubstreamCount call: the node must survive on inference plus the
+// stamped CDNFrame.K, the situation a chaos-induced resubscription leaves
+// it in.
+func newHintHarness(t *testing.T, k int) *harness {
+	t.Helper()
+	h := &harness{sim: simnet.NewSim()}
+	rng := stats.NewRNG(3)
+	h.net = simnet.NewNetwork(h.sim, rng.Fork())
+	h.net.Register(cdnAddr, simnet.LinkState{UplinkBps: 10e9, BaseOWD: 2 * time.Millisecond}, nil)
+	h.net.Register(schedAddr, simnet.LinkState{UplinkBps: 10e9, BaseOWD: 2 * time.Millisecond},
+		func(from simnet.Addr, msg any) { h.sched = append(h.sched, msg) })
+	h.net.Register(edgeAddr, simnet.LinkState{UplinkBps: 50e6, BaseOWD: time.Millisecond}, nil)
+	h.net.Register(clientAddr, simnet.LinkState{UplinkBps: 100e6, BaseOWD: time.Millisecond},
+		func(from simnet.Addr, msg any) { h.inbox = append(h.inbox, msg) })
+
+	h.cdn = cdn.New(cdnAddr, h.sim, h.net, rng.Fork())
+	h.net.SetHandler(cdnAddr, h.cdn.Handle)
+	h.cdn.HostStream(media.SourceConfig{Stream: 1, FPS: 30}, k)
+
+	h.node = New(edgeAddr, Config{CDN: cdnAddr, Scheduler: schedAddr}, h.sim, h.net, rng.Fork())
+	h.net.SetHandler(edgeAddr, h.node.Handle)
+	return h
+}
+
+// TestHintInferredFromRelaySet: with no hint configured, holding a relay
+// for substream s proves K > s, so the inference floor must kick in
+// instead of the old default of 1 (which made multi-relay nodes serve
+// every substream's frames on whichever relay came first).
+func TestHintInferredFromRelaySet(t *testing.T) {
+	h := newHintHarness(t, 4)
+	h.clientSend(&transport.SubscribeReq{Key: key(3)})
+	h.clientSend(&transport.SubscribeReq{Key: key(1)})
+	h.sim.Run(100 * time.Millisecond)
+	if got := h.node.substreamCountHint(1); got != 4 {
+		t.Fatalf("inferred hint = %d, want 4 (max relayed substream 3 + 1)", got)
+	}
+	// A stream with no relays still defaults to 1.
+	if got := h.node.substreamCountHint(99); got != 1 {
+		t.Fatalf("hint for unknown stream = %d, want 1", got)
+	}
+}
+
+// TestMissingHintDoesNotMisPartition: a node relaying two substreams with
+// no configured hint must still place every frame on the relay the CDN's
+// partitioner assigned it to.
+func TestMissingHintDoesNotMisPartition(t *testing.T) {
+	h := newHintHarness(t, 4)
+	h.clientSend(&transport.SubscribeReq{Key: key(1)})
+	h.clientSend(&transport.SubscribeReq{Key: key(2)})
+	h.cdn.Start()
+	h.node.Start()
+	h.sim.Run(3 * time.Second)
+
+	pkts := h.packets()
+	if len(pkts) == 0 {
+		t.Fatal("no packets relayed")
+	}
+	part, _ := h.cdn.Partitioner(1)
+	for _, p := range pkts {
+		if part.Assign(p.Header.Dts) != p.Key.Substream {
+			t.Fatalf("dts %d delivered on substream %d, CDN assigns %d",
+				p.Header.Dts, p.Key.Substream, part.Assign(p.Header.Dts))
+		}
+	}
+}
+
+// TestStaleHintCorrectedByFrameStamp: a wrong (stale) configured hint is
+// overwritten by the authoritative K stamped on the CDN feed, so the
+// relay's partitioning converges to the origin's.
+func TestStaleHintCorrectedByFrameStamp(t *testing.T) {
+	h := newHintHarness(t, 4)
+	h.node.SetSubstreamCount(1, 2) // stale: origin actually runs K=4
+	h.clientSend(&transport.SubscribeReq{Key: key(2)})
+	h.cdn.Start()
+	h.node.Start()
+	h.sim.Run(2 * time.Second)
+
+	if got := h.node.substreamCountHint(1); got != 4 {
+		t.Fatalf("hint = %d after receiving stamped frames, want 4", got)
+	}
+	// And the frames actually delivered respect the corrected partition.
+	part, _ := h.cdn.Partitioner(1)
+	for _, p := range h.packets() {
+		if part.Assign(p.Header.Dts) != p.Key.Substream {
+			t.Fatalf("dts %d on wrong substream after correction", p.Header.Dts)
+		}
+	}
+}
+
+// TestFrameStampRoundTrip: the CDN stamps its partitioner K on every
+// frame record it sends.
+func TestFrameStampRoundTrip(t *testing.T) {
+	h := newHintHarness(t, 4)
+	var got []*transport.CDNFrame
+	h.net.SetHandler(clientAddr, func(from simnet.Addr, msg any) {
+		if f, ok := msg.(*transport.CDNFrame); ok {
+			got = append(got, f)
+		}
+	})
+	sub := &transport.CDNSubscribeReq{Stream: 1, Substream: 0, FullStream: true}
+	h.net.Send(clientAddr, cdnAddr, transport.WireSize(sub), sub)
+	h.cdn.Start()
+	h.sim.Run(time.Second)
+	if len(got) == 0 {
+		t.Fatal("no CDN frames received")
+	}
+	for _, f := range got {
+		if f.K != 4 {
+			t.Fatalf("frame stamped K=%d, want 4", f.K)
+		}
+	}
+}

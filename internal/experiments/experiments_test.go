@@ -53,6 +53,31 @@ func TestPairedExperimentSmoke(t *testing.T) {
 	}
 }
 
+// The headline chaos drill: a 60 s scheduler outage mid-run must leave the
+// RLive data plane playing on cached candidates.
+func TestChaosSchedulerOutageDrill(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos drill skipped in -short mode")
+	}
+	res := Registry["chaos-scheduler-outage"](tiny)
+	if len(res.Tables) < 2 {
+		t.Fatalf("unexpected result shape: %d tables", len(res.Tables))
+	}
+	inv := res.Tables[0]
+	found := false
+	for _, row := range inv.Rows {
+		if row[0] == "data-plane-continuity" {
+			found = true
+			if row[1] != "PASS" {
+				t.Fatalf("data-plane-continuity did not pass for rlive: %v", row)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no data-plane-continuity row in invariant table")
+	}
+}
+
 func TestFig1bMatchesPaperBands(t *testing.T) {
 	res := Fig1bCapacity(tiny)
 	rows := res.Tables[0].Rows

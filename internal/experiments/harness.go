@@ -174,6 +174,15 @@ var Registry = map[string]func(Scale) *Result{
 	"abl-hash":      AblationPartitionHash,
 	"abl-redundant": AblationRedundancy,
 	"abl-nat":       AblationNATRefinement,
+
+	"chaos-scheduler-outage":  ChaosSchedulerOutage,
+	"chaos-scheduler-slow":    ChaosSchedulerSlow,
+	"chaos-region-blackout":   ChaosRegionBlackout,
+	"chaos-region-partition":  ChaosRegionPartition,
+	"chaos-churn-storm":       ChaosChurnStorm,
+	"chaos-origin-saturation": ChaosOriginSaturation,
+	"chaos-degradation-wave":  ChaosDegradationWave,
+	"chaos-nat-flap":          ChaosNATFlap,
 }
 
 // IDs returns the registered experiment IDs in a stable order.
@@ -184,5 +193,8 @@ func IDs() []string {
 		"fig13", "tab4", "fallback",
 		"abl-chain", "abl-k", "abl-probe", "abl-explore", "abl-hash", "abl-redundant",
 		"abl-nat",
+		"chaos-scheduler-outage", "chaos-scheduler-slow", "chaos-region-blackout", "chaos-region-partition",
+		"chaos-churn-storm", "chaos-origin-saturation", "chaos-degradation-wave",
+		"chaos-nat-flap",
 	}
 }

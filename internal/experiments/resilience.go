@@ -1,0 +1,106 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/chaos"
+	"repro/internal/client"
+	"repro/internal/core"
+	"repro/internal/metrics"
+)
+
+// chaosSystem builds and warms up one deployment for a chaos drill:
+// moderate CDN pressure (so the delivery mode actually matters), churn
+// on, clients ramped in and given a pre-fault window to engage RLive and
+// cache scheduler candidates.
+func chaosSystem(sc Scale, mode client.Mode) *core.System {
+	if sc.Clients < 16 {
+		sc.Clients = 16
+	}
+	if sc.BestEffort < 32 {
+		sc.BestEffort = 32
+	}
+	s := core.NewSystem(core.Config{
+		Seed:               sc.Seed,
+		NumDedicated:       1,
+		NumBestEffort:      sc.BestEffort,
+		Mode:               mode,
+		ABRLadder:          abLadder,
+		DedicatedUplinkBps: 2.9e6 * float64(sc.Clients),
+		ChurnEnabled:       true,
+		LifespanMedian:     5 * time.Minute,
+	})
+	s.Start()
+	for i := 0; i < sc.Clients; i++ {
+		s.AddClient(core.ClientSpec{Region: i % 2, ISP: i % 2})
+		s.Run(500 * time.Millisecond / time.Duration(max(1, sc.Clients/16)))
+	}
+	s.Run(5 * time.Second)
+	return s
+}
+
+// chaosExperiment runs one scenario as a paired A/B — RLive vs CDN-only
+// under the same seed and fault timeline — and reports invariant verdicts
+// for both modes plus the QoE delta.
+func chaosExperiment(scen chaos.Scenario) func(Scale) *Result {
+	return func(sc Scale) *Result {
+		id := "chaos-" + scen.Name
+
+		rlive := chaosSystem(sc, client.ModeRLive)
+		repR := chaos.Run(rlive, scen, nil)
+		cdn := chaosSystem(sc, client.ModeCDNOnly)
+		repC := chaos.Run(cdn, scen, nil)
+
+		inv := &Table{ID: id, Title: fmt.Sprintf("Invariants under %s", scen.Name),
+			Header: []string{"invariant", "rlive", "cdn-only", "detail (rlive)"}}
+		for i, v := range repR.Verdicts {
+			st := func(pass bool) string {
+				if pass {
+					return "PASS"
+				}
+				return "FAIL"
+			}
+			inv.AddRow(v.Name, st(v.Pass), st(repC.Verdicts[i].Pass), v.Detail)
+		}
+
+		qoe := &Table{ID: id, Title: "QoE under fault: RLive vs CDN-only",
+			Header: []string{"metric", "rlive", "cdn-only", "diff"}}
+		qoe.AddRow("rebuffering /100s", f2(repR.RebufPer100), f2(repC.RebufPer100),
+			pct(metrics.RelDiff(repR.RebufPer100, repC.RebufPer100)))
+		qoe.AddRow("stall ms /100s", f0(repR.StallPer100), f0(repC.StallPer100),
+			pct(metrics.RelDiff(repR.StallPer100, repC.StallPer100)))
+		qoe.AddRow("bitrate (Mbps)", f2(repR.BitrateBps/1e6), f2(repC.BitrateBps/1e6),
+			pct(metrics.RelDiff(repR.BitrateBps, repC.BitrateBps)))
+		qoe.AddRow("E2E latency P50 (ms)", f0(repR.E2EP50Ms), f0(repC.E2EP50Ms),
+			pct(metrics.RelDiff(repR.E2EP50Ms, repC.E2EP50Ms)))
+
+		rec := &Table{ID: id, Title: "Recovery activity (rlive run)",
+			Header: []string{"counter", "value"}}
+		rec.AddRow("scheduler msgs dropped", fmt.Sprint(repR.OutageDropped))
+		rec.AddRow("retx NACKs", fmt.Sprint(repR.Recovery.RetxNacks))
+		rec.AddRow("dedicated fetches", fmt.Sprint(repR.Recovery.DedicatedFetch))
+		rec.AddRow("substream switches", fmt.Sprint(repR.Recovery.SubstreamSwitch))
+		rec.AddRow("edge switches", fmt.Sprint(repR.Recovery.EdgeSwitches))
+		rec.AddRow("full fallbacks", fmt.Sprint(repR.Recovery.FullFallbacks))
+
+		tl := &Table{ID: id, Title: "Injected fault timeline (rlive run)",
+			Header: []string{"event"}}
+		for _, l := range repR.Timeline {
+			tl.AddRow(l)
+		}
+		return &Result{ID: id, Tables: []*Table{inv, qoe, rec, tl}}
+	}
+}
+
+// The chaos-* experiment runners, one per catalog scenario.
+var (
+	ChaosSchedulerOutage  = chaosExperiment(chaos.SchedulerOutageScenario())
+	ChaosSchedulerSlow    = chaosExperiment(chaos.SchedulerSlowScenario())
+	ChaosRegionBlackout   = chaosExperiment(chaos.RegionBlackoutScenario())
+	ChaosRegionPartition  = chaosExperiment(chaos.RegionPartitionScenario())
+	ChaosChurnStorm       = chaosExperiment(chaos.ChurnStormScenario())
+	ChaosOriginSaturation = chaosExperiment(chaos.OriginSaturationScenario())
+	ChaosDegradationWave  = chaosExperiment(chaos.DegradationWaveScenario())
+	ChaosNATFlap          = chaosExperiment(chaos.NATFlapScenario())
+)

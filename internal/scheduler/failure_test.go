@@ -26,6 +26,52 @@ func TestFailureWindowResets(t *testing.T) {
 	}
 }
 
+// TestBlacklistExpiresAndNodeRecovers covers the full blacklist lifecycle
+// from DESIGN.md: three strikes inside the 30 s window blacklist the node
+// for BlacklistFor; once that cooldown lapses (and a fresh heartbeat keeps
+// the node non-stale) the node is recommendable again; and the strike
+// counter starts clean, so two fresh failures do not instantly re-ban it.
+func TestBlacklistExpiresAndNodeRecovers(t *testing.T) {
+	f := newFixture(Config{TopK: 5, BlacklistFor: time.Minute})
+	f.addNode(910, 0, 0, 5)
+
+	// Three strikes in-window: blacklisted.
+	f.s.ReportFailure(910)
+	f.s.ReportFailure(910)
+	f.s.ReportFailure(910)
+	if cands, _ := f.s.Recommend(SubstreamKey{Stream: 1}, ClientInfo{}); len(cands) != 0 {
+		t.Fatal("node recommendable right after third strike")
+	}
+
+	// Just before the cooldown lapses: still blacklisted. Heartbeats keep
+	// arriving (a blacklisted node still reports), so staleness is not
+	// what is excluding it.
+	f.now = 59 * time.Second
+	f.s.Ingest(Heartbeat{Addr: 910, ResidualBps: 50e6, ConnSuccess: 0.95, QuotaLeft: 5})
+	if cands, _ := f.s.Recommend(SubstreamKey{Stream: 1}, ClientInfo{}); len(cands) != 0 {
+		t.Fatal("node recommendable before blacklist expiry")
+	}
+
+	// Past the cooldown: recovered.
+	f.now = 61 * time.Second
+	f.s.Ingest(Heartbeat{Addr: 910, ResidualBps: 50e6, ConnSuccess: 0.95, QuotaLeft: 5})
+	if cands, _ := f.s.Recommend(SubstreamKey{Stream: 1}, ClientInfo{}); len(cands) != 1 {
+		t.Fatal("node not recommendable after blacklist expiry")
+	}
+
+	// The strike counter was reset on blacklisting: two new failures are
+	// not enough to re-ban (the third is).
+	f.s.ReportFailure(910)
+	f.s.ReportFailure(910)
+	if cands, _ := f.s.Recommend(SubstreamKey{Stream: 1}, ClientInfo{}); len(cands) != 1 {
+		t.Fatal("node re-blacklisted after only two post-recovery strikes")
+	}
+	f.s.ReportFailure(910)
+	if cands, _ := f.s.Recommend(SubstreamKey{Stream: 1}, ClientInfo{}); len(cands) != 0 {
+		t.Fatal("third post-recovery strike did not re-blacklist")
+	}
+}
+
 func TestFailureDecaysSuccessPrior(t *testing.T) {
 	f := newFixture(Config{TopK: 5})
 	f.addNode(901, 0, 0, 5)

@@ -1,0 +1,153 @@
+package simnet
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/stats"
+)
+
+func faultFixture(t *testing.T) (*Sim, *Network) {
+	t.Helper()
+	sim := NewSim()
+	net := NewNetwork(sim, stats.NewRNG(1))
+	return sim, net
+}
+
+// quiet is a link state with deterministic timing: no loss, no jitter, no
+// degradation episodes, generous uplink.
+var quiet = LinkState{UplinkBps: 100e6, BaseOWD: 10 * time.Millisecond}
+
+// TestOfflineDropsInFlight is the regression test for in-flight delivery
+// semantics: packets already queued toward a node when SetOnline(addr,
+// false) fires mid-transfer must be dropped deterministically, not
+// delivered.
+func TestOfflineDropsInFlight(t *testing.T) {
+	sim, net := faultFixture(t)
+	var got []string
+	net.Register(1, quiet, nil)
+	net.Register(2, quiet, func(from Addr, msg any) {
+		got = append(got, msg.(string))
+	})
+
+	// OWD is 20 ms (two BaseOWD halves). Send at t=0, kill dst at t=10ms.
+	net.Send(1, 2, 100, "doomed")
+	sim.At(Time(10*time.Millisecond), func() { net.SetOnline(2, false) })
+	sim.Run(Time(time.Second))
+	if len(got) != 0 {
+		t.Fatalf("packet delivered to offline node: %v", got)
+	}
+	if net.Dropped != 1 {
+		t.Fatalf("Dropped = %d, want 1", net.Dropped)
+	}
+}
+
+// TestOfflineFlapStillDropsInFlight covers the sharper case: the node goes
+// offline and comes back *before* the packet's scheduled arrival. The
+// connection the packet travelled on died with the outage, so the packet
+// must still be dropped — only traffic sent after recovery flows again.
+func TestOfflineFlapStillDropsInFlight(t *testing.T) {
+	sim, net := faultFixture(t)
+	var got []string
+	net.Register(1, quiet, nil)
+	net.Register(2, quiet, func(from Addr, msg any) {
+		got = append(got, msg.(string))
+	})
+
+	net.Send(1, 2, 100, "doomed") // arrives at ~20 ms
+	sim.At(Time(5*time.Millisecond), func() { net.SetOnline(2, false) })
+	sim.At(Time(8*time.Millisecond), func() { net.SetOnline(2, true) })
+	// A packet sent after recovery must be delivered.
+	sim.At(Time(30*time.Millisecond), func() { net.Send(1, 2, 100, "fresh") })
+	sim.Run(Time(time.Second))
+
+	if len(got) != 1 || got[0] != "fresh" {
+		t.Fatalf("got %v, want only the post-recovery packet", got)
+	}
+}
+
+// TestOnlineWithoutOutageDelivers guards against the epoch counter advancing
+// on spurious SetOnline(true) calls.
+func TestOnlineWithoutOutageDelivers(t *testing.T) {
+	sim, net := faultFixture(t)
+	delivered := 0
+	net.Register(1, quiet, nil)
+	net.Register(2, quiet, func(Addr, any) { delivered++ })
+
+	net.Send(1, 2, 100, "ok")
+	sim.At(Time(5*time.Millisecond), func() { net.SetOnline(2, true) }) // no-op
+	sim.Run(Time(time.Second))
+	if delivered != 1 {
+		t.Fatalf("delivered = %d, want 1", delivered)
+	}
+}
+
+func TestBlockedHookPartitionsPairs(t *testing.T) {
+	sim, net := faultFixture(t)
+	delivered := 0
+	net.Register(1, quiet, nil)
+	net.Register(2, quiet, func(Addr, any) { delivered++ })
+	net.Register(3, quiet, func(Addr, any) { delivered++ })
+
+	net.Blocked = func(src, dst Addr) bool { return src == 1 && dst == 2 }
+	net.Send(1, 2, 100, "blocked")
+	net.Send(1, 3, 100, "allowed")
+	sim.Run(Time(time.Second))
+	if delivered != 1 {
+		t.Fatalf("delivered = %d, want 1 (only the unblocked pair)", delivered)
+	}
+	if net.Dropped != 1 {
+		t.Fatalf("Dropped = %d, want 1", net.Dropped)
+	}
+
+	// RTT probes across a blocked pair fail in either direction.
+	if _, ok := net.SampleRTT(2, 1); ok {
+		t.Fatal("SampleRTT succeeded across blocked pair")
+	}
+	if _, ok := net.SampleRTT(1, 3); !ok {
+		t.Fatal("SampleRTT failed on unblocked pair")
+	}
+
+	// Lifting the partition restores delivery.
+	net.Blocked = nil
+	net.Send(1, 2, 100, "after")
+	sim.Run(Time(2 * time.Second))
+	if delivered != 2 {
+		t.Fatalf("delivered = %d after lifting partition, want 2", delivered)
+	}
+}
+
+func TestSetPerturbLossAndLatency(t *testing.T) {
+	sim, net := faultFixture(t)
+	var arrival Time
+	net.Register(1, quiet, nil)
+	net.Register(2, quiet, func(Addr, any) { arrival = sim.Now() })
+
+	// Guaranteed loss.
+	net.SetPerturb(2, 1.0, 0)
+	net.Send(1, 2, 100, "lost")
+	sim.Run(Time(time.Second))
+	if net.Dropped != 1 {
+		t.Fatalf("Dropped = %d under perturbLoss=1, want 1", net.Dropped)
+	}
+
+	// Extra latency, no loss.
+	net.SetPerturb(2, 0, 500*time.Millisecond)
+	base := sim.Now()
+	net.Send(1, 2, 100, "slow")
+	sim.Run(Time(5 * time.Second))
+	if arrival-base < Time(500*time.Millisecond) {
+		t.Fatalf("arrival after %v, want >= 500ms of injected delay", arrival-base)
+	}
+	rtt, ok := net.SampleRTT(1, 2)
+	if !ok || rtt < 500*time.Millisecond {
+		t.Fatalf("SampleRTT = %v, %v; want >= 500ms", rtt, ok)
+	}
+
+	// Clearing restores the baseline.
+	net.SetPerturb(2, 0, 0)
+	rtt, ok = net.SampleRTT(1, 2)
+	if !ok || rtt >= 100*time.Millisecond {
+		t.Fatalf("SampleRTT = %v after clear, want baseline (~40ms)", rtt)
+	}
+}

@@ -49,12 +49,23 @@ type node struct {
 	state   LinkState
 	handler Handler
 	online  bool
+	// epoch counts offline transitions. A packet in flight toward a node
+	// records the destination epoch at send time; if the node goes offline
+	// before arrival the epoch advances and the packet is dropped even if
+	// the node has come back by then — the connection it travelled on died
+	// with the outage.
+	epoch uint64
 	// degradedUntil > now means the node is inside an episode.
 	degradedUntil Time
 	nextEpisode   Time
 	// uplinkFreeAt models serialization: the time at which the uplink
 	// finishes transmitting everything queued so far.
 	uplinkFreeAt Time
+	// perturbLoss and perturbOWD are fault-injection overlays (see
+	// SetPerturb): extra loss probability and one-way delay applied to
+	// every packet this endpoint sends or receives.
+	perturbLoss float64
+	perturbOWD  time.Duration
 	// stats
 	bytesSent     uint64
 	bytesReceived uint64
@@ -77,6 +88,11 @@ type Network struct {
 	// prioritized substream feed serves many viewers, so operators
 	// protect it from direct-viewer congestion.
 	Priority func(src, dst Addr) bool
+	// Blocked marks sender→receiver pairs whose traffic is silently
+	// discarded at send time — the fault-injection hook for network
+	// partitions (e.g. inter-region reachability loss). nil means no
+	// partition. Blocked pairs also fail RTT probes.
+	Blocked func(src, dst Addr) bool
 	// Delivered counts successfully delivered messages.
 	Delivered uint64
 	// Dropped counts messages lost to link loss or offline receivers.
@@ -109,11 +125,29 @@ func (n *Network) SetOnline(addr Addr, online bool) {
 	if !ok {
 		return
 	}
+	if nd.online && !online {
+		// Going offline invalidates every connection through this node:
+		// packets already in flight toward it must not survive the outage
+		// even if the node returns before their scheduled arrival.
+		nd.epoch++
+	}
 	nd.online = online
 	if online {
 		nd.degradedUntil = 0
 		nd.nextEpisode = 0
 		nd.uplinkFreeAt = n.sim.Now()
+	}
+}
+
+// SetPerturb overlays fault-injection perturbations on addr: extraLoss is
+// added to the loss probability and extraOWD to the one-way delay of every
+// packet the endpoint sends or receives. Call with (0, 0) to clear. Unlike
+// UpdateState this does not alter the node's configured LinkState, so a
+// fault window can be lifted without having to remember prior values.
+func (n *Network) SetPerturb(addr Addr, extraLoss float64, extraOWD time.Duration) {
+	if nd, ok := n.nodes[addr]; ok {
+		nd.perturbLoss = extraLoss
+		nd.perturbOWD = extraOWD
 	}
 }
 
@@ -176,7 +210,7 @@ func (n *Network) owd(src, dst *node, size int) (time.Duration, bool) {
 	dstDeg := n.degraded(dst)
 
 	// Loss: independent per side.
-	loss := src.state.LossRate + dst.state.LossRate
+	loss := src.state.LossRate + dst.state.LossRate + src.perturbLoss + dst.perturbLoss
 	if srcDeg {
 		loss += src.state.DegradedLoss
 	}
@@ -229,6 +263,7 @@ func (n *Network) owd(src, dst *node, size int) (time.Duration, bool) {
 	if dstDeg {
 		jitter += dst.state.DegradedExtraOWD
 	}
+	jitter += src.perturbOWD + dst.perturbOWD
 	return queueing + ser + prop + jitter, true
 }
 
@@ -250,6 +285,11 @@ func (n *Network) Send(src, dst Addr, size int, msg any) {
 		}
 		return
 	}
+	if n.Blocked != nil && n.Blocked(src, dst) {
+		n.Dropped++
+		d.dropped++
+		return
+	}
 	delay, delivered := n.owd(s, d, size)
 	if !delivered {
 		n.Dropped++
@@ -257,8 +297,12 @@ func (n *Network) Send(src, dst Addr, size int, msg any) {
 		return
 	}
 	s.bytesSent += uint64(size)
+	epoch := d.epoch
 	n.sim.After(delay, func() {
-		if !d.online || d.handler == nil {
+		// Drop if the destination is offline — or went offline at any
+		// point since this packet was sent (epoch advanced), even if it
+		// has since returned: the connection died with the outage.
+		if !d.online || d.epoch != epoch || d.handler == nil {
 			n.Dropped++
 			d.dropped++
 			return
@@ -282,6 +326,9 @@ func (n *Network) SampleRTT(a, b Addr) (time.Duration, bool) {
 	if !ok || !nb.online {
 		return 0, false
 	}
+	if n.Blocked != nil && (n.Blocked(a, b) || n.Blocked(b, a)) {
+		return 0, false
+	}
 	prop := na.state.BaseOWD + nb.state.BaseOWD
 	if n.InterRegionOWD != nil {
 		prop += n.InterRegionOWD(a, b)
@@ -293,6 +340,7 @@ func (n *Network) SampleRTT(a, b Addr) (time.Duration, bool) {
 	if n.degraded(nb) {
 		rtt += nb.state.DegradedExtraOWD
 	}
+	rtt += na.perturbOWD + nb.perturbOWD
 	if js := na.state.JitterStd + nb.state.JitterStd; js > 0 {
 		j := n.rng.Normal(0, float64(js))
 		if j < 0 {

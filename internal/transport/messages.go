@@ -77,6 +77,13 @@ type CDNFrame struct {
 	GeneratedAt int64
 	// Recovered marks a frame sent in response to a FrameReq.
 	Recovered bool
+	// K is the origin's substream count for the stream, stamped on every
+	// record so relays always hold a fresh partitioning hint — a relay
+	// whose configured hint is missing or stale (e.g. after a
+	// chaos-induced resubscription) self-corrects from the feed. The
+	// two bytes it would occupy are within the record's existing
+	// modeled header padding, so WireSize is unchanged.
+	K int
 }
 
 // DataPacket is one fixed-size slice of a frame pushed by a best-effort
