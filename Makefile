@@ -3,7 +3,10 @@
 
 GO ?= go
 
-.PHONY: tier1 build test vet race bench chaos
+.PHONY: tier1 build test vet race bench bench-json benchcmp chaos
+
+# Next BENCH_*.json index; bump per PR so the trajectory accumulates.
+BENCH_N ?= 1
 
 tier1: build test
 
@@ -21,6 +24,19 @@ race:
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .
+
+# Write the perf-trajectory document for this PR: micro- and
+# experiment-bench numbers in machine-readable form. Diffs against the
+# previous document when one exists.
+bench-json:
+	$(GO) test -bench . -benchtime 1x -benchmem -run '^$$' . \
+		| $(GO) run ./cmd/benchjson -out BENCH_$(BENCH_N).json \
+			$(if $(wildcard BENCH_$(shell expr $(BENCH_N) - 1).json),-baseline BENCH_$(shell expr $(BENCH_N) - 1).json)
+
+# Repeated micro-bench runs in benchstat-comparable format; redirect to a
+# file and compare two with `benchstat old.txt new.txt`.
+benchcmp:
+	$(GO) test -bench 'BenchmarkSimnet' -benchmem -count 6 -run '^$$' .
 
 # Run the headline resilience drill end to end.
 chaos:

@@ -228,6 +228,24 @@ func BenchmarkRecoveryDecision(b *testing.B) {
 	}
 }
 
+// BenchmarkSimnetSchedule isolates the pooled event queue itself — At/Step
+// with fn records only, heavy equal-time collision — without the network
+// layer, so heap and free-list changes show up undiluted.
+func BenchmarkSimnetSchedule(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sim := simnet.NewSim()
+		fired := 0
+		for j := 0; j < 4096; j++ {
+			sim.At(time.Duration(j%64)*time.Millisecond, func() { fired++ })
+		}
+		sim.Run(time.Second)
+		if fired != 4096 {
+			b.Fatalf("fired = %d", fired)
+		}
+	}
+}
+
 func BenchmarkSimnetEventLoop(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {

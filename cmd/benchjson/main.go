@@ -1,0 +1,163 @@
+// Command benchjson converts `go test -bench` text output (read from
+// stdin) into the BENCH_*.json perf-trajectory document, so each PR can
+// record a machine-readable benchmark baseline for the next one to regress
+// against.
+//
+// Usage:
+//
+//	go test -bench . -benchtime 1x -benchmem -run '^$' . | benchjson -out BENCH_1.json
+//	benchjson -out BENCH_2.json -baseline BENCH_1.json < bench.txt
+//
+// With -baseline, each benchmark also records the prior document's numbers
+// and the ns/op delta, making regressions visible in the diff itself.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Bench is one parsed benchmark result.
+type Bench struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+
+	// Filled from -baseline when the prior document has the same name.
+	BaselineNsPerOp     float64 `json:"baseline_ns_per_op,omitempty"`
+	BaselineAllocsPerOp float64 `json:"baseline_allocs_per_op,omitempty"`
+	NsDeltaPct          float64 `json:"ns_delta_pct,omitempty"`
+}
+
+// Doc is the written document.
+type Doc struct {
+	GeneratedAt string  `json:"generated_at"`
+	GoVersion   string  `json:"go_version"`
+	GOMAXPROCS  int     `json:"gomaxprocs"`
+	Note        string  `json:"note,omitempty"`
+	Benchmarks  []Bench `json:"benchmarks"`
+}
+
+func main() {
+	var (
+		out      = flag.String("out", "", "output path (default stdout)")
+		note     = flag.String("note", "", "free-form note recorded in the document")
+		baseline = flag.String("baseline", "", "prior BENCH_*.json to diff against")
+	)
+	flag.Parse()
+
+	prior := map[string]Bench{}
+	if *baseline != "" {
+		buf, err := os.ReadFile(*baseline)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: read baseline: %v\n", err)
+			os.Exit(1)
+		}
+		var d Doc
+		if err := json.Unmarshal(buf, &d); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: parse baseline: %v\n", err)
+			os.Exit(1)
+		}
+		for _, b := range d.Benchmarks {
+			prior[b.Name] = b
+		}
+	}
+
+	doc := Doc{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		Note:        *note,
+	}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		b, ok := parseLine(sc.Text())
+		if !ok {
+			continue
+		}
+		if p, hit := prior[b.Name]; hit {
+			b.BaselineNsPerOp = p.NsPerOp
+			b.BaselineAllocsPerOp = p.AllocsPerOp
+			if p.NsPerOp > 0 {
+				b.NsDeltaPct = (b.NsPerOp - p.NsPerOp) / p.NsPerOp * 100
+			}
+		}
+		doc.Benchmarks = append(doc.Benchmarks, b)
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: read stdin: %v\n", err)
+		os.Exit(1)
+	}
+	if len(doc.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines found on stdin")
+		os.Exit(1)
+	}
+
+	buf, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: marshal: %v\n", err)
+		os.Exit(1)
+	}
+	buf = append(buf, '\n')
+	if *out == "" {
+		os.Stdout.Write(buf)
+		return
+	}
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: write %s: %v\n", *out, err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(doc.Benchmarks), *out)
+}
+
+// parseLine parses one `go test -bench` result line, e.g.
+//
+//	BenchmarkSimnetEventLoop  7432  298440 ns/op  143928 B/op  1780 allocs/op
+//
+// Returns ok=false for non-benchmark lines (headers, PASS, logs).
+func parseLine(line string) (Bench, bool) {
+	f := strings.Fields(line)
+	if len(f) < 4 || !strings.HasPrefix(f[0], "Benchmark") {
+		return Bench{}, false
+	}
+	iters, err := strconv.ParseInt(f[1], 10, 64)
+	if err != nil {
+		return Bench{}, false
+	}
+	// Trim the -N GOMAXPROCS suffix go test appends to parallel benches.
+	name := f[0]
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	b := Bench{Name: name, Iterations: iters}
+	for i := 2; i+1 < len(f); i += 2 {
+		v, err := strconv.ParseFloat(f[i], 64)
+		if err != nil {
+			continue
+		}
+		switch f[i+1] {
+		case "ns/op":
+			b.NsPerOp = v
+		case "B/op":
+			b.BytesPerOp = v
+		case "allocs/op":
+			b.AllocsPerOp = v
+		}
+	}
+	if b.NsPerOp == 0 {
+		return Bench{}, false
+	}
+	return b, true
+}

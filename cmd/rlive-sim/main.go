@@ -9,6 +9,8 @@
 //	rlive-sim -exp fig11 -scale full -seed 7
 //	rlive-sim -exp chaos-scheduler-outage            # a resilience drill
 //	rlive-sim -exp fig9 -json out.json               # machine-readable results
+//	rlive-sim -exp all -parallel 8                   # fan cells over 8 workers
+//	rlive-sim -exp fig9 -cpuprofile cpu.pprof        # profile the engine
 package main
 
 import (
@@ -16,6 +18,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"repro/internal/experiments"
@@ -45,8 +49,40 @@ func main() {
 		nodes    = flag.Int("nodes", 0, "override best-effort node count")
 		duration = flag.Duration("duration", 0, "override measured duration")
 		jsonPath = flag.String("json", "", "also write results as JSON to this path")
+		parallel = flag.Int("parallel", 1, "worker-pool width for independent experiment cells (0 = NumCPU); output is byte-identical to serial")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this path")
+		memProf  = flag.String("memprofile", "", "write a heap profile to this path on exit")
 	)
 	flag.Parse()
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rlive-sim: create %s: %v\n", *cpuProf, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "rlive-sim: start cpu profile: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "rlive-sim: create %s: %v\n", *memProf, err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile shows retention
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "rlive-sim: write heap profile: %v\n", err)
+			}
+		}()
+	}
+	experiments.SetParallelism(*parallel)
 
 	if *list {
 		for _, id := range experiments.IDs() {
@@ -74,23 +110,32 @@ func main() {
 	if *exp == "all" {
 		ids = experiments.IDs()
 	}
-	doc := jsonDoc{Scale: sc}
 	for _, id := range ids {
-		run, ok := experiments.Registry[id]
-		if !ok {
+		if _, ok := experiments.Registry[id]; !ok {
 			fmt.Fprintf(os.Stderr, "rlive-sim: unknown experiment %q (try -list)\n", id)
 			os.Exit(2)
 		}
+	}
+
+	// Experiments fan across the same bounded cell pool as their internal
+	// A/B arms and grid points; results print in catalogue order either
+	// way, so serial and parallel runs emit byte-identical tables.
+	cells := experiments.RunCells(len(ids), func(i int) jsonExperiment {
 		start := time.Now()
-		res := run(sc)
+		res := experiments.Registry[ids[i]](sc)
 		elapsed := time.Since(start)
+		return jsonExperiment{
+			ID: ids[i], ElapsedMs: elapsed.Milliseconds(),
+			Tables: res.Tables, Series: res.Series,
+		}
+	})
+	doc := jsonDoc{Scale: sc}
+	for _, cell := range cells {
+		res := experiments.Result{ID: cell.ID, Tables: cell.Tables, Series: cell.Series}
 		fmt.Print(res.String())
-		fmt.Printf("-- %s done in %v\n\n", id, elapsed.Round(time.Millisecond))
+		fmt.Printf("-- %s done in %v\n\n", cell.ID, (time.Duration(cell.ElapsedMs) * time.Millisecond).Round(time.Millisecond))
 		if *jsonPath != "" {
-			doc.Experiments = append(doc.Experiments, jsonExperiment{
-				ID: id, ElapsedMs: elapsed.Milliseconds(),
-				Tables: res.Tables, Series: res.Series,
-			})
+			doc.Experiments = append(doc.Experiments, cell)
 		}
 	}
 	if *jsonPath != "" {

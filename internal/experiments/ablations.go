@@ -9,6 +9,7 @@ import (
 	"repro/internal/edge"
 	"repro/internal/media"
 	"repro/internal/nat"
+	"repro/internal/scheduler"
 	"repro/internal/simnet"
 	"repro/internal/stats"
 )
@@ -46,16 +47,19 @@ func ablRun(sc Scale, tune func(*core.Config)) *core.System {
 func AblationChainLength(sc Scale) *Result {
 	tbl := &Table{ID: "abl-chain", Title: "Chain length (delta) ablation",
 		Header: []string{"delta", "rebuf/100s", "gap repairs", "ded. fetches", "chain bytes/pkt"}}
-	for _, delta := range []int{1, 2, 4, 8} {
-		d := delta
+	deltas := []int{1, 2, 4, 8}
+	for _, row := range RunCells(len(deltas), func(i int) []string {
+		d := deltas[i]
 		s := ablRun(sc, func(cfg *core.Config) {
 			cfg.EdgeTune = func(ec *edge.Config) { ec.ChainDelta = d }
 		})
 		m := measure(s)
 		rec := s.Recovery()
-		tbl.AddRow(fmt.Sprintf("%d", d), f2(m.rebufPer100),
+		return []string{fmt.Sprintf("%d", d), f2(m.rebufPer100),
 			f0(float64(rec.GapRepairs)), f0(float64(rec.DedicatedFetch)),
-			fmt.Sprintf("%d", d*14))
+			fmt.Sprintf("%d", d*14)}
+	}) {
+		tbl.AddRow(row...)
 	}
 	return &Result{ID: "abl-chain", Tables: []*Table{tbl}}
 }
@@ -66,8 +70,9 @@ func AblationChainLength(sc Scale) *Result {
 func AblationSubstreamCount(sc Scale) *Result {
 	tbl := &Table{ID: "abl-k", Title: "Substream count (K) ablation",
 		Header: []string{"K", "rebuf/100s", "E2E P50 (ms)", "edge switches", "fallbacks"}}
-	for _, k := range []int{1, 2, 4, 8} {
-		kk := k
+	ks := []int{1, 2, 4, 8}
+	for _, row := range RunCells(len(ks), func(i int) []string {
+		kk := ks[i]
 		s := ablRun(sc, func(cfg *core.Config) {
 			cfg.K = kk
 			cfg.ChurnEnabled = true
@@ -75,8 +80,10 @@ func AblationSubstreamCount(sc Scale) *Result {
 		})
 		m := measure(s)
 		rec := s.Recovery()
-		tbl.AddRow(fmt.Sprintf("%d", kk), f2(m.rebufPer100), f0(m.e2eP50),
-			f0(float64(rec.EdgeSwitches)), f0(float64(rec.FullFallbacks)))
+		return []string{fmt.Sprintf("%d", kk), f2(m.rebufPer100), f0(m.e2eP50),
+			f0(float64(rec.EdgeSwitches)), f0(float64(rec.FullFallbacks))}
+	}) {
+		tbl.AddRow(row...)
 	}
 	return &Result{ID: "abl-k", Tables: []*Table{tbl}}
 }
@@ -87,15 +94,18 @@ func AblationSubstreamCount(sc Scale) *Result {
 func AblationProbeCount(sc Scale) *Result {
 	tbl := &Table{ID: "abl-probe", Title: "Probe fan-out ablation",
 		Header: []string{"probes", "startup P50 (ms)", "rebuf/100s", "probe msgs"}}
-	for _, p := range []int{1, 2, 3, 4, 5} {
-		pp := p
+	probes := []int{1, 2, 3, 4, 5}
+	for _, row := range RunCells(len(probes), func(i int) []string {
+		pp := probes[i]
 		s := ablRun(sc, func(cfg *core.Config) {
 			cfg.ClientTune = func(cc *client.Config) { cc.ProbeCount = pp }
 		})
 		agg := s.Aggregate()
 		m := measure(s)
-		tbl.AddRow(fmt.Sprintf("%d", pp), f0(agg.Startup.Percentile(50)), f2(m.rebufPer100),
-			fmt.Sprintf("~%dx", pp))
+		return []string{fmt.Sprintf("%d", pp), f0(agg.Startup.Percentile(50)), f2(m.rebufPer100),
+			fmt.Sprintf("~%dx", pp)}
+	}) {
+		tbl.AddRow(row...)
 	}
 	return &Result{ID: "abl-probe", Tables: []*Table{tbl}}
 }
@@ -113,10 +123,13 @@ func AblationExploreExploit(sc Scale) *Result {
 	}
 	tbl := &Table{ID: "abl-explore", Title: "Scheduler explore-exploit ablation",
 		Header: []string{"explore", "rebuf/100s", "active edges", "max sessions/edge"}}
-	for _, explore := range []float64{0.001, 0.25} {
-		e := explore
+	// A true 0 (pure exploitation): ExploreFrac is pointer-typed so an
+	// explicit zero no longer collapses into the 0.25 default.
+	grid := []float64{0, 0.25}
+	for _, row := range RunCells(len(grid), func(i int) []string {
+		e := grid[i]
 		s := ablRun(sc, func(cfg *core.Config) {
-			cfg.SchedulerConfig.ExploreFrac = e
+			cfg.SchedulerConfig.ExploreFrac = scheduler.Frac(e)
 			cfg.ChurnEnabled = true
 			cfg.LifespanMedian = 3 * time.Minute
 		})
@@ -130,8 +143,10 @@ func AblationExploreExploit(sc Scale) *Result {
 				}
 			}
 		}
-		tbl.AddRow(fmt.Sprintf("%.2f", e), f2(m.rebufPer100),
-			fmt.Sprintf("%d", active), fmt.Sprintf("%d", maxSess))
+		return []string{fmt.Sprintf("%.2f", e), f2(m.rebufPer100),
+			fmt.Sprintf("%d", active), fmt.Sprintf("%d", maxSess)}
+	}) {
+		tbl.AddRow(row...)
 	}
 	return &Result{ID: "abl-explore", Tables: []*Table{tbl}}
 }
@@ -207,7 +222,8 @@ func AblationPartitionHash(sc Scale) *Result {
 func AblationNATRefinement(sc Scale) *Result {
 	tbl := &Table{ID: "abl-nat", Title: "NAT traversal refinement (§8.1)",
 		Header: []string{"traversal", "usable pool (model)", "probe answer rate (measured)", "paper"}}
-	for _, refined := range []bool{false, true} {
+	for _, row := range RunCells(2, func(i int) []string {
+		refined := i == 1
 		s := ablRun(sc, func(cfg *core.Config) { cfg.RefinedNAT = refined })
 		var sent, answered uint64
 		for _, c := range s.Clients {
@@ -222,7 +238,9 @@ func AblationNATRefinement(sc Scale) *Result {
 		if refined {
 			name = "refined (port-pred + TTL)"
 		}
-		tbl.AddRow(name, f2(nat.UsablePoolFraction(refined)), f2(rate), "")
+		return []string{name, f2(nat.UsablePoolFraction(refined)), f2(rate), ""}
+	}) {
+		tbl.AddRow(row...)
 	}
 	base := nat.UsablePoolFraction(false)
 	refined := nat.UsablePoolFraction(true)
@@ -237,8 +255,8 @@ func AblationNATRefinement(sc Scale) *Result {
 func AblationRedundancy(sc Scale) *Result {
 	tbl := &Table{ID: "abl-redundant", Title: "Redundancy-free vs duplicate multi-source",
 		Header: []string{"scheme", "rebuf/100s", "E2E P50 (ms)", "BE bytes (MB)", "EqT (MB-eq)"}}
-	for _, r := range []int{1, 2} {
-		rr := r
+	for _, row := range RunCells(2, func(i int) []string {
+		rr := i + 1
 		s := ablRun(sc, func(cfg *core.Config) { cfg.Redundancy = rr })
 		m := measure(s)
 		_, be := s.ServedBytes()
@@ -246,7 +264,9 @@ func AblationRedundancy(sc Scale) *Result {
 		if rr == 2 {
 			name = "duplicate (2x)"
 		}
-		tbl.AddRow(name, f2(m.rebufPer100), f0(m.e2eP50), f0(be/1e6), f0(s.EqT()/1e6))
+		return []string{name, f2(m.rebufPer100), f0(m.e2eP50), f0(be/1e6), f0(s.EqT()/1e6)}
+	}) {
+		tbl.AddRow(row...)
 	}
 	return &Result{ID: "abl-redundant", Tables: []*Table{tbl}}
 }

@@ -133,15 +133,22 @@ func Fig8ABFairness(sc Scale) *Result {
 // Paper: rebuffering −15% / further −10%; bitrate +10.5% / +7%;
 // E2E latency +4–6% in both.
 func Fig9ABTests(sc Scale) *Result {
-	// Test 1: evening peak.
-	ctrl1 := abRun(sc, client.ModeCDNOnly, eveningPeak, nil)
-	test1 := abRun(sc, client.ModeRLive, eveningPeak, nil)
-	m1c, m1t := measure(ctrl1), measure(test1)
-
-	// Test 2: noon peak (the incremental window the second test adds).
-	ctrl2 := abRun(sc, client.ModeCDNOnly, noonPeak, nil)
-	test2 := abRun(sc, client.ModeRLive, noonPeak, nil)
-	m2c, m2t := measure(ctrl2), measure(test2)
+	// Test 1: evening peak; test 2: noon peak (the incremental window the
+	// second test adds); plus the off-peak pair used below to isolate the
+	// relay/reassembly latency cost. Six independent arms, one pool.
+	arms := []struct {
+		mode client.Mode
+		load peakLoad
+	}{
+		{client.ModeCDNOnly, eveningPeak}, {client.ModeRLive, eveningPeak},
+		{client.ModeCDNOnly, noonPeak}, {client.ModeRLive, noonPeak},
+		{client.ModeCDNOnly, offPeak}, {client.ModeRLive, offPeak},
+	}
+	ms := RunCells(len(arms), func(i int) abMetrics {
+		return measure(abRun(sc, arms[i].mode, arms[i].load, nil))
+	})
+	m1c, m1t := ms[0], ms[1]
+	m2c, m2t := ms[2], ms[3]
 
 	tbl := &Table{ID: "fig9", Title: "A/B tests: RLive vs CDN-only (diff vs control)",
 		Header: []string{"metric", "test1 (evening)", "test2 (noon)", "paper"}}
@@ -160,9 +167,7 @@ func Fig9ABTests(sc Scale) *Result {
 	// Under peak congestion the control's own stall-lag inflates its
 	// latency, masking RLive's relay/reassembly penalty; the off-peak
 	// pair isolates it (the paper's +4–6% is the uncongested-path cost).
-	ctrl3 := abRun(sc, client.ModeCDNOnly, offPeak, nil)
-	test3 := abRun(sc, client.ModeRLive, offPeak, nil)
-	m3c, m3t := measure(ctrl3), measure(test3)
+	m3c, m3t := ms[4], ms[5]
 	tbl.AddRow("E2E latency P50 (off-peak)",
 		pct(metrics.RelDiff(m3t.e2eP50, m3c.e2eP50)), "-", "+4..6%")
 	detail := &Table{ID: "fig9", Title: "Raw group values",
@@ -178,10 +183,12 @@ func Fig9ABTests(sc Scale) *Result {
 // reduction from serving through cheaper best-effort nodes. Paper: test 1
 // cuts evening EqT ~8%, test 2 cuts non-peak (noon) EqT ~6%.
 func Table2EqT(sc Scale) *Result {
-	ctrl1 := abRun(sc, client.ModeCDNOnly, eveningPeak, nil)
-	test1 := abRun(sc, client.ModeRLive, eveningPeak, nil)
-	ctrl2 := abRun(sc, client.ModeCDNOnly, noonPeak, nil)
-	test2 := abRun(sc, client.ModeRLive, noonPeak, nil)
+	loads := []peakLoad{eveningPeak, eveningPeak, noonPeak, noonPeak}
+	modes := []client.Mode{client.ModeCDNOnly, client.ModeRLive, client.ModeCDNOnly, client.ModeRLive}
+	groups := RunCells(len(loads), func(i int) *core.System {
+		return abRun(sc, modes[i], loads[i], nil)
+	})
+	ctrl1, test1, ctrl2, test2 := groups[0], groups[1], groups[2], groups[3]
 
 	// RLive also delivers a HIGHER bitrate under peak pressure (Fig 9b),
 	// so raw EqT is not service-equivalent; normalize by the video bits
@@ -225,8 +232,10 @@ func Table2EqT(sc Scale) *Result {
 func Fig10Energy(sc Scale) *Result {
 	// Uncongested so the comparison isolates protocol overhead rather
 	// than stall-induced differences.
-	ctrl := abRun(sc, client.ModeCDNOnly, offPeak, nil)
-	test := abRun(sc, client.ModeRLive, offPeak, nil)
+	pair := RunCells(2, func(i int) *core.System {
+		return abRun(sc, []client.Mode{client.ModeCDNOnly, client.ModeRLive}[i], offPeak, nil)
+	})
+	ctrl, test := pair[0], pair[1]
 	ce, te := ctrl.EnergyTotals(), test.EnergyTotals()
 
 	// Normalize per played frame so slight playback differences cancel.
@@ -266,8 +275,10 @@ func Fig13RTM(sc Scale) *Result {
 			st.DegradedLoss = 0
 		}
 	}
-	ctrl := abRun(sc, client.ModeCDNOnly, offPeak, rtmTune)
-	test := abRun(sc, client.ModeRLive, offPeak, rtmTune)
+	pair := RunCells(2, func(i int) *core.System {
+		return abRun(sc, []client.Mode{client.ModeCDNOnly, client.ModeRLive}[i], offPeak, rtmTune)
+	})
+	ctrl, test := pair[0], pair[1]
 	mc, mt := measure(ctrl), measure(test)
 	cDed, _ := ctrl.ServedBytes()
 	tDed, tBE := test.ServedBytes()
@@ -322,8 +333,10 @@ func Table4FlashCrowd(sc Scale) *Result {
 		s.Run(sc.Duration)
 		return s
 	}
-	ctrl := mk(client.ModeCDNOnly)
-	test := mk(client.ModeRLive)
+	pair := RunCells(2, func(i int) *core.System {
+		return mk([]client.Mode{client.ModeCDNOnly, client.ModeRLive}[i])
+	})
+	ctrl, test := pair[0], pair[1]
 
 	// A "view" counts when the session achieved sustained smooth
 	// playback: at least 75% of its wall time playing rather than

@@ -85,8 +85,13 @@ func Fig2aStrawmanQoE(sc Scale) *Result {
 	if sc.Duration < 2*time.Minute {
 		sc.Duration = 2 * time.Minute
 	}
-	ctrl := motivationSystem(sc, client.ModeCDNOnly, 0)
-	test := motivationSystem(sc, client.ModeSingleSource, strawmanTopPercent(sc.BestEffort))
+	pair := RunCells(2, func(i int) *core.System {
+		if i == 0 {
+			return motivationSystem(sc, client.ModeCDNOnly, 0)
+		}
+		return motivationSystem(sc, client.ModeSingleSource, strawmanTopPercent(sc.BestEffort))
+	})
+	ctrl, test := pair[0], pair[1]
 	ca, ta := ctrl.Aggregate(), test.Aggregate()
 
 	tbl := &Table{ID: "fig2a", Title: "Strawman single-source vs CDN-only (diff vs control)",

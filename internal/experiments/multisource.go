@@ -45,8 +45,10 @@ func tierRun(sc Scale, mode client.Mode) *core.System {
 // count and duration, improves bitrate, and nearly doubles the traffic
 // expansion rate.
 func Fig11MultiVsSingle(sc Scale) *Result {
-	single := tierRun(sc, client.ModeSingleSource)
-	multi := tierRun(sc, client.ModeRLive)
+	pair := RunCells(2, func(i int) *core.System {
+		return tierRun(sc, []client.Mode{client.ModeSingleSource, client.ModeRLive}[i])
+	})
+	single, multi := pair[0], pair[1]
 	ms, mm := measure(single), measure(multi)
 
 	// Mean E2E latency captures stall-induced lag drift that the

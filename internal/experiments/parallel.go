@@ -1,0 +1,94 @@
+package experiments
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// The experiment catalogue is embarrassingly parallel at the cell level:
+// every A/B arm, ablation grid point, and paired chaos run builds its own
+// core.System (own Sim, own RNG) and shares nothing with its siblings.
+// RunCells exploits that while keeping output byte-identical to serial
+// execution — results are assembled in cell order, and each cell is as
+// deterministic under a worker as it is inline.
+//
+// A single process-wide token pool bounds concurrency across nested
+// RunCells calls (the CLI fans whole experiments, experiments fan their
+// cells): a caller only hands cells to extra goroutines while tokens are
+// available and always works its own queue inline, so nesting can never
+// deadlock and total concurrent cells never exceeds the configured width.
+
+var cellTokens atomic.Pointer[chan struct{}]
+
+// SetParallelism sets the worker-pool width for RunCells: at most n
+// experiment cells run concurrently across the whole process. n <= 1
+// restores serial execution (the default); n == 0 means runtime.NumCPU().
+// Call it before launching experiments, not concurrently with them.
+func SetParallelism(n int) {
+	if n == 0 {
+		n = runtime.NumCPU()
+	}
+	if n <= 1 {
+		cellTokens.Store(nil)
+		return
+	}
+	ch := make(chan struct{}, n-1)
+	for i := 0; i < n-1; i++ {
+		ch <- struct{}{}
+	}
+	cellTokens.Store(&ch)
+}
+
+// Parallelism reports the configured pool width (1 when serial).
+func Parallelism() int {
+	if p := cellTokens.Load(); p != nil {
+		return cap(*p) + 1
+	}
+	return 1
+}
+
+// RunCells runs n independent experiment cells and returns their outputs in
+// cell order. run(i) must be self-contained: build its own system, touch no
+// state shared with other cells. Under SetParallelism(>1) cells execute on
+// a bounded worker pool; the returned slice is identical to serial
+// execution either way.
+func RunCells[T any](n int, run func(i int) T) []T {
+	out := make([]T, n)
+	tokens := cellTokens.Load()
+	if tokens == nil || n <= 1 {
+		for i := range out {
+			out[i] = run(i)
+		}
+		return out
+	}
+	var next atomic.Int64
+	next.Store(-1)
+	work := func() {
+		for {
+			i := next.Add(1)
+			if i >= int64(n) {
+				return
+			}
+			out[i] = run(int(i))
+		}
+	}
+	var wg sync.WaitGroup
+spawn:
+	for spawned := 0; spawned < n-1; spawned++ {
+		select {
+		case <-*tokens:
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				defer func() { *tokens <- struct{}{} }()
+				work()
+			}()
+		default:
+			break spawn // pool saturated: run the rest inline
+		}
+	}
+	work()
+	wg.Wait()
+	return out
+}

@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// serialAfter restores serial execution when the test finishes so later
+// tests in the package are unaffected.
+func serialAfter(t *testing.T) {
+	t.Cleanup(func() { SetParallelism(1) })
+}
+
+func TestRunCellsOrderAndCoverage(t *testing.T) {
+	serialAfter(t)
+	SetParallelism(4)
+	const n = 37
+	var calls atomic.Int64
+	out := RunCells(n, func(i int) int {
+		calls.Add(1)
+		return i * i
+	})
+	if calls.Load() != n {
+		t.Fatalf("ran %d cells, want %d", calls.Load(), n)
+	}
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("out[%d] = %d: results not in cell order", i, v)
+		}
+	}
+}
+
+func TestRunCellsNestedDoesNotDeadlock(t *testing.T) {
+	serialAfter(t)
+	SetParallelism(2) // tiny pool: inner calls must fall back inline
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		outer := RunCells(8, func(i int) int {
+			inner := RunCells(8, func(j int) int { return i*100 + j })
+			sum := 0
+			for _, v := range inner {
+				sum += v
+			}
+			return sum
+		})
+		for i, v := range outer {
+			want := 0
+			for j := 0; j < 8; j++ {
+				want += i*100 + j
+			}
+			if v != want {
+				t.Errorf("outer[%d] = %d, want %d", i, v, want)
+			}
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("nested RunCells deadlocked")
+	}
+}
+
+func TestParallelism(t *testing.T) {
+	serialAfter(t)
+	if Parallelism() != 1 {
+		t.Fatalf("default parallelism = %d, want 1", Parallelism())
+	}
+	SetParallelism(6)
+	if Parallelism() != 6 {
+		t.Fatalf("parallelism = %d, want 6", Parallelism())
+	}
+	SetParallelism(1)
+	if Parallelism() != 1 {
+		t.Fatalf("parallelism after reset = %d, want 1", Parallelism())
+	}
+}
+
+// TestParallelMatchesSerial is the byte-identity guarantee: a
+// representative grid experiment and a paired chaos drill must render
+// exactly the same bytes whether their cells run serially or on the worker
+// pool.
+func TestParallelMatchesSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-system cells skipped in -short mode")
+	}
+	serialAfter(t)
+	for _, id := range []string{"abl-redundant", "chaos-nat-flap"} {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			SetParallelism(1)
+			serial := Registry[id](tiny).String()
+			SetParallelism(4)
+			parallel := Registry[id](tiny).String()
+			if serial != parallel {
+				t.Fatalf("parallel output diverged from serial for %s:\n--- serial ---\n%s\n--- parallel ---\n%s",
+					id, serial, parallel)
+			}
+		})
+	}
+}

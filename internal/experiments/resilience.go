@@ -47,10 +47,16 @@ func chaosExperiment(scen chaos.Scenario) func(Scale) *Result {
 	return func(sc Scale) *Result {
 		id := "chaos-" + scen.Name
 
-		rlive := chaosSystem(sc, client.ModeRLive)
-		repR := chaos.Run(rlive, scen, nil)
-		cdn := chaosSystem(sc, client.ModeCDNOnly)
-		repC := chaos.Run(cdn, scen, nil)
+		// The paired A/B arms share a seed but nothing else — each builds
+		// its own system, so they fan across the cell pool.
+		reports := RunCells(2, func(i int) *chaos.Report {
+			mode := client.ModeRLive
+			if i == 1 {
+				mode = client.ModeCDNOnly
+			}
+			return chaos.Run(chaosSystem(sc, mode), scen, nil)
+		})
+		repR, repC := reports[0], reports[1]
 
 		inv := &Table{ID: id, Title: fmt.Sprintf("Invariants under %s", scen.Name),
 			Header: []string{"invariant", "rlive", "cdn-only", "detail (rlive)"}}

@@ -53,8 +53,10 @@ func retransmissionRate(s *core.System) float64 {
 // method cuts the retransmission rate by 25.5% and rebuffering count /
 // duration per hundred seconds by 3.49% / 5.96%.
 func Table3Sequencing(sc Scale) *Result {
-	central := seqRun(sc, true)
-	distributed := seqRun(sc, false)
+	pair := RunCells(2, func(i int) *core.System {
+		return seqRun(sc, i == 0)
+	})
+	central, distributed := pair[0], pair[1]
 	cm, dm := measure(central), measure(distributed)
 	cr, dr := retransmissionRate(central), retransmissionRate(distributed)
 
@@ -74,7 +76,9 @@ func Table3Sequencing(sc Scale) *Result {
 func FallbackThreshold(sc Scale) *Result {
 	tbl := &Table{ID: "fallback", Title: "Fallback threshold sweep",
 		Header: []string{"threshold (ms)", "rebuf/100s", "stall ms/100s", "E2E P50 (ms)", "fallbacks"}}
-	for _, th := range []float64{300, 400, 500} {
+	thresholds := []float64{300, 400, 500}
+	for _, row := range RunCells(len(thresholds), func(i int) []string {
+		th := thresholds[i]
 		s := core.NewSystem(core.Config{
 			Seed:                sc.Seed,
 			NumDedicated:        sc.Dedicated,
@@ -108,7 +112,9 @@ func FallbackThreshold(sc Scale) *Result {
 		s.Run(sc.Duration)
 		m := measure(s)
 		rec := s.Recovery()
-		tbl.AddRow(f0(th), f2(m.rebufPer100), f0(m.stallMs), f0(m.e2eP50), f0(float64(rec.FullFallbacks)))
+		return []string{f0(th), f2(m.rebufPer100), f0(m.stallMs), f0(m.e2eP50), f0(float64(rec.FullFallbacks))}
+	}) {
+		tbl.AddRow(row...)
 	}
 	return &Result{ID: "fallback", Tables: []*Table{tbl}}
 }

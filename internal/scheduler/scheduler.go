@@ -49,9 +49,10 @@ type Config struct {
 	// (default 4×TopK).
 	RetrievePool int
 	// ExploreFrac mixes idle/underused candidates into the result to
-	// avoid overloading historically good nodes (§8.2 explore-exploit);
-	// default 0.25.
-	ExploreFrac float64
+	// avoid overloading historically good nodes (§8.2 explore-exploit).
+	// nil selects the default 0.25; Frac(0) expresses pure exploitation
+	// (a plain float64 could not distinguish "unset" from an explicit 0).
+	ExploreFrac *float64
 	// Weights are the scoring coefficients.
 	Weights Weights
 	// StaleAfter drops nodes whose last heartbeat is older than this
@@ -71,8 +72,8 @@ func (c *Config) setDefaults() {
 	if c.RetrievePool == 0 {
 		c.RetrievePool = 4 * c.TopK
 	}
-	if c.ExploreFrac == 0 {
-		c.ExploreFrac = 0.25
+	if c.ExploreFrac == nil {
+		c.ExploreFrac = Frac(0.25)
 	}
 	if c.Weights == (Weights{}) {
 		c.Weights = DefaultWeights
@@ -99,6 +100,9 @@ type Scheduler struct {
 	RecLatency  *stats.Sample // modeled per-request processing latency (ms)
 	perReqNodes *stats.Welford
 }
+
+// Frac returns a pointer to f, for Config.ExploreFrac literals.
+func Frac(f float64) *float64 { return &f }
 
 // New returns a scheduler. now supplies the current (simulation) time; rng
 // drives explore sampling and the latency model.
@@ -314,7 +318,7 @@ func (s *Scheduler) Recommend(key SubstreamKey, c ClientInfo) ([]Candidate, time
 	}
 	out := make([]Candidate, 0, k)
 	// Exploit: the best (1-ExploreFrac)·K by efficiency.
-	exploit := k - int(float64(k)*s.cfg.ExploreFrac)
+	exploit := k - int(float64(k)**s.cfg.ExploreFrac)
 	for i := 0; i < exploit && i < len(pool); i++ {
 		out = append(out, pool[i].cand)
 	}

@@ -44,7 +44,7 @@ func TestRegisterAndRecommend(t *testing.T) {
 }
 
 func TestForwardingNodesPreferred(t *testing.T) {
-	f := newFixture(Config{TopK: 4, ExploreFrac: 0.01})
+	f := newFixture(Config{TopK: 4, ExploreFrac: Frac(0.01)})
 	key := SubstreamKey{Stream: 1, Substream: 2}
 	// 20 idle nodes, 3 forwarding the requested substream.
 	for i := 0; i < 20; i++ {
@@ -81,7 +81,7 @@ func TestRelaxationFindsDistantNodes(t *testing.T) {
 }
 
 func TestSameNetworkScoredHigher(t *testing.T) {
-	f := newFixture(Config{TopK: 10, ExploreFrac: 0.01})
+	f := newFixture(Config{TopK: 10, ExploreFrac: Frac(0.01)})
 	f.addNode(500, 0, 0, 5) // same region+ISP as client
 	f.addNode(501, 4, 2, 5) // far
 	cands, _ := f.s.Recommend(SubstreamKey{Stream: 2}, ClientInfo{Region: 0, ISP: 0})
@@ -187,7 +187,7 @@ func TestStreamUtilizationEmpty(t *testing.T) {
 func TestExploreMixesCandidates(t *testing.T) {
 	// With a large pool and high explore fraction, recommendations must
 	// not always be the same top nodes.
-	f := newFixture(Config{TopK: 8, ExploreFrac: 0.5, RetrievePool: 64})
+	f := newFixture(Config{TopK: 8, ExploreFrac: Frac(0.5), RetrievePool: 64})
 	for i := 0; i < 64; i++ {
 		f.addNode(simnet.Addr(2000+i), 0, 0, 5)
 	}

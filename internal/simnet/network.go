@@ -297,20 +297,24 @@ func (n *Network) Send(src, dst Addr, size int, msg any) {
 		return
 	}
 	s.bytesSent += uint64(size)
-	epoch := d.epoch
-	n.sim.After(delay, func() {
-		// Drop if the destination is offline — or went offline at any
-		// point since this packet was sent (epoch advanced), even if it
-		// has since returned: the connection died with the outage.
-		if !d.online || d.epoch != epoch || d.handler == nil {
-			n.Dropped++
-			d.dropped++
-			return
-		}
-		d.bytesReceived += uint64(size)
-		n.Delivered++
-		d.handler(src, msg)
-	})
+	// Closure-free: the delivery is enqueued as a pooled typed event
+	// carrying (dst, src, size, msg, epoch) by value.
+	n.sim.scheduleDeliver(delay, n, d, src, size, msg, d.epoch)
+}
+
+// deliver completes a Send at its arrival time. Drop if the destination is
+// offline — or went offline at any point since the packet was sent (epoch
+// advanced), even if it has since returned: the connection died with the
+// outage.
+func (n *Network) deliver(d *node, src Addr, size int, msg any, epoch uint64) {
+	if !d.online || d.epoch != epoch || d.handler == nil {
+		n.Dropped++
+		d.dropped++
+		return
+	}
+	d.bytesReceived += uint64(size)
+	n.Delivered++
+	d.handler(src, msg)
 }
 
 // SampleRTT returns the instantaneous round-trip time estimate between a and

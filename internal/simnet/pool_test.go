@@ -1,0 +1,160 @@
+package simnet
+
+import (
+	"sort"
+	"testing"
+	"time"
+
+	"repro/internal/stats"
+)
+
+// TestEventOrderingProperty schedules a large randomized batch of events —
+// with many deliberate time collisions — and checks the pooled 4-ary heap
+// dispatches them in (time, FIFO-seq) order: sorted by time, and FIFO by
+// insertion among equal times.
+func TestEventOrderingProperty(t *testing.T) {
+	rng := stats.NewRNG(42)
+	s := NewSim()
+	const n = 5000
+	type fired struct {
+		at       Time
+		schedIdx int
+	}
+	var got []fired
+	// Only 97 distinct timestamps for 5000 events forces heavy collision.
+	for i := 0; i < n; i++ {
+		i := i
+		at := time.Duration(rng.IntN(97)) * time.Millisecond
+		s.At(at, func() { got = append(got, fired{at: s.Now(), schedIdx: i}) })
+	}
+	s.Run(time.Second)
+	if len(got) != n {
+		t.Fatalf("fired %d events, want %d", len(got), n)
+	}
+	if !sort.SliceIsSorted(got, func(a, b int) bool { return got[a].at < got[b].at }) {
+		t.Fatal("events fired out of time order")
+	}
+	for i := 1; i < n; i++ {
+		if got[i].at == got[i-1].at && got[i].schedIdx < got[i-1].schedIdx {
+			t.Fatalf("equal-time events not FIFO: sched %d fired before %d at %v",
+				got[i].schedIdx, got[i-1].schedIdx, got[i].at)
+		}
+	}
+}
+
+// TestEventOrderingNestedScheduling interleaves events scheduled from
+// inside callbacks at the current instant: they must run after everything
+// already queued for that instant (their seq is larger), preserving FIFO.
+func TestEventOrderingNestedScheduling(t *testing.T) {
+	s := NewSim()
+	var order []int
+	s.At(time.Millisecond, func() {
+		order = append(order, 0)
+		// Same-instant reschedule: must fire after event 1 and 2 below.
+		s.At(time.Millisecond, func() { order = append(order, 3) })
+		s.After(0, func() { order = append(order, 4) })
+	})
+	s.At(time.Millisecond, func() { order = append(order, 1) })
+	s.At(time.Millisecond, func() { order = append(order, 2) })
+	s.Run(time.Second)
+	want := []int{0, 1, 2, 3, 4}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v", order)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+// TestPoolSlotReuse drains waves of deliveries and checks the free-list
+// slab stops growing once it covers the high-water mark of concurrently
+// pending events, instead of allocating per event.
+func TestPoolSlotReuse(t *testing.T) {
+	s := NewSim()
+	n := NewNetwork(s, stats.NewRNG(1))
+	n.Register(1, LinkState{UplinkBps: 1e9, BaseOWD: time.Millisecond}, nil)
+	delivered := 0
+	n.Register(2, LinkState{UplinkBps: 1e9}, func(Addr, any) { delivered++ })
+
+	burst := func() {
+		for i := 0; i < 100; i++ {
+			n.Send(1, 2, 1200, i)
+		}
+		s.Run(s.Now() + time.Second)
+	}
+	burst()
+	high := s.PoolSize()
+	if high == 0 {
+		t.Fatal("pool never grew")
+	}
+	for i := 0; i < 50; i++ {
+		burst()
+	}
+	if got := s.PoolSize(); got != high {
+		t.Fatalf("pool grew from %d to %d across identical bursts: slots not reused", high, got)
+	}
+	if delivered != 51*100 {
+		t.Fatalf("delivered = %d, want %d", delivered, 51*100)
+	}
+}
+
+// TestPoolReuseNoStaleDelivery bumps the destination's epoch (SetOnline
+// false/true) while packets are in flight, then reuses the freed pool slots
+// with fresh traffic: no pre-outage packet may be delivered, and no
+// post-outage packet may be lost to a stale epoch from a recycled record.
+func TestPoolReuseNoStaleDelivery(t *testing.T) {
+	s := NewSim()
+	n := NewNetwork(s, stats.NewRNG(1))
+	n.Register(1, LinkState{UplinkBps: 1e9, BaseOWD: 20 * time.Millisecond}, nil)
+	var got []int
+	n.Register(2, LinkState{UplinkBps: 1e9}, func(_ Addr, msg any) { got = append(got, msg.(int)) })
+
+	// Wave 1: in flight when the outage hits — must all be dropped.
+	for i := 0; i < 64; i++ {
+		n.Send(1, 2, 1200, i)
+	}
+	s.At(5*time.Millisecond, func() {
+		n.SetOnline(2, false)
+		n.SetOnline(2, true)
+	})
+	// Wave 2: scheduled after the epoch bump, reusing wave-1 slots — must
+	// all arrive.
+	s.At(10*time.Millisecond, func() {
+		for i := 100; i < 164; i++ {
+			n.Send(1, 2, 1200, i)
+		}
+	})
+	s.Run(time.Second)
+	if len(got) != 64 {
+		t.Fatalf("delivered %d packets, want exactly the 64 post-outage ones", len(got))
+	}
+	for _, m := range got {
+		if m < 100 {
+			t.Fatalf("stale pre-outage packet %d delivered through recycled pool slot", m)
+		}
+	}
+	if n.Dropped != 64 {
+		t.Fatalf("dropped = %d, want 64 in-flight packets killed by the epoch bump", n.Dropped)
+	}
+}
+
+// TestEveryRecordRearmed checks the periodic-timer record is re-armed in
+// place: a long-running Every contributes exactly one tick-pool slot no
+// matter how many periods elapse.
+func TestEveryRecordRearmed(t *testing.T) {
+	s := NewSim()
+	ticks := 0
+	s.Every(time.Millisecond, func() bool {
+		ticks++
+		return ticks < 1000
+	})
+	s.Run(2 * time.Second)
+	if ticks != 1000 {
+		t.Fatalf("ticks = %d", ticks)
+	}
+	if got := len(s.tickPool); got != 1 {
+		t.Fatalf("tick pool grew to %d slots for one timer", got)
+	}
+}

@@ -4,101 +4,254 @@
 // propagation delay, one-way delay jitter, Gilbert-Elliott style degradation
 // episodes with temporal locality (the paper observes that link degradation
 // "spans multiple consecutive video frames"), packet loss, and node churn.
+//
+// The event core is allocation-free on its hot path: events are typed
+// records stored by value in per-kind free-list slabs, ordered by a 4-ary
+// implicit heap of (time, seq, kind, slot) entries. Packet deliveries — the
+// dominant event class, one per Network.Send — carry their payload in the
+// record itself instead of a captured closure, so a steady-state simulation
+// allocates nothing per packet.
 package simnet
 
 import (
-	"container/heap"
 	"time"
 )
 
 // Time is virtual simulation time measured from simulation start.
 type Time = time.Duration
 
-// event is one scheduled callback.
-type event struct {
-	at  Time
-	seq uint64 // tiebreaker for deterministic FIFO ordering at equal times
-	fn  func()
+// eventKind tags which slab a heap entry's record lives in.
+type eventKind uint8
+
+const (
+	// evFn is a generic callback (the At/After API).
+	evFn eventKind = iota
+	// evDeliver is a packet delivery enqueued by Network.Send.
+	evDeliver
+	// evTick is a periodic timer (the Every API); its record is re-armed
+	// in place instead of being freed and re-allocated every period.
+	evTick
+)
+
+// fnEvent is a pooled generic-callback record.
+type fnEvent struct {
+	fn   func()
+	next int32 // free-list link while the slot is idle
 }
 
-type eventHeap []*event
+// tickEvent is a pooled periodic-timer record.
+type tickEvent struct {
+	tick   func() bool
+	period Time
+	next   int32
+}
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// deliverEvent is a pooled packet delivery: everything Network.Send used to
+// capture in a closure, stored by value.
+type deliverEvent struct {
+	net   *Network
+	dst   *node
+	msg   any
+	epoch uint64
+	src   Addr
+	size  int32
+	next  int32
+}
+
+// heapEntry is one slot of the 4-ary implicit heap. The ordering key
+// (at, seq) is stored inline so comparisons never chase into a slab; kind
+// and idx name the pooled record to execute. kind rides in padding that
+// would otherwise be wasted, so the entry stays 24 bytes.
+type heapEntry struct {
+	at   Time
+	seq  uint64
+	idx  int32
+	kind eventKind
+}
+
+func entryLess(a, b heapEntry) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return e
+	return a.seq < b.seq
 }
 
 // Sim owns the virtual clock and event queue. It is single-threaded: all
 // entity logic runs inside event callbacks, which keeps runs fully
 // deterministic for a given seed.
 type Sim struct {
-	now    Time
-	events eventHeap
-	seq    uint64
-	count  uint64
+	now   Time
+	seq   uint64
+	count uint64
+	heap  []heapEntry
+
+	fnPool   []fnEvent
+	delPool  []deliverEvent
+	tickPool []tickEvent
+	fnFree   int32 // free-list heads; -1 when empty
+	delFree  int32
+	tickFree int32
 }
 
 // NewSim returns a simulator with the clock at zero.
 func NewSim() *Sim {
-	return &Sim{}
+	return &Sim{fnFree: -1, delFree: -1, tickFree: -1}
 }
 
 // Now returns the current virtual time.
 func (s *Sim) Now() Time { return s.now }
+
+// push enqueues the record (kind, idx) at absolute time at, assigning the
+// next seq as the deterministic FIFO tiebreaker, and sifts it up the 4-ary
+// heap.
+func (s *Sim) push(at Time, kind eventKind, idx int32) {
+	s.seq++
+	e := heapEntry{at: at, seq: s.seq, idx: idx, kind: kind}
+	h := append(s.heap, e)
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) / 4
+		if !entryLess(e, h[p]) {
+			break
+		}
+		h[i] = h[p]
+		i = p
+	}
+	h[i] = e
+	s.heap = h
+}
+
+// popMin removes and returns the minimum heap entry, sifting the displaced
+// last element down. With arity 4 the tree is half as deep as a binary
+// heap, trading a few extra sibling comparisons for fewer cache lines
+// touched per pop.
+func (s *Sim) popMin() heapEntry {
+	h := s.heap
+	top := h[0]
+	n := len(h) - 1
+	last := h[n]
+	h = h[:n]
+	s.heap = h
+	if n == 0 {
+		return top
+	}
+	i := 0
+	for {
+		c := 4*i + 1
+		if c >= n {
+			break
+		}
+		m := c
+		end := c + 4
+		if end > n {
+			end = n
+		}
+		for j := c + 1; j < end; j++ {
+			if entryLess(h[j], h[m]) {
+				m = j
+			}
+		}
+		if !entryLess(h[m], last) {
+			break
+		}
+		h[i] = h[m]
+		i = m
+	}
+	h[i] = last
+	return top
+}
 
 // At schedules fn at absolute virtual time t (clamped to now).
 func (s *Sim) At(t Time, fn func()) {
 	if t < s.now {
 		t = s.now
 	}
-	s.seq++
-	heap.Push(&s.events, &event{at: t, seq: s.seq, fn: fn})
+	var i int32
+	if i = s.fnFree; i >= 0 {
+		s.fnFree = s.fnPool[i].next
+		s.fnPool[i] = fnEvent{fn: fn, next: -1}
+	} else {
+		s.fnPool = append(s.fnPool, fnEvent{fn: fn, next: -1})
+		i = int32(len(s.fnPool) - 1)
+	}
+	s.push(t, evFn, i)
 }
 
 // After schedules fn d after the current time.
 func (s *Sim) After(d Time, fn func()) { s.At(s.now+d, fn) }
 
 // Every schedules fn at the given period starting after one period, until
-// fn returns false.
+// fn returns false. The periodic record is re-armed in place each tick, so
+// a long-lived timer costs one record total, not one per period.
 func (s *Sim) Every(period Time, fn func() bool) {
-	var tick func()
-	tick = func() {
-		if fn() {
-			s.After(period, tick)
-		}
+	var i int32
+	if i = s.tickFree; i >= 0 {
+		s.tickFree = s.tickPool[i].next
+		s.tickPool[i] = tickEvent{tick: fn, period: period, next: -1}
+	} else {
+		s.tickPool = append(s.tickPool, tickEvent{tick: fn, period: period, next: -1})
+		i = int32(len(s.tickPool) - 1)
 	}
-	s.After(period, tick)
+	s.push(s.now+period, evTick, i)
+}
+
+// scheduleDeliver enqueues a pooled packet-delivery record after delay —
+// the closure-free fast path for Network.Send.
+func (s *Sim) scheduleDeliver(delay Time, net *Network, dst *node, src Addr, size int, msg any, epoch uint64) {
+	ev := deliverEvent{net: net, dst: dst, msg: msg, epoch: epoch, src: src, size: int32(size), next: -1}
+	var i int32
+	if i = s.delFree; i >= 0 {
+		s.delFree = s.delPool[i].next
+		s.delPool[i] = ev
+	} else {
+		s.delPool = append(s.delPool, ev)
+		i = int32(len(s.delPool) - 1)
+	}
+	s.push(s.now+delay, evDeliver, i)
 }
 
 // Step executes the next event, returning false when the queue is empty.
 func (s *Sim) Step() bool {
-	if len(s.events) == 0 {
+	if len(s.heap) == 0 {
 		return false
 	}
-	e := heap.Pop(&s.events).(*event)
-	s.now = e.at
+	top := s.popMin()
+	s.now = top.at
 	s.count++
-	e.fn()
+	idx := top.idx
+	// Each arm copies the payload out and releases the slot (zeroing it so
+	// stale msg/fn references don't keep dead objects reachable) before
+	// invoking the callback: the callback may schedule new events, reusing
+	// the slot, and growing a slab invalidates pointers into it.
+	switch top.kind {
+	case evFn:
+		fn := s.fnPool[idx].fn
+		s.fnPool[idx] = fnEvent{next: s.fnFree}
+		s.fnFree = idx
+		fn()
+	case evDeliver:
+		ev := s.delPool[idx]
+		s.delPool[idx] = deliverEvent{next: s.delFree}
+		s.delFree = idx
+		ev.net.deliver(ev.dst, ev.src, int(ev.size), ev.msg, ev.epoch)
+	case evTick:
+		// The record stays live across the callback (so the slot cannot
+		// be reused mid-tick) and is re-armed or released afterwards.
+		tick, period := s.tickPool[idx].tick, s.tickPool[idx].period
+		if tick() {
+			s.push(s.now+period, evTick, idx)
+		} else {
+			s.tickPool[idx] = tickEvent{next: s.tickFree}
+			s.tickFree = idx
+		}
+	}
 	return true
 }
 
 // Run executes events until the queue is empty or the clock passes until.
 // The clock finishes at exactly until when events remain beyond it.
 func (s *Sim) Run(until Time) {
-	for len(s.events) > 0 && s.events[0].at <= until {
+	for len(s.heap) > 0 && s.heap[0].at <= until {
 		s.Step()
 	}
 	if s.now < until {
@@ -110,4 +263,9 @@ func (s *Sim) Run(until Time) {
 func (s *Sim) Processed() uint64 { return s.count }
 
 // Pending returns the number of queued events.
-func (s *Sim) Pending() int { return len(s.events) }
+func (s *Sim) Pending() int { return len(s.heap) }
+
+// PoolSize returns the combined capacity of the event slabs — the
+// high-water mark of concurrently pending events per kind, not the live
+// count. Exposed for tests and capacity diagnostics.
+func (s *Sim) PoolSize() int { return len(s.fnPool) + len(s.delPool) + len(s.tickPool) }
