@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: tier1 build test vet race bench bench-json benchcmp chaos
+.PHONY: tier1 build test vet race bench bench-json benchcmp chaos ci fmt-check determinism
 
 # Next BENCH_*.json index; bump per PR so the trajectory accumulates.
 BENCH_N ?= 1
@@ -41,3 +41,26 @@ benchcmp:
 # Run the headline resilience drill end to end.
 chaos:
 	$(GO) run ./cmd/rlive-sim -exp chaos-scheduler-outage
+
+# Everything .github/workflows/ci.yml runs, locally: the tier1 gate,
+# formatting, vet, the race detector, the serial-vs-parallel trace
+# determinism gate, and a one-iteration bench smoke.
+ci: tier1 fmt-check vet race determinism
+	$(MAKE) bench > /dev/null
+
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "files need gofmt:" >&2; echo "$$out" >&2; exit 1; fi
+
+# The CI determinism gate: same seed serial vs -parallel 4 must render the
+# same tables and write byte-identical frame-lifecycle traces. Only the
+# `-- ` status lines (wall-clock, trace path) may differ.
+determinism:
+	@tmp="$$(mktemp -d)"; trap 'rm -rf "$$tmp"' EXIT; \
+	$(GO) run ./cmd/rlive-sim -exp ab-baseline -seed 7 -trace "$$tmp/a.jsonl" > "$$tmp/a.txt" && \
+	$(GO) run ./cmd/rlive-sim -exp ab-baseline -seed 7 -parallel 4 -trace "$$tmp/b.jsonl" > "$$tmp/b.txt" && \
+	cmp "$$tmp/a.jsonl" "$$tmp/b.jsonl" && \
+	grep -v '^-- ' "$$tmp/a.txt" > "$$tmp/a.clean" && \
+	grep -v '^-- ' "$$tmp/b.txt" > "$$tmp/b.clean" && \
+	diff -u "$$tmp/a.clean" "$$tmp/b.clean" && \
+	echo "determinism gate: OK"

@@ -20,6 +20,7 @@ import (
 	"repro/internal/scheduler"
 	"repro/internal/simnet"
 	"repro/internal/stats"
+	"repro/internal/trace"
 	"repro/internal/transport"
 )
 
@@ -92,6 +93,27 @@ func BenchmarkChaosChurnStorm(b *testing.B)       { benchExperiment(b, "chaos-ch
 func BenchmarkChaosOriginSaturation(b *testing.B) { benchExperiment(b, "chaos-origin-saturation") }
 func BenchmarkChaosDegradationWave(b *testing.B)  { benchExperiment(b, "chaos-degradation-wave") }
 func BenchmarkChaosNATFlap(b *testing.B)          { benchExperiment(b, "chaos-nat-flap") }
+
+// BenchmarkABBaseline runs the canonical A/B pair with tracing OFF — the
+// guard for the tracer's zero-config path: compare against BENCH_*.json
+// baselines recorded before the trace hooks landed (acceptance: < 2%
+// regression).
+func BenchmarkABBaseline(b *testing.B) { benchExperiment(b, "ab-baseline") }
+
+// BenchmarkABBaselineTraced is the same pair with full tracing ON — the
+// cost of recording (not a regression gate; it quantifies the overhead the
+// nil-check avoids).
+func BenchmarkABBaselineTraced(b *testing.B) {
+	sc := benchScale()
+	sc.Trace = true
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := experiments.ABBaseline(sc)
+		if i == 0 {
+			b.Log("\n" + res.String())
+		}
+	}
+}
 
 // Microbenchmarks of the hot paths.
 
@@ -270,4 +292,27 @@ func BenchmarkPartitionAssign(b *testing.B) {
 		acc ^= p.Assign(uint64(i) * 33)
 	}
 	_ = acc
+}
+
+// BenchmarkTraceRecord measures one enabled-path event record (ring append
+// plus amortized flush into the run).
+func BenchmarkTraceRecord(b *testing.B) {
+	r := trace.NewRun("bench", 1)
+	buf := r.Buffer(trace.CompClient, 1, func() int64 { return 0 })
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf.Rec(trace.KPlayed, 1, uint64(i)*33, 50, 0)
+	}
+}
+
+// BenchmarkTraceRecordDisabled measures the nil-tracer path every hook pays
+// when tracing is off: one nil check, zero allocations.
+func BenchmarkTraceRecordDisabled(b *testing.B) {
+	var buf *trace.Buf
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf.Rec(trace.KPlayed, 1, uint64(i)*33, 50, 0)
+	}
 }

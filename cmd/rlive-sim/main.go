@@ -11,9 +11,11 @@
 //	rlive-sim -exp fig9 -json out.json               # machine-readable results
 //	rlive-sim -exp all -parallel 8                   # fan cells over 8 workers
 //	rlive-sim -exp fig9 -cpuprofile cpu.pprof        # profile the engine
+//	rlive-sim -exp ab-baseline -trace t.jsonl        # frame-lifecycle traces
 package main
 
 import (
+	"bufio"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -23,6 +25,7 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/trace"
 )
 
 // jsonDoc is the machine-readable result document the -json flag writes,
@@ -37,6 +40,8 @@ type jsonExperiment struct {
 	ElapsedMs int64                 `json:"elapsed_ms"`
 	Tables    []*experiments.Table  `json:"tables,omitempty"`
 	Series    []*experiments.Series `json:"series,omitempty"`
+
+	traces []*trace.Run
 }
 
 func main() {
@@ -50,6 +55,7 @@ func main() {
 		duration = flag.Duration("duration", 0, "override measured duration")
 		jsonPath = flag.String("json", "", "also write results as JSON to this path")
 		parallel = flag.Int("parallel", 1, "worker-pool width for independent experiment cells (0 = NumCPU); output is byte-identical to serial")
+		tracePth = flag.String("trace", "", "record frame-lifecycle traces and write them as JSONL to this path (deterministic per seed)")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this path")
 		memProf  = flag.String("memprofile", "", "write a heap profile to this path on exit")
 	)
@@ -105,6 +111,7 @@ func main() {
 	if *duration > 0 {
 		sc.Duration = *duration
 	}
+	sc.Trace = *tracePth != ""
 
 	ids := []string{*exp}
 	if *exp == "all" {
@@ -127,16 +134,46 @@ func main() {
 		return jsonExperiment{
 			ID: ids[i], ElapsedMs: elapsed.Milliseconds(),
 			Tables: res.Tables, Series: res.Series,
+			traces: res.Traces,
 		}
 	})
 	doc := jsonDoc{Scale: sc}
+	var traces []*trace.Run
 	for _, cell := range cells {
 		res := experiments.Result{ID: cell.ID, Tables: cell.Tables, Series: cell.Series}
 		fmt.Print(res.String())
 		fmt.Printf("-- %s done in %v\n\n", cell.ID, (time.Duration(cell.ElapsedMs) * time.Millisecond).Round(time.Millisecond))
+		traces = append(traces, cell.traces...)
 		if *jsonPath != "" {
 			doc.Experiments = append(doc.Experiments, cell)
 		}
+	}
+	if *tracePth != "" {
+		// Traces concatenate in experiment/cell order — deterministic
+		// under any -parallel width, so CI can cmp the files directly.
+		f, err := os.Create(*tracePth)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rlive-sim: create %s: %v\n", *tracePth, err)
+			os.Exit(1)
+		}
+		w := bufio.NewWriter(f)
+		var events int
+		for _, r := range traces {
+			if err := r.WriteJSONL(w); err != nil {
+				fmt.Fprintf(os.Stderr, "rlive-sim: write %s: %v\n", *tracePth, err)
+				os.Exit(1)
+			}
+			events += len(r.Events())
+		}
+		if err := w.Flush(); err != nil {
+			fmt.Fprintf(os.Stderr, "rlive-sim: flush %s: %v\n", *tracePth, err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "rlive-sim: close %s: %v\n", *tracePth, err)
+			os.Exit(1)
+		}
+		fmt.Printf("-- %d trace events (%d runs) written to %s\n", events, len(traces), *tracePth)
 	}
 	if *jsonPath != "" {
 		buf, err := json.MarshalIndent(doc, "", "  ")

@@ -12,6 +12,7 @@ import (
 	"repro/internal/scheduler"
 	"repro/internal/simnet"
 	"repro/internal/stats"
+	"repro/internal/trace"
 	"repro/internal/transport"
 )
 
@@ -61,7 +62,13 @@ type Node struct {
 	HeadersServed  uint64
 	RecoveryServed uint64
 	RecoveryMissed uint64
+
+	// tr records frame-lifecycle events; nil disables tracing.
+	tr *trace.Buf
 }
+
+// SetTrace attaches (or detaches, with nil) a frame-lifecycle trace buffer.
+func (n *Node) SetTrace(b *trace.Buf) { n.tr = b }
 
 // New returns a CDN node bound to addr. Call net.SetHandler(addr,
 // node.Handle) (done by core.System) to receive messages.
@@ -124,6 +131,7 @@ func (n *Node) generate(id media.StreamID, st *streamState) {
 		st.order = st.order[1:]
 	}
 	ssid := st.part.Assign(f.Dts)
+	n.tr.Rec(trace.KGenerated, uint32(id), f.Dts, uint64(ssid), uint64(f.Header.Size))
 	for _, addr := range st.subOrder {
 		for _, m := range st.subscribers[addr] {
 			switch {
@@ -149,6 +157,11 @@ func (n *Node) sendFrame(to simnet.Addr, f media.Frame, full, recovered bool) {
 	n.net.Send(n.Addr, to, transport.WireSize(msg), msg)
 	if full {
 		n.FramesServed++
+		var rec uint64
+		if recovered {
+			rec = 1
+		}
+		n.tr.Rec(trace.KCDNServe, uint32(f.Header.Stream), f.Header.Dts, uint64(to), rec)
 	} else {
 		n.HeadersServed++
 	}
@@ -233,11 +246,13 @@ func (n *Node) recoverFrame(from simnet.Addr, m *transport.FrameReq) {
 	st, ok := n.streams[m.Stream]
 	if !ok {
 		n.RecoveryMissed++
+		n.tr.Rec(trace.KCDNRecoveryMiss, uint32(m.Stream), m.Dts, uint64(from), 0)
 		return
 	}
 	f, ok := st.recent[m.Dts]
 	if !ok {
 		n.RecoveryMissed++
+		n.tr.Rec(trace.KCDNRecoveryMiss, uint32(m.Stream), m.Dts, uint64(from), 0)
 		return
 	}
 	n.RecoveryServed++

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/media"
+	"repro/internal/trace"
 )
 
 // LinkStatus marks whether a global-chain entry has been CRC-validated
@@ -57,6 +58,28 @@ type Global struct {
 	Rejects       uint64 // TryMatch returned false (no continuity)
 	CRCFailures   uint64 // validation failures that rolled back unlinked entries
 	ParkedRetries uint64 // mismatched chains that later merged
+
+	// tr records sequencing lifecycle events; nil disables tracing.
+	tr *trace.Buf
+	// inRetry marks merges replayed from the parked pool so their trace
+	// events carry the parked-retry flag.
+	inRetry bool
+}
+
+// SetTrace attaches (or detaches, with nil) a frame-lifecycle trace buffer.
+func (g *Global) SetTrace(b *trace.Buf) { g.tr = b }
+
+// traceMerge records one successful merge: dts is the first footprint that
+// entered the chain, n how many came with it.
+func (g *Global) traceMerge(dts uint64, n int) {
+	if g.tr == nil {
+		return
+	}
+	var retried uint64
+	if g.inRetry {
+		retried = 1
+	}
+	g.tr.Rec(trace.KChainMerge, 0, dts, uint64(n), retried)
 }
 
 // NewGlobal returns an empty global chain. maxLen bounds retained entries
@@ -132,6 +155,7 @@ func (g *Global) TryMatch(lchain []Footprint) bool {
 			g.entries = append(g.entries, Entry{FP: fp, Status: Unlinked})
 		}
 		g.Merges++
+		g.traceMerge(lchain[0].Dts, len(lchain))
 		g.validateSuffix()
 		g.retryParked()
 		return true
@@ -154,6 +178,7 @@ func (g *Global) TryMatch(lchain []Footprint) bool {
 			return true
 		}
 		g.Rejects++
+		g.tr.Rec(trace.KChainPark, 0, lchain[0].Dts, uint64(len(lchain)), 0)
 		g.park(lchain)
 		return false
 	}
@@ -164,6 +189,7 @@ func (g *Global) TryMatch(lchain []Footprint) bool {
 	}
 	if appended > 0 {
 		g.Merges++
+		g.traceMerge(lchain[idx+1].Dts, appended)
 	}
 	g.validateSuffix()
 	g.retryParked()
@@ -242,9 +268,12 @@ func (g *Global) retryParked() {
 			}
 			g.unpark(k)
 			g.ParkedRetries++
+			prev := g.inRetry
+			g.inRetry = true
 			if g.TryMatch(lc) {
 				changed = true
 			}
+			g.inRetry = prev
 		}
 	}
 }
@@ -277,6 +306,7 @@ func (g *Global) validateSuffix() {
 			if ComputeCRC(h, p1, p2) != e.FP.CRC {
 				// Validation failure: push out the unlinked frames.
 				g.CRCFailures++
+				g.tr.Rec(trace.KChainCRCFail, 0, e.FP.Dts, uint64(len(g.entries)-i), 0)
 				g.entries = g.entries[:i]
 				return
 			}

@@ -130,6 +130,7 @@ func (c *Client) switchVariant(rung int) {
 	c.rung = rung
 	c.stream = c.cfg.Variants[rung]
 	c.gchain = chain.NewGlobal(0)
+	c.gchain.SetTrace(c.chainTr)
 	c.ownGen.started = false
 	for dts, a := range c.frames {
 		if !a.complete {

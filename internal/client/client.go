@@ -25,6 +25,7 @@ import (
 	"repro/internal/scheduler"
 	"repro/internal/simnet"
 	"repro/internal/stats"
+	"repro/internal/trace"
 	"repro/internal/transport"
 )
 
@@ -352,6 +353,12 @@ type Client struct {
 	ABRUp     uint64
 	ABRDown   uint64
 
+	// tr records frame-lifecycle events from the client's own loops;
+	// chainTr is the buffer handed to the global chain (re-attached on ABR
+	// variant switches). Both nil when tracing is off.
+	tr      *trace.Buf
+	chainTr *trace.Buf
+
 	lastVariantSwitch simnet.Time
 	lastStallAt       simnet.Time
 	stallOnsetAt      simnet.Time
@@ -402,6 +409,22 @@ func New(addr simnet.Addr, cfg Config, sim *simnet.Sim, net *simnet.Network, rng
 		c.subs = append(c.subs, &substreamState{ss: media.SubstreamID(i)})
 	}
 	return c
+}
+
+// SetTrace attaches this session's frame-lifecycle buffers to a per-run
+// trace (nil detaches and restores the zero-cost path). Call before Start.
+func (c *Client) SetTrace(run *trace.Run) {
+	if run == nil {
+		c.tr, c.chainTr = nil, nil
+		c.gchain.SetTrace(nil)
+		c.engine.Trace = nil
+		return
+	}
+	now := func() int64 { return int64(c.sim.Now()) }
+	c.tr = run.Buffer(trace.CompClient, uint32(c.Addr), now)
+	c.chainTr = run.Buffer(trace.CompChain, uint32(c.Addr), now)
+	c.gchain.SetTrace(c.chainTr)
+	c.engine.Trace = run.Buffer(trace.CompRecovery, uint32(c.Addr), now)
 }
 
 // Config returns the effective configuration.

@@ -4,6 +4,7 @@ import (
 	"repro/internal/chain"
 	"repro/internal/media"
 	"repro/internal/simnet"
+	"repro/internal/trace"
 	"repro/internal/transport"
 )
 
@@ -154,6 +155,13 @@ func (c *Client) onCDNFrame(m *transport.CDNFrame) {
 // which sends no chains).
 func (c *Client) onFrameComplete(dts uint64, a *frameAsm) {
 	a.complete = true
+	if c.tr != nil {
+		var via uint64
+		if a.viaCDN {
+			via = 1
+		}
+		c.tr.Rec(trace.KFrameComplete, uint32(c.stream), dts, via, uint64(a.retries))
+	}
 	if st := c.sub(dts); st != nil {
 		st.consecLost = 0
 	}
@@ -269,6 +277,7 @@ func (c *Client) requestRetx(st *substreamState, dts uint64, missing []uint16) {
 	if len(st.publishers) == 0 {
 		return
 	}
+	c.traceAction(0, dts)
 	req := &transport.RetxReq{Key: c.key(st.ss), Dts: dts, Missing: missing}
 	c.sendTo(st.publishers[0], req)
 	if _, pending := c.beRetxAt[dts]; !pending {

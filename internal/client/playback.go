@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"repro/internal/simnet"
+	"repro/internal/trace"
 )
 
 // intervalMs returns the frame spacing in milliseconds.
@@ -64,6 +65,7 @@ func (c *Client) playTick() {
 		iv := c.intervalMs()
 		drop := uint64(buf-c.cfg.StartupBufferMs) / iv * iv
 		c.QoE.FramesLost += int(drop / iv)
+		c.traceLossRange(c.playhead, c.playhead+drop)
 		c.playhead += drop
 	}
 	a, ok := c.frames[c.playhead]
@@ -77,6 +79,7 @@ func (c *Client) playTick() {
 	c.lastStallAt = c.sim.Now()
 	if onset {
 		c.stallOnsetAt = c.sim.Now()
+		c.tr.Rec(trace.KStall, uint32(c.stream), c.playhead, 0, 0)
 	}
 	c.QoE.AddStall(c.cfg.FrameInterval, onset)
 	// Falling back was supposed to fix the stall; if the dedicated path
@@ -136,6 +139,15 @@ func (c *Client) playFrame(dts uint64, a *frameAsm) {
 				c.QoE.E2ELatency.Add(e2eMs)
 			}
 		}
+		if c.tr != nil {
+			var e2e uint64
+			if a.generated > 0 {
+				if d := int64(c.sim.Now()) - a.generated; d > 0 {
+					e2e = uint64(d) / 1e6
+				}
+			}
+			c.tr.Rec(trace.KPlayed, uint32(c.stream), dts, e2e, 0)
+		}
 	}
 	c.gchain.MarkConsumed(dts)
 	c.playhead = dts + c.intervalMs()
@@ -173,7 +185,41 @@ func (c *Client) SkipForward() {
 	iv := c.intervalMs()
 	skipped := int((next - c.playhead) / iv)
 	c.QoE.FramesLost += skipped
+	c.traceLossRange(c.playhead, next)
 	c.playhead = next
+}
+
+// traceLossRange records one KLost per frame slot in [from, to), classified
+// by where its deadline was spent. The two call sites — the live-lag drop
+// and the stall skip — are exactly the two paths that increment
+// QoE.FramesLost, so traced losses reconcile with the session aggregate.
+func (c *Client) traceLossRange(from, to uint64) {
+	if c.tr == nil {
+		return
+	}
+	iv := c.intervalMs()
+	for dts := from; dts < to; dts += iv {
+		cause, got := c.classifyLoss(dts)
+		c.tr.Rec(trace.KLost, uint32(c.stream), dts, cause, got)
+	}
+}
+
+// classifyLoss attributes one abandoned frame slot to a cause code (Cause*)
+// and reports the packets received before abandonment.
+func (c *Client) classifyLoss(dts uint64) (cause, got uint64) {
+	a, ok := c.frames[dts]
+	switch {
+	case !ok:
+		return trace.CauseUnannounced, 0
+	case a.complete && a.linked:
+		return trace.CauseLiveLag, uint64(a.got)
+	case a.complete:
+		return trace.CauseUnsequenced, uint64(a.got)
+	case a.got == 0:
+		return trace.CauseNoData, 0
+	default:
+		return trace.CausePartial, uint64(a.got)
+	}
 }
 
 func (c *Client) earliestReadyAfter(dts uint64) (uint64, bool) {

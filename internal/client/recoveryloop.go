@@ -6,8 +6,23 @@ import (
 	"repro/internal/media"
 	"repro/internal/recovery"
 	"repro/internal/simnet"
+	"repro/internal/trace"
 	"repro/internal/transport"
 )
+
+// traceAction records an executed recovery action with the deadline budget
+// (ms until the frame's playout slot — dts is in ms) still available when
+// the action fired.
+func (c *Client) traceAction(action uint64, dts uint64) {
+	if c.tr == nil {
+		return
+	}
+	var budget uint64
+	if c.playheadSet && dts > c.playhead {
+		budget = dts - c.playhead
+	}
+	c.tr.Rec(trace.KRecoveryAction, uint32(c.stream), dts, action, budget)
+}
 
 // recoveryTick builds the retransmission list (incomplete frames ahead of
 // the playhead), consults the loss engine, and executes the chosen actions
@@ -158,6 +173,7 @@ func (c *Client) fetchDedicated(dts uint64, a *frameAsm) {
 	if at, ok := c.frameReqAt[dts]; ok && now-at < simnet.Time(300*time.Millisecond) {
 		return
 	}
+	c.traceAction(1, dts)
 	c.frameReqAt[dts] = now
 	c.sendTo(c.cfg.CDN, &transport.FrameReq{Stream: c.stream, Dts: dts})
 	c.DedicatedFetch++
@@ -178,6 +194,7 @@ func (c *Client) switchSubstreamToCDN(ss media.SubstreamID) {
 	if st.switchedToCDN {
 		return
 	}
+	c.traceAction(2, c.playhead)
 	st.switchedToCDN = true
 	st.switchbackAt = c.sim.Now()
 	c.SubstreamSwitch++
@@ -195,6 +212,7 @@ func (c *Client) fullFallback() {
 	if c.fullCDN {
 		return
 	}
+	c.traceAction(3, c.playhead)
 	c.FullFallbacks++
 	c.QoE.Fallbacks++
 	for _, st := range c.subs {

@@ -101,6 +101,9 @@ func (s *System) AddClient(spec ClientSpec) *client.Client {
 		s.Cfg.ClientTune(&ccfg)
 	}
 	c := client.New(addr, ccfg, s.Sim, s.Net, s.clientRNG.Fork())
+	if s.Cfg.Trace != nil {
+		c.SetTrace(s.Cfg.Trace)
+	}
 	s.Net.SetHandler(addr, c.Handle)
 	c.Start()
 	s.Clients = append(s.Clients, c)

@@ -11,6 +11,7 @@ import (
 	"repro/internal/scheduler"
 	"repro/internal/simnet"
 	"repro/internal/stats"
+	"repro/internal/trace"
 )
 
 // Config parameterizes a full deployment.
@@ -75,6 +76,10 @@ type Config struct {
 	AdvisersDisabled bool
 	// LifespanMedian overrides fleet churn speed (for short experiments).
 	LifespanMedian time.Duration
+	// Trace, when set, records frame-lifecycle events from every component
+	// of this system into the given per-run trace. nil (the default) keeps
+	// all hooks on the zero-cost path.
+	Trace *trace.Run
 }
 
 func (c *Config) setDefaults() {
@@ -161,6 +166,10 @@ func NewSystem(cfg Config) *System {
 	s.Sched = scheduler.New(scfg, rng.Fork(), func() time.Duration { return sim.Now() })
 	s.SchedSvc = NewSchedService(schedAddr, s.Sched, sim, net)
 	net.SetHandler(schedAddr, s.SchedSvc.Handle)
+	// Trace buffers: Buffer on a nil Run returns the nil (disabled) Buf, so
+	// this wiring is free when tracing is off.
+	traceNow := func() int64 { return int64(sim.Now()) }
+	s.Sched.SetTrace(cfg.Trace.Buffer(trace.CompSched, uint32(schedAddr), traceNow))
 
 	// Fleet.
 	s.Fleet = fleet.New(fleet.Config{
@@ -184,6 +193,7 @@ func NewSystem(cfg Config) *System {
 	}
 	for _, n := range s.Fleet.Dedicated {
 		h := &cdnHandle{Node: cdn.New(n.Addr, sim, net, rng.Fork()), Addr: n.Addr}
+		h.Node.SetTrace(cfg.Trace.Buffer(trace.CompCDN, uint32(n.Addr), traceNow))
 		net.SetHandler(n.Addr, h.Node.Handle)
 		s.CDN = append(s.CDN, h)
 	}
@@ -226,6 +236,7 @@ func NewSystem(cfg Config) *System {
 			cfg.EdgeTune(&ecfg)
 		}
 		en := edge.New(n.Addr, ecfg, sim, net, rng.Fork())
+		en.SetTrace(cfg.Trace.Buffer(trace.CompEdge, uint32(n.Addr), traceNow))
 		for _, sc := range cfg.Streams {
 			en.SetSubstreamCount(sc.Stream, cfg.K)
 			for r := range cfg.ABRLadder {

@@ -17,6 +17,7 @@ import (
 	"repro/internal/scheduler"
 	"repro/internal/simnet"
 	"repro/internal/stats"
+	"repro/internal/trace"
 	"repro/internal/transport"
 )
 
@@ -151,7 +152,13 @@ type Node struct {
 	BytesBackward   uint64
 	CostSuggestions uint64
 	QoSSuggestions  uint64
+
+	// tr records frame-lifecycle events; nil disables tracing.
+	tr *trace.Buf
 }
+
+// SetTrace attaches (or detaches, with nil) a frame-lifecycle trace buffer.
+func (n *Node) SetTrace(b *trace.Buf) { n.tr = b }
 
 // New returns an edge node. Register node.Handle as the simnet handler and
 // call Start to begin periodic duties.
@@ -476,6 +483,7 @@ func (n *Node) push(r *relayState, m *transport.CDNFrame, count uint16) {
 		delete(r.recent, r.order[0])
 		r.order = r.order[1:]
 	}
+	n.tr.Rec(trace.KRelayed, uint32(m.Header.Stream), m.Header.Dts, uint64(count), uint64(len(r.subOrder)))
 	for _, sub := range r.subOrder {
 		n.sendFramePackets(sub, r.key, rf, nil, false)
 	}
@@ -536,16 +544,23 @@ func (n *Node) sendFramePackets(to simnet.Addr, key scheduler.SubstreamKey, rf *
 func (n *Node) onRetx(from simnet.Addr, m *transport.RetxReq) {
 	r, ok := n.relays[m.Key]
 	if !ok {
+		n.tr.Rec(trace.KRetxNack, uint32(m.Key.Stream), m.Dts, uint64(from), 0)
 		nack := &transport.RetxNack{Key: m.Key, Dts: m.Dts}
 		n.net.Send(n.Addr, from, transport.WireSize(nack), nack)
 		return
 	}
 	rf, ok := r.recent[m.Dts]
 	if !ok {
+		n.tr.Rec(trace.KRetxNack, uint32(m.Key.Stream), m.Dts, uint64(from), 0)
 		nack := &transport.RetxNack{Key: m.Key, Dts: m.Dts}
 		n.net.Send(n.Addr, from, transport.WireSize(nack), nack)
 		return
 	}
+	resend := uint64(len(m.Missing))
+	if m.Missing == nil {
+		resend = uint64(rf.count)
+	}
+	n.tr.Rec(trace.KRetxServe, uint32(m.Key.Stream), m.Dts, uint64(from), resend)
 	n.sendFramePackets(from, m.Key, rf, m.Missing, true)
 }
 

@@ -264,7 +264,7 @@ func AblationRedundancy(sc Scale) *Result {
 		if rr == 2 {
 			name = "duplicate (2x)"
 		}
-		return []string{name, f2(m.rebufPer100), f0(m.e2eP50), f0(be/1e6), f0(s.EqT()/1e6)}
+		return []string{name, f2(m.rebufPer100), f0(m.e2eP50), f0(be / 1e6), f0(s.EqT() / 1e6)}
 	}) {
 		tbl.AddRow(row...)
 	}

@@ -1,0 +1,75 @@
+package experiments
+
+import (
+	"repro/internal/client"
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/trace"
+)
+
+// ABBaseline is the canonical paired A/B cell and the run the CI
+// determinism gate pins: evening-peak CDN-only vs RLive on one shared seed.
+// With Scale.Trace set each arm records a full frame-lifecycle trace; the
+// result then includes per-arm cause-of-loss and deadline-budget summaries
+// whose played/lost totals reconcile with the metrics.SessionQoE frame
+// counts (printed side by side for the diff), and Result.Traces carries the
+// finished runs in cell order for JSONL export.
+func ABBaseline(sc Scale) *Result {
+	modes := []client.Mode{client.ModeCDNOnly, client.ModeRLive}
+	type cell struct {
+		m            abMetrics
+		tr           *trace.Run
+		played, lost int
+	}
+	cells := RunCells(len(modes), func(i int) cell {
+		var run *trace.Run
+		var tune func(*core.Config)
+		if sc.Trace {
+			run = trace.NewRun("ab-baseline/"+modes[i].String(), sc.Seed)
+			tune = func(cfg *core.Config) { cfg.Trace = run }
+		}
+		s := abRun(sc, modes[i], eveningPeak, tune)
+		var played, lost int
+		for _, c := range s.Clients {
+			played += c.QoE.FramesPlayed
+			lost += c.QoE.FramesLost
+		}
+		run.Finish()
+		return cell{m: measure(s), tr: run, played: played, lost: lost}
+	})
+	ctrl, test := cells[0], cells[1]
+
+	tbl := &Table{ID: "ab-baseline", Title: "Baseline A/B: RLive vs CDN-only (evening peak)",
+		Header: []string{"metric", "cdn-only", "rlive", "diff"}}
+	tbl.AddRow("rebuffering /100s", f2(ctrl.m.rebufPer100), f2(test.m.rebufPer100),
+		pct(metrics.RelDiff(test.m.rebufPer100, ctrl.m.rebufPer100)))
+	tbl.AddRow("video bitrate (Mbps)", f2(ctrl.m.bitrate/1e6), f2(test.m.bitrate/1e6),
+		pct(metrics.RelDiff(test.m.bitrate, ctrl.m.bitrate)))
+	tbl.AddRow("E2E latency P50 (ms)", f0(ctrl.m.e2eP50), f0(test.m.e2eP50),
+		pct(metrics.RelDiff(test.m.e2eP50, ctrl.m.e2eP50)))
+	tbl.AddRow("frames played (QoE)", itoa(ctrl.played), itoa(test.played), "")
+	tbl.AddRow("frames lost (QoE)", itoa(ctrl.lost), itoa(test.lost), "")
+	res := &Result{ID: "ab-baseline", Tables: []*Table{tbl}}
+
+	for i, c := range cells {
+		if c.tr == nil {
+			continue
+		}
+		res.Traces = append(res.Traces, c.tr)
+		s := trace.Summarize(c.tr)
+		st := &Table{ID: "ab-baseline",
+			Title:  "Frame-lifecycle trace: " + modes[i].String(),
+			Header: []string{"event", "count"}}
+		for _, row := range s.Rows() {
+			st.AddRow(row[0], row[1])
+		}
+		// Reconciliation rows: traced playout/loss totals must equal the
+		// session-QoE aggregates (the acceptance invariant CI checks).
+		st.AddRow("qoe frames played", itoa(c.played))
+		st.AddRow("qoe frames lost", itoa(c.lost))
+		res.Tables = append(res.Tables, st)
+	}
+	return res
+}
+
+func itoa(n int) string { return f0(float64(n)) }

@@ -11,6 +11,8 @@ import (
 	"fmt"
 	"strings"
 	"time"
+
+	"repro/internal/trace"
 )
 
 // Scale sizes an experiment run. Quick keeps tests and benches fast; Full
@@ -27,6 +29,10 @@ type Scale struct {
 	// Seed is the base RNG seed; paired runs share it (common random
 	// numbers) so A/B differences are not noise.
 	Seed uint64
+	// Trace enables per-arm frame-lifecycle tracing in experiments that
+	// support it (ab-baseline); the recorded runs come back in
+	// Result.Traces, one per cell in cell order.
+	Trace bool
 }
 
 // Quick is the test/bench scale.
@@ -114,6 +120,9 @@ type Result struct {
 	ID     string
 	Tables []*Table
 	Series []*Series
+	// Traces holds per-arm frame-lifecycle traces (finished, in cell
+	// order) when the experiment ran with Scale.Trace set.
+	Traces []*trace.Run
 }
 
 // String renders all outputs.
@@ -149,6 +158,8 @@ func min(a, b int) int {
 // Registry maps experiment IDs to runners so the CLI and benches share one
 // catalogue.
 var Registry = map[string]func(Scale) *Result{
+	"ab-baseline": ABBaseline,
+
 	"fig1b":    Fig1bCapacity,
 	"fig2a":    Fig2aStrawmanQoE,
 	"fig2b":    Fig2bExpansionRate,
@@ -188,6 +199,7 @@ var Registry = map[string]func(Scale) *Result{
 // IDs returns the registered experiment IDs in a stable order.
 func IDs() []string {
 	return []string{
+		"ab-baseline",
 		"fig1b", "fig2a", "fig2b", "fig2c", "fig2d", "fig3", "tab1",
 		"fig8", "fig9", "tab2", "fig10", "fig11", "fig12", "tab3",
 		"fig13", "tab4", "fallback",

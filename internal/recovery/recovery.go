@@ -19,6 +19,7 @@ import (
 
 	"repro/internal/media"
 	"repro/internal/stats"
+	"repro/internal/trace"
 )
 
 // Action is one recovery choice for a frame (the per-frame components a_i
@@ -157,6 +158,9 @@ type Decision struct {
 // Engine evaluates the loss function and picks actions.
 type Engine struct {
 	Costs Costs
+	// Trace, when non-nil, records one KRecoveryDecide per modeled frame
+	// with the chosen action and its deadline budget.
+	Trace *trace.Buf
 }
 
 // NewEngine returns an engine with the given cost parameters.
@@ -329,6 +333,16 @@ func (e *Engine) Decide(frames []FrameState, s Stats) []Decision {
 			for j, i := range idxs {
 				out[i] = swDecisions[j]
 			}
+		}
+	}
+	// Trace final decisions in list order (after group substitution, so
+	// the record reflects what the client will execute; iterating out —
+	// not the perSS map — keeps the event order deterministic).
+	if e.Trace != nil {
+		for i := range out {
+			d := &out[i]
+			e.Trace.Rec(trace.KRecoveryDecide, 0, d.Frame.Dts,
+				uint64(d.Action), uint64(d.Frame.Deadline/time.Millisecond))
 		}
 	}
 	return out

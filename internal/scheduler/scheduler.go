@@ -7,6 +7,7 @@ import (
 	"repro/internal/nat"
 	"repro/internal/simnet"
 	"repro/internal/stats"
+	"repro/internal/trace"
 )
 
 // Weights are the per-platform scoring coefficients α1..α4 of
@@ -99,7 +100,13 @@ type Scheduler struct {
 	Heartbeats  uint64
 	RecLatency  *stats.Sample // modeled per-request processing latency (ms)
 	perReqNodes *stats.Welford
+
+	// tr records candidate-recommendation events; nil disables tracing.
+	tr *trace.Buf
 }
+
+// SetTrace attaches (or detaches, with nil) a frame-lifecycle trace buffer.
+func (s *Scheduler) SetTrace(b *trace.Buf) { s.tr = b }
 
 // Frac returns a pointer to f, for Config.ExploreFrac literals.
 func Frac(f float64) *float64 { return &f }
@@ -335,6 +342,7 @@ func (s *Scheduler) Recommend(key SubstreamKey, c ClientInfo) ([]Candidate, time
 	lat := s.modelLatency(len(pool))
 	s.RecLatency.Add(float64(lat) / float64(time.Millisecond))
 	s.perReqNodes.Add(float64(len(pool)))
+	s.tr.Rec(trace.KSchedCandidates, uint32(key.Stream), 0, uint64(len(out)), uint64(key.Substream))
 	return out, lat
 }
 

@@ -1,0 +1,145 @@
+package trace
+
+import "fmt"
+
+// budgetBuckets are the deadline-budget histogram edges in milliseconds:
+// one frame interval at 30 fps, the recovery-tick scale, the production
+// fallback threshold, and everything beyond.
+var budgetBuckets = [...]uint64{33, 100, 400}
+
+// ActionStats aggregates one recovery action's executions and the deadline
+// budget available when it was chosen.
+type ActionStats struct {
+	Count int
+	// BudgetSumMs accumulates deadline budgets; BudgetSumMs/Count is the
+	// mean headroom the action was given.
+	BudgetSumMs uint64
+	// Buckets histograms budgets: <=33 ms, <=100 ms, <=400 ms, >400 ms.
+	Buckets [len(budgetBuckets) + 1]int
+}
+
+// MeanBudgetMs returns the mean deadline budget at execution time.
+func (a *ActionStats) MeanBudgetMs() float64 {
+	if a.Count == 0 {
+		return 0
+	}
+	return float64(a.BudgetSumMs) / float64(a.Count)
+}
+
+func (a *ActionStats) add(budgetMs uint64) {
+	a.Count++
+	a.BudgetSumMs += budgetMs
+	for i, edge := range budgetBuckets {
+		if budgetMs <= edge {
+			a.Buckets[i]++
+			return
+		}
+	}
+	a.Buckets[len(budgetBuckets)]++
+}
+
+// actionNames mirror recovery.Action codes; trace keeps its own copy so it
+// depends on nothing above the standard library.
+var actionNames = [...]string{"retry-best-effort", "fetch-dedicated", "switch-substream", "full-fallback"}
+
+// ActionName names a recovery action code.
+func ActionName(a uint64) string {
+	if a < uint64(len(actionNames)) {
+		return actionNames[a]
+	}
+	return "unknown"
+}
+
+// Summary is the per-run (or merged multi-run) aggregation: lifecycle
+// totals, the cause-of-loss breakdown, and per-action deadline budgets.
+type Summary struct {
+	Generated int
+	Relayed   int
+	Completed int
+	Played    int
+	Lost      int
+	Stalls    int
+	// LossByCause indexes Cause* codes.
+	LossByCause [numCauses]int
+	// Actions indexes executed recovery actions by code.
+	Actions [len(actionNames)]ActionStats
+	// ChainMerges / ChainParks / ChainCRCFails count sequencing activity.
+	ChainMerges   int
+	ChainParks    int
+	ChainCRCFails int
+}
+
+// Summarize folds the given runs into one aggregate.
+func Summarize(runs ...*Run) Summary {
+	var s Summary
+	for _, r := range runs {
+		if r == nil {
+			continue
+		}
+		for _, e := range r.Events() {
+			switch e.Kind {
+			case KGenerated:
+				s.Generated++
+			case KRelayed:
+				s.Relayed++
+			case KFrameComplete:
+				s.Completed++
+			case KPlayed:
+				s.Played++
+			case KLost:
+				s.Lost++
+				c := e.A
+				if c >= numCauses {
+					c = numCauses - 1
+				}
+				s.LossByCause[c]++
+			case KStall:
+				s.Stalls++
+			case KRecoveryAction:
+				if e.A < uint64(len(s.Actions)) {
+					s.Actions[e.A].add(e.B)
+				}
+			case KChainMerge:
+				s.ChainMerges++
+			case KChainPark:
+				s.ChainParks++
+			case KChainCRCFail:
+				s.ChainCRCFails++
+			}
+		}
+	}
+	return s
+}
+
+// Rows renders the summary as (label, value) pairs in a fixed order — the
+// cause-of-loss and deadline-budget breakdown the experiments print.
+func (s *Summary) Rows() [][2]string {
+	out := [][2]string{
+		{"frames generated", fmt.Sprintf("%d", s.Generated)},
+		{"frames relayed", fmt.Sprintf("%d", s.Relayed)},
+		{"frames completed", fmt.Sprintf("%d", s.Completed)},
+		{"frames played", fmt.Sprintf("%d", s.Played)},
+		{"frames lost", fmt.Sprintf("%d", s.Lost)},
+		{"stall onsets", fmt.Sprintf("%d", s.Stalls)},
+	}
+	for c := uint64(0); c < numCauses; c++ {
+		out = append(out, [2]string{
+			"lost: " + CauseName(c), fmt.Sprintf("%d", s.LossByCause[c]),
+		})
+	}
+	for a := range s.Actions {
+		st := &s.Actions[a]
+		out = append(out, [2]string{
+			"action " + ActionName(uint64(a)),
+			fmt.Sprintf("%d (mean budget %.0f ms; <=33/<=100/<=400/>400: %d/%d/%d/%d)",
+				st.Count, st.MeanBudgetMs(),
+				st.Buckets[0], st.Buckets[1], st.Buckets[2], st.Buckets[3]),
+		})
+	}
+	out = append(out,
+		[2]string{"chain merges", fmt.Sprintf("%d", s.ChainMerges)},
+		[2]string{"chain parks", fmt.Sprintf("%d", s.ChainParks)},
+		[2]string{"chain crc failures", fmt.Sprintf("%d", s.ChainCRCFails)},
+	)
+	return out
+}

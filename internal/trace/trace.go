@@ -1,0 +1,307 @@
+// Package trace is the frame-lifecycle tracing subsystem: a low-overhead,
+// allocation-conscious recorder of typed per-frame events across every
+// data-plane layer — generation at the CDN origin, relay at edge nodes,
+// reassembly / chain sequencing / recovery at the client, and final playout
+// or loss — that aggregates into the cause-of-loss and deadline-budget
+// breakdowns the paper's evaluation reports (Fig 3, Table 3).
+//
+// Design:
+//
+//   - Components record into per-component ring buffers (Buf) stamped with
+//     simulation time. A nil *Buf is the disabled tracer: Rec on a nil
+//     receiver is a single branch and allocates nothing, so the
+//     zero-config path stays on the current fast path.
+//   - Full rings flush into the owning per-run trace (Run). Because the
+//     simulator is single-threaded, the per-run record sequence is a pure
+//     function of the seed; Finish restores chronological record order, so
+//     encoded traces are byte-identical across repeated runs and across
+//     serial vs parallel experiment execution (each System owns one Run).
+//   - Events carry only fixed-width integers — no strings, no interfaces —
+//     so recording never allocates and encoding is trivially deterministic.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Comp identifies the component class that recorded an event.
+type Comp uint8
+
+const (
+	// CompCDN is a dedicated CDN origin node.
+	CompCDN Comp = iota
+	// CompEdge is a best-effort relay node.
+	CompEdge
+	// CompClient is a viewer session (dataplane, playback, recovery).
+	CompClient
+	// CompChain is a client's global frame chain (sequencing layer).
+	CompChain
+	// CompRecovery is a client's recovery decision engine.
+	CompRecovery
+	// CompSched is the global scheduler.
+	CompSched
+
+	numComps
+)
+
+var compNames = [numComps]string{"cdn", "edge", "client", "chain", "recovery", "sched"}
+
+// String names the component class.
+func (c Comp) String() string {
+	if int(c) < len(compNames) {
+		return compNames[c]
+	}
+	return "unknown"
+}
+
+// Kind is the typed event tag. The A and B operands of Event are
+// kind-specific; their meaning is documented per constant.
+type Kind uint8
+
+const (
+	// KGenerated: origin produced a frame. A = substream k it hashes to,
+	// B = payload size in bytes.
+	KGenerated Kind = iota
+	// KCDNServe: origin sent a full frame to a subscriber. A = destination
+	// address, B = 1 when it was a dts-indexed recovery response.
+	KCDNServe
+	// KCDNRecoveryMiss: a dts-indexed recovery request missed the origin's
+	// retention window. A = requester address.
+	KCDNRecoveryMiss
+	// KRelayed: edge sliced a frame into packets and pushed it. A = packet
+	// count, B = subscriber count it fanned out to.
+	KRelayed
+	// KRetxServe: edge served a packet-retransmission request. A =
+	// requester address, B = packets resent.
+	KRetxServe
+	// KRetxNack: edge could not serve a retransmission (frame outside its
+	// window). A = requester address.
+	KRetxNack
+	// KFrameComplete: client fully reassembled a frame. A = 1 when the
+	// completing delivery came from a dedicated node, B = retries spent.
+	KFrameComplete
+	// KChainMerge: a local chain merged into the client's global chain.
+	// Dts = first appended footprint, A = entries appended, B = 1 when a
+	// previously parked chain merged.
+	KChainMerge
+	// KChainPark: a local chain could not attach (gap ahead of the
+	// terminal) and parked for retry. Dts = the chain's first footprint,
+	// A = its length.
+	KChainPark
+	// KChainCRCFail: chain validation failed and rolled back the unlinked
+	// suffix. A = entries evicted.
+	KChainCRCFail
+	// KRecoveryDecide: the loss engine modeled a frame and chose an
+	// action. A = action code (recovery.Action), B = deadline budget in ms.
+	KRecoveryDecide
+	// KRecoveryAction: client executed a recovery action. A = action code
+	// (0 retx, 1 dedicated fetch, 2 substream switch, 3 full fallback),
+	// B = deadline budget in ms at execution time.
+	KRecoveryAction
+	// KPlayed: frame reached playout. A = end-to-end latency in ms
+	// (generation to playout), 0 when unknown.
+	KPlayed
+	// KLost: frame abandoned (live-lag drop or stall-skip). A = cause code
+	// (Cause*), B = packets received before abandonment.
+	KLost
+	// KStall: playback stalled (onset only).
+	KStall
+	// KSchedCandidates: scheduler answered a candidate request. A =
+	// candidates returned, B = substream index.
+	KSchedCandidates
+
+	numKinds
+)
+
+var kindNames = [numKinds]string{
+	"generated", "cdn-serve", "cdn-recovery-miss", "relayed", "retx-serve",
+	"retx-nack", "frame-complete", "chain-merge", "chain-park",
+	"chain-crc-fail", "recovery-decide", "recovery-action", "played",
+	"lost", "stall", "sched-candidates",
+}
+
+// String names the event kind.
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return "unknown"
+}
+
+// Cause-of-loss codes carried in KLost's A operand. They partition every
+// lost frame by where its deadline was spent (the Fig 3 / Table 3
+// attribution): frames the delivery plane never announced, frames that
+// arrived partially, frames fully received but never sequenced, and frames
+// that were ready yet dropped chasing the live edge.
+const (
+	// CauseUnannounced: no assembly existed — neither data nor a chain
+	// footprint ever reached the client.
+	CauseUnannounced uint64 = iota
+	// CauseNoData: the chain announced the frame but zero packets arrived.
+	CauseNoData
+	// CausePartial: some packets arrived but reassembly never completed
+	// before the deadline.
+	CausePartial
+	// CauseUnsequenced: the frame was fully received but its chain
+	// position was never validated (sequencing loss, Table 3).
+	CauseUnsequenced
+	// CauseLiveLag: the frame was playable but dropped to chase the live
+	// edge after accumulated stalls.
+	CauseLiveLag
+
+	numCauses
+)
+
+var causeNames = [numCauses]string{
+	"unannounced", "no-data", "partial", "unsequenced", "live-lag",
+}
+
+// CauseName names a cause-of-loss code.
+func CauseName(c uint64) string {
+	if c < numCauses {
+		return causeNames[c]
+	}
+	return "unknown"
+}
+
+// Event is one typed lifecycle record. All fields are fixed-width integers
+// so recording allocates nothing and encoding is deterministic.
+type Event struct {
+	// Seq is the per-run record order (chronological: the simulator is
+	// single-threaded, so ties at equal At resolve by execution order).
+	Seq uint64
+	// At is the simulation time in nanoseconds.
+	At int64
+	// Comp and Node identify the recording component.
+	Comp Comp
+	Kind Kind
+	Node uint32
+	// Stream and Dts identify the frame (0 when not frame-scoped).
+	Stream uint32
+	Dts    uint64
+	// A and B are kind-specific operands (see Kind docs).
+	A, B uint64
+}
+
+// ringSize is the per-component ring capacity; full rings flush into the
+// per-run trace.
+const ringSize = 512
+
+// Buf is one component's ring buffer. A nil *Buf is the disabled tracer:
+// every Rec call is a single nil check with no allocation.
+type Buf struct {
+	run  *Run
+	now  func() int64
+	comp Comp
+	node uint32
+	ring []Event
+}
+
+// Rec records one event stamped with the buffer's clock. Safe (and free)
+// on a nil receiver: the wrapper stays under the inlining budget, so with
+// tracing disabled every hook site compiles to one inlined nil check.
+func (b *Buf) Rec(kind Kind, stream uint32, dts uint64, a, bb uint64) {
+	if b == nil {
+		return
+	}
+	b.rec(kind, stream, dts, a, bb)
+}
+
+func (b *Buf) rec(kind Kind, stream uint32, dts uint64, a, bb uint64) {
+	b.run.seq++
+	b.ring = append(b.ring, Event{
+		Seq: b.run.seq, At: b.now(), Comp: b.comp, Kind: kind,
+		Node: b.node, Stream: stream, Dts: dts, A: a, B: bb,
+	})
+	if len(b.ring) == cap(b.ring) {
+		b.flush()
+	}
+}
+
+// Enabled reports whether the buffer records (false for the nil tracer).
+func (b *Buf) Enabled() bool { return b != nil }
+
+// flush drains the ring into the owning run.
+func (b *Buf) flush() {
+	b.run.events = append(b.run.events, b.ring...)
+	b.ring = b.ring[:0]
+}
+
+// Run is the per-run trace: the flush target of every component buffer of
+// one simulated system, and the unit the CLI encodes to JSONL.
+type Run struct {
+	// Label names the run in the JSONL header (experiment/arm).
+	Label string
+	// Seed is the RNG seed the run used (recorded in the header so trace
+	// diffs pin the exact configuration).
+	Seed uint64
+
+	seq      uint64
+	events   []Event
+	bufs     []*Buf
+	finished bool
+}
+
+// NewRun returns an empty per-run trace.
+func NewRun(label string, seed uint64) *Run {
+	return &Run{Label: label, Seed: seed}
+}
+
+// Buffer creates a component ring buffer flushing into this run. now
+// supplies the component's simulation clock in nanoseconds. Calling Buffer
+// on a nil run returns the disabled tracer.
+func (r *Run) Buffer(comp Comp, node uint32, now func() int64) *Buf {
+	if r == nil {
+		return nil
+	}
+	b := &Buf{run: r, now: now, comp: comp, node: node, ring: make([]Event, 0, ringSize)}
+	r.bufs = append(r.bufs, b)
+	return b
+}
+
+// Finish flushes every buffer and restores chronological (record) order.
+// Idempotent; call once the simulation is done, before Events, Summarize,
+// or WriteJSONL.
+func (r *Run) Finish() {
+	if r == nil || r.finished {
+		return
+	}
+	for _, b := range r.bufs {
+		b.flush()
+	}
+	sort.Slice(r.events, func(i, j int) bool { return r.events[i].Seq < r.events[j].Seq })
+	r.finished = true
+}
+
+// Events returns the finished run's events in record order.
+func (r *Run) Events() []Event {
+	if r == nil {
+		return nil
+	}
+	r.Finish()
+	return r.events
+}
+
+// WriteJSONL encodes the run as one header line followed by one line per
+// event. Field order is fixed and all values are integers, so the encoding
+// of a finished run is byte-reproducible.
+func (r *Run) WriteJSONL(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.Finish()
+	if _, err := fmt.Fprintf(w, "{\"run\":%q,\"seed\":%d,\"events\":%d}\n", r.Label, r.Seed, len(r.events)); err != nil {
+		return err
+	}
+	for i := range r.events {
+		e := &r.events[i]
+		if _, err := fmt.Fprintf(w,
+			"{\"seq\":%d,\"at\":%d,\"comp\":%q,\"node\":%d,\"kind\":%q,\"stream\":%d,\"dts\":%d,\"a\":%d,\"b\":%d}\n",
+			e.Seq, e.At, e.Comp.String(), e.Node, e.Kind.String(), e.Stream, e.Dts, e.A, e.B); err != nil {
+			return err
+		}
+	}
+	return nil
+}

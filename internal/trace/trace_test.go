@@ -1,0 +1,165 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestNilBufIsFree: the disabled tracer must be a single branch — zero
+// allocations per record, so the zero-config hot path stays untouched.
+func TestNilBufIsFree(t *testing.T) {
+	var b *Buf
+	if b.Enabled() {
+		t.Fatal("nil Buf reports enabled")
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		b.Rec(KGenerated, 1, 33, 0, 1200)
+	})
+	if allocs != 0 {
+		t.Fatalf("nil Buf Rec allocates: %v allocs/op", allocs)
+	}
+}
+
+// TestNilRunBuffer: Buffer on a nil Run returns the disabled tracer, so
+// wiring does not need its own nil checks.
+func TestNilRunBuffer(t *testing.T) {
+	var r *Run
+	if b := r.Buffer(CompCDN, 1, func() int64 { return 0 }); b != nil {
+		t.Fatal("Buffer on nil Run returned a live Buf")
+	}
+	r.Finish() // must not panic
+	if ev := r.Events(); ev != nil {
+		t.Fatalf("nil Run has events: %v", ev)
+	}
+	var w bytes.Buffer
+	if err := r.WriteJSONL(&w); err != nil || w.Len() != 0 {
+		t.Fatalf("nil Run wrote output: err=%v len=%d", err, w.Len())
+	}
+}
+
+// TestRingFlushAndOrder: events recorded across several buffers — enough to
+// force mid-run ring flushes — come back in global record order.
+func TestRingFlushAndOrder(t *testing.T) {
+	var clock int64
+	now := func() int64 { clock++; return clock }
+	r := NewRun("test", 42)
+	b1 := r.Buffer(CompCDN, 1, now)
+	b2 := r.Buffer(CompClient, 2, now)
+	const n = 3 * ringSize
+	for i := 0; i < n; i++ {
+		b1.Rec(KGenerated, 1, uint64(i), 0, 0)
+		b2.Rec(KPlayed, 1, uint64(i), 0, 0)
+	}
+	ev := r.Events()
+	if len(ev) != 2*n {
+		t.Fatalf("got %d events, want %d", len(ev), 2*n)
+	}
+	for i := range ev {
+		if ev[i].Seq != uint64(i+1) {
+			t.Fatalf("event %d has seq %d, want %d", i, ev[i].Seq, i+1)
+		}
+		if i > 0 && ev[i].At < ev[i-1].At {
+			t.Fatalf("event %d out of time order", i)
+		}
+	}
+	// Interleave preserved: even seqs came from b2, odd from b1.
+	if ev[0].Comp != CompCDN || ev[1].Comp != CompClient {
+		t.Fatalf("interleave lost: %v %v", ev[0].Comp, ev[1].Comp)
+	}
+}
+
+// TestEncodeDeterministic: identical record sequences encode to identical
+// bytes, and Finish is idempotent.
+func TestEncodeDeterministic(t *testing.T) {
+	mk := func() *Run {
+		var clock int64
+		now := func() int64 { clock += 1000; return clock }
+		r := NewRun("run", 7)
+		b := r.Buffer(CompEdge, 9, now)
+		for i := 0; i < ringSize+10; i++ {
+			b.Rec(KRelayed, 3, uint64(i*33), uint64(i), 2)
+		}
+		return r
+	}
+	var w1, w2 bytes.Buffer
+	r1, r2 := mk(), mk()
+	if err := r1.WriteJSONL(&w1); err != nil {
+		t.Fatal(err)
+	}
+	r2.Finish()
+	r2.Finish() // idempotent
+	if err := r2.WriteJSONL(&w2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(w1.Bytes(), w2.Bytes()) {
+		t.Fatal("identical runs encoded differently")
+	}
+	// Re-encoding the same finished run is also stable.
+	var w3 bytes.Buffer
+	if err := r1.WriteJSONL(&w3); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(w1.Bytes(), w3.Bytes()) {
+		t.Fatal("re-encoding a finished run changed bytes")
+	}
+}
+
+// TestSummarize: the aggregation buckets events by kind, cause, and action
+// budget.
+func TestSummarize(t *testing.T) {
+	r := NewRun("s", 1)
+	b := r.Buffer(CompClient, 1, func() int64 { return 0 })
+	b.Rec(KGenerated, 1, 0, 0, 0)
+	b.Rec(KFrameComplete, 1, 0, 1, 0)
+	b.Rec(KPlayed, 1, 0, 50, 0)
+	b.Rec(KLost, 1, 33, CauseLiveLag, 4)
+	b.Rec(KLost, 1, 66, CausePartial, 2)
+	b.Rec(KStall, 1, 66, 0, 0)
+	b.Rec(KRecoveryAction, 1, 66, 1, 90) // fetch-dedicated, 90 ms budget
+	b.Rec(KRecoveryAction, 1, 99, 1, 500)
+	b.Rec(KChainMerge, 0, 33, 2, 0)
+	b.Rec(KChainPark, 0, 66, 3, 0)
+	s := Summarize(r, nil) // nil runs are skipped
+	if s.Generated != 1 || s.Completed != 1 || s.Played != 1 || s.Lost != 2 || s.Stalls != 1 {
+		t.Fatalf("totals wrong: %+v", s)
+	}
+	if s.LossByCause[CauseLiveLag] != 1 || s.LossByCause[CausePartial] != 1 {
+		t.Fatalf("cause breakdown wrong: %v", s.LossByCause)
+	}
+	fd := s.Actions[1]
+	if fd.Count != 2 || fd.BudgetSumMs != 590 || fd.Buckets[1] != 1 || fd.Buckets[3] != 1 {
+		t.Fatalf("action stats wrong: %+v", fd)
+	}
+	if fd.MeanBudgetMs() != 295 {
+		t.Fatalf("mean budget %v, want 295", fd.MeanBudgetMs())
+	}
+	if s.ChainMerges != 1 || s.ChainParks != 1 {
+		t.Fatalf("chain counts wrong: %+v", s)
+	}
+	if len(s.Rows()) == 0 {
+		t.Fatal("Rows empty")
+	}
+}
+
+// TestNames: string mappings stay total over their enums.
+func TestNames(t *testing.T) {
+	for c := Comp(0); c < numComps; c++ {
+		if c.String() == "unknown" || c.String() == "" {
+			t.Fatalf("comp %d unnamed", c)
+		}
+	}
+	for k := Kind(0); k < numKinds; k++ {
+		if k.String() == "unknown" || k.String() == "" {
+			t.Fatalf("kind %d unnamed", k)
+		}
+	}
+	for c := uint64(0); c < numCauses; c++ {
+		if CauseName(c) == "unknown" || CauseName(c) == "" {
+			t.Fatalf("cause %d unnamed", c)
+		}
+	}
+	if Comp(200).String() != "unknown" || Kind(200).String() != "unknown" ||
+		CauseName(200) != "unknown" || ActionName(200) != "unknown" {
+		t.Fatal("out-of-range names not guarded")
+	}
+}
