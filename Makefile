@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: tier1 build test vet race bench bench-json benchcmp chaos ci fmt-check determinism
+.PHONY: tier1 build test vet race bench bench-json benchcmp chaos ci fmt-check determinism telemetry
 
 # Next BENCH_*.json index; bump per PR so the trajectory accumulates.
 BENCH_N ?= 1
@@ -43,9 +43,9 @@ chaos:
 	$(GO) run ./cmd/rlive-sim -exp chaos-scheduler-outage
 
 # Everything .github/workflows/ci.yml runs, locally: the tier1 gate,
-# formatting, vet, the race detector, the serial-vs-parallel trace
-# determinism gate, and a one-iteration bench smoke.
-ci: tier1 fmt-check vet race determinism
+# formatting, vet, the race detector, the serial-vs-parallel trace and
+# telemetry determinism gates, and a one-iteration bench smoke.
+ci: tier1 fmt-check vet race determinism telemetry
 	$(MAKE) bench > /dev/null
 
 fmt-check:
@@ -64,3 +64,15 @@ determinism:
 	grep -v '^-- ' "$$tmp/b.txt" > "$$tmp/b.clean" && \
 	diff -u "$$tmp/a.clean" "$$tmp/b.clean" && \
 	echo "determinism gate: OK"
+
+# The telemetry determinism gate: the ab-peak instrument timelines must be
+# byte-identical between a serial and a -parallel 4 run of the same seed.
+telemetry:
+	@tmp="$$(mktemp -d)"; trap 'rm -rf "$$tmp"' EXIT; \
+	$(GO) run ./cmd/rlive-sim -exp ab-peak -seed 7 -telemetry "$$tmp/a.jsonl" > "$$tmp/a.txt" && \
+	$(GO) run ./cmd/rlive-sim -exp ab-peak -seed 7 -parallel 4 -telemetry "$$tmp/b.jsonl" > "$$tmp/b.txt" && \
+	cmp "$$tmp/a.jsonl" "$$tmp/b.jsonl" && \
+	grep -v '^-- ' "$$tmp/a.txt" > "$$tmp/a.clean" && \
+	grep -v '^-- ' "$$tmp/b.txt" > "$$tmp/b.clean" && \
+	diff -u "$$tmp/a.clean" "$$tmp/b.clean" && \
+	echo "telemetry gate: OK"

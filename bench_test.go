@@ -20,6 +20,7 @@ import (
 	"repro/internal/scheduler"
 	"repro/internal/simnet"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 	"repro/internal/transport"
 )
@@ -114,6 +115,10 @@ func BenchmarkABBaselineTraced(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkABPeak runs the telemetry-instrumented A/B pair — the cost of a
+// fully scraped run (registry on, all component hooks live).
+func BenchmarkABPeak(b *testing.B) { benchExperiment(b, "ab-peak") }
 
 // Microbenchmarks of the hot paths.
 
@@ -314,5 +319,43 @@ func BenchmarkTraceRecordDisabled(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		buf.Rec(trace.KPlayed, 1, uint64(i)*33, 50, 0)
+	}
+}
+
+// BenchmarkTelemetryScrape measures one full registry scrape at a realistic
+// instrument population (the per-bucket cost of the timeline).
+func BenchmarkTelemetryScrape(b *testing.B) {
+	reg := telemetry.NewRegistry("bench", 1)
+	for i := 0; i < 16; i++ {
+		reg.Counter(string(rune('a'+i)) + ".counter").Add(uint64(i))
+	}
+	for i := 0; i < 8; i++ {
+		g := reg.Gauge(string(rune('a'+i)) + ".gauge")
+		g.Set(float64(i))
+	}
+	for i := 0; i < 8; i++ {
+		h := reg.Histogram(string(rune('a'+i))+".hist",
+			[]float64{1, 2, 4, 8, 16, 32, 64, 128})
+		for j := 0; j < 100; j++ {
+			h.Observe(float64(j % 150))
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		reg.Scrape(int64(i))
+	}
+}
+
+// BenchmarkTelemetryDisabled measures the nil-instrument path every hook
+// pays when telemetry is off: one inlined nil check, zero allocations.
+func BenchmarkTelemetryDisabled(b *testing.B) {
+	var c *telemetry.Counter
+	var h *telemetry.Histogram
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+		h.Observe(float64(i))
 	}
 }

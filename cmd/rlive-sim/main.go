@@ -12,6 +12,7 @@
 //	rlive-sim -exp all -parallel 8                   # fan cells over 8 workers
 //	rlive-sim -exp fig9 -cpuprofile cpu.pprof        # profile the engine
 //	rlive-sim -exp ab-baseline -trace t.jsonl        # frame-lifecycle traces
+//	rlive-sim -exp ab-peak -telemetry m.jsonl        # instrument timelines
 package main
 
 import (
@@ -25,6 +26,7 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
 
@@ -41,7 +43,8 @@ type jsonExperiment struct {
 	Tables    []*experiments.Table  `json:"tables,omitempty"`
 	Series    []*experiments.Series `json:"series,omitempty"`
 
-	traces []*trace.Run
+	traces    []*trace.Run
+	timelines []*telemetry.Registry
 }
 
 func main() {
@@ -56,6 +59,7 @@ func main() {
 		jsonPath = flag.String("json", "", "also write results as JSON to this path")
 		parallel = flag.Int("parallel", 1, "worker-pool width for independent experiment cells (0 = NumCPU); output is byte-identical to serial")
 		tracePth = flag.String("trace", "", "record frame-lifecycle traces and write them as JSONL to this path (deterministic per seed)")
+		telemPth = flag.String("telemetry", "", "record instrument timelines and write them as JSONL to this path (deterministic per seed)")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this path")
 		memProf  = flag.String("memprofile", "", "write a heap profile to this path on exit")
 	)
@@ -112,6 +116,7 @@ func main() {
 		sc.Duration = *duration
 	}
 	sc.Trace = *tracePth != ""
+	sc.Telemetry = *telemPth != ""
 
 	ids := []string{*exp}
 	if *exp == "all" {
@@ -134,16 +139,18 @@ func main() {
 		return jsonExperiment{
 			ID: ids[i], ElapsedMs: elapsed.Milliseconds(),
 			Tables: res.Tables, Series: res.Series,
-			traces: res.Traces,
+			traces: res.Traces, timelines: res.Timelines,
 		}
 	})
 	doc := jsonDoc{Scale: sc}
 	var traces []*trace.Run
+	var timelines []*telemetry.Registry
 	for _, cell := range cells {
 		res := experiments.Result{ID: cell.ID, Tables: cell.Tables, Series: cell.Series}
 		fmt.Print(res.String())
 		fmt.Printf("-- %s done in %v\n\n", cell.ID, (time.Duration(cell.ElapsedMs) * time.Millisecond).Round(time.Millisecond))
 		traces = append(traces, cell.traces...)
+		timelines = append(timelines, cell.timelines...)
 		if *jsonPath != "" {
 			doc.Experiments = append(doc.Experiments, cell)
 		}
@@ -174,6 +181,33 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("-- %d trace events (%d runs) written to %s\n", events, len(traces), *tracePth)
+	}
+	if *telemPth != "" {
+		// Timelines concatenate in experiment/cell order — deterministic
+		// under any -parallel width, so CI can cmp the files directly.
+		f, err := os.Create(*telemPth)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rlive-sim: create %s: %v\n", *telemPth, err)
+			os.Exit(1)
+		}
+		w := bufio.NewWriter(f)
+		var scrapes int
+		for _, r := range timelines {
+			if err := r.WriteJSONL(w); err != nil {
+				fmt.Fprintf(os.Stderr, "rlive-sim: write %s: %v\n", *telemPth, err)
+				os.Exit(1)
+			}
+			scrapes += r.NumScrapes()
+		}
+		if err := w.Flush(); err != nil {
+			fmt.Fprintf(os.Stderr, "rlive-sim: flush %s: %v\n", *telemPth, err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "rlive-sim: close %s: %v\n", *telemPth, err)
+			os.Exit(1)
+		}
+		fmt.Printf("-- %d telemetry scrapes (%d runs) written to %s\n", scrapes, len(timelines), *telemPth)
 	}
 	if *jsonPath != "" {
 		buf, err := json.MarshalIndent(doc, "", "  ")

@@ -25,6 +25,7 @@ import (
 	"repro/internal/scheduler"
 	"repro/internal/simnet"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 	"repro/internal/transport"
 )
@@ -359,6 +360,24 @@ type Client struct {
 	tr      *trace.Buf
 	chainTr *trace.Buf
 
+	// Telemetry instruments, shared fleet-wide by name (nil when off).
+	// Increments happen at the exact sites that bump the corresponding
+	// QoE/experiment counters, so scraped totals reconcile with
+	// SessionQoE aggregates.
+	tmPlayed      *telemetry.Counter
+	tmLost        *telemetry.Counter
+	tmStallOnsets *telemetry.Counter
+	tmStallNs     *telemetry.Counter
+	tmProbeRTT    *telemetry.Histogram
+	tmBuffer      *telemetry.Histogram
+	tmSwitchRTT   *telemetry.Counter
+	tmSwitchCost  *telemetry.Counter
+	tmSwitchQoS   *telemetry.Counter
+	tmRecRetryBE  *telemetry.Counter
+	tmRecFetch    *telemetry.Counter
+	tmRecSwitchSS *telemetry.Counter
+	tmRecFallback *telemetry.Counter
+
 	lastVariantSwitch simnet.Time
 	lastStallAt       simnet.Time
 	stallOnsetAt      simnet.Time
@@ -426,6 +445,34 @@ func (c *Client) SetTrace(run *trace.Run) {
 	c.gchain.SetTrace(c.chainTr)
 	c.engine.Trace = run.Buffer(trace.CompRecovery, uint32(c.Addr), now)
 }
+
+// SetTelemetry registers this session's instruments on reg. Registration is
+// idempotent by name, so every client shares the same fleet-wide instruments
+// and scrapes aggregate across sessions. Counter increments sit at the exact
+// sites that bump the matching SessionQoE/experiment counters, keeping
+// scraped totals exactly reconcilable. Nil reg keeps every hook free. Call
+// before Start.
+func (c *Client) SetTelemetry(reg *telemetry.Registry) {
+	c.tmPlayed = reg.Counter("client.frames_played")
+	c.tmLost = reg.Counter("client.frames_lost")
+	c.tmStallOnsets = reg.Counter("client.stall_onsets")
+	c.tmStallNs = reg.Counter("client.stall_ns")
+	c.tmProbeRTT = reg.Histogram("client.probe_rtt_ms",
+		[]float64{5, 10, 20, 40, 80, 160, 320, 640})
+	c.tmBuffer = reg.Histogram("client.buffer_ms",
+		[]float64{100, 200, 400, 600, 800, 1200, 2000, 3000})
+	c.tmSwitchRTT = reg.Counter("client.switches.rtt")
+	c.tmSwitchCost = reg.Counter("client.switches.cost")
+	c.tmSwitchQoS = reg.Counter("client.switches.qos")
+	c.tmRecRetryBE = reg.Counter("client.recovery.retry_be")
+	c.tmRecFetch = reg.Counter("client.recovery.fetch_dedicated")
+	c.tmRecSwitchSS = reg.Counter("client.recovery.switch_substream")
+	c.tmRecFallback = reg.Counter("client.recovery.full_fallback")
+}
+
+// PendingChains returns the number of parked chains awaiting a merge — the
+// per-session contribution to the fleet-wide chain.pending gauge.
+func (c *Client) PendingChains() int { return c.gchain.PendingMismatches() }
 
 // Config returns the effective configuration.
 func (c *Client) Config() Config { return c.cfg }

@@ -7,6 +7,7 @@ import (
 	"repro/internal/scheduler"
 	"repro/internal/simnet"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 	"repro/internal/transport"
 )
 
@@ -122,6 +123,7 @@ func (c *Client) recordRTT(node simnet.Addr, rttMs float64) {
 		c.nodeRTT[node] = ew
 	}
 	ew.Add(rttMs)
+	c.tmProbeRTT.Observe(rttMs)
 }
 
 // subscribeEdge adds a publisher for the substream. The full CDN pull is
@@ -187,6 +189,9 @@ func (c *Client) allSubstreamsCovered() bool {
 // candidates, apply the switching rule, detect dead publishers, and send
 // QoS reports to publishers.
 func (c *Client) switchTick() {
+	if c.started {
+		c.tmBuffer.Observe(c.BufferMs())
+	}
 	if !c.rliveActive {
 		return
 	}
@@ -231,7 +236,7 @@ func (c *Client) switchTick() {
 				c.probeNode(cand.Addr, st.ss)
 			}
 		}
-		c.applySwitchRule(st)
+		c.applySwitchRule(st, c.tmSwitchRTT)
 		c.sendQoSReport(st)
 	}
 }
@@ -245,7 +250,9 @@ func (c *Client) probeNode(node simnet.Addr, ss media.SubstreamID) {
 }
 
 // applySwitchRule implements RTT_cur > min_i(RTT_i + t_change) (§4.2.1).
-func (c *Client) applySwitchRule(st *substreamState) {
+// trigger is the telemetry counter attributing an executed switch to what
+// initiated the check (periodic RTT scan vs. an edge suggestion by reason).
+func (c *Client) applySwitchRule(st *substreamState, trigger *telemetry.Counter) {
 	if len(st.publishers) == 0 {
 		return
 	}
@@ -279,6 +286,7 @@ func (c *Client) applySwitchRule(st *substreamState) {
 	c.sendTo(best, &transport.SubscribeReq{Key: c.key(st.ss)})
 	c.EdgeSwitches++
 	c.QoE.Switches++
+	trigger.Inc()
 }
 
 // sendQoSReport piggybacks connection QoS to the primary publisher, feeding
@@ -316,8 +324,12 @@ func (c *Client) onSuggestion(from simnet.Addr, m *transport.SwitchSuggestion) {
 	if !c.isPublisher(st, from) {
 		return
 	}
+	trigger := c.tmSwitchCost
+	if m.Reason == transport.SuggestQoS {
+		trigger = c.tmSwitchQoS
+	}
 	before := c.EdgeSwitches
-	c.applySwitchRule(st)
+	c.applySwitchRule(st, trigger)
 	if c.EdgeSwitches == before {
 		// No better candidate: refresh the list (§4.2.2 last ¶).
 		req := &transport.CandidateReq{Key: c.key(ss), Client: c.cfg.Info}

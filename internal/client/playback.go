@@ -65,6 +65,7 @@ func (c *Client) playTick() {
 		iv := c.intervalMs()
 		drop := uint64(buf-c.cfg.StartupBufferMs) / iv * iv
 		c.QoE.FramesLost += int(drop / iv)
+		c.tmLost.Add(drop / iv)
 		c.traceLossRange(c.playhead, c.playhead+drop)
 		c.playhead += drop
 	}
@@ -80,8 +81,10 @@ func (c *Client) playTick() {
 	if onset {
 		c.stallOnsetAt = c.sim.Now()
 		c.tr.Rec(trace.KStall, uint32(c.stream), c.playhead, 0, 0)
+		c.tmStallOnsets.Inc()
 	}
 	c.QoE.AddStall(c.cfg.FrameInterval, onset)
+	c.tmStallNs.Add(uint64(c.cfg.FrameInterval))
 	// Falling back was supposed to fix the stall; if the dedicated path
 	// itself keeps stalling (the CDN is the bottleneck — exactly the
 	// situation edge offload exists for), re-engage multi-source without
@@ -124,6 +127,7 @@ func (c *Client) playFrame(dts uint64, a *frameAsm) {
 	if !a.played {
 		a.played = true
 		c.QoE.FramesPlayed++
+		c.tmPlayed.Inc()
 		// Decode + render dominates device compute; the delivery
 		// protocol's per-packet work rides on top of this baseline
 		// (Fig 10 measures that small relative overhead).
@@ -185,6 +189,7 @@ func (c *Client) SkipForward() {
 	iv := c.intervalMs()
 	skipped := int((next - c.playhead) / iv)
 	c.QoE.FramesLost += skipped
+	c.tmLost.Add(uint64(skipped))
 	c.traceLossRange(c.playhead, next)
 	c.playhead = next
 }

@@ -147,6 +147,7 @@ func (c *Client) recoveryTick() {
 			a.retxPending = true
 			a.lastRetx = now
 			c.TimeoutRetx++
+			c.tmRecRetryBE.Inc()
 		case recovery.FetchDedicated:
 			c.fetchDedicated(d.Frame.Dts, a)
 			a.retries++
@@ -177,6 +178,7 @@ func (c *Client) fetchDedicated(dts uint64, a *frameAsm) {
 	c.frameReqAt[dts] = now
 	c.sendTo(c.cfg.CDN, &transport.FrameReq{Stream: c.stream, Dts: dts})
 	c.DedicatedFetch++
+	c.tmRecFetch.Inc()
 	c.QoE.RetxRequests++
 	if a != nil {
 		size := int(a.header.Size)
@@ -198,6 +200,7 @@ func (c *Client) switchSubstreamToCDN(ss media.SubstreamID) {
 	st.switchedToCDN = true
 	st.switchbackAt = c.sim.Now()
 	c.SubstreamSwitch++
+	c.tmRecSwitchSS.Inc()
 	for _, pub := range st.publishers {
 		c.sendTo(pub, &transport.UnsubscribeReq{Key: c.key(ss)})
 	}
@@ -214,6 +217,7 @@ func (c *Client) fullFallback() {
 	}
 	c.traceAction(3, c.playhead)
 	c.FullFallbacks++
+	c.tmRecFallback.Inc()
 	c.QoE.Fallbacks++
 	for _, st := range c.subs {
 		for _, pub := range st.publishers {

@@ -104,6 +104,9 @@ func (s *System) AddClient(spec ClientSpec) *client.Client {
 	if s.Cfg.Trace != nil {
 		c.SetTrace(s.Cfg.Trace)
 	}
+	if s.Cfg.Telemetry != nil {
+		c.SetTelemetry(s.Cfg.Telemetry)
+	}
 	s.Net.SetHandler(addr, c.Handle)
 	c.Start()
 	s.Clients = append(s.Clients, c)

@@ -8,9 +8,11 @@ import (
 	"repro/internal/edge"
 	"repro/internal/fleet"
 	"repro/internal/media"
+	"repro/internal/metrics"
 	"repro/internal/scheduler"
 	"repro/internal/simnet"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
 
@@ -80,6 +82,13 @@ type Config struct {
 	// of this system into the given per-run trace. nil (the default) keeps
 	// all hooks on the zero-cost path.
 	Trace *trace.Run
+	// Telemetry, when set, registers instruments from every component on
+	// this registry and scrapes them into a timeline every
+	// TelemetryScrapeEvery of sim time. nil (the default) keeps all hooks
+	// on the zero-cost path.
+	Telemetry *telemetry.Registry
+	// TelemetryScrapeEvery is the scrape cadence (default 5 s of sim time).
+	TelemetryScrapeEvery time.Duration
 }
 
 func (c *Config) setDefaults() {
@@ -103,6 +112,9 @@ func (c *Config) setDefaults() {
 	}
 	if len(c.Streams) == 0 {
 		c.Streams = []media.SourceConfig{{Stream: 1, FPS: 30, BitrateBps: 2e6}}
+	}
+	if c.TelemetryScrapeEvery == 0 {
+		c.TelemetryScrapeEvery = 5 * time.Second
 	}
 }
 
@@ -170,6 +182,10 @@ func NewSystem(cfg Config) *System {
 	// this wiring is free when tracing is off.
 	traceNow := func() int64 { return int64(sim.Now()) }
 	s.Sched.SetTrace(cfg.Trace.Buffer(trace.CompSched, uint32(schedAddr), traceNow))
+	// Telemetry instruments: every Set/register call below is nil-safe (a
+	// nil registry hands out nil instruments whose hooks are free).
+	net.SetTelemetry(cfg.Telemetry)
+	s.Sched.SetTelemetry(cfg.Telemetry)
 
 	// Fleet.
 	s.Fleet = fleet.New(fleet.Config{
@@ -181,6 +197,7 @@ func NewSystem(cfg Config) *System {
 		RefinedNAT:     cfg.RefinedNAT,
 		LifespanMedian: cfg.LifespanMedian,
 	}, rng, sim, net)
+	s.Fleet.SetTelemetry(cfg.Telemetry)
 
 	// CDN nodes host streams round-robin.
 	if cfg.DedicatedUplinkBps > 0 {
@@ -237,6 +254,7 @@ func NewSystem(cfg Config) *System {
 		}
 		en := edge.New(n.Addr, ecfg, sim, net, rng.Fork())
 		en.SetTrace(cfg.Trace.Buffer(trace.CompEdge, uint32(n.Addr), traceNow))
+		en.SetTelemetry(cfg.Telemetry)
 		for _, sc := range cfg.Streams {
 			en.SetSubstreamCount(sc.Stream, cfg.K)
 			for r := range cfg.ABRLadder {
@@ -320,6 +338,44 @@ func NewSystem(cfg Config) *System {
 	net.Priority = func(src, dst simnet.Addr) bool {
 		return src >= fleet.AddrDedicatedBase && src < fleet.AddrBestEffBase &&
 			dst >= fleet.AddrBestEffBase && dst < fleet.AddrClientBase
+	}
+
+	// System-level gauges and the scrape clock. GaugeFuncs are evaluated at
+	// scrape time and must be deterministic: every scan below walks a slice
+	// (never a map) so serial and parallel runs serialize identically.
+	if cfg.Telemetry != nil {
+		reg := cfg.Telemetry
+		reg.GaugeFunc("net.inflight", func() float64 { return float64(sim.InFlight()) })
+		reg.GaugeFunc("chain.pending", func() float64 {
+			n := 0
+			for _, c := range s.Clients {
+				n += c.PendingChains()
+			}
+			return float64(n)
+		})
+		reg.GaugeFunc("edge.gamma", func() float64 {
+			var sum float64
+			var n int
+			for _, nd := range s.Fleet.BestEffort {
+				en := s.Edges[nd.Addr]
+				if en == nil || en.BytesBackward == 0 {
+					continue
+				}
+				var ta metrics.TrafficAccount
+				ta.ServingBytes = float64(en.BytesServed)
+				ta.BackwardBytes = float64(en.BytesBackward)
+				sum += ta.ExpansionRate()
+				n++
+			}
+			if n == 0 {
+				return 0
+			}
+			return sum / float64(n)
+		})
+		sim.Every(cfg.TelemetryScrapeEvery, func() bool {
+			reg.Scrape(int64(sim.Now()))
+			return true
+		})
 	}
 	return s
 }

@@ -17,6 +17,7 @@ import (
 	"repro/internal/scheduler"
 	"repro/internal/simnet"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 	"repro/internal/transport"
 )
@@ -155,10 +156,30 @@ type Node struct {
 
 	// tr records frame-lifecycle events; nil disables tracing.
 	tr *trace.Buf
+
+	// Telemetry instruments, shared fleet-wide by name (nil when off).
+	tmUtil        *telemetry.Histogram
+	tmSuggestCost *telemetry.Counter
+	tmSuggestQoS  *telemetry.Counter
+	tmZScans      *telemetry.Counter
+	tmZOutliers   *telemetry.Counter
 }
 
 // SetTrace attaches (or detaches, with nil) a frame-lifecycle trace buffer.
 func (n *Node) SetTrace(b *trace.Buf) { n.tr = b }
+
+// SetTelemetry registers edge instruments on reg. Instrument names are
+// shared across the fleet, so every node records into the same
+// utilization distribution and suggestion counters. Nil reg keeps every
+// hook free.
+func (n *Node) SetTelemetry(reg *telemetry.Registry) {
+	n.tmUtil = reg.Histogram("edge.util",
+		[]float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1})
+	n.tmSuggestCost = reg.Counter("edge.suggest.cost")
+	n.tmSuggestQoS = reg.Counter("edge.suggest.qos")
+	n.tmZScans = reg.Counter("edge.zscan")
+	n.tmZOutliers = reg.Counter("edge.zscan.outliers")
+}
 
 // New returns an edge node. Register node.Handle as the simnet handler and
 // call Start to begin periodic duties.
@@ -226,6 +247,7 @@ func (n *Node) sampleUtilization() {
 		u = sess
 	}
 	n.util.Add(u)
+	n.tmUtil.Observe(n.util.Value())
 }
 
 // scheduleHeartbeat sends status to the scheduler every 5 s when active,
@@ -633,6 +655,7 @@ func (n *Node) onStreamUtil(m *transport.StreamUtilResp) {
 		sg := &transport.SwitchSuggestion{Key: m.Key, Reason: transport.SuggestCost}
 		n.net.Send(n.Addr, sub, transport.WireSize(sg), sg)
 		n.CostSuggestions++
+		n.tmSuggestCost.Inc()
 	}
 }
 
@@ -666,8 +689,11 @@ func (n *Node) qosTrigger() {
 	if w.N() < 4 {
 		return // too few connections for a meaningful Z-score
 	}
+	n.tmZScans.Inc()
 	for _, c := range conns {
 		if w.ZScore(c.m) > n.cfg.OutlierZ {
+			n.tmZOutliers.Inc()
+			n.tmSuggestQoS.Inc()
 			sg := &transport.SwitchSuggestion{Key: c.key, Reason: transport.SuggestQoS}
 			n.net.Send(n.Addr, c.sub, transport.WireSize(sg), sg)
 			n.QoSSuggestions++

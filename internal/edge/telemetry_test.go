@@ -1,0 +1,84 @@
+package edge
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/simnet"
+	"repro/internal/telemetry"
+	"repro/internal/transport"
+)
+
+// TestCostTriggerCountedByTelemetry: the proactive cost trigger must both
+// fire (suggestions reach the subscriber) and be counted by the shared
+// edge.suggest.cost instrument, matching the node's own counter exactly.
+func TestCostTriggerCountedByTelemetry(t *testing.T) {
+	h := newHarness(t, Config{AdviserEnabled: true, CostCheckEvery: 5 * time.Second})
+	reg := telemetry.NewRegistry("edge-test", 1)
+	h.node.SetTelemetry(reg)
+	h.net.SetHandler(schedAddr, func(from simnet.Addr, msg any) {
+		if r, ok := msg.(*transport.StreamUtilReq); ok {
+			resp := &transport.StreamUtilResp{Key: r.Key, Util: 0.1, N: 5}
+			h.net.Send(schedAddr, from, transport.WireSize(resp), resp)
+		}
+	})
+	h.clientSend(&transport.SubscribeReq{Key: key(0)})
+	h.cdn.Start()
+	h.node.Start()
+	h.sim.Run(30 * time.Second)
+
+	if h.node.CostSuggestions == 0 {
+		t.Fatal("cost trigger never fired")
+	}
+	if got := reg.Counter("edge.suggest.cost").Value(); got != h.node.CostSuggestions {
+		t.Fatalf("telemetry cost suggestions = %d, node counter = %d",
+			got, h.node.CostSuggestions)
+	}
+	// The periodic utilization sampler feeds the edge.util histogram.
+	if reg.Histogram("edge.util", nil).N() == 0 {
+		t.Fatal("utilization histogram never observed")
+	}
+}
+
+// TestQoSTriggerCountedByTelemetry: the Z-score scan must record every scan
+// pass in edge.zscan and every flagged outlier in both edge.zscan.outliers
+// and edge.suggest.qos, matching the node's QoSSuggestions counter.
+func TestQoSTriggerCountedByTelemetry(t *testing.T) {
+	h := newHarness(t, Config{AdviserEnabled: true, QoSCheckEvery: time.Second})
+	reg := telemetry.NewRegistry("edge-test", 1)
+	h.node.SetTelemetry(reg)
+	subs := make([]simnet.Addr, 8)
+	for i := range subs {
+		subs[i] = simnet.Addr(6000 + i)
+		h.net.Register(subs[i], simnet.LinkState{UplinkBps: 100e6}, func(simnet.Addr, any) {})
+		h.net.Send(subs[i], edgeAddr, 36, &transport.SubscribeReq{Key: key(0)})
+	}
+	h.sim.Run(100 * time.Millisecond)
+	for round := 0; round < 5; round++ {
+		for i, addr := range subs {
+			rtt := 30.0
+			if i == 0 {
+				rtt = 500
+			}
+			h.net.Send(addr, edgeAddr, 52, &transport.QoSReport{Key: key(0), RTTms: rtt})
+		}
+		h.sim.Run(h.sim.Now() + 500*time.Millisecond)
+	}
+	h.node.Start()
+	h.sim.Run(h.sim.Now() + 5*time.Second)
+
+	if reg.Counter("edge.zscan").Value() == 0 {
+		t.Fatal("Z-score scans never counted")
+	}
+	outliers := reg.Counter("edge.zscan.outliers").Value()
+	if outliers == 0 {
+		t.Fatal("outlier never flagged by telemetry")
+	}
+	if got := reg.Counter("edge.suggest.qos").Value(); got != outliers {
+		t.Fatalf("qos suggestions = %d, flagged outliers = %d", got, outliers)
+	}
+	if got := reg.Counter("edge.suggest.qos").Value(); got != h.node.QoSSuggestions {
+		t.Fatalf("telemetry qos suggestions = %d, node counter = %d",
+			got, h.node.QoSSuggestions)
+	}
+}

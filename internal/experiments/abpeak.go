@@ -1,0 +1,124 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/core"
+	"repro/internal/telemetry"
+	"repro/internal/trace"
+)
+
+// ABPeak is the telemetry showcase: the evening-peak A/B pair of ABBaseline
+// re-run with the full instrument registry attached. Each arm scrapes every
+// instrument on a fixed sim-time cadence and the result renders the timeline
+// as per-bucket tables — stall onsets and stall seconds, publisher switches
+// by trigger, edge utilization P50/P90, and scheduler load — the simulated
+// counterpart of the paper's operational dashboards (Figs 9–12).
+//
+// The final table per arm is a reconciliation: the cumulative telemetry
+// counters at the last scrape must equal the metrics.SessionQoE aggregates
+// EXACTLY (frames played, frames lost, stall nanoseconds — all integer
+// arithmetic), and, when Scale.Trace is also set, the frame-lifecycle trace
+// totals as well. CI pins this invariant.
+func ABPeak(sc Scale) *Result {
+	modes := []client.Mode{client.ModeCDNOnly, client.ModeRLive}
+	// Bucket the run into ~6 scrape intervals so quick and full scales both
+	// render a readable timeline.
+	bucket := sc.Duration / 6
+	if bucket < time.Second {
+		bucket = time.Second
+	}
+	type cell struct {
+		reg          *telemetry.Registry
+		tr           *trace.Run
+		played, lost int
+		stallNs      uint64
+	}
+	cells := RunCells(len(modes), func(i int) cell {
+		reg := telemetry.NewRegistry("ab-peak/"+modes[i].String(), sc.Seed)
+		var run *trace.Run
+		tune := func(cfg *core.Config) {
+			cfg.Telemetry = reg
+			cfg.TelemetryScrapeEvery = bucket
+			if sc.Trace {
+				run = trace.NewRun("ab-peak/"+modes[i].String(), sc.Seed)
+				cfg.Trace = run
+			}
+		}
+		s := abRun(sc, modes[i], eveningPeak, tune)
+		// Close the timeline with an end-of-run scrape (idempotent when a
+		// periodic scrape already fired at this instant) so the cumulative
+		// totals cover the entire run.
+		reg.Scrape(int64(s.Sim.Now()))
+		c := cell{reg: reg, tr: run}
+		for _, cl := range s.Clients {
+			c.played += cl.QoE.FramesPlayed
+			c.lost += cl.QoE.FramesLost
+			c.stallNs += cl.QoE.StalledNs
+		}
+		run.Finish()
+		return c
+	})
+
+	res := &Result{ID: "ab-peak"}
+	for i, c := range cells {
+		res.Timelines = append(res.Timelines, c.reg)
+		if c.tr != nil {
+			res.Traces = append(res.Traces, c.tr)
+		}
+
+		tbl := &Table{ID: "ab-peak",
+			Title: "Evening-peak timeline: " + modes[i].String(),
+			Header: []string{"t (s)", "stall onsets", "stall s", "switches",
+				"util p50", "util p90", "sched qps"}}
+		for k := 1; k < c.reg.NumScrapes(); k++ {
+			t0, t1 := c.reg.ScrapeAt(k-1), c.reg.ScrapeAt(k)
+			secs := float64(t1-t0) / 1e9
+			if secs <= 0 {
+				continue
+			}
+			delta := func(name string) uint64 {
+				return c.reg.CounterAt(k, name) - c.reg.CounterAt(k-1, name)
+			}
+			switches := delta("client.switches.rtt") +
+				delta("client.switches.cost") + delta("client.switches.qos")
+			util := c.reg.HistAt(k, "edge.util").Sub(c.reg.HistAt(k-1, "edge.util"))
+			tbl.AddRow(
+				f0(float64(t1)/1e9),
+				u64(delta("client.stall_onsets")),
+				f2(float64(delta("client.stall_ns"))/1e9),
+				u64(switches),
+				f2(util.Quantile(0.5)),
+				f2(util.Quantile(0.9)),
+				f2(float64(delta("sched.requests"))/secs),
+			)
+		}
+		res.Tables = append(res.Tables, tbl)
+
+		// Reconciliation: cumulative telemetry at the last scrape vs the
+		// SessionQoE aggregates (and the trace totals when recorded). All
+		// three pipelines count the same events at the same sites, so the
+		// columns must match exactly.
+		last := c.reg.NumScrapes() - 1
+		rec := &Table{ID: "ab-peak",
+			Title:  "Telemetry reconciliation: " + modes[i].String(),
+			Header: []string{"metric", "telemetry", "qoe", "trace"}}
+		tracePlayed, traceLost := "-", "-"
+		if c.tr != nil {
+			sum := trace.Summarize(c.tr)
+			tracePlayed, traceLost = itoa(sum.Played), itoa(sum.Lost)
+		}
+		rec.AddRow("frames played", u64(c.reg.CounterAt(last, "client.frames_played")),
+			itoa(c.played), tracePlayed)
+		rec.AddRow("frames lost", u64(c.reg.CounterAt(last, "client.frames_lost")),
+			itoa(c.lost), traceLost)
+		rec.AddRow("stall ns", u64(c.reg.CounterAt(last, "client.stall_ns")),
+			u64(c.stallNs), "-")
+		res.Tables = append(res.Tables, rec)
+	}
+	return res
+}
+
+func u64(n uint64) string { return fmt.Sprintf("%d", n) }

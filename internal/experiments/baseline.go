@@ -4,6 +4,7 @@ import (
 	"repro/internal/client"
 	"repro/internal/core"
 	"repro/internal/metrics"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
 
@@ -19,23 +20,36 @@ func ABBaseline(sc Scale) *Result {
 	type cell struct {
 		m            abMetrics
 		tr           *trace.Run
+		reg          *telemetry.Registry
 		played, lost int
 	}
 	cells := RunCells(len(modes), func(i int) cell {
 		var run *trace.Run
+		var reg *telemetry.Registry
 		var tune func(*core.Config)
-		if sc.Trace {
-			run = trace.NewRun("ab-baseline/"+modes[i].String(), sc.Seed)
-			tune = func(cfg *core.Config) { cfg.Trace = run }
+		if sc.Trace || sc.Telemetry {
+			if sc.Trace {
+				run = trace.NewRun("ab-baseline/"+modes[i].String(), sc.Seed)
+			}
+			if sc.Telemetry {
+				reg = telemetry.NewRegistry("ab-baseline/"+modes[i].String(), sc.Seed)
+			}
+			tune = func(cfg *core.Config) {
+				cfg.Trace = run
+				cfg.Telemetry = reg
+			}
 		}
 		s := abRun(sc, modes[i], eveningPeak, tune)
+		// Close the telemetry timeline at the end of the run (idempotent
+		// when a periodic scrape already fired at this instant).
+		reg.Scrape(int64(s.Sim.Now()))
 		var played, lost int
 		for _, c := range s.Clients {
 			played += c.QoE.FramesPlayed
 			lost += c.QoE.FramesLost
 		}
 		run.Finish()
-		return cell{m: measure(s), tr: run, played: played, lost: lost}
+		return cell{m: measure(s), tr: run, reg: reg, played: played, lost: lost}
 	})
 	ctrl, test := cells[0], cells[1]
 
@@ -51,6 +65,11 @@ func ABBaseline(sc Scale) *Result {
 	tbl.AddRow("frames lost (QoE)", itoa(ctrl.lost), itoa(test.lost), "")
 	res := &Result{ID: "ab-baseline", Tables: []*Table{tbl}}
 
+	for _, c := range cells {
+		if c.reg != nil {
+			res.Timelines = append(res.Timelines, c.reg)
+		}
+	}
 	for i, c := range cells {
 		if c.tr == nil {
 			continue

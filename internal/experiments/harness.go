@@ -12,6 +12,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
 
@@ -30,9 +31,13 @@ type Scale struct {
 	// numbers) so A/B differences are not noise.
 	Seed uint64
 	// Trace enables per-arm frame-lifecycle tracing in experiments that
-	// support it (ab-baseline); the recorded runs come back in
+	// support it (ab-baseline, ab-peak); the recorded runs come back in
 	// Result.Traces, one per cell in cell order.
 	Trace bool
+	// Telemetry enables per-arm instrument timelines in experiments that
+	// support it (ab-baseline; ab-peak always records them); the scraped
+	// registries come back in Result.Timelines in cell order.
+	Telemetry bool
 }
 
 // Quick is the test/bench scale.
@@ -123,6 +128,9 @@ type Result struct {
 	// Traces holds per-arm frame-lifecycle traces (finished, in cell
 	// order) when the experiment ran with Scale.Trace set.
 	Traces []*trace.Run
+	// Timelines holds per-arm telemetry timelines (scraped registries, in
+	// cell order) when the experiment recorded telemetry.
+	Timelines []*telemetry.Registry
 }
 
 // String renders all outputs.
@@ -159,6 +167,7 @@ func min(a, b int) int {
 // catalogue.
 var Registry = map[string]func(Scale) *Result{
 	"ab-baseline": ABBaseline,
+	"ab-peak":     ABPeak,
 
 	"fig1b":    Fig1bCapacity,
 	"fig2a":    Fig2aStrawmanQoE,
@@ -200,6 +209,7 @@ var Registry = map[string]func(Scale) *Result{
 func IDs() []string {
 	return []string{
 		"ab-baseline",
+		"ab-peak",
 		"fig1b", "fig2a", "fig2b", "fig2c", "fig2d", "fig3", "tab1",
 		"fig8", "fig9", "tab2", "fig10", "fig11", "fig12", "tab3",
 		"fig13", "tab4", "fallback",

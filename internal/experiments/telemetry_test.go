@@ -1,0 +1,124 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+// telemScale keeps the telemetry determinism test fast while still
+// exercising stalls, switches, and scheduler load under evening-peak
+// pressure.
+var telemScale = Scale{
+	BestEffort: 32, Dedicated: 1, Clients: 8,
+	Duration: 15 * time.Second, Seed: 7, Trace: true,
+}
+
+// encodeTimelines renders a result's telemetry exactly as the CLI
+// -telemetry flag does: concatenated JSONL in cell order.
+func encodeTimelines(t *testing.T, res *Result) []byte {
+	t.Helper()
+	var w bytes.Buffer
+	for _, r := range res.Timelines {
+		if err := r.WriteJSONL(&w); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return w.Bytes()
+}
+
+// TestABPeakTelemetryDeterministic: the CI determinism gate's property —
+// repeated same-seed runs, serial or parallel, produce byte-identical
+// rendered output and byte-identical timeline JSONL.
+func TestABPeakTelemetryDeterministic(t *testing.T) {
+	serialAfter(t)
+	r1 := ABPeak(telemScale)
+	r2 := ABPeak(telemScale)
+	SetParallelism(4)
+	r3 := ABPeak(telemScale)
+
+	if r1.String() != r2.String() {
+		t.Fatal("repeated serial runs rendered differently")
+	}
+	if r1.String() != r3.String() {
+		t.Fatal("parallel run rendered differently from serial")
+	}
+	b1, b2, b3 := encodeTimelines(t, r1), encodeTimelines(t, r2), encodeTimelines(t, r3)
+	if len(b1) == 0 {
+		t.Fatal("no telemetry output")
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Fatal("repeated serial runs scraped differently")
+	}
+	if !bytes.Equal(b1, b3) {
+		t.Fatal("parallel run scraped differently from serial")
+	}
+	if len(r1.Timelines) != 2 {
+		t.Fatalf("got %d timelines, want 2 (one per arm)", len(r1.Timelines))
+	}
+	for i, reg := range r1.Timelines {
+		if reg.NumScrapes() < 2 {
+			t.Fatalf("arm %d: only %d scrapes", i, reg.NumScrapes())
+		}
+	}
+}
+
+// TestABPeakTelemetryReconciles: the cumulative telemetry counters must
+// equal the SessionQoE aggregates exactly — and, since the run also traces,
+// the frame-lifecycle totals as well. The reconciliation tables carry all
+// three columns; any mismatch is a missed or double-counted hook.
+func TestABPeakTelemetryReconciles(t *testing.T) {
+	res := ABPeak(telemScale)
+	recs := 0
+	for _, tbl := range res.Tables {
+		if !strings.HasPrefix(tbl.Title, "Telemetry reconciliation:") {
+			continue
+		}
+		recs++
+		for _, row := range tbl.Rows {
+			metric, tm, qoe, tr := row[0], row[1], row[2], row[3]
+			if tm != qoe {
+				t.Errorf("%s: %s: telemetry %s != qoe %s", tbl.Title, metric, tm, qoe)
+			}
+			if tr != "-" && tm != tr {
+				t.Errorf("%s: %s: telemetry %s != trace %s", tbl.Title, metric, tm, tr)
+			}
+			if tm == "0" && metric == "frames played" {
+				t.Errorf("%s: no frames played recorded", tbl.Title)
+			}
+		}
+	}
+	if recs != 2 {
+		t.Fatalf("found %d reconciliation tables, want 2", recs)
+	}
+	if len(res.Traces) != 2 {
+		t.Fatalf("got %d traces, want 2 (telemScale sets Trace)", len(res.Traces))
+	}
+}
+
+// TestABBaselineTelemetryOptIn: ab-baseline records timelines only when
+// Scale.Telemetry is set, and an enabled run scrapes real data.
+func TestABBaselineTelemetryOptIn(t *testing.T) {
+	sc := telemScale
+	sc.Trace = false
+	sc.Duration = 5 * time.Second
+	res := ABBaseline(sc)
+	if len(res.Timelines) != 0 {
+		t.Fatalf("telemetry off: got %d timelines, want 0", len(res.Timelines))
+	}
+	sc.Telemetry = true
+	res = ABBaseline(sc)
+	if len(res.Timelines) != 2 {
+		t.Fatalf("telemetry on: got %d timelines, want 2", len(res.Timelines))
+	}
+	for i, reg := range res.Timelines {
+		last := reg.NumScrapes() - 1
+		if last < 0 {
+			t.Fatalf("arm %d: no scrapes", i)
+		}
+		if reg.CounterAt(last, "client.frames_played") == 0 {
+			t.Errorf("arm %d: frames_played counter never incremented", i)
+		}
+	}
+}

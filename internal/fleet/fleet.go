@@ -22,6 +22,7 @@ import (
 	"repro/internal/nat"
 	"repro/internal/simnet"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 )
 
 // NodeClass distinguishes dedicated CDN nodes from best-effort nodes.
@@ -142,6 +143,14 @@ type Fleet struct {
 
 	// OnChurn, if set, is invoked when a node transitions on/offline.
 	OnChurn func(n *Node, online bool)
+
+	// onlineBE tracks the online best-effort node count; telemetry
+	// instruments record churn directly (independent of OnChurn, which
+	// fault injectors may claim).
+	onlineBE int
+	tmJoins  *telemetry.Counter
+	tmLeaves *telemetry.Counter
+	tmOnline *telemetry.Gauge
 }
 
 // AddrBase offsets for the different entity families sharing the simnet
@@ -186,12 +195,28 @@ func New(cfg Config, rng *stats.RNG, sim *simnet.Sim, net *simnet.Network) *Flee
 			net.Register(n.Addr, bestEffortLinkState(n, rng), nil)
 		}
 	}
+	f.onlineBE = len(f.BestEffort) // all nodes start online
 	if cfg.ChurnEnabled && sim != nil && net != nil {
 		for _, n := range f.BestEffort {
 			f.scheduleChurn(sim, net, n)
 		}
 	}
 	return f
+}
+
+// SetTelemetry registers fleet instruments on reg: join/leave counters,
+// the online-node gauge, and the static capacity-ceiling distribution
+// (Fig 1b). Nil reg keeps every hook free.
+func (f *Fleet) SetTelemetry(reg *telemetry.Registry) {
+	f.tmJoins = reg.Counter("fleet.joins")
+	f.tmLeaves = reg.Counter("fleet.leaves")
+	f.tmOnline = reg.Gauge("fleet.online")
+	capHist := reg.Histogram("fleet.capacity_bps",
+		[]float64{1e6, 5e6, 10e6, 20e6, 50e6, 100e6, 500e6})
+	for _, n := range f.BestEffort {
+		capHist.Observe(n.UplinkBps)
+	}
+	f.tmOnline.Set(float64(f.onlineBE))
 }
 
 // Node returns the node with the given address, or nil.
@@ -323,6 +348,9 @@ func (f *Fleet) scheduleChurn(sim *simnet.Sim, net *simnet.Network, n *Node) {
 		d := time.Duration(f.rng.Exponential(float64(n.MeanLifespan)))
 		sim.After(d, func() {
 			net.SetOnline(n.Addr, false)
+			f.onlineBE--
+			f.tmLeaves.Inc()
+			f.tmOnline.Set(float64(f.onlineBE))
 			if f.OnChurn != nil {
 				f.OnChurn(n, false)
 			}
@@ -333,6 +361,9 @@ func (f *Fleet) scheduleChurn(sim *simnet.Sim, net *simnet.Network, n *Node) {
 		d := time.Duration(f.rng.Exponential(float64(n.MeanDowntime)))
 		sim.After(d, func() {
 			net.SetOnline(n.Addr, true)
+			f.onlineBE++
+			f.tmJoins.Inc()
+			f.tmOnline.Set(float64(f.onlineBE))
 			if f.OnChurn != nil {
 				f.OnChurn(n, true)
 			}

@@ -19,6 +19,11 @@ type SessionQoE struct {
 	PlayedMs float64
 	// StalledMs is total rebuffering time.
 	StalledMs float64
+	// StalledNs is the same total in integer nanoseconds. Float
+	// accumulation order differs across aggregation shapes, so exact
+	// reconciliation against telemetry counters happens in this integer
+	// domain.
+	StalledNs uint64
 	// RebufferEvents counts stall onsets.
 	RebufferEvents int
 	// BitrateBps tracks the time-weighted delivered bitrate.
@@ -44,9 +49,14 @@ type SessionQoE struct {
 	Fallbacks int
 }
 
+// e2eSampleCap bounds per-session latency retention. A 40 s quick run
+// produces ~1200 frames (unaffected); an hours-long session thins to the
+// cap instead of holding every frame's latency in memory.
+const e2eSampleCap = 4096
+
 // NewSessionQoE returns an empty session accumulator.
 func NewSessionQoE() *SessionQoE {
-	return &SessionQoE{E2ELatency: stats.NewSample(256)}
+	return &SessionQoE{E2ELatency: stats.NewCappedSample(256, e2eSampleCap)}
 }
 
 // AddPlayback records d of smooth playback at the given delivered bitrate.
@@ -59,6 +69,7 @@ func (q *SessionQoE) AddPlayback(d time.Duration, bitrateBps float64) {
 // AddStall records a rebuffering interval; onset marks a new event.
 func (q *SessionQoE) AddStall(d time.Duration, onset bool) {
 	q.StalledMs += float64(d) / float64(time.Millisecond)
+	q.StalledNs += uint64(d)
 	if onset {
 		q.RebufferEvents++
 	}

@@ -7,6 +7,7 @@ import (
 	"repro/internal/nat"
 	"repro/internal/simnet"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
 
@@ -103,10 +104,35 @@ type Scheduler struct {
 
 	// tr records candidate-recommendation events; nil disables tracing.
 	tr *trace.Buf
+
+	// Telemetry instruments (nil when telemetry is off).
+	tmRequests   *telemetry.Counter
+	tmCandidates *telemetry.Histogram
+	tmScore      *telemetry.Histogram
 }
 
 // SetTrace attaches (or detaches, with nil) a frame-lifecycle trace buffer.
 func (s *Scheduler) SetTrace(b *trace.Buf) { s.tr = b }
+
+// SetTelemetry registers scheduler instruments on reg: the request
+// counter, candidate-set-size and score distributions, and a derived
+// blacklist-size gauge (a count-only scan, deterministic regardless of
+// map iteration order). Nil reg keeps every hook free.
+func (s *Scheduler) SetTelemetry(reg *telemetry.Registry) {
+	s.tmRequests = reg.Counter("sched.requests")
+	s.tmCandidates = reg.Histogram("sched.candidates", []float64{0, 1, 2, 4, 8, 16, 32})
+	s.tmScore = reg.Histogram("sched.score", []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.8, 1})
+	reg.GaugeFunc("sched.blacklisted", func() float64 {
+		now := s.now()
+		var n int
+		for _, st := range s.nodes {
+			if st.blacklistedUntil > now {
+				n++
+			}
+		}
+		return float64(n)
+	})
+}
 
 // Frac returns a pointer to f, for Config.ExploreFrac literals.
 func Frac(f float64) *float64 { return &f }
@@ -343,6 +369,11 @@ func (s *Scheduler) Recommend(key SubstreamKey, c ClientInfo) ([]Candidate, time
 	s.RecLatency.Add(float64(lat) / float64(time.Millisecond))
 	s.perReqNodes.Add(float64(len(pool)))
 	s.tr.Rec(trace.KSchedCandidates, uint32(key.Stream), 0, uint64(len(out)), uint64(key.Substream))
+	s.tmRequests.Inc()
+	s.tmCandidates.Observe(float64(len(out)))
+	for i := range out {
+		s.tmScore.Observe(out[i].Score)
+	}
 	return out, lat
 }
 

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 )
 
 // Addr identifies a network endpoint (CDN node, best-effort node, client,
@@ -97,11 +98,21 @@ type Network struct {
 	Delivered uint64
 	// Dropped counts messages lost to link loss or offline receivers.
 	Dropped uint64
+
+	// tmQueueMs histograms per-packet uplink queueing delay (ms) for
+	// packets that survive the loss/drop-tail checks; nil disables it.
+	tmQueueMs *telemetry.Histogram
 }
 
 // NewNetwork returns a network on the given simulator and RNG.
 func NewNetwork(sim *Sim, rng *stats.RNG) *Network {
 	return &Network{sim: sim, rng: rng, nodes: make(map[Addr]*node)}
+}
+
+// SetTelemetry registers the network's instruments on reg. A nil reg
+// yields nil instruments, keeping every hook on the zero-cost path.
+func (n *Network) SetTelemetry(reg *telemetry.Registry) {
+	n.tmQueueMs = reg.Histogram("net.queue_ms", []float64{0.1, 0.3, 1, 3, 10, 30, 100, 300})
 }
 
 // Register adds an endpoint with the given link state and message handler.
@@ -264,6 +275,7 @@ func (n *Network) owd(src, dst *node, size int) (time.Duration, bool) {
 		jitter += dst.state.DegradedExtraOWD
 	}
 	jitter += src.perturbOWD + dst.perturbOWD
+	n.tmQueueMs.Observe(float64(queueing) / float64(time.Millisecond))
 	return queueing + ser + prop + jitter, true
 }
 

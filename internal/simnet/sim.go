@@ -91,6 +91,10 @@ type Sim struct {
 	fnFree   int32 // free-list heads; -1 when empty
 	delFree  int32
 	tickFree int32
+
+	// inflight counts packet deliveries currently queued (sent, not yet
+	// delivered or dropped at arrival) — the telemetry in-flight gauge.
+	inflight int
 }
 
 // NewSim returns a simulator with the clock at zero.
@@ -208,7 +212,12 @@ func (s *Sim) scheduleDeliver(delay Time, net *Network, dst *node, src Addr, siz
 		i = int32(len(s.delPool) - 1)
 	}
 	s.push(s.now+delay, evDeliver, i)
+	s.inflight++
 }
+
+// InFlight returns the number of packets currently in flight (enqueued
+// deliveries not yet executed).
+func (s *Sim) InFlight() int { return s.inflight }
 
 // Step executes the next event, returning false when the queue is empty.
 func (s *Sim) Step() bool {
@@ -233,6 +242,7 @@ func (s *Sim) Step() bool {
 		ev := s.delPool[idx]
 		s.delPool[idx] = deliverEvent{next: s.delFree}
 		s.delFree = idx
+		s.inflight--
 		ev.net.deliver(ev.dst, ev.src, int(ev.size), ev.msg, ev.epoch)
 	case evTick:
 		// The record stays live across the callback (so the slot cannot

@@ -49,19 +49,69 @@ func (w *Welford) ZScore(x float64) float64 {
 }
 
 // Sample collects raw observations for percentile/CDF queries. The zero
-// value is ready to use.
+// value is ready to use and retains every observation; NewCappedSample
+// bounds retention by deterministic stride thinning so long-running
+// accumulators (e.g. per-frame latency over a million-frame session)
+// stay O(cap) instead of growing linearly.
 type Sample struct {
 	xs     []float64
 	sorted bool
+	// max bounds retention (0 = unbounded). When len(xs) reaches max the
+	// sample keeps every other retained element and doubles stride, so
+	// from then on only every stride-th Add is recorded — a deterministic
+	// (RNG-free) thinning that preserves uniform coverage of the
+	// observation sequence.
+	max    int
+	stride int
+	skip   int
 }
 
-// NewSample returns a Sample pre-sized for n observations.
+// NewSample returns an unbounded Sample pre-sized for n observations.
 func NewSample(n int) *Sample { return &Sample{xs: make([]float64, 0, n)} }
 
-// Add appends one observation.
+// NewCappedSample returns a Sample pre-sized for n observations that
+// retains at most max of them via stride thinning. max <= 0 means
+// unbounded.
+func NewCappedSample(n, max int) *Sample {
+	if max > 0 && n > max {
+		n = max
+	}
+	return &Sample{xs: make([]float64, 0, n), max: max, stride: 1}
+}
+
+// Cap returns the retention bound (0 = unbounded).
+func (s *Sample) Cap() int { return s.max }
+
+// Add appends one observation. On a capped sample past its first thinning,
+// only every stride-th observation is recorded.
 func (s *Sample) Add(x float64) {
+	if s.max > 0 {
+		if s.skip > 0 {
+			s.skip--
+			return
+		}
+		s.skip = s.stride - 1
+	}
 	s.xs = append(s.xs, x)
 	s.sorted = false
+	if s.max > 0 && len(s.xs) >= s.max {
+		s.thin()
+	}
+}
+
+// thin halves retention: keep every other retained element, double the
+// record stride. Deterministic — no RNG — so same-seed runs retain the
+// identical subset.
+func (s *Sample) thin() {
+	for i := 0; 2*i < len(s.xs); i++ {
+		s.xs[i] = s.xs[2*i]
+	}
+	s.xs = s.xs[:(len(s.xs)+1)/2]
+	if s.stride < 1 {
+		s.stride = 1
+	}
+	s.stride *= 2
+	s.skip = s.stride - 1
 }
 
 // N returns the number of observations.

@@ -1,0 +1,122 @@
+package stats
+
+import (
+	"math"
+	"reflect"
+	"testing"
+)
+
+// TestCappedSampleBoundsRetention: a million observations through a capped
+// sample must retain O(cap) values while keeping quantile estimates close
+// to the full population's.
+func TestCappedSampleBoundsRetention(t *testing.T) {
+	const total, cap = 1_000_000, 4096
+	s := NewCappedSample(256, cap)
+	for i := 0; i < total; i++ {
+		s.Add(float64(i))
+	}
+	if s.N() > cap {
+		t.Fatalf("retained %d values, cap %d", s.N(), cap)
+	}
+	if s.N() < cap/4 {
+		t.Fatalf("retained only %d values, thinning too aggressive for cap %d", s.N(), cap)
+	}
+	// Uniform 0..total-1: the median must stay near total/2 despite
+	// thinning (stride sampling preserves uniform sequence coverage).
+	if p50 := s.Percentile(50); math.Abs(p50-total/2) > total*0.02 {
+		t.Fatalf("P50 after thinning = %v, want ~%v", p50, total/2)
+	}
+	if p99 := s.Percentile(99); math.Abs(p99-total*0.99) > total*0.02 {
+		t.Fatalf("P99 after thinning = %v, want ~%v", p99, total*0.99)
+	}
+}
+
+// TestCappedSampleDeterministic: thinning uses no RNG, so two identical
+// observation sequences retain the identical subset.
+func TestCappedSampleDeterministic(t *testing.T) {
+	feed := func() []float64 {
+		s := NewCappedSample(16, 64)
+		for i := 0; i < 10_000; i++ {
+			s.Add(float64((i*2654435761)%9973) / 7)
+		}
+		out := make([]float64, s.N())
+		copy(out, s.Values())
+		return out
+	}
+	a, b := feed(), feed()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("identical sequences retained different subsets")
+	}
+}
+
+// TestUncappedSampleUnchanged: NewSample keeps the original retain-all
+// semantics existing callers rely on.
+func TestUncappedSampleUnchanged(t *testing.T) {
+	s := NewSample(4)
+	for i := 0; i < 1000; i++ {
+		s.Add(float64(i))
+	}
+	if s.N() != 1000 {
+		t.Fatalf("unbounded sample retained %d of 1000", s.N())
+	}
+	if s.Cap() != 0 {
+		t.Fatalf("unbounded sample reports cap %d", s.Cap())
+	}
+}
+
+// TestEWMAConvergesToConstant: feeding a constant drives the average to
+// it geometrically — after k steps the residual is (1-alpha)^k of the
+// initial gap.
+func TestEWMAConvergesToConstant(t *testing.T) {
+	e := NewEWMA(0.2)
+	e.Add(0) // initialize at 0
+	const target = 10.0
+	steps := 0
+	for math.Abs(e.Value()-target) > 1e-3 && steps < 1000 {
+		e.Add(target)
+		steps++
+	}
+	if steps >= 1000 {
+		t.Fatalf("EWMA did not converge: value %v after %d steps", e.Value(), steps)
+	}
+	// Residual after k steps is exactly (1-alpha)^k * gap; check the bound.
+	wantSteps := int(math.Ceil(math.Log(1e-3/target) / math.Log(0.8)))
+	if steps > wantSteps+1 {
+		t.Fatalf("converged in %d steps, geometric bound is %d", steps, wantSteps)
+	}
+}
+
+// TestSampleQuantileSingleElement: every percentile of a one-element
+// sample is that element.
+func TestSampleQuantileSingleElement(t *testing.T) {
+	s := NewSample(1)
+	s.Add(42)
+	for _, p := range []float64{0, 1, 50, 99, 100} {
+		if got := s.Percentile(p); got != 42 {
+			t.Fatalf("P%v of single-element sample = %v, want 42", p, got)
+		}
+	}
+}
+
+// TestSampleQuantileDuplicateHeavy: a sample dominated by one repeated
+// value must report it across the bulk quantile range, with the outliers
+// only at the extremes.
+func TestSampleQuantileDuplicateHeavy(t *testing.T) {
+	s := NewSample(100)
+	s.Add(1)
+	for i := 0; i < 98; i++ {
+		s.Add(5)
+	}
+	s.Add(9)
+	for _, p := range []float64{10, 25, 50, 75, 90} {
+		if got := s.Percentile(p); got != 5 {
+			t.Fatalf("P%v of duplicate-heavy sample = %v, want 5", p, got)
+		}
+	}
+	if got := s.Percentile(0); got != 1 {
+		t.Fatalf("P0 = %v, want 1", got)
+	}
+	if got := s.Percentile(100); got != 9 {
+		t.Fatalf("P100 = %v, want 9", got)
+	}
+}

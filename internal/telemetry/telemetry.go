@@ -1,0 +1,481 @@
+// Package telemetry is the deterministic time-series observability layer:
+// a per-run registry of typed instruments — monotone counters, gauges
+// (stored or derived), and fixed-bucket histograms — plus a sim-time
+// scraper that snapshots every instrument into a timeline.
+//
+// Design (mirrors internal/trace):
+//
+//   - A nil *Registry is the disabled collector. Instrument constructors
+//     on a nil registry return nil instruments, and every record method
+//     (Counter.Add, Gauge.Set, Histogram.Observe) is a single inlined nil
+//     check on a nil receiver — the zero-config path costs nothing and
+//     allocates nothing.
+//   - Each simulated System owns one Registry and the simulator is
+//     single-threaded, so instrument registration order, scrape times,
+//     and every recorded value are pure functions of the seed. Encoded
+//     timelines are byte-identical across repeated runs and across
+//     serial vs parallel experiment execution.
+//   - Counters are unsigned integers, histograms hold integer bucket
+//     counts, and the only floats (gauge values, histogram sums) are
+//     reproduced bit-exactly by identical operation order, then encoded
+//     with strconv.FormatFloat(v, 'g', -1, 64) — the shortest exact
+//     round-trip form — so the JSONL encoding is byte-reproducible.
+//   - Scrape snapshots are cumulative; consumers difference adjacent
+//     snapshots (HistSnap.Sub, counter deltas) to build per-interval
+//     views, keeping all reconciliation arithmetic in the integer domain.
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// Counter is a monotone event counter. A nil *Counter is the disabled
+// instrument: Add/Inc on it are a single branch with no allocation.
+type Counter struct{ v uint64 }
+
+// Add increments the counter by n. Safe (and free) on a nil receiver:
+// the wrapper stays under the inlining budget, so with telemetry disabled
+// every hook site compiles to one inlined nil check.
+func (c *Counter) Add(n uint64) {
+	if c == nil {
+		return
+	}
+	c.add(n)
+}
+
+func (c *Counter) add(n uint64) { c.v += n }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (0 for the nil instrument).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v
+}
+
+// Gauge is a last-write-wins instantaneous value.
+type Gauge struct{ v float64 }
+
+// Set stores the gauge value. Safe (and free) on a nil receiver.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.set(v)
+}
+
+func (g *Gauge) set(v float64) { g.v = v }
+
+// Value returns the current gauge value (0 for the nil instrument).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return g.v
+}
+
+// Histogram is a fixed-bucket histogram: observation v lands in the first
+// bucket whose upper edge satisfies v <= edge, or the overflow bucket.
+// Bucket counts are integers, so merged and differenced snapshots are
+// exact; the running sum is the only float and is reproduced bit-exactly
+// by identical observation order.
+type Histogram struct {
+	edges  []float64
+	counts []uint64 // len(edges)+1; last is overflow
+	sum    float64
+	n      uint64
+}
+
+// Observe records one observation. Safe (and free) on a nil receiver.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	h.observe(v)
+}
+
+func (h *Histogram) observe(v float64) {
+	h.n++
+	h.sum += v
+	for i, e := range h.edges {
+		if v <= e {
+			h.counts[i]++
+			return
+		}
+	}
+	h.counts[len(h.edges)]++
+}
+
+// N returns the total observation count (0 for the nil instrument).
+func (h *Histogram) N() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.n
+}
+
+// Snap copies the histogram's current state into a HistSnap.
+func (h *Histogram) Snap() HistSnap {
+	if h == nil {
+		return HistSnap{}
+	}
+	buckets := make([]uint64, len(h.counts))
+	copy(buckets, h.counts)
+	return HistSnap{Edges: h.edges, Buckets: buckets, N: h.n, Sum: h.sum}
+}
+
+// HistSnap is an immutable histogram snapshot supporting the deterministic
+// merge algebra consumers need: Sub yields the per-interval delta between
+// two cumulative scrapes, Add merges snapshots across runs, and Quantile
+// reads an upper-edge quantile bound off the bucket counts.
+type HistSnap struct {
+	Edges   []float64
+	Buckets []uint64
+	N       uint64
+	Sum     float64
+}
+
+// Sub returns s minus prev (element-wise). Both snapshots must come from
+// the same instrument; prev may be the zero HistSnap.
+func (s HistSnap) Sub(prev HistSnap) HistSnap {
+	out := HistSnap{Edges: s.Edges, N: s.N - prev.N, Sum: s.Sum - prev.Sum}
+	out.Buckets = make([]uint64, len(s.Buckets))
+	copy(out.Buckets, s.Buckets)
+	for i := range prev.Buckets {
+		if i < len(out.Buckets) {
+			out.Buckets[i] -= prev.Buckets[i]
+		}
+	}
+	return out
+}
+
+// Add returns the merge of two snapshots with identical bucket layouts.
+func (s HistSnap) Add(o HistSnap) HistSnap {
+	out := HistSnap{Edges: s.Edges, N: s.N + o.N, Sum: s.Sum + o.Sum}
+	out.Buckets = make([]uint64, len(s.Buckets))
+	copy(out.Buckets, s.Buckets)
+	for i := range o.Buckets {
+		if i < len(out.Buckets) {
+			out.Buckets[i] += o.Buckets[i]
+		}
+	}
+	return out
+}
+
+// Mean returns Sum/N, or 0 for an empty snapshot.
+func (s HistSnap) Mean() float64 {
+	if s.N == 0 {
+		return 0
+	}
+	return s.Sum / float64(s.N)
+}
+
+// Quantile returns the upper edge of the bucket containing the q-quantile
+// observation (the tightest deterministic upper bound the fixed buckets
+// admit). The overflow bucket reports the last finite edge. Returns 0 for
+// an empty snapshot.
+func (s HistSnap) Quantile(q float64) float64 {
+	if s.N == 0 || len(s.Edges) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := uint64(q * float64(s.N))
+	if target == 0 {
+		target = 1
+	}
+	var cum uint64
+	for i, c := range s.Buckets {
+		cum += c
+		if cum >= target {
+			if i < len(s.Edges) {
+				return s.Edges[i]
+			}
+			return s.Edges[len(s.Edges)-1]
+		}
+	}
+	return s.Edges[len(s.Edges)-1]
+}
+
+// instKind tags the registry's instrument slots.
+type instKind uint8
+
+const (
+	kindCounter instKind = iota
+	kindGauge
+	kindGaugeFunc
+	kindHist
+)
+
+var kindNames = [...]string{"counter", "gauge", "gauge", "hist"}
+
+// instrument is one registered slot: name, kind, and exactly one live arm.
+type instrument struct {
+	name string
+	kind instKind
+	c    *Counter
+	g    *Gauge
+	fn   func() float64
+	h    *Histogram
+}
+
+// value is one instrument's state captured at a scrape.
+type value struct {
+	c       uint64
+	f       float64
+	buckets []uint64 // histograms only
+}
+
+// snapshot is the registry state at one scrape instant. vals is index-
+// aligned with the registry's instruments at scrape time; instruments
+// registered later simply have no value in earlier snapshots.
+type snapshot struct {
+	at   int64
+	vals []value
+}
+
+// Registry is the per-run instrument registry and scrape timeline: the
+// unit the CLI encodes to JSONL. A nil *Registry is the disabled
+// collector — all methods are safe no-ops returning nil instruments.
+type Registry struct {
+	// Label names the run in the JSONL header (experiment/arm).
+	Label string
+	// Seed is the RNG seed the run used.
+	Seed uint64
+
+	insts  []instrument
+	byName map[string]int
+	snaps  []snapshot
+}
+
+// NewRegistry returns an empty registry for one run.
+func NewRegistry(label string, seed uint64) *Registry {
+	return &Registry{Label: label, Seed: seed, byName: make(map[string]int)}
+}
+
+// Enabled reports whether the registry records (false when nil).
+func (r *Registry) Enabled() bool { return r != nil }
+
+// lookup returns the instrument index for name, or -1.
+func (r *Registry) lookup(name string) int {
+	if i, ok := r.byName[name]; ok {
+		return i
+	}
+	return -1
+}
+
+func (r *Registry) register(name string, kind instKind) int {
+	if i := r.lookup(name); i >= 0 {
+		if r.insts[i].kind != kind {
+			panic(fmt.Sprintf("telemetry: %q registered as %s and %s",
+				name, kindNames[r.insts[i].kind], kindNames[kind]))
+		}
+		return i
+	}
+	r.insts = append(r.insts, instrument{name: name, kind: kind})
+	r.byName[name] = len(r.insts) - 1
+	return len(r.insts) - 1
+}
+
+// Counter registers (or retrieves) the named counter. Idempotent: every
+// caller asking for the same name shares one instrument, which is how
+// per-client and per-edge hooks aggregate fleet-wide. Returns nil on a
+// nil registry.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	i := r.register(name, kindCounter)
+	if r.insts[i].c == nil {
+		r.insts[i].c = &Counter{}
+	}
+	return r.insts[i].c
+}
+
+// Gauge registers (or retrieves) the named stored gauge. Returns nil on a
+// nil registry.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	i := r.register(name, kindGauge)
+	if r.insts[i].g == nil {
+		r.insts[i].g = &Gauge{}
+	}
+	return r.insts[i].g
+}
+
+// GaugeFunc registers a derived gauge evaluated at scrape time. fn must be
+// deterministic and side-effect free (it runs on the simulator thread).
+// No-op on a nil registry.
+func (r *Registry) GaugeFunc(name string, fn func() float64) {
+	if r == nil {
+		return
+	}
+	i := r.register(name, kindGaugeFunc)
+	r.insts[i].fn = fn
+}
+
+// Histogram registers (or retrieves) the named fixed-bucket histogram.
+// edges are inclusive upper bounds in ascending order; an overflow bucket
+// is added implicitly. Returns nil on a nil registry.
+func (r *Registry) Histogram(name string, edges []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	i := r.register(name, kindHist)
+	if r.insts[i].h == nil {
+		es := make([]float64, len(edges))
+		copy(es, edges)
+		r.insts[i].h = &Histogram{edges: es, counts: make([]uint64, len(es)+1)}
+	}
+	return r.insts[i].h
+}
+
+// Scrape snapshots every instrument at simulation time at (nanoseconds).
+// Derived gauges are evaluated here. No-op on a nil registry, and
+// idempotent per instant: a second scrape at the same at is dropped so a
+// final end-of-run scrape never duplicates a periodic one.
+func (r *Registry) Scrape(at int64) {
+	if r == nil {
+		return
+	}
+	if n := len(r.snaps); n > 0 && r.snaps[n-1].at == at {
+		return
+	}
+	vals := make([]value, len(r.insts))
+	for i := range r.insts {
+		in := &r.insts[i]
+		switch in.kind {
+		case kindCounter:
+			vals[i].c = in.c.v
+		case kindGauge:
+			vals[i].f = in.g.v
+		case kindGaugeFunc:
+			vals[i].f = in.fn()
+		case kindHist:
+			vals[i].c = in.h.n
+			vals[i].f = in.h.sum
+			vals[i].buckets = make([]uint64, len(in.h.counts))
+			copy(vals[i].buckets, in.h.counts)
+		}
+	}
+	r.snaps = append(r.snaps, snapshot{at: at, vals: vals})
+}
+
+// NumScrapes returns how many snapshots the timeline holds.
+func (r *Registry) NumScrapes() int {
+	if r == nil {
+		return 0
+	}
+	return len(r.snaps)
+}
+
+// ScrapeAt returns the simulation time (ns) of snapshot i.
+func (r *Registry) ScrapeAt(i int) int64 {
+	if r == nil || i < 0 || i >= len(r.snaps) {
+		return 0
+	}
+	return r.snaps[i].at
+}
+
+// CounterAt returns the named counter's cumulative value at snapshot i
+// (0 when the instrument or snapshot does not exist).
+func (r *Registry) CounterAt(i int, name string) uint64 {
+	if r == nil || i < 0 || i >= len(r.snaps) {
+		return 0
+	}
+	idx := r.lookup(name)
+	if idx < 0 || idx >= len(r.snaps[i].vals) {
+		return 0
+	}
+	return r.snaps[i].vals[idx].c
+}
+
+// GaugeAt returns the named gauge's value at snapshot i.
+func (r *Registry) GaugeAt(i int, name string) float64 {
+	if r == nil || i < 0 || i >= len(r.snaps) {
+		return 0
+	}
+	idx := r.lookup(name)
+	if idx < 0 || idx >= len(r.snaps[i].vals) {
+		return 0
+	}
+	return r.snaps[i].vals[idx].f
+}
+
+// HistAt returns the named histogram's cumulative snapshot at scrape i
+// (the zero HistSnap when absent).
+func (r *Registry) HistAt(i int, name string) HistSnap {
+	if r == nil || i < 0 || i >= len(r.snaps) {
+		return HistSnap{}
+	}
+	idx := r.lookup(name)
+	if idx < 0 || idx >= len(r.snaps[i].vals) || r.insts[idx].kind != kindHist {
+		return HistSnap{}
+	}
+	v := r.snaps[i].vals[idx]
+	return HistSnap{Edges: r.insts[idx].h.edges, Buckets: v.buckets, N: v.c, Sum: v.f}
+}
+
+// fmtF encodes a float in its shortest exact round-trip form — the only
+// non-integer JSONL fields, byte-stable because every producer computes
+// the value by an identical operation sequence.
+func fmtF(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// WriteJSONL encodes the timeline as one header line followed by one line
+// per (scrape, instrument) pair in registration order. Field order is
+// fixed and floats use shortest-exact encoding, so the output of a run is
+// byte-reproducible across repeats and serial vs parallel execution.
+func (r *Registry) WriteJSONL(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	if _, err := fmt.Fprintf(w, "{\"run\":%q,\"seed\":%d,\"scrapes\":%d,\"instruments\":%d}\n",
+		r.Label, r.Seed, len(r.snaps), len(r.insts)); err != nil {
+		return err
+	}
+	for si := range r.snaps {
+		s := &r.snaps[si]
+		for i := range s.vals {
+			in := &r.insts[i]
+			var err error
+			switch in.kind {
+			case kindCounter:
+				_, err = fmt.Fprintf(w, "{\"at\":%d,\"name\":%q,\"type\":\"counter\",\"v\":%d}\n",
+					s.at, in.name, s.vals[i].c)
+			case kindGauge, kindGaugeFunc:
+				_, err = fmt.Fprintf(w, "{\"at\":%d,\"name\":%q,\"type\":\"gauge\",\"v\":%s}\n",
+					s.at, in.name, fmtF(s.vals[i].f))
+			case kindHist:
+				if _, err = fmt.Fprintf(w, "{\"at\":%d,\"name\":%q,\"type\":\"hist\",\"n\":%d,\"sum\":%s,\"buckets\":[",
+					s.at, in.name, s.vals[i].c, fmtF(s.vals[i].f)); err != nil {
+					return err
+				}
+				for bi, b := range s.vals[i].buckets {
+					sep := ","
+					if bi == 0 {
+						sep = ""
+					}
+					if _, err = fmt.Fprintf(w, "%s%d", sep, b); err != nil {
+						return err
+					}
+				}
+				_, err = fmt.Fprintf(w, "]}\n")
+			}
+			if err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,204 @@
+package telemetry
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestNilRegistryIsFree(t *testing.T) {
+	var r *Registry
+	if r.Enabled() {
+		t.Fatal("nil registry reports enabled")
+	}
+	c := r.Counter("x")
+	g := r.Gauge("y")
+	h := r.Histogram("z", []float64{1, 2})
+	r.GaugeFunc("w", func() float64 { return 1 })
+	if c != nil || g != nil || h != nil {
+		t.Fatal("nil registry returned live instruments")
+	}
+	// All record paths must be safe no-ops on nil instruments.
+	c.Add(3)
+	c.Inc()
+	g.Set(1.5)
+	h.Observe(0.5)
+	r.Scrape(100)
+	if c.Value() != 0 || g.Value() != 0 || h.N() != 0 || r.NumScrapes() != 0 {
+		t.Fatal("nil instruments recorded state")
+	}
+	var buf bytes.Buffer
+	if err := r.WriteJSONL(&buf); err != nil || buf.Len() != 0 {
+		t.Fatalf("nil registry wrote output: err=%v len=%d", err, buf.Len())
+	}
+}
+
+func TestDisabledHooksAllocateNothing(t *testing.T) {
+	var c *Counter
+	var g *Gauge
+	var h *Histogram
+	allocs := testing.AllocsPerRun(1000, func() {
+		c.Add(1)
+		g.Set(2)
+		h.Observe(3)
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled hooks allocated %.1f per run", allocs)
+	}
+}
+
+func TestCounterGaugeHistogramBasics(t *testing.T) {
+	r := NewRegistry("t", 1)
+	c := r.Counter("c")
+	c.Add(2)
+	c.Inc()
+	if c.Value() != 3 {
+		t.Fatalf("counter = %d, want 3", c.Value())
+	}
+	g := r.Gauge("g")
+	g.Set(4.5)
+	if g.Value() != 4.5 {
+		t.Fatalf("gauge = %v, want 4.5", g.Value())
+	}
+	h := r.Histogram("h", []float64{10, 20, 30})
+	for _, v := range []float64{5, 10, 15, 25, 99} {
+		h.Observe(v)
+	}
+	s := h.Snap()
+	want := []uint64{2, 1, 1, 1} // <=10: {5,10}; <=20: {15}; <=30: {25}; overflow: {99}
+	for i, b := range s.Buckets {
+		if b != want[i] {
+			t.Fatalf("bucket %d = %d, want %d (%v)", i, b, want[i], s.Buckets)
+		}
+	}
+	if s.N != 5 || s.Sum != 154 {
+		t.Fatalf("snap n=%d sum=%v, want 5/154", s.N, s.Sum)
+	}
+}
+
+func TestInstrumentIdempotentByName(t *testing.T) {
+	r := NewRegistry("t", 1)
+	a := r.Counter("shared")
+	b := r.Counter("shared")
+	if a != b {
+		t.Fatal("same name returned distinct counters")
+	}
+	a.Inc()
+	b.Inc()
+	if a.Value() != 2 {
+		t.Fatalf("shared counter = %d, want 2", a.Value())
+	}
+	h1 := r.Histogram("hist", []float64{1, 2})
+	h2 := r.Histogram("hist", []float64{1, 2})
+	if h1 != h2 {
+		t.Fatal("same name returned distinct histograms")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("kind mismatch did not panic")
+		}
+	}()
+	r.Gauge("shared")
+}
+
+func TestScrapeTimelineAndAccessors(t *testing.T) {
+	r := NewRegistry("t", 1)
+	c := r.Counter("c")
+	h := r.Histogram("h", []float64{10, 20})
+	r.GaugeFunc("derived", func() float64 { return float64(c.Value()) * 2 })
+
+	c.Add(5)
+	h.Observe(5)
+	r.Scrape(1e9)
+	c.Add(7)
+	h.Observe(15)
+	h.Observe(25)
+	r.Scrape(2e9)
+	r.Scrape(2e9) // same-instant scrape must be dropped
+
+	if r.NumScrapes() != 2 {
+		t.Fatalf("scrapes = %d, want 2", r.NumScrapes())
+	}
+	if r.ScrapeAt(0) != 1e9 || r.ScrapeAt(1) != 2e9 {
+		t.Fatalf("scrape times %d/%d", r.ScrapeAt(0), r.ScrapeAt(1))
+	}
+	if got := r.CounterAt(0, "c"); got != 5 {
+		t.Fatalf("counter at scrape 0 = %d, want 5", got)
+	}
+	if got := r.CounterAt(1, "c"); got != 12 {
+		t.Fatalf("counter at scrape 1 = %d, want 12", got)
+	}
+	if got := r.GaugeAt(1, "derived"); got != 24 {
+		t.Fatalf("derived gauge = %v, want 24", got)
+	}
+	// Cumulative scrapes difference into exact per-interval deltas.
+	d := r.HistAt(1, "h").Sub(r.HistAt(0, "h"))
+	if d.N != 2 || d.Buckets[0] != 0 || d.Buckets[1] != 1 || d.Buckets[2] != 1 {
+		t.Fatalf("hist delta = %+v", d)
+	}
+	// Unknown names and out-of-range snapshots read as zero.
+	if r.CounterAt(0, "nope") != 0 || r.GaugeAt(9, "derived") != 0 || r.HistAt(0, "c").N != 0 {
+		t.Fatal("missing lookups not zero")
+	}
+}
+
+func TestHistSnapQuantile(t *testing.T) {
+	h := NewRegistry("t", 1).Histogram("h", []float64{10, 20, 30})
+	for i := 0; i < 50; i++ {
+		h.Observe(5) // bucket <=10
+	}
+	for i := 0; i < 40; i++ {
+		h.Observe(15) // bucket <=20
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(99) // overflow
+	}
+	s := h.Snap()
+	if q := s.Quantile(0.5); q != 10 {
+		t.Fatalf("P50 = %v, want 10", q)
+	}
+	if q := s.Quantile(0.9); q != 20 {
+		t.Fatalf("P90 = %v, want 20", q)
+	}
+	if q := s.Quantile(0.99); q != 30 {
+		t.Fatalf("P99 = %v, want 30 (overflow reports last edge)", q)
+	}
+	if q := (HistSnap{}).Quantile(0.5); q != 0 {
+		t.Fatalf("empty quantile = %v, want 0", q)
+	}
+}
+
+// TestWriteJSONLDeterministic: two registries fed the identical operation
+// sequence encode byte-identically — the property the CI determinism gate
+// enforces end-to-end.
+func TestWriteJSONLDeterministic(t *testing.T) {
+	mk := func() *Registry {
+		r := NewRegistry("run", 7)
+		c := r.Counter("c")
+		g := r.Gauge("g")
+		h := r.Histogram("h", []float64{1, 10, 100})
+		r.GaugeFunc("fn", func() float64 { return g.Value() / 3 })
+		for i := 0; i < 100; i++ {
+			c.Add(uint64(i % 3))
+			g.Set(float64(i) * 0.1)
+			h.Observe(float64(i%7) * 2.5)
+			if i%25 == 0 {
+				r.Scrape(int64(i) * 1e8)
+			}
+		}
+		r.Scrape(100e8)
+		return r
+	}
+	var b1, b2 bytes.Buffer
+	if err := mk().WriteJSONL(&b1); err != nil {
+		t.Fatal(err)
+	}
+	if err := mk().WriteJSONL(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if b1.Len() == 0 {
+		t.Fatal("no output")
+	}
+	if !bytes.Equal(b1.Bytes(), b2.Bytes()) {
+		t.Fatal("identical operation sequences encoded differently")
+	}
+}
