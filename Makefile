@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: tier1 build test vet race bench bench-json benchcmp chaos ci fmt-check determinism telemetry
+.PHONY: tier1 build test vet race bench bench-json benchcmp chaos ci fmt-check determinism telemetry alerting
 
 # Next BENCH_*.json index; bump per PR so the trajectory accumulates.
 BENCH_N ?= 1
@@ -43,9 +43,10 @@ chaos:
 	$(GO) run ./cmd/rlive-sim -exp chaos-scheduler-outage
 
 # Everything .github/workflows/ci.yml runs, locally: the tier1 gate,
-# formatting, vet, the race detector, the serial-vs-parallel trace and
-# telemetry determinism gates, and a one-iteration bench smoke.
-ci: tier1 fmt-check vet race determinism telemetry
+# formatting, vet, the race detector, the serial-vs-parallel trace,
+# telemetry, and alerting determinism gates, and a one-iteration bench
+# smoke.
+ci: tier1 fmt-check vet race determinism telemetry alerting
 	$(MAKE) bench > /dev/null
 
 fmt-check:
@@ -76,3 +77,16 @@ telemetry:
 	grep -v '^-- ' "$$tmp/b.txt" > "$$tmp/b.clean" && \
 	diff -u "$$tmp/a.clean" "$$tmp/b.clean" && \
 	echo "telemetry gate: OK"
+
+# The alerting determinism gate: the chaos-obs incident logs and detection
+# scorecards must be byte-identical between a serial and a -parallel 4 run
+# of the default seed (the seed the detection acceptance is pinned to).
+alerting:
+	@tmp="$$(mktemp -d)"; trap 'rm -rf "$$tmp"' EXIT; \
+	$(GO) run ./cmd/rlive-sim -exp chaos-obs -seed 1 -alerts "$$tmp/a.jsonl" > "$$tmp/a.txt" && \
+	$(GO) run ./cmd/rlive-sim -exp chaos-obs -seed 1 -parallel 4 -alerts "$$tmp/b.jsonl" > "$$tmp/b.txt" && \
+	cmp "$$tmp/a.jsonl" "$$tmp/b.jsonl" && \
+	grep -v '^-- ' "$$tmp/a.txt" > "$$tmp/a.clean" && \
+	grep -v '^-- ' "$$tmp/b.txt" > "$$tmp/b.clean" && \
+	diff -u "$$tmp/a.clean" "$$tmp/b.clean" && \
+	echo "alerting gate: OK"

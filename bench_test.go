@@ -95,6 +95,11 @@ func BenchmarkChaosOriginSaturation(b *testing.B) { benchExperiment(b, "chaos-or
 func BenchmarkChaosDegradationWave(b *testing.B)  { benchExperiment(b, "chaos-degradation-wave") }
 func BenchmarkChaosNATFlap(b *testing.B)          { benchExperiment(b, "chaos-nat-flap") }
 
+// BenchmarkChaosObs runs the observability drill end to end: the full
+// chaos catalog with the SLO alert engine armed, scored against each
+// scenario's ground-truth fault windows.
+func BenchmarkChaosObs(b *testing.B) { benchExperiment(b, "chaos-obs") }
+
 // BenchmarkABBaseline runs the canonical A/B pair with tracing OFF — the
 // guard for the tracer's zero-config path: compare against BENCH_*.json
 // baselines recorded before the trace hooks landed (acceptance: < 2%

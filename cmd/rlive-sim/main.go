@@ -13,6 +13,7 @@
 //	rlive-sim -exp fig9 -cpuprofile cpu.pprof        # profile the engine
 //	rlive-sim -exp ab-baseline -trace t.jsonl        # frame-lifecycle traces
 //	rlive-sim -exp ab-peak -telemetry m.jsonl        # instrument timelines
+//	rlive-sim -exp chaos-obs -alerts a.jsonl         # incident logs + detection scorecards
 package main
 
 import (
@@ -45,6 +46,7 @@ type jsonExperiment struct {
 
 	traces    []*trace.Run
 	timelines []*telemetry.Registry
+	alerts    []*experiments.AlertRecord
 }
 
 func main() {
@@ -60,6 +62,7 @@ func main() {
 		parallel = flag.Int("parallel", 1, "worker-pool width for independent experiment cells (0 = NumCPU); output is byte-identical to serial")
 		tracePth = flag.String("trace", "", "record frame-lifecycle traces and write them as JSONL to this path (deterministic per seed)")
 		telemPth = flag.String("telemetry", "", "record instrument timelines and write them as JSONL to this path (deterministic per seed)")
+		alertPth = flag.String("alerts", "", "write incident logs and detection scorecards as JSONL to this path (deterministic per seed; emitted by chaos-obs)")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this path")
 		memProf  = flag.String("memprofile", "", "write a heap profile to this path on exit")
 	)
@@ -139,18 +142,20 @@ func main() {
 		return jsonExperiment{
 			ID: ids[i], ElapsedMs: elapsed.Milliseconds(),
 			Tables: res.Tables, Series: res.Series,
-			traces: res.Traces, timelines: res.Timelines,
+			traces: res.Traces, timelines: res.Timelines, alerts: res.Alerts,
 		}
 	})
 	doc := jsonDoc{Scale: sc}
 	var traces []*trace.Run
 	var timelines []*telemetry.Registry
+	var alerts []*experiments.AlertRecord
 	for _, cell := range cells {
 		res := experiments.Result{ID: cell.ID, Tables: cell.Tables, Series: cell.Series}
 		fmt.Print(res.String())
 		fmt.Printf("-- %s done in %v\n\n", cell.ID, (time.Duration(cell.ElapsedMs) * time.Millisecond).Round(time.Millisecond))
 		traces = append(traces, cell.traces...)
 		timelines = append(timelines, cell.timelines...)
+		alerts = append(alerts, cell.alerts...)
 		if *jsonPath != "" {
 			doc.Experiments = append(doc.Experiments, cell)
 		}
@@ -208,6 +213,33 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("-- %d telemetry scrapes (%d runs) written to %s\n", scrapes, len(timelines), *telemPth)
+	}
+	if *alertPth != "" {
+		// Alert logs concatenate in experiment/cell order — deterministic
+		// under any -parallel width, so CI can cmp the files directly.
+		f, err := os.Create(*alertPth)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rlive-sim: create %s: %v\n", *alertPth, err)
+			os.Exit(1)
+		}
+		w := bufio.NewWriter(f)
+		var incidents int
+		for _, a := range alerts {
+			if err := a.WriteJSONL(w); err != nil {
+				fmt.Fprintf(os.Stderr, "rlive-sim: write %s: %v\n", *alertPth, err)
+				os.Exit(1)
+			}
+			incidents += len(a.Engine.Incidents())
+		}
+		if err := w.Flush(); err != nil {
+			fmt.Fprintf(os.Stderr, "rlive-sim: flush %s: %v\n", *alertPth, err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "rlive-sim: close %s: %v\n", *alertPth, err)
+			os.Exit(1)
+		}
+		fmt.Printf("-- %d incidents (%d runs) written to %s\n", incidents, len(alerts), *alertPth)
 	}
 	if *jsonPath != "" {
 		buf, err := json.MarshalIndent(doc, "", "  ")

@@ -1,0 +1,266 @@
+// Package alerting is the deterministic SLO/alert evaluation engine: the
+// operator-facing layer that decides when the simulated system is
+// unhealthy. An Engine subscribes to a telemetry registry's scrape
+// timeline and evaluates a fixed rule set at every scrape instant —
+// static thresholds, multi-window burn-rate rules over SLO budgets, and
+// rolling Z-score anomaly rules — emitting typed Incidents with
+// open/ack/resolve transitions.
+//
+// Design (mirrors internal/trace and internal/telemetry):
+//
+//   - A nil *Engine is the disabled evaluator: every method is a safe
+//     no-op, Attach registers nothing, and a system configured without
+//     alerting pays zero allocations for the hooks.
+//   - Rules are evaluated ONLY at scrape instants, synchronously on the
+//     simulator thread via telemetry.Registry.OnScrape. Every input a rule
+//     reads is a pure function of the seed, so incident timelines are
+//     byte-deterministic across repeats and serial vs parallel experiment
+//     execution.
+//   - Incident lifecycle is hysteresis-damped: a rule must fire For
+//     consecutive scrapes to open an incident and stay clear for ClearFor
+//     consecutive scrapes to resolve it, so a flapping series produces one
+//     damped incident instead of an open/resolve storm.
+//   - The engine can be attached before it is armed: rules observe (and
+//     z-score baselines fill) from the first scrape, but incidents only
+//     open at scrapes at or after the Arm instant. Experiments arm the
+//     engine when the measured run begins so ramp-up noise trains the
+//     baselines instead of paging on them.
+package alerting
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+
+	"repro/internal/telemetry"
+)
+
+// Incident is one typed alert: a rule that tripped, scoped to the
+// component (and region, where the rule is regional) it watches, carrying
+// the instrument snapshot that tripped it and its lifecycle transitions in
+// simulation nanoseconds (0 = transition has not happened).
+type Incident struct {
+	// ID numbers incidents in open order, starting at 1.
+	ID int
+	// Rule, Kind and Scope identify the firing rule: its name, its rule
+	// kind (threshold, burn-rate, zscore) and the component/region label.
+	Rule  string
+	Kind  string
+	Scope string
+	// OpenedAt/AckedAt/ResolvedAt are the lifecycle transitions.
+	OpenedAt   int64
+	AckedAt    int64
+	ResolvedAt int64
+	// Value and Bound are the observed signal and the threshold it crossed
+	// at open time; Detail is the human-readable instrument snapshot.
+	Value  float64
+	Bound  float64
+	Detail string
+}
+
+// Open reports whether the incident is still unresolved.
+func (in *Incident) Open() bool { return in.ResolvedAt == 0 }
+
+// String renders the incident as one line.
+func (in *Incident) String() string {
+	state := "open"
+	if !in.Open() {
+		state = "resolved"
+	}
+	return fmt.Sprintf("#%d %s [%s/%s] %s t=%.1fs %s",
+		in.ID, state, in.Kind, in.Scope, in.Rule, float64(in.OpenedAt)/1e9, in.Detail)
+}
+
+// Eval is one rule evaluation at one scrape instant.
+type Eval struct {
+	// Firing reports whether the rule's condition holds at this scrape.
+	Firing bool
+	// Value is the observed signal, Bound the configured threshold.
+	Value float64
+	Bound float64
+	// Detail describes the instrument snapshot; rules may leave it empty
+	// when not firing (the engine only keeps it on incident open).
+	Detail string
+}
+
+// Rule is one alert rule evaluated at every scrape instant. Evaluations
+// must be deterministic functions of the registry timeline; rules may keep
+// internal state (rolling baselines) updated once per Eval call.
+type Rule interface {
+	// Name is the stable rule identifier incidents carry.
+	Name() string
+	// Kind labels the rule family: "threshold", "burn-rate" or "zscore".
+	Kind() string
+	// Scope is the component/region label incidents inherit.
+	Scope() string
+	// Eval evaluates the rule at scrape index i of reg.
+	Eval(reg *telemetry.Registry, i int) Eval
+}
+
+// ruleState tracks one rule's hysteresis streaks and its open incident.
+type ruleState struct {
+	firingStreak int
+	clearStreak  int
+	open         int // open incident index+1, 0 = none
+	openScrape   int // scrape index the open incident opened at
+}
+
+// Engine evaluates a rule set at telemetry scrape instants and records
+// incidents. A nil *Engine is the disabled evaluator.
+type Engine struct {
+	// Label names the run in the JSONL header (experiment/arm).
+	Label string
+	// Seed is the RNG seed the evaluated run used.
+	Seed uint64
+
+	// OpenFor is the default consecutive-firing-scrape count required to
+	// open an incident when a rule does not override it (default 1).
+	OpenFor int
+	// ClearFor is the consecutive-clear-scrape count required to resolve
+	// an open incident (default 2) — the hysteresis damping.
+	ClearFor int
+	// AckAfter is how many scrapes after open the incident is
+	// acknowledged (default 1), modeling the deterministic operator.
+	AckAfter int
+
+	rules     []Rule
+	state     []ruleState
+	incidents []Incident
+	armedAt   int64
+	armed     bool
+	evals     uint64
+}
+
+// NewEngine returns an engine evaluating the given rules. The engine is
+// unarmed: it observes from the first scrape but opens no incidents until
+// Arm is called (call Arm(0) to arm from the start).
+func NewEngine(label string, seed uint64, rules []Rule) *Engine {
+	return &Engine{Label: label, Seed: seed, OpenFor: 1, ClearFor: 2, AckAfter: 1, rules: rules,
+		state: make([]ruleState, len(rules))}
+}
+
+// Enabled reports whether the engine evaluates (false when nil).
+func (e *Engine) Enabled() bool { return e != nil }
+
+// Arm enables incident opening for scrapes at simulation time >= at
+// (nanoseconds). Rules keep observing either way; arming only gates the
+// lifecycle. Streaks accumulated while disarmed are discarded so a
+// condition must re-earn its For-streak inside the armed window.
+func (e *Engine) Arm(at int64) {
+	if e == nil {
+		return
+	}
+	e.armedAt = at
+	e.armed = true
+	for i := range e.state {
+		e.state[i].firingStreak = 0
+	}
+}
+
+// Attach subscribes the engine to the registry's scrape timeline. Safe on
+// a nil engine or registry (no-op), so core wiring is unconditional.
+func (e *Engine) Attach(reg *telemetry.Registry) {
+	if e == nil || reg == nil {
+		return
+	}
+	reg.OnScrape(e.evalAt)
+}
+
+// Incidents returns the recorded incidents in open order. The returned
+// slice is the engine's own (callers must not mutate).
+func (e *Engine) Incidents() []Incident {
+	if e == nil {
+		return nil
+	}
+	return e.incidents
+}
+
+// Evals returns how many rule evaluations have run (0 on nil).
+func (e *Engine) Evals() uint64 {
+	if e == nil {
+		return 0
+	}
+	return e.evals
+}
+
+// evalAt runs every rule against scrape i and advances incident
+// lifecycles. It is the OnScrape subscriber; it also backstops direct
+// calls on a nil engine so the disabled path stays a single branch.
+func (e *Engine) evalAt(reg *telemetry.Registry, i int) {
+	if e == nil {
+		return
+	}
+	at := reg.ScrapeAt(i)
+	armed := e.armed && at >= e.armedAt
+	for r := range e.rules {
+		ev := e.rules[r].Eval(reg, i)
+		e.evals++
+		st := &e.state[r]
+		if ev.Firing {
+			st.firingStreak++
+			st.clearStreak = 0
+		} else {
+			st.clearStreak++
+			st.firingStreak = 0
+		}
+		if st.open != 0 {
+			inc := &e.incidents[st.open-1]
+			// The deterministic operator acks after AckAfter further
+			// scrapes; resolution needs a full clear streak.
+			if inc.AckedAt == 0 && i-st.openScrape >= e.AckAfter {
+				inc.AckedAt = at
+			}
+			if st.clearStreak >= e.ClearFor {
+				inc.ResolvedAt = at
+				st.open = 0
+			}
+			continue
+		}
+		need := e.OpenFor
+		if f, ok := e.rules[r].(interface{ OpenFor() int }); ok && f.OpenFor() > 0 {
+			need = f.OpenFor()
+		}
+		if armed && st.firingStreak >= need {
+			e.incidents = append(e.incidents, Incident{
+				ID:       len(e.incidents) + 1,
+				Rule:     e.rules[r].Name(),
+				Kind:     e.rules[r].Kind(),
+				Scope:    e.rules[r].Scope(),
+				OpenedAt: at,
+				Value:    ev.Value,
+				Bound:    ev.Bound,
+				Detail:   ev.Detail,
+			})
+			st.open = len(e.incidents)
+			st.openScrape = i
+		}
+	}
+}
+
+// fmtF encodes a float in its shortest exact round-trip form, matching the
+// telemetry JSONL convention so alert output is byte-reproducible.
+func fmtF(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// WriteJSONL encodes the incident log: one header line, then one line per
+// incident in open order. Field order is fixed and floats use
+// shortest-exact encoding, so same-seed output is byte-identical across
+// serial and parallel runs. No-op on a nil engine.
+func (e *Engine) WriteJSONL(w io.Writer) error {
+	if e == nil {
+		return nil
+	}
+	if _, err := fmt.Fprintf(w, "{\"run\":%q,\"seed\":%d,\"rules\":%d,\"incidents\":%d}\n",
+		e.Label, e.Seed, len(e.rules), len(e.incidents)); err != nil {
+		return err
+	}
+	for i := range e.incidents {
+		in := &e.incidents[i]
+		if _, err := fmt.Fprintf(w,
+			"{\"id\":%d,\"rule\":%q,\"kind\":%q,\"scope\":%q,\"opened\":%d,\"acked\":%d,\"resolved\":%d,\"value\":%s,\"bound\":%s,\"detail\":%q}\n",
+			in.ID, in.Rule, in.Kind, in.Scope, in.OpenedAt, in.AckedAt, in.ResolvedAt,
+			fmtF(in.Value), fmtF(in.Bound), in.Detail); err != nil {
+			return err
+		}
+	}
+	return nil
+}

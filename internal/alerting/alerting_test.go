@@ -1,0 +1,360 @@
+package alerting
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+const sec = int64(time.Second)
+
+// driveGauge runs one synthetic timeline: a gauge set to vals[i] before
+// the scrape at (i+1) seconds, with the engine attached and armed from 0.
+func driveGauge(t *testing.T, rules []Rule, vals []float64) *Engine {
+	t.Helper()
+	reg := telemetry.NewRegistry("test", 1)
+	g := reg.Gauge("sig")
+	eng := NewEngine("test", 1, rules)
+	eng.Attach(reg)
+	eng.Arm(0)
+	for i, v := range vals {
+		g.Set(v)
+		reg.Scrape(int64(i+1) * sec)
+	}
+	return eng
+}
+
+func gaugeRule() *Threshold {
+	return &Threshold{
+		RuleName: "sig-high", ScopeLabel: "test",
+		Src:   Source{Series: "sig", Signal: SignalGauge},
+		Bound: 5,
+	}
+}
+
+func TestIncidentLifecycle(t *testing.T) {
+	// Fire for two scrapes, clear for three, fire again: with the engine
+	// defaults (OpenFor 1, ClearFor 2, AckAfter 1) the incident opens on
+	// the first firing scrape, acks one scrape later, resolves on the
+	// second clear scrape, and a second incident opens on re-fire.
+	eng := driveGauge(t, []Rule{gaugeRule()}, []float64{10, 10, 0, 0, 0, 10})
+	incs := eng.Incidents()
+	if len(incs) != 2 {
+		t.Fatalf("incidents = %d, want 2: %v", len(incs), incs)
+	}
+	in := incs[0]
+	if in.OpenedAt != 1*sec || in.AckedAt != 2*sec || in.ResolvedAt != 4*sec {
+		t.Errorf("lifecycle = open %d ack %d resolve %d, want 1s/2s/4s", in.OpenedAt, in.AckedAt, in.ResolvedAt)
+	}
+	if in.Rule != "sig-high" || in.Kind != "threshold" || in.Scope != "test" {
+		t.Errorf("identity = %q/%q/%q", in.Rule, in.Kind, in.Scope)
+	}
+	if in.Value != 10 || in.Bound != 5 || in.Detail == "" {
+		t.Errorf("snapshot = value %g bound %g detail %q", in.Value, in.Bound, in.Detail)
+	}
+	if incs[1].OpenedAt != 6*sec || !incs[1].Open() {
+		t.Errorf("second incident = open %d resolved %d", incs[1].OpenedAt, incs[1].ResolvedAt)
+	}
+	if want := uint64(len(eng.Incidents())); eng.Evals() != 6 {
+		t.Errorf("evals = %d (incidents %d), want 6", eng.Evals(), want)
+	}
+}
+
+func TestFlappingHysteresis(t *testing.T) {
+	// A series flapping above/below the bound every scrape never
+	// accumulates ClearFor consecutive clear scrapes, so hysteresis holds
+	// ONE incident open through the flap instead of an open/resolve storm;
+	// a sustained clear resolves it and a later re-fire opens the second.
+	vals := []float64{10, 0, 10, 0, 10, 0, 10, 0, 0, 0, 10}
+	eng := driveGauge(t, []Rule{gaugeRule()}, vals)
+	incs := eng.Incidents()
+	if len(incs) != 2 {
+		t.Fatalf("incidents = %d, want 2 (damped open->resolve->open): %v", len(incs), incs)
+	}
+	if incs[0].OpenedAt != 1*sec || incs[0].ResolvedAt != 9*sec {
+		t.Errorf("first incident = open %d resolve %d, want 1s/9s", incs[0].OpenedAt, incs[0].ResolvedAt)
+	}
+	if incs[1].OpenedAt != 11*sec || !incs[1].Open() {
+		t.Errorf("second incident = %+v", incs[1])
+	}
+}
+
+func TestForOverrideAndArmGating(t *testing.T) {
+	// For=3 demands three consecutive firing scrapes; the streak resets
+	// when the engine arms, so pre-arm firing cannot open an incident the
+	// moment the engine arms.
+	rule := gaugeRule()
+	rule.For = 3
+	reg := telemetry.NewRegistry("test", 1)
+	g := reg.Gauge("sig")
+	eng := NewEngine("test", 1, []Rule{rule})
+	eng.Attach(reg)
+	g.Set(10)
+	for i := 1; i <= 3; i++ { // firing before arm: no incidents
+		reg.Scrape(int64(i) * sec)
+	}
+	if len(eng.Incidents()) != 0 {
+		t.Fatalf("unarmed engine opened %d incidents", len(eng.Incidents()))
+	}
+	eng.Arm(4 * sec)
+	for i := 4; i <= 5; i++ { // streak restarted: 2 < For
+		reg.Scrape(int64(i) * sec)
+	}
+	if len(eng.Incidents()) != 0 {
+		t.Fatalf("incident opened before For streak re-earned: %v", eng.Incidents())
+	}
+	reg.Scrape(6 * sec) // third armed firing scrape
+	incs := eng.Incidents()
+	if len(incs) != 1 || incs[0].OpenedAt != 6*sec {
+		t.Fatalf("incidents = %v, want one opened at 6s", incs)
+	}
+}
+
+func TestNeverFiringRuleAndNilEngine(t *testing.T) {
+	eng := driveGauge(t, []Rule{gaugeRule()}, []float64{0, 1, 2, 3})
+	if n := len(eng.Incidents()); n != 0 {
+		t.Errorf("never-firing rule emitted %d incidents", n)
+	}
+	var buf bytes.Buffer
+	if err := eng.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if got := buf.String(); got != "{\"run\":\"test\",\"seed\":1,\"rules\":1,\"incidents\":0}\n" {
+		t.Errorf("empty log = %q", got)
+	}
+
+	var nilEng *Engine
+	if nilEng.Enabled() {
+		t.Error("nil engine reports enabled")
+	}
+	nilEng.Attach(telemetry.NewRegistry("x", 1))
+	nilEng.Arm(0)
+	if nilEng.Incidents() != nil || nilEng.Evals() != 0 {
+		t.Error("nil engine carries state")
+	}
+	if err := nilEng.WriteJSONL(&buf); err != nil {
+		t.Errorf("nil WriteJSONL: %v", err)
+	}
+}
+
+func TestDisabledEngineZeroAlloc(t *testing.T) {
+	// The nil-receiver discipline: a system wired without alerting pays
+	// zero allocations for the hooks.
+	var eng *Engine
+	allocs := testing.AllocsPerRun(100, func() {
+		eng.Attach(nil)
+		eng.Arm(0)
+		_ = eng.Incidents()
+		_ = eng.Evals()
+		eng.evalAt(nil, 0)
+	})
+	if allocs != 0 {
+		t.Errorf("disabled engine allocates %.0f per op, want 0", allocs)
+	}
+}
+
+func BenchmarkAlertingDisabled(b *testing.B) {
+	var eng *Engine
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		eng.Attach(nil)
+		eng.Arm(0)
+		_ = eng.Incidents()
+		eng.evalAt(nil, i)
+	}
+}
+
+func TestThresholdBelowAndFirstScrape(t *testing.T) {
+	// A rate source has no signal at the first scrape (no predecessor), so
+	// a Below rule over an idle counter cannot fire spuriously at t=0.
+	rule := &Threshold{
+		RuleName: "feed-stop", ScopeLabel: "test",
+		Src:   Source{Series: "msgs", Signal: SignalRate},
+		Below: true, Bound: 0.5,
+	}
+	reg := telemetry.NewRegistry("test", 1)
+	c := reg.Counter("msgs")
+	eng := NewEngine("test", 1, []Rule{rule})
+	eng.Attach(reg)
+	eng.Arm(0)
+	reg.Scrape(1 * sec) // first scrape: no window yet
+	if len(eng.Incidents()) != 0 {
+		t.Fatalf("rule fired on first scrape: %v", eng.Incidents())
+	}
+	for i := 2; i <= 4; i++ { // healthy: 10 msgs/s
+		c.Add(10)
+		reg.Scrape(int64(i) * sec)
+	}
+	if len(eng.Incidents()) != 0 {
+		t.Fatalf("rule fired on healthy feed: %v", eng.Incidents())
+	}
+	reg.Scrape(5 * sec) // feed stops
+	incs := eng.Incidents()
+	if len(incs) != 1 || incs[0].OpenedAt != 5*sec {
+		t.Fatalf("incidents = %v, want one at 5s", incs)
+	}
+}
+
+func TestBurnRateBothWindows(t *testing.T) {
+	// Wall-clock-denominator burn: budget 0.1 bad-units/s, burn 5 => the
+	// rule needs >0.5 units/s in BOTH the 2 s fast and 6 s slow windows. A
+	// one-scrape blip of 2 units trips only the fast window (2/2=1 u/s vs
+	// 2/6=0.33 u/s) and must not open; a sustained 2 u/s trips both.
+	rule := &BurnRate{
+		RuleName: "burn", ScopeLabel: "test",
+		Bad: "bad", Budget: 0.1,
+		FastWin: 2 * time.Second, SlowWin: 6 * time.Second,
+		Burn: 5,
+	}
+	reg := telemetry.NewRegistry("test", 1)
+	c := reg.Counter("bad")
+	eng := NewEngine("test", 1, []Rule{rule})
+	eng.Attach(reg)
+	eng.Arm(0)
+	at := int64(0)
+	scrape := func(add uint64) {
+		c.Add(add)
+		at += sec
+		reg.Scrape(at)
+	}
+	for i := 0; i < 8; i++ {
+		scrape(0)
+	}
+	scrape(2) // blip
+	for i := 0; i < 4; i++ {
+		scrape(0)
+	}
+	if len(eng.Incidents()) != 0 {
+		t.Fatalf("blip opened an incident: %v", eng.Incidents())
+	}
+	for i := 0; i < 8; i++ { // sustained burn
+		scrape(2)
+	}
+	incs := eng.Incidents()
+	if len(incs) != 1 {
+		t.Fatalf("sustained burn incidents = %v, want 1", incs)
+	}
+	if incs[0].Detail == "" || incs[0].Value <= rule.Burn {
+		t.Errorf("incident snapshot = value %g detail %q", incs[0].Value, incs[0].Detail)
+	}
+}
+
+func TestZScoreAnomalyAndFrozenBaseline(t *testing.T) {
+	rule := &ZScore{
+		RuleName: "spike", ScopeLabel: "test",
+		Src: Source{Series: "sig", Signal: SignalGauge},
+		Z:   4, MinN: 10, MinSD: 0.5,
+	}
+	reg := telemetry.NewRegistry("test", 1)
+	g := reg.Gauge("sig")
+	at := int64(0)
+	eval := func(v float64) Eval {
+		g.Set(v)
+		at += sec
+		reg.Scrape(at)
+		return rule.Eval(reg, reg.NumScrapes()-1)
+	}
+	// Train a near-flat baseline around 10; MinSD floors the tiny stddev.
+	for i := 0; i < 12; i++ {
+		v := 10.0
+		if i%2 == 1 {
+			v = 10.1
+		}
+		if ev := eval(v); ev.Firing {
+			t.Fatalf("fired during baseline at i=%d: %+v", i, ev)
+		}
+	}
+	// Spike: z = (20-10.05)/0.5 ~ 20. The baseline freezes while firing,
+	// so a sustained fault keeps scoring against the healthy baseline.
+	for i := 0; i < 5; i++ {
+		ev := eval(20)
+		if !ev.Firing {
+			t.Fatalf("sustained spike stopped firing at step %d: %+v", i, ev)
+		}
+		if ev.Value < 4 {
+			t.Fatalf("z = %g, want > 4", ev.Value)
+		}
+	}
+	if ev := eval(10); ev.Firing {
+		t.Errorf("still firing after recovery: %+v", ev)
+	}
+}
+
+func TestScoreDetection(t *testing.T) {
+	windows := []Window{
+		{Label: "a", Start: 100, End: 200, Region: -1},
+		{Label: "b", Start: 300, End: 400, Region: 1},
+	}
+	incidents := []Incident{
+		{ID: 1, Rule: "r1", OpenedAt: 50},  // warmup false alarm
+		{ID: 2, Rule: "r2", OpenedAt: 120}, // detects a, TTD 20
+		{ID: 3, Rule: "r3", OpenedAt: 150}, // a again
+		{ID: 4, Rule: "r4", OpenedAt: 420}, // detects b inside grace, TTD 120
+		{ID: 5, Rule: "r5", OpenedAt: 500}, // false alarm, not warmup
+	}
+	sc := ScoreDetection("test", windows, incidents, 30)
+	if sc.Detected() != 2 || sc.Recall() != 1 {
+		t.Errorf("detected %d recall %g, want 2/1", sc.Detected(), sc.Recall())
+	}
+	if sc.TruePositives != 3 || sc.FalseAlarms != 2 || sc.WarmupFalseAlarms != 1 {
+		t.Errorf("tp %d fa %d warmup %d, want 3/2/1", sc.TruePositives, sc.FalseAlarms, sc.WarmupFalseAlarms)
+	}
+	if sc.Precision() != 0.6 || sc.FalseAlarmRate() != 0.4 {
+		t.Errorf("precision %g far %g, want 0.6/0.4", sc.Precision(), sc.FalseAlarmRate())
+	}
+	wantTTD := (20e-9 + 120e-9) / 2 // mean of 20 ns and 120 ns, in seconds
+	if got := sc.MeanTTD(); math.Abs(got-wantTTD) > 1e-15 {
+		t.Errorf("mean TTD %g, want %g", got, wantTTD)
+	}
+	if sc.Windows[0].Rule != "r2" || sc.Windows[0].Incidents != 2 {
+		t.Errorf("window a = %+v", sc.Windows[0])
+	}
+	if len(sc.MissedList()) != 0 {
+		t.Errorf("missed = %v", sc.MissedList())
+	}
+
+	// Outside grace: the incident at 420 no longer credits window b.
+	sc = ScoreDetection("test", windows, incidents, 10)
+	if sc.Detected() != 1 || sc.Recall() != 0.5 {
+		t.Errorf("tight grace: detected %d recall %g", sc.Detected(), sc.Recall())
+	}
+	if got := sc.MissedList(); len(got) != 1 || got[0] != "b" {
+		t.Errorf("missed = %v, want [b]", got)
+	}
+
+	// Degenerate cards: no windows => recall 1; no incidents => precision 1.
+	empty := ScoreDetection("none", nil, incidents, 0)
+	if empty.Recall() != 1 {
+		t.Errorf("no-window recall = %g", empty.Recall())
+	}
+	quiet := ScoreDetection("quiet", windows, nil, 0)
+	if quiet.Precision() != 1 || quiet.Detected() != 0 {
+		t.Errorf("quiet card = precision %g detected %d", quiet.Precision(), quiet.Detected())
+	}
+}
+
+func TestJSONLByteDeterminism(t *testing.T) {
+	run := func() []byte {
+		eng := driveGauge(t, []Rule{gaugeRule()}, []float64{10, 10, 0, 0, 0, 10})
+		var buf bytes.Buffer
+		if err := eng.WriteJSONL(&buf); err != nil {
+			t.Fatal(err)
+		}
+		sc := ScoreDetection("test", []Window{{Label: "w", Start: 0, End: 3 * sec, Region: -1}},
+			eng.Incidents(), sec)
+		if err := sc.WriteJSONL(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	a, b := run(), run()
+	if !bytes.Equal(a, b) {
+		t.Fatalf("same-seed alert output differs:\n%s\n---\n%s", a, b)
+	}
+	if !bytes.Contains(a, []byte("\"rule\":\"sig-high\"")) || !bytes.Contains(a, []byte("\"scenario\":\"test\"")) {
+		t.Errorf("log missing expected fields:\n%s", a)
+	}
+}

@@ -1,0 +1,93 @@
+package alerting
+
+import (
+	"fmt"
+	"time"
+)
+
+// ChaosRules is the default production-shaped rule set the chaos-obs
+// experiment arms: enough coverage that every Catalog fault class trips at
+// least one rule, conservative enough that a healthy warmed-up run trips
+// none. regions is the fleet's region count (one capacity rule per
+// region); clients scales the aggregate stall-seconds budget, since
+// client.stall_ns sums across every viewer.
+//
+// Coverage map (fault -> primary detector):
+//
+//	scheduler-outage  -> sched-feed-stop (control-plane message rate hits 0)
+//	scheduler-slow    -> sched-latency (recommendation p90 over 200 ms)
+//	region-blackout   -> region-capacity.rN (per-region online fraction floor)
+//	region-partition  -> fetch-anomaly / stall-burn (cross-region repair)
+//	churn-storm       -> fleet-online-drop (fleet online fraction z-drop)
+//	origin-saturation -> stall-burn / loss-burn (QoE SLO budgets)
+//	degradation-wave  -> loss-burn / queue-anomaly (loss + queuing delay)
+//	nat-flap          -> punch-fail (hole-punch failure rate z-spike)
+func ChaosRules(regions, clients int) []Rule {
+	rules := []Rule{
+		// Static thresholds.
+		&Threshold{
+			RuleName: "sched-feed-stop", ScopeLabel: "control-plane",
+			Src:   Source{Series: "sched.msgs", Signal: SignalRate, Window: 2 * time.Second},
+			Below: true, Bound: 0.5, For: 2,
+		},
+		&Threshold{
+			RuleName: "sched-latency", ScopeLabel: "control-plane",
+			Src:   Source{Series: "sched.resp_ms", Signal: SignalQuantile, Q: 0.9, Window: 10 * time.Second, MinCount: 3},
+			Bound: 200, For: 2,
+		},
+	}
+	for r := 0; r < regions; r++ {
+		rules = append(rules, &Threshold{
+			RuleName:   fmt.Sprintf("region-capacity.r%d", r),
+			ScopeLabel: fmt.Sprintf("region%d", r),
+			Src:        Source{Series: fmt.Sprintf("fleet.online_frac.r%d", r), Signal: SignalGauge},
+			Below:      true, Bound: 0.3, For: 2,
+		})
+	}
+	rules = append(rules,
+		// Multi-window burn rates over the SessionQoE SLO budgets.
+		&BurnRate{
+			RuleName: "stall-burn", ScopeLabel: "client",
+			Bad: "client.stall_ns", BadScale: 1e-9, // stall-seconds per wall-second
+			Budget: 0.02 * float64(clients), // 2% stall time per viewer
+
+			FastWin: 5 * time.Second, SlowWin: 20 * time.Second,
+			Burn: 10, For: 2,
+		},
+		&BurnRate{
+			RuleName: "loss-burn", ScopeLabel: "client",
+			Bad:   "client.frames_lost",
+			Total: []string{"client.frames_played", "client.frames_lost"},
+			// frames_lost counts latency-chasing drops and stall-abandon
+			// skips — bursty client-level events that swing past 15% of
+			// frames on small fleets even when healthy. The budget/burn
+			// pair trips at 30% of frames: the catastrophic-loss page,
+			// quiet through ordinary fault turbulence.
+			Budget:  0.006,
+			FastWin: 5 * time.Second, SlowWin: 20 * time.Second,
+			Burn: 50, For: 2,
+		},
+		// Rolling Z-score anomaly rules (edge Z-scan math on a time axis).
+		&ZScore{
+			RuleName: "fleet-online-drop", ScopeLabel: "fleet",
+			Src:   Source{Series: "fleet.online_frac", Signal: SignalGauge},
+			Below: true, Z: 6, MinSD: 0.02, MinN: 10, For: 2,
+		},
+		&ZScore{
+			RuleName: "fetch-anomaly", ScopeLabel: "recovery",
+			Src: Source{Series: "client.recovery.fetch_dedicated", Signal: SignalRate, Window: 5 * time.Second},
+			Z:   6, MinSD: 1, MinN: 10, For: 2,
+		},
+		&ZScore{
+			RuleName: "queue-anomaly", ScopeLabel: "network",
+			Src: Source{Series: "net.queue_ms", Signal: SignalQuantile, Q: 0.9, Window: 5 * time.Second, MinCount: 20},
+			Z:   6, MinSD: 5, MinN: 10, For: 2,
+		},
+		&ZScore{
+			RuleName: "punch-fail", ScopeLabel: "nat",
+			Src: Source{Series: "nat.punch_fail", Signal: SignalRate, Window: 5 * time.Second},
+			Z:   6, MinSD: 1, MinN: 10, For: 2,
+		},
+	)
+	return rules
+}

@@ -1,0 +1,289 @@
+package alerting
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/stats"
+	"repro/internal/telemetry"
+)
+
+// Signal selects how a Source reduces one instrument's timeline to a
+// scalar at a scrape instant.
+type Signal uint8
+
+const (
+	// SignalGauge reads the gauge value at the scrape.
+	SignalGauge Signal = iota
+	// SignalRate is the counter's per-second rate over the lookback window.
+	SignalRate
+	// SignalDelta is the counter's raw delta over the lookback window.
+	SignalDelta
+	// SignalQuantile is a quantile of the histogram's per-window delta.
+	SignalQuantile
+)
+
+// Source derives a scalar signal from one instrument's scrape timeline.
+// All reductions difference cumulative scrapes through the stats guards,
+// so counter resets, zero-duration windows and the first scrape (no
+// predecessor) read as "no signal yet" rather than dividing by zero.
+type Source struct {
+	// Series is the instrument name in the registry.
+	Series string
+	// Signal is the reduction.
+	Signal Signal
+	// Q is the quantile for SignalQuantile (e.g. 0.9).
+	Q float64
+	// Window is the lookback duration; 0 means one scrape interval.
+	Window time.Duration
+	// MinCount is the minimum histogram observation count inside the
+	// window for SignalQuantile to produce a signal (default 1) — a
+	// near-empty interval's quantile is noise, not a measurement.
+	MinCount uint64
+}
+
+// windowStart returns the latest scrape index j whose instant is at least
+// the lookback window before scrape i (j = i-1 for a zero window), or -1
+// when the timeline does not yet reach back that far.
+func (s Source) windowStart(reg *telemetry.Registry, i int) int {
+	if s.Window <= 0 {
+		if i == 0 {
+			return -1
+		}
+		return i - 1
+	}
+	target := reg.ScrapeAt(i) - int64(s.Window)
+	for j := i - 1; j >= 0; j-- {
+		if reg.ScrapeAt(j) <= target {
+			return j
+		}
+	}
+	return -1
+}
+
+// value reduces the source at scrape i. ok is false while the window is
+// not yet full (first scrapes) or the interval carries too few
+// observations to be meaningful.
+func (s Source) value(reg *telemetry.Registry, i int) (v float64, ok bool) {
+	switch s.Signal {
+	case SignalGauge:
+		return reg.GaugeAt(i, s.Series), true
+	case SignalRate, SignalDelta:
+		j := s.windowStart(reg, i)
+		if j < 0 {
+			return 0, false
+		}
+		cur, prev := reg.CounterAt(i, s.Series), reg.CounterAt(j, s.Series)
+		if s.Signal == SignalDelta {
+			return float64(stats.CounterDelta(cur, prev)), true
+		}
+		return stats.DeltaRate(cur, prev, reg.ScrapeAt(i)-reg.ScrapeAt(j)), true
+	case SignalQuantile:
+		j := s.windowStart(reg, i)
+		if j < 0 {
+			return 0, false
+		}
+		d := reg.HistAt(i, s.Series).Sub(reg.HistAt(j, s.Series))
+		minc := s.MinCount
+		if minc == 0 {
+			minc = 1
+		}
+		if d.N < minc {
+			return 0, false
+		}
+		return d.Quantile(s.Q), true
+	}
+	return 0, false
+}
+
+// describe names the signal for incident details.
+func (s Source) describe() string {
+	switch s.Signal {
+	case SignalGauge:
+		return s.Series
+	case SignalRate:
+		return s.Series + "/s"
+	case SignalDelta:
+		return "Δ" + s.Series
+	case SignalQuantile:
+		return fmt.Sprintf("%s p%g", s.Series, s.Q*100)
+	}
+	return s.Series
+}
+
+// Threshold is the static-threshold rule kind: fire while the source
+// signal is above (or, with Below, under) a fixed bound — scheduler QPS
+// hitting zero, a utilization quantile exceeding its cap.
+type Threshold struct {
+	RuleName   string
+	ScopeLabel string
+	Src        Source
+	// Below inverts the comparison: fire when value < Bound.
+	Below bool
+	Bound float64
+	// For overrides the engine's OpenFor for this rule (consecutive firing
+	// scrapes required to open an incident); 0 uses the engine default.
+	For int
+}
+
+func (t *Threshold) Name() string  { return t.RuleName }
+func (t *Threshold) Kind() string  { return "threshold" }
+func (t *Threshold) Scope() string { return t.ScopeLabel }
+func (t *Threshold) OpenFor() int  { return t.For }
+
+func (t *Threshold) Eval(reg *telemetry.Registry, i int) Eval {
+	v, ok := t.Src.value(reg, i)
+	if !ok {
+		return Eval{}
+	}
+	firing := v > t.Bound
+	op := ">"
+	if t.Below {
+		firing = v < t.Bound
+		op = "<"
+	}
+	ev := Eval{Firing: firing, Value: v, Bound: t.Bound}
+	if firing {
+		ev.Detail = fmt.Sprintf("%s=%.4g %s %.4g", t.Src.describe(), v, op, t.Bound)
+	}
+	return ev
+}
+
+// BurnRate is the multi-window burn-rate rule kind over an SLO budget
+// (the SRE-workbook shape): the bad-event ratio, normalized by the budget,
+// must exceed the burn threshold in BOTH a fast and a slow window — the
+// fast window gives quick time-to-detect, the slow window keeps a
+// transient blip from paging.
+type BurnRate struct {
+	RuleName   string
+	ScopeLabel string
+	// Bad is the bad-units counter; BadScale converts its units (e.g.
+	// 1e-9 turns stall nanoseconds into stall seconds). 0 means 1.
+	Bad      string
+	BadScale float64
+	// Total is the total-units counters, summed. Empty means the window's
+	// simulated wall-clock seconds — the stall-seconds-per-wall-second
+	// SLO shape.
+	Total []string
+	// Budget is the SLO: the allowed bad/total ratio.
+	Budget float64
+	// FastWin/SlowWin are the two lookback windows.
+	FastWin, SlowWin time.Duration
+	// Burn is the threshold on ratio/Budget, applied to both windows.
+	Burn float64
+	// For overrides the engine's OpenFor; 0 uses the default.
+	For int
+}
+
+func (b *BurnRate) Name() string  { return b.RuleName }
+func (b *BurnRate) Kind() string  { return "burn-rate" }
+func (b *BurnRate) Scope() string { return b.ScopeLabel }
+func (b *BurnRate) OpenFor() int  { return b.For }
+
+// burnOver computes the budget-normalized burn rate over one lookback
+// window, ok=false while the timeline does not reach back that far.
+func (b *BurnRate) burnOver(reg *telemetry.Registry, i int, win time.Duration) (float64, bool) {
+	src := Source{Window: win}
+	j := src.windowStart(reg, i)
+	if j < 0 {
+		return 0, false
+	}
+	scale := b.BadScale
+	if scale == 0 {
+		scale = 1
+	}
+	bad := float64(stats.CounterDelta(reg.CounterAt(i, b.Bad), reg.CounterAt(j, b.Bad))) * scale
+	var total float64
+	if len(b.Total) == 0 {
+		total = float64(reg.ScrapeAt(i)-reg.ScrapeAt(j)) / 1e9
+	} else {
+		for _, name := range b.Total {
+			total += float64(stats.CounterDelta(reg.CounterAt(i, name), reg.CounterAt(j, name)))
+		}
+	}
+	return stats.SafeRate(stats.SafeRate(bad, total), b.Budget), true
+}
+
+func (b *BurnRate) Eval(reg *telemetry.Registry, i int) Eval {
+	fast, okF := b.burnOver(reg, i, b.FastWin)
+	slow, okS := b.burnOver(reg, i, b.SlowWin)
+	if !okF || !okS {
+		return Eval{}
+	}
+	// The fast window is the reported signal; both must burn.
+	ev := Eval{Firing: fast > b.Burn && slow > b.Burn, Value: fast, Bound: b.Burn}
+	if ev.Firing {
+		ev.Detail = fmt.Sprintf("%s burn fast=%.3gx slow=%.3gx > %.3gx (budget %.3g)",
+			b.Bad, fast, slow, b.Burn, b.Budget)
+	}
+	return ev
+}
+
+// ZScore is the rolling-anomaly rule kind, reusing the edge QoS trigger's
+// Z-score math (stats.Welford) on a time axis instead of a population
+// axis: the source signal is scored against the baseline of its own past
+// values and fires when the score exceeds Z (or drops under -Z with
+// Below). While firing, the baseline is frozen so a sustained fault does
+// not teach itself into normality before it resolves. Rules are
+// single-run: the baseline state belongs to one timeline.
+type ZScore struct {
+	RuleName   string
+	ScopeLabel string
+	Src        Source
+	// Z is the score threshold.
+	Z float64
+	// Below fires on anomalous drops instead of spikes.
+	Below bool
+	// MinN is how many baseline values must accumulate before the rule may
+	// fire (default 8) — the warmup guard.
+	MinN int
+	// MinSD floors the baseline deviation so a perfectly flat baseline
+	// (rate pinned at zero) cannot turn the first blip into an infinite
+	// score; it is the minimum signal change considered meaningful.
+	MinSD float64
+	// For overrides the engine's OpenFor; 0 uses the default.
+	For int
+
+	baseline stats.Welford
+}
+
+func (z *ZScore) Name() string  { return z.RuleName }
+func (z *ZScore) Kind() string  { return "zscore" }
+func (z *ZScore) Scope() string { return z.ScopeLabel }
+func (z *ZScore) OpenFor() int  { return z.For }
+
+func (z *ZScore) Eval(reg *telemetry.Registry, i int) Eval {
+	v, ok := z.Src.value(reg, i)
+	if !ok {
+		return Eval{}
+	}
+	minN := z.MinN
+	if minN == 0 {
+		minN = 8
+	}
+	ev := Eval{Bound: z.Z}
+	if z.baseline.N() >= int64(minN) {
+		sd := z.baseline.Stddev()
+		if sd < z.MinSD {
+			sd = z.MinSD
+		}
+		score := 0.0
+		if sd > 0 {
+			score = (v - z.baseline.Mean()) / sd
+		}
+		ev.Value = score
+		if z.Below {
+			ev.Firing = score < -z.Z
+		} else {
+			ev.Firing = score > z.Z
+		}
+		if ev.Firing {
+			ev.Detail = fmt.Sprintf("%s=%.4g z=%.2f vs baseline %.4g±%.3g",
+				z.Src.describe(), v, score, z.baseline.Mean(), sd)
+		}
+	}
+	if !ev.Firing {
+		z.baseline.Add(v)
+	}
+	return ev
+}

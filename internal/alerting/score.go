@@ -1,0 +1,183 @@
+package alerting
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/stats"
+)
+
+// Window is one ground-truth fault interval in absolute simulation
+// nanoseconds. Chaos scenarios export fault windows relative to the
+// scenario run start; callers shift them by the run-start offset before
+// scoring incidents against them.
+type Window struct {
+	// Label names the fault (e.g. "scheduler-outage").
+	Label string
+	Start int64
+	End   int64
+	// Region scopes regional faults; -1 means fleet-wide.
+	Region int
+}
+
+// WindowScore is one ground-truth window's detection outcome.
+type WindowScore struct {
+	Window
+	Detected bool
+	// TTDNs is time-to-detect: the first matching incident's open instant
+	// minus the window start. Valid only when Detected.
+	TTDNs int64
+	// Rule names the rule behind the first detecting incident.
+	Rule string
+	// Incidents counts every incident that matched this window.
+	Incidents int
+}
+
+// Scorecard scores one run's incident log against the run's ground-truth
+// fault windows: which faults were detected and how fast, which incidents
+// matched no fault at all.
+type Scorecard struct {
+	Scenario string
+	// GraceNs extends each window's matching interval past its end —
+	// detection latency lags fault onset, so an incident opening shortly
+	// after the fault clears still credits the fault.
+	GraceNs int64
+	Windows []WindowScore
+	// Incidents is the total incident count; TruePositives of them matched
+	// at least one window.
+	Incidents     int
+	TruePositives int
+	// FalseAlarms are incidents matching no window; WarmupFalseAlarms is
+	// the subset that opened before the first fault even started.
+	FalseAlarms       int
+	WarmupFalseAlarms int
+}
+
+// ScoreDetection matches incidents against ground-truth windows: an
+// incident detects a window when it opens inside [Start, End+grace]. One
+// incident may credit several overlapping windows; an incident crediting
+// none is a false alarm.
+func ScoreDetection(scenario string, windows []Window, incidents []Incident, grace int64) Scorecard {
+	sc := Scorecard{Scenario: scenario, GraceNs: grace, Windows: make([]WindowScore, len(windows))}
+	firstStart := int64(-1)
+	for i, w := range windows {
+		sc.Windows[i] = WindowScore{Window: w}
+		if firstStart < 0 || w.Start < firstStart {
+			firstStart = w.Start
+		}
+	}
+	for _, in := range incidents {
+		sc.Incidents++
+		matched := false
+		for i := range sc.Windows {
+			ws := &sc.Windows[i]
+			if in.OpenedAt >= ws.Start && in.OpenedAt <= ws.End+grace {
+				matched = true
+				ws.Incidents++
+				if !ws.Detected {
+					ws.Detected = true
+					ws.TTDNs = in.OpenedAt - ws.Start
+					ws.Rule = in.Rule
+				}
+			}
+		}
+		if matched {
+			sc.TruePositives++
+		} else {
+			sc.FalseAlarms++
+			if firstStart < 0 || in.OpenedAt < firstStart {
+				sc.WarmupFalseAlarms++
+			}
+		}
+	}
+	return sc
+}
+
+// Detected counts the windows at least one incident matched.
+func (sc *Scorecard) Detected() int {
+	n := 0
+	for i := range sc.Windows {
+		if sc.Windows[i].Detected {
+			n++
+		}
+	}
+	return n
+}
+
+// Recall is the detected fraction of ground-truth windows (1 when the
+// scenario has no windows — nothing to miss).
+func (sc *Scorecard) Recall() float64 {
+	if len(sc.Windows) == 0 {
+		return 1
+	}
+	return stats.SafeRate(float64(sc.Detected()), float64(len(sc.Windows)))
+}
+
+// Precision is the fraction of incidents that matched a window (1 when no
+// incidents fired — nothing was wrong).
+func (sc *Scorecard) Precision() float64 {
+	if sc.Incidents == 0 {
+		return 1
+	}
+	return stats.SafeRate(float64(sc.TruePositives), float64(sc.Incidents))
+}
+
+// FalseAlarmRate is false alarms per incident (0 when no incidents).
+func (sc *Scorecard) FalseAlarmRate() float64 {
+	return stats.SafeRate(float64(sc.FalseAlarms), float64(sc.Incidents))
+}
+
+// MeanTTD is the mean time-to-detect in seconds over detected windows.
+func (sc *Scorecard) MeanTTD() float64 {
+	var sum float64
+	n := 0
+	for i := range sc.Windows {
+		if sc.Windows[i].Detected {
+			sum += float64(sc.Windows[i].TTDNs) / 1e9
+			n++
+		}
+	}
+	return stats.SafeRate(sum, float64(n))
+}
+
+// MissedList names the undetected windows, in window order.
+func (sc *Scorecard) MissedList() []string {
+	var out []string
+	for i := range sc.Windows {
+		if !sc.Windows[i].Detected {
+			out = append(out, sc.Windows[i].Label)
+		}
+	}
+	return out
+}
+
+// WriteJSONL encodes the scorecard: one summary line, then one line per
+// ground-truth window. Field order is fixed and floats use shortest-exact
+// encoding so same-seed output is byte-identical across serial and
+// parallel runs.
+func (sc *Scorecard) WriteJSONL(w io.Writer) error {
+	missed := sc.MissedList()
+	quoted := make([]string, len(missed))
+	for i, m := range missed {
+		quoted[i] = fmt.Sprintf("%q", m)
+	}
+	if _, err := fmt.Fprintf(w,
+		"{\"scenario\":%q,\"windows\":%d,\"detected\":%d,\"incidents\":%d,\"true_positives\":%d,\"false_alarms\":%d,\"warmup_false_alarms\":%d,\"precision\":%s,\"recall\":%s,\"ttd_mean_s\":%s,\"missed\":[%s]}\n",
+		sc.Scenario, len(sc.Windows), sc.Detected(), sc.Incidents, sc.TruePositives,
+		sc.FalseAlarms, sc.WarmupFalseAlarms,
+		fmtF(sc.Precision()), fmtF(sc.Recall()), fmtF(sc.MeanTTD()),
+		strings.Join(quoted, ",")); err != nil {
+		return err
+	}
+	for i := range sc.Windows {
+		ws := &sc.Windows[i]
+		if _, err := fmt.Fprintf(w,
+			"{\"scenario\":%q,\"window\":%q,\"region\":%d,\"start\":%d,\"end\":%d,\"detected\":%t,\"ttd_s\":%s,\"rule\":%q,\"matched\":%d}\n",
+			sc.Scenario, ws.Label, ws.Region, ws.Start, ws.End, ws.Detected,
+			fmtF(float64(ws.TTDNs)/1e9), ws.Rule, ws.Incidents); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -220,9 +220,9 @@ func TestCatalogScenariosWellFormed(t *testing.T) {
 			t.Fatalf("duplicate scenario name %q", sc.Name)
 		}
 		seen[sc.Name] = true
-		if sc.Total() <= sc.LastFaultEnd() {
+		if _, end := sc.Span(); sc.Total() <= end {
 			sc.applyDefaults()
-			if sc.Total() <= sc.LastFaultEnd() {
+			if _, end := sc.Span(); sc.Total() <= end {
 				t.Fatalf("%s: no tail to observe recovery", sc.Name)
 			}
 		}
@@ -231,6 +231,87 @@ func TestCatalogScenariosWellFormed(t *testing.T) {
 	so := SchedulerOutageScenario()
 	if so.Events[0].Duration != 60*time.Second {
 		t.Fatalf("scheduler outage duration = %v, want 60s", so.Events[0].Duration)
+	}
+}
+
+func TestFaultWindows(t *testing.T) {
+	// A multi-fault scenario with unordered, overlapping events: windows
+	// come back sorted by (start, end, kind) and the span is the envelope.
+	sc := Scenario{
+		Name: "multi",
+		Events: []Event{
+			{Kind: OriginSaturation, Start: 40 * time.Second, Duration: 20 * time.Second, Severity: 0.25},
+			{Kind: RegionBlackout, Start: 10 * time.Second, Duration: 40 * time.Second, Region: 1},
+			{Kind: SchedulerOutage, Start: 10 * time.Second, Duration: 15 * time.Second},
+			{Kind: NATFlap, Start: 70 * time.Second}, // instantaneous
+		},
+	}
+	ws := sc.FaultWindows()
+	if len(ws) != 4 {
+		t.Fatalf("got %d windows, want 4", len(ws))
+	}
+	wantOrder := []Kind{SchedulerOutage, RegionBlackout, OriginSaturation, NATFlap}
+	for i, k := range wantOrder {
+		if ws[i].Kind != k {
+			t.Fatalf("window %d kind = %s, want %s (order %v)", i, ws[i].Kind, k, ws)
+		}
+	}
+	if ws[1].Region != 1 {
+		t.Fatalf("blackout window region = %d, want 1", ws[1].Region)
+	}
+	if ws[0].Region != -1 || ws[2].Region != -1 {
+		t.Fatal("non-regional faults must report region -1")
+	}
+	if ws[3].Start != ws[3].End {
+		t.Fatalf("instantaneous event window = %v, want zero duration", ws[3])
+	}
+	start, end := sc.Span()
+	if start != 10*time.Second || end != 70*time.Second {
+		t.Fatalf("span = [%v, %v], want [10s, 70s]", start, end)
+	}
+
+	// The rolling degradation wave: one window covering the whole sweep,
+	// fleet-wide scope.
+	dw := DegradationWaveScenario()
+	ws = dw.FaultWindows()
+	if len(ws) != 1 {
+		t.Fatalf("degradation wave: %d windows, want 1", len(ws))
+	}
+	if ws[0].Region != -1 {
+		t.Fatalf("rolling wave region = %d, want -1 (fleet-wide)", ws[0].Region)
+	}
+	if ws[0].Start != 20*time.Second || ws[0].End != 68*time.Second {
+		t.Fatalf("rolling wave window = %v", ws[0])
+	}
+
+	// Every catalog scenario's windows agree with its span and total.
+	for _, sc := range Catalog() {
+		ws := sc.FaultWindows()
+		if len(ws) == 0 {
+			t.Fatalf("%s: no fault windows", sc.Name)
+		}
+		start, end := sc.Span()
+		if ws[0].Start != start {
+			t.Fatalf("%s: first window start %v != span start %v", sc.Name, ws[0].Start, start)
+		}
+		var last time.Duration
+		for _, w := range ws {
+			if w.End > last {
+				last = w.End
+			}
+		}
+		if last != end {
+			t.Fatalf("%s: max window end %v != span end %v", sc.Name, last, end)
+		}
+	}
+
+	// No events: empty windows, zero span.
+	var empty Scenario
+	if len(empty.FaultWindows()) != 0 {
+		t.Fatal("empty scenario produced windows")
+	}
+	if s, e := empty.Span(); s != 0 || e != 0 {
+		t.Fatalf("empty span = [%v, %v]", s, e)
 	}
 }
 

@@ -41,16 +41,17 @@ type Checker interface {
 // escalation, and post-fault convergence.
 func (s Scenario) Checkers() []Checker {
 	s.applyDefaults()
+	start, end := s.Span()
 	return []Checker{
 		&continuityChecker{
-			window: [2]time.Duration{s.FirstFaultStart(), s.LastFaultEnd()},
+			window: [2]time.Duration{start, end},
 			min:    s.ContinuityMin,
 		},
 		&boundedQoEChecker{ceiling: s.RebufferCeiling},
 		&escalationChecker{deadline: s.EscalationDeadline},
 		&convergenceChecker{
-			faultStart: s.FirstFaultStart(),
-			faultEnd:   s.LastFaultEnd(),
+			faultStart: start,
+			faultEnd:   end,
 			eps:        s.ConvergeEpsilon,
 			within:     s.ConvergeWithin,
 		},

@@ -14,6 +14,7 @@ package chaos
 
 import (
 	"fmt"
+	"sort"
 	"time"
 )
 
@@ -149,33 +150,74 @@ func (s *Scenario) applyDefaults() {
 	}
 }
 
-// FirstFaultStart returns the earliest event start (0 if no events).
-func (s Scenario) FirstFaultStart() time.Duration {
-	if len(s.Events) == 0 {
-		return 0
-	}
-	first := s.Events[0].Start
-	for _, e := range s.Events[1:] {
-		if e.Start < first {
-			first = e.Start
-		}
-	}
-	return first
+// Window is one ground-truth fault interval of a scenario, in offsets
+// relative to the scenario run start. It is the reference an alerting
+// scorecard judges incident detection against: an incident that opens
+// inside [Start, End] (plus the scorer's grace) detected this fault.
+type Window struct {
+	Kind  Kind
+	Start time.Duration
+	End   time.Duration
+	// Region scopes regional faults; -1 means fleet-wide (matching
+	// Event.Region semantics, including the rolling degradation wave).
+	Region int
 }
 
-// LastFaultEnd returns the latest event end (0 if no events).
-func (s Scenario) LastFaultEnd() time.Duration {
-	var last time.Duration
+// String renders the window as "kind [start,end) region=r".
+func (w Window) String() string {
+	if w.Region >= 0 {
+		return fmt.Sprintf("%s [%s,%s) region=%d", w.Kind, w.Start, w.End, w.Region)
+	}
+	return fmt.Sprintf("%s [%s,%s)", w.Kind, w.Start, w.End)
+}
+
+// FaultWindows exports the scenario's ground-truth fault timeline: one
+// window per event, sorted by start then end then kind so multi-fault
+// scenarios enumerate deterministically regardless of Events order. A
+// zero-duration event still yields a window (Start == End) — the fault
+// happened even if it was instantaneous.
+func (s Scenario) FaultWindows() []Window {
+	out := make([]Window, 0, len(s.Events))
 	for _, e := range s.Events {
-		if e.End() > last {
-			last = e.End()
+		r := e.Region
+		if e.Kind != RegionBlackout && e.Kind != RegionPartition && e.Kind != DegradationWave {
+			r = -1
+		}
+		out = append(out, Window{Kind: e.Kind, Start: e.Start, End: e.End(), Region: r})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Start != out[j].Start {
+			return out[i].Start < out[j].Start
+		}
+		if out[i].End != out[j].End {
+			return out[i].End < out[j].End
+		}
+		return out[i].Kind < out[j].Kind
+	})
+	return out
+}
+
+// Span returns the envelope of the fault windows: the earliest start and
+// the latest end (both 0 when the scenario has no events). Invariant
+// checkers that only care about "the fault period" as a whole use this
+// instead of re-deriving first/last offsets from Events.
+func (s Scenario) Span() (start, end time.Duration) {
+	for i, w := range s.FaultWindows() {
+		if i == 0 || w.Start < start {
+			start = w.Start
+		}
+		if w.End > end {
+			end = w.End
 		}
 	}
-	return last
+	return start, end
 }
 
 // Total returns the scenario run length: last fault end plus tail.
-func (s Scenario) Total() time.Duration { return s.LastFaultEnd() + s.Tail }
+func (s Scenario) Total() time.Duration {
+	_, end := s.Span()
+	return end + s.Tail
+}
 
 // Catalog returns the named scenarios the resilience experiments run. The
 // scheduler-outage timeline is fixed at 60 s of control-plane death

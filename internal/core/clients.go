@@ -124,11 +124,15 @@ func (s *System) SetNATFlap(active bool) { s.natFlap = active }
 func (s *System) CanConnect(clientAddr, edgeAddr simnet.Addr) bool {
 	if s.natFlap {
 		if n := s.Fleet.Node(edgeAddr); n != nil && n.NAT != nat.Public {
+			s.tmPunchFail.Inc()
 			return false
 		}
 	}
 	key := uint64(clientAddr)<<32 | uint64(edgeAddr)
 	if v, ok := s.natPair[key]; ok {
+		if !v {
+			s.tmPunchFail.Inc()
+		}
 		return v
 	}
 	n := s.Fleet.Node(edgeAddr)
@@ -137,6 +141,9 @@ func (s *System) CanConnect(clientAddr, edgeAddr simnet.Addr) bool {
 		ok = s.Fleet.Traverser.Connect(n.NAT)
 	}
 	s.natPair[key] = ok
+	if !ok {
+		s.tmPunchFail.Inc()
+	}
 	return ok
 }
 

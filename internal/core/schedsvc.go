@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/scheduler"
 	"repro/internal/simnet"
+	"repro/internal/telemetry"
 	"repro/internal/transport"
 )
 
@@ -39,6 +40,20 @@ type SchedService struct {
 	extraLatency time.Duration
 	// OutageDropped counts messages discarded while in outage.
 	OutageDropped uint64
+
+	// tmMsgs counts control-plane messages actually processed (dropped
+	// outage traffic excluded, so the rate hitting zero IS the outage
+	// signal); tmRespMs observes the modeled recommendation latency
+	// including any injected slowdown.
+	tmMsgs   *telemetry.Counter
+	tmRespMs *telemetry.Histogram
+}
+
+// SetTelemetry registers the service's instruments on reg (nil-safe).
+func (s *SchedService) SetTelemetry(reg *telemetry.Registry) {
+	s.tmMsgs = reg.Counter("sched.msgs")
+	s.tmRespMs = reg.Histogram("sched.resp_ms",
+		[]float64{10, 20, 40, 60, 80, 100, 150, 200, 300, 500, 800})
 }
 
 // SetOutage turns full control-plane failure on or off. During an outage
@@ -64,6 +79,7 @@ func (s *SchedService) Handle(from simnet.Addr, msg any) {
 		s.OutageDropped++
 		return
 	}
+	s.tmMsgs.Inc()
 	switch m := msg.(type) {
 	case *scheduler.Heartbeat:
 		s.Sched.Ingest(*m)
@@ -79,6 +95,7 @@ func (s *SchedService) Handle(from simnet.Addr, msg any) {
 		// network adds its own RTT on top, reproducing the Fig 12a
 		// recommendation-time distribution end to end.
 		lat += s.extraLatency
+		s.tmRespMs.Observe(float64(lat) / 1e6)
 		s.sim.After(lat, func() {
 			s.net.Send(s.Addr, from, transport.WireSize(resp), resp)
 		})

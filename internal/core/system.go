@@ -1,8 +1,10 @@
 package core
 
 import (
+	"fmt"
 	"time"
 
+	"repro/internal/alerting"
 	"repro/internal/cdn"
 	"repro/internal/client"
 	"repro/internal/edge"
@@ -89,6 +91,11 @@ type Config struct {
 	Telemetry *telemetry.Registry
 	// TelemetryScrapeEvery is the scrape cadence (default 5 s of sim time).
 	TelemetryScrapeEvery time.Duration
+	// Alerting, when set together with Telemetry, subscribes the SLO alert
+	// engine to the registry's scrape timeline: rules evaluate at every
+	// scrape instant, on the simulator thread. nil (the default) keeps the
+	// hook on the zero-cost path.
+	Alerting *alerting.Engine
 }
 
 func (c *Config) setDefaults() {
@@ -138,6 +145,7 @@ type System struct {
 	nextClient   simnet.Addr
 	natPair      map[uint64]bool
 	natFlap      bool
+	tmPunchFail  *telemetry.Counter
 	clientRegion map[simnet.Addr]int
 	clientRNG    *stats.RNG
 }
@@ -186,6 +194,8 @@ func NewSystem(cfg Config) *System {
 	// nil registry hands out nil instruments whose hooks are free).
 	net.SetTelemetry(cfg.Telemetry)
 	s.Sched.SetTelemetry(cfg.Telemetry)
+	s.SchedSvc.SetTelemetry(cfg.Telemetry)
+	s.tmPunchFail = cfg.Telemetry.Counter("nat.punch_fail")
 
 	// Fleet.
 	s.Fleet = fleet.New(fleet.Config{
@@ -346,6 +356,15 @@ func NewSystem(cfg Config) *System {
 	if cfg.Telemetry != nil {
 		reg := cfg.Telemetry
 		reg.GaugeFunc("net.inflight", func() float64 { return float64(sim.InFlight()) })
+		reg.GaugeFunc("fleet.online_frac", func() float64 {
+			return s.onlineFraction(-1)
+		})
+		for r := 0; r < s.Fleet.Config().Regions; r++ {
+			region := r
+			reg.GaugeFunc(fmt.Sprintf("fleet.online_frac.r%d", region), func() float64 {
+				return s.onlineFraction(region)
+			})
+		}
 		reg.GaugeFunc("chain.pending", func() float64 {
 			n := 0
 			for _, c := range s.Clients {
@@ -377,7 +396,30 @@ func NewSystem(cfg Config) *System {
 			return true
 		})
 	}
+	// Alert engine last, so its rules see every instrument registered
+	// above at the first scrape. Nil-safe on both sides.
+	cfg.Alerting.Attach(cfg.Telemetry)
 	return s
+}
+
+// onlineFraction is the fraction of best-effort nodes currently online —
+// fleet-wide, or within one region when region >= 0. Walks the BestEffort
+// slice (never a map) so scrape-time evaluation is deterministic.
+func (s *System) onlineFraction(region int) float64 {
+	online, total := 0, 0
+	for _, n := range s.Fleet.BestEffort {
+		if region >= 0 && n.Region != region {
+			continue
+		}
+		total++
+		if s.Net.Online(n.Addr) {
+			online++
+		}
+	}
+	if total == 0 {
+		return 1
+	}
+	return float64(online) / float64(total)
 }
 
 // VariantID returns the stream ID of the rung-th ABR variant of a base

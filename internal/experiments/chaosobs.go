@@ -1,0 +1,143 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/alerting"
+	"repro/internal/chaos"
+	"repro/internal/client"
+	"repro/internal/core"
+	"repro/internal/telemetry"
+)
+
+// obsScrapeEvery is the chaos-obs scrape cadence: alert rules evaluate
+// once per simulated second, matching the chaos runner's tick.
+const obsScrapeEvery = time.Second
+
+// obsGrace extends each ground-truth fault window when scoring detection:
+// multi-scrape For-streaks and window lookbacks lag fault onset, so an
+// incident opening shortly after the fault clears still credits it.
+const obsGrace = 10 * time.Second
+
+// obsRegions keeps regions large enough (~BestEffort/4 nodes each) that
+// natural churn cannot empty one and trip a per-region capacity floor
+// outside a fault window.
+const obsRegions = 4
+
+// chaosObsSystem builds and warms one instrumented deployment for the
+// observability drill: the chaosSystem shape plus a 1 s telemetry scrape
+// timeline and the alert engine attached. The warm-up trains the z-score
+// baselines; the caller arms the engine when the scenario run begins.
+func chaosObsSystem(sc Scale, reg *telemetry.Registry, eng *alerting.Engine) *core.System {
+	if sc.Clients < 16 {
+		sc.Clients = 16
+	}
+	if sc.BestEffort < 32 {
+		sc.BestEffort = 32
+	}
+	s := core.NewSystem(core.Config{
+		Seed:                 sc.Seed,
+		NumDedicated:         1,
+		NumBestEffort:        sc.BestEffort,
+		Regions:              obsRegions,
+		Mode:                 client.ModeRLive,
+		ABRLadder:            abLadder,
+		DedicatedUplinkBps:   2.9e6 * float64(sc.Clients),
+		ChurnEnabled:         true,
+		LifespanMedian:       5 * time.Minute,
+		Telemetry:            reg,
+		TelemetryScrapeEvery: obsScrapeEvery,
+		Alerting:             eng,
+	})
+	s.Start()
+	for i := 0; i < sc.Clients; i++ {
+		s.AddClient(core.ClientSpec{Region: i % 2, ISP: i % 2})
+		s.Run(500 * time.Millisecond / time.Duration(max(1, sc.Clients/16)))
+	}
+	// A longer settle than the plain chaos drills: the anomaly rules need
+	// their MinN baseline scrapes before the engine arms.
+	s.Run(10 * time.Second)
+	return s
+}
+
+// obsWindows converts a scenario's relative fault windows to absolute
+// simulation time and labels them (kind, with an ordinal when a kind
+// repeats) for the scorecard's missed-fault list.
+func obsWindows(scen chaos.Scenario, startNs int64) []alerting.Window {
+	wins := scen.FaultWindows()
+	kindCount := make(map[chaos.Kind]int, len(wins))
+	for _, w := range wins {
+		kindCount[w.Kind]++
+	}
+	kindSeen := make(map[chaos.Kind]int, len(wins))
+	out := make([]alerting.Window, len(wins))
+	for i, w := range wins {
+		label := w.Kind.String()
+		if kindCount[w.Kind] > 1 {
+			kindSeen[w.Kind]++
+			label = fmt.Sprintf("%s#%d", label, kindSeen[w.Kind])
+		}
+		out[i] = alerting.Window{
+			Label:  label,
+			Start:  startNs + int64(w.Start),
+			End:    startNs + int64(w.End),
+			Region: w.Region,
+		}
+	}
+	return out
+}
+
+// ChaosObs runs the full chaos catalog with the SLO alert engine armed and
+// scores each scenario's incidents against its ground-truth fault windows:
+// the detection scorecard (time-to-detect, precision/recall, false-alarm
+// rate, missed faults), plus the per-scenario incident logs. The engine
+// evaluates only at scrape instants, so the scorecard and incident JSONL
+// (-alerts) are byte-identical across serial and -parallel runs.
+func ChaosObs(sc Scale) *Result {
+	catalog := chaos.Catalog()
+	records := RunCells(len(catalog), func(i int) *AlertRecord {
+		scen := catalog[i]
+		label := "chaos-obs/" + scen.Name
+		reg := telemetry.NewRegistry(label, sc.Seed)
+		eng := alerting.NewEngine(label, sc.Seed, alerting.ChaosRules(obsRegions, max(sc.Clients, 16)))
+		sys := chaosObsSystem(sc, reg, eng)
+		startNs := int64(sys.Sim.Now())
+		eng.Arm(startNs)
+		chaos.Run(sys, scen, nil)
+		card := alerting.ScoreDetection(scen.Name, obsWindows(scen, startNs), eng.Incidents(), int64(obsGrace))
+		return &AlertRecord{Engine: eng, Scorecard: card}
+	})
+
+	score := &Table{ID: "chaos-obs", Title: "Detection scorecard: chaos catalog vs SLO alerting",
+		Header: []string{"scenario", "faults", "detected", "ttd (s)", "first rule", "incidents", "false alarms", "warmup FA", "precision", "recall", "missed"}}
+	incs := &Table{ID: "chaos-obs", Title: "Incidents (open order per scenario)",
+		Header: []string{"scenario", "id", "rule", "kind", "scope", "opened (s)", "resolved (s)", "detail"}}
+	for i, rec := range records {
+		card := &rec.Scorecard
+		firstRule, missed := "-", "-"
+		for w := range card.Windows {
+			if card.Windows[w].Detected {
+				firstRule = card.Windows[w].Rule
+				break
+			}
+		}
+		if m := card.MissedList(); len(m) > 0 {
+			missed = fmt.Sprint(m)
+		}
+		score.AddRow(card.Scenario,
+			fmt.Sprint(len(card.Windows)), fmt.Sprint(card.Detected()),
+			f2(card.MeanTTD()), firstRule,
+			fmt.Sprint(card.Incidents), fmt.Sprint(card.FalseAlarms), fmt.Sprint(card.WarmupFalseAlarms),
+			f2(card.Precision()), f2(card.Recall()), missed)
+		for _, in := range rec.Engine.Incidents() {
+			resolved := "open"
+			if !in.Open() {
+				resolved = f0(float64(in.ResolvedAt) / 1e9)
+			}
+			incs.AddRow(catalog[i].Name, fmt.Sprint(in.ID), in.Rule, in.Kind, in.Scope,
+				f0(float64(in.OpenedAt)/1e9), resolved, in.Detail)
+		}
+	}
+	return &Result{ID: "chaos-obs", Tables: []*Table{score, incs}, Alerts: records}
+}

@@ -1,0 +1,74 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/chaos"
+)
+
+// encodeAlerts renders a result's alert records exactly as the CLI -alerts
+// flag does: concatenated JSONL (incident log then scorecard) in cell order.
+func encodeAlerts(t *testing.T, res *Result) []byte {
+	t.Helper()
+	var w bytes.Buffer
+	for _, a := range res.Alerts {
+		if err := a.WriteJSONL(&w); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return w.Bytes()
+}
+
+// TestChaosObsDetectionAndDeterminism is the acceptance gate for the
+// observability drill at the default seed: every single-fault scenario in
+// the chaos catalog is detected (recall 1.0) with a time-to-detect, no
+// incident opens during the pre-fault warmup, and the incident/scorecard
+// JSONL is byte-identical between a serial and a -parallel 4 run.
+func TestChaosObsDetectionAndDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos-obs drill skipped in -short mode")
+	}
+	serialAfter(t)
+	r1 := ChaosObs(Quick)
+	SetParallelism(4)
+	r2 := ChaosObs(Quick)
+
+	if r1.String() != r2.String() {
+		t.Fatal("parallel run rendered differently from serial")
+	}
+	b1, b2 := encodeAlerts(t, r1), encodeAlerts(t, r2)
+	if len(b1) == 0 {
+		t.Fatal("no alert output")
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Fatal("parallel run's alert JSONL differs from serial")
+	}
+
+	if want := len(chaos.Catalog()); len(r1.Alerts) != want {
+		t.Fatalf("got %d alert records, want %d (one per catalog scenario)", len(r1.Alerts), want)
+	}
+	for _, rec := range r1.Alerts {
+		card := &rec.Scorecard
+		if got := card.Recall(); got != 1 {
+			t.Errorf("%s: recall %.2f, want 1.00 (missed %v)", card.Scenario, got, card.MissedList())
+		}
+		if card.WarmupFalseAlarms != 0 {
+			t.Errorf("%s: %d incidents opened before the first fault", card.Scenario, card.WarmupFalseAlarms)
+		}
+		for _, w := range card.Windows {
+			if !w.Detected {
+				continue
+			}
+			if w.TTDNs < 0 {
+				t.Errorf("%s: window %q detected with negative TTD %d", card.Scenario, w.Label, w.TTDNs)
+			}
+			if w.Rule == "" {
+				t.Errorf("%s: window %q detected without a firing rule", card.Scenario, w.Label)
+			}
+		}
+		if len(rec.Engine.Incidents()) == 0 {
+			t.Errorf("%s: no incidents at all", card.Scenario)
+		}
+	}
+}

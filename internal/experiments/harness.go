@@ -9,9 +9,11 @@ package experiments
 
 import (
 	"fmt"
+	"io"
 	"strings"
 	"time"
 
+	"repro/internal/alerting"
 	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
@@ -131,6 +133,25 @@ type Result struct {
 	// Timelines holds per-arm telemetry timelines (scraped registries, in
 	// cell order) when the experiment recorded telemetry.
 	Timelines []*telemetry.Registry
+	// Alerts holds per-arm incident logs and detection scorecards (in cell
+	// order) when the experiment ran with alerting armed (chaos-obs).
+	Alerts []*AlertRecord
+}
+
+// AlertRecord pairs one run's alert engine (its incident log) with the
+// detection scorecard judging it against the run's ground-truth faults.
+type AlertRecord struct {
+	Engine    *alerting.Engine
+	Scorecard alerting.Scorecard
+}
+
+// WriteJSONL emits the record: the incident log, then the scorecard.
+// Deterministic byte-for-byte per seed under any -parallel width.
+func (a *AlertRecord) WriteJSONL(w io.Writer) error {
+	if err := a.Engine.WriteJSONL(w); err != nil {
+		return err
+	}
+	return a.Scorecard.WriteJSONL(w)
 }
 
 // String renders all outputs.
@@ -195,6 +216,7 @@ var Registry = map[string]func(Scale) *Result{
 	"abl-redundant": AblationRedundancy,
 	"abl-nat":       AblationNATRefinement,
 
+	"chaos-obs":               ChaosObs,
 	"chaos-scheduler-outage":  ChaosSchedulerOutage,
 	"chaos-scheduler-slow":    ChaosSchedulerSlow,
 	"chaos-region-blackout":   ChaosRegionBlackout,
@@ -215,6 +237,7 @@ func IDs() []string {
 		"fig13", "tab4", "fallback",
 		"abl-chain", "abl-k", "abl-probe", "abl-explore", "abl-hash", "abl-redundant",
 		"abl-nat",
+		"chaos-obs",
 		"chaos-scheduler-outage", "chaos-scheduler-slow", "chaos-region-blackout", "chaos-region-partition",
 		"chaos-churn-storm", "chaos-origin-saturation", "chaos-degradation-wave",
 		"chaos-nat-flap",

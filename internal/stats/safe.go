@@ -1,0 +1,37 @@
+package stats
+
+// Guarded window arithmetic for consumers that difference cumulative
+// telemetry scrapes into rates (burn-rate SLO rules, per-interval
+// dashboards). The edge cases are always the same three — a zero-duration
+// window, a counter that reset between scrapes, and the first scrape with
+// no predecessor — so they are fixed here once instead of at every call
+// site.
+
+// SafeRate returns num/denom, or 0 when denom is zero or negative. It is
+// the guarded division for per-interval rates where the window duration
+// can legitimately collapse to zero (two scrapes at the same instant, a
+// lookback window shorter than the scrape cadence).
+func SafeRate(num, denom float64) float64 {
+	if denom <= 0 {
+		return 0
+	}
+	return num / denom
+}
+
+// CounterDelta returns cur-prev for a monotone counter, treating a
+// backward step as a counter reset: after a restart the counter re-counts
+// from zero, so the best available delta is cur itself.
+func CounterDelta(cur, prev uint64) uint64 {
+	if cur < prev {
+		return cur
+	}
+	return cur - prev
+}
+
+// DeltaRate converts a counter pair plus a window duration (nanoseconds)
+// into a per-second rate, combining both guards: counter resets fold
+// through CounterDelta and a zero-duration (or first-scrape, elapsed <= 0)
+// window yields 0.
+func DeltaRate(cur, prev uint64, elapsedNs int64) float64 {
+	return SafeRate(float64(CounterDelta(cur, prev)), float64(elapsedNs)/1e9)
+}

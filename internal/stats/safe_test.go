@@ -1,0 +1,58 @@
+package stats
+
+import "testing"
+
+func TestSafeRate(t *testing.T) {
+	cases := []struct {
+		num, denom, want float64
+	}{
+		{10, 2, 5},
+		{10, 0, 0},    // zero-duration window
+		{10, -1, 0},   // clock went backwards: still guarded
+		{0, 5, 0},     // nothing happened
+		{-3, 2, -1.5}, // signed numerators pass through
+	}
+	for _, c := range cases {
+		if got := SafeRate(c.num, c.denom); got != c.want {
+			t.Errorf("SafeRate(%g, %g) = %g, want %g", c.num, c.denom, got, c.want)
+		}
+	}
+}
+
+func TestCounterDelta(t *testing.T) {
+	cases := []struct {
+		cur, prev, want uint64
+	}{
+		{10, 4, 6},
+		{4, 4, 0},
+		{3, 10, 3}, // counter reset: re-counted from zero since the restart
+		{0, 10, 0}, // reset that has not moved yet
+		{7, 0, 7},  // first delta against the zero snapshot
+	}
+	for _, c := range cases {
+		if got := CounterDelta(c.cur, c.prev); got != c.want {
+			t.Errorf("CounterDelta(%d, %d) = %d, want %d", c.cur, c.prev, got, c.want)
+		}
+	}
+}
+
+func TestDeltaRate(t *testing.T) {
+	cases := []struct {
+		name      string
+		cur, prev uint64
+		elapsedNs int64
+		want      float64
+	}{
+		{"steady", 30, 10, 2e9, 10},
+		{"zero-duration window", 30, 10, 0, 0},
+		{"first scrape (no predecessor span)", 30, 0, -1e9, 0},
+		{"counter reset", 5, 100, 1e9, 5},
+		{"sub-second window", 8, 0, 5e8, 16},
+	}
+	for _, c := range cases {
+		if got := DeltaRate(c.cur, c.prev, c.elapsedNs); got != c.want {
+			t.Errorf("%s: DeltaRate(%d, %d, %d) = %g, want %g",
+				c.name, c.cur, c.prev, c.elapsedNs, got, c.want)
+		}
+	}
+}

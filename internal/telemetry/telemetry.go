@@ -255,6 +255,7 @@ type Registry struct {
 	insts  []instrument
 	byName map[string]int
 	snaps  []snapshot
+	subs   []func(r *Registry, i int)
 }
 
 // NewRegistry returns an empty registry for one run.
@@ -325,6 +326,19 @@ func (r *Registry) GaugeFunc(name string, fn func() float64) {
 	r.insts[i].fn = fn
 }
 
+// OnScrape registers fn to run after every scrape is appended, called with
+// the registry and the new snapshot's index. Subscribers run synchronously
+// on the simulator thread in registration order, so a subscriber sees a
+// fully consistent timeline (every accessor up to and including index i is
+// final) and its own evaluation order is as deterministic as the scrape
+// timeline itself. fn must not scrape. No-op on a nil registry.
+func (r *Registry) OnScrape(fn func(r *Registry, i int)) {
+	if r == nil {
+		return
+	}
+	r.subs = append(r.subs, fn)
+}
+
 // Histogram registers (or retrieves) the named fixed-bucket histogram.
 // edges are inclusive upper bounds in ascending order; an overflow bucket
 // is added implicitly. Returns nil on a nil registry.
@@ -370,6 +384,9 @@ func (r *Registry) Scrape(at int64) {
 		}
 	}
 	r.snaps = append(r.snaps, snapshot{at: at, vals: vals})
+	for _, fn := range r.subs {
+		fn(r, len(r.snaps)-1)
+	}
 }
 
 // NumScrapes returns how many snapshots the timeline holds.

@@ -2,6 +2,8 @@ package telemetry
 
 import (
 	"bytes"
+	"fmt"
+	"strings"
 	"testing"
 )
 
@@ -165,6 +167,57 @@ func TestHistSnapQuantile(t *testing.T) {
 	if q := (HistSnap{}).Quantile(0.5); q != 0 {
 		t.Fatalf("empty quantile = %v, want 0", q)
 	}
+}
+
+// TestOnScrapeOrderAndContents: subscribers fire once per appended scrape,
+// in registration order, after the snapshot is final — and two registries
+// fed the identical (same-seed) operation sequence deliver byte-identical
+// observation logs to their subscribers.
+func TestOnScrapeOrderAndContents(t *testing.T) {
+	run := func() []string {
+		var log []string
+		r := NewRegistry("run", 7)
+		c := r.Counter("c")
+		h := r.Histogram("h", []float64{10, 100})
+		r.OnScrape(func(r *Registry, i int) {
+			log = append(log, fmt.Sprintf("first i=%d at=%d c=%d hn=%d",
+				i, r.ScrapeAt(i), r.CounterAt(i, "c"), r.HistAt(i, "h").N))
+		})
+		r.OnScrape(func(r *Registry, i int) {
+			log = append(log, fmt.Sprintf("second i=%d", i))
+		})
+		for i := 0; i < 30; i++ {
+			c.Add(uint64(i % 4))
+			h.Observe(float64(i * 7 % 130))
+			if i%10 == 0 {
+				r.Scrape(int64(i+1) * 1e9)
+			}
+		}
+		r.Scrape(31e9)
+		r.Scrape(31e9) // deduped same-instant scrape must not re-notify
+		return log
+	}
+	a, b := run(), run()
+	if len(a) != 8 { // 4 scrapes x 2 subscribers
+		t.Fatalf("got %d subscriber calls, want 8: %q", len(a), a)
+	}
+	for i := 0; i < len(a); i += 2 {
+		if !strings.HasPrefix(a[i], "first ") || !strings.HasPrefix(a[i+1], "second ") {
+			t.Fatalf("subscribers ran out of registration order: %q", a[i:i+2])
+		}
+	}
+	if !strings.Contains(a[6], "i=3 at=31000000000") {
+		t.Fatalf("last scrape observation wrong: %q", a[6])
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("repeated same-seed runs diverged at call %d: %q vs %q", i, a[i], b[i])
+		}
+	}
+	// Nil registry: registering is a safe no-op.
+	var nilReg *Registry
+	nilReg.OnScrape(func(*Registry, int) { t.Fatal("subscriber on nil registry fired") })
+	nilReg.Scrape(1)
 }
 
 // TestWriteJSONLDeterministic: two registries fed the identical operation
