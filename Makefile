@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: tier1 build test vet race bench bench-json benchcmp chaos ci fmt-check determinism telemetry alerting
+.PHONY: tier1 build test vet race bench bench-json benchcmp chaos ci fmt-check determinism telemetry alerting ctrlplane
 
 # Next BENCH_*.json index; bump per PR so the trajectory accumulates.
 BENCH_N ?= 1
@@ -44,9 +44,9 @@ chaos:
 
 # Everything .github/workflows/ci.yml runs, locally: the tier1 gate,
 # formatting, vet, the race detector, the serial-vs-parallel trace,
-# telemetry, and alerting determinism gates, and a one-iteration bench
-# smoke.
-ci: tier1 fmt-check vet race determinism telemetry alerting
+# telemetry, alerting, and control-plane determinism gates, and a
+# one-iteration bench smoke.
+ci: tier1 fmt-check vet race determinism telemetry alerting ctrlplane
 	$(MAKE) bench > /dev/null
 
 fmt-check:
@@ -90,3 +90,18 @@ alerting:
 	grep -v '^-- ' "$$tmp/b.txt" > "$$tmp/b.clean" && \
 	diff -u "$$tmp/a.clean" "$$tmp/b.clean" && \
 	echo "alerting gate: OK"
+
+# The control-plane gate: focused unit + integration tests for the sharded
+# scheduler tier and LKG autonomy, then the ctrl-scale drill serial vs
+# -parallel 4 — rendered tables (message-rate flatness, invariant verdicts)
+# and the snapshot/gossip event-log JSONL must be byte-identical.
+ctrlplane:
+	@$(GO) test ./internal/ctrlplane/ ./internal/core/ -run 'Test.*(Gossip|Shard|LKG|Push|CtrlWire|ControlPlane|DataPlane)' -count 1
+	@tmp="$$(mktemp -d)"; trap 'rm -rf "$$tmp"' EXIT; \
+	$(GO) run ./cmd/rlive-sim -exp ctrl-scale -seed 1 -ctrl "$$tmp/a.jsonl" > "$$tmp/a.txt" && \
+	$(GO) run ./cmd/rlive-sim -exp ctrl-scale -seed 1 -parallel 4 -ctrl "$$tmp/b.jsonl" > "$$tmp/b.txt" && \
+	cmp "$$tmp/a.jsonl" "$$tmp/b.jsonl" && \
+	grep -v '^-- ' "$$tmp/a.txt" > "$$tmp/a.clean" && \
+	grep -v '^-- ' "$$tmp/b.txt" > "$$tmp/b.clean" && \
+	diff -u "$$tmp/a.clean" "$$tmp/b.clean" && \
+	echo "ctrlplane gate: OK"

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"repro/internal/chain"
+	"repro/internal/ctrlplane"
 	"repro/internal/experiments"
 	"repro/internal/media"
 	"repro/internal/recovery"
@@ -94,11 +95,17 @@ func BenchmarkChaosChurnStorm(b *testing.B)       { benchExperiment(b, "chaos-ch
 func BenchmarkChaosOriginSaturation(b *testing.B) { benchExperiment(b, "chaos-origin-saturation") }
 func BenchmarkChaosDegradationWave(b *testing.B)  { benchExperiment(b, "chaos-degradation-wave") }
 func BenchmarkChaosNATFlap(b *testing.B)          { benchExperiment(b, "chaos-nat-flap") }
+func BenchmarkChaosCtrlPartition(b *testing.B)    { benchExperiment(b, "chaos-ctrl-partition") }
 
 // BenchmarkChaosObs runs the observability drill end to end: the full
 // chaos catalog with the SLO alert engine armed, scored against each
 // scenario's ground-truth fault windows.
 func BenchmarkChaosObs(b *testing.B) { benchExperiment(b, "chaos-obs") }
+
+// BenchmarkCtrlScale runs the distributed-control-plane drill end to end:
+// the 100x message-rate flatness sweep plus the scheduler-death autonomy
+// arms with telemetry, alerting, and event logging armed.
+func BenchmarkCtrlScale(b *testing.B) { benchExperiment(b, "ctrl-scale") }
 
 // BenchmarkABBaseline runs the canonical A/B pair with tracing OFF — the
 // guard for the tracer's zero-config path: compare against BENCH_*.json
@@ -292,6 +299,33 @@ func BenchmarkSimnetEventLoop(b *testing.B) {
 			sim.At(time.Duration(j)*time.Millisecond, func() { net.Send(1, 2, 1200, j) })
 		}
 		sim.Run(2 * time.Second)
+	}
+}
+
+// BenchmarkLKGCandidates measures one cache-served allocation decision —
+// the data-plane hot path during a control-plane outage: rank a fleet-scale
+// last-known-good snapshot and return the top-k candidates.
+func BenchmarkLKGCandidates(b *testing.B) {
+	now := simnet.Time(0)
+	l := ctrlplane.NewLKG(8, 0, 9, func() simnet.Time { return now })
+	snap := ctrlplane.Snapshot{Regions: make([]ctrlplane.RegionSnap, 8)}
+	for r := 0; r < 8; r++ {
+		nodes := make([]ctrlplane.NodeEntry, 128)
+		for i := range nodes {
+			nodes[i] = ctrlplane.NodeEntry{
+				Addr:        simnet.Addr(1000 + r*128 + i),
+				Static:      scheduler.StaticFeatures{Region: r, ISP: i % 4, CostUnit: 1},
+				ResidualBps: 50e6, ConnSuccess: 0.9, QuotaLeft: 8,
+			}
+		}
+		snap.Regions[r] = ctrlplane.RegionSnap{Region: r, Epoch: 1, Nodes: nodes}
+	}
+	l.Apply(snap, now)
+	info := scheduler.ClientInfo{Addr: 9, Region: 0, ISP: 0}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.Candidates(info, 8, nil)
 	}
 }
 

@@ -14,6 +14,7 @@
 //	rlive-sim -exp ab-baseline -trace t.jsonl        # frame-lifecycle traces
 //	rlive-sim -exp ab-peak -telemetry m.jsonl        # instrument timelines
 //	rlive-sim -exp chaos-obs -alerts a.jsonl         # incident logs + detection scorecards
+//	rlive-sim -exp ctrl-scale -ctrl c.jsonl          # control-plane snapshot/gossip event logs
 package main
 
 import (
@@ -26,6 +27,7 @@ import (
 	"runtime/pprof"
 	"time"
 
+	"repro/internal/ctrlplane"
 	"repro/internal/experiments"
 	"repro/internal/telemetry"
 	"repro/internal/trace"
@@ -47,6 +49,7 @@ type jsonExperiment struct {
 	traces    []*trace.Run
 	timelines []*telemetry.Registry
 	alerts    []*experiments.AlertRecord
+	ctrl      []*ctrlplane.EventLog
 }
 
 func main() {
@@ -63,6 +66,7 @@ func main() {
 		tracePth = flag.String("trace", "", "record frame-lifecycle traces and write them as JSONL to this path (deterministic per seed)")
 		telemPth = flag.String("telemetry", "", "record instrument timelines and write them as JSONL to this path (deterministic per seed)")
 		alertPth = flag.String("alerts", "", "write incident logs and detection scorecards as JSONL to this path (deterministic per seed; emitted by chaos-obs)")
+		ctrlPth  = flag.String("ctrl", "", "write control-plane snapshot/gossip event logs as JSONL to this path (deterministic per seed; emitted by ctrl-scale)")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this path")
 		memProf  = flag.String("memprofile", "", "write a heap profile to this path on exit")
 	)
@@ -143,12 +147,14 @@ func main() {
 			ID: ids[i], ElapsedMs: elapsed.Milliseconds(),
 			Tables: res.Tables, Series: res.Series,
 			traces: res.Traces, timelines: res.Timelines, alerts: res.Alerts,
+			ctrl: res.Ctrl,
 		}
 	})
 	doc := jsonDoc{Scale: sc}
 	var traces []*trace.Run
 	var timelines []*telemetry.Registry
 	var alerts []*experiments.AlertRecord
+	var ctrlLogs []*ctrlplane.EventLog
 	for _, cell := range cells {
 		res := experiments.Result{ID: cell.ID, Tables: cell.Tables, Series: cell.Series}
 		fmt.Print(res.String())
@@ -156,6 +162,7 @@ func main() {
 		traces = append(traces, cell.traces...)
 		timelines = append(timelines, cell.timelines...)
 		alerts = append(alerts, cell.alerts...)
+		ctrlLogs = append(ctrlLogs, cell.ctrl...)
 		if *jsonPath != "" {
 			doc.Experiments = append(doc.Experiments, cell)
 		}
@@ -240,6 +247,33 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("-- %d incidents (%d runs) written to %s\n", incidents, len(alerts), *alertPth)
+	}
+	if *ctrlPth != "" {
+		// Ctrl event logs concatenate in experiment/cell order — deterministic
+		// under any -parallel width, so CI can cmp the files directly.
+		f, err := os.Create(*ctrlPth)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rlive-sim: create %s: %v\n", *ctrlPth, err)
+			os.Exit(1)
+		}
+		w := bufio.NewWriter(f)
+		var events int
+		for _, l := range ctrlLogs {
+			if err := l.WriteJSONL(w); err != nil {
+				fmt.Fprintf(os.Stderr, "rlive-sim: write %s: %v\n", *ctrlPth, err)
+				os.Exit(1)
+			}
+			events += len(l.Events)
+		}
+		if err := w.Flush(); err != nil {
+			fmt.Fprintf(os.Stderr, "rlive-sim: flush %s: %v\n", *ctrlPth, err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "rlive-sim: close %s: %v\n", *ctrlPth, err)
+			os.Exit(1)
+		}
+		fmt.Printf("-- %d ctrl events (%d runs) written to %s\n", events, len(ctrlLogs), *ctrlPth)
 	}
 	if *jsonPath != "" {
 		buf, err := json.MarshalIndent(doc, "", "  ")

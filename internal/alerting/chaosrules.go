@@ -22,6 +22,14 @@ import (
 //	origin-saturation -> stall-burn / loss-burn (QoE SLO budgets)
 //	degradation-wave  -> loss-burn / queue-anomaly (loss + queuing delay)
 //	nat-flap          -> punch-fail (hole-punch failure rate z-spike)
+//	ctrl-partition    -> ctrl-shard-diverge (cross-shard epoch lag)
+//
+// The two ctrl-* rules read gauges only a distributed-control-plane system
+// exports; on any other system the missing series reads as 0 and the
+// above-bound rules stay silent, so they are safe to arm unconditionally.
+// ctrl-lkg-stale is the total-control-plane-death page: last-known-good
+// caches stop receiving snapshot pushes and their minimum freshness age
+// climbs past the bound.
 func ChaosRules(regions, clients int) []Rule {
 	rules := []Rule{
 		// Static thresholds.
@@ -34,6 +42,16 @@ func ChaosRules(regions, clients int) []Rule {
 			RuleName: "sched-latency", ScopeLabel: "control-plane",
 			Src:   Source{Series: "sched.resp_ms", Signal: SignalQuantile, Q: 0.9, Window: 10 * time.Second, MinCount: 3},
 			Bound: 200, For: 2,
+		},
+		&Threshold{
+			RuleName: "ctrl-lkg-stale", ScopeLabel: "control-plane",
+			Src:   Source{Series: "ctrl.lkg_age_ms", Signal: SignalGauge},
+			Bound: 15000, For: 2,
+		},
+		&Threshold{
+			RuleName: "ctrl-shard-diverge", ScopeLabel: "control-plane",
+			Src:   Source{Series: "ctrl.shard_diverge", Signal: SignalGauge},
+			Bound: 10, For: 2,
 		},
 	}
 	for r := 0; r < regions; r++ {

@@ -132,6 +132,9 @@ func (in *Injector) begin(e Event) {
 	case NATFlap:
 		in.sys.SetNATFlap(true)
 		in.logf("nat-flap start")
+	case CtrlPartition:
+		in.sys.Ctrl.SetGossipPartition(true)
+		in.logf("ctrl-partition start")
 	}
 }
 
@@ -139,7 +142,7 @@ func (in *Injector) end(e Event) {
 	switch e.Kind {
 	case SchedulerOutage:
 		in.sys.SchedSvc.SetOutage(false)
-		in.logf("scheduler-outage end (dropped %d msgs)", in.sys.SchedSvc.OutageDropped)
+		in.logf("scheduler-outage end (dropped %d msgs)", in.sys.SchedSvc.DroppedMsgs())
 	case SchedulerSlow:
 		in.sys.SchedSvc.SetExtraLatency(0)
 		in.logf("scheduler-slow end")
@@ -168,6 +171,9 @@ func (in *Injector) end(e Event) {
 	case NATFlap:
 		in.sys.SetNATFlap(false)
 		in.logf("nat-flap end")
+	case CtrlPartition:
+		in.sys.Ctrl.SetGossipPartition(false)
+		in.logf("ctrl-partition end (max shard divergence %d epochs)", in.sys.Ctrl.MaxEpochLag())
 	}
 }
 

@@ -42,7 +42,7 @@ type Checker interface {
 func (s Scenario) Checkers() []Checker {
 	s.applyDefaults()
 	start, end := s.Span()
-	return []Checker{
+	out := []Checker{
 		&continuityChecker{
 			window: [2]time.Duration{start, end},
 			min:    s.ContinuityMin,
@@ -56,6 +56,13 @@ func (s Scenario) Checkers() []Checker {
 			within:     s.ConvergeWithin,
 		},
 	}
+	for _, e := range s.Events {
+		if e.Kind == CtrlPartition {
+			out = append(out, NewLKGAutonomyChecker())
+			break
+		}
+	}
+	return out
 }
 
 func totalFramesPlayed(sys *core.System) float64 {
@@ -196,6 +203,61 @@ func (c *escalationChecker) Verdict(*core.System) Verdict {
 		Value:  float64(c.nacksSeen),
 		Bound:  c.deadline.Seconds(),
 		Detail: detail,
+	}
+}
+
+// lkgAutonomyChecker enforces control-plane autonomy: once the data plane
+// holds last-known-good snapshots, allocation and recovery-source decisions
+// must never stall on a missing control plane — zero new allocation stalls
+// over the scenario run, however the shard set is partitioned or killed.
+// Stalls from before the run (the pre-prime warm-up) are baselined out. On
+// a system without a distributed control plane the verdict is a vacuous
+// pass, keeping the default suite usable everywhere.
+type lkgAutonomyChecker struct {
+	ctrl       bool
+	started    bool
+	baseStalls uint64
+	stalls     uint64
+	serves     uint64
+}
+
+// NewLKGAutonomyChecker builds the LKG-autonomy invariant; experiments
+// append it explicitly to fault arms that run without a CtrlPartition
+// event (e.g. scheduler-outage under the distributed control plane).
+func NewLKGAutonomyChecker() Checker { return &lkgAutonomyChecker{} }
+
+func (c *lkgAutonomyChecker) Name() string { return "lkg-autonomy" }
+
+func (c *lkgAutonomyChecker) Sample(sys *core.System, _ time.Duration) {
+	if sys.Ctrl == nil {
+		return
+	}
+	c.ctrl = true
+	var stalls, serves uint64
+	for _, cl := range sys.Clients {
+		stalls += cl.AllocStalls
+		serves += cl.LKGServes
+	}
+	if !c.started {
+		c.started = true
+		c.baseStalls = stalls
+	}
+	c.stalls, c.serves = stalls, serves
+}
+
+func (c *lkgAutonomyChecker) Verdict(*core.System) Verdict {
+	if !c.ctrl {
+		return Verdict{Name: c.Name(), Pass: true,
+			Detail: "no distributed control plane (vacuous pass)"}
+	}
+	d := c.stalls - c.baseStalls
+	return Verdict{
+		Name:  c.Name(),
+		Pass:  d == 0,
+		Value: float64(d),
+		Bound: 0,
+		Detail: fmt.Sprintf("%d allocation stalls during run, %d LKG-served allocations",
+			d, c.serves),
 	}
 }
 

@@ -80,7 +80,7 @@ func Run(sys *core.System, sc Scenario, checkers []Checker) *Report {
 		StallPer100:   agg.StallTime.Mean(),
 		BitrateBps:    agg.Bitrate.Mean(),
 		E2EP50Ms:      agg.E2EMs.Percentile(50),
-		OutageDropped: sys.SchedSvc.OutageDropped,
+		OutageDropped: sys.SchedSvc.DroppedMsgs(),
 		Recovery:      sys.Recovery(),
 	}
 	for _, c := range checkers {

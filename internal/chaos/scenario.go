@@ -52,6 +52,13 @@ const (
 	// NATFlap breaks hole punching to every non-public edge node for the
 	// window (STUN/relay-assist infrastructure failure).
 	NATFlap
+	// CtrlPartition severs gossip between the two halves of the control
+	// plane's scheduler shard set for the window (a backbone split between
+	// shard sites). Each half keeps serving its own regions and pushing
+	// snapshots; per-region epochs diverge across the cut and re-converge
+	// by anti-entropy when it heals. Systems without a distributed control
+	// plane see a no-op.
+	CtrlPartition
 )
 
 // String names the event kind.
@@ -73,6 +80,8 @@ func (k Kind) String() string {
 		return "degradation-wave"
 	case NATFlap:
 		return "nat-flap"
+	case CtrlPartition:
+		return "ctrl-partition"
 	default:
 		return fmt.Sprintf("kind(%d)", k)
 	}
@@ -232,6 +241,7 @@ func Catalog() []Scenario {
 		OriginSaturationScenario(),
 		DegradationWaveScenario(),
 		NATFlapScenario(),
+		CtrlPartitionScenario(),
 	}
 }
 
@@ -335,6 +345,21 @@ func NATFlapScenario() Scenario {
 		Name: "nat-flap",
 		Events: []Event{
 			{Kind: NATFlap, Start: 20 * time.Second, Duration: 40 * time.Second},
+		},
+		Tail: 40 * time.Second,
+	}
+}
+
+// CtrlPartitionScenario splits the scheduler shard set's gossip mesh in
+// half for 40 s. Every shard keeps serving and pushing its own region's
+// snapshots, so the data-plane invariants must hold untouched; the
+// observable symptom is cross-region epoch divergence (ctrl.shard_diverge)
+// climbing during the cut and collapsing after anti-entropy heals it.
+func CtrlPartitionScenario() Scenario {
+	return Scenario{
+		Name: "ctrl-partition",
+		Events: []Event{
+			{Kind: CtrlPartition, Start: 20 * time.Second, Duration: 40 * time.Second},
 		},
 		Tail: 40 * time.Second,
 	}

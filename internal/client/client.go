@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"repro/internal/chain"
+	"repro/internal/ctrlplane"
 	"repro/internal/media"
 	"repro/internal/metrics"
 	"repro/internal/recovery"
@@ -117,6 +118,13 @@ type Config struct {
 	// are silently dropped (the traversal fails; the client only
 	// observes the missing response).
 	CanConnect func(simnet.Addr) bool
+	// LKG, when set, is the client's last-known-good snapshot cache:
+	// candidate requests are answered locally from the newest pushed
+	// snapshot instead of a round trip to the scheduler, so allocation
+	// keeps working through indefinite scheduler loss. The cache is fed
+	// by snapshot pushes relayed from subscribed edges and by direct
+	// requests to the region shard.
+	LKG *ctrlplane.LKG
 	// CentralSeq, when nonzero, disables trust in packet-embedded chains
 	// and polls a centralized sequencing service at this address instead
 	// (the pre-RLive design evaluated in Table 3).
@@ -353,6 +361,12 @@ type Client struct {
 	RetxNacks uint64
 	ABRUp     uint64
 	ABRDown   uint64
+	// LKGServes counts allocation queries answered locally from the
+	// last-known-good cache; AllocStalls counts queries that found the
+	// cache enabled but empty and had to fall back to the network — the
+	// quantity the lkg-autonomy invariant asserts stays at zero.
+	LKGServes   uint64
+	AllocStalls uint64
 
 	// tr records frame-lifecycle events from the client's own loops;
 	// chainTr is the buffer handed to the global chain (re-attached on ABR
@@ -377,6 +391,7 @@ type Client struct {
 	tmRecFetch    *telemetry.Counter
 	tmRecSwitchSS *telemetry.Counter
 	tmRecFallback *telemetry.Counter
+	tmAllocStall  *telemetry.Counter
 
 	lastVariantSwitch simnet.Time
 	lastStallAt       simnet.Time
@@ -468,6 +483,7 @@ func (c *Client) SetTelemetry(reg *telemetry.Registry) {
 	c.tmRecFetch = reg.Counter("client.recovery.fetch_dedicated")
 	c.tmRecSwitchSS = reg.Counter("client.recovery.switch_substream")
 	c.tmRecFallback = reg.Counter("client.recovery.full_fallback")
+	c.tmAllocStall = reg.Counter("ctrl.alloc_stall")
 }
 
 // PendingChains returns the number of parked chains awaiting a merge — the
@@ -544,6 +560,23 @@ func (c *Client) Start() {
 			return true
 		})
 	}
+	if c.cfg.LKG != nil && c.cfg.Mode != ModeCDNOnly {
+		// Prime the last-known-good cache from the region shard, then
+		// self-refresh whenever the edge relay tier has gone quiet. The
+		// refresh keeps retrying through a scheduler outage — harmless
+		// (dropped at the dead shard) and the first responder after
+		// recovery repopulates every cache.
+		c.sendTo(c.cfg.Scheduler, &ctrlplane.SnapshotReq{})
+		c.sim.Every(2500*time.Millisecond, func() bool {
+			if c.stopped {
+				return false
+			}
+			if !c.cfg.LKG.Has() || c.cfg.LKG.AgeMs() > 10000 {
+				c.sendTo(c.cfg.Scheduler, &ctrlplane.SnapshotReq{})
+			}
+			return true
+		})
+	}
 	if len(c.cfg.Variants) > 1 {
 		c.abrStart()
 	}
@@ -612,8 +645,8 @@ func (c *Client) engageRLive() {
 	c.refreshCandidates()
 }
 
-// refreshCandidates asks the scheduler for recommendations for every
-// substream lacking a healthy publisher set.
+// refreshCandidates obtains recommendations for every substream lacking a
+// healthy publisher set.
 func (c *Client) refreshCandidates() {
 	if !c.rliveActive {
 		return
@@ -622,9 +655,32 @@ func (c *Client) refreshCandidates() {
 		if st.switchedToCDN {
 			continue
 		}
-		req := &transport.CandidateReq{Key: c.key(st.ss), Client: c.cfg.Info}
-		c.sendTo(c.cfg.Scheduler, req)
+		c.requestCandidates(st.ss)
 	}
+}
+
+// requestCandidates obtains scheduler recommendations for one substream.
+// With a last-known-good cache holding a snapshot, the query is answered
+// locally — the control plane stays out of the request path, so
+// allocation keeps working through indefinite scheduler loss. Without a
+// cache (or before the first snapshot lands) it is a CandidateReq round
+// trip.
+func (c *Client) requestCandidates(ss media.SubstreamID) {
+	if c.cfg.LKG != nil {
+		if c.cfg.LKG.Has() {
+			now := c.sim.Now()
+			cands := c.cfg.LKG.Candidates(c.cfg.Info, 8, func(a simnet.Addr) bool {
+				until, bad := c.badNodes[a]
+				return bad && now < until
+			})
+			c.LKGServes++
+			c.onCandidates(&transport.CandidateResp{Key: c.key(ss), Candidates: cands})
+			return
+		}
+		c.AllocStalls++
+		c.tmAllocStall.Inc()
+	}
+	c.sendTo(c.cfg.Scheduler, &transport.CandidateReq{Key: c.key(ss), Client: c.cfg.Info})
 }
 
 // Handle processes inbound messages.
@@ -647,5 +703,10 @@ func (c *Client) Handle(from simnet.Addr, msg any) {
 		c.onRetxNack(m)
 	case *transport.SeqUpdate:
 		c.onSeqUpdate(m)
+	case *ctrlplane.SnapshotPush:
+		if c.cfg.LKG != nil {
+			c.cfg.LKG.Apply(m.Snap, c.sim.Now())
+			c.sendTo(from, &ctrlplane.SnapshotAck{Region: c.cfg.Info.Region, Seq: m.Seq, OK: true})
+		}
 	}
 }

@@ -78,8 +78,7 @@ func (c *Client) probeRound(st *substreamState) {
 			return // a probe succeeded and subscribed already
 		}
 		c.pendingSub[ssid] = false
-		req := &transport.CandidateReq{Key: c.key(ssid), Client: c.cfg.Info}
-		c.sendTo(c.cfg.Scheduler, req)
+		c.requestCandidates(ssid)
 	})
 }
 
@@ -204,8 +203,7 @@ func (c *Client) switchTick() {
 				st.switchedToCDN = false
 				req := &transport.CDNUnsubscribeReq{Stream: c.stream, Substream: st.ss}
 				c.sendTo(c.cfg.CDN, req)
-				req2 := &transport.CandidateReq{Key: c.key(st.ss), Client: c.cfg.Info}
-				c.sendTo(c.cfg.Scheduler, req2)
+				c.requestCandidates(st.ss)
 			}
 			continue
 		}
@@ -332,8 +330,7 @@ func (c *Client) onSuggestion(from simnet.Addr, m *transport.SwitchSuggestion) {
 	c.applySwitchRule(st, trigger)
 	if c.EdgeSwitches == before {
 		// No better candidate: refresh the list (§4.2.2 last ¶).
-		req := &transport.CandidateReq{Key: c.key(ss), Client: c.cfg.Info}
-		c.sendTo(c.cfg.Scheduler, req)
+		c.requestCandidates(ss)
 	}
 }
 

@@ -94,6 +94,13 @@ func (s *System) AddClient(spec ClientSpec) *client.Client {
 	if s.Cfg.FallbackThresholdMs > 0 {
 		ccfg.FallbackThresholdMs = s.Cfg.FallbackThresholdMs
 	}
+	if s.Ctrl != nil {
+		// Candidate requests and snapshot refreshes go to the region's
+		// shard; the LKG cache answers allocations locally once the
+		// first snapshot lands.
+		ccfg.Scheduler = s.Ctrl.ShardAddr(spec.Region)
+		ccfg.LKG = s.Ctrl.NewLKG(spec.Region, addr)
+	}
 	if s.Cfg.CentralSequencing && s.SeqSrv != nil {
 		ccfg.CentralSeq = s.SeqSrv.Addr
 	}

@@ -1,0 +1,127 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/telemetry"
+)
+
+// ctrlSystem builds a distributed-control-plane deployment with clients
+// spread across regions and the LKG caches primed.
+func ctrlSystem(t *testing.T, seed uint64, reg *telemetry.Registry) *System {
+	t.Helper()
+	cfg := Config{
+		Seed:          seed,
+		NumBestEffort: 24,
+		Regions:       4,
+		Mode:          client.ModeRLive,
+		ControlPlane:  true,
+	}
+	if reg != nil {
+		cfg.Telemetry = reg
+		cfg.TelemetryScrapeEvery = time.Second
+	}
+	s := NewSystem(cfg)
+	s.Start()
+	for i := 0; i < 6; i++ {
+		s.AddClient(ClientSpec{Region: i % 4, ISP: i % 2})
+		s.Run(200 * time.Millisecond)
+	}
+	return s
+}
+
+// TestControlPlaneWiring: shards come up one per region, snapshots reach
+// the data plane, and allocation queries are answered from LKG caches
+// rather than scheduler round trips.
+func TestControlPlaneWiring(t *testing.T) {
+	s := ctrlSystem(t, 41, nil)
+	s.Run(20 * time.Second)
+	if s.Ctrl == nil || len(s.Ctrl.Shards) != 4 || len(s.ShardSvcs) != 4 {
+		t.Fatal("control plane not wired with one shard per region")
+	}
+	if s.Ctrl.GossipRounds() == 0 {
+		t.Fatal("no gossip rounds")
+	}
+	if lag := s.Ctrl.MaxEpochLag(); lag > 3 {
+		t.Fatalf("steady-state shard divergence %d epochs", lag)
+	}
+	var serves, stalls uint64
+	for _, c := range s.Clients {
+		serves += c.LKGServes
+		stalls += c.AllocStalls
+	}
+	if serves == 0 {
+		t.Fatal("no allocation served from a last-known-good cache")
+	}
+	if stalls != 0 {
+		t.Fatalf("%d allocation stalls with a live control plane", stalls)
+	}
+}
+
+// TestDataPlaneSurvivesShardDeath is the autonomy drill: kill the whole
+// shard set mid-run, indefinitely. Clients must keep completing allocation
+// and recovery decisions from their caches — zero stalls, continued
+// playback — the entire time the control plane is dark.
+func TestDataPlaneSurvivesShardDeath(t *testing.T) {
+	s := ctrlSystem(t, 41, nil)
+	s.Run(20 * time.Second)
+
+	framesBefore := 0
+	for _, c := range s.Clients {
+		framesBefore += c.QoE.FramesPlayed
+	}
+	stallsBefore := uint64(0)
+	for _, c := range s.Clients {
+		stallsBefore += c.AllocStalls
+	}
+
+	s.SchedSvc.SetOutage(true)
+	s.Run(45 * time.Second)
+
+	frames := 0
+	var serves, stalls uint64
+	for _, c := range s.Clients {
+		frames += c.QoE.FramesPlayed
+		serves += c.LKGServes
+		stalls += c.AllocStalls
+	}
+	if stalls != stallsBefore {
+		t.Fatalf("%d new allocation stalls during total shard death", stalls-stallsBefore)
+	}
+	if serves == 0 {
+		t.Fatal("no LKG-served allocations")
+	}
+	played := frames - framesBefore
+	// 6 clients x 30 fps x 45 s = 8100 nominal; require well over half.
+	if played < 5000 {
+		t.Fatalf("only %d frames played during 45s of control-plane death", played)
+	}
+	if s.SchedSvc.DroppedMsgs() == 0 {
+		t.Fatal("outage dropped no control-plane messages")
+	}
+}
+
+// TestControlPlaneDeterminism: two identically-seeded control-plane systems
+// produce identical telemetry timelines, including the ctrl.* instruments.
+func TestControlPlaneDeterminism(t *testing.T) {
+	render := func() string {
+		reg := telemetry.NewRegistry("ctrl-det", 41)
+		s := ctrlSystem(t, 41, reg)
+		s.Run(30 * time.Second)
+		var b bytes.Buffer
+		if err := reg.WriteJSONL(&b); err != nil {
+			t.Fatal(err)
+		}
+		return b.String()
+	}
+	a, b := render(), render()
+	if a != b {
+		t.Fatal("control-plane telemetry timelines differ across identical runs")
+	}
+	if a == "" {
+		t.Fatal("empty telemetry timeline")
+	}
+}

@@ -8,6 +8,7 @@ package core
 import (
 	"time"
 
+	"repro/internal/ctrlplane"
 	"repro/internal/scheduler"
 	"repro/internal/simnet"
 	"repro/internal/telemetry"
@@ -41,6 +42,16 @@ type SchedService struct {
 	// OutageDropped counts messages discarded while in outage.
 	OutageDropped uint64
 
+	// Msgs counts messages processed (same events as tmMsgs, readable
+	// without a registry — the ctrl-scale experiment's rate source).
+	Msgs uint64
+
+	// plane and shardSvcs are set when this service is the thin facade
+	// over the distributed control plane: fault switches fan out to the
+	// shard set so the whole control plane dies and revives as one.
+	plane     *ctrlplane.Plane
+	shardSvcs []*SchedService
+
 	// tmMsgs counts control-plane messages actually processed (dropped
 	// outage traffic excluded, so the rate hitting zero IS the outage
 	// signal); tmRespMs observes the modeled recommendation latency
@@ -57,15 +68,49 @@ func (s *SchedService) SetTelemetry(reg *telemetry.Registry) {
 }
 
 // SetOutage turns full control-plane failure on or off. During an outage
-// the service drops all inbound messages (counted in OutageDropped).
-func (s *SchedService) SetOutage(down bool) { s.outage = down }
+// the service drops all inbound messages (counted in OutageDropped). On
+// the facade it also kills the attached shard set and plane, so
+// sched-outage means total control-plane death and the data plane must
+// live off last-known-good snapshots.
+func (s *SchedService) SetOutage(down bool) {
+	s.outage = down
+	for _, svc := range s.shardSvcs {
+		svc.SetOutage(down)
+	}
+	s.plane.SetDown(down)
+}
 
 // Outage reports whether the service is in an injected outage.
 func (s *SchedService) Outage() bool { return s.outage }
 
 // SetExtraLatency adds delay to every recommendation response, modeling a
-// degraded-but-alive scheduler. Zero restores normal speed.
-func (s *SchedService) SetExtraLatency(d time.Duration) { s.extraLatency = d }
+// degraded-but-alive scheduler. Zero restores normal speed. On the facade
+// it fans out to the shard services.
+func (s *SchedService) SetExtraLatency(d time.Duration) {
+	s.extraLatency = d
+	for _, svc := range s.shardSvcs {
+		svc.SetExtraLatency(d)
+	}
+}
+
+// AttachPlane makes this service the facade over a distributed control
+// plane: outage and slowdown switches fan out to every shard service and
+// to the plane itself.
+func (s *SchedService) AttachPlane(p *ctrlplane.Plane, shardSvcs []*SchedService) {
+	s.plane = p
+	s.shardSvcs = shardSvcs
+}
+
+// DroppedMsgs returns control-plane messages discarded during outages,
+// across the facade and (when attached) the shard set and plane.
+func (s *SchedService) DroppedMsgs() uint64 {
+	n := s.OutageDropped
+	for _, svc := range s.shardSvcs {
+		n += svc.OutageDropped
+	}
+	n += s.plane.Dropped()
+	return n
+}
 
 // NewSchedService creates the service; register svc.Handle as the handler
 // for addr.
@@ -79,6 +124,7 @@ func (s *SchedService) Handle(from simnet.Addr, msg any) {
 		s.OutageDropped++
 		return
 	}
+	s.Msgs++
 	s.tmMsgs.Inc()
 	switch m := msg.(type) {
 	case *scheduler.Heartbeat:

@@ -1,12 +1,12 @@
 package core
 
 import (
-	"fmt"
 	"time"
 
 	"repro/internal/alerting"
 	"repro/internal/cdn"
 	"repro/internal/client"
+	"repro/internal/ctrlplane"
 	"repro/internal/edge"
 	"repro/internal/fleet"
 	"repro/internal/media"
@@ -56,6 +56,17 @@ type Config struct {
 
 	ChurnEnabled bool
 	RefinedNAT   bool
+
+	// ControlPlane replaces the single scheduler service with the
+	// distributed control plane: one scheduler shard per region (clients
+	// and edges talk to their region's shard), gossip snapshot sync
+	// between shards, periodic full-config snapshot pushes, and
+	// last-known-good caches on every edge and client so allocation
+	// keeps working through indefinite scheduler loss. SchedSvc remains
+	// as a thin facade whose fault switches fan out to the shard set.
+	ControlPlane bool
+	// CtrlConfig tunes the control plane (zero values take defaults).
+	CtrlConfig ctrlplane.Config
 
 	// DedicatedUplinkBps overrides each dedicated node's uplink capacity
 	// (default 10 Gbps). Peak-hour experiments constrain it so that CDN
@@ -136,6 +147,12 @@ type System struct {
 	Sched    *scheduler.Scheduler
 	SchedSvc *SchedService
 	SeqSrv   *SeqServer
+
+	// Ctrl and ShardSvcs are set when Cfg.ControlPlane is on: the
+	// distributed control plane and the per-shard scheduler services
+	// sharing the shard addresses.
+	Ctrl      *ctrlplane.Plane
+	ShardSvcs []*SchedService
 
 	CDN     []*cdnHandle
 	Edges   map[simnet.Addr]*edge.Node
@@ -240,6 +257,40 @@ func NewSystem(cfg Config) *System {
 		s.streamHost[sc.Stream] = host.Addr
 	}
 
+	// Distributed control plane: one scheduler shard per region, each
+	// with its own scheduler instance and forked RNG, reachable at the
+	// shard address range on the backbone. A combined handler splits
+	// shard traffic between the ctrlplane shard (snapshot/gossip
+	// messages) and a per-shard SchedService (heartbeats, candidate
+	// requests). Everything here is gated so a ControlPlane=false system
+	// is draw-for-draw identical to one built before this feature.
+	if cfg.ControlPlane {
+		ccfg := cfg.CtrlConfig
+		ccfg.Regions = s.Fleet.Config().Regions
+		s.Ctrl = ctrlplane.New(ccfg, sim, net)
+		ctrlRNG := rng.Fork()
+		for r := 0; r < ccfg.Regions; r++ {
+			shardSched := scheduler.New(scfg, ctrlRNG.Fork(), func() time.Duration { return sim.Now() })
+			sh := s.Ctrl.AddShard(shardSched, ctrlRNG.Fork())
+			net.Register(sh.Addr, simnet.LinkState{UplinkBps: 100e9, BaseOWD: 10 * time.Millisecond}, nil)
+			svc := NewSchedService(sh.Addr, shardSched, sim, net)
+			// Shared counter/histogram names are idempotent; the shard
+			// scheduler itself gets no telemetry (its gauge funcs would
+			// clobber the facade scheduler's).
+			svc.SetTelemetry(cfg.Telemetry)
+			s.ShardSvcs = append(s.ShardSvcs, svc)
+			net.SetHandler(sh.Addr, func(from simnet.Addr, msg any) {
+				if ctrlplane.IsCtrlMsg(msg) {
+					sh.Handle(from, msg)
+					return
+				}
+				svc.Handle(from, msg)
+			})
+		}
+		s.Ctrl.SetTelemetry(cfg.Telemetry)
+		s.SchedSvc.AttachPlane(s.Ctrl, s.ShardSvcs)
+	}
+
 	// Edge logic on best-effort nodes; scheduler registration honours
 	// the TopPercent restriction (the strawman's "top 1%").
 	pool := s.Fleet.BestEffort
@@ -261,6 +312,14 @@ func NewSystem(cfg Config) *System {
 		}
 		if cfg.EdgeTune != nil {
 			cfg.EdgeTune(&ecfg)
+		}
+		if s.Ctrl != nil {
+			// Heartbeats and snapshot pushes go through the region's
+			// shard; the LKG cache keeps the edge autonomous when the
+			// shard set dies.
+			ecfg.Scheduler = s.Ctrl.ShardAddr(n.Region)
+			ecfg.LKG = s.Ctrl.NewLKG(n.Region, n.Addr)
+			s.Ctrl.RegisterEdge(n.Region, n.Addr)
 		}
 		en := edge.New(n.Addr, ecfg, sim, net, rng.Fork())
 		en.SetTrace(cfg.Trace.Buffer(trace.CompEdge, uint32(n.Addr), traceNow))
@@ -284,7 +343,21 @@ func NewSystem(cfg Config) *System {
 				Class:    uint8(n.Class),
 				CostUnit: n.Cost,
 			}, n.SessionQuota)
+			if s.Ctrl != nil {
+				s.Ctrl.RegisterNode(n.Addr, scheduler.StaticFeatures{
+					Region:   n.Region,
+					ISP:      n.ISP,
+					NAT:      n.NAT,
+					HighQ:    n.HighQ,
+					ConnTyp:  n.ConnTyp,
+					Class:    uint8(n.Class),
+					CostUnit: n.Cost,
+				}, n.SessionQuota)
+			}
 		}
+	}
+	if s.Ctrl != nil {
+		s.Ctrl.Start()
 	}
 
 	// Centralized sequencing service (Table 3 baseline): a single
@@ -359,10 +432,23 @@ func NewSystem(cfg Config) *System {
 		reg.GaugeFunc("fleet.online_frac", func() float64 {
 			return s.onlineFraction(-1)
 		})
-		for r := 0; r < s.Fleet.Config().Regions; r++ {
-			region := r
-			reg.GaugeFunc(fmt.Sprintf("fleet.online_frac.r%d", region), func() float64 {
-				return s.onlineFraction(region)
+		reg.PerRegionGaugeFunc("fleet.online_frac", s.Fleet.Config().Regions, func(region int) float64 {
+			return s.onlineFraction(region)
+		})
+		if s.Ctrl != nil {
+			ctrl := s.Ctrl
+			online := func(a simnet.Addr) bool { return s.Net.Online(a) }
+			reg.GaugeFunc("ctrl.shard_diverge", func() float64 {
+				return float64(ctrl.MaxEpochLag())
+			})
+			reg.GaugeFunc("ctrl.lkg_age_ms", func() float64 {
+				return ctrl.MinLKGAgeMs(online, -1)
+			})
+			reg.PerRegionGaugeFunc("ctrl.shard_diverge", s.Fleet.Config().Regions, func(region int) float64 {
+				return float64(ctrl.EpochLag(region))
+			})
+			reg.PerRegionGaugeFunc("ctrl.lkg_age_ms", s.Fleet.Config().Regions, func(region int) float64 {
+				return ctrl.MinLKGAgeMs(online, region)
 			})
 		}
 		reg.GaugeFunc("chain.pending", func() float64 {
@@ -400,6 +486,19 @@ func NewSystem(cfg Config) *System {
 	// above at the first scrape. Nil-safe on both sides.
 	cfg.Alerting.Attach(cfg.Telemetry)
 	return s
+}
+
+// ControlMsgs returns the cumulative control-plane message count: the
+// facade service's traffic plus — with the distributed control plane —
+// shard-service traffic and shard snapshot/gossip traffic. This is the
+// quantity the ctrl-scale experiment measures across fleet sizes.
+func (s *System) ControlMsgs() uint64 {
+	n := s.SchedSvc.Msgs
+	for _, svc := range s.ShardSvcs {
+		n += svc.Msgs
+	}
+	n += s.Ctrl.CtrlMsgs()
+	return n
 }
 
 // onlineFraction is the fraction of best-effort nodes currently online —

@@ -1,0 +1,593 @@
+package ctrlplane
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/scheduler"
+	"repro/internal/simnet"
+	"repro/internal/stats"
+	"repro/internal/telemetry"
+)
+
+// Config parameterizes the distributed control plane.
+type Config struct {
+	// Regions is the number of scheduler shards (one per region).
+	Regions int
+	// SnapshotEvery is the cadence at which each shard re-snapshots its
+	// own region's fleet view, advancing that region's epoch (default 2s).
+	SnapshotEvery simnet.Time
+	// PushEvery is the full-config snapshot push cadence to the shard's
+	// own-region edges (default 5s).
+	PushEvery simnet.Time
+	// GossipEvery is the anti-entropy round cadence per shard (default
+	// 2s).
+	GossipEvery simnet.Time
+	// RetryAfter is how long a shard waits for a push ack before
+	// retrying (default 2s), and MaxRetries bounds attempts per push
+	// (default 3).
+	RetryAfter simnet.Time
+	MaxRetries int
+	// BaseAddr is the first shard address; shard r lives at BaseAddr+r.
+	// The default 10 sits in the free infrastructure range below the
+	// dedicated fleet, so shard links ride the backbone like the
+	// original scheduler endpoint.
+	BaseAddr simnet.Addr
+}
+
+func (c *Config) applyDefaults() {
+	if c.Regions < 1 {
+		c.Regions = 1
+	}
+	if c.SnapshotEvery == 0 {
+		c.SnapshotEvery = 2 * time.Second
+	}
+	if c.PushEvery == 0 {
+		c.PushEvery = 5 * time.Second
+	}
+	if c.GossipEvery == 0 {
+		c.GossipEvery = 2 * time.Second
+	}
+	if c.RetryAfter == 0 {
+		c.RetryAfter = 2 * time.Second
+	}
+	if c.MaxRetries == 0 {
+		c.MaxRetries = 3
+	}
+	if c.BaseAddr == 0 {
+		c.BaseAddr = 10
+	}
+}
+
+// Event is one control-plane action in the snapshot log (the -ctrl flag).
+type Event struct {
+	At    int64 // sim nanoseconds
+	Ev    string
+	Shard int
+	Peer  int // peer region, or -1
+	To    simnet.Addr
+	Seq   uint64
+	Epoch uint64
+}
+
+// EventLog collects control-plane events for offline inspection. A nil
+// log records nothing.
+type EventLog struct {
+	Label  string
+	Events []Event
+}
+
+// WriteJSONL emits a header line then one line per event, in a fixed
+// field order so serial and parallel runs are byte-identical.
+func (l *EventLog) WriteJSONL(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "{\"label\":%q,\"events\":%d}\n", l.Label, len(l.Events)); err != nil {
+		return err
+	}
+	for _, e := range l.Events {
+		_, err := fmt.Fprintf(w, "{\"at\":%d,\"ev\":%q,\"shard\":%d,\"peer\":%d,\"to\":%d,\"seq\":%d,\"epoch\":%d}\n",
+			e.At, e.Ev, e.Shard, e.Peer, e.To, e.Seq, e.Epoch)
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// lkgRef tracks one data-plane cache for the freshness gauges.
+type lkgRef struct {
+	lkg    *LKG
+	addr   simnet.Addr
+	region int
+}
+
+// Plane is the distributed control plane: the shard set plus the
+// plane-wide fault switches and telemetry.
+type Plane struct {
+	Cfg    Config
+	sim    *simnet.Sim
+	net    *simnet.Network
+	Shards []*Shard
+
+	// nodes holds per-region pool membership in registration order —
+	// the shared iteration order that keeps snapshots deterministic.
+	nodes [][]simnet.Addr
+	lkgs  []lkgRef
+
+	down       bool
+	gossipCut  bool
+	dropped    uint64
+	pushesSent uint64
+
+	log *EventLog
+
+	tmPush, tmAck, tmNack, tmRetry, tmGossip *telemetry.Counter
+}
+
+// New builds an empty plane; add one shard per region with AddShard
+// before Start.
+func New(cfg Config, sim *simnet.Sim, net *simnet.Network) *Plane {
+	cfg.applyDefaults()
+	p := &Plane{Cfg: cfg, sim: sim, net: net, nodes: make([][]simnet.Addr, cfg.Regions)}
+	return p
+}
+
+// ShardAddr returns the shard endpoint serving a region (regions beyond
+// the shard count wrap, so sparse client region labels still route).
+func (p *Plane) ShardAddr(region int) simnet.Addr {
+	if region < 0 {
+		region = -region
+	}
+	return p.Cfg.BaseAddr + simnet.Addr(region%p.Cfg.Regions)
+}
+
+// AddShard appends the next region's shard, owning the given scheduler
+// instance and RNG (both forked by the caller so draw counts stay
+// decoupled). The scheduler must not have telemetry attached: shard
+// schedulers share instrument names with the facade and gauge functions
+// are last-writer-wins.
+func (p *Plane) AddShard(sched *scheduler.Scheduler, rng *stats.RNG) *Shard {
+	sh := &Shard{
+		Region:  len(p.Shards),
+		Addr:    p.Cfg.BaseAddr + simnet.Addr(len(p.Shards)),
+		Sched:   sched,
+		p:       p,
+		rng:     rng,
+		snaps:   make([]RegionSnap, p.Cfg.Regions),
+		pending: make(map[simnet.Addr]*pendingPush),
+	}
+	for i := range sh.snaps {
+		sh.snaps[i].Region = i
+	}
+	p.Shards = append(p.Shards, sh)
+	return sh
+}
+
+// RegisterNode registers a best-effort pool node with every shard: each
+// shard holds the full fleet index, with remote-region temporal state
+// arriving via gossip rather than direct heartbeats.
+func (p *Plane) RegisterNode(addr simnet.Addr, static scheduler.StaticFeatures, quota int) {
+	for _, sh := range p.Shards {
+		sh.Sched.RegisterNode(addr, static, quota)
+	}
+	r := static.Region % p.Cfg.Regions
+	p.nodes[r] = append(p.nodes[r], addr)
+}
+
+// RegisterEdge adds an edge node as a push target of its region's shard.
+func (p *Plane) RegisterEdge(region int, addr simnet.Addr) {
+	sh := p.Shards[region%len(p.Shards)]
+	sh.edges = append(sh.edges, addr)
+}
+
+// NewLKG creates and tracks a last-known-good cache for a data-plane
+// node.
+func (p *Plane) NewLKG(region int, owner simnet.Addr) *LKG {
+	l := NewLKG(p.Cfg.Regions, region, owner, p.sim.Now)
+	p.lkgs = append(p.lkgs, lkgRef{lkg: l, addr: owner, region: region % p.Cfg.Regions})
+	return l
+}
+
+// SetTelemetry registers the plane's control-plane counters.
+func (p *Plane) SetTelemetry(reg *telemetry.Registry) {
+	p.tmPush = reg.Counter("ctrl.push")
+	p.tmAck = reg.Counter("ctrl.ack")
+	p.tmNack = reg.Counter("ctrl.nack")
+	p.tmRetry = reg.Counter("ctrl.retry")
+	p.tmGossip = reg.Counter("ctrl.gossip_rounds")
+}
+
+// AttachLog directs control-plane events into l (nil detaches).
+func (p *Plane) AttachLog(l *EventLog) { p.log = l }
+
+// Log returns the attached event log, if any.
+func (p *Plane) Log() *EventLog { return p.log }
+
+// Start arms every shard's snapshot, gossip and push loops, plus an
+// immediate epoch-1 rebuild so the first pushes carry a real view.
+func (p *Plane) Start() {
+	for _, sh := range p.Shards {
+		sh := sh
+		sh.rebuildOwn()
+		p.sim.Every(p.Cfg.SnapshotEvery, func() bool {
+			if !p.down {
+				sh.rebuildOwn()
+			}
+			return true
+		})
+		p.sim.Every(p.Cfg.GossipEvery, func() bool {
+			sh.gossipRound()
+			return true
+		})
+		p.sim.Every(p.Cfg.PushEvery, func() bool {
+			sh.pushRound()
+			return true
+		})
+	}
+}
+
+// SetDown kills or revives the whole shard set (the sched-outage fault):
+// inbound messages are dropped and counted, and snapshot, gossip, push
+// and retry loops all stop. The data plane is expected to keep working
+// from LKG caches for the duration.
+func (p *Plane) SetDown(down bool) {
+	if p == nil {
+		return
+	}
+	p.down = down
+}
+
+// SetGossipPartition cuts the gossip mesh between the lower and upper
+// half of the shard set (the ctrl-partition fault). Push paths stay up:
+// each half keeps serving and pushing its own regions.
+func (p *Plane) SetGossipPartition(on bool) {
+	if p == nil {
+		return
+	}
+	p.gossipCut = on
+}
+
+func (p *Plane) cutBetween(a, b int) bool {
+	if !p.gossipCut {
+		return false
+	}
+	half := len(p.Shards) / 2
+	return (a < half) != (b < half)
+}
+
+// CtrlMsgs returns the cumulative control-plane message count at the
+// shard tier: pushes sent plus ctrl messages received. This is the
+// quantity the ctrl-scale experiment shows staying flat as the viewer
+// fleet grows.
+func (p *Plane) CtrlMsgs() uint64 {
+	if p == nil {
+		return 0
+	}
+	n := p.pushesSent
+	for _, sh := range p.Shards {
+		n += sh.Msgs
+	}
+	return n
+}
+
+// Dropped returns messages dropped while the plane was down.
+func (p *Plane) Dropped() uint64 {
+	if p == nil {
+		return 0
+	}
+	return p.dropped
+}
+
+// GossipRounds returns the total anti-entropy rounds initiated.
+func (p *Plane) GossipRounds() uint64 {
+	if p == nil {
+		return 0
+	}
+	var n uint64
+	for _, sh := range p.Shards {
+		n += sh.GossipRounds
+	}
+	return n
+}
+
+// EpochLag returns how far one shard's fleet view trails the owning
+// shards, in epochs (max over regions).
+func (p *Plane) EpochLag(shard int) uint64 {
+	sh := p.Shards[shard]
+	var worst uint64
+	for r, owner := range p.Shards {
+		own := owner.snaps[r].Epoch
+		if held := sh.snaps[r].Epoch; own > held && own-held > worst {
+			worst = own - held
+		}
+	}
+	return worst
+}
+
+// MaxEpochLag returns the worst shard divergence across the shard set —
+// the ctrl.shard_diverge gauge.
+func (p *Plane) MaxEpochLag() uint64 {
+	if p == nil {
+		return 0
+	}
+	var worst uint64
+	for i := range p.Shards {
+		if l := p.EpochLag(i); l > worst {
+			worst = l
+		}
+	}
+	return worst
+}
+
+// MinLKGAgeMs returns the freshest last-known-good age among online
+// data-plane caches (region -1 for all regions; 0 when no cache holds a
+// snapshot yet). The minimum is the right alarm signal: it grows only
+// when the entire push path is dead, which is exactly what ctrl-lkg-stale
+// should page on, and is immune to individual churned-out nodes holding
+// stale caches.
+func (p *Plane) MinLKGAgeMs(online func(simnet.Addr) bool, region int) float64 {
+	if p == nil {
+		return 0
+	}
+	best := -1.0
+	for _, ref := range p.lkgs {
+		if region >= 0 && ref.region != region {
+			continue
+		}
+		if !ref.lkg.Has() {
+			continue
+		}
+		if online != nil && !online(ref.addr) {
+			continue
+		}
+		if a := ref.lkg.AgeMs(); best < 0 || a < best {
+			best = a
+		}
+	}
+	if best < 0 {
+		return 0
+	}
+	return best
+}
+
+func (p *Plane) record(ev string, shard, peer int, to simnet.Addr, seq, epoch uint64) {
+	if p.log == nil {
+		return
+	}
+	p.log.Events = append(p.log.Events, Event{
+		At: int64(p.sim.Now()), Ev: ev, Shard: shard, Peer: peer, To: to, Seq: seq, Epoch: epoch,
+	})
+}
+
+// pendingPush is one outstanding push awaiting ack.
+type pendingPush struct {
+	seq   uint64
+	tries int
+	msg   *SnapshotPush
+}
+
+// Shard is one region's scheduler: it ingests its own region's
+// heartbeats (via the per-shard SchedService the core wires at the same
+// address), learns the rest of the fleet through gossip, and pushes
+// full-config snapshots to its region's edges.
+type Shard struct {
+	Region int
+	Addr   simnet.Addr
+	Sched  *scheduler.Scheduler
+
+	p   *Plane
+	rng *stats.RNG
+
+	snaps   []RegionSnap
+	edges   []simnet.Addr
+	pending map[simnet.Addr]*pendingPush
+	seq     uint64
+
+	// Msgs counts ctrl messages received; GossipRounds counts
+	// anti-entropy rounds initiated.
+	Msgs         uint64
+	GossipRounds uint64
+}
+
+// rebuildOwn re-snapshots the shard's own region from its scheduler's
+// live view, advancing the region epoch.
+func (sh *Shard) rebuildOwn() {
+	rs := RegionSnap{Region: sh.Region, Epoch: sh.snaps[sh.Region].Epoch + 1}
+	for _, a := range sh.p.nodes[sh.Region] {
+		st, ok := sh.Sched.NodeStatus(a)
+		if !ok {
+			continue
+		}
+		rs.Nodes = append(rs.Nodes, NodeEntry{
+			Addr:        a,
+			Static:      st.Static,
+			ResidualBps: st.ResidualBps,
+			Utilization: st.Utilization,
+			ConnSuccess: st.ConnSuccess,
+			Sessions:    st.Sessions,
+			QuotaLeft:   st.QuotaLeft,
+		})
+	}
+	sh.snaps[sh.Region] = rs
+}
+
+// snapshot assembles the shard's current full-config view.
+func (sh *Shard) snapshot() Snapshot {
+	var s Snapshot
+	for _, rs := range sh.snaps {
+		if rs.Epoch > 0 {
+			s.Regions = append(s.Regions, rs)
+		}
+	}
+	return s
+}
+
+func (sh *Shard) epochs() []uint64 {
+	es := make([]uint64, len(sh.snaps))
+	for i, rs := range sh.snaps {
+		es[i] = rs.Epoch
+	}
+	return es
+}
+
+func (sh *Shard) send(to simnet.Addr, msg any) {
+	n, _ := CtrlWireSize(msg)
+	sh.p.net.Send(sh.Addr, to, 36+n, msg)
+}
+
+// pushRound pushes the current snapshot to every own-region edge.
+func (sh *Shard) pushRound() {
+	if sh.p.down || len(sh.edges) == 0 {
+		return
+	}
+	sh.seq++
+	msg := &SnapshotPush{FromRegion: sh.Region, Seq: sh.seq, Snap: sh.snapshot()}
+	for _, e := range sh.edges {
+		sh.sendPush(e, msg, 1)
+	}
+}
+
+func (sh *Shard) sendPush(to simnet.Addr, msg *SnapshotPush, try int) {
+	sh.p.pushesSent++
+	sh.p.tmPush.Inc()
+	sh.p.record("push", sh.Region, -1, to, msg.Seq, 0)
+	sh.pending[to] = &pendingPush{seq: msg.Seq, tries: try, msg: msg}
+	sh.send(to, msg)
+	seq := msg.Seq
+	sh.p.sim.After(sh.p.Cfg.RetryAfter, func() { sh.checkRetry(to, seq) })
+}
+
+func (sh *Shard) checkRetry(to simnet.Addr, seq uint64) {
+	if sh.p.down {
+		return
+	}
+	pd, ok := sh.pending[to]
+	if !ok || pd.seq != seq {
+		return // acked, or superseded by a newer push round
+	}
+	if pd.tries >= sh.p.Cfg.MaxRetries {
+		delete(sh.pending, to)
+		return
+	}
+	sh.p.tmRetry.Inc()
+	sh.p.record("retry", sh.Region, -1, to, seq, 0)
+	sh.sendPush(to, pd.msg, pd.tries+1)
+}
+
+// gossipRound opens one anti-entropy exchange with a uniformly chosen
+// peer shard. The peer is drawn even when the round is suppressed (plane
+// down or mesh partitioned) so each shard's RNG stream is independent of
+// fault timing.
+func (sh *Shard) gossipRound() {
+	n := len(sh.p.Shards)
+	if n < 2 {
+		return
+	}
+	k := sh.rng.IntN(n - 1)
+	peer := sh.p.Shards[(sh.Region+1+k)%n]
+	if sh.p.down || sh.p.cutBetween(sh.Region, peer.Region) {
+		return
+	}
+	sh.GossipRounds++
+	sh.p.tmGossip.Inc()
+	sh.p.record("gossip", sh.Region, peer.Region, peer.Addr, 0, sh.snaps[sh.Region].Epoch)
+	sh.send(peer.Addr, &GossipSummary{FromRegion: sh.Region, Epochs: sh.epochs()})
+}
+
+// Handle processes control-plane messages arriving at the shard address.
+// Transport messages (heartbeats, candidate requests) at the same address
+// are routed by the core to the per-shard SchedService instead.
+func (sh *Shard) Handle(from simnet.Addr, msg any) {
+	if sh.p.down {
+		sh.p.dropped++
+		return
+	}
+	sh.Msgs++
+	switch m := msg.(type) {
+	case *SnapshotAck:
+		sh.onAck(from, m)
+	case *SnapshotReq:
+		// Client startup or LKG self-refresh: answer directly, without
+		// retry bookkeeping — the requester re-asks if the reply is
+		// lost.
+		sh.seq++
+		push := &SnapshotPush{FromRegion: sh.Region, Seq: sh.seq, Snap: sh.snapshot()}
+		sh.p.pushesSent++
+		sh.p.tmPush.Inc()
+		sh.p.record("push", sh.Region, -1, from, push.Seq, 0)
+		sh.send(from, push)
+	case *GossipSummary:
+		sh.onSummary(from, m)
+	case *GossipDelta:
+		sh.onDelta(m)
+	}
+}
+
+func (sh *Shard) onAck(from simnet.Addr, m *SnapshotAck) {
+	sh.p.tmAck.Inc()
+	sh.p.record("ack", sh.Region, m.Region, from, m.Seq, 0)
+	pd, ok := sh.pending[from]
+	if !ok || pd.seq != m.Seq {
+		return
+	}
+	delete(sh.pending, from)
+	if !m.OK {
+		// Nack: the push did not advance the receiver (duplicate or
+		// stale after reordering). The receiver is current enough; just
+		// account it.
+		sh.p.tmNack.Inc()
+		sh.p.record("nack", sh.Region, m.Region, from, m.Seq, 0)
+	}
+}
+
+func (sh *Shard) onSummary(from simnet.Addr, m *GossipSummary) {
+	if sh.p.cutBetween(sh.Region, m.FromRegion) {
+		return // partition raced an in-flight round
+	}
+	var delta []RegionSnap
+	for i, rs := range sh.snaps {
+		if i < len(m.Epochs) && rs.Epoch > m.Epochs[i] {
+			delta = append(delta, rs)
+		}
+	}
+	if len(delta) > 0 {
+		sh.send(from, &GossipDelta{FromRegion: sh.Region, Snaps: delta})
+	}
+	if !m.Reply {
+		sh.send(from, &GossipSummary{FromRegion: sh.Region, Epochs: sh.epochs(), Reply: true})
+	}
+}
+
+func (sh *Shard) onDelta(m *GossipDelta) {
+	if sh.p.cutBetween(sh.Region, m.FromRegion) {
+		return
+	}
+	for _, rs := range m.Snaps {
+		sh.adopt(rs)
+	}
+}
+
+// adopt installs a newer remote region view and folds it into this
+// shard's scheduler as synthetic heartbeats, so cross-region
+// recommendations rank on gossiped temporal features. The shard's own
+// region is never adopted: its epoch authority is local.
+func (sh *Shard) adopt(rs RegionSnap) {
+	if rs.Region == sh.Region || rs.Region < 0 || rs.Region >= len(sh.snaps) {
+		return
+	}
+	if rs.Epoch <= sh.snaps[rs.Region].Epoch {
+		return
+	}
+	sh.snaps[rs.Region] = rs
+	sh.p.record("adopt", sh.Region, rs.Region, 0, 0, rs.Epoch)
+	for _, n := range rs.Nodes {
+		sh.Sched.Ingest(scheduler.Heartbeat{
+			Addr:        n.Addr,
+			ResidualBps: n.ResidualBps,
+			Utilization: n.Utilization,
+			ConnSuccess: n.ConnSuccess,
+			Sessions:    n.Sessions,
+			QuotaLeft:   n.QuotaLeft,
+		})
+	}
+}

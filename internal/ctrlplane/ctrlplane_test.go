@@ -1,0 +1,239 @@
+package ctrlplane
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/scheduler"
+	"repro/internal/simnet"
+	"repro/internal/stats"
+)
+
+// testPlane wires a plane with one shard per region over a fresh simnet,
+// registering quota-bearing pool nodes spread across regions.
+func testPlane(t *testing.T, regions, nodes int) (*simnet.Sim, *Plane) {
+	t.Helper()
+	rng := stats.NewRNG(11)
+	sim := simnet.NewSim()
+	net := simnet.NewNetwork(sim, rng.Fork())
+	p := New(Config{Regions: regions}, sim, net)
+	for r := 0; r < regions; r++ {
+		sched := scheduler.New(scheduler.Config{}, rng.Fork(), func() time.Duration { return sim.Now() })
+		sh := p.AddShard(sched, rng.Fork())
+		net.Register(sh.Addr, simnet.LinkState{UplinkBps: 100e9, BaseOWD: 5 * time.Millisecond},
+			func(from simnet.Addr, msg any) { sh.Handle(from, msg) })
+	}
+	for i := 0; i < nodes; i++ {
+		addr := simnet.Addr(1000 + i)
+		net.Register(addr, simnet.LinkState{UplinkBps: 50e6, BaseOWD: 10 * time.Millisecond}, nil)
+		p.RegisterNode(addr, scheduler.StaticFeatures{Region: i % regions, ISP: i % 2, CostUnit: 1}, 8)
+	}
+	return sim, p
+}
+
+// TestGossipConvergence: with gossip running, every shard learns every
+// region's view and divergence stays within a couple of epochs of the
+// owners.
+func TestGossipConvergence(t *testing.T) {
+	sim, p := testPlane(t, 4, 16)
+	p.Start()
+	sim.Run(simnet.Time(30 * time.Second))
+	for i, sh := range p.Shards {
+		for r := 0; r < 4; r++ {
+			if sh.snaps[r].Epoch == 0 {
+				t.Fatalf("shard %d has no view of region %d after 30s", i, r)
+			}
+		}
+	}
+	if lag := p.MaxEpochLag(); lag > 3 {
+		t.Fatalf("steady-state shard divergence %d epochs, want <= 3", lag)
+	}
+	if p.GossipRounds() == 0 {
+		t.Fatal("no gossip rounds ran")
+	}
+}
+
+// TestGossipPartitionDivergesAndHeals: cutting the gossip mesh makes
+// cross-half epochs diverge roughly one epoch per snapshot period; healing
+// the cut re-converges within a few gossip rounds.
+func TestGossipPartitionDivergesAndHeals(t *testing.T) {
+	sim, p := testPlane(t, 4, 16)
+	p.Start()
+	sim.Run(simnet.Time(10 * time.Second))
+
+	p.SetGossipPartition(true)
+	sim.Run(simnet.Time(50 * time.Second))
+	lag := p.MaxEpochLag()
+	if lag < 10 {
+		t.Fatalf("divergence after 40s partition = %d epochs, want >= 10", lag)
+	}
+
+	p.SetGossipPartition(false)
+	sim.Run(simnet.Time(65 * time.Second))
+	if healed := p.MaxEpochLag(); healed > 3 {
+		t.Fatalf("divergence %d epochs 15s after heal, want <= 3 (was %d)", healed, lag)
+	}
+}
+
+// TestDownFreezesEpochsAndDropsMessages: while the plane is down, inbound
+// ctrl traffic is dropped and counted, epochs freeze, and everything
+// resumes on revival.
+func TestDownFreezesEpochsAndDropsMessages(t *testing.T) {
+	sim, p := testPlane(t, 2, 8)
+	p.Start()
+	sim.Run(simnet.Time(10 * time.Second))
+	e0 := p.Shards[0].snaps[0].Epoch
+
+	p.SetDown(true)
+	sim.Run(simnet.Time(30 * time.Second))
+	if e := p.Shards[0].snaps[0].Epoch; e != e0 {
+		t.Fatalf("epoch advanced from %d to %d while down", e0, e)
+	}
+
+	p.SetDown(false)
+	sim.Run(simnet.Time(40 * time.Second))
+	if e := p.Shards[0].snaps[0].Epoch; e <= e0 {
+		t.Fatalf("epoch did not resume after revival (still %d)", e)
+	}
+}
+
+// TestPushRetryUntilAck: an edge that never acks sees MaxRetries attempts
+// of one push round; an acking edge sees exactly one.
+func TestPushRetryUntilAck(t *testing.T) {
+	rng := stats.NewRNG(11)
+	sim := simnet.NewSim()
+	net := simnet.NewNetwork(sim, rng.Fork())
+	p := New(Config{Regions: 1}, sim, net)
+	sched := scheduler.New(scheduler.Config{}, rng.Fork(), func() time.Duration { return sim.Now() })
+	sh := p.AddShard(sched, rng.Fork())
+	net.Register(sh.Addr, simnet.LinkState{UplinkBps: 100e9, BaseOWD: 5 * time.Millisecond},
+		func(from simnet.Addr, msg any) { sh.Handle(from, msg) })
+
+	addr := simnet.Addr(1000)
+	net.Register(addr, simnet.LinkState{UplinkBps: 50e6, BaseOWD: 10 * time.Millisecond}, nil)
+	p.RegisterNode(addr, scheduler.StaticFeatures{Region: 0, CostUnit: 1}, 8)
+
+	silent, acking := simnet.Addr(2000), simnet.Addr(2001)
+	var silentGot, ackingGot int
+	net.Register(silent, simnet.LinkState{UplinkBps: 50e6, BaseOWD: 10 * time.Millisecond},
+		func(from simnet.Addr, msg any) {
+			if _, ok := msg.(*SnapshotPush); ok {
+				silentGot++
+			}
+		})
+	net.Register(acking, simnet.LinkState{UplinkBps: 50e6, BaseOWD: 10 * time.Millisecond},
+		func(from simnet.Addr, msg any) {
+			if m, ok := msg.(*SnapshotPush); ok {
+				ackingGot++
+				net.Send(acking, from, 52, &SnapshotAck{Region: 0, Seq: m.Seq, OK: true})
+			}
+		})
+	p.RegisterEdge(0, silent)
+	p.RegisterEdge(0, acking)
+	p.Start()
+
+	// One push round at t=5s; retries at ~7s and ~9s; next round at 10s.
+	sim.Run(simnet.Time(9500 * time.Millisecond))
+	if silentGot != p.Cfg.MaxRetries {
+		t.Fatalf("silent edge got %d pushes, want %d (initial + retries)", silentGot, p.Cfg.MaxRetries)
+	}
+	if ackingGot != 1 {
+		t.Fatalf("acking edge got %d pushes, want 1", ackingGot)
+	}
+}
+
+// TestLKGMergeAndServe: per-region epoch merge semantics, deterministic
+// candidate ranking, and exclusion/quota filtering.
+func TestLKGMergeAndServe(t *testing.T) {
+	now := simnet.Time(0)
+	l := NewLKG(2, 0, 9999, func() simnet.Time { return now })
+	if l.Has() {
+		t.Fatal("empty cache claims a view")
+	}
+	if l.Candidates(scheduler.ClientInfo{Addr: 9999}, 4, nil) != nil {
+		t.Fatal("empty cache served candidates")
+	}
+
+	snapA := Snapshot{Regions: []RegionSnap{{Region: 0, Epoch: 3, Nodes: []NodeEntry{
+		{Addr: 1000, Static: scheduler.StaticFeatures{Region: 0, ISP: 0, CostUnit: 1}, ResidualBps: 80e6, ConnSuccess: 0.9, QuotaLeft: 4},
+		{Addr: 1001, Static: scheduler.StaticFeatures{Region: 0, ISP: 1, CostUnit: 1}, ResidualBps: 80e6, ConnSuccess: 0.9, QuotaLeft: 4},
+		{Addr: 1002, Static: scheduler.StaticFeatures{Region: 0, ISP: 0, CostUnit: 1}, ResidualBps: 80e6, ConnSuccess: 0.9, QuotaLeft: 0},
+	}}}}
+	if !l.Apply(snapA, now) {
+		t.Fatal("fresh snapshot did not advance the cache")
+	}
+	// A stale epoch for region 0 plus a new region 1 view: merge adopts
+	// only the new region.
+	snapB := Snapshot{Regions: []RegionSnap{
+		{Region: 0, Epoch: 2, Nodes: nil},
+		{Region: 1, Epoch: 1, Nodes: []NodeEntry{
+			{Addr: 2000, Static: scheduler.StaticFeatures{Region: 1, ISP: 0, CostUnit: 1}, ResidualBps: 80e6, ConnSuccess: 0.9, QuotaLeft: 4},
+		}},
+	}}
+	if !l.Apply(snapB, now) {
+		t.Fatal("newer remote-region view did not advance the cache")
+	}
+	if l.Epoch(0) != 3 || l.Epoch(1) != 1 {
+		t.Fatalf("epochs after merge = %d,%d want 3,1", l.Epoch(0), l.Epoch(1))
+	}
+
+	info := scheduler.ClientInfo{Addr: 9999, Region: 0, ISP: 0}
+	c1 := l.Candidates(info, 8, nil)
+	c2 := l.Candidates(info, 8, nil)
+	if len(c1) != 3 {
+		t.Fatalf("got %d candidates, want 3 (quota-exhausted 1002 skipped)", len(c1))
+	}
+	for i := range c1 {
+		if c1[i] != c2[i] {
+			t.Fatalf("candidate ranking not deterministic: %v vs %v", c1, c2)
+		}
+	}
+	// Same region + ISP wins; same-ISP adjacent region (0.605) edges out
+	// same-region ISP-mismatch (0.59) under the default weights.
+	if c1[0].Addr != 1000 {
+		t.Fatalf("best candidate %d, want 1000 (same region+ISP)", c1[0].Addr)
+	}
+	if c1[1].Addr != 2000 || c1[2].Addr != 1001 {
+		t.Fatalf("ranking %v, want [1000 2000 1001]", c1)
+	}
+	ex := l.Candidates(info, 8, func(a simnet.Addr) bool { return a == 1000 })
+	if len(ex) != 2 || ex[0].Addr == 1000 || ex[1].Addr == 1000 {
+		t.Fatalf("exclusion did not filter 1000: %v", ex)
+	}
+
+	// Age tracking: duplicate pushes refresh the receipt timestamp.
+	now = simnet.Time(8 * time.Second)
+	if got := l.AgeMs(); got != 8000 {
+		t.Fatalf("AgeMs = %v, want 8000", got)
+	}
+	if l.Apply(snapA, now) {
+		t.Fatal("duplicate snapshot claimed to advance the cache")
+	}
+	if got := l.AgeMs(); got != 0 {
+		t.Fatalf("AgeMs after duplicate push = %v, want 0 (push path is alive)", got)
+	}
+}
+
+// TestCtrlWireSize: every ctrl message has a modeled wire size and
+// IsCtrlMsg recognizes exactly the pointer forms.
+func TestCtrlWireSize(t *testing.T) {
+	msgs := []any{
+		&SnapshotPush{Snap: Snapshot{Regions: []RegionSnap{{Region: 0, Epoch: 1, Nodes: make([]NodeEntry, 3)}}}},
+		&SnapshotAck{},
+		&SnapshotReq{},
+		&GossipSummary{Epochs: []uint64{1, 2}},
+		&GossipDelta{Snaps: []RegionSnap{{Nodes: make([]NodeEntry, 2)}}},
+	}
+	for _, m := range msgs {
+		if !IsCtrlMsg(m) {
+			t.Fatalf("%T not recognized as ctrl message", m)
+		}
+		n, ok := CtrlWireSize(m)
+		if !ok || n <= 0 {
+			t.Fatalf("%T has no wire size (%d, %v)", m, n, ok)
+		}
+	}
+	if IsCtrlMsg(42) || IsCtrlMsg(SnapshotAck{}) {
+		t.Fatal("non-ctrl values recognized as ctrl messages")
+	}
+}

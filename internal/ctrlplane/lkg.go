@@ -1,0 +1,187 @@
+package ctrlplane
+
+import (
+	"sort"
+
+	"repro/internal/scheduler"
+	"repro/internal/simnet"
+)
+
+// LKG is the last-known-good snapshot cache held by every data-plane node
+// (edge or client). It stores the newest acked full-config snapshot and
+// answers allocation queries from it locally, so recovery-source selection
+// and chain repair never block on a live scheduler. Incoming pushes are
+// merged per region by epoch — a node may legitimately hear from its own
+// region's shard and from cross-region edges it subscribes to, whose push
+// sequence spaces are incomparable. The cache deliberately serves
+// regardless of age: during indefinite scheduler loss a stale view beats
+// no view, and the data plane's own probe/blacklist feedback weeds out
+// picks that have since died.
+type LKG struct {
+	region int
+	owner  simnet.Addr
+	now    func() simnet.Time
+
+	snaps []RegionSnap // indexed by region; Epoch 0 = no view
+	at    simnet.Time
+	has   bool
+}
+
+// NewLKG builds a cache for a data-plane node; now supplies sim time for
+// age accounting. Plane.NewLKG is the usual constructor so the plane can
+// track the cache for the ctrl.lkg_age_ms gauge.
+func NewLKG(regions, region int, owner simnet.Addr, now func() simnet.Time) *LKG {
+	if regions < 1 {
+		regions = 1
+	}
+	return &LKG{region: region, owner: owner, now: now, snaps: make([]RegionSnap, regions)}
+}
+
+// Apply merges a pushed snapshot into the cache, adopting every region
+// view with a newer epoch than the held one, and reports whether anything
+// advanced. The receipt timestamp is recorded even for duplicate pushes:
+// any push attests that the push path is alive, which is what the
+// ctrl.lkg_age_ms freshness gauge measures.
+func (l *LKG) Apply(snap Snapshot, at simnet.Time) bool {
+	if l == nil {
+		return false
+	}
+	changed := false
+	for _, rs := range snap.Regions {
+		if rs.Region < 0 || rs.Region >= len(l.snaps) {
+			continue
+		}
+		if rs.Epoch > l.snaps[rs.Region].Epoch {
+			l.snaps[rs.Region] = rs
+			changed = true
+			l.has = true
+		}
+	}
+	if l.has {
+		l.at = at
+	}
+	return changed
+}
+
+// Has reports whether the cache holds any region view.
+func (l *LKG) Has() bool { return l != nil && l.has }
+
+// Region returns the owner's home region.
+func (l *LKG) Region() int {
+	if l == nil {
+		return 0
+	}
+	return l.region
+}
+
+// Epoch returns the held epoch for one region (0 when none).
+func (l *LKG) Epoch(region int) uint64 {
+	if l == nil || region < 0 || region >= len(l.snaps) {
+		return 0
+	}
+	return l.snaps[region].Epoch
+}
+
+// Snapshot returns the merged view (regions with a view, in region order)
+// for re-push down the relay tier.
+func (l *LKG) Snapshot() Snapshot {
+	var s Snapshot
+	if l == nil {
+		return s
+	}
+	for _, rs := range l.snaps {
+		if rs.Epoch > 0 {
+			s.Regions = append(s.Regions, rs)
+		}
+	}
+	return s
+}
+
+// AgeMs returns the cache's freshness age in milliseconds — time since
+// the last push receipt — or -1 when the cache is empty.
+func (l *LKG) AgeMs() float64 {
+	if l == nil || !l.has {
+		return -1
+	}
+	return float64(l.now()-l.at) / 1e6
+}
+
+// lkgCand pairs a candidate with its cost-efficiency for ranking.
+type lkgCand struct {
+	cand scheduler.Candidate
+	eff  float64
+}
+
+// Candidates answers an allocation query from the cached snapshot. It
+// replicates the scheduler's availability-per-unit-cost ranking (same
+// score formula and default weights) but fully deterministically: no
+// explore fraction, no RNG, and every node treated as not-yet-forwarding
+// (the snapshot intentionally omits per-shard forwarding soft state), with
+// ties broken by address. exclude lets the caller skip locally
+// blacklisted or already-tried nodes; self and quota-exhausted nodes are
+// always skipped.
+func (l *LKG) Candidates(c scheduler.ClientInfo, k int, exclude func(simnet.Addr) bool) []scheduler.Candidate {
+	if l == nil || !l.has || k <= 0 {
+		return nil
+	}
+	w := scheduler.DefaultWeights
+	var pool []lkgCand
+	for _, rs := range l.snaps {
+		for _, n := range rs.Nodes {
+			if n.Addr == c.Addr || n.QuotaLeft <= 0 {
+				continue
+			}
+			if exclude != nil && exclude(n.Addr) {
+				continue
+			}
+			var nScore float64
+			if n.Static.ISP == c.ISP && n.Static.Region == c.Region {
+				nScore = 1
+			} else if n.Static.ISP == c.ISP {
+				nScore = 0.4
+			}
+			d := n.Static.Region - c.Region
+			if d < 0 {
+				d = -d
+			}
+			var gScore float64
+			switch {
+			case d == 0:
+				gScore = 1
+			case d == 1:
+				gScore = 0.5
+			default:
+				gScore = 1 / float64(1+d)
+			}
+			bScore := n.ResidualBps / 100e6
+			if bScore > 1 {
+				bScore = 1
+			}
+			score := w.SameNetwork*nScore + w.Proximity*gScore +
+				w.NATSuccess*n.ConnSuccess + w.Bandwidth*bScore
+			cost := n.Static.CostUnit
+			if cost <= 0 {
+				cost = 1
+			}
+			cost *= 1.5 // not forwarding yet: marginal back-to-CDN traffic
+			pool = append(pool, lkgCand{
+				cand: scheduler.Candidate{Addr: n.Addr, Score: score},
+				eff:  score / cost,
+			})
+		}
+	}
+	sort.Slice(pool, func(i, j int) bool {
+		if pool[i].eff != pool[j].eff {
+			return pool[i].eff > pool[j].eff
+		}
+		return pool[i].cand.Addr < pool[j].cand.Addr
+	})
+	if len(pool) > k {
+		pool = pool[:k]
+	}
+	out := make([]scheduler.Candidate, len(pool))
+	for i, p := range pool {
+		out[i] = p.cand
+	}
+	return out
+}

@@ -1,0 +1,133 @@
+// Package ctrlplane is RLive's distributed control plane: regional
+// scheduler shards that each own their region's fleet view, synchronized
+// through a seeded gossip/anti-entropy snapshot exchange, plus full-config
+// snapshot push to edges and clients and a last-known-good (LKG) cache on
+// every data-plane node. The design goal is the paper's "control plane
+// never in the request path" property: allocation, recovery-source
+// selection and chain repair keep working from the most recent acked
+// snapshot during indefinite scheduler loss (PLVER-style proactive state
+// push; CliqueStream-style per-region autonomy).
+package ctrlplane
+
+import (
+	"repro/internal/scheduler"
+	"repro/internal/simnet"
+)
+
+// NodeEntry is one best-effort node's scheduling state as carried in a
+// region snapshot. It mirrors scheduler.Status minus the Forwarding map:
+// forwarding assignments are per-shard soft state and a map would be a
+// determinism trap on the wire; the LKG scoring path treats every node as
+// not-yet-forwarding, which only makes its cost estimate conservative.
+type NodeEntry struct {
+	Addr        simnet.Addr
+	Static      scheduler.StaticFeatures
+	ResidualBps float64
+	Utilization float64
+	ConnSuccess float64
+	Sessions    int
+	QuotaLeft   int
+}
+
+// RegionSnap is one region's fleet view at a given epoch. Epochs are
+// versioned per region and advance only on the owning shard; epoch 0 means
+// "no view yet".
+type RegionSnap struct {
+	Region int
+	Epoch  uint64
+	Nodes  []NodeEntry
+}
+
+// Snapshot is a full-config snapshot: the pushing shard's current view of
+// every region, ordered by region index.
+type Snapshot struct {
+	Regions []RegionSnap
+}
+
+// SnapshotPush carries a full snapshot from a shard to an edge (with
+// ack/nack and retry) or from an edge to its subscribed clients (relay
+// tier). Seq is the pushing shard's monotone push sequence; receivers ack
+// it so the pusher can retry or, on a stale nack, re-push fresh state.
+type SnapshotPush struct {
+	FromRegion int
+	Seq        uint64
+	Snap       Snapshot
+}
+
+// SnapshotAck acknowledges a SnapshotPush. OK=false is a nack: the
+// receiver already holds a newer snapshot than Seq, so the pusher should
+// send current state instead of retrying the stale one.
+type SnapshotAck struct {
+	Region int
+	Seq    uint64
+	OK     bool
+}
+
+// SnapshotReq asks a shard for an immediate snapshot push (client startup
+// and LKG self-refresh when the edge relay tier has gone quiet).
+type SnapshotReq struct{}
+
+// GossipSummary opens an anti-entropy round: the sender's per-region
+// epoch vector. The receiver answers with a GossipDelta of the regions it
+// is ahead on, and (when Reply is false) its own summary so the exchange
+// repairs both directions.
+type GossipSummary struct {
+	FromRegion int
+	Epochs     []uint64
+	Reply      bool
+}
+
+// GossipDelta carries the region snapshots the sender holds at newer
+// epochs than the peer's summary advertised.
+type GossipDelta struct {
+	FromRegion int
+	Snaps      []RegionSnap
+}
+
+// IsCtrlMsg reports whether msg is a control-plane message owned by this
+// package (vs the transport data/scheduler messages that share shard
+// endpoints).
+func IsCtrlMsg(msg any) bool {
+	switch msg.(type) {
+	case *SnapshotPush, *SnapshotAck, *SnapshotReq, *GossipSummary, *GossipDelta:
+		return true
+	}
+	return false
+}
+
+// nodeEntryBytes is the modeled wire footprint of one NodeEntry: address,
+// packed static features, and the quantized dynamic fields.
+const nodeEntryBytes = 40
+
+func snapBytes(s Snapshot) int {
+	n := 16
+	for _, rs := range s.Regions {
+		n += 12 + nodeEntryBytes*len(rs.Nodes)
+	}
+	return n
+}
+
+// CtrlWireSize returns the modeled body size in bytes of a control-plane
+// message, and whether msg is one. transport.WireSize delegates its
+// default case here so the simulator charges snapshot traffic against
+// link capacity without transport and ctrlplane importing each other both
+// ways.
+func CtrlWireSize(msg any) (int, bool) {
+	switch m := msg.(type) {
+	case *SnapshotPush:
+		return 16 + snapBytes(m.Snap), true
+	case *SnapshotAck:
+		return 16, true
+	case *SnapshotReq:
+		return 8, true
+	case *GossipSummary:
+		return 8 + 8*len(m.Epochs), true
+	case *GossipDelta:
+		n := 8
+		for _, rs := range m.Snaps {
+			n += 12 + nodeEntryBytes*len(rs.Nodes)
+		}
+		return n, true
+	}
+	return 0, false
+}

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"repro/internal/chain"
+	"repro/internal/ctrlplane"
 	"repro/internal/media"
 	"repro/internal/scheduler"
 	"repro/internal/simnet"
@@ -56,6 +57,11 @@ type Config struct {
 	HeartbeatsEnabled bool
 	// AdviserEnabled turns on the proactive cost/QoS triggers.
 	AdviserEnabled bool
+	// LKG, when set, is this node's last-known-good snapshot cache. The
+	// edge applies control-plane snapshot pushes to it, acks them, and
+	// relays the merged view to its subscribers — the middle tier of the
+	// snapshot distribution tree — with its own retry loop.
+	LKG *ctrlplane.LKG
 }
 
 func (c *Config) setDefaults() {
@@ -154,6 +160,14 @@ type Node struct {
 	CostSuggestions uint64
 	QoSSuggestions  uint64
 
+	// Snapshot relay state (control plane): relaySeq numbers this edge's
+	// own pushes to subscribers — a sequence space independent of the
+	// shard's, which is why the LKG cache merges by region epoch rather
+	// than push seq. ctrlAcked/ctrlSentAt drive the per-subscriber retry.
+	relaySeq   uint64
+	ctrlAcked  map[simnet.Addr]uint64
+	ctrlSentAt map[simnet.Addr]simnet.Time
+
 	// tr records frame-lifecycle events; nil disables tracing.
 	tr *trace.Buf
 
@@ -163,6 +177,8 @@ type Node struct {
 	tmSuggestQoS  *telemetry.Counter
 	tmZScans      *telemetry.Counter
 	tmZOutliers   *telemetry.Counter
+	tmCtrlPush    *telemetry.Counter
+	tmCtrlAck     *telemetry.Counter
 }
 
 // SetTrace attaches (or detaches, with nil) a frame-lifecycle trace buffer.
@@ -179,6 +195,13 @@ func (n *Node) SetTelemetry(reg *telemetry.Registry) {
 	n.tmSuggestQoS = reg.Counter("edge.suggest.qos")
 	n.tmZScans = reg.Counter("edge.zscan")
 	n.tmZOutliers = reg.Counter("edge.zscan.outliers")
+	if n.cfg.LKG != nil {
+		// Shared with the shard set's push/ack counters: one fleet-wide
+		// view of snapshot distribution traffic. Gated so systems without
+		// a control plane scrape no ctrl.* series.
+		n.tmCtrlPush = reg.Counter("ctrl.push")
+		n.tmCtrlAck = reg.Counter("ctrl.ack")
+	}
 }
 
 // New returns an edge node. Register node.Handle as the simnet handler and
@@ -195,6 +218,8 @@ func New(addr simnet.Addr, cfg Config, sim *simnet.Sim, net *simnet.Network, rng
 		streamGens: make(map[media.StreamID]*chain.LocalGenerator),
 		lastObs:    make(map[media.StreamID]uint64),
 		util:       stats.NewEWMA(0.3),
+		ctrlAcked:  make(map[simnet.Addr]uint64),
+		ctrlSentAt: make(map[simnet.Addr]simnet.Time),
 	}
 }
 
@@ -229,6 +254,12 @@ func (n *Node) Start() {
 		})
 		n.sim.Every(n.cfg.QoSCheckEvery, func() bool {
 			n.qosTrigger()
+			return true
+		})
+	}
+	if n.cfg.LKG != nil {
+		n.sim.Every(5*time.Second, func() bool {
+			n.ctrlRetryTick()
 			return true
 		})
 	}
@@ -310,7 +341,91 @@ func (n *Node) Handle(from simnet.Addr, msg any) {
 		n.onQoSReport(from, m)
 	case *transport.StreamUtilResp:
 		n.onStreamUtil(m)
+	case *ctrlplane.SnapshotPush:
+		n.onSnapshotPush(from, m)
+	case *ctrlplane.SnapshotAck:
+		n.onSnapshotAck(from, m)
 	}
+}
+
+// onSnapshotPush folds a control-plane snapshot into the LKG cache, acks
+// it, and — when the view advanced — relays the merged snapshot to this
+// edge's subscribers, forming the middle tier of the distribution tree so
+// shards never push to the viewer fleet directly.
+func (n *Node) onSnapshotPush(from simnet.Addr, m *ctrlplane.SnapshotPush) {
+	if n.cfg.LKG == nil {
+		return
+	}
+	changed := n.cfg.LKG.Apply(m.Snap, n.sim.Now())
+	ack := &ctrlplane.SnapshotAck{Region: n.cfg.LKG.Region(), Seq: m.Seq, OK: changed}
+	n.net.Send(n.Addr, from, transport.WireSize(ack), ack)
+	if changed {
+		n.relayCtrl()
+	}
+}
+
+// onSnapshotAck records a subscriber's relay ack; the retry tick stops
+// resending once the acked seq catches up.
+func (n *Node) onSnapshotAck(from simnet.Addr, m *ctrlplane.SnapshotAck) {
+	if n.cfg.LKG == nil {
+		return
+	}
+	n.tmCtrlAck.Inc()
+	if m.Seq > n.ctrlAcked[from] {
+		n.ctrlAcked[from] = m.Seq
+	}
+}
+
+// ctrlSubscribers returns the current subscriber set deduplicated across
+// relays, in deterministic relay/subscription order.
+func (n *Node) ctrlSubscribers() []simnet.Addr {
+	var out []simnet.Addr
+	seen := make(map[simnet.Addr]bool)
+	for _, key := range n.relayOrder {
+		for _, sub := range n.relays[key].subOrder {
+			if !seen[sub] {
+				seen[sub] = true
+				out = append(out, sub)
+			}
+		}
+	}
+	return out
+}
+
+// relayCtrl starts a new relay round: bumps this edge's own push sequence
+// and sends the merged LKG view to every current subscriber.
+func (n *Node) relayCtrl() {
+	n.relaySeq++
+	snap := n.cfg.LKG.Snapshot()
+	for _, sub := range n.ctrlSubscribers() {
+		n.sendCtrlSnap(sub, snap)
+	}
+}
+
+// ctrlRetryTick resends the current relay round to subscribers that have
+// not acked it, at most once per 2 s grace window per subscriber.
+func (n *Node) ctrlRetryTick() {
+	if !n.net.Online(n.Addr) || n.relaySeq == 0 || !n.cfg.LKG.Has() {
+		return
+	}
+	now := n.sim.Now()
+	snap := n.cfg.LKG.Snapshot()
+	for _, sub := range n.ctrlSubscribers() {
+		if n.ctrlAcked[sub] >= n.relaySeq {
+			continue
+		}
+		if now-n.ctrlSentAt[sub] < simnet.Time(2*time.Second) {
+			continue
+		}
+		n.sendCtrlSnap(sub, snap)
+	}
+}
+
+func (n *Node) sendCtrlSnap(to simnet.Addr, snap ctrlplane.Snapshot) {
+	push := &ctrlplane.SnapshotPush{FromRegion: n.cfg.LKG.Region(), Seq: n.relaySeq, Snap: snap}
+	n.net.Send(n.Addr, to, transport.WireSize(push), push)
+	n.ctrlSentAt[to] = n.sim.Now()
+	n.tmCtrlPush.Inc()
 }
 
 func (n *Node) onSubscribe(from simnet.Addr, key scheduler.SubstreamKey) {

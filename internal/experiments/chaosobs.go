@@ -29,7 +29,8 @@ const obsRegions = 4
 // observability drill: the chaosSystem shape plus a 1 s telemetry scrape
 // timeline and the alert engine attached. The warm-up trains the z-score
 // baselines; the caller arms the engine when the scenario run begins.
-func chaosObsSystem(sc Scale, reg *telemetry.Registry, eng *alerting.Engine) *core.System {
+// ctrl enables the distributed control plane for scenarios that fault it.
+func chaosObsSystem(sc Scale, reg *telemetry.Registry, eng *alerting.Engine, ctrl bool) *core.System {
 	if sc.Clients < 16 {
 		sc.Clients = 16
 	}
@@ -49,6 +50,7 @@ func chaosObsSystem(sc Scale, reg *telemetry.Registry, eng *alerting.Engine) *co
 		Telemetry:            reg,
 		TelemetryScrapeEvery: obsScrapeEvery,
 		Alerting:             eng,
+		ControlPlane:         ctrl,
 	})
 	s.Start()
 	for i := 0; i < sc.Clients; i++ {
@@ -101,7 +103,7 @@ func ChaosObs(sc Scale) *Result {
 		label := "chaos-obs/" + scen.Name
 		reg := telemetry.NewRegistry(label, sc.Seed)
 		eng := alerting.NewEngine(label, sc.Seed, alerting.ChaosRules(obsRegions, max(sc.Clients, 16)))
-		sys := chaosObsSystem(sc, reg, eng)
+		sys := chaosObsSystem(sc, reg, eng, scenarioNeedsCtrl(scen))
 		startNs := int64(sys.Sim.Now())
 		eng.Arm(startNs)
 		chaos.Run(sys, scen, nil)

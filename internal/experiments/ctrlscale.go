@@ -1,0 +1,245 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/alerting"
+	"repro/internal/chaos"
+	"repro/internal/client"
+	"repro/internal/core"
+	"repro/internal/ctrlplane"
+	"repro/internal/telemetry"
+)
+
+// ctrlScaleMults are the viewer-fleet multipliers of the flatness sweep.
+var ctrlScaleMults = []int{1, 10, 100}
+
+// ctrlScaleMeasure is the steady-state window over which Part A counts
+// control-plane messages.
+const ctrlScaleMeasure = 20 * time.Second
+
+// ctrlScaleSystem builds and warms one deployment for the ctrl-scale
+// experiment: fixed edge fleet, viewer count chosen by the caller, churn
+// off so the message-rate measurement is clean. ctrl switches between the
+// distributed control plane (sharded schedulers + LKG caches) and the
+// direct single-scheduler baseline. reg/eng, when set, attach a 1 s scrape
+// timeline and the SLO alert engine (Part B fault arms).
+func ctrlScaleSystem(sc Scale, clients int, ctrl bool, reg *telemetry.Registry, eng *alerting.Engine) *core.System {
+	cfg := core.Config{
+		Seed:          sc.Seed,
+		NumDedicated:  1,
+		NumBestEffort: sc.BestEffort,
+		Regions:       obsRegions,
+		Mode:          client.ModeRLive,
+		ABRLadder:     abLadder,
+		// ~10% headroom over the top ladder rung: the pre-fault system is
+		// clean (no SLO burn before injection), while the origin-saturation
+		// squeeze in Part B still cuts capacity well below demand.
+		DedicatedUplinkBps: 3.2e6 * float64(clients),
+		ControlPlane:       ctrl,
+	}
+	if reg != nil {
+		cfg.Telemetry = reg
+		cfg.TelemetryScrapeEvery = obsScrapeEvery
+		cfg.Alerting = eng
+	}
+	s := core.NewSystem(cfg)
+	s.Start()
+	for i := 0; i < clients; i++ {
+		s.AddClient(core.ClientSpec{Region: i % obsRegions, ISP: i % 2})
+		s.Run(500 * time.Millisecond / time.Duration(max(1, clients/16)))
+	}
+	// Settle: LKG caches prime, heartbeat/gossip cadences reach steady
+	// state, the post-ramp re-allocation burst flushes, and (Part B) the
+	// anomaly rules collect their baselines before the engine is armed.
+	s.Run(20 * time.Second)
+	return s
+}
+
+// ctrlOutageScenario is Part B's compound drill: total control-plane death
+// for 60 s with a churn storm in the middle, so surviving on last-known-good
+// state requires making *new* allocation decisions, not just keeping
+// established sessions alive. The origin is squeezed for the same window:
+// without autonomy the only remaining move is full CDN fallback into a
+// saturated origin, which is where the no-LKG arm pays.
+func ctrlOutageScenario() chaos.Scenario {
+	return chaos.Scenario{
+		Name: "sched-outage",
+		Events: []chaos.Event{
+			{Kind: chaos.SchedulerOutage, Start: 25 * time.Second, Duration: 60 * time.Second},
+			{Kind: chaos.ChurnStorm, Start: 35 * time.Second, Duration: 25 * time.Second, Severity: 0.5},
+			{Kind: chaos.OriginSaturation, Start: 35 * time.Second, Duration: 50 * time.Second, Severity: 0.3},
+		},
+		Tail:          35 * time.Second,
+		ContinuityMin: 0.6,
+	}
+}
+
+// ctrlScaleCell is one cell's outcome; Part A cells fill rate, Part B
+// fault arms fill rep (+rec), the no-fault baseline fills qoe directly.
+type ctrlScaleCell struct {
+	viewers int
+	rate    float64 // control-plane msgs/s over the measure window
+
+	rep *chaos.Report
+	qoe [4]float64 // rebuf/100s, stall ms/100s, bitrate bps, e2e p50 ms
+	rec *AlertRecord
+	log *ctrlplane.EventLog
+}
+
+// CtrlScale measures the distributed control plane's headline claims.
+//
+// Part A (flatness): the control-plane message rate — shard gossip,
+// snapshot pushes, heartbeats, whatever still reaches a scheduler tier —
+// stays flat as the viewer fleet grows 10–100x, because allocation queries
+// are answered from last-known-good caches at the data plane. The direct
+// single-scheduler baseline's rate grows with the fleet.
+//
+// Part B (autonomy): under total scheduler loss with a concurrent churn
+// storm, the LKG arm holds the resilience invariants (zero allocation
+// stalls) and stays within tolerance of its own no-fault baseline, while
+// the direct arm degrades. Both fault arms run with telemetry and the SLO
+// alert engine armed, scored against ground truth (Result.Alerts); the
+// ctrl arms record snapshot/gossip event logs (Result.Ctrl, the -ctrl
+// flag).
+func CtrlScale(sc Scale) *Result {
+	if sc.Clients < 8 {
+		sc.Clients = 8
+	}
+	if sc.BestEffort < 32 {
+		sc.BestEffort = 32
+	}
+	base := max(1, sc.Clients/8)
+	scen := ctrlOutageScenario()
+
+	nA := 2 * len(ctrlScaleMults)
+	cells := RunCells(nA+3, func(i int) *ctrlScaleCell {
+		if i < nA {
+			// Part A: multiplier m, ctrl arm on even i, direct on odd.
+			viewers := base * ctrlScaleMults[i/2]
+			ctrl := i%2 == 0
+			sys := ctrlScaleSystem(sc, viewers, ctrl, nil, nil)
+			m0 := sys.ControlMsgs()
+			sys.Run(ctrlScaleMeasure)
+			m1 := sys.ControlMsgs()
+			return &ctrlScaleCell{
+				viewers: viewers,
+				rate:    float64(m1-m0) / ctrlScaleMeasure.Seconds(),
+			}
+		}
+		switch i - nA {
+		case 0: // ctrl + LKG, under fault
+			label := "ctrl-scale/outage-lkg"
+			reg := telemetry.NewRegistry(label, sc.Seed)
+			eng := alerting.NewEngine(label, sc.Seed, alerting.ChaosRules(obsRegions, sc.Clients))
+			sys := ctrlScaleSystem(sc, sc.Clients, true, reg, eng)
+			log := &ctrlplane.EventLog{Label: label}
+			sys.Ctrl.AttachLog(log)
+			startNs := int64(sys.Sim.Now())
+			eng.Arm(startNs)
+			checkers := append(scen.Checkers(), chaos.NewLKGAutonomyChecker())
+			rep := chaos.Run(sys, scen, checkers)
+			card := alerting.ScoreDetection(scen.Name, obsWindows(scen, startNs), eng.Incidents(), int64(obsGrace))
+			return &ctrlScaleCell{
+				rep: rep,
+				rec: &AlertRecord{Engine: eng, Scorecard: card},
+				log: log,
+			}
+		case 1: // direct scheduler, under fault
+			label := "ctrl-scale/outage-direct"
+			reg := telemetry.NewRegistry(label, sc.Seed)
+			eng := alerting.NewEngine(label, sc.Seed, alerting.ChaosRules(obsRegions, sc.Clients))
+			sys := ctrlScaleSystem(sc, sc.Clients, false, reg, eng)
+			startNs := int64(sys.Sim.Now())
+			eng.Arm(startNs)
+			checkers := append(scen.Checkers(), chaos.NewLKGAutonomyChecker())
+			rep := chaos.Run(sys, scen, checkers)
+			card := alerting.ScoreDetection(scen.Name, obsWindows(scen, startNs), eng.Incidents(), int64(obsGrace))
+			return &ctrlScaleCell{
+				rep: rep,
+				rec: &AlertRecord{Engine: eng, Scorecard: card},
+			}
+		default: // ctrl + LKG, no fault: the tolerance baseline
+			sys := ctrlScaleSystem(sc, sc.Clients, true, nil, nil)
+			log := &ctrlplane.EventLog{Label: "ctrl-scale/no-fault"}
+			sys.Ctrl.AttachLog(log)
+			sys.Run(scen.Total())
+			agg := sys.Aggregate()
+			return &ctrlScaleCell{
+				qoe: [4]float64{agg.Rebuffer.Mean(), agg.StallTime.Mean(),
+					agg.Bitrate.Mean(), agg.E2EMs.Percentile(50)},
+				log: log,
+			}
+		}
+	})
+
+	// Part A tables + series.
+	flat := &Table{ID: "ctrl-scale", Title: "Control-plane message rate vs viewer fleet (fixed edge fleet)",
+		Header: []string{"viewers", "ctrl msgs/s", "ctrl /viewer", "direct msgs/s", "direct /viewer"}}
+	ser := &Series{ID: "ctrl-scale", Title: "Control-plane message rate (distributed shards + LKG)",
+		XLabel: "viewers", YLabel: "msgs/s"}
+	for m := range ctrlScaleMults {
+		c, d := cells[2*m], cells[2*m+1]
+		flat.AddRow(fmt.Sprint(c.viewers),
+			f2(c.rate), fmt.Sprintf("%.3f", c.rate/float64(c.viewers)),
+			f2(d.rate), fmt.Sprintf("%.3f", d.rate/float64(d.viewers)))
+		ser.Add(float64(c.viewers), c.rate)
+	}
+	growth := func(a, b float64) string {
+		if a == 0 {
+			return "-"
+		}
+		return fmt.Sprintf("%.1fx", b/a)
+	}
+	last := len(ctrlScaleMults) - 1
+	flat.AddRow(fmt.Sprintf("growth %dx->%dx", ctrlScaleMults[0], ctrlScaleMults[last]),
+		growth(cells[0].rate, cells[2*last].rate), "",
+		growth(cells[1].rate, cells[2*last+1].rate), "")
+
+	// Part B tables.
+	ctrlRep, dirRep, noFault := cells[nA], cells[nA+1], cells[nA+2]
+	inv := &Table{ID: "ctrl-scale", Title: "Invariants under scheduler outage + churn storm",
+		Header: []string{"invariant", "ctrl+lkg", "no-ctrl", "detail (ctrl+lkg)"}}
+	st := func(pass bool) string {
+		if pass {
+			return "PASS"
+		}
+		return "FAIL"
+	}
+	for i, v := range ctrlRep.rep.Verdicts {
+		inv.AddRow(v.Name, st(v.Pass), st(dirRep.rep.Verdicts[i].Pass), v.Detail)
+	}
+
+	qoe := &Table{ID: "ctrl-scale", Title: "QoE under control-plane death: LKG autonomy vs no-fault baseline",
+		Header: []string{"metric", "ctrl+lkg (fault)", "ctrl (no fault)", "no-ctrl (fault)"}}
+	qoe.AddRow("rebuffering /100s", f2(ctrlRep.rep.RebufPer100), f2(noFault.qoe[0]), f2(dirRep.rep.RebufPer100))
+	qoe.AddRow("stall ms /100s", f0(ctrlRep.rep.StallPer100), f0(noFault.qoe[1]), f0(dirRep.rep.StallPer100))
+	qoe.AddRow("bitrate (Mbps)", f2(ctrlRep.rep.BitrateBps/1e6), f2(noFault.qoe[2]/1e6), f2(dirRep.rep.BitrateBps/1e6))
+	qoe.AddRow("E2E latency P50 (ms)", f0(ctrlRep.rep.E2EP50Ms), f0(noFault.qoe[3]), f0(dirRep.rep.E2EP50Ms))
+
+	det := &Table{ID: "ctrl-scale", Title: "Outage detection (SLO alert engine, both fault arms)",
+		Header: []string{"arm", "faults", "detected", "ttd (s)", "incidents", "false alarms"}}
+	for _, a := range []struct {
+		name string
+		cell *ctrlScaleCell
+	}{{"ctrl+lkg", ctrlRep}, {"no-ctrl", dirRep}} {
+		card := &a.cell.rec.Scorecard
+		det.AddRow(a.name, fmt.Sprint(len(card.Windows)), fmt.Sprint(card.Detected()),
+			f2(card.MeanTTD()), fmt.Sprint(card.Incidents), fmt.Sprint(card.FalseAlarms))
+	}
+
+	tl := &Table{ID: "ctrl-scale", Title: "Fault timeline (ctrl+lkg arm)",
+		Header: []string{"event"}}
+	for _, l := range ctrlRep.rep.Timeline {
+		tl.AddRow(l)
+	}
+
+	return &Result{
+		ID:     "ctrl-scale",
+		Tables: []*Table{flat, inv, qoe, det, tl},
+		Series: []*Series{ser},
+		Alerts: []*AlertRecord{ctrlRep.rec, dirRep.rec},
+		Ctrl:   []*ctrlplane.EventLog{ctrlRep.log, noFault.log},
+	}
+}

@@ -1,0 +1,122 @@
+package experiments
+
+import (
+	"bytes"
+	"strconv"
+	"testing"
+)
+
+// encodeCtrlLogs renders a result's control-plane event logs exactly as the
+// CLI -ctrl flag does: concatenated JSONL in cell order.
+func encodeCtrlLogs(t *testing.T, res *Result) []byte {
+	t.Helper()
+	var w bytes.Buffer
+	for _, l := range res.Ctrl {
+		if err := l.WriteJSONL(&w); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return w.Bytes()
+}
+
+// TestCtrlScaleFlatnessAutonomyAndDeterminism is the acceptance gate for the
+// distributed control plane at the default seed:
+//
+//   - Part A flatness: the ctrl arm's message rate grows far slower than the
+//     direct single-scheduler baseline's across a 100x viewer sweep.
+//   - Part B autonomy: the ctrl+lkg arm passes every resilience invariant
+//     under total scheduler death, while the direct arm fails at least one.
+//   - Determinism: tables, alert JSONL, and control-plane event-log JSONL are
+//     byte-identical between a serial and a -parallel 4 run.
+func TestCtrlScaleFlatnessAutonomyAndDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ctrl-scale drill skipped in -short mode")
+	}
+	if raceEnabled {
+		// Two full ctrl-scale runs are the package's heaviest test; under
+		// the race detector they blow the per-package timeout. The same
+		// serial-vs-parallel byte identity is enforced without -race by the
+		// `make ctrlplane` CI gate.
+		t.Skip("ctrl-scale drill skipped under -race")
+	}
+	serialAfter(t)
+	r1 := CtrlScale(Quick)
+	SetParallelism(4)
+	r2 := CtrlScale(Quick)
+
+	if r1.String() != r2.String() {
+		t.Fatal("parallel run rendered differently from serial")
+	}
+	a1, a2 := encodeAlerts(t, r1), encodeAlerts(t, r2)
+	if len(a1) == 0 {
+		t.Fatal("no alert output")
+	}
+	if !bytes.Equal(a1, a2) {
+		t.Fatal("parallel run's alert JSONL differs from serial")
+	}
+	c1, c2 := encodeCtrlLogs(t, r1), encodeCtrlLogs(t, r2)
+	if len(c1) == 0 {
+		t.Fatal("no control-plane event-log output")
+	}
+	if !bytes.Equal(c1, c2) {
+		t.Fatal("parallel run's ctrl event JSONL differs from serial")
+	}
+	if len(r1.Ctrl) != 2 {
+		t.Fatalf("got %d ctrl event logs, want 2 (fault arm + no-fault baseline)", len(r1.Ctrl))
+	}
+	for _, l := range r1.Ctrl {
+		if len(l.Events) == 0 {
+			t.Fatalf("ctrl log %q recorded no events", l.Label)
+		}
+	}
+
+	// Part A: the flatness series carries the ctrl arm's msgs/s per viewer
+	// tier; the direct baseline's growth lives in the table. Compare growth
+	// factors over the full sweep.
+	ser := r1.Series[0]
+	if len(ser.Y) != len(ctrlScaleMults) {
+		t.Fatalf("flatness series has %d points, want %d", len(ser.Y), len(ctrlScaleMults))
+	}
+	ctrlGrowth := ser.Y[len(ser.Y)-1] / ser.Y[0]
+	if ctrlGrowth > 3 {
+		t.Errorf("ctrl message rate grew %.1fx over a %dx viewer sweep, want <= 3x",
+			ctrlGrowth, ctrlScaleMults[len(ctrlScaleMults)-1])
+	}
+	flat := r1.Tables[0]
+	dirFirst, err1 := strconv.ParseFloat(flat.Rows[0][3], 64)
+	dirLast, err2 := strconv.ParseFloat(flat.Rows[len(ctrlScaleMults)-1][3], 64)
+	if err1 != nil || err2 != nil {
+		t.Fatalf("cannot parse direct-arm rates from flatness table: %v %v", err1, err2)
+	}
+	if dirGrowth := dirLast / dirFirst; dirGrowth <= ctrlGrowth {
+		t.Errorf("direct baseline grew %.1fx vs ctrl %.1fx; expected the sharded plane to be flatter",
+			dirGrowth, ctrlGrowth)
+	}
+
+	// Part B: every invariant PASSes on the ctrl+lkg arm; the direct arm
+	// fails at least one (that degradation is the point of LKG autonomy).
+	inv := r1.Tables[1]
+	dirFailed := false
+	for _, row := range inv.Rows {
+		if row[1] != "PASS" {
+			t.Errorf("ctrl+lkg arm failed invariant %q: %s", row[0], row[3])
+		}
+		if row[2] == "FAIL" {
+			dirFailed = true
+		}
+	}
+	if !dirFailed {
+		t.Error("direct arm failed no invariants; the outage scenario is not stressing autonomy")
+	}
+
+	// Detection: both fault arms' scorecards see every fault window.
+	for _, rec := range r1.Alerts {
+		card := &rec.Scorecard
+		if got := card.Recall(); got != 1 {
+			t.Errorf("%s: recall %.2f, want 1.00 (missed %v)", card.Scenario, got, card.MissedList())
+		}
+		if card.WarmupFalseAlarms != 0 {
+			t.Errorf("%s: %d incidents opened before the first fault", card.Scenario, card.WarmupFalseAlarms)
+		}
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"repro/internal/alerting"
+	"repro/internal/ctrlplane"
 	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
@@ -136,6 +137,10 @@ type Result struct {
 	// Alerts holds per-arm incident logs and detection scorecards (in cell
 	// order) when the experiment ran with alerting armed (chaos-obs).
 	Alerts []*AlertRecord
+	// Ctrl holds control-plane snapshot/gossip event logs (in cell order)
+	// when the experiment ran distributed-control-plane arms (ctrl-scale);
+	// the CLI's -ctrl flag writes them out as JSONL.
+	Ctrl []*ctrlplane.EventLog
 }
 
 // AlertRecord pairs one run's alert engine (its incident log) with the
@@ -216,6 +221,7 @@ var Registry = map[string]func(Scale) *Result{
 	"abl-redundant": AblationRedundancy,
 	"abl-nat":       AblationNATRefinement,
 
+	"ctrl-scale":              CtrlScale,
 	"chaos-obs":               ChaosObs,
 	"chaos-scheduler-outage":  ChaosSchedulerOutage,
 	"chaos-scheduler-slow":    ChaosSchedulerSlow,
@@ -225,6 +231,7 @@ var Registry = map[string]func(Scale) *Result{
 	"chaos-origin-saturation": ChaosOriginSaturation,
 	"chaos-degradation-wave":  ChaosDegradationWave,
 	"chaos-nat-flap":          ChaosNATFlap,
+	"chaos-ctrl-partition":    ChaosCtrlPartition,
 }
 
 // IDs returns the registered experiment IDs in a stable order.
@@ -237,9 +244,10 @@ func IDs() []string {
 		"fig13", "tab4", "fallback",
 		"abl-chain", "abl-k", "abl-probe", "abl-explore", "abl-hash", "abl-redundant",
 		"abl-nat",
+		"ctrl-scale",
 		"chaos-obs",
 		"chaos-scheduler-outage", "chaos-scheduler-slow", "chaos-region-blackout", "chaos-region-partition",
 		"chaos-churn-storm", "chaos-origin-saturation", "chaos-degradation-wave",
-		"chaos-nat-flap",
+		"chaos-nat-flap", "chaos-ctrl-partition",
 	}
 }

@@ -1,0 +1,9 @@
+//go:build race
+
+package experiments
+
+// raceEnabled reports whether the race detector is compiled in; the
+// heaviest drills skip under it to keep the package inside the go test
+// per-package timeout (their properties are separately enforced by the
+// non-race CI byte-identity gates).
+const raceEnabled = true

@@ -10,11 +10,22 @@ import (
 	"repro/internal/metrics"
 )
 
+// scenarioNeedsCtrl reports whether a scenario faults the distributed
+// control plane and therefore needs a system built with it enabled.
+func scenarioNeedsCtrl(scen chaos.Scenario) bool {
+	for _, e := range scen.Events {
+		if e.Kind == chaos.CtrlPartition {
+			return true
+		}
+	}
+	return false
+}
+
 // chaosSystem builds and warms up one deployment for a chaos drill:
 // moderate CDN pressure (so the delivery mode actually matters), churn
 // on, clients ramped in and given a pre-fault window to engage RLive and
-// cache scheduler candidates.
-func chaosSystem(sc Scale, mode client.Mode) *core.System {
+// cache scheduler candidates. ctrl enables the distributed control plane.
+func chaosSystem(sc Scale, mode client.Mode, ctrl bool) *core.System {
 	if sc.Clients < 16 {
 		sc.Clients = 16
 	}
@@ -30,6 +41,7 @@ func chaosSystem(sc Scale, mode client.Mode) *core.System {
 		DedicatedUplinkBps: 2.9e6 * float64(sc.Clients),
 		ChurnEnabled:       true,
 		LifespanMedian:     5 * time.Minute,
+		ControlPlane:       ctrl,
 	})
 	s.Start()
 	for i := 0; i < sc.Clients; i++ {
@@ -49,12 +61,13 @@ func chaosExperiment(scen chaos.Scenario) func(Scale) *Result {
 
 		// The paired A/B arms share a seed but nothing else — each builds
 		// its own system, so they fan across the cell pool.
+		ctrl := scenarioNeedsCtrl(scen)
 		reports := RunCells(2, func(i int) *chaos.Report {
 			mode := client.ModeRLive
 			if i == 1 {
 				mode = client.ModeCDNOnly
 			}
-			return chaos.Run(chaosSystem(sc, mode), scen, nil)
+			return chaos.Run(chaosSystem(sc, mode, ctrl), scen, nil)
 		})
 		repR, repC := reports[0], reports[1]
 
@@ -109,4 +122,5 @@ var (
 	ChaosOriginSaturation = chaosExperiment(chaos.OriginSaturationScenario())
 	ChaosDegradationWave  = chaosExperiment(chaos.DegradationWaveScenario())
 	ChaosNATFlap          = chaosExperiment(chaos.NATFlapScenario())
+	ChaosCtrlPartition    = chaosExperiment(chaos.CtrlPartitionScenario())
 )

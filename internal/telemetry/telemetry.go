@@ -326,6 +326,22 @@ func (r *Registry) GaugeFunc(name string, fn func() float64) {
 	r.insts[i].fn = fn
 }
 
+// PerRegionGaugeFunc registers one derived gauge per region under the
+// names "<name>.r0" … "<name>.r<regions-1>", each evaluating fn with its
+// region index. This is the shared registration pattern for regional
+// instrument families (fleet.online_frac.rN, ctrl.*.rN); fn must be
+// deterministic and side-effect free, like any GaugeFunc. No-op on a nil
+// registry.
+func (r *Registry) PerRegionGaugeFunc(name string, regions int, fn func(region int) float64) {
+	if r == nil {
+		return
+	}
+	for i := 0; i < regions; i++ {
+		region := i
+		r.GaugeFunc(fmt.Sprintf("%s.r%d", name, region), func() float64 { return fn(region) })
+	}
+}
+
 // OnScrape registers fn to run after every scrape is appended, called with
 // the registry and the new snapshot's index. Subscribers run synchronously
 // on the simulator thread in registration order, so a subscriber sees a

@@ -16,6 +16,7 @@ package transport
 
 import (
 	"repro/internal/chain"
+	"repro/internal/ctrlplane"
 	"repro/internal/media"
 	"repro/internal/scheduler"
 	"repro/internal/simnet"
@@ -291,6 +292,9 @@ func WireSize(msg any) int {
 	case SeqUpdate:
 		return hdr + 4 + len(m.Chain)*chain.FootprintSize
 	default:
+		if n, ok := ctrlplane.CtrlWireSize(msg); ok {
+			return hdr + n
+		}
 		return hdr + 16
 	}
 }
