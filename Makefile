@@ -3,10 +3,10 @@
 
 GO ?= go
 
-.PHONY: tier1 build test vet race bench bench-json benchcmp chaos ci fmt-check determinism telemetry alerting ctrlplane
+.PHONY: tier1 build test vet race bench bench-json benchcmp chaos ci fmt-check determinism telemetry alerting ctrlplane sharded
 
 # Next BENCH_*.json index; bump per PR so the trajectory accumulates.
-BENCH_N ?= 1
+BENCH_N ?= 4
 
 tier1: build test
 
@@ -36,7 +36,7 @@ bench-json:
 # Repeated micro-bench runs in benchstat-comparable format; redirect to a
 # file and compare two with `benchstat old.txt new.txt`.
 benchcmp:
-	$(GO) test -bench 'BenchmarkSimnet' -benchmem -count 6 -run '^$$' .
+	$(GO) test -bench 'BenchmarkSimnet|BenchmarkSharded' -benchmem -count 6 -run '^$$' .
 
 # Run the headline resilience drill end to end.
 chaos:
@@ -46,7 +46,7 @@ chaos:
 # formatting, vet, the race detector, the serial-vs-parallel trace,
 # telemetry, alerting, and control-plane determinism gates, and a
 # one-iteration bench smoke.
-ci: tier1 fmt-check vet race determinism telemetry alerting ctrlplane
+ci: tier1 fmt-check vet race determinism telemetry alerting ctrlplane sharded
 	$(MAKE) bench > /dev/null
 
 fmt-check:
@@ -90,6 +90,22 @@ alerting:
 	grep -v '^-- ' "$$tmp/b.txt" > "$$tmp/b.clean" && \
 	diff -u "$$tmp/a.clean" "$$tmp/b.clean" && \
 	echo "alerting gate: OK"
+
+# The sharded-engine gate: focused byte-identity and parity tests for the
+# per-region event loops, mailboxes, and compact fleet, then the fleet-scale
+# sweep single-threaded vs 4 shard workers — rendered tables (QoE verdicts,
+# delivery timeline) and the telemetry JSONL must be byte-identical.
+sharded:
+	@$(GO) test ./internal/simnet/ ./internal/fleet/ ./internal/core/ ./internal/experiments/ \
+		-run 'Test(Sharded|Shard|Mailbox|SerialHeapTrim|Compact|FleetScale|SetBudget)' -count 1
+	@tmp="$$(mktemp -d)"; trap 'rm -rf "$$tmp"' EXIT; \
+	$(GO) run ./cmd/rlive-sim -exp fleet-scale -seed 1 -telemetry "$$tmp/a.jsonl" > "$$tmp/a.txt" && \
+	$(GO) run ./cmd/rlive-sim -exp fleet-scale -seed 1 -shards 4 -parallel 4 -telemetry "$$tmp/b.jsonl" > "$$tmp/b.txt" && \
+	cmp "$$tmp/a.jsonl" "$$tmp/b.jsonl" && \
+	grep -v '^-- ' "$$tmp/a.txt" > "$$tmp/a.clean" && \
+	grep -v '^-- ' "$$tmp/b.txt" > "$$tmp/b.clean" && \
+	diff -u "$$tmp/a.clean" "$$tmp/b.clean" && \
+	echo "sharded gate: OK"
 
 # The control-plane gate: focused unit + integration tests for the sharded
 # scheduler tier and LKG autonomy, then the ctrl-scale drill serial vs

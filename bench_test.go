@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"repro/internal/chain"
+	"repro/internal/core"
 	"repro/internal/ctrlplane"
 	"repro/internal/experiments"
 	"repro/internal/media"
@@ -131,6 +132,11 @@ func BenchmarkABBaselineTraced(b *testing.B) {
 // BenchmarkABPeak runs the telemetry-instrumented A/B pair — the cost of a
 // fully scraped run (registry on, all component hooks live).
 func BenchmarkABPeak(b *testing.B) { benchExperiment(b, "ab-peak") }
+
+// BenchmarkFleetScaleSweep runs the sharded-engine fleet sweep end to end:
+// 1x/3x/10x fleet sizes on per-region event loops with conservative
+// lookahead, churn on, QoE invariants judged per cell.
+func BenchmarkFleetScaleSweep(b *testing.B) { benchExperiment(b, "fleet-scale") }
 
 // Microbenchmarks of the hot paths.
 
@@ -299,6 +305,81 @@ func BenchmarkSimnetEventLoop(b *testing.B) {
 			sim.At(time.Duration(j)*time.Millisecond, func() { net.Send(1, 2, 1200, j) })
 		}
 		sim.Run(2 * time.Second)
+	}
+}
+
+// benchShardedLoop drives the sharded engine's full packet path — per-region
+// tickers, ~30% cross-region traffic through the cross-worker mailboxes, the
+// conservative-horizon protocol — over 4 regions at the given worker count.
+// Compare BenchmarkShardedEventLoop (4 workers) against
+// BenchmarkShardedEventLoopSerial (the single-threaded reference the
+// byte-identity gate diffs against): the workload is identical by
+// construction, so any delta is pure engine overhead or parallel speedup.
+func benchShardedLoop(b *testing.B, workers int) {
+	const regions = 4
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sim := simnet.NewShardedSim(simnet.ShardConfig{
+			Regions: regions, Workers: workers, Seed: 1,
+			Lookahead: 4 * time.Millisecond,
+		})
+		net := simnet.NewShardedNet(sim)
+		net.InterRegionOWD = func(ra, rb int) time.Duration {
+			d := ra - rb
+			if d < 0 {
+				d = -d
+			}
+			return time.Duration(d) * 4 * time.Millisecond
+		}
+		ids := make([][]simnet.NodeID, regions)
+		delivered := make([]int, regions)
+		for r := 0; r < regions; r++ {
+			r := r
+			for j := 0; j < 8; j++ {
+				ids[r] = append(ids[r], net.Register(r, simnet.LinkState{
+					UplinkBps: 50e6, BaseOWD: 2 * time.Millisecond,
+					JitterStd: time.Millisecond, LossRate: 0.01,
+				}, func(dst, src simnet.NodeID, msg any) { delivered[r]++ }))
+			}
+		}
+		for r := 0; r < regions; r++ {
+			r := r
+			rl := sim.Region(r)
+			rl.Every(2*time.Millisecond, func() bool {
+				rng := rl.RNG()
+				src := ids[r][rng.IntN(len(ids[r]))]
+				dstRegion := r
+				if rng.Bool(0.3) {
+					dstRegion = rng.IntN(regions)
+				}
+				dst := ids[dstRegion][rng.IntN(len(ids[dstRegion]))]
+				net.Send(src, dst, 1200, nil)
+				return true
+			})
+		}
+		sim.Run(2 * time.Second)
+		if delivered[0] == 0 {
+			b.Fatal("no deliveries")
+		}
+	}
+}
+
+func BenchmarkShardedEventLoop(b *testing.B)       { benchShardedLoop(b, 4) }
+func BenchmarkShardedEventLoopSerial(b *testing.B) { benchShardedLoop(b, 1) }
+
+// BenchmarkFleetScaleRun measures one compact-fleet sharded run at 10k
+// best-effort nodes with churn — the per-run cost behind the fleet-scale
+// sweep's middle cells (the 100k top cell is this times ~10).
+func BenchmarkFleetScaleRun(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sys := core.NewFleetScale(core.FleetScaleConfig{
+			Seed: 1, NumBestEffort: 10000, Workers: 4, ChurnEnabled: true,
+		})
+		sys.Run(5 * time.Second)
+		if rep := sys.Report(); rep.ViewerFrames == 0 {
+			b.Fatal("no viewer frames")
+		}
 	}
 }
 

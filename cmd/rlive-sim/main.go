@@ -10,6 +10,7 @@
 //	rlive-sim -exp chaos-scheduler-outage            # a resilience drill
 //	rlive-sim -exp fig9 -json out.json               # machine-readable results
 //	rlive-sim -exp all -parallel 8                   # fan cells over 8 workers
+//	rlive-sim -exp fleet-scale -shards 4             # shard one run over 4 workers
 //	rlive-sim -exp fig9 -cpuprofile cpu.pprof        # profile the engine
 //	rlive-sim -exp ab-baseline -trace t.jsonl        # frame-lifecycle traces
 //	rlive-sim -exp ab-peak -telemetry m.jsonl        # instrument timelines
@@ -63,6 +64,7 @@ func main() {
 		duration = flag.Duration("duration", 0, "override measured duration")
 		jsonPath = flag.String("json", "", "also write results as JSON to this path")
 		parallel = flag.Int("parallel", 1, "worker-pool width for independent experiment cells (0 = NumCPU); output is byte-identical to serial")
+		shards   = flag.Int("shards", 1, "shard workers per run for sharded-engine experiments (fleet-scale); 1 = serial reference loop, output is byte-identical at any width")
 		tracePth = flag.String("trace", "", "record frame-lifecycle traces and write them as JSONL to this path (deterministic per seed)")
 		telemPth = flag.String("telemetry", "", "record instrument timelines and write them as JSONL to this path (deterministic per seed)")
 		alertPth = flag.String("alerts", "", "write incident logs and detection scorecards as JSONL to this path (deterministic per seed; emitted by chaos-obs)")
@@ -99,7 +101,9 @@ func main() {
 			}
 		}()
 	}
-	experiments.SetParallelism(*parallel)
+	// Cells and shards share one worker budget: -parallel bounds the total,
+	// -shards claims its share inside each sharded run.
+	experiments.SetBudget(*parallel, *shards)
 
 	if *list {
 		for _, id := range experiments.IDs() {
@@ -124,6 +128,7 @@ func main() {
 	}
 	sc.Trace = *tracePth != ""
 	sc.Telemetry = *telemPth != ""
+	sc.Shards = *shards
 
 	ids := []string{*exp}
 	if *exp == "all" {

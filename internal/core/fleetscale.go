@@ -1,0 +1,404 @@
+package core
+
+import (
+	"math/bits"
+	"time"
+
+	"repro/internal/fleet"
+	"repro/internal/simnet"
+	"repro/internal/stats"
+)
+
+// FleetScaleConfig sizes a fleet-scale delivery run on the sharded engine.
+type FleetScaleConfig struct {
+	Seed uint64
+	// NumBestEffort is the best-effort fleet size; one origin (dedicated
+	// node) is added per region on top.
+	NumBestEffort int
+	// Regions is the region count (default 8, matching the full system).
+	Regions int
+	// Workers is the shard worker count the region loops are packed onto
+	// (default 1 = single-threaded reference). Output is identical for any
+	// value.
+	Workers int
+	// Streams is the number of live streams, homed round-robin across the
+	// regional origins (default = Regions).
+	Streams int
+	// FPS and FrameBytes shape each stream (defaults 10 fps x 12.5 KB ≈
+	// 1 Mbps).
+	FPS        int
+	FrameBytes int
+	// RelayMinBps is the uplink floor for promoting a best-effort node to
+	// relay duty (default 50 Mbps).
+	RelayMinBps float64
+	// ChurnEnabled cycles viewers on/off with short session times so churn
+	// effects show up within experiment-length runs.
+	ChurnEnabled bool
+	// ViewerStay / ViewerAway are the mean on/off session lengths when
+	// churn is enabled (defaults 2 min / 20 s).
+	ViewerStay time.Duration
+	ViewerAway time.Duration
+}
+
+func (c *FleetScaleConfig) setDefaults() {
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.NumBestEffort == 0 {
+		c.NumBestEffort = 1000
+	}
+	if c.Regions == 0 {
+		c.Regions = 8
+	}
+	if c.Workers == 0 {
+		c.Workers = 1
+	}
+	if c.Streams == 0 {
+		c.Streams = c.Regions
+	}
+	if c.FPS == 0 {
+		c.FPS = 10
+	}
+	if c.FrameBytes == 0 {
+		c.FrameBytes = 12500
+	}
+	if c.RelayMinBps == 0 {
+		c.RelayMinBps = 50e6
+	}
+	if c.ViewerStay == 0 {
+		c.ViewerStay = 2 * time.Minute
+	}
+	if c.ViewerAway == 0 {
+		c.ViewerAway = 20 * time.Second
+	}
+}
+
+// FrameMsg is one video frame in flight. A single FrameMsg is allocated per
+// (stream, frame) and shared by every delivery of that frame — the origin
+// fan-out and all relay forwards pass the same pointer, so the per-packet
+// send path allocates nothing.
+type FrameMsg struct {
+	Stream int32
+	Seq    int32
+	T0     simnet.Time
+}
+
+// ttdBuckets is the per-region time-to-display histogram resolution:
+// bucket b counts deliveries with TTD in [2^(b-1), 2^b) x 100 µs.
+const ttdBuckets = 32
+
+// fsRegion is one region's measurement state. Each instance is written only
+// by its owning shard worker; Report merges them in region order after Run.
+type fsRegion struct {
+	delivered uint64
+	ttd       [ttdBuckets]uint64
+	timeline  []uint64 // viewer deliveries per second of sim time
+}
+
+func (r *fsRegion) observe(now, t0 simnet.Time) {
+	r.delivered++
+	b := bits.Len64(uint64((now - t0) / (100 * time.Microsecond)))
+	if b >= ttdBuckets {
+		b = ttdBuckets - 1
+	}
+	r.ttd[b]++
+	sec := int(now / simnet.Time(time.Second))
+	for len(r.timeline) <= sec {
+		r.timeline = append(r.timeline, 0)
+	}
+	r.timeline[sec]++
+}
+
+// FleetScaleSystem is the 100k-node-class delivery workload: per-region
+// origins push Streams live streams to a relay tier drawn from the
+// best-effort fleet, relays fan out to same-region viewers, and per-region
+// histograms record QoE. All mutable run state is region-confined, which is
+// what lets the sharded engine execute regions concurrently while keeping
+// output byte-identical to the single-worker reference.
+type FleetScaleSystem struct {
+	cfg   FleetScaleConfig
+	Sim   *simnet.ShardedSim
+	Net   *simnet.ShardedNet
+	Fleet *fleet.Compact
+
+	NumRelays  int
+	NumViewers int
+
+	// fan is the static delivery graph in CSR form: node id's fan-out is
+	// fan[fanStart[id]:fanStart[id+1]]. Origins fan to their subscribed
+	// relays (plus relay-less direct viewers), relays to their viewers.
+	fanStart []int32
+	fan      []simnet.NodeID
+
+	stats []*fsRegion
+}
+
+// NewFleetScale builds the system. Setup runs single-threaded on the caller
+// and consumes only setup RNG streams, so the constructed topology is
+// independent of the worker count.
+func NewFleetScale(cfg FleetScaleConfig) *FleetScaleSystem {
+	cfg.setDefaults()
+	sys := &FleetScaleSystem{cfg: cfg}
+
+	sys.Fleet = fleet.NewCompact(fleet.Config{
+		NumDedicated:  cfg.Regions,
+		NumBestEffort: cfg.NumBestEffort,
+		Regions:       cfg.Regions,
+	}, stats.NewRNG(cfg.Seed))
+	c := sys.Fleet
+
+	sys.Sim = simnet.NewShardedSim(simnet.ShardConfig{
+		Regions:   cfg.Regions,
+		Workers:   cfg.Workers,
+		Seed:      cfg.Seed,
+		Lookahead: 4 * time.Millisecond,
+	})
+	sys.Net = simnet.NewShardedNet(sys.Sim)
+	sys.Net.InterRegionOWD = func(ra, rb int) time.Duration {
+		d := ra - rb
+		if d < 0 {
+			d = -d
+		}
+		return time.Duration(d) * 4 * time.Millisecond
+	}
+
+	// Register every node in dense-fleet order so simnet NodeID == fleet id.
+	for i := 0; i < c.NumNodes(); i++ {
+		st := c.LinkState(i)
+		if c.IsDedicated(i) {
+			// Origins model a CDN origin cluster, not a single box.
+			st.UplinkBps = 100e9
+		}
+		sys.Net.Register(int(c.Region[i]), st, nil)
+	}
+
+	// Role split and subscriptions, drawn from a dedicated setup stream.
+	setup := stats.SplitRNG(cfg.Seed, 0xf1ee75ca1e)
+	streamOrigin := make([]simnet.NodeID, cfg.Streams)
+	for s := range streamOrigin {
+		streamOrigin[s] = simnet.NodeID(s % cfg.Regions)
+	}
+	relayStream := make(map[simnet.NodeID]int)          // relay -> subscribed stream
+	relaysBy := make(map[[2]int][]simnet.NodeID)        // (region, stream) -> relays
+	originFan := make([][]simnet.NodeID, cfg.Regions)   // origin region -> targets
+	relayFan := make(map[simnet.NodeID][]simnet.NodeID) // relay -> viewers
+	var viewers []simnet.NodeID
+	for i := cfg.Regions; i < c.NumNodes(); i++ {
+		id := simnet.NodeID(i)
+		if c.UplinkBps[i] >= cfg.RelayMinBps {
+			s := setup.Zipf(cfg.Streams, 1.2)
+			relayStream[id] = s
+			key := [2]int{int(c.Region[i]), s}
+			relaysBy[key] = append(relaysBy[key], id)
+			origin := streamOrigin[s]
+			originFan[int(origin)] = append(originFan[int(origin)], id)
+			sys.NumRelays++
+		} else {
+			viewers = append(viewers, id)
+			sys.NumViewers++
+		}
+	}
+	rr := make(map[[2]int]int) // round-robin cursor per (region, stream)
+	for _, id := range viewers {
+		s := setup.Zipf(cfg.Streams, 1.2)
+		key := [2]int{int(c.Region[id]), s}
+		if pool := relaysBy[key]; len(pool) > 0 {
+			relay := pool[rr[key]%len(pool)]
+			rr[key]++
+			relayFan[relay] = append(relayFan[relay], id)
+		} else {
+			// No relay for this stream in the viewer's region: fall back to
+			// the origin directly (cross-region).
+			origin := streamOrigin[s]
+			originFan[int(origin)] = append(originFan[int(origin)], id)
+		}
+	}
+
+	// Freeze the delivery graph into CSR form.
+	sys.fanStart = make([]int32, c.NumNodes()+1)
+	total := 0
+	for i := 0; i < c.NumNodes(); i++ {
+		sys.fanStart[i] = int32(total)
+		if c.IsDedicated(i) {
+			total += len(originFan[i])
+		} else {
+			total += len(relayFan[simnet.NodeID(i)])
+		}
+	}
+	sys.fanStart[c.NumNodes()] = int32(total)
+	sys.fan = make([]simnet.NodeID, 0, total)
+	for i := 0; i < c.NumNodes(); i++ {
+		if c.IsDedicated(i) {
+			sys.fan = append(sys.fan, originFan[i]...)
+		} else {
+			sys.fan = append(sys.fan, relayFan[simnet.NodeID(i)]...)
+		}
+	}
+
+	// Handlers: one relay handler and one viewer handler per region (shared
+	// func values — no per-node closures).
+	sys.stats = make([]*fsRegion, cfg.Regions)
+	for r := 0; r < cfg.Regions; r++ {
+		sys.stats[r] = &fsRegion{}
+	}
+	for i := cfg.Regions; i < c.NumNodes(); i++ {
+		id := simnet.NodeID(i)
+		if _, isRelay := relayStream[id]; isRelay {
+			sys.Net.SetHandler(id, sys.relayDeliver)
+		} else {
+			sys.Net.SetHandler(id, sys.viewerDeliver)
+		}
+	}
+
+	// Frame pumps: each stream ticks on its origin's region loop.
+	interval := time.Second / time.Duration(cfg.FPS)
+	for s := 0; s < cfg.Streams; s++ {
+		origin := streamOrigin[s]
+		rl := sys.Sim.Region(int(origin))
+		stream := int32(s)
+		var seq int32
+		rl.Every(interval, func() bool {
+			seq++
+			msg := &FrameMsg{Stream: stream, Seq: seq, T0: rl.Now()}
+			sys.fanOut(origin, msg)
+			return true
+		})
+	}
+
+	// Viewer churn: short on/off sessions driven by each viewer's own
+	// region loop and RNG stream, so the process is region-confined.
+	if cfg.ChurnEnabled {
+		for _, id := range viewers {
+			sys.scheduleViewerChurn(id)
+		}
+	}
+	return sys
+}
+
+// fanOut sends msg to every target in src's CSR span. The shared *FrameMsg
+// keeps the loop allocation-free.
+func (sys *FleetScaleSystem) fanOut(src simnet.NodeID, msg *FrameMsg) {
+	lo, hi := sys.fanStart[src], sys.fanStart[src+1]
+	for _, dst := range sys.fan[lo:hi] {
+		sys.Net.Send(src, dst, sys.cfg.FrameBytes, msg)
+	}
+}
+
+// relayDeliver forwards a frame to the relay's viewers, reusing the frame
+// pointer. Runs on the relay's region loop.
+func (sys *FleetScaleSystem) relayDeliver(dst, src simnet.NodeID, msg any) {
+	sys.fanOut(dst, msg.(*FrameMsg))
+}
+
+// viewerDeliver records QoE for one delivered frame. Runs on the viewer's
+// region loop; writes only that region's stats.
+func (sys *FleetScaleSystem) viewerDeliver(dst, src simnet.NodeID, msg any) {
+	m := msg.(*FrameMsg)
+	r := sys.Net.RegionOf(dst)
+	sys.stats[r].observe(sys.Sim.Region(r).Now(), m.T0)
+}
+
+// scheduleViewerChurn drives one viewer's on/off process on its region loop.
+func (sys *FleetScaleSystem) scheduleViewerChurn(id simnet.NodeID) {
+	rl := sys.Net.Home(id)
+	var offline, online func()
+	offline = func() {
+		sys.Net.SetOnline(id, false)
+		rl.After(simnet.Time(rl.RNG().Exponential(float64(sys.cfg.ViewerAway))), online)
+	}
+	online = func() {
+		sys.Net.SetOnline(id, true)
+		rl.After(simnet.Time(rl.RNG().Exponential(float64(sys.cfg.ViewerStay))), offline)
+	}
+	rl.After(simnet.Time(rl.RNG().Exponential(float64(sys.cfg.ViewerStay))), offline)
+}
+
+// Run executes the workload for the given span of virtual time.
+func (sys *FleetScaleSystem) Run(d time.Duration) { sys.Sim.Run(d) }
+
+// FleetScaleReport is the merged, worker-independent run summary.
+type FleetScaleReport struct {
+	Nodes     int
+	Relays    int
+	Viewers   int
+	Sent      uint64
+	Delivered uint64
+	Dropped   uint64
+	// DroppedOffline is the subset of Dropped caused by destination churn
+	// (viewer offline at arrival) rather than link quality.
+	DroppedOffline uint64
+	// ViewerFrames counts frames that reached a viewer (the QoE numerator;
+	// Delivered also counts origin->relay hops).
+	ViewerFrames uint64
+	// DeliveryRatio is delivered / sent across all hops; OnlineRatio
+	// excludes churn losses from the denominator, isolating link quality.
+	DeliveryRatio float64
+	OnlineRatio   float64
+	// TTDp50Ms / TTDp99Ms are time-to-display quantiles over viewer
+	// deliveries, in milliseconds (bucket upper edges).
+	TTDp50Ms float64
+	TTDp99Ms float64
+	// Timeline is viewer deliveries per second of sim time, merged across
+	// regions.
+	Timeline []uint64
+	// Events is the total simulator events executed.
+	Events uint64
+}
+
+// Report merges the per-region state. Call after Run.
+func (sys *FleetScaleSystem) Report() FleetScaleReport {
+	rep := FleetScaleReport{
+		Nodes:   sys.Fleet.NumNodes(),
+		Relays:  sys.NumRelays,
+		Viewers: sys.NumViewers,
+		Sent:    sys.Net.TotalSent(),
+		Dropped: sys.Net.TotalDropped(),
+		Events:  sys.Sim.Processed(),
+	}
+	rep.Delivered = sys.Net.TotalDelivered()
+	for _, n := range sys.Net.DroppedOffline {
+		rep.DroppedOffline += n
+	}
+	if rep.Sent > 0 {
+		rep.DeliveryRatio = float64(rep.Delivered) / float64(rep.Sent)
+	}
+	if online := rep.Sent - rep.DroppedOffline; online > 0 {
+		rep.OnlineRatio = float64(rep.Delivered) / float64(online)
+	}
+	var ttd [ttdBuckets]uint64
+	for _, st := range sys.stats {
+		rep.ViewerFrames += st.delivered
+		for b, n := range st.ttd {
+			ttd[b] += n
+		}
+		for sec, n := range st.timeline {
+			for len(rep.Timeline) <= sec {
+				rep.Timeline = append(rep.Timeline, 0)
+			}
+			rep.Timeline[sec] += n
+		}
+	}
+	rep.TTDp50Ms = ttdQuantile(&ttd, rep.ViewerFrames, 0.50)
+	rep.TTDp99Ms = ttdQuantile(&ttd, rep.ViewerFrames, 0.99)
+	return rep
+}
+
+// ttdQuantile returns the q-quantile's bucket upper edge in milliseconds.
+func ttdQuantile(ttd *[ttdBuckets]uint64, total uint64, q float64) float64 {
+	if total == 0 {
+		return 0
+	}
+	rank := uint64(q * float64(total))
+	if rank >= total {
+		rank = total - 1
+	}
+	var cum uint64
+	for b, n := range ttd {
+		cum += n
+		if cum > rank {
+			// Bucket b spans [2^(b-1), 2^b) x 100 µs.
+			return float64(uint64(1)<<b) * 0.1
+		}
+	}
+	return float64(uint64(1)<<(ttdBuckets-1)) * 0.1
+}

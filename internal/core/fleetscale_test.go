@@ -1,0 +1,71 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+	"time"
+)
+
+// TestFleetScaleWorkerIndependence is the engine-level determinism contract
+// surfaced at the system level: the full merged report — counters, TTD
+// histogram quantiles, and the per-second delivery timeline — must be
+// identical for any shard worker count.
+func TestFleetScaleWorkerIndependence(t *testing.T) {
+	run := func(workers int) FleetScaleReport {
+		sys := NewFleetScale(FleetScaleConfig{
+			Seed:          3,
+			NumBestEffort: 2000,
+			Workers:       workers,
+			ChurnEnabled:  true,
+		})
+		sys.Run(5 * time.Second)
+		return sys.Report()
+	}
+	ref := run(1)
+	if ref.ViewerFrames == 0 {
+		t.Fatal("reference run delivered no viewer frames")
+	}
+	for _, workers := range []int{2, 4} {
+		if got := run(workers); !reflect.DeepEqual(got, ref) {
+			t.Errorf("workers=%d report diverged:\n got %+v\nwant %+v", workers, got, ref)
+		}
+	}
+}
+
+// TestFleetScaleInvariants pins the QoE envelope of the workload: delivery
+// ratio and time-to-display must stay within the calibrated bounds at both
+// the quiet and churning configurations.
+func TestFleetScaleInvariants(t *testing.T) {
+	for _, churn := range []bool{false, true} {
+		sys := NewFleetScale(FleetScaleConfig{
+			Seed:          1,
+			NumBestEffort: 3000,
+			Workers:       2,
+			ChurnEnabled:  churn,
+		})
+		sys.Run(10 * time.Second)
+		rep := sys.Report()
+		minRatio := 0.90
+		if churn {
+			minRatio = 0.87
+		}
+		if rep.DeliveryRatio < minRatio {
+			t.Errorf("churn=%v: delivery ratio %.4f < %.2f", churn, rep.DeliveryRatio, minRatio)
+		}
+		if rep.TTDp50Ms > 120 {
+			t.Errorf("churn=%v: TTD p50 %.1f ms > 120 ms", churn, rep.TTDp50Ms)
+		}
+		if rep.TTDp99Ms > 3300 {
+			t.Errorf("churn=%v: TTD p99 %.1f ms > 3.3 s", churn, rep.TTDp99Ms)
+		}
+		if rep.Relays == 0 || rep.Viewers == 0 {
+			t.Fatalf("churn=%v: degenerate role split: %d relays, %d viewers", churn, rep.Relays, rep.Viewers)
+		}
+		// Every measured second must see deliveries (the pumps never stop).
+		for sec, n := range rep.Timeline {
+			if n == 0 && sec > 0 && sec < len(rep.Timeline)-1 {
+				t.Errorf("churn=%v: timeline second %d saw zero deliveries", churn, sec)
+			}
+		}
+	}
+}

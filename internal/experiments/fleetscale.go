@@ -1,0 +1,111 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/telemetry"
+)
+
+// FleetScale is the paper-scale single-run sweep: one delivery system at
+// 1x / 3x / 10x the configured best-effort fleet size, run on the sharded
+// engine (Scale.Shards workers; 1 = the single-threaded reference). Each
+// cell reports the QoE envelope — delivery ratio, viewer time-to-display
+// quantiles — plus engine volume, with pass/fail verdicts against the
+// calibrated invariants. Every number derives from the merged per-region
+// state, so rendered output is byte-identical for any shard or cell width.
+func FleetScale(sc Scale) *Result {
+	shards := sc.Shards
+	if shards == 0 {
+		shards = Shards()
+	}
+	base := sc.BestEffort
+	if base < 10 {
+		base = 10
+	}
+	sizes := []int{base, 3 * base, 10 * base}
+
+	type cell struct {
+		size int
+		rep  core.FleetScaleReport
+	}
+	cells := RunCells(len(sizes), func(i int) cell {
+		sys := core.NewFleetScale(core.FleetScaleConfig{
+			Seed:          sc.Seed,
+			NumBestEffort: sizes[i],
+			Workers:       shards,
+			ChurnEnabled:  true,
+		})
+		sys.Run(sc.Duration)
+		return cell{size: sizes[i], rep: sys.Report()}
+	})
+
+	res := &Result{ID: "fleet-scale"}
+	tb := &Table{
+		ID: "fleet-scale",
+		// No shard count in the title: rendered output is diffed verbatim
+		// between -shards 1 and -shards 4 by the CI gate.
+		Title: "fleet-scale sweep: QoE envelope vs fleet size",
+		Header: []string{"nodes", "relays", "viewers", "sent", "delivered", "ratio",
+			"online-ratio", "viewer-frames", "ttd-p50-ms", "ttd-p99-ms", "events", "verdict"},
+	}
+	for _, c := range cells {
+		r := c.rep
+		// The verdict judges link quality (churn losses excluded) and the
+		// latency envelope.
+		verdict := "pass"
+		if r.OnlineRatio < 0.85 || r.TTDp50Ms > 150 || r.TTDp99Ms > 3500 || r.ViewerFrames == 0 {
+			verdict = "FAIL"
+		}
+		tb.AddRow(
+			fmt.Sprintf("%d", r.Nodes),
+			fmt.Sprintf("%d", r.Relays),
+			fmt.Sprintf("%d", r.Viewers),
+			fmt.Sprintf("%d", r.Sent),
+			fmt.Sprintf("%d", r.Delivered),
+			fmt.Sprintf("%.4f", r.DeliveryRatio),
+			fmt.Sprintf("%.4f", r.OnlineRatio),
+			fmt.Sprintf("%d", r.ViewerFrames),
+			fmt.Sprintf("%.1f", r.TTDp50Ms),
+			fmt.Sprintf("%.1f", r.TTDp99Ms),
+			fmt.Sprintf("%d", r.Events),
+			verdict,
+		)
+	}
+	res.Tables = append(res.Tables, tb)
+
+	// Delivery-rate timeline of the largest run.
+	big := cells[len(cells)-1]
+	series := &Series{
+		ID:     "fleet-scale-timeline",
+		Title:  fmt.Sprintf("viewer deliveries per second, %d nodes", big.rep.Nodes),
+		XLabel: "sim_s",
+		YLabel: "frames/s",
+	}
+	for sec, n := range big.rep.Timeline {
+		series.Add(float64(sec), float64(n))
+	}
+	res.Series = append(res.Series, series)
+
+	// Telemetry: replay each cell's merged timeline into a registry so the
+	// -telemetry JSONL path (and the serial-vs-sharded CI gate) covers the
+	// sharded engine. The replay reads only the worker-independent report.
+	if sc.Telemetry {
+		for _, c := range cells {
+			reg := telemetry.NewRegistry(fmt.Sprintf("fleet-scale/%d", c.size), sc.Seed)
+			delivered := reg.Counter("fleetscale.viewer_frames")
+			rate := reg.Gauge("fleetscale.frames_per_s")
+			reg.Gauge("fleetscale.delivery_ratio").Set(c.rep.DeliveryRatio)
+			reg.Gauge("fleetscale.ttd_p50_ms").Set(c.rep.TTDp50Ms)
+			reg.Gauge("fleetscale.ttd_p99_ms").Set(c.rep.TTDp99Ms)
+			for sec, n := range c.rep.Timeline {
+				delivered.Add(n)
+				rate.Set(float64(n))
+				reg.Scrape(int64(time.Duration(sec+1) * time.Second))
+			}
+			res.Timelines = append(res.Timelines, reg)
+		}
+	}
+	return res
+}

@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+// fleetScaleTestScale keeps the 1x/3x/10x sweep small enough for CI.
+var fleetScaleTestScale = Scale{BestEffort: 24, Duration: 3 * time.Second, Seed: 1}
+
+// TestFleetScaleShardIdentity is the experiment-level byte-identity gate:
+// rendered tables, series, and telemetry JSONL must match between the
+// single-threaded reference and sharded runs, across seeds.
+func TestFleetScaleShardIdentity(t *testing.T) {
+	for _, seed := range []uint64{1, 2, 3} {
+		sc := fleetScaleTestScale
+		sc.Seed = seed
+		sc.Telemetry = true
+
+		render := func(shards int) (string, []byte) {
+			s := sc
+			s.Shards = shards
+			res := FleetScale(s)
+			var tm bytes.Buffer
+			for _, reg := range res.Timelines {
+				if err := reg.WriteJSONL(&tm); err != nil {
+					t.Fatalf("seed %d shards %d: telemetry: %v", seed, shards, err)
+				}
+			}
+			return res.String(), tm.Bytes()
+		}
+		refTxt, refTM := render(1)
+		if len(refTM) == 0 {
+			t.Fatalf("seed %d: reference run produced no telemetry", seed)
+		}
+		for _, shards := range []int{2, 4} {
+			txt, tm := render(shards)
+			if txt != refTxt {
+				t.Errorf("seed %d: shards=%d rendered output diverged from serial:\n%s\nvs\n%s",
+					seed, shards, txt, refTxt)
+			}
+			if !bytes.Equal(tm, refTM) {
+				t.Errorf("seed %d: shards=%d telemetry JSONL diverged from serial", seed, shards)
+			}
+		}
+	}
+}
+
+// TestFleetScaleVerdicts: the sweep's calibrated invariants hold at test
+// scale — every row must carry a "pass" verdict.
+func TestFleetScaleVerdicts(t *testing.T) {
+	res := FleetScale(fleetScaleTestScale)
+	if len(res.Tables) != 1 || len(res.Tables[0].Rows) != 3 {
+		t.Fatalf("want 1 table with 3 rows, got %+v", res.Tables)
+	}
+	for _, row := range res.Tables[0].Rows {
+		if v := row[len(row)-1]; v != "pass" {
+			t.Errorf("row %v: verdict %q, want pass", row, v)
+		}
+	}
+	if len(res.Series) != 1 || len(res.Series[0].X) == 0 {
+		t.Fatalf("want a non-empty timeline series, got %+v", res.Series)
+	}
+}
+
+// TestSetBudget pins the cells = parallel / shards split that keeps cell
+// fan-out and shard workers from oversubscribing one worker budget.
+func TestSetBudget(t *testing.T) {
+	defer SetBudget(1, 1)
+	cases := []struct{ parallel, shards, wantCells, wantShards int }{
+		{8, 1, 8, 1},
+		{8, 4, 2, 4},
+		{8, 2, 4, 2},
+		{4, 8, 1, 8},
+		{1, 1, 1, 1},
+		{2, 0, 2, 1},
+	}
+	for _, c := range cases {
+		SetBudget(c.parallel, c.shards)
+		if got := Parallelism(); got != c.wantCells {
+			t.Errorf("SetBudget(%d, %d): Parallelism() = %d, want %d", c.parallel, c.shards, got, c.wantCells)
+		}
+		if got := Shards(); got != c.wantShards {
+			t.Errorf("SetBudget(%d, %d): Shards() = %d, want %d", c.parallel, c.shards, got, c.wantShards)
+		}
+	}
+}

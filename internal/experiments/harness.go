@@ -41,6 +41,10 @@ type Scale struct {
 	// support it (ab-baseline; ab-peak always records them); the scraped
 	// registries come back in Result.Timelines in cell order.
 	Telemetry bool
+	// Shards is the shard worker count for experiments running on the
+	// sharded engine (fleet-scale). 0 falls back to the process-wide
+	// SetShards value; output is byte-identical for any setting.
+	Shards int
 }
 
 // Quick is the test/bench scale.
@@ -222,6 +226,7 @@ var Registry = map[string]func(Scale) *Result{
 	"abl-nat":       AblationNATRefinement,
 
 	"ctrl-scale":              CtrlScale,
+	"fleet-scale":             FleetScale,
 	"chaos-obs":               ChaosObs,
 	"chaos-scheduler-outage":  ChaosSchedulerOutage,
 	"chaos-scheduler-slow":    ChaosSchedulerSlow,
@@ -245,6 +250,7 @@ func IDs() []string {
 		"abl-chain", "abl-k", "abl-probe", "abl-explore", "abl-hash", "abl-redundant",
 		"abl-nat",
 		"ctrl-scale",
+		"fleet-scale",
 		"chaos-obs",
 		"chaos-scheduler-outage", "chaos-scheduler-slow", "chaos-region-blackout", "chaos-region-partition",
 		"chaos-churn-storm", "chaos-origin-saturation", "chaos-degradation-wave",

@@ -48,6 +48,48 @@ func Parallelism() int {
 	return 1
 }
 
+// shardWidth is the per-run shard worker count experiments pass to the
+// sharded engine (Scale.Shards defaults to it when unset).
+var shardWidth atomic.Int64
+
+// SetShards sets the shard worker count for engines that support
+// intra-run sharding. n <= 1 selects the single-threaded reference loop.
+func SetShards(n int) {
+	if n < 1 {
+		n = 1
+	}
+	shardWidth.Store(int64(n))
+}
+
+// Shards reports the configured shard width (minimum 1).
+func Shards() int {
+	if n := shardWidth.Load(); n > 1 {
+		return int(n)
+	}
+	return 1
+}
+
+// SetBudget divides one worker budget between the two axes of parallelism:
+// cells fanning across experiments (RunCells) and shard workers inside a
+// single sharded run. With parallel total workers and shards workers per
+// run, at most parallel/shards cells run concurrently, so the process never
+// oversubscribes parallel OS threads with busy event loops. parallel == 0
+// means runtime.NumCPU().
+func SetBudget(parallel, shards int) {
+	SetShards(shards)
+	if shards < 1 {
+		shards = 1
+	}
+	if parallel == 0 {
+		parallel = runtime.NumCPU()
+	}
+	cells := parallel / shards
+	if cells < 1 {
+		cells = 1
+	}
+	SetParallelism(cells)
+}
+
 // RunCells runs n independent experiment cells and returns their outputs in
 // cell order. run(i) must be self-contained: build its own system, touch no
 // state shared with other cells. Under SetParallelism(>1) cells execute on

@@ -1,0 +1,170 @@
+package fleet
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/nat"
+	"repro/internal/simnet"
+	"repro/internal/stats"
+)
+
+// Compact is the struct-of-arrays fleet layout for large populations. The
+// pointer fleet spends ~200 B + an allocation per node and scatters the hot
+// scheduling fields (class, region, capacity, quota, churn rates) across the
+// heap; Compact packs each field into one dense slice indexed by node id, so
+// a 100k-node fleet costs a dozen allocations total and a scan over one
+// attribute touches only that attribute's cache lines.
+//
+// Node ids are dense: [0, NumDedicated) are dedicated, the rest best-effort.
+// The synthesis draw order is shared with New via sampleBestEffort, so for a
+// fixed seed Compact and Fleet describe byte-identical populations (see
+// TestCompactMatchesFleet). Node remains available as a cold view for code
+// that needs one node's full record; hot paths index the slices directly.
+type Compact struct {
+	cfg           Config
+	NumDedicated  int
+	NumBestEffort int
+
+	// Hot per-node attributes, indexed by dense node id.
+	Region       []uint16
+	ISP          []uint16
+	NAT          []nat.Type
+	ConnTyp      []uint8
+	HighQ        []bool
+	Online       []bool
+	Bottleneck   []Bottleneck
+	UplinkBps    []float64
+	SessionQuota []int32
+	Cost         []float64
+	MeanLifespan []time.Duration
+	MeanDowntime []time.Duration
+
+	Traverser *nat.Traverser
+}
+
+// NewCompact synthesizes a fleet in SoA layout. The RNG consumption order
+// matches New exactly: Traverser fork first, then dedicated nodes (no
+// draws), then one sampleBestEffort per best-effort node, then the HighQ
+// decile ranking.
+func NewCompact(cfg Config, rng *stats.RNG) *Compact {
+	cfg.setDefaults()
+	n := cfg.NumDedicated + cfg.NumBestEffort
+	c := &Compact{
+		cfg:           cfg,
+		NumDedicated:  cfg.NumDedicated,
+		NumBestEffort: cfg.NumBestEffort,
+		Region:        make([]uint16, n),
+		ISP:           make([]uint16, n),
+		NAT:           make([]nat.Type, n),
+		ConnTyp:       make([]uint8, n),
+		HighQ:         make([]bool, n),
+		Online:        make([]bool, n),
+		Bottleneck:    make([]Bottleneck, n),
+		UplinkBps:     make([]float64, n),
+		SessionQuota:  make([]int32, n),
+		Cost:          make([]float64, n),
+		MeanLifespan:  make([]time.Duration, n),
+		MeanDowntime:  make([]time.Duration, n),
+		Traverser:     nat.NewTraverser(rng.Fork(), cfg.RefinedNAT),
+	}
+	for i := 0; i < cfg.NumDedicated; i++ {
+		c.Region[i] = uint16(i % cfg.Regions)
+		c.ISP[i] = uint16(i % cfg.ISPs)
+		c.NAT[i] = nat.Public
+		c.HighQ[i] = true
+		c.Online[i] = true
+		c.UplinkBps[i] = 10e9
+		c.SessionQuota[i] = 1 << 20
+		c.Cost[i] = 1.0
+		c.MeanLifespan[i] = 365 * 24 * time.Hour
+	}
+	for i := cfg.NumDedicated; i < n; i++ {
+		s := sampleBestEffort(&cfg, rng)
+		c.Region[i] = uint16(s.Region)
+		c.ISP[i] = uint16(s.ISP)
+		c.NAT[i] = s.NAT
+		c.ConnTyp[i] = uint8(s.ConnTyp)
+		c.Online[i] = true
+		c.Bottleneck[i] = s.Bottleneck
+		c.UplinkBps[i] = s.UplinkBps
+		c.SessionQuota[i] = int32(s.SessionQuota)
+		c.Cost[i] = s.Cost
+		c.MeanLifespan[i] = s.MeanLifespan
+		c.MeanDowntime[i] = s.MeanDowntime
+	}
+	// HighQ decile: same ranked property as Fleet (top 10% of best-effort
+	// nodes by capacity x lifespan, stable order).
+	if cfg.NumBestEffort > 0 {
+		idx := make([]int32, cfg.NumBestEffort)
+		for i := range idx {
+			idx[i] = int32(cfg.NumDedicated + i)
+		}
+		score := func(i int32) float64 { return c.UplinkBps[i] * float64(c.MeanLifespan[i]) }
+		sort.SliceStable(idx, func(a, b int) bool { return score(idx[a]) > score(idx[b]) })
+		top := int(float64(cfg.NumBestEffort) * 0.10) // same arithmetic as TopPercentByQuality
+		if top < 1 {
+			top = 1
+		}
+		for _, i := range idx[:top] {
+			c.HighQ[i] = true
+		}
+	}
+	return c
+}
+
+// NumNodes returns the total node count (dedicated + best-effort).
+func (c *Compact) NumNodes() int { return c.NumDedicated + c.NumBestEffort }
+
+// IsDedicated reports whether dense id i is a dedicated node.
+func (c *Compact) IsDedicated(i int) bool { return i < c.NumDedicated }
+
+// Class returns the node class of dense id i.
+func (c *Compact) Class(i int) NodeClass {
+	if i < c.NumDedicated {
+		return Dedicated
+	}
+	return BestEffort
+}
+
+// Addr maps a dense id to the simnet address the pointer fleet would have
+// assigned, keeping trace output comparable across layouts.
+func (c *Compact) Addr(i int) simnet.Addr {
+	if i < c.NumDedicated {
+		return simnet.Addr(AddrDedicatedBase + i)
+	}
+	return simnet.Addr(AddrBestEffBase + (i - c.NumDedicated))
+}
+
+// Config returns the fleet configuration with defaults applied.
+func (c *Compact) Config() Config { return c.cfg }
+
+// LinkState derives the simnet link state for dense id i, matching the
+// pointer fleet's dedicated/best-effort link models.
+func (c *Compact) LinkState(i int) simnet.LinkState {
+	n := c.View(i)
+	if i < c.NumDedicated {
+		return dedicatedLinkState(n)
+	}
+	return bestEffortLinkState(n)
+}
+
+// View materializes the cold full-record view of dense id i. It allocates
+// one Node; hot paths should index the attribute slices instead.
+func (c *Compact) View(i int) *Node {
+	return &Node{
+		Addr:         c.Addr(i),
+		Class:        c.Class(i),
+		Region:       int(c.Region[i]),
+		ISP:          int(c.ISP[i]),
+		NAT:          c.NAT[i],
+		HighQ:        c.HighQ[i],
+		ConnTyp:      int(c.ConnTyp[i]),
+		UplinkBps:    c.UplinkBps[i],
+		SessionQuota: int(c.SessionQuota[i]),
+		Bottleneck:   c.Bottleneck[i],
+		Cost:         c.Cost[i],
+		MeanLifespan: c.MeanLifespan[i],
+		MeanDowntime: c.MeanDowntime[i],
+	}
+}

@@ -1,0 +1,81 @@
+package fleet
+
+import (
+	"testing"
+
+	"repro/internal/simnet"
+	"repro/internal/stats"
+)
+
+// TestCompactMatchesFleet is the layout-parity contract: for the same seed,
+// NewCompact and New synthesize field-for-field identical populations —
+// including the post-synthesis HighQ decile ranking and the derived link
+// states.
+func TestCompactMatchesFleet(t *testing.T) {
+	for _, size := range []int{1, 7, 100, 3000} {
+		cfg := Config{NumDedicated: 4, NumBestEffort: size, RefinedNAT: true}
+
+		sim := simnet.NewSim()
+		net := simnet.NewNetwork(sim, stats.NewRNG(99))
+		f := New(cfg, stats.NewRNG(42), sim, net)
+		c := NewCompact(cfg, stats.NewRNG(42))
+
+		if got, want := c.NumNodes(), len(f.Dedicated)+len(f.BestEffort); got != want {
+			t.Fatalf("size %d: NumNodes = %d, want %d", size, got, want)
+		}
+		for i := 0; i < c.NumNodes(); i++ {
+			var want *Node
+			if i < cfg.NumDedicated {
+				want = f.Dedicated[i]
+			} else {
+				want = f.BestEffort[i-cfg.NumDedicated]
+			}
+			got := c.View(i)
+			if *got != *want {
+				t.Fatalf("size %d node %d:\n got %+v\nwant %+v", size, i, got, want)
+			}
+			wantLS, ok := net.State(want.Addr)
+			if !ok {
+				t.Fatalf("size %d node %d: no link state registered for %d", size, i, want.Addr)
+			}
+			if gotLS := c.LinkState(i); gotLS != wantLS {
+				t.Fatalf("size %d node %d:\n got link state %+v\nwant %+v", size, i, gotLS, wantLS)
+			}
+		}
+	}
+}
+
+// TestCompactTraverserParity: the Traverser fork happens at the same RNG
+// position in both constructors, so traversal outcomes agree too.
+func TestCompactTraverserParity(t *testing.T) {
+	cfg := Config{NumDedicated: 2, NumBestEffort: 50, RefinedNAT: true}
+	sim := simnet.NewSim()
+	net := simnet.NewNetwork(sim, stats.NewRNG(99))
+	f := New(cfg, stats.NewRNG(7), sim, net)
+	c := NewCompact(cfg, stats.NewRNG(7))
+	for i := 0; i < 200; i++ {
+		a := f.BestEffort[i%len(f.BestEffort)]
+		if got, want := c.Traverser.Connect(a.NAT), f.Traverser.Connect(a.NAT); got != want {
+			t.Fatalf("probe %d: compact traverser %v, fleet traverser %v", i, got, want)
+		}
+	}
+}
+
+// TestCompactAllocs pins the point of the layout: synthesis allocates O(1)
+// slices, not O(n) node objects, and a cold View costs exactly one Node.
+func TestCompactAllocs(t *testing.T) {
+	cfg := Config{NumDedicated: 4, NumBestEffort: 4096}
+	build := testing.AllocsPerRun(3, func() {
+		NewCompact(cfg, stats.NewRNG(1))
+	})
+	// 13 attribute slices + ranking scratch + traverser internals, with
+	// slack for the runtime; far below one allocation per node.
+	if build > 100 {
+		t.Errorf("NewCompact(4100 nodes) allocates %.0f times, want O(1) in node count (<= 100)", build)
+	}
+	c := NewCompact(cfg, stats.NewRNG(1))
+	view := testing.AllocsPerRun(100, func() { _ = c.View(17) })
+	if view > 1 {
+		t.Errorf("View allocates %.1f times, want 1 (the cold Node)", view)
+	}
+}

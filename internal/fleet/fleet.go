@@ -192,7 +192,7 @@ func New(cfg Config, rng *stats.RNG, sim *simnet.Sim, net *simnet.Network) *Flee
 			n.HighQ = true
 		}
 		for _, n := range f.BestEffort {
-			net.Register(n.Addr, bestEffortLinkState(n, rng), nil)
+			net.Register(n.Addr, bestEffortLinkState(n), nil)
 		}
 	}
 	f.onlineBE = len(f.BestEffort) // all nodes start online
@@ -259,49 +259,79 @@ func SampleCapacityBps(rng *stats.RNG) float64 {
 	return mbps * 1e6
 }
 
-func (f *Fleet) synthBestEffort(i int) *Node {
-	capBps := SampleCapacityBps(f.rng)
+// beSample holds one best-effort node's synthesized attributes. It is the
+// shared sampler behind both the pointer fleet and the compact SoA fleet:
+// the draw sequence below is the determinism contract — both layouts consume
+// the RNG in exactly this order, so a seed yields the same population
+// regardless of layout.
+type beSample struct {
+	UplinkBps    float64
+	MeanLifespan time.Duration
+	SessionQuota int
+	Bottleneck   Bottleneck
+	Region       int
+	ISP          int
+	NAT          nat.Type
+	ConnTyp      int
+	Cost         float64
+	MeanDowntime time.Duration
+}
+
+// sampleBestEffort draws one best-effort node from the marginals.
+func sampleBestEffort(cfg *Config, rng *stats.RNG) beSample {
+	var s beSample
+	s.UplinkBps = SampleCapacityBps(rng)
 	// Lifespan: lognormal with median 25.4h (Fig 2c).
-	life := time.Duration(f.rng.LogNormalMedian(float64(f.cfg.LifespanMedian), f.cfg.LifespanSigma))
-	if life < 10*time.Minute {
-		life = 10 * time.Minute
+	s.MeanLifespan = time.Duration(rng.LogNormalMedian(float64(cfg.LifespanMedian), cfg.LifespanSigma))
+	if s.MeanLifespan < 10*time.Minute {
+		s.MeanLifespan = 10 * time.Minute
 	}
 	// Quota-based availability: ~15% of nodes bottleneck on CPU, ~8% on
 	// memory (§8.1: nodes hit CPU/mem limits even at ~10% bandwidth
 	// utilization).
-	bn := BottleneckBandwidth
-	quota := int(capBps / 2.0e6 * 1.2) // sessions at ~2 Mbps each, some headroom
-	if quota < 1 {
-		quota = 1
+	s.Bottleneck = BottleneckBandwidth
+	s.SessionQuota = int(s.UplinkBps / 2.0e6 * 1.2) // sessions at ~2 Mbps each, some headroom
+	if s.SessionQuota < 1 {
+		s.SessionQuota = 1
 	}
-	switch u := f.rng.Float64(); {
+	switch u := rng.Float64(); {
 	case u < 0.15:
-		bn = BottleneckCPU
-		quota = minInt(quota, 2+f.rng.IntN(6))
+		s.Bottleneck = BottleneckCPU
+		s.SessionQuota = minInt(s.SessionQuota, 2+rng.IntN(6))
 	case u < 0.23:
-		bn = BottleneckMemory
-		quota = minInt(quota, 4+f.rng.IntN(8))
+		s.Bottleneck = BottleneckMemory
+		s.SessionQuota = minInt(s.SessionQuota, 4+rng.IntN(8))
 	}
-	n := &Node{
-		Addr:         simnet.Addr(AddrBestEffBase + i),
-		Class:        BestEffort,
-		Region:       f.rng.IntN(f.cfg.Regions),
-		ISP:          f.rng.IntN(f.cfg.ISPs),
-		NAT:          nat.Sample(f.rng),
-		ConnTyp:      f.rng.IntN(3),
-		UplinkBps:    capBps,
-		SessionQuota: quota,
-		Bottleneck:   bn,
-		Cost:         f.rng.Uniform(0.60, 0.80), // 20-40% cheaper
-		MeanLifespan: life,
-		MeanDowntime: time.Duration(f.rng.Exponential(float64(30 * time.Minute))),
+	s.Region = rng.IntN(cfg.Regions)
+	s.ISP = rng.IntN(cfg.ISPs)
+	s.NAT = nat.Sample(rng)
+	s.ConnTyp = rng.IntN(3)
+	s.Cost = rng.Uniform(0.60, 0.80) // 20-40% cheaper
+	s.MeanDowntime = time.Duration(rng.Exponential(float64(30 * time.Minute)))
+	if s.MeanDowntime < time.Minute {
+		s.MeanDowntime = time.Minute
 	}
-	if n.MeanDowntime < time.Minute {
-		n.MeanDowntime = time.Minute
-	}
+	return s
+}
+
+func (f *Fleet) synthBestEffort(i int) *Node {
+	s := sampleBestEffort(&f.cfg, f.rng)
 	// HighQ ("node type" in the scheduler's static features) is assigned
 	// after synthesis by ranking; see New.
-	return n
+	return &Node{
+		Addr:         simnet.Addr(AddrBestEffBase + i),
+		Class:        BestEffort,
+		Region:       s.Region,
+		ISP:          s.ISP,
+		NAT:          s.NAT,
+		ConnTyp:      s.ConnTyp,
+		UplinkBps:    s.UplinkBps,
+		SessionQuota: s.SessionQuota,
+		Bottleneck:   s.Bottleneck,
+		Cost:         s.Cost,
+		MeanLifespan: s.MeanLifespan,
+		MeanDowntime: s.MeanDowntime,
+	}
 }
 
 func dedicatedLinkState(n *Node) simnet.LinkState {
@@ -314,7 +344,7 @@ func dedicatedLinkState(n *Node) simnet.LinkState {
 	}
 }
 
-func bestEffortLinkState(n *Node, rng *stats.RNG) simnet.LinkState {
+func bestEffortLinkState(n *Node) simnet.LinkState {
 	// Weaker nodes degrade more often and more severely; the top tier
 	// (high capacity AND long lifespan — the strawman's "top 1%") is
 	// markedly more stable, though still far from dedicated-grade.

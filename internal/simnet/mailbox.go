@@ -1,0 +1,53 @@
+package simnet
+
+import "sync"
+
+// mailEntry is one cross-shard packet delivery in flight between workers.
+// The ordering key (at, origin, seq) is stamped by the sender: origin is the
+// sender's region and seq the sender's per-region event counter at send
+// time, so the destination loop merges arrivals at exactly the same point
+// of its timeline no matter how regions are packed onto workers.
+type mailEntry struct {
+	at     Time
+	seq    uint64
+	sentAt Time
+	msg    any
+	src    NodeID
+	dst    NodeID
+	size   int32
+	origin uint16
+}
+
+// mailbox is the SPSC channel between one sending worker and one receiving
+// worker. Exactly one goroutine appends (the sender worker) and exactly one
+// drains (the receiver worker), so the mutex is almost never contended; the
+// two buffers are swapped on drain and reused, making the steady-state send
+// path allocation-free once both have grown to the high-water mark.
+type mailbox struct {
+	mu  sync.Mutex
+	in  []mailEntry // sender appends here
+	out []mailEntry // receiver's recycled drain buffer (empty, capacity kept)
+}
+
+// push appends one entry; called only by the owning sender worker.
+func (m *mailbox) push(e mailEntry) {
+	m.mu.Lock()
+	m.in = append(m.in, e)
+	m.mu.Unlock()
+}
+
+// drain swaps the filled buffer out and hands it to the receiver, keeping
+// the previous drain buffer (cleared) as the next fill target. The returned
+// slice is owned by the receiver until its next drain call.
+func (m *mailbox) drain() []mailEntry {
+	m.mu.Lock()
+	if len(m.in) == 0 {
+		m.mu.Unlock()
+		return nil
+	}
+	got := m.in
+	m.in = m.out[:0]
+	m.out = got
+	m.mu.Unlock()
+	return got
+}

@@ -1,0 +1,555 @@
+// Sharded engine: a conservative-lookahead parallel discrete-event simulator
+// that partitions a run into per-region event loops executing concurrently on
+// a bounded set of shard workers.
+//
+// # Determinism contract
+//
+// For a fixed (seed, region count, workload) the run is byte-deterministic
+// for ANY worker count, including 1. Three mechanisms carry the proof:
+//
+//  1. Region-confined state. Every node, timer, and RNG draw belongs to
+//     exactly one region, and a region's events execute on exactly one
+//     worker, in (at, origin, seq) order. Workloads must keep handler state
+//     region-confined; anything crossing regions goes through Send.
+//  2. Split RNG streams. Each region draws from stats.SplitRNG(seed, region)
+//     — a pure function of the run seed, not of worker packing.
+//  3. Keyed merges. A cross-region packet is stamped by its sender with
+//     (arrivalTime, senderRegion, senderSeq) and the destination loop orders
+//     it against local events by exactly that key, so the merge point in the
+//     destination timeline is worker-independent.
+//
+// # Safety (why no event executes too early)
+//
+// Workers publish a monotone clock: a promise that every cross-shard packet
+// they send from now on arrives no earlier than clock + lookahead, where the
+// lookahead is the minimum cross-region one-way delay of the latency matrix.
+// The promise holds because a worker publishes an event's timestamp BEFORE
+// executing it, and a packet sent by an event at time t arrives at >= t +
+// lookahead. A worker may therefore execute events strictly below
+//
+//	safe = min(other workers' clocks) + lookahead
+//
+// after first snapshotting clocks and then draining its mailboxes in that
+// order: any entry enqueued after the snapshot was sent at or above the
+// snapshotted clock and so arrives at >= safe. Strict inequality means a
+// drained arrival can never tie with an already-executed local event, so
+// per-region execution order equals the global (at, origin, seq) sort.
+//
+// With lookahead > 0 the safe bound always eventually rises past the global
+// minimum pending timestamp, so one silent region can never stall the rest
+// for longer than the lookahead window (see TestShardStarvation).
+package simnet
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/stats"
+)
+
+// ShardConfig sizes a sharded simulator.
+type ShardConfig struct {
+	// Regions is the number of per-region event loops (>= 1).
+	Regions int
+	// Workers is the number of OS-thread-backed shard workers the region
+	// loops are packed onto (region r runs on worker r % Workers). Clamped
+	// to [1, Regions]. 1 reproduces the exact same run single-threaded.
+	Workers int
+	// Seed is the run seed; region r draws from stats.SplitRNG(Seed, r).
+	Seed uint64
+	// Lookahead is the conservative horizon increment: a lower bound on the
+	// one-way delay of every cross-region packet. It must be > 0; senders
+	// clamp cross-region delays up to it defensively.
+	Lookahead Time
+}
+
+// shardEntry is one slot of a region loop's 4-ary heap. Ordering key is
+// (at, origin, seq); origin/seq identify the creating region and its event
+// counter, making merged cross-region order worker-independent.
+type shardEntry struct {
+	at     Time
+	seq    uint64
+	idx    int32
+	origin uint16
+	kind   eventKind
+}
+
+func shardLess(a, b shardEntry) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	if a.origin != b.origin {
+		return a.origin < b.origin
+	}
+	return a.seq < b.seq
+}
+
+// shardDeliver is a pooled packet-delivery record in a region loop's slab.
+type shardDeliver struct {
+	msg    any
+	sentAt Time
+	src    NodeID
+	dst    NodeID
+	size   int32
+	next   int32
+	// deferred marks a delivery already re-pushed once by the receiver's
+	// degradation episode, bounding the added latency to one penalty.
+	deferred bool
+}
+
+// Region is one per-region event loop: its own clock, heap, pooled event
+// slabs, seq counter, and RNG stream. All entity logic of the region runs
+// inside its callbacks. Methods must be called from the owning worker (or
+// from the setup goroutine before Run starts).
+type Region struct {
+	sim *ShardedSim
+	id  uint16
+	now Time
+	seq uint64
+
+	heap []shardEntry
+	rng  *stats.RNG
+
+	fnPool   []fnEvent
+	tickPool []tickEvent
+	delPool  []shardDeliver
+	fnFree   int32
+	tickFree int32
+	delFree  int32
+
+	count uint64 // events executed
+}
+
+// ID returns the region index.
+func (r *Region) ID() int { return int(r.id) }
+
+// Now returns the region's current virtual time.
+func (r *Region) Now() Time { return r.now }
+
+// RNG returns the region's deterministic stream (split from the run seed).
+func (r *Region) RNG() *stats.RNG { return r.rng }
+
+// Processed returns the number of events this region has executed. The
+// count is worker-independent for a fixed seed and workload.
+func (r *Region) Processed() uint64 { return r.count }
+
+// nextSeq advances the region's event counter — one tick per event created,
+// local or outbound, so keys are unique and worker-independent.
+func (r *Region) nextSeq() uint64 {
+	r.seq++
+	return r.seq
+}
+
+// push inserts a keyed entry into the region heap.
+func (r *Region) push(e shardEntry) {
+	h := append(r.heap, e)
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) / 4
+		if !shardLess(e, h[p]) {
+			break
+		}
+		h[i] = h[p]
+		i = p
+	}
+	h[i] = e
+	r.heap = h
+}
+
+// popMin removes the minimum entry (caller checked the heap is non-empty).
+func (r *Region) popMin() shardEntry {
+	h := r.heap
+	top := h[0]
+	n := len(h) - 1
+	last := h[n]
+	h = h[:n]
+	r.heap = h
+	if n == 0 {
+		return top
+	}
+	i := 0
+	for {
+		c := 4*i + 1
+		if c >= n {
+			break
+		}
+		m := c
+		end := c + 4
+		if end > n {
+			end = n
+		}
+		for j := c + 1; j < end; j++ {
+			if shardLess(h[j], h[m]) {
+				m = j
+			}
+		}
+		if !shardLess(h[m], last) {
+			break
+		}
+		h[i] = h[m]
+		i = m
+	}
+	h[i] = last
+	return top
+}
+
+// At schedules fn at absolute region time t (clamped to now).
+func (r *Region) At(t Time, fn func()) {
+	if t < r.now {
+		t = r.now
+	}
+	var i int32
+	if i = r.fnFree; i >= 0 {
+		r.fnFree = r.fnPool[i].next
+		r.fnPool[i] = fnEvent{fn: fn, next: -1}
+	} else {
+		r.fnPool = append(r.fnPool, fnEvent{fn: fn, next: -1})
+		i = int32(len(r.fnPool) - 1)
+	}
+	r.push(shardEntry{at: t, origin: r.id, seq: r.nextSeq(), idx: i, kind: evFn})
+}
+
+// After schedules fn d after the region's current time.
+func (r *Region) After(d Time, fn func()) { r.At(r.now+d, fn) }
+
+// Every schedules fn at the given period until it returns false, re-arming
+// the pooled record in place each tick.
+func (r *Region) Every(period Time, fn func() bool) {
+	var i int32
+	if i = r.tickFree; i >= 0 {
+		r.tickFree = r.tickPool[i].next
+		r.tickPool[i] = tickEvent{tick: fn, period: period, next: -1}
+	} else {
+		r.tickPool = append(r.tickPool, tickEvent{tick: fn, period: period, next: -1})
+		i = int32(len(r.tickPool) - 1)
+	}
+	r.push(shardEntry{at: r.now + period, origin: r.id, seq: r.nextSeq(), idx: i, kind: evTick})
+}
+
+// scheduleDeliver pools a delivery record and keys it into the heap. Used
+// for intra-region sends (key stamped locally) and for drained cross-region
+// arrivals (key stamped by the sender).
+func (r *Region) scheduleDeliver(e shardEntry, d shardDeliver) {
+	d.next = -1
+	var i int32
+	if i = r.delFree; i >= 0 {
+		r.delFree = r.delPool[i].next
+		r.delPool[i] = d
+	} else {
+		r.delPool = append(r.delPool, d)
+		i = int32(len(r.delPool) - 1)
+	}
+	e.idx = i
+	e.kind = evDeliver
+	r.push(e)
+}
+
+// exec runs one popped event.
+func (r *Region) exec(e shardEntry, net *ShardedNet) {
+	r.now = e.at
+	r.count++
+	idx := e.idx
+	switch e.kind {
+	case evFn:
+		fn := r.fnPool[idx].fn
+		r.fnPool[idx] = fnEvent{next: r.fnFree}
+		r.fnFree = idx
+		fn()
+	case evDeliver:
+		d := r.delPool[idx]
+		r.delPool[idx] = shardDeliver{next: r.delFree}
+		r.delFree = idx
+		net.deliver(r, d)
+	case evTick:
+		tick, period := r.tickPool[idx].tick, r.tickPool[idx].period
+		if tick() {
+			r.push(shardEntry{at: r.now + period, origin: r.id, seq: r.nextSeq(), idx: idx, kind: evTick})
+		} else {
+			r.tickPool[idx] = tickEvent{next: r.tickFree}
+			r.tickFree = idx
+		}
+	}
+}
+
+// shardWorker owns the regions r with r % Workers == index and runs their
+// loops under the conservative horizon protocol.
+type shardWorker struct {
+	sim     *ShardedSim
+	index   int
+	regions []*Region
+	// clock is the published promise: no future cross-shard packet from
+	// this worker arrives below clock + lookahead.
+	clock atomic.Int64
+	// inbox[j] receives entries from worker j (nil for j == index).
+	inbox []*mailbox
+}
+
+// ShardedSim owns the region loops, the workers, and the horizon protocol.
+type ShardedSim struct {
+	cfg     ShardConfig
+	regions []*Region
+	workers []*shardWorker
+	net     *ShardedNet
+
+	// stamp/waiters/cond implement parking: every clock publish bumps
+	// stamp; a worker that cannot progress waits for a stamp change.
+	stamp   atomic.Uint64
+	waiters atomic.Int32
+	mu      sync.Mutex
+	cond    *sync.Cond
+
+	started bool
+}
+
+// NewShardedSim builds the engine. Lookahead must be positive.
+func NewShardedSim(cfg ShardConfig) *ShardedSim {
+	if cfg.Regions < 1 {
+		cfg.Regions = 1
+	}
+	if cfg.Workers < 1 {
+		cfg.Workers = 1
+	}
+	if cfg.Workers > cfg.Regions {
+		cfg.Workers = cfg.Regions
+	}
+	if cfg.Lookahead <= 0 {
+		panic("simnet: ShardConfig.Lookahead must be > 0")
+	}
+	s := &ShardedSim{cfg: cfg}
+	s.cond = sync.NewCond(&s.mu)
+	for r := 0; r < cfg.Regions; r++ {
+		s.regions = append(s.regions, &Region{
+			sim: s, id: uint16(r),
+			rng:      stats.SplitRNG(cfg.Seed, uint64(r)),
+			fnFree:   -1,
+			tickFree: -1,
+			delFree:  -1,
+		})
+	}
+	for w := 0; w < cfg.Workers; w++ {
+		sw := &shardWorker{sim: s, index: w, inbox: make([]*mailbox, cfg.Workers)}
+		for j := 0; j < cfg.Workers; j++ {
+			if j != w {
+				sw.inbox[j] = &mailbox{}
+			}
+		}
+		s.workers = append(s.workers, sw)
+	}
+	for r, rl := range s.regions {
+		w := s.workers[r%cfg.Workers]
+		w.regions = append(w.regions, rl)
+	}
+	return s
+}
+
+// Config returns the engine configuration after clamping.
+func (s *ShardedSim) Config() ShardConfig { return s.cfg }
+
+// Region returns the r-th region loop handle.
+func (s *ShardedSim) Region(r int) *Region { return s.regions[r] }
+
+// Regions returns the region count.
+func (s *ShardedSim) Regions() int { return s.cfg.Regions }
+
+// Workers returns the worker count after clamping.
+func (s *ShardedSim) Workers() int { return len(s.workers) }
+
+// Processed sums events executed across all regions — worker-independent
+// for a fixed seed and workload.
+func (s *ShardedSim) Processed() uint64 {
+	var n uint64
+	for _, r := range s.regions {
+		n += r.count
+	}
+	return n
+}
+
+// workerOf maps a region id to its owning worker index.
+func (s *ShardedSim) workerOf(region uint16) int { return int(region) % len(s.workers) }
+
+// publish stores a worker's clock promise and pokes any parked worker.
+// Mail entries produced by events below this clock value must already be
+// enqueued (the worker publishes an event's timestamp before executing it,
+// so everything an executed event sent is visible by the time the clock
+// passes it).
+func (w *shardWorker) publish(t Time) {
+	if Time(w.clock.Load()) >= t {
+		return
+	}
+	w.clock.Store(int64(t))
+	s := w.sim
+	s.stamp.Add(1)
+	if s.waiters.Load() > 0 {
+		s.mu.Lock()
+		s.cond.Broadcast()
+		s.mu.Unlock()
+	}
+}
+
+// safeBound snapshots the other workers' clocks and returns the exclusive
+// execution horizon. Callers must snapshot BEFORE draining mailboxes.
+func (w *shardWorker) safeBound() Time {
+	if len(w.sim.workers) == 1 {
+		return maxTime
+	}
+	min := maxTime
+	for j, other := range w.sim.workers {
+		if j == w.index {
+			continue
+		}
+		if c := Time(other.clock.Load()); c < min {
+			min = c
+		}
+	}
+	return min + w.sim.cfg.Lookahead
+}
+
+const maxTime = Time(int64(^uint64(0) >> 1))
+
+// drainMail merges every inbox into the owning region heaps. Entries carry
+// their sender-stamped key, so insertion order is irrelevant.
+func (w *shardWorker) drainMail() {
+	for _, mb := range w.inbox {
+		if mb == nil {
+			continue
+		}
+		got := mb.drain()
+		for i := range got {
+			e := &got[i]
+			rl := w.sim.regions[w.sim.net.region[e.dst]]
+			rl.scheduleDeliver(
+				shardEntry{at: e.at, origin: e.origin, seq: e.seq},
+				shardDeliver{msg: e.msg, sentAt: e.sentAt, src: e.src, dst: e.dst, size: e.size},
+			)
+			e.msg = nil // drop the payload reference from the recycled buffer
+		}
+	}
+}
+
+// nextAt returns the earliest pending timestamp across owned regions.
+func (w *shardWorker) nextAt() Time {
+	min := maxTime
+	for _, rl := range w.regions {
+		if len(rl.heap) > 0 && rl.heap[0].at < min {
+			min = rl.heap[0].at
+		}
+	}
+	return min
+}
+
+// runUntil is one worker's conservative event loop for Run(until).
+func (w *shardWorker) runUntil(until Time) {
+	net := w.sim.net
+	for {
+		// Snapshot clocks FIRST, then drain: any entry enqueued after the
+		// snapshot arrives at or above the resulting safe bound.
+		safe := w.safeBound()
+		w.drainMail()
+		next := w.nextAt()
+
+		if next <= until && next < safe {
+			// Execute the batch of events strictly below the horizon, in
+			// merged key order across this worker's regions: a region may
+			// send to a sibling region on the same worker with any delay
+			// >= 0, so per-region draining could run one region past a
+			// sibling's pending send. Publishing each event's timestamp
+			// before running it is what makes the clock a valid promise.
+			for {
+				var best *Region
+				for _, rl := range w.regions {
+					if len(rl.heap) == 0 {
+						continue
+					}
+					top := rl.heap[0]
+					if top.at >= safe || top.at > until {
+						continue
+					}
+					if best == nil || shardLess(top, best.heap[0]) {
+						best = rl
+					}
+				}
+				if best == nil {
+					break
+				}
+				e := best.popMin()
+				w.publish(e.at)
+				best.exec(e, net)
+			}
+			continue
+		}
+
+		if next > until && safe > until {
+			// No local work at or below the deadline and no cross-shard
+			// packet can arrive at or below it either: this worker is done.
+			w.publish(until)
+			return
+		}
+
+		// Blocked: promise the best lower bound on our next executed event
+		// (local events can't beat next; future arrivals can't beat safe)
+		// and park until any clock moves.
+		promise := next
+		if safe < promise {
+			promise = safe
+		}
+		if promise > until {
+			promise = until
+		}
+		stamp := w.sim.stamp.Load()
+		w.publish(promise)
+		if w.sim.stamp.Load() == stamp {
+			w.sim.park(stamp)
+		}
+	}
+}
+
+// park blocks until the global clock stamp changes. The waiter count is
+// incremented under the lock and the stamp re-checked before sleeping, so a
+// publish between the caller's last check and the wait cannot be missed.
+func (s *ShardedSim) park(stamp uint64) {
+	s.mu.Lock()
+	s.waiters.Add(1)
+	if s.stamp.Load() == stamp {
+		s.cond.Wait()
+	}
+	s.waiters.Add(-1)
+	s.mu.Unlock()
+}
+
+// Run executes all events with timestamps <= until across every region,
+// spawning one goroutine per worker and blocking until all are done. It may
+// be called repeatedly with increasing deadlines; events beyond the
+// deadline stay queued. After Run returns, region state may be inspected
+// from the calling goroutine.
+func (s *ShardedSim) Run(until Time) {
+	if s.net == nil {
+		// An engine without a network can still run pure timer workloads.
+		s.net = NewShardedNet(s)
+	}
+	s.started = true
+	if len(s.workers) == 1 {
+		s.workers[0].runUntil(until)
+		s.finish(until)
+		return
+	}
+	var wg sync.WaitGroup
+	for _, w := range s.workers {
+		wg.Add(1)
+		go func(w *shardWorker) {
+			defer wg.Done()
+			w.runUntil(until)
+		}(w)
+	}
+	wg.Wait()
+	s.finish(until)
+}
+
+// finish advances idle region clocks to the deadline (mirroring the serial
+// engine's Run) so Now() reads uniformly after a quiet tail.
+func (s *ShardedSim) finish(until Time) {
+	for _, r := range s.regions {
+		if r.now < until {
+			r.now = until
+		}
+	}
+}

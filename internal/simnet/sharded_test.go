@@ -1,0 +1,326 @@
+package simnet
+
+import (
+	"fmt"
+	"hash/fnv"
+	"testing"
+	"time"
+)
+
+// buildShardWorkload constructs a deterministic cross-region traffic mix on
+// a fresh engine: per-region senders ticking at staggered periods, each
+// picking destinations from the region RNG stream (mostly local, ~30%
+// cross-region), over links with loss, jitter, queueing, and degradation
+// episodes. Handler state is region-confined: each region appends to its own
+// log, which the digest later folds in region order.
+func buildShardWorkload(seed uint64, regions, workers int) (*ShardedSim, *ShardedNet, [][]string) {
+	sim := NewShardedSim(ShardConfig{
+		Regions:   regions,
+		Workers:   workers,
+		Seed:      seed,
+		Lookahead: 4 * time.Millisecond,
+	})
+	net := NewShardedNet(sim)
+	net.InterRegionOWD = func(ra, rb int) time.Duration {
+		d := ra - rb
+		if d < 0 {
+			d = -d
+		}
+		return time.Duration(d) * 4 * time.Millisecond
+	}
+
+	logs := make([][]string, regions)
+	perRegion := 8
+	var ids [][]NodeID
+	for r := 0; r < regions; r++ {
+		ids = append(ids, nil)
+		for i := 0; i < perRegion; i++ {
+			st := LinkState{
+				UplinkBps: 20e6 + float64(i)*5e6,
+				BaseOWD:   time.Duration(1+i%3) * time.Millisecond,
+				LossRate:  0.01,
+				JitterStd: 500 * time.Microsecond,
+				MaxQueue:  50 * time.Millisecond,
+			}
+			if i%4 == 0 {
+				st.MeanDegradedEvery = 3 * time.Second
+				st.MeanDegradedFor = 300 * time.Millisecond
+				st.DegradedLoss = 0.2
+				st.DegradedExtraOWD = 5 * time.Millisecond
+			}
+			r := r
+			id := net.Register(r, st, func(dst, src NodeID, msg any) {
+				logs[r] = append(logs[r], fmt.Sprintf("%d<-%d:%v@%d", dst, src, msg, sim.Region(r).Now()))
+			})
+			ids[r] = append(ids[r], id)
+		}
+	}
+	for r := 0; r < regions; r++ {
+		rl := sim.Region(r)
+		r := r
+		seqNo := 0
+		rl.Every(time.Duration(5+r)*time.Millisecond, func() bool {
+			rng := rl.RNG()
+			src := ids[r][rng.IntN(perRegion)]
+			dstRegion := r
+			if rng.Bool(0.3) {
+				dstRegion = rng.IntN(regions)
+			}
+			dst := ids[dstRegion][rng.IntN(perRegion)]
+			seqNo++
+			net.Send(src, dst, 1200, fmt.Sprintf("r%d#%d", r, seqNo))
+			if seqNo%40 == 0 {
+				// Exercise churn: knock a node of this region briefly.
+				victim := ids[r][rng.IntN(perRegion)]
+				net.SetOnline(victim, false)
+				rl.After(20*time.Millisecond, func() { net.SetOnline(victim, true) })
+			}
+			return true
+		})
+	}
+	return sim, net, logs
+}
+
+// digestShardRun folds the full observable state of a run — per-region event
+// logs, counters, clocks, and processed counts — into one hash.
+func digestShardRun(sim *ShardedSim, net *ShardedNet, logs [][]string) uint64 {
+	h := fnv.New64a()
+	for r := 0; r < sim.Regions(); r++ {
+		fmt.Fprintf(h, "region %d now=%d processed=%d seq=%d\n",
+			r, sim.Region(r).Now(), sim.Region(r).Processed(), sim.Region(r).seq)
+		fmt.Fprintf(h, "sent=%d delivered=%d dropped=%d bs=%d br=%d\n",
+			net.SentPkts[r], net.Delivered[r], net.Dropped[r], net.BytesSent[r], net.BytesReceived[r])
+		for _, line := range logs[r] {
+			h.Write([]byte(line))
+			h.Write([]byte{'\n'})
+		}
+	}
+	return h.Sum64()
+}
+
+// TestShardedByteIdentity is the determinism contract: for a fixed seed the
+// full observable run state is identical for every worker count, including
+// the single-threaded reference (workers=1).
+func TestShardedByteIdentity(t *testing.T) {
+	const regions = 4
+	for _, seed := range []uint64{1, 2, 3} {
+		var ref uint64
+		var refDelivered uint64
+		for _, workers := range []int{1, 2, 4} {
+			sim, net, logs := buildShardWorkload(seed, regions, workers)
+			sim.Run(5 * time.Second)
+			got := digestShardRun(sim, net, logs)
+			if workers == 1 {
+				ref = got
+				refDelivered = net.TotalDelivered()
+				if refDelivered == 0 {
+					t.Fatalf("seed %d: reference run delivered nothing", seed)
+				}
+				continue
+			}
+			if got != ref {
+				t.Errorf("seed %d workers %d: digest %x != serial reference %x",
+					seed, workers, got, ref)
+			}
+			if d := net.TotalDelivered(); d != refDelivered {
+				t.Errorf("seed %d workers %d: delivered %d != %d", seed, workers, d, refDelivered)
+			}
+		}
+	}
+}
+
+// TestShardedRepeatedRuns checks that Run may be called with increasing
+// deadlines and still match a single long run, at every worker count.
+func TestShardedRepeatedRuns(t *testing.T) {
+	simA, netA, logsA := buildShardWorkload(7, 4, 4)
+	simA.Run(5 * time.Second)
+	want := digestShardRun(simA, netA, logsA)
+
+	simB, netB, logsB := buildShardWorkload(7, 4, 2)
+	for _, until := range []time.Duration{1 * time.Second, 2 * time.Second, 3500 * time.Millisecond, 5 * time.Second} {
+		simB.Run(until)
+	}
+	if got := digestShardRun(simB, netB, logsB); got != want {
+		t.Errorf("chunked runs digest %x != single run %x", got, want)
+	}
+}
+
+// TestShardStarvation: a silent region (no events at all) must not stall
+// global progress — the conservative horizon rises through published idle
+// promises, so the active regions finish the full run.
+func TestShardStarvation(t *testing.T) {
+	sim := NewShardedSim(ShardConfig{Regions: 4, Workers: 4, Seed: 1, Lookahead: 4 * time.Millisecond})
+	net := NewShardedNet(sim)
+	// Regions 1..3 are busy; region 0 is completely silent.
+	var delivered int
+	var ids []NodeID
+	for r := 0; r < 4; r++ {
+		ids = append(ids, net.Register(r, LinkState{UplinkBps: 100e6, BaseOWD: time.Millisecond}, nil))
+	}
+	net.SetHandler(ids[1], func(dst, src NodeID, msg any) { delivered++ })
+	for r := 2; r < 4; r++ {
+		rl := sim.Region(r)
+		src := ids[r]
+		rl.Every(time.Millisecond, func() bool {
+			net.Send(src, ids[1], 100, "ping")
+			return true
+		})
+	}
+	done := make(chan struct{})
+	go func() {
+		sim.Run(2 * time.Second)
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("run stalled: silent region blocked the conservative horizon")
+	}
+	if delivered < 3000 {
+		t.Errorf("delivered %d pings, want ~4000 (2 senders x 2000 ticks minus loss)", delivered)
+	}
+	if now := sim.Region(0).Now(); now != 2*time.Second {
+		t.Errorf("silent region clock = %v, want %v", now, 2*time.Second)
+	}
+}
+
+// TestShardedCrossRegionOrdering pins the merge rule: arrivals from
+// different origins at the same destination execute in (at, origin, seq)
+// order, regardless of which worker hosted the sender.
+func TestShardedCrossRegionOrdering(t *testing.T) {
+	for _, workers := range []int{1, 3} {
+		sim := NewShardedSim(ShardConfig{Regions: 3, Workers: workers, Seed: 1, Lookahead: time.Millisecond})
+		net := NewShardedNet(sim)
+		var order []string
+		var ids []NodeID
+		for r := 0; r < 3; r++ {
+			ids = append(ids, net.Register(r, LinkState{}, nil))
+		}
+		net.SetHandler(ids[0], func(dst, src NodeID, msg any) {
+			order = append(order, msg.(string))
+		})
+		// Both senders emit packets that land at exactly t=1ms (zero link
+		// delay, cross-region clamp to the 1ms lookahead). Ties break by
+		// origin region, then sender seq.
+		sim.Region(2).At(0, func() {
+			net.Send(ids[2], ids[0], 10, "c1")
+			net.Send(ids[2], ids[0], 10, "c2")
+		})
+		sim.Region(1).At(0, func() {
+			net.Send(ids[1], ids[0], 10, "b1")
+		})
+		sim.Run(10 * time.Millisecond)
+		want := "[b1 c1 c2]"
+		if got := fmt.Sprint(order); got != want {
+			t.Errorf("workers=%d: arrival order %v, want %v", workers, got, want)
+		}
+	}
+}
+
+// TestMailboxSteadyStateAllocs: once both swap buffers have grown to the
+// high-water mark, the cross-shard push/drain cycle must not allocate.
+func TestMailboxSteadyStateAllocs(t *testing.T) {
+	mb := &mailbox{}
+	// Warm both buffers past the steady-state batch size.
+	for round := 0; round < 2; round++ {
+		for i := 0; i < 64; i++ {
+			mb.push(mailEntry{at: Time(i)})
+		}
+		mb.drain()
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		for i := 0; i < 64; i++ {
+			mb.push(mailEntry{at: Time(i), seq: uint64(i)})
+		}
+		got := mb.drain()
+		for i := range got {
+			got[i].msg = nil
+		}
+	})
+	if allocs > 0 {
+		t.Errorf("steady-state mailbox cycle allocates %.1f times per 64-packet batch, want 0", allocs)
+	}
+}
+
+// TestShardedSendAllocs bounds the whole cross-shard send hot path: Send on
+// a warmed engine (pools and mailboxes at high-water mark) must not allocate
+// beyond the payload itself.
+func TestShardedSendAllocs(t *testing.T) {
+	sim := NewShardedSim(ShardConfig{Regions: 2, Workers: 2, Seed: 1, Lookahead: time.Millisecond})
+	net := NewShardedNet(sim)
+	a := net.Register(0, LinkState{}, nil)
+	b := net.Register(1, LinkState{}, nil)
+	net.SetHandler(b, func(dst, src NodeID, msg any) {})
+	// Warm: run a burst end to end so heaps, slabs, and both mailbox
+	// buffers reach their high-water marks.
+	w0, w1 := sim.workers[0], sim.workers[1]
+	for round := 0; round < 2; round++ {
+		for i := 0; i < 64; i++ {
+			net.Send(a, b, 100, nil)
+		}
+		w1.drainMail()
+		for len(sim.Region(1).heap) > 0 {
+			e := sim.Region(1).popMin()
+			sim.Region(1).exec(e, net)
+		}
+	}
+	_ = w0
+	allocs := testing.AllocsPerRun(100, func() {
+		for i := 0; i < 64; i++ {
+			net.Send(a, b, 100, nil)
+		}
+		w1.drainMail()
+		for len(sim.Region(1).heap) > 0 {
+			e := sim.Region(1).popMin()
+			sim.Region(1).exec(e, net)
+		}
+	})
+	if allocs > 0 {
+		t.Errorf("steady-state cross-shard send path allocates %.1f times per 64-packet batch, want 0", allocs)
+	}
+}
+
+// TestSerialHeapTrim: after a burst drains, Run must release the heap's
+// backing array instead of pinning the peak for the process lifetime.
+func TestSerialHeapTrim(t *testing.T) {
+	s := NewSim()
+	for i := 0; i < 100_000; i++ {
+		s.At(Time(i)*time.Microsecond, func() {})
+	}
+	if s.HeapCap() < 100_000 {
+		t.Fatalf("heap cap %d, want >= 100000 before draining", s.HeapCap())
+	}
+	s.Run(time.Second)
+	if s.HeapCap() != 0 {
+		t.Errorf("drained heap cap = %d, want 0 (backing array released)", s.HeapCap())
+	}
+	if s.PoolSize() != 0 {
+		t.Errorf("drained pool size = %d, want 0 (slabs released)", s.PoolSize())
+	}
+	// Partial drain: live events far below capacity should reallocate down.
+	s2 := NewSim()
+	for i := 0; i < 100_000; i++ {
+		i := i
+		s2.At(Time(i)*time.Microsecond, func() {
+			if i >= 99_990 {
+				// The last few re-arm far in the future, keeping the heap
+				// non-empty at the deadline.
+				s2.At(time.Hour, func() {})
+			}
+		})
+	}
+	s2.Run(time.Second)
+	if p := s2.Pending(); p == 0 || p > 16 {
+		t.Fatalf("pending = %d, want a small non-zero tail", p)
+	}
+	if c := s2.HeapCap(); c > 4096 {
+		t.Errorf("tail heap cap = %d, want shrunk (<= 4096)", c)
+	}
+	// The engine must still run correctly after trimming.
+	ran := false
+	s2.At(2*time.Hour, func() { ran = true })
+	s2.Run(3 * time.Hour)
+	if !ran {
+		t.Error("post-trim event did not run")
+	}
+}

@@ -1,0 +1,276 @@
+package simnet
+
+import "time"
+
+// NodeID is a dense node index on a ShardedNet. Dense ids index the
+// struct-of-arrays state directly — no map lookups on the packet hot path.
+type NodeID int32
+
+// NodeHandler receives a delivered message on the destination's region loop.
+type NodeHandler func(dst, src NodeID, msg any)
+
+// ShardedNet is the packet layer of the sharded engine. Per-node state is
+// held in parallel slices indexed by NodeID; the static portions (region,
+// link state, handler, fan-out tables) are frozen before Run and may be read
+// from any worker, while the dynamic portions (online flag, uplink
+// occupancy, degradation episodes, counters) are touched only by the owning
+// region's worker.
+//
+// The delay model mirrors the serial Network but splits the draw between
+// the two sides so every random number is attributable to exactly one
+// region stream:
+//
+//   - Sender side (at send, sender-region RNG): static loss of both ends,
+//     the sender's degradation state, uplink serialization + drop-tail
+//     queueing, propagation (both base OWDs + the inter-region matrix), and
+//     jitter from both ends' static JitterStd.
+//   - Receiver side (at arrival, receiver-region RNG): online/churn check,
+//     the receiver's degradation episode (extra loss, and extra OWD applied
+//     by re-scheduling the delivery later on the local loop).
+//
+// Cross-region delays are clamped up to the engine lookahead, which the
+// latency matrix must make a true lower bound for the clamp to be a no-op.
+type ShardedNet struct {
+	sim *ShardedSim
+
+	// Static after Start (read-only from any worker).
+	region  []uint16
+	state   []LinkState
+	handler []NodeHandler
+
+	// InterRegionOWD is the static latency matrix (nil = zero). Must be
+	// set before Run; cross-region entries must be >= the lookahead.
+	InterRegionOWD func(ra, rb int) time.Duration
+
+	// Dynamic, owner-confined (indexed by NodeID).
+	online        []bool
+	lastOffline   []Time
+	uplinkFreeAt  []Time
+	degradedUntil []Time
+	nextEpisode   []Time
+
+	// Per-region counters (owner-confined; read after Run). Deterministic
+	// for a fixed seed and workload at any worker count. DroppedOffline is
+	// the subset of Dropped lost to destination churn rather than link
+	// quality, letting QoE be measured over online targets.
+	SentPkts       []uint64
+	Delivered      []uint64
+	Dropped        []uint64
+	DroppedOffline []uint64
+	BytesSent      []uint64
+	BytesReceived  []uint64
+}
+
+// NewShardedNet attaches a packet layer to the engine.
+func NewShardedNet(sim *ShardedSim) *ShardedNet {
+	n := &ShardedNet{
+		sim:            sim,
+		SentPkts:       make([]uint64, sim.Regions()),
+		Delivered:      make([]uint64, sim.Regions()),
+		Dropped:        make([]uint64, sim.Regions()),
+		DroppedOffline: make([]uint64, sim.Regions()),
+		BytesSent:      make([]uint64, sim.Regions()),
+		BytesReceived:  make([]uint64, sim.Regions()),
+	}
+	sim.net = n
+	return n
+}
+
+// Register adds a node homed in the given region and returns its dense id.
+// Setup-phase only (before the first Run).
+func (n *ShardedNet) Register(region int, st LinkState, h NodeHandler) NodeID {
+	id := NodeID(len(n.region))
+	n.region = append(n.region, uint16(region))
+	n.state = append(n.state, st)
+	n.handler = append(n.handler, h)
+	n.online = append(n.online, true)
+	n.lastOffline = append(n.lastOffline, -1)
+	n.uplinkFreeAt = append(n.uplinkFreeAt, 0)
+	n.degradedUntil = append(n.degradedUntil, 0)
+	n.nextEpisode = append(n.nextEpisode, 0)
+	return id
+}
+
+// SetHandler replaces a node's handler (setup-phase only).
+func (n *ShardedNet) SetHandler(id NodeID, h NodeHandler) { n.handler[id] = h }
+
+// NumNodes returns the registered node count.
+func (n *ShardedNet) NumNodes() int { return len(n.region) }
+
+// RegionOf returns the region a node is homed in (static, any worker).
+func (n *ShardedNet) RegionOf(id NodeID) int { return int(n.region[id]) }
+
+// Home returns the region loop owning a node.
+func (n *ShardedNet) Home(id NodeID) *Region { return n.sim.regions[n.region[id]] }
+
+// Online reports a node's online flag. Owner-worker (or post-Run) only.
+func (n *ShardedNet) Online(id NodeID) bool { return n.online[id] }
+
+// SetOnline flips a node's online flag; must run on the owning worker (or
+// in the setup phase). Going offline stamps the churn epoch: packets sent
+// before the transition are dropped at arrival even if the node is back.
+func (n *ShardedNet) SetOnline(id NodeID, online bool) {
+	if n.online[id] && !online {
+		n.lastOffline[id] = n.Home(id).Now()
+	}
+	n.online[id] = online
+	if online {
+		n.degradedUntil[id] = 0
+		n.nextEpisode[id] = 0
+		n.uplinkFreeAt[id] = n.Home(id).Now()
+	}
+}
+
+// degraded advances a node's episode process at its region's current time,
+// drawing holding times from the region stream. Owner-worker only.
+func (n *ShardedNet) degraded(id NodeID) bool {
+	st := &n.state[id]
+	if st.MeanDegradedEvery == 0 {
+		return false
+	}
+	rl := n.Home(id)
+	now := rl.Now()
+	rng := rl.RNG()
+	if n.nextEpisode[id] == 0 {
+		n.nextEpisode[id] = now + Time(rng.Exponential(float64(st.MeanDegradedEvery)))
+	}
+	for now >= n.nextEpisode[id] {
+		dur := Time(rng.Exponential(float64(st.MeanDegradedFor)))
+		n.degradedUntil[id] = n.nextEpisode[id] + dur
+		n.nextEpisode[id] = n.degradedUntil[id] + Time(rng.Exponential(float64(st.MeanDegradedEvery)))
+	}
+	return now < n.degradedUntil[id]
+}
+
+// Send transmits msg of the given wire size from src to dst. Must run on
+// src's owning worker (inside one of its event callbacks). The sender-side
+// half of the delay model runs immediately; the receiver-side half runs at
+// arrival on dst's owner.
+func (n *ShardedNet) Send(src, dst NodeID, size int, msg any) {
+	srcRegion := int(n.region[src])
+	n.SentPkts[srcRegion]++
+	if !n.online[src] {
+		n.Dropped[srcRegion]++
+		n.DroppedOffline[srcRegion]++
+		return
+	}
+	rl := n.sim.regions[srcRegion]
+	now := rl.Now()
+	rng := rl.RNG()
+	ss := &n.state[src]
+	ds := &n.state[dst]
+
+	// Static loss of both ends plus the sender's dynamic degradation. The
+	// receiver's degradation loss is drawn at arrival by its own region.
+	loss := ss.LossRate + ds.LossRate
+	if n.degraded(src) {
+		loss += ss.DegradedLoss
+	}
+	if rng.Bool(loss) {
+		n.Dropped[srcRegion]++
+		return
+	}
+
+	// Serialization + drop-tail queueing on the sender's uplink.
+	var ser time.Duration
+	if ss.UplinkBps > 0 {
+		ser = time.Duration(float64(size*8) / ss.UplinkBps * float64(time.Second))
+	}
+	start := now
+	if n.uplinkFreeAt[src] > start {
+		start = n.uplinkFreeAt[src]
+	}
+	queueing := start - now
+	if ss.MaxQueue > 0 && queueing > ss.MaxQueue {
+		n.Dropped[srcRegion]++
+		return
+	}
+	n.uplinkFreeAt[src] = start + ser
+
+	prop := ss.BaseOWD + ds.BaseOWD
+	dstRegion := int(n.region[dst])
+	if n.InterRegionOWD != nil && srcRegion != dstRegion {
+		prop += n.InterRegionOWD(srcRegion, dstRegion)
+	}
+
+	var jitter time.Duration
+	if js := ss.JitterStd + ds.JitterStd; js > 0 {
+		j := rng.Normal(0, float64(js))
+		if j < 0 {
+			j = -j / 4
+		}
+		jitter = time.Duration(j)
+	}
+	if now < n.degradedUntil[src] {
+		jitter += ss.DegradedExtraOWD
+	}
+
+	delay := queueing + ser + prop + jitter
+	if srcRegion != dstRegion && delay < n.sim.cfg.Lookahead {
+		// The latency matrix is supposed to make this a no-op; the clamp
+		// keeps the conservative horizon sound regardless.
+		delay = n.sim.cfg.Lookahead
+	}
+	n.BytesSent[srcRegion] += uint64(size)
+
+	at := now + delay
+	e := shardEntry{at: at, origin: rl.id, seq: rl.nextSeq()}
+	d := shardDeliver{msg: msg, sentAt: now, src: src, dst: dst, size: int32(size)}
+	dstWorker := n.sim.workerOf(uint16(dstRegion))
+	if srcWorker := n.sim.workerOf(rl.id); srcWorker == dstWorker {
+		// Same worker (same or sibling region): straight into the
+		// destination heap with the sender-stamped key.
+		n.sim.regions[dstRegion].scheduleDeliver(e, d)
+		return
+	}
+	n.sim.workers[dstWorker].inbox[n.sim.workerOf(rl.id)].push(mailEntry{
+		at: at, seq: e.seq, sentAt: now, msg: msg,
+		src: src, dst: dst, size: int32(size), origin: e.origin,
+	})
+}
+
+// deliver completes a Send on the destination's region loop: churn check,
+// then the receiver-side half of the delay model.
+func (n *ShardedNet) deliver(rl *Region, d shardDeliver) {
+	dst := d.dst
+	dstRegion := int(rl.id)
+	if !n.online[dst] || n.lastOffline[dst] >= d.sentAt || n.handler[dst] == nil {
+		n.Dropped[dstRegion]++
+		n.DroppedOffline[dstRegion]++
+		return
+	}
+	if n.degraded(dst) {
+		st := &n.state[dst]
+		if rl.RNG().Bool(st.DegradedLoss) {
+			n.Dropped[dstRegion]++
+			return
+		}
+		if st.DegradedExtraOWD > 0 && !d.deferred {
+			// The episode inflates the tail of the path: push the delivery
+			// out by the episode penalty, at most once per packet.
+			d.deferred = true
+			rl.scheduleDeliver(shardEntry{at: rl.Now() + st.DegradedExtraOWD, origin: rl.id, seq: rl.nextSeq()}, d)
+			return
+		}
+	}
+	n.Delivered[dstRegion]++
+	n.BytesReceived[dstRegion] += uint64(d.size)
+	n.handler[dst](dst, d.src, d.msg)
+}
+
+// TotalDelivered sums the per-region delivered counters (post-Run).
+func (n *ShardedNet) TotalDelivered() uint64 { return sumU64(n.Delivered) }
+
+// TotalDropped sums the per-region dropped counters (post-Run).
+func (n *ShardedNet) TotalDropped() uint64 { return sumU64(n.Dropped) }
+
+// TotalSent sums the per-region send-attempt counters (post-Run).
+func (n *ShardedNet) TotalSent() uint64 { return sumU64(n.SentPkts) }
+
+func sumU64(xs []uint64) uint64 {
+	var s uint64
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}

@@ -267,7 +267,51 @@ func (s *Sim) Run(until Time) {
 	if s.now < until {
 		s.now = until
 	}
+	s.trim()
 }
+
+// trimThreshold is the heap capacity above which Run considers releasing
+// the backing array between phases. Below it the waste is at most ~96 KiB
+// and not worth the copy.
+const trimThreshold = 4096
+
+// trim releases event storage whose high-water mark dwarfs the live
+// population. popMin only reslices, so a burst (e.g. the evening peak of a
+// 100k-node fleet) would otherwise pin its peak heap and delivery slab for
+// the rest of the process. Run calls it at its deadline — a safe point: no
+// event is mid-execution, so free-list links and heap entries are the only
+// live references into the slabs.
+func (s *Sim) trim() {
+	if len(s.heap) == 0 {
+		// Fully drained: drop everything, including the slabs (every slot is
+		// on a free list; the lists rebuild as events are scheduled).
+		if cap(s.heap) > trimThreshold {
+			s.heap = nil
+		}
+		if cap(s.fnPool) > trimThreshold {
+			s.fnPool, s.fnFree = nil, -1
+		}
+		if cap(s.delPool) > trimThreshold {
+			s.delPool, s.delFree = nil, -1
+		}
+		if cap(s.tickPool) > trimThreshold {
+			s.tickPool, s.tickFree = nil, -1
+		}
+		return
+	}
+	// Events remain queued past the deadline: the slabs stay (live slots are
+	// scattered), but the heap can shrink to its live size when the burst is
+	// over (occupancy below 1/8 of capacity).
+	if cap(s.heap) > trimThreshold && len(s.heap) < cap(s.heap)/8 {
+		h := make([]heapEntry, len(s.heap))
+		copy(h, s.heap)
+		s.heap = h
+	}
+}
+
+// HeapCap returns the capacity of the heap's backing array — the retained
+// footprint trim manages. Exposed for tests.
+func (s *Sim) HeapCap() int { return cap(s.heap) }
 
 // Processed returns the total number of events executed.
 func (s *Sim) Processed() uint64 { return s.count }

@@ -29,6 +29,22 @@ func (g *RNG) Fork() *RNG {
 	return &RNG{r: rand.New(rand.NewPCG(g.r.Uint64(), g.r.Uint64()))}
 }
 
+// SplitRNG derives the stream-th member of a family of independent streams
+// from a base seed. Unlike Fork, the result is a pure function of
+// (seed, stream) — it does not depend on any parent RNG's draw position —
+// which is what sharded engines need: each region's stream is identical no
+// matter how regions are packed onto workers or in what order loops are
+// constructed. The mixing is splitmix64 over a golden-ratio stride.
+func SplitRNG(seed, stream uint64) *RNG {
+	z := seed + 0x9e3779b97f4a7c15*(stream+1)
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return NewRNG(z)
+}
+
 // Float64 returns a uniform value in [0,1).
 func (g *RNG) Float64() float64 { return g.r.Float64() }
 
