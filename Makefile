@@ -3,10 +3,14 @@
 
 GO ?= go
 
-.PHONY: tier1 build test vet race bench bench-json benchcmp chaos ci fmt-check determinism telemetry alerting ctrlplane sharded
+.PHONY: tier1 build test vet race bench bench-json bench-gate benchcmp chaos ci fmt-check determinism telemetry alerting ctrlplane sharded
 
-# Next BENCH_*.json index; bump per PR so the trajectory accumulates.
-BENCH_N ?= 4
+# Perf-trajectory numbering: the latest checked-in BENCH_*.json is the
+# regression baseline, and bench-json writes the next index so the
+# trajectory accumulates one document per PR. Override with BENCH_N=… to
+# regenerate a specific document.
+BENCH_LATEST := $(shell ls BENCH_*.json 2>/dev/null | sed -n 's/^BENCH_\([0-9][0-9]*\)\.json$$/\1/p' | sort -n | tail -1)
+BENCH_N ?= $(if $(BENCH_LATEST),$(shell expr $(BENCH_LATEST) + 1),1)
 
 tier1: build test
 
@@ -33,6 +37,15 @@ bench-json:
 		| $(GO) run ./cmd/benchjson -out BENCH_$(BENCH_N).json \
 			$(if $(wildcard BENCH_$(shell expr $(BENCH_N) - 1).json),-baseline BENCH_$(shell expr $(BENCH_N) - 1).json)
 
+# The perf-regression gate: run every benchmark once and fail if allocs/op
+# (tight tolerance — allocation counts are deterministic) or ns/op (loose
+# tolerance — wall time is noisy) regressed against the latest checked-in
+# BENCH_*.json document.
+bench-gate:
+	@test -n "$(BENCH_LATEST)" || { echo "bench-gate: no BENCH_*.json baseline found" >&2; exit 1; }
+	$(GO) test -bench . -benchtime 1x -benchmem -run '^$$' . \
+		| $(GO) run ./cmd/benchjson -gate -baseline BENCH_$(BENCH_LATEST).json
+
 # Repeated micro-bench runs in benchstat-comparable format; redirect to a
 # file and compare two with `benchstat old.txt new.txt`.
 benchcmp:
@@ -44,80 +57,45 @@ chaos:
 
 # Everything .github/workflows/ci.yml runs, locally: the tier1 gate,
 # formatting, vet, the race detector, the serial-vs-parallel trace,
-# telemetry, alerting, and control-plane determinism gates, and a
-# one-iteration bench smoke.
-ci: tier1 fmt-check vet race determinism telemetry alerting ctrlplane sharded
-	$(MAKE) bench > /dev/null
+# telemetry, alerting, and control-plane determinism gates, and the
+# benchmark regression gate.
+ci: tier1 fmt-check vet race determinism telemetry alerting ctrlplane sharded bench-gate
 
 fmt-check:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
 		echo "files need gofmt:" >&2; echo "$$out" >&2; exit 1; fi
 
-# The CI determinism gate: same seed serial vs -parallel 4 must render the
-# same tables and write byte-identical frame-lifecycle traces. Only the
-# `-- ` status lines (wall-clock, trace path) may differ.
+# Serial-vs-parallel byte-identity gates. The shared check lives in
+# scripts/determinism.sh (also used by CI): same seed, serial and parallel
+# runs must render the same tables and write byte-identical JSONL; only the
+# `-- ` status lines may differ.
+
+# ab-baseline with the frame-lifecycle trace captured.
 determinism:
-	@tmp="$$(mktemp -d)"; trap 'rm -rf "$$tmp"' EXIT; \
-	$(GO) run ./cmd/rlive-sim -exp ab-baseline -seed 7 -trace "$$tmp/a.jsonl" > "$$tmp/a.txt" && \
-	$(GO) run ./cmd/rlive-sim -exp ab-baseline -seed 7 -parallel 4 -trace "$$tmp/b.jsonl" > "$$tmp/b.txt" && \
-	cmp "$$tmp/a.jsonl" "$$tmp/b.jsonl" && \
-	grep -v '^-- ' "$$tmp/a.txt" > "$$tmp/a.clean" && \
-	grep -v '^-- ' "$$tmp/b.txt" > "$$tmp/b.clean" && \
-	diff -u "$$tmp/a.clean" "$$tmp/b.clean" && \
-	echo "determinism gate: OK"
+	@scripts/determinism.sh ab-baseline 7 -trace
 
-# The telemetry determinism gate: the ab-peak instrument timelines must be
-# byte-identical between a serial and a -parallel 4 run of the same seed.
+# ab-peak with the instrument timelines (every scrape of every
+# counter/gauge/histogram) captured.
 telemetry:
-	@tmp="$$(mktemp -d)"; trap 'rm -rf "$$tmp"' EXIT; \
-	$(GO) run ./cmd/rlive-sim -exp ab-peak -seed 7 -telemetry "$$tmp/a.jsonl" > "$$tmp/a.txt" && \
-	$(GO) run ./cmd/rlive-sim -exp ab-peak -seed 7 -parallel 4 -telemetry "$$tmp/b.jsonl" > "$$tmp/b.txt" && \
-	cmp "$$tmp/a.jsonl" "$$tmp/b.jsonl" && \
-	grep -v '^-- ' "$$tmp/a.txt" > "$$tmp/a.clean" && \
-	grep -v '^-- ' "$$tmp/b.txt" > "$$tmp/b.clean" && \
-	diff -u "$$tmp/a.clean" "$$tmp/b.clean" && \
-	echo "telemetry gate: OK"
+	@scripts/determinism.sh ab-peak 7 -telemetry
 
-# The alerting determinism gate: the chaos-obs incident logs and detection
-# scorecards must be byte-identical between a serial and a -parallel 4 run
-# of the default seed (the seed the detection acceptance is pinned to).
+# chaos-obs incident logs and detection scorecards at the seed the
+# detection acceptance (recall 1.0, zero warmup false alarms) is pinned to.
 alerting:
-	@tmp="$$(mktemp -d)"; trap 'rm -rf "$$tmp"' EXIT; \
-	$(GO) run ./cmd/rlive-sim -exp chaos-obs -seed 1 -alerts "$$tmp/a.jsonl" > "$$tmp/a.txt" && \
-	$(GO) run ./cmd/rlive-sim -exp chaos-obs -seed 1 -parallel 4 -alerts "$$tmp/b.jsonl" > "$$tmp/b.txt" && \
-	cmp "$$tmp/a.jsonl" "$$tmp/b.jsonl" && \
-	grep -v '^-- ' "$$tmp/a.txt" > "$$tmp/a.clean" && \
-	grep -v '^-- ' "$$tmp/b.txt" > "$$tmp/b.clean" && \
-	diff -u "$$tmp/a.clean" "$$tmp/b.clean" && \
-	echo "alerting gate: OK"
+	@scripts/determinism.sh chaos-obs 1 -alerts
 
 # The sharded-engine gate: focused byte-identity and parity tests for the
 # per-region event loops, mailboxes, and compact fleet, then the fleet-scale
-# sweep single-threaded vs 4 shard workers — rendered tables (QoE verdicts,
-# delivery timeline) and the telemetry JSONL must be byte-identical.
+# sweep single-threaded vs 4 shard workers.
 sharded:
 	@$(GO) test ./internal/simnet/ ./internal/fleet/ ./internal/core/ ./internal/experiments/ \
 		-run 'Test(Sharded|Shard|Mailbox|SerialHeapTrim|Compact|FleetScale|SetBudget)' -count 1
-	@tmp="$$(mktemp -d)"; trap 'rm -rf "$$tmp"' EXIT; \
-	$(GO) run ./cmd/rlive-sim -exp fleet-scale -seed 1 -telemetry "$$tmp/a.jsonl" > "$$tmp/a.txt" && \
-	$(GO) run ./cmd/rlive-sim -exp fleet-scale -seed 1 -shards 4 -parallel 4 -telemetry "$$tmp/b.jsonl" > "$$tmp/b.txt" && \
-	cmp "$$tmp/a.jsonl" "$$tmp/b.jsonl" && \
-	grep -v '^-- ' "$$tmp/a.txt" > "$$tmp/a.clean" && \
-	grep -v '^-- ' "$$tmp/b.txt" > "$$tmp/b.clean" && \
-	diff -u "$$tmp/a.clean" "$$tmp/b.clean" && \
-	echo "sharded gate: OK"
+	@scripts/determinism.sh fleet-scale 1 -telemetry -shards 4
 
 # The control-plane gate: focused unit + integration tests for the sharded
 # scheduler tier and LKG autonomy, then the ctrl-scale drill serial vs
-# -parallel 4 — rendered tables (message-rate flatness, invariant verdicts)
-# and the snapshot/gossip event-log JSONL must be byte-identical.
+# -parallel 4 (message-rate flatness, invariant verdicts, snapshot/gossip
+# event log).
 ctrlplane:
 	@$(GO) test ./internal/ctrlplane/ ./internal/core/ -run 'Test.*(Gossip|Shard|LKG|Push|CtrlWire|ControlPlane|DataPlane)' -count 1
-	@tmp="$$(mktemp -d)"; trap 'rm -rf "$$tmp"' EXIT; \
-	$(GO) run ./cmd/rlive-sim -exp ctrl-scale -seed 1 -ctrl "$$tmp/a.jsonl" > "$$tmp/a.txt" && \
-	$(GO) run ./cmd/rlive-sim -exp ctrl-scale -seed 1 -parallel 4 -ctrl "$$tmp/b.jsonl" > "$$tmp/b.txt" && \
-	cmp "$$tmp/a.jsonl" "$$tmp/b.jsonl" && \
-	grep -v '^-- ' "$$tmp/a.txt" > "$$tmp/a.clean" && \
-	grep -v '^-- ' "$$tmp/b.txt" > "$$tmp/b.clean" && \
-	diff -u "$$tmp/a.clean" "$$tmp/b.clean" && \
-	echo "ctrlplane gate: OK"
+	@scripts/determinism.sh ctrl-scale 1 -ctrl

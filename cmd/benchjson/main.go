@@ -7,9 +7,17 @@
 //
 //	go test -bench . -benchtime 1x -benchmem -run '^$' . | benchjson -out BENCH_1.json
 //	benchjson -out BENCH_2.json -baseline BENCH_1.json < bench.txt
+//	go test -bench . -benchtime 1x -benchmem -run '^$' . | benchjson -gate -baseline BENCH_2.json
 //
 // With -baseline, each benchmark also records the prior document's numbers
 // and the ns/op delta, making regressions visible in the diff itself.
+//
+// With -gate, nothing is written: the current run is compared against the
+// baseline document and the process exits nonzero if any benchmark's
+// allocs/op or ns/op regressed beyond tolerance, or a baseline benchmark
+// disappeared. This is the CI perf-regression gate — allocations are the
+// primary signal (deterministic run to run), wall time the backstop (noisy
+// on shared runners, hence the loose default tolerance).
 package main
 
 import (
@@ -17,6 +25,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"strconv"
@@ -52,19 +61,43 @@ func main() {
 		out      = flag.String("out", "", "output path (default stdout)")
 		note     = flag.String("note", "", "free-form note recorded in the document")
 		baseline = flag.String("baseline", "", "prior BENCH_*.json to diff against")
+		gateMode = flag.Bool("gate", false, "compare stdin against -baseline and exit nonzero on regression")
+		allocTol = flag.Float64("alloc-tol", 0.10, "allowed fractional allocs/op growth in -gate mode")
+		nsTol    = flag.Float64("ns-tol", 1.5, "allowed fractional ns/op growth in -gate mode")
 	)
 	flag.Parse()
 
-	prior := map[string]Bench{}
-	if *baseline != "" {
-		buf, err := os.ReadFile(*baseline)
+	if *gateMode {
+		if *baseline == "" {
+			fmt.Fprintln(os.Stderr, "benchjson: -gate requires -baseline")
+			os.Exit(2)
+		}
+		base, err := readDoc(*baseline)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "benchjson: read baseline: %v\n", err)
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(2)
+		}
+		cur, err := parseBenchOutput(os.Stdin)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: read stdin: %v\n", err)
+			os.Exit(2)
+		}
+		violations := gate(base.Benchmarks, cur, *allocTol, *nsTol)
+		if len(violations) > 0 {
+			for _, v := range violations {
+				fmt.Fprintf(os.Stderr, "benchjson: GATE FAIL: %s\n", v)
+			}
 			os.Exit(1)
 		}
-		var d Doc
-		if err := json.Unmarshal(buf, &d); err != nil {
-			fmt.Fprintf(os.Stderr, "benchjson: parse baseline: %v\n", err)
+		fmt.Fprintf(os.Stderr, "benchjson: gate OK (%d benchmarks vs %s)\n", len(cur), *baseline)
+		return
+	}
+
+	prior := map[string]Bench{}
+	if *baseline != "" {
+		d, err := readDoc(*baseline)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 			os.Exit(1)
 		}
 		for _, b := range d.Benchmarks {
@@ -78,13 +111,12 @@ func main() {
 		GOMAXPROCS:  runtime.GOMAXPROCS(0),
 		Note:        *note,
 	}
-	sc := bufio.NewScanner(os.Stdin)
-	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
-	for sc.Scan() {
-		b, ok := parseLine(sc.Text())
-		if !ok {
-			continue
-		}
+	benches, err := parseBenchOutput(os.Stdin)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: read stdin: %v\n", err)
+		os.Exit(1)
+	}
+	for _, b := range benches {
 		if p, hit := prior[b.Name]; hit {
 			b.BaselineNsPerOp = p.NsPerOp
 			b.BaselineAllocsPerOp = p.AllocsPerOp
@@ -93,10 +125,6 @@ func main() {
 			}
 		}
 		doc.Benchmarks = append(doc.Benchmarks, b)
-	}
-	if err := sc.Err(); err != nil {
-		fmt.Fprintf(os.Stderr, "benchjson: read stdin: %v\n", err)
-		os.Exit(1)
 	}
 	if len(doc.Benchmarks) == 0 {
 		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines found on stdin")
@@ -118,6 +146,77 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(doc.Benchmarks), *out)
+}
+
+// readDoc loads a BENCH_*.json document.
+func readDoc(path string) (Doc, error) {
+	var d Doc
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return d, fmt.Errorf("read baseline: %w", err)
+	}
+	if err := json.Unmarshal(buf, &d); err != nil {
+		return d, fmt.Errorf("parse baseline %s: %w", path, err)
+	}
+	return d, nil
+}
+
+// parseBenchOutput reads `go test -bench` text and returns the parsed
+// benchmark results in input order.
+func parseBenchOutput(r io.Reader) ([]Bench, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	var out []Bench
+	for sc.Scan() {
+		if b, ok := parseLine(sc.Text()); ok {
+			out = append(out, b)
+		}
+	}
+	return out, sc.Err()
+}
+
+// gate compares the current run against a baseline and returns one message
+// per violation (empty means pass). Rules:
+//
+//   - A baseline benchmark missing from the current run is a violation:
+//     silently dropping a benchmark is how regressions hide.
+//   - allocs/op may grow to base*(1+allocTol)+8. The +8 headroom keeps
+//     near-zero baselines (a pooled path at 3 allocs/op) from tripping on
+//     one incidental allocation while staying far below any real regression.
+//   - ns/op may grow to base*(1+nsTol). Wall time of single-iteration
+//     benchmarks varies ~2x with runner load, so this is a backstop against
+//     order-of-magnitude slowdowns, not a precision gate — allocations are
+//     the precise signal.
+//
+// Benchmarks present only in the current run pass (new benchmarks are
+// gated once they land in the next baseline document).
+func gate(baseline, current []Bench, allocTol, nsTol float64) []string {
+	cur := make(map[string]Bench, len(current))
+	for _, b := range current {
+		cur[b.Name] = b
+	}
+	var violations []string
+	for _, base := range baseline {
+		b, ok := cur[base.Name]
+		if !ok {
+			violations = append(violations,
+				fmt.Sprintf("%s: present in baseline but missing from current run", base.Name))
+			continue
+		}
+		if allocCeil := base.AllocsPerOp*(1+allocTol) + 8; b.AllocsPerOp > allocCeil {
+			violations = append(violations,
+				fmt.Sprintf("%s: allocs/op %.0f exceeds ceiling %.0f (baseline %.0f, tol %.0f%%)",
+					base.Name, b.AllocsPerOp, allocCeil, base.AllocsPerOp, allocTol*100))
+		}
+		if base.NsPerOp > 0 {
+			if nsCeil := base.NsPerOp * (1 + nsTol); b.NsPerOp > nsCeil {
+				violations = append(violations,
+					fmt.Sprintf("%s: ns/op %.0f exceeds ceiling %.0f (baseline %.0f, tol %.0f%%)",
+						base.Name, b.NsPerOp, nsCeil, base.NsPerOp, nsTol*100))
+			}
+		}
+	}
+	return violations
 }
 
 // parseLine parses one `go test -bench` result line, e.g.

@@ -1,0 +1,109 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleBenchOutput = `goos: linux
+goarch: amd64
+pkg: repro
+BenchmarkABBaseline	       1	599311584 ns/op	231060816 B/op	 1810125 allocs/op
+BenchmarkABBaselineTraced-8	       1	610000000 ns/op	232000000 B/op	 1810919 allocs/op
+BenchmarkChaosSchedulerOutage	       1	120000000 ns/op	 50000000 B/op	  400000 allocs/op
+PASS
+ok  	repro	1.401s
+`
+
+func TestParseBenchOutput(t *testing.T) {
+	benches, err := parseBenchOutput(strings.NewReader(sampleBenchOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(benches) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(benches))
+	}
+	if benches[0].Name != "BenchmarkABBaseline" || benches[0].AllocsPerOp != 1810125 {
+		t.Fatalf("bench 0 = %+v", benches[0])
+	}
+	// GOMAXPROCS suffix stripped.
+	if benches[1].Name != "BenchmarkABBaselineTraced" {
+		t.Fatalf("bench 1 name = %q, want suffix-stripped", benches[1].Name)
+	}
+}
+
+func TestGatePassesOnIdenticalRun(t *testing.T) {
+	benches, _ := parseBenchOutput(strings.NewReader(sampleBenchOutput))
+	if v := gate(benches, benches, 0.10, 0.75); len(v) != 0 {
+		t.Fatalf("identical run should pass, got violations: %v", v)
+	}
+}
+
+func TestGatePassesWithinTolerance(t *testing.T) {
+	base := []Bench{{Name: "BenchmarkX", NsPerOp: 1000, AllocsPerOp: 100}}
+	cur := []Bench{{Name: "BenchmarkX", NsPerOp: 1500, AllocsPerOp: 109}}
+	if v := gate(base, cur, 0.10, 0.75); len(v) != 0 {
+		t.Fatalf("within-tolerance run should pass, got: %v", v)
+	}
+}
+
+// TestGateFailsOnInjectedAllocRegression is the acceptance check for the CI
+// bench-gate job: a synthetic regression (allocs/op inflated well past the
+// ceiling, as if the pooled hot path lost its free lists) must fail the gate.
+func TestGateFailsOnInjectedAllocRegression(t *testing.T) {
+	base, _ := parseBenchOutput(strings.NewReader(sampleBenchOutput))
+	cur := make([]Bench, len(base))
+	copy(cur, base)
+	cur[0].AllocsPerOp = base[0].AllocsPerOp * 3 // pooling regressed away
+	v := gate(base, cur, 0.10, 0.75)
+	if len(v) != 1 {
+		t.Fatalf("injected alloc regression: got %d violations (%v), want 1", len(v), v)
+	}
+	if !strings.Contains(v[0], "BenchmarkABBaseline") || !strings.Contains(v[0], "allocs/op") {
+		t.Fatalf("violation should name the benchmark and metric: %q", v[0])
+	}
+}
+
+func TestGateFailsOnNsRegression(t *testing.T) {
+	base := []Bench{{Name: "BenchmarkX", NsPerOp: 1000, AllocsPerOp: 100}}
+	cur := []Bench{{Name: "BenchmarkX", NsPerOp: 2000, AllocsPerOp: 100}}
+	v := gate(base, cur, 0.10, 0.75)
+	if len(v) != 1 || !strings.Contains(v[0], "ns/op") {
+		t.Fatalf("2x ns/op at 75%% tolerance should fail, got: %v", v)
+	}
+}
+
+func TestGateFailsOnMissingBenchmark(t *testing.T) {
+	base, _ := parseBenchOutput(strings.NewReader(sampleBenchOutput))
+	cur := base[:2] // BenchmarkChaosSchedulerOutage dropped
+	v := gate(base, cur, 0.10, 0.75)
+	if len(v) != 1 || !strings.Contains(v[0], "missing") {
+		t.Fatalf("dropped benchmark should fail the gate, got: %v", v)
+	}
+}
+
+func TestGateAllocHeadroomForTinyBaselines(t *testing.T) {
+	// A near-zero pooled baseline gets +8 absolute headroom so one
+	// incidental allocation does not flake the gate...
+	base := []Bench{{Name: "BenchmarkPool", NsPerOp: 500, AllocsPerOp: 3}}
+	cur := []Bench{{Name: "BenchmarkPool", NsPerOp: 500, AllocsPerOp: 10}}
+	if v := gate(base, cur, 0.10, 0.75); len(v) != 0 {
+		t.Fatalf("+7 allocs on a 3-alloc baseline should pass, got: %v", v)
+	}
+	// ...but a real regression still fails.
+	cur[0].AllocsPerOp = 50
+	if v := gate(base, cur, 0.10, 0.75); len(v) != 1 {
+		t.Fatalf("50 allocs on a 3-alloc baseline should fail, got: %v", v)
+	}
+}
+
+func TestGateNewBenchmarkPasses(t *testing.T) {
+	base := []Bench{{Name: "BenchmarkX", NsPerOp: 1000, AllocsPerOp: 100}}
+	cur := []Bench{
+		{Name: "BenchmarkX", NsPerOp: 1000, AllocsPerOp: 100},
+		{Name: "BenchmarkNew", NsPerOp: 9999, AllocsPerOp: 9999},
+	}
+	if v := gate(base, cur, 0.10, 0.75); len(v) != 0 {
+		t.Fatalf("benchmark absent from baseline should not gate, got: %v", v)
+	}
+}

@@ -27,10 +27,8 @@ type subMode struct {
 type streamState struct {
 	source *media.Source
 	part   media.Partitioner
-	// recent retains frames for dts-indexed recovery, a ring of the last
-	// retainFrames frames.
-	recent map[uint64]media.Frame
-	order  []uint64
+	// recent retains the last retainFrames frames for dts-indexed recovery.
+	recent *media.FrameRing
 	// subscribers maps subscriber address to its delivery mode(s). A
 	// subscriber can hold several substream subscriptions (clients doing
 	// substream switchback), hence the slice. subOrder mirrors the map in
@@ -56,6 +54,9 @@ type Node struct {
 	// across variant streams — is deterministic instead of map-ordered.
 	streamOrder  []media.StreamID
 	retainFrames int
+	// records recycles the CDNFrame messages this node pushes; one shared
+	// record serves a whole fan-out (each Send retains a reference).
+	records transport.RecordPool
 
 	// Stats.
 	FramesServed   uint64
@@ -89,7 +90,7 @@ func (n *Node) HostStream(cfg media.SourceConfig, k int) {
 	st := &streamState{
 		source:      media.NewSource(cfg, n.rng.Fork()),
 		part:        media.Partitioner{K: k},
-		recent:      make(map[uint64]media.Frame),
+		recent:      media.NewFrameRing(n.retainFrames),
 		subscribers: make(map[simnet.Addr][]subMode),
 	}
 	if _, exists := n.streams[cfg.Stream]; !exists {
@@ -121,51 +122,87 @@ func (n *Node) Stop() {
 	}
 }
 
-// generate emits the next frame of a stream and fans it out.
+// generate emits the next frame of a stream and fans it out. One pooled
+// full-frame record and one header record are shared across the whole
+// fan-out — each Send retains its own reference — so the per-(frame,
+// subscriber) message allocation disappears while the Send order, and with
+// it every jitter/loss RNG draw, stays exactly as before.
 func (n *Node) generate(id media.StreamID, st *streamState) {
 	f := st.source.Next(int64(n.sim.Now()))
-	st.recent[f.Dts] = f
-	st.order = append(st.order, f.Dts)
-	if len(st.order) > n.retainFrames {
-		delete(st.recent, st.order[0])
-		st.order = st.order[1:]
+	if st.recent.Cap() != n.retainFrames {
+		// retainFrames changed after HostStream (test knob): rebuild the
+		// retention ring at the new width.
+		st.recent = media.NewFrameRing(n.retainFrames)
 	}
+	st.recent.Push(f)
 	ssid := st.part.Assign(f.Dts)
 	n.tr.Rec(trace.KGenerated, uint32(id), f.Dts, uint64(ssid), uint64(f.Header.Size))
+	var fullRec, hdrRec *transport.CDNFrame
 	for _, addr := range st.subOrder {
 		for _, m := range st.subscribers[addr] {
 			switch {
-			case m.fullStream:
-				n.sendFrame(addr, f, true, false)
-			case m.substream == ssid:
-				n.sendFrame(addr, f, true, false)
+			case m.fullStream, m.substream == ssid:
+				if fullRec == nil {
+					fullRec = n.record(f, true, false)
+				}
+				n.sendRecord(addr, fullRec)
 			case m.wantHeaders:
-				n.sendFrame(addr, f, false, false)
+				if hdrRec == nil {
+					hdrRec = n.record(f, false, false)
+				}
+				n.sendRecord(addr, hdrRec)
 			}
 		}
 	}
+	if fullRec != nil {
+		fullRec.PoolRelease()
+	}
+	if hdrRec != nil {
+		hdrRec.PoolRelease()
+	}
 }
 
-// sendFrame pushes one CDNFrame record to a subscriber, stamped with the
-// stream's authoritative substream count.
-func (n *Node) sendFrame(to simnet.Addr, f media.Frame, full, recovered bool) {
+// record builds a pooled CDNFrame record, stamped with the stream's
+// authoritative substream count. The caller owns one reference.
+func (n *Node) record(f media.Frame, full, recovered bool) *transport.CDNFrame {
 	k := 0
 	if st, ok := n.streams[f.Header.Stream]; ok {
 		k = st.part.K
 	}
-	msg := &transport.CDNFrame{Header: f.Header, Full: full, GeneratedAt: f.GeneratedAt, Recovered: recovered, K: k}
+	msg := n.records.Get()
+	msg.Header = f.Header
+	msg.Full = full
+	msg.GeneratedAt = f.GeneratedAt
+	msg.Recovered = recovered
+	msg.K = k
+	return msg
+}
+
+// sendRecord pushes one record reference to a subscriber.
+func (n *Node) sendRecord(to simnet.Addr, msg *transport.CDNFrame) {
+	msg.Retain()
 	n.net.Send(n.Addr, to, transport.WireSize(msg), msg)
-	if full {
+	if msg.Full {
 		n.FramesServed++
 		var rec uint64
-		if recovered {
+		if msg.Recovered {
 			rec = 1
 		}
-		n.tr.Rec(trace.KCDNServe, uint32(f.Header.Stream), f.Header.Dts, uint64(to), rec)
+		n.tr.Rec(trace.KCDNServe, uint32(msg.Header.Stream), msg.Header.Dts, uint64(to), rec)
 	} else {
 		n.HeadersServed++
 	}
 }
+
+// sendFrame builds, sends, and releases a single-recipient record.
+func (n *Node) sendFrame(to simnet.Addr, f media.Frame, full, recovered bool) {
+	msg := n.record(f, full, recovered)
+	n.sendRecord(to, msg)
+	msg.PoolRelease()
+}
+
+// Trim releases oversized pool capacity at quiescent points.
+func (n *Node) Trim() { n.records.Trim() }
 
 // Handle processes inbound messages; register it as the node's handler.
 func (n *Node) Handle(from simnet.Addr, msg any) {
@@ -202,12 +239,12 @@ func (n *Node) subscribe(from simnet.Addr, m *transport.CDNSubscribeReq) {
 	// frame-chain context starts with true predecessors — footprints CRC
 	// the current plus prior two headers, so a mid-stream joiner would
 	// otherwise compute divergent footprints for its first frames.
-	k := len(st.order) - 2
+	k := st.recent.Len() - 2
 	if k < 0 {
 		k = 0
 	}
-	for _, dts := range st.order[k:] {
-		if f, ok := st.recent[dts]; ok {
+	for i := k; i < st.recent.Len(); i++ {
+		if f, ok := st.recent.At(i); ok {
 			n.sendFrame(from, f, false, false)
 		}
 	}
@@ -249,7 +286,7 @@ func (n *Node) recoverFrame(from simnet.Addr, m *transport.FrameReq) {
 		n.tr.Rec(trace.KCDNRecoveryMiss, uint32(m.Stream), m.Dts, uint64(from), 0)
 		return
 	}
-	f, ok := st.recent[m.Dts]
+	f, ok := st.recent.Get(m.Dts)
 	if !ok {
 		n.RecoveryMissed++
 		n.tr.Rec(trace.KCDNRecoveryMiss, uint32(m.Stream), m.Dts, uint64(from), 0)

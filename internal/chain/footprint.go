@@ -70,11 +70,22 @@ func UnmarshalFootprint(b []byte) (Footprint, error) {
 
 var crcTable = crc32.MakeTable(crc32.Castagnoli)
 
+// crcScratch is the marshal buffer a CRC computation needs. The indirect
+// dispatch inside crc32.Checksum defeats escape analysis, so a function-local
+// buffer would be heap-allocated on every call; hot callers thread a
+// long-lived scratch instead.
+type crcScratch [3 * media.HeaderSize]byte
+
 // ComputeCRC computes the order-validating checksum over the current header
 // and the two headers immediately preceding it in stream order. At stream
 // start, missing predecessors are zero headers.
 func ComputeCRC(cur media.Header, prev1, prev2 media.Header) uint32 {
-	var buf [3 * media.HeaderSize]byte
+	var buf crcScratch
+	return computeCRCInto(&buf, cur, prev1, prev2)
+}
+
+// computeCRCInto is ComputeCRC with a caller-owned scratch buffer.
+func computeCRCInto(buf *crcScratch, cur, prev1, prev2 media.Header) uint32 {
 	b := cur.Marshal()
 	copy(buf[0:], b[:])
 	b = prev1.Marshal()

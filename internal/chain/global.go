@@ -64,6 +64,16 @@ type Global struct {
 	// inRetry marks merges replayed from the parked pool so their trace
 	// events carry the parked-retry flag.
 	inRetry bool
+
+	// Allocation-free steady state: linkedScratch backs NextLinked,
+	// crcBuf backs CRC validation, chainPool recycles parked-chain
+	// copies, and u64Pool recycles the mmOrder iteration snapshots
+	// retryParked takes (a pool rather than one buffer because
+	// TryMatch -> retryParked recurses).
+	linkedScratch []Footprint
+	crcBuf        crcScratch
+	chainPool     [][]Footprint
+	u64Pool       [][]uint64
 }
 
 // SetTrace attaches (or detaches, with nil) a frame-lifecycle trace buffer.
@@ -103,6 +113,13 @@ func (g *Global) Entries() []Entry {
 	out := make([]Entry, len(g.entries))
 	copy(out, g.entries)
 	return out
+}
+
+// AppendEntries appends the current chain entries (oldest first) to dst and
+// returns the extended slice — the allocation-free variant of Entries for
+// callers that own a reusable buffer.
+func (g *Global) AppendEntries(dst []Entry) []Entry {
+	return append(dst, g.entries...)
 }
 
 // AddHeader records a received frame header into the data pool, then
@@ -226,16 +243,44 @@ func (g *Global) park(lchain []Footprint) {
 		// every packet so losing one is harmless.
 		g.unpark(g.mmOrder[0])
 	}
-	if _, dup := g.mismatched[lchain[0].Dts]; !dup {
+	if old, dup := g.mismatched[lchain[0].Dts]; !dup {
 		g.mmOrder = append(g.mmOrder, lchain[0].Dts)
+	} else {
+		g.putChainBuf(old)
 	}
-	cp := make([]Footprint, len(lchain))
+	cp := g.getChainBuf(len(lchain))
 	copy(cp, lchain)
 	g.mismatched[lchain[0].Dts] = cp
 }
 
-// unpark removes one parked chain from the pool and its order mirror.
+// getChainBuf returns an n-footprint buffer, recycling parked-chain copies
+// released by unpark when one is large enough.
+func (g *Global) getChainBuf(n int) []Footprint {
+	if k := len(g.chainPool); k > 0 {
+		buf := g.chainPool[k-1]
+		g.chainPool = g.chainPool[:k-1]
+		if cap(buf) >= n {
+			return buf[:n]
+		}
+	}
+	return make([]Footprint, n)
+}
+
+func (g *Global) putChainBuf(b []Footprint) {
+	if cap(b) == 0 {
+		return
+	}
+	g.chainPool = append(g.chainPool, b[:0])
+}
+
+// unpark removes one parked chain from the pool and its order mirror,
+// recycling the copied chain. Callers that still read the chain afterwards
+// (retryParked) are safe: TryMatch finishes every read of its input before
+// any nested park can reuse the buffer.
 func (g *Global) unpark(k uint64) {
+	if buf, ok := g.mismatched[k]; ok {
+		g.putChainBuf(buf)
+	}
 	delete(g.mismatched, k)
 	for i, d := range g.mmOrder {
 		if d == k {
@@ -245,12 +290,28 @@ func (g *Global) unpark(k uint64) {
 	}
 }
 
+// retryOrder snapshots mmOrder into a pooled buffer: retries iterate the
+// snapshot because merges mutate mmOrder mid-loop.
+func (g *Global) retryOrder() []uint64 {
+	var buf []uint64
+	if k := len(g.u64Pool); k > 0 {
+		buf = g.u64Pool[k-1]
+		g.u64Pool = g.u64Pool[:k-1]
+	}
+	return append(buf, g.mmOrder...)
+}
+
+func (g *Global) putRetryOrder(b []uint64) {
+	g.u64Pool = append(g.u64Pool, b[:0])
+}
+
 // retryParked re-attempts previously mismatched chains until none merges,
 // in park order.
 func (g *Global) retryParked() {
 	for changed := true; changed; {
 		changed = false
-		for _, k := range append([]uint64(nil), g.mmOrder...) {
+		order := g.retryOrder()
+		for _, k := range order {
 			lc, ok := g.mismatched[k]
 			if !ok {
 				continue
@@ -275,6 +336,7 @@ func (g *Global) retryParked() {
 			}
 			g.inRetry = prev
 		}
+		g.putRetryOrder(order)
 	}
 }
 
@@ -303,7 +365,7 @@ func (g *Global) validateSuffix() {
 			if !ok1 || !ok2 {
 				return
 			}
-			if ComputeCRC(h, p1, p2) != e.FP.CRC {
+			if computeCRCInto(&g.crcBuf, h, p1, p2) != e.FP.CRC {
 				// Validation failure: push out the unlinked frames.
 				g.CRCFailures++
 				g.tr.Rec(trace.KChainCRCFail, 0, e.FP.Dts, uint64(len(g.entries)-i), 0)
@@ -344,7 +406,7 @@ func (g *Global) AppendSelf(h media.Header, cnt uint16) bool {
 		p2 = ph
 	}
 	g.headers[h.Dts] = h
-	fp := New(h, p1, p2, cnt)
+	fp := Footprint{Dts: h.Dts, CRC: computeCRCInto(&g.crcBuf, h, p1, p2), CNT: cnt}
 	g.entries = append(g.entries, Entry{FP: fp, Status: Unlinked})
 	g.Merges++
 	g.validateSuffix()
@@ -354,9 +416,11 @@ func (g *Global) AppendSelf(h media.Header, cnt uint16) bool {
 
 // NextLinked returns the footprints of linked entries with dts strictly
 // greater than the last consumed dts, in order — the frames eligible to
-// enter the ordered playout buffer.
+// enter the ordered playout buffer. The returned slice is backed by an
+// internal scratch buffer and is only valid until the next NextLinked call;
+// callers must not retain it across chain mutations.
 func (g *Global) NextLinked() []Footprint {
-	var out []Footprint
+	out := g.linkedScratch[:0]
 	for _, e := range g.entries {
 		if e.Status != Linked {
 			break
@@ -366,6 +430,7 @@ func (g *Global) NextLinked() []Footprint {
 		}
 		out = append(out, e.FP)
 	}
+	g.linkedScratch = out
 	return out
 }
 
@@ -438,6 +503,25 @@ func (g *Global) String() string {
 	}
 	return fmt.Sprintf("gchain{len=%d linked=%d parked=%d merges=%d rejects=%d crcfail=%d}",
 		len(g.entries), linked, len(g.mismatched), g.Merges, g.Rejects, g.CRCFailures)
+}
+
+// chainTrimThreshold mirrors simnet's trimThreshold: scratch buffers whose
+// capacity exceeds it are dropped at quiescent points so long runs hand
+// burst-sized backing arrays back to the allocator.
+const chainTrimThreshold = 4096
+
+// Trim releases oversized scratch and pool backing arrays. Call at quiescent
+// points (experiment phase boundaries); steady-state buffers stay put.
+func (g *Global) Trim() {
+	if cap(g.linkedScratch) > chainTrimThreshold {
+		g.linkedScratch = nil
+	}
+	if len(g.chainPool) > 64 {
+		g.chainPool = nil
+	}
+	if len(g.u64Pool) > 8 {
+		g.u64Pool = nil
+	}
 }
 
 // trimZero removes zero-footprint padding from the head of a local chain

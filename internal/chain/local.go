@@ -18,6 +18,7 @@ type LocalGenerator struct {
 	// recent footprints, most recent last; capped at delta.
 	recent []Footprint
 	count  uint64
+	crcBuf crcScratch
 }
 
 // NewLocalGenerator returns a generator with chain length delta
@@ -35,15 +36,23 @@ func (g *LocalGenerator) Delta() int { return g.delta }
 // Observe ingests the next frame header in stream order together with the
 // packet count the frame slices into, and returns the frame's footprint.
 func (g *LocalGenerator) Observe(h media.Header, packetCount uint16) Footprint {
-	fp := New(h, g.prev1, g.prev2, packetCount)
+	fp := Footprint{
+		Dts: h.Dts,
+		CRC: computeCRCInto(&g.crcBuf, h, g.prev1, g.prev2),
+		CNT: packetCount,
+	}
 	g.prev2 = g.prev1
 	g.prev1 = h
 	if g.havePrev < 2 {
 		g.havePrev++
 	}
-	g.recent = append(g.recent, fp)
-	if len(g.recent) > g.delta {
-		g.recent = g.recent[1:]
+	// Shift-then-place at capacity: appending first would grow the backing
+	// array (len == cap) and reallocate once per delta observations.
+	if len(g.recent) == g.delta {
+		copy(g.recent, g.recent[1:])
+		g.recent[g.delta-1] = fp
+	} else {
+		g.recent = append(g.recent, fp)
 	}
 	g.count++
 	return fp
@@ -56,6 +65,13 @@ func (g *LocalGenerator) Chain() []Footprint {
 	out := make([]Footprint, len(g.recent))
 	copy(out, g.recent)
 	return out
+}
+
+// AppendChain appends the current local chain (oldest to newest) to dst and
+// returns the extended slice — the allocation-free variant of Chain for
+// callers that own a reusable buffer.
+func (g *LocalGenerator) AppendChain(dst []Footprint) []Footprint {
+	return append(dst, g.recent...)
 }
 
 // Observed returns the total number of frames observed.

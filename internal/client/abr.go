@@ -135,6 +135,7 @@ func (c *Client) switchVariant(rung int) {
 	for dts, a := range c.frames {
 		if !a.complete {
 			delete(c.frames, dts) // sizes/footprints differ per variant
+			c.releaseAsm(a)
 		}
 	}
 	c.frameReqAt = make(map[uint64]simnet.Time)

@@ -253,13 +253,31 @@ type frameAsm struct {
 }
 
 func (a *frameAsm) missing() []uint16 {
-	var out []uint16
+	return a.missingInto(nil)
+}
+
+// missingInto appends the missing packet seqs to dst — the allocation-free
+// variant for callers holding a reusable buffer.
+func (a *frameAsm) missingInto(dst []uint16) []uint16 {
 	for s := uint16(0); s < a.count; s++ {
 		if !a.have[s] {
-			out = append(out, s)
+			dst = append(dst, s)
 		}
 	}
-	return out
+	return dst
+}
+
+// sizeHave (re)sizes the assembly's packet bitmap to n cleared slots,
+// reusing prior capacity (assemblies are pooled).
+func (a *frameAsm) sizeHave(n int) {
+	if cap(a.have) >= n {
+		a.have = a.have[:n]
+		for i := range a.have {
+			a.have[i] = false
+		}
+	} else {
+		a.have = make([]bool, n)
+	}
 }
 
 // substreamState is the per-substream delivery state.
@@ -312,6 +330,21 @@ type Client struct {
 	rliveActive bool // multi-source delivery engaged
 	startedAt   simnet.Time
 	sessionAt   simnet.Time
+
+	// Hot-path recycling and scratch: asmFree pools frame assemblies,
+	// retxPool/reqPool pool the recovery request messages, and the
+	// scratch slices/maps below back recoveryTick and the fast-retx path
+	// so the steady state allocates nothing.
+	asmFree     []*frameAsm
+	retxPool    transport.RetxReqPool
+	reqPool     transport.FrameReqPool
+	missScratch []uint16
+	entScratch  []chain.Entry
+	listScratch []recovery.FrameState
+	asmScratch  []*frameAsm
+	consecMap   map[media.SubstreamID]int
+	runMap      map[media.SubstreamID]int
+	switchedMap map[media.SubstreamID]bool
 
 	// Recovery.
 	engine       *recovery.Engine
@@ -604,6 +637,26 @@ func (c *Client) Stop() {
 // Stopped reports whether the session ended.
 func (c *Client) Stopped() bool { return c.stopped }
 
+// Trim releases oversized pool and scratch capacity; call at quiescent
+// points (core.System.Run does, between experiment phases).
+func (c *Client) Trim() {
+	c.retxPool.Trim()
+	c.reqPool.Trim()
+	if cap(c.asmFree) > 4096 {
+		c.asmFree = nil
+	}
+	if cap(c.entScratch) > 4096 {
+		c.entScratch = nil
+	}
+	if cap(c.listScratch) > 4096 {
+		c.listScratch = nil
+	}
+	if cap(c.asmScratch) > 4096 {
+		c.asmScratch = nil
+	}
+	c.gchain.Trim()
+}
+
 func (c *Client) key(ss media.SubstreamID) scheduler.SubstreamKey {
 	return scheduler.SubstreamKey{Stream: c.stream, Substream: ss}
 }
@@ -613,7 +666,12 @@ func (c *Client) key(ss media.SubstreamID) scheduler.SubstreamKey {
 func (c *Client) sendTo(to simnet.Addr, msg any) {
 	if c.cfg.CanConnect != nil && to != c.cfg.CDN && to != c.cfg.Scheduler && to != c.cfg.CentralSeq {
 		if !c.cfg.CanConnect(to) {
-			return // traversal failure: message never arrives
+			// Traversal failure: the message never arrives, so the
+			// Send reference a pooled message carries dies here.
+			if p, ok := msg.(simnet.Poolable); ok {
+				p.PoolRelease()
+			}
+			return
 		}
 	}
 	c.net.Send(c.Addr, to, transport.WireSize(msg), msg)

@@ -8,11 +8,29 @@ import (
 	"repro/internal/transport"
 )
 
+// newAsm returns a pooled, zeroed frame assembly.
+func (c *Client) newAsm() *frameAsm {
+	if k := len(c.asmFree); k > 0 {
+		a := c.asmFree[k-1]
+		c.asmFree = c.asmFree[:k-1]
+		return a
+	}
+	return &frameAsm{}
+}
+
+// releaseAsm recycles an assembly removed from c.frames, keeping its
+// packet-bitmap backing array. Callers must not hold other references.
+func (c *Client) releaseAsm(a *frameAsm) {
+	have := a.have[:0]
+	*a = frameAsm{have: have}
+	c.asmFree = append(c.asmFree, a)
+}
+
 // asm returns (creating if needed) the assembly for a frame.
 func (c *Client) asm(dts uint64) *frameAsm {
 	a, ok := c.frames[dts]
 	if !ok {
-		a = &frameAsm{}
+		a = c.newAsm()
 		c.frames[dts] = a
 	}
 	return a
@@ -35,7 +53,7 @@ func (c *Client) onDataPacket(from simnet.Addr, p *transport.DataPacket) {
 		a.haveHdr = true
 		a.count = p.Count
 		if len(a.have) == 0 {
-			a.have = make([]bool, p.Count)
+			a.sizeHave(int(p.Count))
 		}
 		a.generated = p.GeneratedAt
 		st.expected += uint64(p.Count)
@@ -62,12 +80,13 @@ func (c *Client) onDataPacket(from simnet.Addr, p *transport.DataPacket) {
 	// them immediately instead of waiting for the timeout path.
 	if !p.Retransmit && p.Seq > a.nextSeq && !a.complete {
 		if a.fastRetxAt == 0 || c.sim.Now()-a.fastRetxAt > c.cfg.RecoveryCheckEvery {
-			var missing []uint16
+			missing := c.missScratch[:0]
 			for s := a.nextSeq; s < p.Seq; s++ {
 				if !a.have[s] {
 					missing = append(missing, s)
 				}
 			}
+			c.missScratch = missing
 			if len(missing) > 0 {
 				c.requestRetx(st, p.Header.Dts, missing)
 				c.FastRetx++
@@ -108,7 +127,7 @@ func (c *Client) onCDNFrame(m *transport.CDNFrame) {
 			a.haveHdr = true
 			a.count = uint16(transport.PacketsForFrame(int(m.Header.Size)))
 			if len(a.have) == 0 {
-				a.have = make([]bool, a.count)
+				a.sizeHave(int(a.count))
 			}
 			a.generated = m.GeneratedAt
 			c.gchain.AddHeader(m.Header)
@@ -120,7 +139,7 @@ func (c *Client) onCDNFrame(m *transport.CDNFrame) {
 		a.header = m.Header
 		a.haveHdr = true
 		a.count = uint16(transport.PacketsForFrame(int(m.Header.Size)))
-		a.have = make([]bool, a.count)
+		a.sizeHave(int(a.count))
 		a.generated = m.GeneratedAt
 		c.gchain.AddHeader(m.Header)
 		c.Energy.TrackMem(float64(len(c.frames)) * float64(m.Header.Size))
@@ -259,12 +278,14 @@ func (c *Client) refreshLinked() {
 				// footprint sizes the assembly so recovery can
 				// request it even with zero packets received.
 				a.count = fp.CNT
-				a.have = make([]bool, fp.CNT)
+				a.sizeHave(int(fp.CNT))
 			}
 		} else {
 			// A linked frame we have no data for at all: create the
 			// assembly from the footprint so recovery sees it.
-			a := &frameAsm{count: fp.CNT, have: make([]bool, fp.CNT)}
+			a := c.newAsm()
+			a.count = fp.CNT
+			a.sizeHave(int(fp.CNT))
 			a.linked = true
 			c.frames[fp.Dts] = a
 		}
@@ -278,7 +299,10 @@ func (c *Client) requestRetx(st *substreamState, dts uint64, missing []uint16) {
 		return
 	}
 	c.traceAction(0, dts)
-	req := &transport.RetxReq{Key: c.key(st.ss), Dts: dts, Missing: missing}
+	req := c.retxPool.Get()
+	req.Key = c.key(st.ss)
+	req.Dts = dts
+	req.Missing = append(req.Missing[:0], missing...)
 	c.sendTo(st.publishers[0], req)
 	if _, pending := c.beRetxAt[dts]; !pending {
 		c.beRetxAt[dts] = c.sim.Now()

@@ -168,9 +168,10 @@ func (c *Client) gcFrames() {
 		return
 	}
 	cut := c.playhead - horizon
-	for dts := range c.frames {
+	for dts, a := range c.frames {
 		if dts < cut {
 			delete(c.frames, dts)
+			c.releaseAsm(a)
 		}
 	}
 }

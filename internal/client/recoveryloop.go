@@ -61,14 +61,26 @@ func (c *Client) recoveryTick() {
 	// from the playhead on — including UNLINKED entries, whose footprints
 	// carry dts and packet count (CNT) precisely so that fully-lost
 	// frames remain recoverable (§5.2).
-	entries := c.gchain.Entries()
+	entries := c.gchain.AppendEntries(c.entScratch[:0])
+	c.entScratch = entries
 	if len(entries) == 0 {
 		return
 	}
-	var list []recovery.FrameState
-	asms := make(map[uint64]*frameAsm)
-	consec := make(map[media.SubstreamID]int)
-	run := make(map[media.SubstreamID]int)
+	// Scratch-backed working set: the frame-state list, its index-aligned
+	// assembly slice (Decide preserves input order, so decisions[i]
+	// belongs to asms[i]), and cleared persistent maps for the per-
+	// substream burst counters.
+	list := c.listScratch[:0]
+	asms := c.asmScratch[:0]
+	if c.consecMap == nil {
+		c.consecMap = make(map[media.SubstreamID]int)
+		c.runMap = make(map[media.SubstreamID]int)
+	} else {
+		clear(c.consecMap)
+		clear(c.runMap)
+	}
+	consec := c.consecMap
+	run := c.runMap
 	for _, e := range entries {
 		dts := e.FP.Dts
 		if dts < c.playhead {
@@ -87,7 +99,9 @@ func (c *Client) recoveryTick() {
 		if a == nil {
 			// Announced by a chain but no data at all: size the
 			// assembly from the footprint.
-			a = &frameAsm{count: e.FP.CNT, have: make([]bool, e.FP.CNT)}
+			a = c.newAsm()
+			a.count = e.FP.CNT
+			a.sizeHave(int(e.FP.CNT))
 			c.frames[dts] = a
 		}
 		// Throttle: one outstanding action per frame per retry RTT.
@@ -110,8 +124,9 @@ func (c *Client) recoveryTick() {
 			PacketBytes:    transport.PacketPayload,
 			RetriesUsed:    a.retries,
 		})
-		asms[dts] = a
+		asms = append(asms, a)
 	}
+	c.listScratch, c.asmScratch = list, asms
 	if len(list) == 0 {
 		return
 	}
@@ -127,9 +142,15 @@ func (c *Client) recoveryTick() {
 	decisions := c.engine.Decide(list, st)
 	c.Energy.AddCPU(float64(len(list)))
 
-	switched := make(map[media.SubstreamID]bool)
-	for _, d := range decisions {
-		a := asms[d.Frame.Dts]
+	if c.switchedMap == nil {
+		c.switchedMap = make(map[media.SubstreamID]bool)
+	} else {
+		clear(c.switchedMap)
+	}
+	switched := c.switchedMap
+	for i := range decisions {
+		d := decisions[i]
+		a := asms[i]
 		switch d.Action {
 		case recovery.RetryBestEffort:
 			sub := c.subs[d.Frame.Substream]
@@ -138,7 +159,8 @@ func (c *Client) recoveryTick() {
 				c.fetchDedicated(d.Frame.Dts, a)
 				continue
 			}
-			missing := a.missing()
+			missing := a.missingInto(c.missScratch[:0])
+			c.missScratch = missing
 			if len(missing) == 0 {
 				continue
 			}
@@ -176,7 +198,10 @@ func (c *Client) fetchDedicated(dts uint64, a *frameAsm) {
 	}
 	c.traceAction(1, dts)
 	c.frameReqAt[dts] = now
-	c.sendTo(c.cfg.CDN, &transport.FrameReq{Stream: c.stream, Dts: dts})
+	req := c.reqPool.Get()
+	req.Stream = c.stream
+	req.Dts = dts
+	c.sendTo(c.cfg.CDN, req)
 	c.DedicatedFetch++
 	c.tmRecFetch.Inc()
 	c.QoE.RetxRequests++

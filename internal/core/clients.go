@@ -162,9 +162,28 @@ func (s *System) Start() {
 	}
 }
 
-// Run advances the simulation by d.
+// Run advances the simulation by d, then trims pooled-object capacity: the
+// end of a Run call is a quiescent point (the heap already trims there, PR
+// 7's capacity fix), so long multi-phase experiments hand burst-sized
+// free lists back to the allocator instead of carrying them forever.
 func (s *System) Run(d time.Duration) {
 	s.Sim.Run(s.Sim.Now() + d)
+	s.trimPools()
+}
+
+// trimPools releases oversized free-list capacity on every entity. Each
+// Trim is self-gating (only fires past a capacity threshold), so calling
+// it after every Run phase costs nothing in steady state.
+func (s *System) trimPools() {
+	for _, h := range s.CDN {
+		h.Node.Trim()
+	}
+	for _, e := range s.Edges {
+		e.Trim()
+	}
+	for _, c := range s.Clients {
+		c.Trim()
+	}
 }
 
 // StopClients ends all sessions (without advancing time).

@@ -152,6 +152,14 @@ type Node struct {
 	util     *stats.EWMA
 	sessions int
 
+	// Hot-path recycling: pkts pools the DataPackets this node pushes
+	// (one shared packet per frame slice, retained per Send), rfFree
+	// pools retained-window entries, pktScratch holds the packets of the
+	// frame currently being fanned out.
+	pkts       transport.PacketPool
+	rfFree     []*retainedFrame
+	pktScratch []*transport.DataPacket
+
 	// Stats.
 	PacketsPushed   uint64
 	PacketsRetx     uint64
@@ -609,68 +617,132 @@ func (n *Node) SetSubstreamCount(id media.StreamID, k int) {
 	n.substreamCount[id] = k
 }
 
+// getRetained returns a pooled retained-window entry.
+func (n *Node) getRetained() *retainedFrame {
+	if k := len(n.rfFree); k > 0 {
+		rf := n.rfFree[k-1]
+		n.rfFree = n.rfFree[:k-1]
+		return rf
+	}
+	return &retainedFrame{}
+}
+
+// putRetained recycles a window entry, keeping its chain backing array.
+func (n *Node) putRetained(rf *retainedFrame) {
+	ch := rf.chain[:0]
+	*rf = retainedFrame{chain: ch}
+	n.rfFree = append(n.rfFree, rf)
+}
+
 // push slices a frame into packets and pushes them to all subscribers of
-// the relay, embedding the current local chain in every packet.
+// the relay, embedding the current local chain in every packet. Each packet
+// is built once and shared across the subscriber fan-out — every Send
+// retains its own reference — keeping the Send order (subscriber-outer,
+// seq-inner), and with it the network RNG draw sequence, exactly as a
+// per-subscriber build would.
 func (n *Node) push(r *relayState, m *transport.CDNFrame, count uint16) {
-	lchain := r.gen.Chain()
-	rf := &retainedFrame{header: m.Header, count: count, chain: lchain, generatedAt: m.GeneratedAt}
+	rf := n.getRetained()
+	rf.header = m.Header
+	rf.count = count
+	rf.chain = r.gen.AppendChain(rf.chain[:0])
+	rf.generatedAt = m.GeneratedAt
 	r.recent[m.Header.Dts] = rf
 	r.order = append(r.order, m.Header.Dts)
 	if len(r.order) > n.cfg.RetainFrames {
-		delete(r.recent, r.order[0])
-		r.order = r.order[1:]
+		if old, ok := r.recent[r.order[0]]; ok {
+			delete(r.recent, r.order[0])
+			n.putRetained(old)
+		}
+		copy(r.order, r.order[1:])
+		r.order = r.order[:len(r.order)-1]
 	}
 	n.tr.Rec(trace.KRelayed, uint32(m.Header.Stream), m.Header.Dts, uint64(count), uint64(len(r.subOrder)))
+	pkts := n.buildPackets(r.key, rf, nil, false)
 	for _, sub := range r.subOrder {
-		n.sendFramePackets(sub, r.key, rf, nil, false)
+		for _, pkt := range pkts {
+			n.sendPacket(sub, pkt)
+		}
+	}
+	for _, pkt := range pkts {
+		pkt.PoolRelease()
+	}
+}
+
+// buildPackets fills pktScratch with the frame's packets (all, or just the
+// listed seqs), one builder reference each. The slice is valid until the
+// next buildPackets call; callers release every packet when done.
+func (n *Node) buildPackets(key scheduler.SubstreamKey, rf *retainedFrame, seqs []uint16, retx bool) []*transport.DataPacket {
+	n.pktScratch = n.pktScratch[:0]
+	if seqs == nil {
+		for s := uint16(0); s < rf.count; s++ {
+			n.buildPacket(key, rf, s, retx)
+		}
+	} else {
+		for _, s := range seqs {
+			if int(s) < int(rf.count) {
+				n.buildPacket(key, rf, s, retx)
+			}
+		}
+	}
+	return n.pktScratch
+}
+
+// buildPacket appends one pooled packet for seq to pktScratch.
+func (n *Node) buildPacket(key scheduler.SubstreamKey, rf *retainedFrame, seq uint16, retx bool) {
+	total := int(rf.header.Size)
+	payLen := transport.PacketPayload
+	if int(seq) == int(rf.count)-1 {
+		payLen = total - (int(rf.count)-1)*transport.PacketPayload
+		if payLen <= 0 {
+			payLen = total % transport.PacketPayload
+			if payLen == 0 {
+				payLen = transport.PacketPayload
+			}
+		}
+	}
+	pkt := n.pkts.Get()
+	pkt.Key = key
+	pkt.Header = rf.header
+	pkt.Seq = seq
+	pkt.Count = rf.count
+	pkt.PayloadLen = payLen
+	pkt.Chain = append(pkt.Chain[:0], rf.chain...)
+	pkt.Publisher = n.Addr
+	pkt.GeneratedAt = rf.generatedAt
+	pkt.Retransmit = retx
+	n.pktScratch = append(n.pktScratch, pkt)
+}
+
+// sendPacket transmits one packet reference to a subscriber.
+func (n *Node) sendPacket(to simnet.Addr, pkt *transport.DataPacket) {
+	pkt.Retain()
+	size := transport.WireSize(pkt)
+	n.net.Send(n.Addr, to, size, pkt)
+	n.BytesServed += uint64(size)
+	if pkt.Retransmit {
+		n.PacketsRetx++
+	} else {
+		n.PacketsPushed++
 	}
 }
 
 // sendFramePackets transmits the frame's packets (all, or just the listed
 // seqs) to one subscriber.
 func (n *Node) sendFramePackets(to simnet.Addr, key scheduler.SubstreamKey, rf *retainedFrame, seqs []uint16, retx bool) {
-	total := int(rf.header.Size)
-	send := func(seq uint16) {
-		payLen := transport.PacketPayload
-		if int(seq) == int(rf.count)-1 {
-			payLen = total - (int(rf.count)-1)*transport.PacketPayload
-			if payLen <= 0 {
-				payLen = total % transport.PacketPayload
-				if payLen == 0 {
-					payLen = transport.PacketPayload
-				}
-			}
-		}
-		pkt := &transport.DataPacket{
-			Key:         key,
-			Header:      rf.header,
-			Seq:         seq,
-			Count:       rf.count,
-			PayloadLen:  payLen,
-			Chain:       rf.chain,
-			Publisher:   n.Addr,
-			GeneratedAt: rf.generatedAt,
-			Retransmit:  retx,
-		}
-		size := transport.WireSize(pkt)
-		n.net.Send(n.Addr, to, size, pkt)
-		n.BytesServed += uint64(size)
-		if retx {
-			n.PacketsRetx++
-		} else {
-			n.PacketsPushed++
-		}
+	pkts := n.buildPackets(key, rf, seqs, retx)
+	for _, pkt := range pkts {
+		n.sendPacket(to, pkt)
 	}
-	if seqs == nil {
-		for s := uint16(0); s < rf.count; s++ {
-			send(s)
-		}
-	} else {
-		for _, s := range seqs {
-			if int(s) < int(rf.count) {
-				send(s)
-			}
-		}
+	for _, pkt := range pkts {
+		pkt.PoolRelease()
+	}
+}
+
+// Trim releases oversized pool capacity at quiescent points.
+func (n *Node) Trim() {
+	n.pkts.Trim()
+	if cap(n.rfFree) > 4096 {
+		n.rfFree = nil
 	}
 }
 

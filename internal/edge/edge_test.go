@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/cdn"
+	"repro/internal/chain"
 	"repro/internal/media"
 	"repro/internal/scheduler"
 	"repro/internal/simnet"
@@ -28,6 +29,21 @@ type harness struct {
 	sched []any // messages arriving at the scheduler
 }
 
+// snapshotMsg deep-copies pooled messages: the network recycles them after
+// the receiving handler returns, so tests must not retain live pointers.
+func snapshotMsg(msg any) any {
+	switch m := msg.(type) {
+	case *transport.DataPacket:
+		cp := *m
+		cp.Chain = append([]chain.Footprint(nil), m.Chain...)
+		return &cp
+	case *transport.CDNFrame:
+		cp := *m
+		return &cp
+	}
+	return msg
+}
+
 func newHarness(t *testing.T, cfg Config) *harness {
 	t.Helper()
 	h := &harness{sim: simnet.NewSim()}
@@ -38,7 +54,7 @@ func newHarness(t *testing.T, cfg Config) *harness {
 		func(from simnet.Addr, msg any) { h.sched = append(h.sched, msg) })
 	h.net.Register(edgeAddr, simnet.LinkState{UplinkBps: 50e6, BaseOWD: time.Millisecond}, nil)
 	h.net.Register(clientAddr, simnet.LinkState{UplinkBps: 100e6, BaseOWD: time.Millisecond},
-		func(from simnet.Addr, msg any) { h.inbox = append(h.inbox, msg) })
+		func(from simnet.Addr, msg any) { h.inbox = append(h.inbox, snapshotMsg(msg)) })
 
 	h.cdn = cdn.New(cdnAddr, h.sim, h.net, rng.Fork())
 	h.net.SetHandler(cdnAddr, h.cdn.Handle)

@@ -25,7 +25,7 @@ func newHintHarness(t *testing.T, k int) *harness {
 		func(from simnet.Addr, msg any) { h.sched = append(h.sched, msg) })
 	h.net.Register(edgeAddr, simnet.LinkState{UplinkBps: 50e6, BaseOWD: time.Millisecond}, nil)
 	h.net.Register(clientAddr, simnet.LinkState{UplinkBps: 100e6, BaseOWD: time.Millisecond},
-		func(from simnet.Addr, msg any) { h.inbox = append(h.inbox, msg) })
+		func(from simnet.Addr, msg any) { h.inbox = append(h.inbox, snapshotMsg(msg)) })
 
 	h.cdn = cdn.New(cdnAddr, h.sim, h.net, rng.Fork())
 	h.net.SetHandler(cdnAddr, h.cdn.Handle)

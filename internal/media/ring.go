@@ -1,0 +1,67 @@
+package media
+
+// FrameRing retains the most recent frames of one stream in a fixed-size
+// circular buffer — the dts-indexed recovery window (§6) without per-frame
+// map and order-slice churn. Frames must be pushed in increasing dts order,
+// which Push relies on for Get's binary search.
+type FrameRing struct {
+	slots []Frame
+	head  int // next write index
+	n     int // live frames
+}
+
+// NewFrameRing returns a ring retaining up to capacity frames.
+func NewFrameRing(capacity int) *FrameRing {
+	if capacity <= 0 {
+		capacity = 1
+	}
+	return &FrameRing{slots: make([]Frame, capacity)}
+}
+
+// Len returns the number of live frames.
+func (r *FrameRing) Len() int { return r.n }
+
+// Cap returns the ring capacity.
+func (r *FrameRing) Cap() int { return len(r.slots) }
+
+// Push appends the newest frame, evicting the oldest at capacity.
+func (r *FrameRing) Push(f Frame) {
+	r.slots[r.head] = f
+	r.head = (r.head + 1) % len(r.slots)
+	if r.n < len(r.slots) {
+		r.n++
+	}
+}
+
+// at returns the i-th live frame, oldest first. Callers guarantee
+// 0 <= i < r.n.
+func (r *FrameRing) at(i int) *Frame {
+	return &r.slots[(r.head-r.n+i+len(r.slots))%len(r.slots)]
+}
+
+// At returns the i-th live frame oldest-first, and whether it exists.
+func (r *FrameRing) At(i int) (Frame, bool) {
+	if i < 0 || i >= r.n {
+		return Frame{}, false
+	}
+	return *r.at(i), true
+}
+
+// Get returns the frame with the given dts, using binary search over the
+// dts-ordered live window.
+func (r *FrameRing) Get(dts uint64) (Frame, bool) {
+	lo, hi := 0, r.n-1
+	for lo <= hi {
+		mid := int(uint(lo+hi) >> 1)
+		f := r.at(mid)
+		switch {
+		case f.Header.Dts == dts:
+			return *f, true
+		case f.Header.Dts < dts:
+			lo = mid + 1
+		default:
+			hi = mid - 1
+		}
+	}
+	return Frame{}, false
+}

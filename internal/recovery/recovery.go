@@ -161,6 +161,13 @@ type Engine struct {
 	// Trace, when non-nil, records one KRecoveryDecide per modeled frame
 	// with the chosen action and its deadline budget.
 	Trace *trace.Buf
+
+	// Scratch buffers backing Decide's allocation-free steady state:
+	// the decision vector, per-substream index buckets (indexed by the
+	// substream id), and the group-alternative staging slice.
+	outScratch []Decision
+	ssIdx      [][]int
+	swScratch  []Decision
 }
 
 // NewEngine returns an engine with the given cost parameters.
@@ -304,30 +311,49 @@ func (e *Engine) DecideFrame(f FrameState, s Stats) Decision {
 // alternative "switch the substream to a dedicated node" — one reconnection
 // overhead plus dedicated delivery of every frame — replaces the per-frame
 // decisions when its total loss is lower (§5.3 action a_i = 2).
+//
+// out[i] corresponds to frames[i] (order preserved). The returned slice is
+// backed by an internal scratch buffer and only valid until the next Decide
+// call; callers must consume it before re-entering the engine.
 func (e *Engine) Decide(frames []FrameState, s Stats) []Decision {
-	out := make([]Decision, len(frames))
-	perSS := make(map[media.SubstreamID][]int)
-	for i, f := range frames {
-		out[i] = e.DecideFrame(f, s)
-		perSS[f.Substream] = append(perSS[f.Substream], i)
+	out := e.outScratch[:0]
+	for i := range e.ssIdx {
+		e.ssIdx[i] = e.ssIdx[i][:0]
 	}
-	for ss, idxs := range perSS {
+	for i, f := range frames {
+		out = append(out, e.DecideFrame(f, s))
+		ss := int(f.Substream)
+		for ss >= len(e.ssIdx) {
+			e.ssIdx = append(e.ssIdx, nil)
+		}
+		e.ssIdx[ss] = append(e.ssIdx[ss], i)
+	}
+	e.outScratch = out
+	// Bucket iteration runs in ascending substream order — deterministic,
+	// and result-equivalent to the old map iteration because each bucket
+	// substitutes a disjoint set of out indices.
+	for ssInt := range e.ssIdx {
+		idxs := e.ssIdx[ssInt]
+		if len(idxs) == 0 {
+			continue
+		}
 		burst := len(idxs)
 		if s.ConsecutiveLost != nil {
-			burst += s.ConsecutiveLost[ss]
+			burst += s.ConsecutiveLost[media.SubstreamID(ssInt)]
 		}
 		if burst < e.Costs.ConsecutiveLossSwitch {
 			continue
 		}
 		// Group loss under per-frame decisions vs under a switch.
 		var cur, sw float64
-		swDecisions := make([]Decision, len(idxs))
-		for j, i := range idxs {
+		swDecisions := e.swScratch[:0]
+		for _, i := range idxs {
 			cur += out[i].Loss
 			l, pf := e.loss(SwitchSubstream, frames[i], s)
 			sw += l
-			swDecisions[j] = Decision{Frame: frames[i], Action: SwitchSubstream, Loss: l, PFail: pf}
+			swDecisions = append(swDecisions, Decision{Frame: frames[i], Action: SwitchSubstream, Loss: l, PFail: pf})
 		}
+		e.swScratch = swDecisions
 		sw += e.Costs.DedicatedCostPerByte * float64(e.Costs.SwitchOverheadBytes)
 		if sw < cur {
 			for j, i := range idxs {

@@ -304,3 +304,43 @@ func TestLambdaMonotonicity(t *testing.T) {
 		prevPFail = d.PFail
 	}
 }
+
+// TestDecideSteadyStateAllocFree: the recovery tick calls Decide on every
+// incomplete frame once per 100 ms for every client, so its steady state
+// must not allocate — the decision vector, the per-substream buckets, and
+// the group-substitution staging all live in engine-owned scratch buffers.
+func TestDecideSteadyStateAllocFree(t *testing.T) {
+	e := NewEngine(DefaultCosts())
+	edf := stats.NewEDF(128)
+	for i := 0; i < 50; i++ {
+		edf.Observe(float64(50 + i))
+	}
+	s := Stats{
+		PktSuccess:          0.9,
+		BERetryRTT:          80 * time.Millisecond,
+		DedicatedEDF:        edf,
+		ConsecutiveLost:     map[media.SubstreamID]int{1: 4}, // triggers group substitution
+		BufferMs:            900,
+		FallbackThresholdMs: 400,
+	}
+	frames := make([]FrameState, 6)
+	for i := range frames {
+		frames[i] = FrameState{
+			Dts:            uint64(1000 + 33*i),
+			Substream:      media.SubstreamID(i % 3),
+			Type:           media.FrameP,
+			Deadline:       time.Duration(300+50*i) * time.Millisecond,
+			SizeBytes:      9000,
+			MissingPackets: 1 + i%3,
+			PacketBytes:    1200,
+			RetriesUsed:    i % 2,
+		}
+	}
+	e.Decide(frames, s) // warm up the scratch buffers
+	allocs := testing.AllocsPerRun(1000, func() {
+		e.Decide(frames, s)
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state Decide allocates %.1f/op, want 0", allocs)
+	}
+}

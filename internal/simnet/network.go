@@ -279,14 +279,31 @@ func (n *Network) owd(src, dst *node, size int) (time.Duration, bool) {
 	return queueing + ser + prop + jitter, true
 }
 
+// Poolable is implemented by pooled message types (see internal/transport):
+// the network owns exactly one reference per Send and releases it when the
+// delivery completes, at every send-side drop, and at every arrival-side
+// drop — so a pooled message returns to its free list the moment its last
+// in-flight copy dies.
+type Poolable interface{ PoolRelease() }
+
+// releaseMsg returns one pooled-message reference to its owner; plain
+// messages pass through untouched.
+func releaseMsg(msg any) {
+	if p, ok := msg.(Poolable); ok {
+		p.PoolRelease()
+	}
+}
+
 // Send transmits msg of the given wire size from src to dst, invoking the
 // destination handler after the simulated one-way delay, or dropping it on
 // loss or endpoint churn. Delivery re-checks that the destination is still
-// online at arrival time.
+// online at arrival time. Each Send consumes one pooled-message reference
+// (see Poolable); senders fanning one message out retain once per Send.
 func (n *Network) Send(src, dst Addr, size int, msg any) {
 	s, ok := n.nodes[src]
 	if !ok || !s.online {
 		n.Dropped++
+		releaseMsg(msg)
 		return
 	}
 	d, ok := n.nodes[dst]
@@ -295,17 +312,20 @@ func (n *Network) Send(src, dst Addr, size int, msg any) {
 		if ok {
 			d.dropped++
 		}
+		releaseMsg(msg)
 		return
 	}
 	if n.Blocked != nil && n.Blocked(src, dst) {
 		n.Dropped++
 		d.dropped++
+		releaseMsg(msg)
 		return
 	}
 	delay, delivered := n.owd(s, d, size)
 	if !delivered {
 		n.Dropped++
 		d.dropped++
+		releaseMsg(msg)
 		return
 	}
 	s.bytesSent += uint64(size)
@@ -322,11 +342,15 @@ func (n *Network) deliver(d *node, src Addr, size int, msg any, epoch uint64) {
 	if !d.online || d.epoch != epoch || d.handler == nil {
 		n.Dropped++
 		d.dropped++
+		releaseMsg(msg)
 		return
 	}
 	d.bytesReceived += uint64(size)
 	n.Delivered++
 	d.handler(src, msg)
+	// Handlers must not retain message pointers (simulator immutability
+	// rule), so the network's reference dies with the delivery.
+	releaseMsg(msg)
 }
 
 // SampleRTT returns the instantaneous round-trip time estimate between a and

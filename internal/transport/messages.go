@@ -85,6 +85,10 @@ type CDNFrame struct {
 	// two bytes it would occupy are within the record's existing
 	// modeled header padding, so WireSize is unchanged.
 	K int
+
+	pool *RecordPool
+	refs int32
+	gen  uint32
 }
 
 // DataPacket is one fixed-size slice of a frame pushed by a best-effort
@@ -111,6 +115,10 @@ type DataPacket struct {
 	Payload []byte
 	// Retransmit marks packets resent in response to a RetxReq.
 	Retransmit bool
+
+	pool *PacketPool
+	refs int32
+	gen  uint32
 }
 
 // RetxReq asks the publisher to resend specific packets of a frame
@@ -119,6 +127,10 @@ type RetxReq struct {
 	Key     scheduler.SubstreamKey
 	Dts     uint64
 	Missing []uint16
+
+	pool *RetxReqPool
+	refs int32
+	gen  uint32
 }
 
 // RetxNack tells a requester the publisher cannot serve a retransmission
@@ -135,6 +147,10 @@ type RetxNack struct {
 type FrameReq struct {
 	Stream media.StreamID
 	Dts    uint64
+
+	pool *FrameReqPool
+	refs int32
+	gen  uint32
 }
 
 // ProbeReq is the client's application-level connection attempt used in

@@ -1,0 +1,236 @@
+package transport
+
+// Pooled message lifecycle for the data-plane hot path.
+//
+// The simulator passes messages by reference, and a single frame fan-out
+// pushes the same record to every subscriber, so the hot message types
+// (DataPacket, CDNFrame, RetxReq, FrameReq) carry a reference count: the
+// builder holds one reference from Get, each Send adds one via Retain, and
+// the network releases exactly one per delivery attempt — on every drop
+// path and after the receiving handler returns (the simnet.Poolable hooks).
+// When the count reaches zero the struct is zeroed, its generation counter
+// advances, and it returns to its free list. The generation is the epoch
+// guard: a holder that cached (pointer, Generation()) can detect that the
+// slot was recycled, the same idea as the simnet event-slab epochs.
+//
+// Messages built without a pool (codec decode paths, livenet, tests using
+// plain literals) have a nil pool pointer; Retain and PoolRelease are no-ops
+// for them, so pooled and plain messages flow through identical network
+// code. Receivers must never retain a message pointer past their handler
+// (the long-standing simulator immutability rule), which is what makes the
+// after-handler release sound.
+//
+// Pools are per-entity, not global: RunCells executes whole simulations
+// concurrently, and entity-owned free lists need no locks.
+
+// poolTrimThreshold mirrors simnet's trimThreshold: free lists whose
+// backing array outgrew it are dropped at quiescent points (see
+// core.System.Run) so long fleet runs release burst capacity.
+const poolTrimThreshold = 4096
+
+// PacketPool is a free list of DataPackets.
+type PacketPool struct{ free []*DataPacket }
+
+// Get returns a zeroed packet holding one (builder) reference.
+func (p *PacketPool) Get() *DataPacket {
+	if k := len(p.free); k > 0 {
+		m := p.free[k-1]
+		p.free = p.free[:k-1]
+		m.refs = 1
+		return m
+	}
+	return &DataPacket{pool: p, refs: 1}
+}
+
+// Trim drops an oversized free list; call only at quiescent points.
+func (p *PacketPool) Trim() {
+	if cap(p.free) > poolTrimThreshold {
+		p.free = nil
+	}
+}
+
+// FreeLen reports how many packets sit on the free list (test hook).
+func (p *PacketPool) FreeLen() int { return len(p.free) }
+
+// Retain adds one reference for an upcoming Send. No-op on unpooled packets.
+func (m *DataPacket) Retain() {
+	if m.pool != nil {
+		m.refs++
+	}
+}
+
+// Generation returns the recycle epoch of this slot; it advances on every
+// release, so a cached (pointer, generation) pair detects stale reuse.
+func (m *DataPacket) Generation() uint32 { return m.gen }
+
+// PoolRelease drops one reference and recycles the packet at zero. The
+// Chain backing array survives recycling so steady state allocates nothing.
+func (m *DataPacket) PoolRelease() {
+	if m.pool == nil {
+		return
+	}
+	m.refs--
+	if m.refs > 0 {
+		return
+	}
+	if m.refs < 0 {
+		panic("transport: DataPacket over-released")
+	}
+	pool, gen, ch := m.pool, m.gen, m.Chain[:0]
+	*m = DataPacket{pool: pool, gen: gen + 1, Chain: ch}
+	pool.free = append(pool.free, m)
+}
+
+// RecordPool is a free list of CDNFrames.
+type RecordPool struct{ free []*CDNFrame }
+
+// Get returns a zeroed frame record holding one (builder) reference.
+func (p *RecordPool) Get() *CDNFrame {
+	if k := len(p.free); k > 0 {
+		m := p.free[k-1]
+		p.free = p.free[:k-1]
+		m.refs = 1
+		return m
+	}
+	return &CDNFrame{pool: p, refs: 1}
+}
+
+// Trim drops an oversized free list; call only at quiescent points.
+func (p *RecordPool) Trim() {
+	if cap(p.free) > poolTrimThreshold {
+		p.free = nil
+	}
+}
+
+// FreeLen reports how many records sit on the free list (test hook).
+func (p *RecordPool) FreeLen() int { return len(p.free) }
+
+// Retain adds one reference for an upcoming Send. No-op on unpooled records.
+func (m *CDNFrame) Retain() {
+	if m.pool != nil {
+		m.refs++
+	}
+}
+
+// Generation returns the recycle epoch of this slot.
+func (m *CDNFrame) Generation() uint32 { return m.gen }
+
+// PoolRelease drops one reference and recycles the record at zero.
+func (m *CDNFrame) PoolRelease() {
+	if m.pool == nil {
+		return
+	}
+	m.refs--
+	if m.refs > 0 {
+		return
+	}
+	if m.refs < 0 {
+		panic("transport: CDNFrame over-released")
+	}
+	pool, gen := m.pool, m.gen
+	*m = CDNFrame{pool: pool, gen: gen + 1}
+	pool.free = append(pool.free, m)
+}
+
+// RetxReqPool is a free list of RetxReqs.
+type RetxReqPool struct{ free []*RetxReq }
+
+// Get returns a zeroed request holding one (builder) reference.
+func (p *RetxReqPool) Get() *RetxReq {
+	if k := len(p.free); k > 0 {
+		m := p.free[k-1]
+		p.free = p.free[:k-1]
+		m.refs = 1
+		return m
+	}
+	return &RetxReq{pool: p, refs: 1}
+}
+
+// Trim drops an oversized free list; call only at quiescent points.
+func (p *RetxReqPool) Trim() {
+	if cap(p.free) > poolTrimThreshold {
+		p.free = nil
+	}
+}
+
+// FreeLen reports how many requests sit on the free list (test hook).
+func (p *RetxReqPool) FreeLen() int { return len(p.free) }
+
+// Retain adds one reference for an upcoming Send. No-op on unpooled requests.
+func (m *RetxReq) Retain() {
+	if m.pool != nil {
+		m.refs++
+	}
+}
+
+// Generation returns the recycle epoch of this slot.
+func (m *RetxReq) Generation() uint32 { return m.gen }
+
+// PoolRelease drops one reference and recycles the request at zero. The
+// Missing backing array survives recycling.
+func (m *RetxReq) PoolRelease() {
+	if m.pool == nil {
+		return
+	}
+	m.refs--
+	if m.refs > 0 {
+		return
+	}
+	if m.refs < 0 {
+		panic("transport: RetxReq over-released")
+	}
+	pool, gen, miss := m.pool, m.gen, m.Missing[:0]
+	*m = RetxReq{pool: pool, gen: gen + 1, Missing: miss}
+	pool.free = append(pool.free, m)
+}
+
+// FrameReqPool is a free list of FrameReqs.
+type FrameReqPool struct{ free []*FrameReq }
+
+// Get returns a zeroed request holding one (builder) reference.
+func (p *FrameReqPool) Get() *FrameReq {
+	if k := len(p.free); k > 0 {
+		m := p.free[k-1]
+		p.free = p.free[:k-1]
+		m.refs = 1
+		return m
+	}
+	return &FrameReq{pool: p, refs: 1}
+}
+
+// Trim drops an oversized free list; call only at quiescent points.
+func (p *FrameReqPool) Trim() {
+	if cap(p.free) > poolTrimThreshold {
+		p.free = nil
+	}
+}
+
+// FreeLen reports how many requests sit on the free list (test hook).
+func (p *FrameReqPool) FreeLen() int { return len(p.free) }
+
+// Retain adds one reference for an upcoming Send. No-op on unpooled requests.
+func (m *FrameReq) Retain() {
+	if m.pool != nil {
+		m.refs++
+	}
+}
+
+// Generation returns the recycle epoch of this slot.
+func (m *FrameReq) Generation() uint32 { return m.gen }
+
+// PoolRelease drops one reference and recycles the request at zero.
+func (m *FrameReq) PoolRelease() {
+	if m.pool == nil {
+		return
+	}
+	m.refs--
+	if m.refs > 0 {
+		return
+	}
+	if m.refs < 0 {
+		panic("transport: FrameReq over-released")
+	}
+	pool, gen := m.pool, m.gen
+	*m = FrameReq{pool: pool, gen: gen + 1}
+	pool.free = append(pool.free, m)
+}

@@ -1,0 +1,177 @@
+package transport
+
+import (
+	"testing"
+
+	"repro/internal/chain"
+	"repro/internal/media"
+	"repro/internal/scheduler"
+)
+
+// TestPacketPoolReuse is the pooled-lifecycle property test (the analogue
+// of simnet's deliverEvent slab tests): a released packet comes back from
+// Get zeroed — no stale header, chain, or payload from its previous life —
+// while the Chain backing array is retained for reuse.
+func TestPacketPoolReuse(t *testing.T) {
+	var p PacketPool
+	m := p.Get()
+	m.Key = scheduler.SubstreamKey{Stream: 7, Substream: 3}
+	m.Header = media.Header{Dts: 1000, Size: 5000}
+	m.Seq, m.Count = 2, 5
+	m.PayloadLen = 1200
+	m.Chain = append(m.Chain, chain.Footprint{Dts: 1000, CRC: 42})
+	m.Retransmit = true
+	m.PoolRelease()
+	if p.FreeLen() != 1 {
+		t.Fatalf("FreeLen = %d after release, want 1", p.FreeLen())
+	}
+
+	m2 := p.Get()
+	if m2 != m {
+		t.Fatalf("Get did not reuse the released slot")
+	}
+	if p.FreeLen() != 0 {
+		t.Fatalf("FreeLen = %d after Get, want 0", p.FreeLen())
+	}
+	if m2.Key != (scheduler.SubstreamKey{}) || m2.Header != (media.Header{}) ||
+		m2.Seq != 0 || m2.Count != 0 || m2.PayloadLen != 0 || m2.Retransmit {
+		t.Fatalf("reused packet not zeroed: %+v", m2)
+	}
+	if len(m2.Chain) != 0 {
+		t.Fatalf("reused packet carries stale chain: %v", m2.Chain)
+	}
+	if cap(m2.Chain) == 0 {
+		t.Fatalf("Chain backing array was not retained across recycle")
+	}
+}
+
+// TestPoolGenerationGuard: the generation advances on every recycle, so a
+// holder that cached (pointer, Generation()) detects the slot was reused —
+// the same epoch-guard idea as the simnet event slabs.
+func TestPoolGenerationGuard(t *testing.T) {
+	var p RecordPool
+	m := p.Get()
+	g0 := m.Generation()
+	m.PoolRelease()
+	m2 := p.Get()
+	if m2 != m {
+		t.Fatalf("expected slot reuse")
+	}
+	if m2.Generation() != g0+1 {
+		t.Fatalf("generation = %d after recycle, want %d", m2.Generation(), g0+1)
+	}
+}
+
+// TestPoolFanOutRefcount models the frame fan-out: one builder reference
+// from Get plus one Retain per Send; the slot must return to the free list
+// exactly once, after the last release.
+func TestPoolFanOutRefcount(t *testing.T) {
+	var p RecordPool
+	m := p.Get()
+	const subscribers = 3
+	for i := 0; i < subscribers; i++ {
+		m.Retain() // one per Send
+	}
+	m.PoolRelease() // builder drops its reference
+	for i := 0; i < subscribers; i++ {
+		if p.FreeLen() != 0 {
+			t.Fatalf("recycled while %d deliveries outstanding", subscribers-i)
+		}
+		m.PoolRelease() // network releases one per delivery
+	}
+	if p.FreeLen() != 1 {
+		t.Fatalf("FreeLen = %d after final release, want 1", p.FreeLen())
+	}
+}
+
+// TestPoolOverReleasePanics: a refcount bug must fail loudly, not silently
+// double-free a live message.
+func TestPoolOverReleasePanics(t *testing.T) {
+	var p RetxReqPool
+	m := p.Get()
+	m.PoolRelease()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("over-release did not panic")
+		}
+	}()
+	// The slot is on the free list with refs == 0; releasing again is the
+	// bug the panic guards.
+	m.PoolRelease()
+}
+
+// TestUnpooledMessagesAreNoOps: plain literals (codec paths, livenet,
+// tests) have no pool, so the network's release hooks must leave them
+// untouched.
+func TestUnpooledMessagesAreNoOps(t *testing.T) {
+	m := &DataPacket{Seq: 9}
+	m.Retain()
+	m.PoolRelease()
+	m.PoolRelease()
+	if m.Seq != 9 {
+		t.Fatalf("unpooled packet mutated by release: %+v", m)
+	}
+	r := &FrameReq{Dts: 5}
+	r.Retain()
+	r.PoolRelease()
+	if r.Dts != 5 {
+		t.Fatalf("unpooled request mutated by release: %+v", r)
+	}
+}
+
+// TestPoolTrim: an oversized free list is dropped at a quiescent point
+// (the PR 7 capacity-trim fix applied to the message slabs), while a
+// modest one is kept.
+func TestPoolTrim(t *testing.T) {
+	var p FrameReqPool
+	live := make([]*FrameReq, poolTrimThreshold+1)
+	for i := range live {
+		live[i] = p.Get()
+	}
+	for _, m := range live {
+		m.PoolRelease()
+	}
+	if p.FreeLen() <= poolTrimThreshold {
+		t.Fatalf("setup: FreeLen = %d, want > %d", p.FreeLen(), poolTrimThreshold)
+	}
+	p.Trim()
+	if p.FreeLen() != 0 {
+		t.Fatalf("Trim kept an oversized free list: FreeLen = %d", p.FreeLen())
+	}
+
+	var small PacketPool
+	a, b := small.Get(), small.Get()
+	a.PoolRelease()
+	b.PoolRelease()
+	small.Trim()
+	if small.FreeLen() != 2 {
+		t.Fatalf("Trim dropped a modest free list: FreeLen = %d", small.FreeLen())
+	}
+}
+
+// TestPoolSteadyStateAllocFree: after warm-up, a Get → fill → Release cycle
+// allocates nothing — the zero-alloc guarantee the data plane builds on.
+func TestPoolSteadyStateAllocFree(t *testing.T) {
+	var pkts PacketPool
+	var recs RecordPool
+	// Warm-up: materialize the slots and the Chain backing array.
+	m := pkts.Get()
+	m.Chain = append(m.Chain[:0], chain.Footprint{Dts: 1}, chain.Footprint{Dts: 2})
+	m.PoolRelease()
+	recs.Get().PoolRelease()
+
+	allocs := testing.AllocsPerRun(1000, func() {
+		p := pkts.Get()
+		p.Header = media.Header{Dts: 42, Size: 3000}
+		p.Chain = append(p.Chain[:0], chain.Footprint{Dts: 40}, chain.Footprint{Dts: 41})
+		r := recs.Get()
+		r.Header = p.Header
+		r.Retain()
+		r.PoolRelease()
+		r.PoolRelease()
+		p.PoolRelease()
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state pool cycle allocates %.1f/op, want 0", allocs)
+	}
+}

@@ -1,0 +1,50 @@
+#!/usr/bin/env sh
+# determinism.sh — the serial-vs-parallel byte-identity check, shared by the
+# Makefile gates and CI so the two never drift.
+#
+# Usage:
+#   scripts/determinism.sh <exp> <seed> <jsonl-flag> [extra parallel-run flags...]
+#
+#   <exp>        experiment name passed to rlive-sim -exp
+#   <seed>       RNG seed (the seed each gate's acceptance is pinned to)
+#   <jsonl-flag> which JSONL stream to capture: -trace, -telemetry, -alerts, -ctrl
+#   extra flags  prepended to the second run only (e.g. "-shards 4" for the
+#                sharded-engine gate; "-parallel 4" is always added)
+#
+# Environment:
+#   DETERMINISM_OUT  keep outputs (serial.jsonl, serial.clean, ...) in this
+#                    directory instead of a throwaway mktemp dir — CI sets it
+#                    so scorecards/reports survive as artifacts.
+#
+# The check: same seed, serial then parallel execution, must render identical
+# tables and write byte-identical JSONL. Only the `-- ` status lines
+# (wall-clock, output paths) may differ, so they are stripped before diffing.
+set -eu
+
+if [ "$#" -lt 3 ]; then
+    echo "usage: $0 <exp> <seed> <jsonl-flag> [extra parallel-run flags...]" >&2
+    exit 2
+fi
+
+exp=$1
+seed=$2
+jsonl_flag=$3
+shift 3
+
+if [ -n "${DETERMINISM_OUT:-}" ]; then
+    out=$DETERMINISM_OUT
+    mkdir -p "$out"
+else
+    out=$(mktemp -d)
+    trap 'rm -rf "$out"' EXIT
+fi
+
+go run ./cmd/rlive-sim -exp "$exp" -seed "$seed" "$jsonl_flag" "$out/serial.jsonl" > "$out/serial.txt"
+go run ./cmd/rlive-sim -exp "$exp" -seed "$seed" "$@" -parallel 4 "$jsonl_flag" "$out/parallel.jsonl" > "$out/parallel.txt"
+
+cmp "$out/serial.jsonl" "$out/parallel.jsonl"
+grep -v '^-- ' "$out/serial.txt" > "$out/serial.clean"
+grep -v '^-- ' "$out/parallel.txt" > "$out/parallel.clean"
+diff -u "$out/serial.clean" "$out/parallel.clean"
+
+echo "determinism($exp seed=$seed): OK"
