@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: tier1 build test vet race bench bench-json bench-gate benchcmp chaos ci fmt-check determinism telemetry alerting ctrlplane sharded
+.PHONY: tier1 build test vet race bench bench-json bench-gate benchcmp chaos ci fmt-check determinism telemetry alerting ctrlplane sharded obs-smoke
 
 # Perf-trajectory numbering: the latest checked-in BENCH_*.json is the
 # regression baseline, and bench-json writes the next index so the
@@ -59,7 +59,7 @@ chaos:
 # formatting, vet, the race detector, the serial-vs-parallel trace,
 # telemetry, alerting, and control-plane determinism gates, and the
 # benchmark regression gate.
-ci: tier1 fmt-check vet race determinism telemetry alerting ctrlplane sharded bench-gate
+ci: tier1 fmt-check vet race determinism telemetry alerting ctrlplane sharded bench-gate obs-smoke
 
 fmt-check:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -99,3 +99,10 @@ sharded:
 ctrlplane:
 	@$(GO) test ./internal/ctrlplane/ ./internal/core/ -run 'Test.*(Gossip|Shard|LKG|Push|CtrlWire|ControlPlane|DataPlane)' -count 1
 	@scripts/determinism.sh ctrl-scale 1 -ctrl
+
+# The observability-plane smoke: boot rlive-cdn + rlive-edge + rlive-client
+# on loopback with -obs, wait for /healthz and /readyz, and assert /metrics
+# shows nonzero frame counters end to end. Shared with CI via
+# scripts/obs-smoke.sh.
+obs-smoke:
+	@scripts/obs-smoke.sh

@@ -6,13 +6,17 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"log"
 	"os"
 	"os/signal"
+	"time"
 
 	"repro/internal/livenet"
 	"repro/internal/media"
+	"repro/internal/obs"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -23,6 +27,7 @@ func main() {
 		fps     = flag.Int("fps", 30, "frames per second")
 		bitrate = flag.Float64("bitrate", 2e6, "stream bitrate (bps)")
 		seed    = flag.Uint64("seed", 1, "content RNG seed")
+		obsAddr = flag.String("obs", "", "observability HTTP listen address (empty = disabled)")
 	)
 	flag.Parse()
 
@@ -31,6 +36,34 @@ func main() {
 		log.Fatalf("rlive-cdn: %v", err)
 	}
 	defer origin.Close()
+
+	// Observability plane: /metrics, /events, /healthz, /readyz,
+	// /snapshot. A nil server (flag unset) makes every call below a no-op
+	// and leaves the origin's instruments nil — the zero-cost path.
+	var srv *obs.Server
+	var reg *telemetry.Registry
+	if *obsAddr != "" {
+		reg = telemetry.NewRegistry("rlive-cdn", *seed)
+		srv = obs.NewServer(obs.Options{})
+	}
+	origin.SetTelemetry(reg)
+	srv.AddLiveRegistry(reg)
+	srv.PollRegistry(reg, 2*time.Second)
+	srv.AddLiveness("origin", func() error { return nil })
+	srv.AddReadiness("streams", func() error {
+		if reg.Counter("origin.frames_generated").Value() == 0 {
+			return errors.New("no frames generated yet")
+		}
+		return nil
+	})
+	if srv != nil {
+		bound, err := srv.Start(*obsAddr)
+		if err != nil {
+			log.Fatalf("rlive-cdn: obs: %v", err)
+		}
+		defer srv.Close()
+		log.Printf("rlive-cdn: observability on http://%s (/metrics /events /healthz /readyz /snapshot)", bound)
+	}
 	for i := 0; i < *streams; i++ {
 		origin.HostStream(media.SourceConfig{
 			Stream:     media.StreamID(i + 1),

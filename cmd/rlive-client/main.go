@@ -6,6 +6,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -14,6 +15,8 @@ import (
 
 	"repro/internal/livenet"
 	"repro/internal/media"
+	"repro/internal/obs"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -25,6 +28,7 @@ func main() {
 		k        = flag.Int("k", 4, "substream count")
 		fps      = flag.Int("fps", 30, "frames per second")
 		duration = flag.Duration("duration", 30*time.Second, "viewing duration")
+		obsAddr  = flag.String("obs", "", "observability HTTP listen address (empty = disabled)")
 	)
 	flag.Parse()
 
@@ -51,6 +55,33 @@ func main() {
 		log.Fatalf("rlive-client: %v", err)
 	}
 	defer viewer.Close()
+
+	// Observability plane (no-op when -obs is unset).
+	var srv *obs.Server
+	var reg *telemetry.Registry
+	if *obsAddr != "" {
+		reg = telemetry.NewRegistry("rlive-client", 0)
+		srv = obs.NewServer(obs.Options{})
+	}
+	viewer.SetTelemetry(reg)
+	srv.AddLiveRegistry(reg)
+	srv.PollRegistry(reg, 2*time.Second)
+	srv.AddLiveness("viewer", func() error { return nil })
+	srv.AddReadiness("playing", func() error {
+		if reg.Counter("viewer.frames_played").Value() == 0 {
+			return errors.New("no frames played yet")
+		}
+		return nil
+	})
+	if srv != nil {
+		bound, err := srv.Start(*obsAddr)
+		if err != nil {
+			log.Fatalf("rlive-client: obs: %v", err)
+		}
+		defer srv.Close()
+		log.Printf("rlive-client: observability on http://%s", bound)
+	}
+
 	if err := viewer.Start(assign); err != nil {
 		log.Fatalf("rlive-client: start: %v", err)
 	}

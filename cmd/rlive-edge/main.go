@@ -8,20 +8,25 @@ package main
 
 import (
 	"flag"
+	"fmt"
 	"log"
+	"net"
 	"os"
 	"os/signal"
 	"time"
 
 	"repro/internal/livenet"
+	"repro/internal/obs"
+	"repro/internal/telemetry"
 )
 
 func main() {
 	var (
-		listen = flag.String("listen", "127.0.0.1:0", "UDP listen address")
-		cdn    = flag.String("cdn", "127.0.0.1:8400", "CDN origin address")
-		sched  = flag.String("scheduler", "", "scheduler directory address (optional)")
-		quota  = flag.Int("quota", 64, "session quota")
+		listen  = flag.String("listen", "127.0.0.1:0", "UDP listen address")
+		cdn     = flag.String("cdn", "127.0.0.1:8400", "CDN origin address")
+		sched   = flag.String("scheduler", "", "scheduler directory address (optional)")
+		quota   = flag.Int("quota", 64, "session quota")
+		obsAddr = flag.String("obs", "", "observability HTTP listen address (empty = disabled)")
 	)
 	flag.Parse()
 
@@ -31,6 +36,34 @@ func main() {
 	}
 	defer relay.Close()
 	log.Printf("rlive-edge: serving on %s, pulling from %s", relay.Addr(), *cdn)
+
+	// Observability plane (no-op when -obs is unset).
+	var srv *obs.Server
+	var reg *telemetry.Registry
+	if *obsAddr != "" {
+		reg = telemetry.NewRegistry("rlive-edge", 0)
+		srv = obs.NewServer(obs.Options{})
+	}
+	relay.SetTelemetry(reg)
+	srv.AddLiveRegistry(reg)
+	srv.PollRegistry(reg, 2*time.Second)
+	srv.AddLiveness("relay", func() error { return nil })
+	srv.AddReadiness("origin-reachable", func() error {
+		conn, err := net.DialTimeout("tcp", *cdn, time.Second)
+		if err != nil {
+			return fmt.Errorf("origin %s: %w", *cdn, err)
+		}
+		conn.Close()
+		return nil
+	})
+	if srv != nil {
+		bound, err := srv.Start(*obsAddr)
+		if err != nil {
+			log.Fatalf("rlive-edge: obs: %v", err)
+		}
+		defer srv.Close()
+		log.Printf("rlive-edge: observability on http://%s", bound)
+	}
 
 	if *sched != "" {
 		go func() {

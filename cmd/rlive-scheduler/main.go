@@ -9,12 +9,16 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"time"
 
 	"repro/internal/livenet"
+	"repro/internal/obs"
+	"repro/internal/telemetry"
 )
 
 func main() {
 	listen := flag.String("listen", "127.0.0.1:8401", "HTTP listen address")
+	obsAddr := flag.String("obs", "", "observability HTTP listen address (empty = disabled)")
 	flag.Parse()
 
 	dir, err := livenet.NewDirectory(*listen)
@@ -23,6 +27,27 @@ func main() {
 	}
 	defer dir.Close()
 	log.Printf("rlive-scheduler: listening on %s (POST /register, GET /candidates)", dir.Addr())
+
+	// Observability plane (no-op when -obs is unset).
+	var srv *obs.Server
+	var reg *telemetry.Registry
+	if *obsAddr != "" {
+		reg = telemetry.NewRegistry("rlive-scheduler", 0)
+		srv = obs.NewServer(obs.Options{})
+	}
+	dir.SetTelemetry(reg)
+	srv.AddLiveRegistry(reg)
+	srv.PollRegistry(reg, 2*time.Second)
+	srv.AddLiveness("directory", func() error { return nil })
+	srv.AddReadiness("directory", func() error { return nil })
+	if srv != nil {
+		bound, err := srv.Start(*obsAddr)
+		if err != nil {
+			log.Fatalf("rlive-scheduler: obs: %v", err)
+		}
+		defer srv.Close()
+		log.Printf("rlive-scheduler: observability on http://%s", bound)
+	}
 
 	ch := make(chan os.Signal, 1)
 	signal.Notify(ch, os.Interrupt)

@@ -71,6 +71,7 @@ func main() {
 		ctrlPth  = flag.String("ctrl", "", "write control-plane snapshot/gossip event logs as JSONL to this path (deterministic per seed; emitted by ctrl-scale)")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this path")
 		memProf  = flag.String("memprofile", "", "write a heap profile to this path on exit")
+		obsAddr  = flag.String("obs", "", "observability HTTP listen address for live progress (/metrics, /events, ...; empty = disabled; results stay byte-identical)")
 	)
 	flag.Parse()
 
@@ -130,6 +131,21 @@ func main() {
 	sc.Telemetry = *telemPth != ""
 	sc.Shards = *shards
 
+	// Live observability bridge: serves /metrics, /events, /healthz,
+	// /readyz, /snapshot while the run is in flight. A nil bridge (flag
+	// unset) makes every call below a no-op and registers no hooks.
+	var bridge *obsBridge
+	if *obsAddr != "" {
+		var err error
+		bridge, err = newObsBridge(*obsAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rlive-sim: obs: %v\n", err)
+			os.Exit(1)
+		}
+		defer bridge.close()
+	}
+	bridge.wire(&sc)
+
 	ids := []string{*exp}
 	if *exp == "all" {
 		ids = experiments.IDs()
@@ -140,6 +156,7 @@ func main() {
 			os.Exit(2)
 		}
 	}
+	bridge.setTotal(len(ids))
 
 	// Experiments fan across the same bounded cell pool as their internal
 	// A/B arms and grid points; results print in catalogue order either
@@ -164,6 +181,8 @@ func main() {
 		res := experiments.Result{ID: cell.ID, Tables: cell.Tables, Series: cell.Series}
 		fmt.Print(res.String())
 		fmt.Printf("-- %s done in %v\n\n", cell.ID, (time.Duration(cell.ElapsedMs) * time.Millisecond).Round(time.Millisecond))
+		bridge.expDone()
+		bridge.publishTraces(cell.ID, cell.traces)
 		traces = append(traces, cell.traces...)
 		timelines = append(timelines, cell.timelines...)
 		alerts = append(alerts, cell.alerts...)

@@ -1,0 +1,154 @@
+package main
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/obs"
+	"repro/internal/telemetry"
+	"repro/internal/trace"
+)
+
+// obsBridge makes a long simulation run watchable live: it wires the -obs
+// HTTP server to the experiment harness so an operator can follow a
+// 100k-node fleet-scale sweep from a browser instead of waiting for the
+// final tables.
+//
+// What it exposes:
+//
+//   - A wall-clock "progress" registry (cells completed, experiments
+//     total, scrapes seen, last sim-time) served live at /metrics and
+//     polled onto the SSE stream.
+//   - Every registry the experiments create (Scale.Watch): each sim-time
+//     scrape is published as an SSE "scrape" event as it happens, and
+//     /metrics renders the most recent scrape of the most recently
+//     active registry (LastSnap — never a request-time snapshot, because
+//     sim gauge funcs must only run on the sim thread).
+//   - Fleet-scale mid-run progress (Scale.WatchFleet): the sharded
+//     engine's conservative watermark, polled on a wall-clock ticker.
+//
+// Everything here only observes — atomic reads, OnScrape side channels —
+// and never adds sim events or instruments, so output stays byte-identical
+// with or without -obs (the determinism gates run both ways in CI).
+type obsBridge struct {
+	srv *obs.Server
+
+	// progress is the bridge's own wall-clock registry, served live.
+	progress     *telemetry.Registry
+	cellsDone    *telemetry.Counter
+	scrapesSeen  *telemetry.Counter
+	simTimeNs    atomic.Int64 // latest watched scrape instant (or watermark)
+	totalExps    atomic.Int64
+	expsDone     atomic.Int64
+	watermarkNs  atomic.Int64
+	fleetRunning atomic.Int64
+}
+
+// newObsBridge builds the bridge and starts the obs server on addr.
+func newObsBridge(addr string) (*obsBridge, error) {
+	b := &obsBridge{}
+	b.progress = telemetry.NewRegistry("rlive-sim", 0)
+	b.cellsDone = b.progress.Counter("sim.cells_completed")
+	b.scrapesSeen = b.progress.Counter("sim.scrapes_seen")
+	b.progress.GaugeFunc("sim.experiments_total", func() float64 { return float64(b.totalExps.Load()) })
+	b.progress.GaugeFunc("sim.experiments_done", func() float64 { return float64(b.expsDone.Load()) })
+	b.progress.GaugeFunc("sim.time_s", func() float64 { return float64(b.simTimeNs.Load()) / 1e9 })
+	b.progress.GaugeFunc("sim.fleet_watermark_s", func() float64 { return float64(b.watermarkNs.Load()) / 1e9 })
+	b.progress.GaugeFunc("sim.fleet_runs_active", func() float64 { return float64(b.fleetRunning.Load()) })
+
+	b.srv = obs.NewServer(obs.Options{})
+	b.srv.AddLiveRegistry(b.progress)
+	b.srv.PollRegistry(b.progress, time.Second)
+	b.srv.AddLiveness("sim", func() error { return nil })
+	b.srv.AddReadiness("sim", func() error { return nil })
+
+	// Cell completions arrive from RunCells on any worker goroutine;
+	// counter adds are atomic.
+	experiments.SetCellObserver(func() { b.cellsDone.Inc() })
+
+	bound, err := b.srv.Start(addr)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Printf("-- observability on http://%s (/metrics /events /healthz /readyz /snapshot)\n", bound)
+	return b, nil
+}
+
+// wire installs the bridge's hooks on the run scale.
+func (b *obsBridge) wire(sc *experiments.Scale) {
+	if b == nil {
+		return
+	}
+	sc.Watch = func(reg *telemetry.Registry) {
+		b.srv.WatchRegistry(reg)
+		reg.OnScrape(func(r *telemetry.Registry, i int) {
+			b.scrapesSeen.Inc()
+			// Monotone high-water mark across concurrent cells.
+			at := r.ScrapeAt(i)
+			for {
+				cur := b.simTimeNs.Load()
+				if at <= cur || b.simTimeNs.CompareAndSwap(cur, at) {
+					break
+				}
+			}
+		})
+	}
+	sc.WatchFleet = func(done <-chan struct{}, watermark func() int64) {
+		b.fleetRunning.Add(1)
+		go func() {
+			defer b.fleetRunning.Add(-1)
+			tick := time.NewTicker(500 * time.Millisecond)
+			defer tick.Stop()
+			for {
+				select {
+				case <-done:
+					return
+				case <-tick.C:
+					w := watermark()
+					for {
+						cur := b.watermarkNs.Load()
+						if w <= cur || b.watermarkNs.CompareAndSwap(cur, w) {
+							break
+						}
+					}
+				}
+			}
+		}()
+	}
+}
+
+// setTotal records the experiment count for the progress gauges.
+func (b *obsBridge) setTotal(n int) {
+	if b == nil {
+		return
+	}
+	b.totalExps.Store(int64(n))
+}
+
+// expDone advances the completed-experiment gauge.
+func (b *obsBridge) expDone() {
+	if b == nil {
+		return
+	}
+	b.expsDone.Add(1)
+}
+
+// publishTraces ships the merged trace summary of one finished experiment
+// as an SSE "trace-summary" event (skipped when no client is listening).
+func (b *obsBridge) publishTraces(id string, runs []*trace.Run) {
+	if b == nil || len(runs) == 0 || !b.srv.StreamActive() {
+		return
+	}
+	b.srv.PublishTraceSummary(id, trace.Summarize(runs...))
+}
+
+// close shuts the server down and detaches the cell observer.
+func (b *obsBridge) close() {
+	if b == nil {
+		return
+	}
+	experiments.SetCellObserver(nil)
+	b.srv.Close()
+}

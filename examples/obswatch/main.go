@@ -1,0 +1,123 @@
+// Obswatch: the live observability plane end to end in one process — a
+// TCP CDN origin and a viewer playing from it, with an embedded obs
+// server exposing /metrics, /events, /healthz, /readyz, and /snapshot.
+// The program waits for readiness (real probes: frames generated, frames
+// played), follows a couple of SSE scrape events, and prints the frame
+// counters from the Prometheus exposition.
+//
+//	go run ./examples/obswatch
+//
+// The same plane watches long simulations: `rlive-sim -obs 127.0.0.1:9500`
+// serves live progress gauges (experiments done/total, cells completed,
+// high-water sim-time, the fleet-scale shard watermark), publishes every
+// sim-time telemetry scrape onto /events as it happens, and streams trace
+// summaries per finished experiment — all without changing a single output
+// byte, e.g.:
+//
+//	go run ./cmd/rlive-sim -exp fleet-scale -nodes 10000 -shards 4 -obs 127.0.0.1:9500 &
+//	curl -s http://127.0.0.1:9500/metrics | grep rlive_sim
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"log"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/internal/livenet"
+	"repro/internal/media"
+	"repro/internal/obs"
+	"repro/internal/telemetry"
+)
+
+func main() {
+	const k = 4
+
+	// A CDN origin hosting one stream, instrumented into a registry.
+	origin, err := livenet.NewOrigin("127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer origin.Close()
+	oreg := telemetry.NewRegistry("origin", 42)
+	origin.SetTelemetry(oreg)
+	origin.HostStream(media.SourceConfig{Stream: 1, FPS: 30, BitrateBps: 2e6}, k, 42)
+
+	// A viewer playing straight from the origin, with its own registry.
+	viewer, err := livenet.NewViewer("127.0.0.1:0", origin.Addr(), 1, k, 30)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer viewer.Close()
+	vreg := telemetry.NewRegistry("viewer", 42)
+	viewer.SetTelemetry(vreg)
+
+	// One obs server watching both registries, with real readiness.
+	srv := obs.NewServer(obs.Options{})
+	srv.AddLiveRegistry(oreg)
+	srv.AddLiveRegistry(vreg)
+	srv.PollRegistry(vreg, 500*time.Millisecond)
+	srv.AddReadiness("playing", func() error {
+		if vreg.Counter("viewer.frames_played").Value() == 0 {
+			return fmt.Errorf("no frames played yet")
+		}
+		return nil
+	})
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+	fmt.Printf("obs:     http://%s (/metrics /events /healthz /readyz /snapshot)\n", addr)
+
+	if err := viewer.Start(nil); err != nil {
+		log.Fatal(err)
+	}
+
+	// Block on readiness like an orchestrator would: /readyz flips to 200
+	// only once the playout clock has consumed frames.
+	for {
+		resp, err := http.Get("http://" + addr + "/readyz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				break
+			}
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
+	fmt.Println("readyz:  200 (viewer is playing)")
+
+	// Follow the SSE stream until two scrape events arrive.
+	resp, err := http.Get("http://" + addr + "/events")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	scrapes := 0
+	for sc.Scan() && scrapes < 2 {
+		if strings.HasPrefix(sc.Text(), "event: scrape") {
+			scrapes++
+			fmt.Printf("events:  scrape %d received\n", scrapes)
+		}
+	}
+
+	// And read the exposition the way a scraper would.
+	mresp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	ms := bufio.NewScanner(mresp.Body)
+	for ms.Scan() {
+		line := ms.Text()
+		if strings.HasPrefix(line, "rlive_origin_frames_generated_total") ||
+			strings.HasPrefix(line, "rlive_viewer_frames_played_total") ||
+			strings.HasPrefix(line, "rlive_viewer_e2e_ms_count") {
+			fmt.Printf("metrics: %s\n", line)
+		}
+	}
+}

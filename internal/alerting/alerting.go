@@ -61,6 +61,18 @@ type Incident struct {
 // Open reports whether the incident is still unresolved.
 func (in *Incident) Open() bool { return in.ResolvedAt == 0 }
 
+// AppendJSON appends the incident's canonical one-line JSON encoding
+// (without trailing newline) to dst and returns the extended slice. This
+// is the single field-ordered encoder behind both the incident JSONL log
+// and the SSE/snapshot incident events, so the two can never drift.
+func (in *Incident) AppendJSON(dst []byte) []byte {
+	dst = append(dst, fmt.Sprintf(
+		"{\"id\":%d,\"rule\":%q,\"kind\":%q,\"scope\":%q,\"opened\":%d,\"acked\":%d,\"resolved\":%d,\"value\":%s,\"bound\":%s,\"detail\":%q}",
+		in.ID, in.Rule, in.Kind, in.Scope, in.OpenedAt, in.AckedAt, in.ResolvedAt,
+		fmtF(in.Value), fmtF(in.Bound), in.Detail)...)
+	return dst
+}
+
 // String renders the incident as one line.
 func (in *Incident) String() string {
 	state := "open"
@@ -129,6 +141,26 @@ type Engine struct {
 	armedAt   int64
 	armed     bool
 	evals     uint64
+	onTrans   []func(kind string, in Incident)
+}
+
+// OnTransition registers fn to run synchronously (on the scrape producer
+// goroutine) after every incident lifecycle transition. kind is "open",
+// "ack" or "resolve"; in is a copy of the incident after the transition,
+// so fn may retain or ship it without racing the engine. fn must not call
+// back into the engine. No-op on a nil engine.
+func (e *Engine) OnTransition(fn func(kind string, in Incident)) {
+	if e == nil {
+		return
+	}
+	e.onTrans = append(e.onTrans, fn)
+}
+
+// notify runs the transition subscribers for incident index idx.
+func (e *Engine) notify(kind string, idx int) {
+	for _, fn := range e.onTrans {
+		fn(kind, e.incidents[idx])
+	}
 }
 
 // NewEngine returns an engine evaluating the given rules. The engine is
@@ -209,9 +241,11 @@ func (e *Engine) evalAt(reg *telemetry.Registry, i int) {
 			// scrapes; resolution needs a full clear streak.
 			if inc.AckedAt == 0 && i-st.openScrape >= e.AckAfter {
 				inc.AckedAt = at
+				e.notify("ack", st.open-1)
 			}
 			if st.clearStreak >= e.ClearFor {
 				inc.ResolvedAt = at
+				e.notify("resolve", st.open-1)
 				st.open = 0
 			}
 			continue
@@ -233,6 +267,7 @@ func (e *Engine) evalAt(reg *telemetry.Registry, i int) {
 			})
 			st.open = len(e.incidents)
 			st.openScrape = i
+			e.notify("open", st.open-1)
 		}
 	}
 }
@@ -253,12 +288,11 @@ func (e *Engine) WriteJSONL(w io.Writer) error {
 		e.Label, e.Seed, len(e.rules), len(e.incidents)); err != nil {
 		return err
 	}
+	var buf []byte
 	for i := range e.incidents {
-		in := &e.incidents[i]
-		if _, err := fmt.Fprintf(w,
-			"{\"id\":%d,\"rule\":%q,\"kind\":%q,\"scope\":%q,\"opened\":%d,\"acked\":%d,\"resolved\":%d,\"value\":%s,\"bound\":%s,\"detail\":%q}\n",
-			in.ID, in.Rule, in.Kind, in.Scope, in.OpenedAt, in.AckedAt, in.ResolvedAt,
-			fmtF(in.Value), fmtF(in.Bound), in.Detail); err != nil {
+		buf = e.incidents[i].AppendJSON(buf[:0])
+		buf = append(buf, '\n')
+		if _, err := w.Write(buf); err != nil {
 			return err
 		}
 	}

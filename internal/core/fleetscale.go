@@ -316,6 +316,12 @@ func (sys *FleetScaleSystem) scheduleViewerChurn(id simnet.NodeID) {
 // Run executes the workload for the given span of virtual time.
 func (sys *FleetScaleSystem) Run(d time.Duration) { sys.Sim.Run(d) }
 
+// Watermark returns the engine's conservative sim-time lower bound in
+// nanoseconds — safe to poll from any goroutine while Run is in flight,
+// so observability can report live progress on long runs without adding
+// events (which would perturb the byte-determinism gates).
+func (sys *FleetScaleSystem) Watermark() int64 { return sys.Sim.Watermark() }
+
 // FleetScaleReport is the merged, worker-independent run summary.
 type FleetScaleReport struct {
 	Nodes     int

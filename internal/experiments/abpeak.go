@@ -38,6 +38,7 @@ func ABPeak(sc Scale) *Result {
 	}
 	cells := RunCells(len(modes), func(i int) cell {
 		reg := telemetry.NewRegistry("ab-peak/"+modes[i].String(), sc.Seed)
+		sc.watch(reg)
 		var run *trace.Run
 		tune := func(cfg *core.Config) {
 			cfg.Telemetry = reg

@@ -33,6 +33,7 @@ func ABBaseline(sc Scale) *Result {
 			}
 			if sc.Telemetry {
 				reg = telemetry.NewRegistry("ab-baseline/"+modes[i].String(), sc.Seed)
+				sc.watch(reg)
 			}
 			tune = func(cfg *core.Config) {
 				cfg.Trace = run

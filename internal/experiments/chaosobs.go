@@ -102,6 +102,7 @@ func ChaosObs(sc Scale) *Result {
 		scen := catalog[i]
 		label := "chaos-obs/" + scen.Name
 		reg := telemetry.NewRegistry(label, sc.Seed)
+		sc.watch(reg)
 		eng := alerting.NewEngine(label, sc.Seed, alerting.ChaosRules(obsRegions, max(sc.Clients, 16)))
 		sys := chaosObsSystem(sc, reg, eng, scenarioNeedsCtrl(scen))
 		startNs := int64(sys.Sim.Now())

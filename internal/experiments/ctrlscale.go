@@ -132,6 +132,7 @@ func CtrlScale(sc Scale) *Result {
 		case 0: // ctrl + LKG, under fault
 			label := "ctrl-scale/outage-lkg"
 			reg := telemetry.NewRegistry(label, sc.Seed)
+			sc.watch(reg)
 			eng := alerting.NewEngine(label, sc.Seed, alerting.ChaosRules(obsRegions, sc.Clients))
 			sys := ctrlScaleSystem(sc, sc.Clients, true, reg, eng)
 			log := &ctrlplane.EventLog{Label: label}
@@ -149,6 +150,7 @@ func CtrlScale(sc Scale) *Result {
 		case 1: // direct scheduler, under fault
 			label := "ctrl-scale/outage-direct"
 			reg := telemetry.NewRegistry(label, sc.Seed)
+			sc.watch(reg)
 			eng := alerting.NewEngine(label, sc.Seed, alerting.ChaosRules(obsRegions, sc.Clients))
 			sys := ctrlScaleSystem(sc, sc.Clients, false, reg, eng)
 			startNs := int64(sys.Sim.Now())

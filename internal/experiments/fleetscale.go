@@ -37,6 +37,14 @@ func FleetScale(sc Scale) *Result {
 			Workers:       shards,
 			ChurnEnabled:  true,
 		})
+		// The WatchFleet hook gets a mid-run progress probe: the engine's
+		// conservative watermark is an atomic read, so the poller observes
+		// without adding sim events — the run stays byte-identical.
+		if sc.WatchFleet != nil {
+			done := make(chan struct{})
+			sc.WatchFleet(done, sys.Watermark)
+			defer close(done)
+		}
 		sys.Run(sc.Duration)
 		return cell{size: sizes[i], rep: sys.Report()}
 	})
@@ -94,6 +102,7 @@ func FleetScale(sc Scale) *Result {
 	if sc.Telemetry {
 		for _, c := range cells {
 			reg := telemetry.NewRegistry(fmt.Sprintf("fleet-scale/%d", c.size), sc.Seed)
+			sc.watch(reg)
 			delivered := reg.Counter("fleetscale.viewer_frames")
 			rate := reg.Gauge("fleetscale.frames_per_s")
 			reg.Gauge("fleetscale.delivery_ratio").Set(c.rep.DeliveryRatio)

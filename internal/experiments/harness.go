@@ -45,6 +45,29 @@ type Scale struct {
 	// sharded engine (fleet-scale). 0 falls back to the process-wide
 	// SetShards value; output is byte-identical for any setting.
 	Shards int
+	// Watch, when set, is called with every telemetry registry an
+	// experiment creates, before the run that fills it — the live
+	// observability bridge subscribes to scrapes here (rlive-sim -obs). It
+	// is a read-only side channel: implementations must only observe
+	// (OnScrape subscribers, accessor reads) and never add instruments or
+	// scrapes, so results stay byte-identical with or without a watcher.
+	// Excluded from the -json document.
+	Watch func(*telemetry.Registry) `json:"-"`
+	// WatchFleet, when set, brackets each fleet-scale cell's sharded run:
+	// it is called just before the run starts with a done channel (closed
+	// when the run finishes) and a watermark function returning the
+	// engine's conservative sim-time lower bound in nanoseconds — safe to
+	// poll from any goroutine mid-run, so a wall-clock poller can report
+	// live sim-time progress on 100k-node runs. Same read-only contract as
+	// Watch. Excluded from the -json document.
+	WatchFleet func(done <-chan struct{}, watermark func() int64) `json:"-"`
+}
+
+// watch notifies the Watch hook, if any, about a freshly created registry.
+func (sc *Scale) watch(reg *telemetry.Registry) {
+	if sc.Watch != nil && reg != nil {
+		sc.Watch(reg)
+	}
 }
 
 // Quick is the test/bench scale.

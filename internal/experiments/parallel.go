@@ -90,6 +90,30 @@ func SetBudget(parallel, shards int) {
 	SetParallelism(cells)
 }
 
+// cellObserver, when set, is called once after every completed RunCells
+// cell (any nesting level, any goroutine). It is a pure side channel for
+// live progress reporting — it receives no cell data and cannot influence
+// results, so it cannot perturb the byte-identical-to-serial guarantee.
+var cellObserver atomic.Pointer[func()]
+
+// SetCellObserver installs fn as the cell-completion observer (nil
+// clears). fn must be safe to call from multiple goroutines. Call it
+// before launching experiments, not concurrently with them.
+func SetCellObserver(fn func()) {
+	if fn == nil {
+		cellObserver.Store(nil)
+		return
+	}
+	cellObserver.Store(&fn)
+}
+
+// cellCompleted notifies the observer, if any.
+func cellCompleted() {
+	if fn := cellObserver.Load(); fn != nil {
+		(*fn)()
+	}
+}
+
 // RunCells runs n independent experiment cells and returns their outputs in
 // cell order. run(i) must be self-contained: build its own system, touch no
 // state shared with other cells. Under SetParallelism(>1) cells execute on
@@ -101,6 +125,7 @@ func RunCells[T any](n int, run func(i int) T) []T {
 	if tokens == nil || n <= 1 {
 		for i := range out {
 			out[i] = run(i)
+			cellCompleted()
 		}
 		return out
 	}
@@ -113,6 +138,7 @@ func RunCells[T any](n int, run func(i int) T) []T {
 				return
 			}
 			out[i] = run(int(i))
+			cellCompleted()
 		}
 	}
 	var wg sync.WaitGroup

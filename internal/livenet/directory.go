@@ -18,6 +18,7 @@ import (
 type Directory struct {
 	srv *http.Server
 	ln  net.Listener
+	tel directoryTelemetry
 
 	mu     sync.Mutex
 	relays map[string]relayEntry
@@ -70,10 +71,12 @@ func (d *Directory) handleRegister(w http.ResponseWriter, r *http.Request) {
 	d.mu.Lock()
 	d.relays[m.Addr] = relayEntry{Addr: m.Addr, Sessions: m.Sessions, Quota: m.Quota, Seen: time.Now()}
 	d.mu.Unlock()
+	d.tel.registers.Inc()
 	w.WriteHeader(http.StatusNoContent)
 }
 
 func (d *Directory) handleCandidates(w http.ResponseWriter, r *http.Request) {
+	d.tel.candidateReqs.Inc()
 	d.mu.Lock()
 	var out []string
 	now := time.Now()

@@ -129,7 +129,8 @@ type originSub struct {
 
 // Origin is the dedicated CDN node on real sockets.
 type Origin struct {
-	ln net.Listener
+	ln  net.Listener
+	tel originTelemetry
 
 	mu      sync.Mutex
 	streams map[media.StreamID]*originStream
@@ -186,6 +187,7 @@ func (o *Origin) HostStream(cfg media.SourceConfig, k int, seed uint64) {
 			}
 			f := src.Next(time.Now().UnixNano())
 			f.Data = make([]byte, f.Size)
+			o.tel.framesGenerated.Inc()
 			st.recent[f.Dts] = f
 			st.order = append(st.order, f.Dts)
 			if len(st.order) > 600 {
@@ -222,7 +224,10 @@ func (o *Origin) deliver(st *originStream, s *originSub, f media.Frame, full boo
 		o.mu.Lock()
 		delete(st.subs, s)
 		o.mu.Unlock()
+		o.tel.subDrops.Inc()
+		return
 	}
+	o.tel.framesSent.Inc()
 }
 
 func (o *Origin) acceptLoop() {
@@ -290,6 +295,7 @@ func (o *Origin) handle(conn net.Conn) {
 			if !ok {
 				continue
 			}
+			o.tel.recoveries.Inc()
 			tmp := &originSub{mode: "full", w: w, conn: conn}
 			o.deliver(st, tmp, f, true)
 		}

@@ -19,6 +19,7 @@ import (
 type Relay struct {
 	udp    *net.UDPConn
 	origin string
+	tel    relayTelemetry
 
 	mu      sync.Mutex
 	relays  map[scheduler.SubstreamKey]*relayState
@@ -201,6 +202,7 @@ func (r *Relay) onFrame(key scheduler.SubstreamKey, rs *relayState, f media.Fram
 		r.mu.Unlock()
 		return
 	}
+	r.tel.framesPulled.Inc()
 	lchain := gen.Chain()
 	rf := relayFrame{header: f.Header, data: f.Data, count: count, chain: lchain, genAt: f.GeneratedAt}
 	rs.recent[f.Header.Dts] = rf
@@ -243,6 +245,7 @@ func (r *Relay) pushFrame(key scheduler.SubstreamKey, rf relayFrame, to *net.UDP
 			Retransmit:  retx,
 		}
 		r.udp.WriteToUDP(transport.MarshalDataPacket(pkt), to)
+		r.tel.packetsSent.Inc()
 	}
 	if seqs == nil {
 		for s := uint16(0); s < rf.count; s++ {
@@ -266,8 +269,10 @@ func (r *Relay) retransmit(req *transport.RetxReq, from *net.UDPAddr) {
 	}
 	r.mu.Unlock()
 	if !ok {
+		r.tel.retxMissed.Inc()
 		return // viewer's timeout escalates to the origin
 	}
+	r.tel.retxServed.Inc()
 	missing := req.Missing
 	if len(missing) == 0 {
 		missing = nil // resend everything

@@ -1,0 +1,130 @@
+package livenet
+
+import "repro/internal/telemetry"
+
+// Telemetry wiring for the real-network components. Each component gets a
+// SetTelemetry(reg) that registers its instruments; with a nil registry
+// every instrument is the nil no-op, so the hooks in the packet loops cost
+// one inlined branch when observability is off (the same contract as the
+// simulator's data plane).
+//
+// Counters and gauges are written from the components' own goroutines
+// (accept loops, UDP loops, playout clocks) — safe because telemetry
+// counter/gauge writes are atomic. Gauge funcs take the component mutex,
+// so they are safe to evaluate from an HTTP goroutine at /metrics
+// request time (the obs.AddLiveRegistry contract).
+
+// originTelemetry holds the origin's instruments.
+type originTelemetry struct {
+	framesGenerated *telemetry.Counter // frames produced by hosted streams
+	framesSent      *telemetry.Counter // frame records written to subscribers
+	recoveries      *telemetry.Counter // dts-indexed recovery fetches served
+	subDrops        *telemetry.Counter // subscribers dropped on write failure
+}
+
+// SetTelemetry registers the origin's instruments on reg. Call before
+// serving traffic. Safe with a nil registry (and on a nil origin).
+func (o *Origin) SetTelemetry(reg *telemetry.Registry) {
+	if o == nil {
+		return
+	}
+	o.tel = originTelemetry{
+		framesGenerated: reg.Counter("origin.frames_generated"),
+		framesSent:      reg.Counter("origin.frames_sent"),
+		recoveries:      reg.Counter("origin.recoveries_served"),
+		subDrops:        reg.Counter("origin.sub_drops"),
+	}
+	reg.GaugeFunc("origin.subscribers", func() float64 {
+		o.mu.Lock()
+		defer o.mu.Unlock()
+		n := 0
+		for _, st := range o.streams {
+			n += len(st.subs)
+		}
+		return float64(n)
+	})
+}
+
+// relayTelemetry holds a relay's instruments.
+type relayTelemetry struct {
+	framesPulled *telemetry.Counter // full frames received from the origin
+	packetsSent  *telemetry.Counter // data packets pushed to subscribers
+	retxServed   *telemetry.Counter // retransmit requests answered from cache
+	retxMissed   *telemetry.Counter // retransmit requests past the cache
+}
+
+// SetTelemetry registers the relay's instruments on reg. Safe with a nil
+// registry (and on a nil relay).
+func (r *Relay) SetTelemetry(reg *telemetry.Registry) {
+	if r == nil {
+		return
+	}
+	r.tel = relayTelemetry{
+		framesPulled: reg.Counter("relay.frames_pulled"),
+		packetsSent:  reg.Counter("relay.packets_sent"),
+		retxServed:   reg.Counter("relay.retx_served"),
+		retxMissed:   reg.Counter("relay.retx_missed"),
+	}
+	reg.GaugeFunc("relay.sessions", func() float64 {
+		r.mu.Lock()
+		defer r.mu.Unlock()
+		return float64(r.subs)
+	})
+}
+
+// e2eEdgesMs are the viewer end-to-end latency histogram edges
+// (milliseconds): one frame interval at 30 fps up through the production
+// fallback threshold and beyond.
+var e2eEdgesMs = []float64{33, 66, 100, 200, 400, 800, 1600, 3200}
+
+// viewerTelemetry holds a viewer's instruments.
+type viewerTelemetry struct {
+	packetsReceived *telemetry.Counter   // relay data packets accepted
+	framesPlayed    *telemetry.Counter   // frames consumed by the playout clock
+	stallTicks      *telemetry.Counter   // playout ticks spent stalled
+	recoveryReqs    *telemetry.Counter   // frame recoveries requested from origin
+	e2eMs           *telemetry.Histogram // generation-to-playout latency
+}
+
+// SetTelemetry registers the viewer's instruments on reg. Safe with a nil
+// registry (and on a nil viewer).
+func (v *Viewer) SetTelemetry(reg *telemetry.Registry) {
+	if v == nil {
+		return
+	}
+	v.tel = viewerTelemetry{
+		packetsReceived: reg.Counter("viewer.packets_received"),
+		framesPlayed:    reg.Counter("viewer.frames_played"),
+		stallTicks:      reg.Counter("viewer.stall_ticks"),
+		recoveryReqs:    reg.Counter("viewer.recovery_requests"),
+		e2eMs:           reg.Histogram("viewer.e2e_ms", e2eEdgesMs),
+	}
+	reg.GaugeFunc("viewer.playhead_dts", func() float64 {
+		v.mu.Lock()
+		defer v.mu.Unlock()
+		return float64(v.playhead)
+	})
+}
+
+// directoryTelemetry holds the directory's instruments.
+type directoryTelemetry struct {
+	registers     *telemetry.Counter // relay heartbeats accepted
+	candidateReqs *telemetry.Counter // viewer candidate queries served
+}
+
+// SetTelemetry registers the directory's instruments on reg. Safe with a
+// nil registry (and on a nil directory).
+func (d *Directory) SetTelemetry(reg *telemetry.Registry) {
+	if d == nil {
+		return
+	}
+	d.tel = directoryTelemetry{
+		registers:     reg.Counter("dir.registers"),
+		candidateReqs: reg.Counter("dir.candidate_requests"),
+	}
+	reg.GaugeFunc("dir.relays", func() float64 {
+		d.mu.Lock()
+		defer d.mu.Unlock()
+		return float64(len(d.relays))
+	})
+}

@@ -23,6 +23,7 @@ type Viewer struct {
 	stream media.StreamID
 	k      int
 	iv     time.Duration
+	tel    viewerTelemetry
 
 	mu       sync.Mutex
 	frames   map[uint64]*viewAsm
@@ -121,7 +122,14 @@ func (v *Viewer) originLoop(conn net.Conn) {
 			return
 		}
 		if !full {
-			continue // warm-up header; real viewers record it, we rely on chains
+			// Warm-up header: record it in the chain data pool. Relay
+			// chains reach back to these pre-join frames, and a chain
+			// seeded from one can never validate its head (and therefore
+			// never links anything) unless the headers are present.
+			v.mu.Lock()
+			v.gchain.AddHeader(f.Header)
+			v.mu.Unlock()
+			continue
 		}
 		v.mu.Lock()
 		a := v.asm(f.Header.Dts)
@@ -214,6 +222,7 @@ func (v *Viewer) udpLoop() {
 		if err != nil {
 			continue
 		}
+		v.tel.packetsReceived.Inc()
 		v.mu.Lock()
 		a := v.asm(p.Header.Dts)
 		if !a.haveHdr {
@@ -279,11 +288,13 @@ func (v *Viewer) playLoop() {
 			if !a.played {
 				a.played = true
 				v.QoE.FramesPlayed++
+				v.tel.framesPlayed.Inc()
 				v.QoE.AddPlayback(v.iv, float64(a.header.Size)*8/v.iv.Seconds())
 				if a.genAt > 0 {
 					lat := float64(time.Now().UnixNano()-a.genAt) / 1e6
 					if lat >= 0 {
 						v.QoE.E2ELatency.Add(lat)
+						v.tel.e2eMs.Observe(lat)
 					}
 				}
 			}
@@ -295,9 +306,11 @@ func (v *Viewer) playLoop() {
 		// Missing frame: request recovery from the origin and count the
 		// stall tick.
 		v.QoE.AddStall(v.iv, true)
+		v.tel.stallTicks.Inc()
 		dts := v.playhead
 		v.mu.Unlock()
 		if v.originEnc != nil {
+			v.tel.recoveryReqs.Inc()
 			v.originEnc.Encode(OriginCtl{Op: "frame", Stream: v.stream, Dts: dts})
 		}
 	}

@@ -1,0 +1,554 @@
+// Package obs is the live observability plane: an embeddable HTTP server
+// (standard library only) that exposes a telemetry registry, alerting
+// incidents, and trace summaries while the process runs, instead of — not
+// in place of — the post-hoc JSONL artifacts.
+//
+// Endpoints:
+//
+//	GET /metrics  — Prometheus text exposition of a point-in-time
+//	                registry snapshot (counters as _total, gauges,
+//	                histograms as _bucket/_sum/_count), family-sorted so
+//	                output is golden-testable.
+//	GET /events   — SSE stream of typed JSON events: "scrape" (per-scrape
+//	                instrument deltas), "incident" (open/ack/resolve
+//	                transitions), "trace-summary". Each subscriber gets a
+//	                bounded ring; slow consumers drop oldest and learn it
+//	                via an in-band "dropped" event. Publishing never
+//	                blocks the data path.
+//	GET /healthz  — liveness: component-registered probes, 200/503.
+//	GET /readyz   — readiness: same shape, separate probe set.
+//	GET /snapshot — the full registry state plus all incidents seen, as
+//	                one JSON document.
+//
+// Consistency model — two snapshot sources, chosen per registry:
+//
+//   - AddLiveRegistry (real binaries): /metrics calls
+//     telemetry.Registry.Snapshot at request time. Gauge funcs run on the
+//     HTTP goroutine, so everything they read must be goroutine-safe —
+//     true for the livenet components, whose gauge funcs take the
+//     component mutex.
+//   - WatchRegistry (simulator bridge): /metrics renders the registry's
+//     LastSnap — the most recent completed scrape, an immutable value —
+//     and never evaluates gauge funcs off the producer thread, because
+//     sim gauge funcs read simulator state that must not be touched
+//     concurrently. The watch hook publishes an SSE scrape event per
+//     scrape and costs zero allocations while no SSE client is connected,
+//     so enabling -obs cannot perturb the byte-determinism gates.
+//
+// A nil *Server is the disabled plane: every method is a safe no-op, so
+// wiring is unconditional at call sites.
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/alerting"
+	"repro/internal/telemetry"
+	"repro/internal/trace"
+)
+
+// Options configures a Server. The zero value is usable.
+type Options struct {
+	// RingSize is each SSE subscriber's event buffer (default 256).
+	RingSize int
+	// Now supplies wall-clock nanoseconds for live snapshots and the
+	// /snapshot timestamp (default time.Now().UnixNano). Tests inject a
+	// fixed clock to make rendered output reproducible.
+	Now func() int64
+}
+
+// probe is one named health check.
+type probe struct {
+	name string
+	fn   func() error
+}
+
+// incKey identifies one incident across engines: engines are keyed by
+// label so a multi-cell sim run can attach several.
+type incKey struct {
+	label string
+	id    int
+}
+
+// Server is the observability HTTP server. Construct with NewServer, wire
+// sources/probes, then Start. A nil *Server is a safe no-op.
+type Server struct {
+	opts Options
+	hub  *hub
+
+	// cur is the most recently scraped watched registry; /metrics renders
+	// its LastSnap. An atomic pointer so the scrape-path store is
+	// lock-free and allocation-free.
+	cur atomic.Pointer[telemetry.Registry]
+
+	mu        sync.Mutex
+	sources   []func() telemetry.Snap
+	incidents map[incKey]alerting.Incident
+	live      []probe
+	ready     []probe
+
+	httpSrv *http.Server
+	ln      net.Listener
+
+	// done stops poll loops when the server closes.
+	done      chan struct{}
+	closeOnce sync.Once
+}
+
+// NewServer returns an unstarted server.
+func NewServer(opts Options) *Server {
+	if opts.RingSize <= 0 {
+		opts.RingSize = 256
+	}
+	if opts.Now == nil {
+		opts.Now = func() int64 { return time.Now().UnixNano() }
+	}
+	return &Server{
+		opts:      opts,
+		hub:       newHub(opts.RingSize),
+		incidents: make(map[incKey]alerting.Incident),
+		done:      make(chan struct{}),
+	}
+}
+
+// now returns the configured clock's reading.
+func (s *Server) now() int64 { return s.opts.Now() }
+
+// AddSource registers a snapshot source rendered by /metrics and
+// /snapshot. fn is called on HTTP goroutines and must be safe there.
+// No-op on a nil server.
+func (s *Server) AddSource(fn func() telemetry.Snap) {
+	if s == nil || fn == nil {
+		return
+	}
+	s.mu.Lock()
+	s.sources = append(s.sources, fn)
+	s.mu.Unlock()
+}
+
+// AddLiveRegistry exposes reg via request-time Snapshot calls — the mode
+// for real binaries, where instruments are updated from many goroutines
+// and gauge funcs are goroutine-safe. No-op on a nil server or registry.
+func (s *Server) AddLiveRegistry(reg *telemetry.Registry) {
+	if s == nil || reg == nil {
+		return
+	}
+	s.AddSource(func() telemetry.Snap { return reg.Snapshot(s.now()) })
+}
+
+// WatchRegistry subscribes to reg's scrape timeline: each scrape makes
+// reg the registry /metrics renders (via LastSnap — never a request-time
+// snapshot, so sim gauge funcs are only ever evaluated on the producer
+// thread) and, when SSE clients are connected, publishes a "scrape"
+// event. With no clients connected the hook is allocation-free, so
+// watching a simulator registry cannot perturb its determinism gates.
+// No-op on a nil server or registry.
+func (s *Server) WatchRegistry(reg *telemetry.Registry) {
+	if s == nil || reg == nil {
+		return
+	}
+	reg.OnScrape(s.onScrape)
+}
+
+// onScrape is the watch hook. The fast path — no SSE subscriber — is two
+// atomic operations and zero allocations.
+func (s *Server) onScrape(r *telemetry.Registry, i int) {
+	s.cur.Store(r)
+	if !s.hub.Active() {
+		return
+	}
+	s.publishScrape(r, i)
+}
+
+// scrapeInst is one instrument in a "scrape" SSE event: cumulative value
+// plus the delta since the previous scrape (counters and histogram counts).
+type scrapeInst struct {
+	Name  string  `json:"name"`
+	Type  string  `json:"type"`
+	C     uint64  `json:"c,omitempty"`
+	Delta uint64  `json:"delta,omitempty"`
+	F     float64 `json:"f,omitempty"`
+}
+
+// scrapeEvent is the "scrape" SSE payload.
+type scrapeEvent struct {
+	Label string       `json:"label"`
+	Seed  uint64       `json:"seed"`
+	At    int64        `json:"at"`
+	Index int          `json:"index"`
+	Insts []scrapeInst `json:"insts"`
+}
+
+// publishScrape ships scrape i of r as an SSE event, differencing against
+// scrape i-1 for the delta fields.
+func (s *Server) publishScrape(r *telemetry.Registry, i int) {
+	var prev telemetry.Snap
+	if i > 0 {
+		prev = r.SnapAt(i - 1)
+	}
+	s.publishSnapDelta(r.SnapAt(i), prev, i)
+}
+
+// publishSnapDelta ships snap as a "scrape" SSE event, using prev for the
+// counter/histogram delta fields.
+func (s *Server) publishSnapDelta(snap, prev telemetry.Snap, index int) {
+	ev := scrapeEvent{Label: snap.Label, Seed: snap.Seed, At: snap.At, Index: index,
+		Insts: make([]scrapeInst, 0, len(snap.Insts))}
+	for ii := range snap.Insts {
+		in := &snap.Insts[ii]
+		si := scrapeInst{Name: in.Name, Type: in.Kind.String()}
+		switch in.Kind {
+		case telemetry.KindCounter, telemetry.KindHist:
+			si.C = in.C
+			si.Delta = in.C
+			if ii < len(prev.Insts) {
+				si.Delta = in.C - prev.Insts[ii].C
+			}
+			if in.Kind == telemetry.KindHist {
+				si.F = in.F
+			}
+		default:
+			si.F = in.F
+		}
+		ev.Insts = append(ev.Insts, si)
+	}
+	data, err := json.Marshal(&ev)
+	if err != nil {
+		return
+	}
+	s.hub.Publish("scrape", data)
+}
+
+// PollRegistry publishes a "scrape" SSE event from a fresh reg.Snapshot
+// every interval, for live registries that have no scrape timeline of
+// their own (the long-running daemons — appending a wall-clock daemon's
+// scrapes to the registry timeline would grow without bound). Snapshots
+// are only taken while an SSE client is connected; the loop stops when
+// the server closes. No-op on a nil server or registry.
+func (s *Server) PollRegistry(reg *telemetry.Registry, every time.Duration) {
+	if s == nil || reg == nil {
+		return
+	}
+	if every <= 0 {
+		every = 2 * time.Second
+	}
+	go func() {
+		tick := time.NewTicker(every)
+		defer tick.Stop()
+		var prev telemetry.Snap
+		index := 0
+		for {
+			select {
+			case <-s.done:
+				return
+			case <-tick.C:
+			}
+			if !s.hub.Active() {
+				continue
+			}
+			snap := reg.Snapshot(s.now())
+			s.publishSnapDelta(snap, prev, index)
+			prev = snap
+			index++
+		}
+	}()
+}
+
+// AttachAlerting subscribes to the engine's incident transitions: each
+// open/ack/resolve is recorded for /snapshot and, when SSE clients are
+// connected, published as an "incident" event using the same canonical
+// incident encoding as the JSONL log. No-op on a nil server or engine.
+func (s *Server) AttachAlerting(e *alerting.Engine) {
+	if s == nil || e == nil {
+		return
+	}
+	label := e.Label
+	e.OnTransition(func(kind string, in alerting.Incident) {
+		s.mu.Lock()
+		s.incidents[incKey{label: label, id: in.ID}] = in
+		s.mu.Unlock()
+		if !s.hub.Active() {
+			return
+		}
+		data := make([]byte, 0, 256)
+		data = append(data, `{"transition":"`...)
+		data = append(data, kind...)
+		data = append(data, `","run":`...)
+		data = appendJSONString(data, label)
+		data = append(data, `,"incident":`...)
+		data = in.AppendJSON(data)
+		data = append(data, '}')
+		s.hub.Publish("incident", data)
+	})
+}
+
+// PublishTraceSummary ships a trace summary as an SSE "trace-summary"
+// event. No-op on a nil server or when no client is connected.
+func (s *Server) PublishTraceSummary(label string, sum trace.Summary) {
+	if s == nil || !s.hub.Active() {
+		return
+	}
+	doc := struct {
+		Run     string        `json:"run"`
+		Summary trace.Summary `json:"summary"`
+	}{Run: label, Summary: sum}
+	data, err := json.Marshal(&doc)
+	if err != nil {
+		return
+	}
+	s.hub.Publish("trace-summary", data)
+}
+
+// Publish ships an arbitrary typed event to SSE subscribers (used by the
+// sim bridge for progress updates). Takes ownership of data, which must
+// be a single line of valid JSON. No-op on a nil server.
+func (s *Server) Publish(typ string, data []byte) {
+	if s == nil || !s.hub.Active() {
+		return
+	}
+	s.hub.Publish(typ, data)
+}
+
+// StreamActive reports whether any SSE client is connected — the gate
+// callers use to skip building event payloads. False on a nil server.
+func (s *Server) StreamActive() bool { return s != nil && s.hub.Active() }
+
+// AddLiveness registers a /healthz probe. No-op on a nil server.
+func (s *Server) AddLiveness(name string, fn func() error) {
+	if s == nil || fn == nil {
+		return
+	}
+	s.mu.Lock()
+	s.live = append(s.live, probe{name: name, fn: fn})
+	s.mu.Unlock()
+}
+
+// AddReadiness registers a /readyz probe. No-op on a nil server.
+func (s *Server) AddReadiness(name string, fn func() error) {
+	if s == nil || fn == nil {
+		return
+	}
+	s.mu.Lock()
+	s.ready = append(s.ready, probe{name: name, fn: fn})
+	s.mu.Unlock()
+}
+
+// snapshots collects every renderable snapshot: registered sources in
+// registration order, then the most recently watched registry (if any).
+func (s *Server) snapshots() []telemetry.Snap {
+	s.mu.Lock()
+	sources := s.sources
+	s.mu.Unlock()
+	snaps := make([]telemetry.Snap, 0, len(sources)+1)
+	for _, fn := range sources {
+		snaps = append(snaps, fn())
+	}
+	if cur := s.cur.Load(); cur != nil {
+		snaps = append(snaps, cur.LastSnap())
+	}
+	return snaps
+}
+
+// handleMetrics renders GET /metrics.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	body := AppendExposition(nil, s.snapshots()...)
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.Write(body)
+}
+
+// handleSnapshot renders GET /snapshot: every source snapshot plus every
+// incident transition seen, one JSON document. Instruments reuse the
+// telemetry JSONL per-instrument encoder and incidents the alerting one,
+// so this document can never drift from the artifact formats.
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	snaps := s.snapshots()
+
+	s.mu.Lock()
+	keys := make([]incKey, 0, len(s.incidents))
+	for k := range s.incidents {
+		keys = append(keys, k)
+	}
+	incs := make([]alerting.Incident, 0, len(keys))
+	sort.Slice(keys, func(a, b int) bool {
+		if keys[a].label != keys[b].label {
+			return keys[a].label < keys[b].label
+		}
+		return keys[a].id < keys[b].id
+	})
+	labels := make([]string, 0, len(keys))
+	for _, k := range keys {
+		incs = append(incs, s.incidents[k])
+		labels = append(labels, k.label)
+	}
+	s.mu.Unlock()
+
+	buf := make([]byte, 0, 4096)
+	buf = append(buf, `{"at":`...)
+	buf = fmt.Appendf(buf, "%d", s.now())
+	buf = append(buf, `,"sources":[`...)
+	for si, snap := range snaps {
+		if si > 0 {
+			buf = append(buf, ',')
+		}
+		buf = append(buf, `{"label":`...)
+		buf = appendJSONString(buf, snap.Label)
+		buf = fmt.Appendf(buf, `,"seed":%d,"scrape_at":%d,"insts":[`, snap.Seed, snap.At)
+		for ii := range snap.Insts {
+			if ii > 0 {
+				buf = append(buf, ',')
+			}
+			buf = appendInstJSON(buf, snap.At, &snap.Insts[ii])
+		}
+		buf = append(buf, `]}`...)
+	}
+	buf = append(buf, `],"incidents":[`...)
+	for i := range incs {
+		if i > 0 {
+			buf = append(buf, ',')
+		}
+		buf = append(buf, `{"run":`...)
+		buf = appendJSONString(buf, labels[i])
+		buf = append(buf, `,"incident":`...)
+		buf = incs[i].AppendJSON(buf)
+		buf = append(buf, '}')
+	}
+	buf = fmt.Appendf(buf, `],"sse_dropped":%d}`, s.hub.Dropped())
+	buf = append(buf, '\n')
+
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(buf)
+}
+
+// appendInstJSON appends one instrument's canonical JSON object (the
+// telemetry JSONL line encoding, sans newline).
+func appendInstJSON(dst []byte, at int64, in *telemetry.InstSnap) []byte {
+	b := sliceWriter{buf: dst}
+	telemetry.WriteInstJSONL(&b, at, in)
+	// Strip the JSONL trailing newline for embedding in an array.
+	if n := len(b.buf); n > 0 && b.buf[n-1] == '\n' {
+		b.buf = b.buf[:n-1]
+	}
+	return b.buf
+}
+
+// sliceWriter adapts an append-buffer to io.Writer.
+type sliceWriter struct{ buf []byte }
+
+func (w *sliceWriter) Write(p []byte) (int, error) {
+	w.buf = append(w.buf, p...)
+	return len(p), nil
+}
+
+// appendJSONString appends s as a JSON string literal.
+func appendJSONString(dst []byte, s string) []byte {
+	b, _ := json.Marshal(s)
+	return append(dst, b...)
+}
+
+// handleProbes renders /healthz or /readyz from the given probe set:
+// 200 "ok" when every probe passes, 503 with one "name: error" line per
+// failure otherwise. An empty probe set passes.
+func handleProbes(w http.ResponseWriter, probes []probe) {
+	type failure struct {
+		name string
+		err  error
+	}
+	var fails []failure
+	for _, p := range probes {
+		if err := p.fn(); err != nil {
+			fails = append(fails, failure{name: p.name, err: err})
+		}
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if len(fails) == 0 {
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+		return
+	}
+	w.WriteHeader(http.StatusServiceUnavailable)
+	for _, f := range fails {
+		fmt.Fprintf(w, "%s: %v\n", f.name, f.err)
+	}
+}
+
+// Handler returns the server's HTTP mux (nil on a nil server) — usable
+// for embedding in an existing server or in tests without a listener.
+func (s *Server) Handler() http.Handler {
+	if s == nil {
+		return nil
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /snapshot", s.handleSnapshot)
+	mux.HandleFunc("GET /events", s.hub.serveSSE)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		s.mu.Lock()
+		probes := s.live
+		s.mu.Unlock()
+		handleProbes(w, probes)
+	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		s.mu.Lock()
+		probes := s.ready
+		s.mu.Unlock()
+		handleProbes(w, probes)
+	})
+	return mux
+}
+
+// Start listens on addr ("host:port"; ":0" picks a free port) and serves
+// in a background goroutine, returning the bound address. No-op ("", nil)
+// on a nil server.
+func (s *Server) Start(addr string) (string, error) {
+	if s == nil {
+		return "", nil
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	s.mu.Lock()
+	s.ln = ln
+	s.httpSrv = &http.Server{Handler: s.Handler()}
+	srv := s.httpSrv
+	s.mu.Unlock()
+	go srv.Serve(ln)
+	return ln.Addr().String(), nil
+}
+
+// Addr returns the bound listen address ("" before Start or on nil).
+func (s *Server) Addr() string {
+	if s == nil {
+		return ""
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Close stops the HTTP server and closes every SSE stream. No-op on a nil
+// or unstarted server.
+func (s *Server) Close() error {
+	if s == nil {
+		return nil
+	}
+	s.closeOnce.Do(func() { close(s.done) })
+	s.mu.Lock()
+	srv := s.httpSrv
+	s.httpSrv = nil
+	s.mu.Unlock()
+	if srv == nil {
+		return nil
+	}
+	return srv.Close()
+}

@@ -1,0 +1,248 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/alerting"
+	"repro/internal/telemetry"
+)
+
+// goldenRegistry builds the registry the exposition golden test pins:
+// every instrument kind, names exercising sanitization, values exercising
+// float formatting.
+func goldenRegistry() *telemetry.Registry {
+	reg := telemetry.NewRegistry("golden", 7)
+	reg.Counter("net.frames_sent").Add(12345)
+	reg.Counter("origin.recoveries_served") // zero-valued counter still exposed
+	reg.Gauge("edge.gamma").Set(1.75)
+	reg.Gauge("fleet.online_frac.r0").Set(0.9375)
+	reg.GaugeFunc("ctrl.inflight", func() float64 { return 42 })
+	h := reg.Histogram("viewer.e2e_ms", []float64{33, 100, 400})
+	for _, v := range []float64{10, 40, 40, 350, 900} {
+		h.Observe(v)
+	}
+	return reg
+}
+
+// TestMetricsGolden pins the /metrics exposition byte-for-byte: every
+// instrument kind appears, names are sanitized and sorted, histograms
+// expand to cumulative buckets + sum + count. Regenerate with -update.
+func TestMetricsGolden(t *testing.T) {
+	reg := goldenRegistry()
+	got := AppendExposition(nil, reg.Snapshot(1e9))
+
+	golden := filepath.Join("testdata", "metrics.golden")
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with UPDATE_GOLDEN=1 to create): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("exposition drifted from golden:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+// TestMetricsStableAcrossRuns renders two identically-built registries and
+// requires byte-identical exposition — the fixed-seed stability the
+// acceptance criteria name.
+func TestMetricsStableAcrossRuns(t *testing.T) {
+	a := AppendExposition(nil, goldenRegistry().Snapshot(1e9))
+	b := AppendExposition(nil, goldenRegistry().Snapshot(1e9))
+	if !bytes.Equal(a, b) {
+		t.Fatalf("exposition not reproducible:\n%s\nvs\n%s", a, b)
+	}
+}
+
+// TestMetricsOrderIndependentOfRegistration registers the same instruments
+// in a different order and requires the same exposition.
+func TestMetricsOrderIndependentOfRegistration(t *testing.T) {
+	a := telemetry.NewRegistry("x", 1)
+	a.Counter("b.count").Add(1)
+	a.Gauge("a.val").Set(2)
+	b := telemetry.NewRegistry("x", 1)
+	b.Gauge("a.val").Set(2)
+	b.Counter("b.count").Add(1)
+	ea := AppendExposition(nil, a.Snapshot(5))
+	eb := AppendExposition(nil, b.Snapshot(5))
+	if !bytes.Equal(ea, eb) {
+		t.Fatalf("exposition depends on registration order:\n%s\nvs\n%s", ea, eb)
+	}
+}
+
+// TestEndpoints exercises the four JSON/text endpoints through the real
+// mux: /metrics content, /healthz + /readyz probe transitions, /snapshot
+// document shape including incidents.
+func TestEndpoints(t *testing.T) {
+	reg := goldenRegistry()
+	srv := NewServer(Options{Now: func() int64 { return 99 }})
+	srv.AddLiveRegistry(reg)
+
+	ready := false
+	srv.AddLiveness("alive", func() error { return nil })
+	srv.AddReadiness("warm", func() error {
+		if !ready {
+			return errors.New("not warm yet")
+		}
+		return nil
+	})
+
+	eng := alerting.NewEngine("run-a", 1, nil)
+	srv.AttachAlerting(eng)
+
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	get := func(path string) (int, string) {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		var buf bytes.Buffer
+		buf.ReadFrom(resp.Body)
+		return resp.StatusCode, buf.String()
+	}
+
+	if code, body := get("/metrics"); code != 200 || !bytes.Contains([]byte(body), []byte("rlive_net_frames_sent_total 12345")) {
+		t.Fatalf("/metrics = %d:\n%s", code, body)
+	}
+	if code, _ := get("/healthz"); code != 200 {
+		t.Fatalf("/healthz = %d, want 200", code)
+	}
+	if code, body := get("/readyz"); code != 503 || body != "warm: not warm yet\n" {
+		t.Fatalf("/readyz = %d %q, want 503 with probe failure", code, body)
+	}
+	ready = true
+	if code, _ := get("/readyz"); code != 200 {
+		t.Fatalf("/readyz after warm = %d, want 200", code)
+	}
+
+	code, body := get("/snapshot")
+	if code != 200 {
+		t.Fatalf("/snapshot = %d", code)
+	}
+	var doc struct {
+		At      int64 `json:"at"`
+		Sources []struct {
+			Label string            `json:"label"`
+			Insts []json.RawMessage `json:"insts"`
+		} `json:"sources"`
+		Incidents []json.RawMessage `json:"incidents"`
+	}
+	if err := json.Unmarshal([]byte(body), &doc); err != nil {
+		t.Fatalf("/snapshot not valid JSON: %v\n%s", err, body)
+	}
+	if doc.At != 99 || len(doc.Sources) != 1 || doc.Sources[0].Label != "golden" || len(doc.Sources[0].Insts) != 6 {
+		t.Fatalf("unexpected /snapshot doc: %s", body)
+	}
+}
+
+// TestSnapshotIncludesIncidents drives an alerting engine through a full
+// open/ack/resolve lifecycle and checks the transitions both reach the
+// /snapshot document and use the shared canonical incident encoding.
+func TestSnapshotIncludesIncidents(t *testing.T) {
+	reg := telemetry.NewRegistry("run-b", 3)
+	g := reg.Gauge("sig")
+	eng := alerting.NewEngine("run-b", 3, []alerting.Rule{gaugeAbove{reg: "sig", bound: 10}})
+	eng.Arm(0)
+	eng.Attach(reg)
+
+	srv := NewServer(Options{Now: func() int64 { return 1 }})
+	srv.AttachAlerting(eng)
+
+	g.Set(20)
+	reg.Scrape(1e9) // open
+	reg.Scrape(2e9) // ack
+	g.Set(0)
+	reg.Scrape(3e9)
+	reg.Scrape(4e9) // resolve (ClearFor=2)
+
+	rec := httptest.NewRecorder()
+	srv.handleSnapshot(rec, nil)
+	var doc struct {
+		Incidents []struct {
+			Run      string `json:"run"`
+			Incident struct {
+				ID       int    `json:"id"`
+				Rule     string `json:"rule"`
+				Opened   int64  `json:"opened"`
+				Acked    int64  `json:"acked"`
+				Resolved int64  `json:"resolved"`
+			} `json:"incident"`
+		} `json:"incidents"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &doc); err != nil {
+		t.Fatalf("snapshot JSON: %v\n%s", err, rec.Body.String())
+	}
+	if len(doc.Incidents) != 1 {
+		t.Fatalf("want 1 incident, got %d: %s", len(doc.Incidents), rec.Body.String())
+	}
+	in := doc.Incidents[0]
+	if in.Run != "run-b" || in.Incident.Opened != 1e9 || in.Incident.Acked != 2e9 || in.Incident.Resolved != 4e9 {
+		t.Fatalf("incident lifecycle wrong: %+v (body %s)", in, rec.Body.String())
+	}
+}
+
+// gaugeAbove is a minimal threshold rule for tests.
+type gaugeAbove struct {
+	reg   string
+	bound float64
+}
+
+func (g gaugeAbove) Name() string  { return "gauge-above" }
+func (g gaugeAbove) Kind() string  { return "threshold" }
+func (g gaugeAbove) Scope() string { return "test" }
+func (g gaugeAbove) Eval(reg *telemetry.Registry, i int) alerting.Eval {
+	v := reg.GaugeAt(i, g.reg)
+	return alerting.Eval{Firing: v > g.bound, Value: v, Bound: g.bound, Detail: fmt.Sprintf("v=%g", v)}
+}
+
+// TestWatchedScrapeAddsZeroAllocs is the satellite allocation ceiling: an
+// enabled-but-unconnected obs server's scrape hook (WatchRegistry with no
+// SSE subscriber) must add zero allocations on top of the scrape itself.
+func TestWatchedScrapeAddsZeroAllocs(t *testing.T) {
+	reg := telemetry.NewRegistry("allocs", 1)
+	c := reg.Counter("c")
+	srv := NewServer(Options{})
+	srv.WatchRegistry(reg)
+	reg.Scrape(1) // register + first scrape outside the measurement
+
+	if n := testing.AllocsPerRun(200, func() {
+		c.Inc()
+		srv.onScrape(reg, 0)
+	}); n != 0 {
+		t.Fatalf("unconnected obs scrape hook allocates %v/op, want 0", n)
+	}
+}
+
+// TestIncidentHookUnconnectedAddsZeroAllocs: same ceiling for the
+// alerting transition path while no SSE client is connected.
+func TestIncidentHookUnconnectedAddsZeroAllocs(t *testing.T) {
+	srv := NewServer(Options{})
+	in := alerting.Incident{ID: 1, Rule: "r", Kind: "threshold", Scope: "s", OpenedAt: 1}
+	if n := testing.AllocsPerRun(200, func() {
+		srv.mu.Lock()
+		srv.incidents[incKey{label: "l", id: in.ID}] = in
+		srv.mu.Unlock()
+		if srv.hub.Active() {
+			t.Fatal("unexpected subscriber")
+		}
+	}); n != 0 {
+		t.Fatalf("unconnected incident record allocates %v/op, want 0", n)
+	}
+}

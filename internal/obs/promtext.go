@@ -1,0 +1,117 @@
+package obs
+
+import (
+	"sort"
+	"strconv"
+
+	"repro/internal/telemetry"
+)
+
+// promNamePrefix namespaces every exposed family, per Prometheus naming
+// conventions (application prefix).
+const promNamePrefix = "rlive_"
+
+// sanitizeMetricName maps a registry instrument name ("net.frames_sent",
+// "fleet.online_frac.r3") onto the Prometheus name charset
+// [a-zA-Z0-9_:], replacing every other byte with '_' and prepending the
+// rlive_ prefix: "rlive_net_frames_sent". Pure function of the input, so
+// exposition is as deterministic as the registry it renders.
+func sanitizeMetricName(name string) string {
+	b := make([]byte, 0, len(promNamePrefix)+len(name))
+	b = append(b, promNamePrefix...)
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+			b = append(b, c)
+		case c >= '0' && c <= '9':
+			b = append(b, c)
+		default:
+			b = append(b, '_')
+		}
+	}
+	return string(b)
+}
+
+// promF encodes a float the way Prometheus text format expects; shortest
+// exact round-trip form, matching the registry's JSONL convention.
+func promF(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// promFamily is one exposition family: a sanitized name plus the
+// instrument snapshot backing it.
+type promFamily struct {
+	name string
+	inst *telemetry.InstSnap
+}
+
+// AppendExposition renders the snapshots as Prometheus text exposition
+// format (version 0.0.4) appended to dst. Families are sorted by exposed
+// name so output order is independent of registration order and stable
+// across runs — the property the golden test pins. Counters gain the
+// _total suffix; histograms expand to cumulative _bucket{le="..."} series
+// plus _sum and _count.
+func AppendExposition(dst []byte, snaps ...telemetry.Snap) []byte {
+	var fams []promFamily
+	for si := range snaps {
+		for i := range snaps[si].Insts {
+			in := &snaps[si].Insts[i]
+			name := sanitizeMetricName(in.Name)
+			if in.Kind == telemetry.KindCounter {
+				name += "_total"
+			}
+			fams = append(fams, promFamily{name: name, inst: in})
+		}
+	}
+	sort.SliceStable(fams, func(a, b int) bool { return fams[a].name < fams[b].name })
+
+	for _, f := range fams {
+		in := f.inst
+		switch in.Kind {
+		case telemetry.KindCounter:
+			dst = append(dst, "# TYPE "...)
+			dst = append(dst, f.name...)
+			dst = append(dst, " counter\n"...)
+			dst = append(dst, f.name...)
+			dst = append(dst, ' ')
+			dst = strconv.AppendUint(dst, in.C, 10)
+			dst = append(dst, '\n')
+		case telemetry.KindHist:
+			dst = append(dst, "# TYPE "...)
+			dst = append(dst, f.name...)
+			dst = append(dst, " histogram\n"...)
+			var cum uint64
+			for bi, edge := range in.Edges {
+				if bi < len(in.Buckets) {
+					cum += in.Buckets[bi]
+				}
+				dst = append(dst, f.name...)
+				dst = append(dst, `_bucket{le="`...)
+				dst = append(dst, promF(edge)...)
+				dst = append(dst, `"} `...)
+				dst = strconv.AppendUint(dst, cum, 10)
+				dst = append(dst, '\n')
+			}
+			dst = append(dst, f.name...)
+			dst = append(dst, `_bucket{le="+Inf"} `...)
+			dst = strconv.AppendUint(dst, in.C, 10)
+			dst = append(dst, '\n')
+			dst = append(dst, f.name...)
+			dst = append(dst, "_sum "...)
+			dst = append(dst, promF(in.F)...)
+			dst = append(dst, '\n')
+			dst = append(dst, f.name...)
+			dst = append(dst, "_count "...)
+			dst = strconv.AppendUint(dst, in.C, 10)
+			dst = append(dst, '\n')
+		default: // gauge (stored or derived)
+			dst = append(dst, "# TYPE "...)
+			dst = append(dst, f.name...)
+			dst = append(dst, " gauge\n"...)
+			dst = append(dst, f.name...)
+			dst = append(dst, ' ')
+			dst = append(dst, promF(in.F)...)
+			dst = append(dst, '\n')
+		}
+	}
+	return dst
+}

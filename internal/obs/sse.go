@@ -1,0 +1,193 @@
+package obs
+
+import (
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Event is one typed SSE event: a type tag ("scrape", "incident",
+// "trace-summary") and a single-line JSON payload. The hub seals each
+// published event with a monotone sequence id clients see as the SSE id
+// field.
+type Event struct {
+	Seq  uint64
+	Type string
+	Data []byte
+}
+
+// hub fans published events out to SSE subscribers. Every subscriber owns
+// a bounded ring; when a slow consumer's ring fills, the oldest event is
+// dropped and the subscriber's dropped counter advances — publishing
+// never blocks and never waits on a consumer, so the data path (the
+// simulator thread or a binary's packet loop) is isolated from any HTTP
+// client's read rate.
+type hub struct {
+	ringCap int
+
+	// nsubs mirrors len(subs) atomically so the data-path fast check
+	// (Active) costs one atomic load and no lock.
+	nsubs atomic.Int32
+	// dropped counts ring overwrites across all subscribers.
+	dropped atomic.Uint64
+
+	mu   sync.Mutex
+	seq  uint64
+	subs map[*hubSub]struct{}
+}
+
+// hubSub is one subscriber: a fixed-capacity ring plus a 1-slot wakeup
+// channel. All ring state is guarded by its own mutex so a publish holds
+// each subscriber's lock only for the copy-in.
+type hubSub struct {
+	mu      sync.Mutex
+	ring    []Event // capacity ringCap
+	start   int     // index of oldest buffered event
+	n       int     // buffered count
+	dropped uint64
+
+	wake chan struct{}
+}
+
+func newHub(ringCap int) *hub {
+	if ringCap <= 0 {
+		ringCap = 256
+	}
+	return &hub{ringCap: ringCap, subs: make(map[*hubSub]struct{})}
+}
+
+// Active reports whether any subscriber is connected. This is the
+// data-path gate: bridges check it before building an event payload, so
+// an obs server with no SSE clients adds zero allocations to the scrape
+// hot path.
+func (h *hub) Active() bool { return h.nsubs.Load() > 0 }
+
+// Dropped returns the total events discarded to slow consumers.
+func (h *hub) Dropped() uint64 { return h.dropped.Load() }
+
+// Publish seals data as the next event and offers it to every subscriber,
+// dropping each subscriber's oldest buffered event on overflow. Takes
+// ownership of data. Never blocks.
+func (h *hub) Publish(typ string, data []byte) {
+	h.mu.Lock()
+	h.seq++
+	ev := Event{Seq: h.seq, Type: typ, Data: data}
+	for s := range h.subs {
+		if s.push(ev) {
+			h.dropped.Add(1)
+		}
+	}
+	h.mu.Unlock()
+}
+
+// push buffers ev, reporting whether an old event was dropped to make
+// room, and wakes the consumer without blocking.
+func (s *hubSub) push(ev Event) (droppedOld bool) {
+	s.mu.Lock()
+	if s.n == len(s.ring) {
+		s.start = (s.start + 1) % len(s.ring)
+		s.n--
+		s.dropped++
+		droppedOld = true
+	}
+	s.ring[(s.start+s.n)%len(s.ring)] = ev
+	s.n++
+	s.mu.Unlock()
+	select {
+	case s.wake <- struct{}{}:
+	default:
+	}
+	return droppedOld
+}
+
+// drain pops every buffered event in order, plus the subscriber's
+// cumulative dropped count.
+func (s *hubSub) drain(into []Event) ([]Event, uint64) {
+	s.mu.Lock()
+	for s.n > 0 {
+		into = append(into, s.ring[s.start])
+		s.ring[s.start] = Event{}
+		s.start = (s.start + 1) % len(s.ring)
+		s.n--
+	}
+	d := s.dropped
+	s.mu.Unlock()
+	return into, d
+}
+
+func (h *hub) subscribe() *hubSub {
+	s := &hubSub{ring: make([]Event, h.ringCap), wake: make(chan struct{}, 1)}
+	h.mu.Lock()
+	h.subs[s] = struct{}{}
+	h.nsubs.Store(int32(len(h.subs)))
+	h.mu.Unlock()
+	return s
+}
+
+func (h *hub) unsubscribe(s *hubSub) {
+	h.mu.Lock()
+	delete(h.subs, s)
+	h.nsubs.Store(int32(len(h.subs)))
+	h.mu.Unlock()
+}
+
+// heartbeatEvery is how often an idle SSE connection gets a comment-only
+// keepalive so intermediaries do not reap it.
+const heartbeatEvery = 15 * time.Second
+
+// serveSSE is the GET /events handler body: subscribe, stream buffered
+// events as they arrive, heartbeat when idle, tear down when the client
+// goes away.
+func (h *hub) serveSSE(w http.ResponseWriter, r *http.Request) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("X-Accel-Buffering", "no")
+	w.WriteHeader(http.StatusOK)
+	fl.Flush()
+
+	sub := h.subscribe()
+	defer h.unsubscribe(sub)
+
+	hb := time.NewTicker(heartbeatEvery)
+	defer hb.Stop()
+
+	var buf []Event
+	var sentDropped uint64
+	for {
+		var dropped uint64
+		buf, dropped = sub.drain(buf[:0])
+		for _, ev := range buf {
+			if _, err := fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", ev.Seq, ev.Type, ev.Data); err != nil {
+				return
+			}
+		}
+		// Surface consumer lag in-band: one advisory event per new batch
+		// of ring overwrites, so a reconnecting dashboard knows it has a
+		// gap rather than silently missing data.
+		if dropped != sentDropped {
+			sentDropped = dropped
+			if _, err := fmt.Fprintf(w, "event: dropped\ndata: {\"dropped\":%d}\n\n", dropped); err != nil {
+				return
+			}
+		}
+		fl.Flush()
+
+		select {
+		case <-r.Context().Done():
+			return
+		case <-sub.wake:
+		case <-hb.C:
+			if _, err := fmt.Fprint(w, ": ping\n\n"); err != nil {
+				return
+			}
+			fl.Flush()
+		}
+	}
+}

@@ -1,0 +1,116 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestSSEOrderingAndBackpressure pins the hub contract: events arrive in
+// publish order, a slow subscriber's ring drops oldest-first without ever
+// blocking the publisher, and the drop count is observable.
+func TestSSEOrderingAndBackpressure(t *testing.T) {
+	h := newHub(4)
+	sub := h.subscribe()
+	defer h.unsubscribe(sub)
+
+	if !h.Active() {
+		t.Fatal("hub should be active with one subscriber")
+	}
+
+	// Publish 10 events into a ring of 4 with nobody draining. Publishing
+	// must complete immediately (nothing blocks on the consumer).
+	done := make(chan struct{})
+	go func() {
+		for i := 0; i < 10; i++ {
+			h.Publish("scrape", []byte(fmt.Sprintf(`{"i":%d}`, i)))
+		}
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("publish blocked on a slow subscriber")
+	}
+
+	evs, dropped := sub.drain(nil)
+	if len(evs) != 4 {
+		t.Fatalf("ring of 4 holds %d events", len(evs))
+	}
+	// Oldest dropped: events 6..9 remain, in order, with monotone seqs.
+	for i, ev := range evs {
+		want := fmt.Sprintf(`{"i":%d}`, 6+i)
+		if string(ev.Data) != want {
+			t.Fatalf("event %d = %s, want %s (drop-oldest order violated)", i, ev.Data, want)
+		}
+		if i > 0 && ev.Seq != evs[i-1].Seq+1 {
+			t.Fatalf("non-monotone seq: %d after %d", ev.Seq, evs[i-1].Seq)
+		}
+	}
+	if dropped != 6 {
+		t.Fatalf("dropped = %d, want 6", dropped)
+	}
+	if h.Dropped() != 6 {
+		t.Fatalf("hub dropped = %d, want 6", h.Dropped())
+	}
+
+	// A drained subscriber receives subsequent events in order.
+	h.Publish("incident", []byte(`{"i":10}`))
+	evs, _ = sub.drain(nil)
+	if len(evs) != 1 || evs[0].Type != "incident" || string(evs[0].Data) != `{"i":10}` {
+		t.Fatalf("post-drain event wrong: %+v", evs)
+	}
+}
+
+// TestSSEStreamOverHTTP runs the real handler end to end: subscribe via
+// GET /events, receive typed events with ids, and observe the in-band
+// dropped advisory after overflowing the ring.
+func TestSSEStreamOverHTTP(t *testing.T) {
+	srv := NewServer(Options{RingSize: 4})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	defer srv.Close()
+
+	client := ts.Client()
+	resp, err := client.Get(ts.URL + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("content type %q", ct)
+	}
+
+	// Wait for the subscriber to register, then publish.
+	deadline := time.Now().Add(2 * time.Second)
+	for !srv.hub.Active() {
+		if time.Now().After(deadline) {
+			t.Fatal("subscriber never registered")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	srv.Publish("scrape", []byte(`{"a":1}`))
+	srv.Publish("incident", []byte(`{"b":2}`))
+
+	r := bufio.NewReader(resp.Body)
+	var got []string
+	for len(got) < 2 {
+		line, err := r.ReadString('\n')
+		if err != nil {
+			t.Fatalf("stream read: %v (got %v)", err, got)
+		}
+		line = strings.TrimRight(line, "\n")
+		if strings.HasPrefix(line, "event: ") || strings.HasPrefix(line, "data: ") {
+			got = append(got, line)
+		}
+	}
+	want := []string{"event: scrape", `data: {"a":1}`}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("stream line %d = %q, want %q (all: %v)", i, got[i], want[i], got)
+		}
+	}
+}

@@ -364,6 +364,24 @@ func (s *ShardedSim) Processed() uint64 {
 	return n
 }
 
+// Watermark returns the minimum published worker clock in nanoseconds — a
+// conservative lower bound on global simulation progress. Worker clocks
+// are atomics published before every event execution, so this is safe to
+// call from any goroutine while a run is in flight (the live progress
+// probe for long fleet-scale runs); reading it cannot influence the run.
+func (s *ShardedSim) Watermark() int64 {
+	if len(s.workers) == 0 {
+		return 0
+	}
+	min := s.workers[0].clock.Load()
+	for _, w := range s.workers[1:] {
+		if c := w.clock.Load(); c < min {
+			min = c
+		}
+	}
+	return min
+}
+
 // workerOf maps a region id to its owning worker index.
 func (s *ShardedSim) workerOf(region uint16) int { return int(region) % len(s.workers) }
 

@@ -23,16 +23,29 @@
 //   - Scrape snapshots are cumulative; consumers difference adjacent
 //     snapshots (HistSnap.Sub, counter deltas) to build per-interval
 //     views, keeping all reconciliation arithmetic in the integer domain.
+//
+// Concurrency: counter and gauge writes are atomic and histogram writes
+// take a per-instrument leaf lock, so the real-network binaries can share
+// one registry across goroutines; Snapshot serializes against scrapes and
+// registration under the registry lock. Scrapes themselves (and GaugeFunc
+// evaluation) must come from a single producer goroutine — the simulator
+// thread, or a binary's scrape loop — and GaugeFuncs must be safe to call
+// from it. The HTTP observability plane (internal/obs) never evaluates
+// GaugeFuncs off the producer thread: it reads LastSnap / published Snaps.
 package telemetry
 
 import (
 	"fmt"
 	"io"
+	"math"
 	"strconv"
+	"sync"
+	"sync/atomic"
 )
 
 // Counter is a monotone event counter. A nil *Counter is the disabled
 // instrument: Add/Inc on it are a single branch with no allocation.
+// Increments are atomic, so one counter may be shared across goroutines.
 type Counter struct{ v uint64 }
 
 // Add increments the counter by n. Safe (and free) on a nil receiver:
@@ -45,7 +58,7 @@ func (c *Counter) Add(n uint64) {
 	c.add(n)
 }
 
-func (c *Counter) add(n uint64) { c.v += n }
+func (c *Counter) add(n uint64) { atomic.AddUint64(&c.v, n) }
 
 // Inc increments the counter by one.
 func (c *Counter) Inc() { c.Add(1) }
@@ -55,11 +68,13 @@ func (c *Counter) Value() uint64 {
 	if c == nil {
 		return 0
 	}
-	return c.v
+	return atomic.LoadUint64(&c.v)
 }
 
-// Gauge is a last-write-wins instantaneous value.
-type Gauge struct{ v float64 }
+// Gauge is a last-write-wins instantaneous value. Stores are atomic (the
+// float is kept as its IEEE-754 bits), so gauges may be shared across
+// goroutines.
+type Gauge struct{ v uint64 }
 
 // Set stores the gauge value. Safe (and free) on a nil receiver.
 func (g *Gauge) Set(v float64) {
@@ -69,22 +84,25 @@ func (g *Gauge) Set(v float64) {
 	g.set(v)
 }
 
-func (g *Gauge) set(v float64) { g.v = v }
+func (g *Gauge) set(v float64) { atomic.StoreUint64(&g.v, math.Float64bits(v)) }
 
 // Value returns the current gauge value (0 for the nil instrument).
 func (g *Gauge) Value() float64 {
 	if g == nil {
 		return 0
 	}
-	return g.v
+	return math.Float64frombits(atomic.LoadUint64(&g.v))
 }
 
 // Histogram is a fixed-bucket histogram: observation v lands in the first
 // bucket whose upper edge satisfies v <= edge, or the overflow bucket.
 // Bucket counts are integers, so merged and differenced snapshots are
 // exact; the running sum is the only float and is reproduced bit-exactly
-// by identical observation order.
+// by identical observation order. Observations take a per-instrument leaf
+// lock (uncontended on the single-threaded simulator) so histograms may be
+// shared across goroutines in the real-network binaries.
 type Histogram struct {
+	mu     sync.Mutex
 	edges  []float64
 	counts []uint64 // len(edges)+1; last is overflow
 	sum    float64
@@ -100,6 +118,8 @@ func (h *Histogram) Observe(v float64) {
 }
 
 func (h *Histogram) observe(v float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
 	h.n++
 	h.sum += v
 	for i, e := range h.edges {
@@ -111,11 +131,22 @@ func (h *Histogram) observe(v float64) {
 	h.counts[len(h.edges)]++
 }
 
+// read copies the histogram state under its lock.
+func (h *Histogram) read() (n uint64, sum float64, buckets []uint64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	buckets = make([]uint64, len(h.counts))
+	copy(buckets, h.counts)
+	return h.n, h.sum, buckets
+}
+
 // N returns the total observation count (0 for the nil instrument).
 func (h *Histogram) N() uint64 {
 	if h == nil {
 		return 0
 	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
 	return h.n
 }
 
@@ -124,9 +155,8 @@ func (h *Histogram) Snap() HistSnap {
 	if h == nil {
 		return HistSnap{}
 	}
-	buckets := make([]uint64, len(h.counts))
-	copy(buckets, h.counts)
-	return HistSnap{Edges: h.edges, Buckets: buckets, N: h.n, Sum: h.sum}
+	n, sum, buckets := h.read()
+	return HistSnap{Edges: h.edges, Buckets: buckets, N: n, Sum: sum}
 }
 
 // HistSnap is an immutable histogram snapshot supporting the deterministic
@@ -206,6 +236,29 @@ func (s HistSnap) Quantile(q float64) float64 {
 	return s.Edges[len(s.Edges)-1]
 }
 
+// Kind is the canonical instrument kind a snapshot exposes. Derived gauges
+// (GaugeFunc) report KindGauge: the distinction is a registration detail,
+// not an exposition one.
+type Kind uint8
+
+const (
+	KindCounter Kind = iota
+	KindGauge
+	KindHist
+)
+
+// String names the kind as the JSONL and exposition formats spell it.
+func (k Kind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindHist:
+		return "hist"
+	default:
+		return "gauge"
+	}
+}
+
 // instKind tags the registry's instrument slots.
 type instKind uint8
 
@@ -218,6 +271,9 @@ const (
 
 var kindNames = [...]string{"counter", "gauge", "gauge", "hist"}
 
+// canonKind maps a registration kind to the exposition Kind.
+var canonKind = [...]Kind{KindCounter, KindGauge, KindGauge, KindHist}
+
 // instrument is one registered slot: name, kind, and exactly one live arm.
 type instrument struct {
 	name string
@@ -228,19 +284,32 @@ type instrument struct {
 	h    *Histogram
 }
 
-// value is one instrument's state captured at a scrape.
-type value struct {
-	c       uint64
-	f       float64
-	buckets []uint64 // histograms only
+// InstSnap is one instrument's state captured at a snapshot instant:
+// counters fill C, gauges fill F, histograms fill C (observation count),
+// F (sum), Buckets, and Edges. Edges alias the instrument's immutable
+// bucket layout; everything else is a copy, so an InstSnap is safe to
+// read from any goroutine once taken.
+type InstSnap struct {
+	Name    string
+	Kind    Kind
+	C       uint64
+	F       float64
+	Buckets []uint64
+	Edges   []float64
 }
 
-// snapshot is the registry state at one scrape instant. vals is index-
-// aligned with the registry's instruments at scrape time; instruments
-// registered later simply have no value in earlier snapshots.
-type snapshot struct {
-	at   int64
-	vals []value
+// Snap is the registry state at one instant: the unit the JSONL encoder,
+// the accessors, and the HTTP observability plane all consume. Insts is
+// index-aligned with the registry's instruments at snapshot time;
+// instruments registered later simply have no value in earlier snapshots.
+type Snap struct {
+	// Label and Seed identify the producing registry (run and RNG seed).
+	Label string
+	Seed  uint64
+	// At is the snapshot instant in nanoseconds (simulation time for the
+	// simulator, wall-clock for the real binaries).
+	At    int64
+	Insts []InstSnap
 }
 
 // Registry is the per-run instrument registry and scrape timeline: the
@@ -252,9 +321,15 @@ type Registry struct {
 	// Seed is the RNG seed the run used.
 	Seed uint64
 
+	// mu guards registration, the scrape timeline, and the subscriber
+	// list. Instrument writes never take it (counters and gauges are
+	// atomic; histograms use their own leaf lock), so hook sites stay
+	// lock-free. Scrape and Snapshot must come from one producer
+	// goroutine; readers (accessors, LastSnap) may run anywhere.
+	mu     sync.Mutex
 	insts  []instrument
 	byName map[string]int
-	snaps  []snapshot
+	snaps  []Snap
 	subs   []func(r *Registry, i int)
 }
 
@@ -266,16 +341,17 @@ func NewRegistry(label string, seed uint64) *Registry {
 // Enabled reports whether the registry records (false when nil).
 func (r *Registry) Enabled() bool { return r != nil }
 
-// lookup returns the instrument index for name, or -1.
-func (r *Registry) lookup(name string) int {
+// lookupLocked returns the instrument index for name, or -1 (r.mu held).
+func (r *Registry) lookupLocked(name string) int {
 	if i, ok := r.byName[name]; ok {
 		return i
 	}
 	return -1
 }
 
-func (r *Registry) register(name string, kind instKind) int {
-	if i := r.lookup(name); i >= 0 {
+// registerLocked finds or appends the named slot (r.mu held).
+func (r *Registry) registerLocked(name string, kind instKind) int {
+	if i := r.lookupLocked(name); i >= 0 {
 		if r.insts[i].kind != kind {
 			panic(fmt.Sprintf("telemetry: %q registered as %s and %s",
 				name, kindNames[r.insts[i].kind], kindNames[kind]))
@@ -295,7 +371,9 @@ func (r *Registry) Counter(name string) *Counter {
 	if r == nil {
 		return nil
 	}
-	i := r.register(name, kindCounter)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	i := r.registerLocked(name, kindCounter)
 	if r.insts[i].c == nil {
 		r.insts[i].c = &Counter{}
 	}
@@ -308,21 +386,26 @@ func (r *Registry) Gauge(name string) *Gauge {
 	if r == nil {
 		return nil
 	}
-	i := r.register(name, kindGauge)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	i := r.registerLocked(name, kindGauge)
 	if r.insts[i].g == nil {
 		r.insts[i].g = &Gauge{}
 	}
 	return r.insts[i].g
 }
 
-// GaugeFunc registers a derived gauge evaluated at scrape time. fn must be
-// deterministic and side-effect free (it runs on the simulator thread).
-// No-op on a nil registry.
+// GaugeFunc registers a derived gauge evaluated at snapshot time. fn must
+// be deterministic and side-effect free on the simulator, and safe to call
+// from the producer goroutine in the real binaries; it must not call back
+// into the registry. No-op on a nil registry.
 func (r *Registry) GaugeFunc(name string, fn func() float64) {
 	if r == nil {
 		return
 	}
-	i := r.register(name, kindGaugeFunc)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	i := r.registerLocked(name, kindGaugeFunc)
 	r.insts[i].fn = fn
 }
 
@@ -344,7 +427,7 @@ func (r *Registry) PerRegionGaugeFunc(name string, regions int, fn func(region i
 
 // OnScrape registers fn to run after every scrape is appended, called with
 // the registry and the new snapshot's index. Subscribers run synchronously
-// on the simulator thread in registration order, so a subscriber sees a
+// on the producer goroutine in registration order, so a subscriber sees a
 // fully consistent timeline (every accessor up to and including index i is
 // final) and its own evaluation order is as deterministic as the scrape
 // timeline itself. fn must not scrape. No-op on a nil registry.
@@ -352,6 +435,8 @@ func (r *Registry) OnScrape(fn func(r *Registry, i int)) {
 	if r == nil {
 		return
 	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	r.subs = append(r.subs, fn)
 }
 
@@ -362,7 +447,9 @@ func (r *Registry) Histogram(name string, edges []float64) *Histogram {
 	if r == nil {
 		return nil
 	}
-	i := r.register(name, kindHist)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	i := r.registerLocked(name, kindHist)
 	if r.insts[i].h == nil {
 		es := make([]float64, len(edges))
 		copy(es, edges)
@@ -371,37 +458,64 @@ func (r *Registry) Histogram(name string, edges []float64) *Histogram {
 	return r.insts[i].h
 }
 
-// Scrape snapshots every instrument at simulation time at (nanoseconds).
-// Derived gauges are evaluated here. No-op on a nil registry, and
-// idempotent per instant: a second scrape at the same at is dropped so a
-// final end-of-run scrape never duplicates a periodic one.
+// snapshotLocked captures every instrument into a Snap (r.mu held).
+// Derived gauges are evaluated here.
+func (r *Registry) snapshotLocked(at int64) Snap {
+	insts := make([]InstSnap, len(r.insts))
+	for i := range r.insts {
+		in := &r.insts[i]
+		is := &insts[i]
+		is.Name = in.name
+		is.Kind = canonKind[in.kind]
+		switch in.kind {
+		case kindCounter:
+			is.C = in.c.Value()
+		case kindGauge:
+			is.F = in.g.Value()
+		case kindGaugeFunc:
+			is.F = in.fn()
+		case kindHist:
+			is.C, is.F, is.Buckets = in.h.read()
+			is.Edges = in.h.edges
+		}
+	}
+	return Snap{Label: r.Label, Seed: r.Seed, At: at, Insts: insts}
+}
+
+// Snapshot captures every instrument at instant at (nanoseconds) without
+// touching the scrape timeline: the point-in-time read the HTTP /metrics
+// path uses on live registries. Returns the zero Snap on a nil registry.
+// Call only from the producer goroutine when GaugeFuncs read state other
+// goroutines mutate.
+func (r *Registry) Snapshot(at int64) Snap {
+	if r == nil {
+		return Snap{}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.snapshotLocked(at)
+}
+
+// Scrape snapshots every instrument at time at (nanoseconds) and appends
+// the snapshot to the timeline. No-op on a nil registry, and idempotent
+// per instant: a second scrape at the same at is dropped so a final
+// end-of-run scrape never duplicates a periodic one. Subscribers run after
+// the append, outside the registry lock, so they may use any accessor.
 func (r *Registry) Scrape(at int64) {
 	if r == nil {
 		return
 	}
-	if n := len(r.snaps); n > 0 && r.snaps[n-1].at == at {
+	r.mu.Lock()
+	if n := len(r.snaps); n > 0 && r.snaps[n-1].At == at {
+		r.mu.Unlock()
 		return
 	}
-	vals := make([]value, len(r.insts))
-	for i := range r.insts {
-		in := &r.insts[i]
-		switch in.kind {
-		case kindCounter:
-			vals[i].c = in.c.v
-		case kindGauge:
-			vals[i].f = in.g.v
-		case kindGaugeFunc:
-			vals[i].f = in.fn()
-		case kindHist:
-			vals[i].c = in.h.n
-			vals[i].f = in.h.sum
-			vals[i].buckets = make([]uint64, len(in.h.counts))
-			copy(vals[i].buckets, in.h.counts)
-		}
-	}
-	r.snaps = append(r.snaps, snapshot{at: at, vals: vals})
-	for _, fn := range r.subs {
-		fn(r, len(r.snaps)-1)
+	r.snaps = append(r.snaps, r.snapshotLocked(at))
+	i := len(r.snaps) - 1
+	subs := r.subs
+	r.mu.Unlock()
+	for _, fn := range subs {
+		fn(r, i)
 	}
 }
 
@@ -410,60 +524,137 @@ func (r *Registry) NumScrapes() int {
 	if r == nil {
 		return 0
 	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	return len(r.snaps)
+}
+
+// SnapAt returns snapshot i of the timeline (the zero Snap when out of
+// range). Snaps are immutable once appended, so the returned value is safe
+// to read from any goroutine.
+func (r *Registry) SnapAt(i int) Snap {
+	if r == nil {
+		return Snap{}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if i < 0 || i >= len(r.snaps) {
+		return Snap{}
+	}
+	return r.snaps[i]
+}
+
+// LastSnap returns the most recent scrape snapshot (the zero Snap when the
+// timeline is empty). This is what the observability plane renders for a
+// simulator registry: the last consistent scrape, never a mid-event read.
+func (r *Registry) LastSnap() Snap {
+	if r == nil {
+		return Snap{}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.snaps) == 0 {
+		return Snap{}
+	}
+	return r.snaps[len(r.snaps)-1]
 }
 
 // ScrapeAt returns the simulation time (ns) of snapshot i.
 func (r *Registry) ScrapeAt(i int) int64 {
-	if r == nil || i < 0 || i >= len(r.snaps) {
-		return 0
-	}
-	return r.snaps[i].at
+	return r.SnapAt(i).At
 }
 
 // CounterAt returns the named counter's cumulative value at snapshot i
 // (0 when the instrument or snapshot does not exist).
 func (r *Registry) CounterAt(i int, name string) uint64 {
-	if r == nil || i < 0 || i >= len(r.snaps) {
+	if r == nil {
 		return 0
 	}
-	idx := r.lookup(name)
-	if idx < 0 || idx >= len(r.snaps[i].vals) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if i < 0 || i >= len(r.snaps) {
 		return 0
 	}
-	return r.snaps[i].vals[idx].c
+	idx := r.lookupLocked(name)
+	if idx < 0 || idx >= len(r.snaps[i].Insts) {
+		return 0
+	}
+	return r.snaps[i].Insts[idx].C
 }
 
 // GaugeAt returns the named gauge's value at snapshot i.
 func (r *Registry) GaugeAt(i int, name string) float64 {
-	if r == nil || i < 0 || i >= len(r.snaps) {
+	if r == nil {
 		return 0
 	}
-	idx := r.lookup(name)
-	if idx < 0 || idx >= len(r.snaps[i].vals) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if i < 0 || i >= len(r.snaps) {
 		return 0
 	}
-	return r.snaps[i].vals[idx].f
+	idx := r.lookupLocked(name)
+	if idx < 0 || idx >= len(r.snaps[i].Insts) {
+		return 0
+	}
+	return r.snaps[i].Insts[idx].F
 }
 
 // HistAt returns the named histogram's cumulative snapshot at scrape i
 // (the zero HistSnap when absent).
 func (r *Registry) HistAt(i int, name string) HistSnap {
-	if r == nil || i < 0 || i >= len(r.snaps) {
+	if r == nil {
 		return HistSnap{}
 	}
-	idx := r.lookup(name)
-	if idx < 0 || idx >= len(r.snaps[i].vals) || r.insts[idx].kind != kindHist {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if i < 0 || i >= len(r.snaps) {
 		return HistSnap{}
 	}
-	v := r.snaps[i].vals[idx]
-	return HistSnap{Edges: r.insts[idx].h.edges, Buckets: v.buckets, N: v.c, Sum: v.f}
+	idx := r.lookupLocked(name)
+	if idx < 0 || idx >= len(r.snaps[i].Insts) || r.snaps[i].Insts[idx].Kind != KindHist {
+		return HistSnap{}
+	}
+	v := &r.snaps[i].Insts[idx]
+	return HistSnap{Edges: v.Edges, Buckets: v.Buckets, N: v.C, Sum: v.F}
 }
 
 // fmtF encodes a float in its shortest exact round-trip form — the only
 // non-integer JSONL fields, byte-stable because every producer computes
 // the value by an identical operation sequence.
 func fmtF(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// WriteInstJSONL encodes one instrument of one snapshot as a single JSONL
+// line — the shared per-instrument encoder behind both the timeline JSONL
+// files and the /snapshot HTTP document. Field order is fixed and floats
+// use shortest-exact encoding.
+func WriteInstJSONL(w io.Writer, at int64, in *InstSnap) error {
+	switch in.Kind {
+	case KindCounter:
+		_, err := fmt.Fprintf(w, "{\"at\":%d,\"name\":%q,\"type\":\"counter\",\"v\":%d}\n",
+			at, in.Name, in.C)
+		return err
+	case KindHist:
+		if _, err := fmt.Fprintf(w, "{\"at\":%d,\"name\":%q,\"type\":\"hist\",\"n\":%d,\"sum\":%s,\"buckets\":[",
+			at, in.Name, in.C, fmtF(in.F)); err != nil {
+			return err
+		}
+		for bi, b := range in.Buckets {
+			sep := ","
+			if bi == 0 {
+				sep = ""
+			}
+			if _, err := fmt.Fprintf(w, "%s%d", sep, b); err != nil {
+				return err
+			}
+		}
+		_, err := fmt.Fprintf(w, "]}\n")
+		return err
+	default:
+		_, err := fmt.Fprintf(w, "{\"at\":%d,\"name\":%q,\"type\":\"gauge\",\"v\":%s}\n",
+			at, in.Name, fmtF(in.F))
+		return err
+	}
+}
 
 // WriteJSONL encodes the timeline as one header line followed by one line
 // per (scrape, instrument) pair in registration order. Field order is
@@ -473,39 +664,18 @@ func (r *Registry) WriteJSONL(w io.Writer) error {
 	if r == nil {
 		return nil
 	}
+	r.mu.Lock()
+	snaps := r.snaps
+	numInsts := len(r.insts)
+	r.mu.Unlock()
 	if _, err := fmt.Fprintf(w, "{\"run\":%q,\"seed\":%d,\"scrapes\":%d,\"instruments\":%d}\n",
-		r.Label, r.Seed, len(r.snaps), len(r.insts)); err != nil {
+		r.Label, r.Seed, len(snaps), numInsts); err != nil {
 		return err
 	}
-	for si := range r.snaps {
-		s := &r.snaps[si]
-		for i := range s.vals {
-			in := &r.insts[i]
-			var err error
-			switch in.kind {
-			case kindCounter:
-				_, err = fmt.Fprintf(w, "{\"at\":%d,\"name\":%q,\"type\":\"counter\",\"v\":%d}\n",
-					s.at, in.name, s.vals[i].c)
-			case kindGauge, kindGaugeFunc:
-				_, err = fmt.Fprintf(w, "{\"at\":%d,\"name\":%q,\"type\":\"gauge\",\"v\":%s}\n",
-					s.at, in.name, fmtF(s.vals[i].f))
-			case kindHist:
-				if _, err = fmt.Fprintf(w, "{\"at\":%d,\"name\":%q,\"type\":\"hist\",\"n\":%d,\"sum\":%s,\"buckets\":[",
-					s.at, in.name, s.vals[i].c, fmtF(s.vals[i].f)); err != nil {
-					return err
-				}
-				for bi, b := range s.vals[i].buckets {
-					sep := ","
-					if bi == 0 {
-						sep = ""
-					}
-					if _, err = fmt.Fprintf(w, "%s%d", sep, b); err != nil {
-						return err
-					}
-				}
-				_, err = fmt.Fprintf(w, "]}\n")
-			}
-			if err != nil {
+	for si := range snaps {
+		s := &snaps[si]
+		for i := range s.Insts {
+			if err := WriteInstJSONL(w, s.At, &s.Insts[i]); err != nil {
 				return err
 			}
 		}

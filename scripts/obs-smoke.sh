@@ -1,0 +1,140 @@
+#!/usr/bin/env sh
+# obs-smoke.sh — end-to-end check of the observability plane on the real
+# binaries, shared by the Makefile `obs-smoke` target and CI so the two
+# never drift.
+#
+# The topology is the minimal real-socket pipeline: one rlive-cdn origin
+# hosting a stream, one rlive-edge relay pulling substreams from it, and
+# one rlive-client playing through the relay. All three run with -obs on
+# loopback ports; the check is that
+#
+#   1. every /healthz and /readyz converges to 200 (readiness probes are
+#      real: the origin must generate frames, the client must play them),
+#   2. /metrics parses as Prometheus text exposition and the frame
+#      counters are nonzero end to end (origin generated, relay pulled,
+#      viewer played),
+#   3. /snapshot returns a valid JSON document from each process.
+#
+# Environment:
+#   OBS_SMOKE_OUT  keep outputs (snapshots, metrics, logs) in this
+#                  directory instead of a throwaway mktemp dir — CI sets
+#                  it so the /snapshot documents survive as artifacts.
+set -eu
+
+if [ -n "${OBS_SMOKE_OUT:-}" ]; then
+    out=$OBS_SMOKE_OUT
+    mkdir -p "$out"
+else
+    out=$(mktemp -d)
+fi
+
+cdn_obs=127.0.0.1:18411
+edge_obs=127.0.0.1:18412
+client_obs=127.0.0.1:18413
+cdn_addr=127.0.0.1:18400
+edge_addr=127.0.0.1:18402
+
+echo "obs-smoke: building binaries"
+go build -o "$out/rlive-cdn" ./cmd/rlive-cdn
+go build -o "$out/rlive-edge" ./cmd/rlive-edge
+go build -o "$out/rlive-client" ./cmd/rlive-client
+
+pids=""
+cleanup() {
+    for pid in $pids; do
+        kill "$pid" 2>/dev/null || true
+    done
+    wait 2>/dev/null || true
+    if [ -z "${OBS_SMOKE_OUT:-}" ]; then
+        rm -rf "$out"
+    fi
+}
+trap cleanup EXIT INT TERM
+
+# wait_200 <url> <tries>: poll until the endpoint answers 200.
+wait_200() {
+    url=$1
+    tries=$2
+    i=0
+    while [ "$i" -lt "$tries" ]; do
+        if curl -fsS -o /dev/null "$url" 2>/dev/null; then
+            return 0
+        fi
+        i=$((i + 1))
+        sleep 0.5
+    done
+    echo "obs-smoke: $url never answered 200 after $tries tries" >&2
+    return 1
+}
+
+# counter_value <metrics-file> <metric>: extract an un-labelled sample.
+counter_value() {
+    awk -v m="$2" '$1 == m { print $2; found = 1 } END { if (!found) print "MISSING" }' "$1"
+}
+
+echo "obs-smoke: starting rlive-cdn on $cdn_addr (obs $cdn_obs)"
+"$out/rlive-cdn" -listen "$cdn_addr" -streams 1 -k 4 -obs "$cdn_obs" \
+    > "$out/cdn.log" 2>&1 &
+pids="$pids $!"
+wait_200 "http://$cdn_obs/healthz" 20
+wait_200 "http://$cdn_obs/readyz" 40   # ready = frames generated
+
+echo "obs-smoke: starting rlive-edge on $edge_addr (obs $edge_obs)"
+"$out/rlive-edge" -listen "$edge_addr" -cdn "$cdn_addr" -obs "$edge_obs" \
+    > "$out/edge.log" 2>&1 &
+pids="$pids $!"
+wait_200 "http://$edge_obs/healthz" 20
+wait_200 "http://$edge_obs/readyz" 40  # ready = origin reachable
+
+echo "obs-smoke: starting rlive-client through the relay (obs $client_obs)"
+"$out/rlive-client" -cdn "$cdn_addr" -relays "$edge_addr" -k 4 \
+    -duration 60s -obs "$client_obs" > "$out/client.log" 2>&1 &
+pids="$pids $!"
+wait_200 "http://$client_obs/healthz" 20
+wait_200 "http://$client_obs/readyz" 60  # ready = frames played
+
+# Let the counters advance past the readiness edge, then scrape everything.
+sleep 2
+curl -fsS "http://$cdn_obs/metrics" > "$out/cdn.metrics"
+curl -fsS "http://$edge_obs/metrics" > "$out/edge.metrics"
+curl -fsS "http://$client_obs/metrics" > "$out/client.metrics"
+curl -fsS "http://$cdn_obs/snapshot" > "$out/cdn.snapshot.json"
+curl -fsS "http://$edge_obs/snapshot" > "$out/edge.snapshot.json"
+curl -fsS "http://$client_obs/snapshot" > "$out/client.snapshot.json"
+
+# Exposition sanity: every line is a comment or `name value` with the
+# rlive_ prefix and a numeric sample.
+for f in cdn edge client; do
+    awk '
+        /^#/ { next }
+        !/^rlive_[a-zA-Z0-9_:]+(\{[^}]*\})? -?[0-9+]/ {
+            print FILENAME ": bad exposition line: " $0; bad = 1
+        }
+        END { exit bad }
+    ' "$out/$f.metrics"
+    python3 -c "import json,sys; json.load(open(sys.argv[1]))" "$out/$f.snapshot.json" \
+        || { echo "obs-smoke: $f /snapshot is not valid JSON" >&2; exit 1; }
+done
+
+# The end-to-end frame counters must all be nonzero: generated at the
+# origin, pulled by the relay, played by the viewer.
+fail=0
+for probe in \
+    "cdn rlive_origin_frames_generated_total" \
+    "edge rlive_relay_frames_pulled_total" \
+    "client rlive_viewer_frames_played_total"; do
+    f=${probe%% *}
+    metric=${probe#* }
+    v=$(counter_value "$out/$f.metrics" "$metric")
+    echo "obs-smoke: $f $metric = $v"
+    case $v in
+        MISSING | 0) fail=1 ;;
+    esac
+done
+if [ "$fail" -ne 0 ]; then
+    echo "obs-smoke: a frame counter is missing or zero; logs:" >&2
+    tail -20 "$out/cdn.log" "$out/edge.log" "$out/client.log" >&2
+    exit 1
+fi
+
+echo "obs-smoke: OK"
