@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: tier1 build test vet race bench bench-json bench-gate benchcmp chaos ci fmt-check determinism telemetry alerting ctrlplane sharded obs-smoke
+.PHONY: tier1 build test vet race bench bench-json bench-gate benchcmp chaos ci fmt-check determinism telemetry alerting ctrlplane sharded obs-smoke profile
 
 # Perf-trajectory numbering: the latest checked-in BENCH_*.json is the
 # regression baseline, and bench-json writes the next index so the
@@ -59,7 +59,7 @@ chaos:
 # formatting, vet, the race detector, the serial-vs-parallel trace,
 # telemetry, alerting, and control-plane determinism gates, and the
 # benchmark regression gate.
-ci: tier1 fmt-check vet race determinism telemetry alerting ctrlplane sharded bench-gate obs-smoke
+ci: tier1 fmt-check vet race determinism telemetry alerting ctrlplane sharded bench-gate obs-smoke profile
 
 fmt-check:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -99,6 +99,20 @@ sharded:
 ctrlplane:
 	@$(GO) test ./internal/ctrlplane/ ./internal/core/ -run 'Test.*(Gossip|Shard|LKG|Push|CtrlWire|ControlPlane|DataPlane)' -count 1
 	@scripts/determinism.sh ctrl-scale 1 -ctrl
+
+# The self-profiling gate: profile package + engine-integration tests, then
+# the observe-only contract (PROF_CHECK reruns the determinism check with a
+# third, profiled run that must stay byte-identical) on both engines, then a
+# fleet-scale profiled run whose perf-report and Perfetto timeline land in
+# PROFILE_OUT (default profile-out/) for inspection.
+PROFILE_OUT ?= profile-out
+profile:
+	@$(GO) test ./internal/profile/ ./internal/simnet/ -run 'Test.*Prof|TestProf|TestNilProf|TestLap|TestPark|TestMail|TestReport|TestPerfetto|TestSpanCap' -count 1
+	@PROF_CHECK=1 scripts/determinism.sh ab-baseline 7 -trace
+	@PROF_CHECK=1 scripts/determinism.sh fleet-scale 1 -telemetry -shards 4
+	@mkdir -p $(PROFILE_OUT)
+	$(GO) run ./cmd/rlive-sim -exp fleet-scale -nodes 100000 -duration 5s -shards 4 -parallel 4 \
+		-prof $(PROFILE_OUT)/perf-report.txt -perfetto $(PROFILE_OUT)/perf-trace.json
 
 # The observability-plane smoke: boot rlive-cdn + rlive-edge + rlive-client
 # on loopback with -obs, wait for /healthz and /readyz, and assert /metrics

@@ -18,6 +18,7 @@ import (
 	"repro/internal/ctrlplane"
 	"repro/internal/experiments"
 	"repro/internal/media"
+	"repro/internal/profile"
 	"repro/internal/recovery"
 	"repro/internal/scheduler"
 	"repro/internal/simnet"
@@ -477,5 +478,53 @@ func BenchmarkTelemetryDisabled(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		c.Inc()
 		h.Observe(float64(i))
+	}
+}
+
+// benchProfiledLoop drives the serial engine's steady-state dispatch loop —
+// a re-arming ticker over a warmed heap — with or without the engine
+// self-profiler attached. BenchmarkProfileDisabled vs BenchmarkProfileEnabled
+// is the zero-overhead-when-disabled contract in the bench-gate set: the
+// disabled row must stay at 0 allocs/op and within noise of the seed.
+func benchProfiledLoop(b *testing.B, p *profile.Prof) {
+	sim := simnet.NewSim()
+	sim.SetProfile(p)
+	ticks := 0
+	sim.Every(time.Millisecond, func() bool { ticks++; return true })
+	var until simnet.Time = 100 * time.Millisecond
+	sim.Run(until) // warm pools and heap before measuring
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		until += 10 * time.Millisecond
+		sim.Run(until)
+	}
+	if ticks == 0 {
+		b.Fatal("ticker never fired")
+	}
+}
+
+func BenchmarkProfileDisabled(b *testing.B) { benchProfiledLoop(b, nil) }
+func BenchmarkProfileEnabled(b *testing.B) {
+	benchProfiledLoop(b, profile.New("bench", 1, 1))
+}
+
+// BenchmarkFleetScaleProfiled is BenchmarkFleetScaleRun with engine
+// self-profiling on — the cost of full per-shard/per-worker attribution at
+// fleet scale (compare the two rows for the enabled-path overhead).
+func BenchmarkFleetScaleProfiled(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sys := core.NewFleetScale(core.FleetScaleConfig{
+			Seed: 1, NumBestEffort: 10000, Workers: 4, ChurnEnabled: true,
+			Profile: true,
+		})
+		sys.Run(5 * time.Second)
+		if rep := sys.Report(); rep.ViewerFrames == 0 {
+			b.Fatal("no viewer frames")
+		}
+		if p := sys.Profile(); p == nil || p.TotalEvents() == 0 {
+			b.Fatal("profiler attached but recorded nothing")
+		}
 	}
 }

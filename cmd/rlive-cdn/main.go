@@ -11,6 +11,7 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"runtime"
 	"time"
 
 	"repro/internal/livenet"
@@ -28,8 +29,13 @@ func main() {
 		bitrate = flag.Float64("bitrate", 2e6, "stream bitrate (bps)")
 		seed    = flag.Uint64("seed", 1, "content RNG seed")
 		obsAddr = flag.String("obs", "", "observability HTTP listen address (empty = disabled)")
+		profRt  = flag.Int("prof-rates", 0, "runtime mutex/block profiling rate for /debug/pprof (SetMutexProfileFraction and SetBlockProfileRate; 0 = off)")
 	)
 	flag.Parse()
+	if *profRt > 0 {
+		runtime.SetMutexProfileFraction(*profRt)
+		runtime.SetBlockProfileRate(*profRt)
+	}
 
 	origin, err := livenet.NewOrigin(*listen)
 	if err != nil {
@@ -44,7 +50,7 @@ func main() {
 	var reg *telemetry.Registry
 	if *obsAddr != "" {
 		reg = telemetry.NewRegistry("rlive-cdn", *seed)
-		srv = obs.NewServer(obs.Options{})
+		srv = obs.NewServer(obs.Options{EnablePprof: true})
 	}
 	origin.SetTelemetry(reg)
 	srv.AddLiveRegistry(reg)

@@ -10,6 +10,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"runtime"
 	"strings"
 	"time"
 
@@ -29,8 +30,13 @@ func main() {
 		fps      = flag.Int("fps", 30, "frames per second")
 		duration = flag.Duration("duration", 30*time.Second, "viewing duration")
 		obsAddr  = flag.String("obs", "", "observability HTTP listen address (empty = disabled)")
+		profRt   = flag.Int("prof-rates", 0, "runtime mutex/block profiling rate for /debug/pprof (SetMutexProfileFraction and SetBlockProfileRate; 0 = off)")
 	)
 	flag.Parse()
+	if *profRt > 0 {
+		runtime.SetMutexProfileFraction(*profRt)
+		runtime.SetBlockProfileRate(*profRt)
+	}
 
 	var addrs []string
 	if *relays != "" {
@@ -61,7 +67,7 @@ func main() {
 	var reg *telemetry.Registry
 	if *obsAddr != "" {
 		reg = telemetry.NewRegistry("rlive-client", 0)
-		srv = obs.NewServer(obs.Options{})
+		srv = obs.NewServer(obs.Options{EnablePprof: true})
 	}
 	viewer.SetTelemetry(reg)
 	srv.AddLiveRegistry(reg)

@@ -13,6 +13,7 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"runtime"
 	"time"
 
 	"repro/internal/livenet"
@@ -27,8 +28,13 @@ func main() {
 		sched   = flag.String("scheduler", "", "scheduler directory address (optional)")
 		quota   = flag.Int("quota", 64, "session quota")
 		obsAddr = flag.String("obs", "", "observability HTTP listen address (empty = disabled)")
+		profRt  = flag.Int("prof-rates", 0, "runtime mutex/block profiling rate for /debug/pprof (SetMutexProfileFraction and SetBlockProfileRate; 0 = off)")
 	)
 	flag.Parse()
+	if *profRt > 0 {
+		runtime.SetMutexProfileFraction(*profRt)
+		runtime.SetBlockProfileRate(*profRt)
+	}
 
 	relay, err := livenet.NewRelay(*listen, *cdn, *quota)
 	if err != nil {
@@ -42,7 +48,7 @@ func main() {
 	var reg *telemetry.Registry
 	if *obsAddr != "" {
 		reg = telemetry.NewRegistry("rlive-edge", 0)
-		srv = obs.NewServer(obs.Options{})
+		srv = obs.NewServer(obs.Options{EnablePprof: true})
 	}
 	relay.SetTelemetry(reg)
 	srv.AddLiveRegistry(reg)

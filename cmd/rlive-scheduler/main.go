@@ -9,6 +9,7 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"runtime"
 	"time"
 
 	"repro/internal/livenet"
@@ -19,7 +20,12 @@ import (
 func main() {
 	listen := flag.String("listen", "127.0.0.1:8401", "HTTP listen address")
 	obsAddr := flag.String("obs", "", "observability HTTP listen address (empty = disabled)")
+	profRt := flag.Int("prof-rates", 0, "runtime mutex/block profiling rate for /debug/pprof (SetMutexProfileFraction and SetBlockProfileRate; 0 = off)")
 	flag.Parse()
+	if *profRt > 0 {
+		runtime.SetMutexProfileFraction(*profRt)
+		runtime.SetBlockProfileRate(*profRt)
+	}
 
 	dir, err := livenet.NewDirectory(*listen)
 	if err != nil {
@@ -33,7 +39,7 @@ func main() {
 	var reg *telemetry.Registry
 	if *obsAddr != "" {
 		reg = telemetry.NewRegistry("rlive-scheduler", 0)
-		srv = obs.NewServer(obs.Options{})
+		srv = obs.NewServer(obs.Options{EnablePprof: true})
 	}
 	dir.SetTelemetry(reg)
 	srv.AddLiveRegistry(reg)

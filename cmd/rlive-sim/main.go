@@ -16,6 +16,8 @@
 //	rlive-sim -exp ab-peak -telemetry m.jsonl        # instrument timelines
 //	rlive-sim -exp chaos-obs -alerts a.jsonl         # incident logs + detection scorecards
 //	rlive-sim -exp ctrl-scale -ctrl c.jsonl          # control-plane snapshot/gossip event logs
+//	rlive-sim -exp fleet-scale -shards 4 -prof p.txt # engine self-profiling perf report
+//	rlive-sim -exp fleet-scale -perfetto t.json      # Perfetto-loadable busy/park timeline
 package main
 
 import (
@@ -26,10 +28,13 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"sort"
+	"sync"
 	"time"
 
 	"repro/internal/ctrlplane"
 	"repro/internal/experiments"
+	"repro/internal/profile"
 	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
@@ -72,6 +77,9 @@ func main() {
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this path")
 		memProf  = flag.String("memprofile", "", "write a heap profile to this path on exit")
 		obsAddr  = flag.String("obs", "", "observability HTTP listen address for live progress (/metrics, /events, ...; empty = disabled; results stay byte-identical)")
+		profPath = flag.String("prof", "", "enable engine self-profiling and write the perf report (per shard x event kind cost accounting, horizon stalls, mailbox pressure) to this path; results stay byte-identical")
+		perfetto = flag.String("perfetto", "", "enable engine self-profiling and write a Chrome trace-event JSON (Perfetto-loadable) timeline of worker busy/parked spans to this path; results stay byte-identical")
+		profRate = flag.Int("prof-rates", 0, "runtime mutex/block profiling rate for /debug/pprof (SetMutexProfileFraction and SetBlockProfileRate; 0 = off)")
 	)
 	flag.Parse()
 
@@ -102,6 +110,10 @@ func main() {
 			}
 		}()
 	}
+	if *profRate > 0 {
+		runtime.SetMutexProfileFraction(*profRate)
+		runtime.SetBlockProfileRate(*profRate)
+	}
 	// Cells and shards share one worker budget: -parallel bounds the total,
 	// -shards claims its share inside each sharded run.
 	experiments.SetBudget(*parallel, *shards)
@@ -131,13 +143,27 @@ func main() {
 	sc.Telemetry = *telemPth != ""
 	sc.Shards = *shards
 
+	// Engine self-profiling: collect each profiled run's slabs (cells run
+	// concurrently, so the sink locks) and render after all experiments
+	// finish. Profiling is observe-only — every deterministic artifact is
+	// byte-identical with these flags on or off (CI gates it).
+	var profMu sync.Mutex
+	var profs []*profile.Prof
+	if *profPath != "" || *perfetto != "" {
+		sc.Profile = func(p *profile.Prof) {
+			profMu.Lock()
+			profs = append(profs, p)
+			profMu.Unlock()
+		}
+	}
+
 	// Live observability bridge: serves /metrics, /events, /healthz,
 	// /readyz, /snapshot while the run is in flight. A nil bridge (flag
 	// unset) makes every call below a no-op and registers no hooks.
 	var bridge *obsBridge
 	if *obsAddr != "" {
 		var err error
-		bridge, err = newObsBridge(*obsAddr)
+		bridge, err = newObsBridge(*obsAddr, *shards)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "rlive-sim: obs: %v\n", err)
 			os.Exit(1)
@@ -298,6 +324,61 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("-- %d ctrl events (%d runs) written to %s\n", events, len(ctrlLogs), *ctrlPth)
+	}
+	if *profPath != "" || *perfetto != "" {
+		// Cells complete in any order; sort by run label so the report and
+		// timeline documents have a stable layout (the measured wall-time
+		// values inside naturally vary run to run).
+		profMu.Lock()
+		sort.Slice(profs, func(i, j int) bool { return profs[i].Label < profs[j].Label })
+		got := profs
+		profMu.Unlock()
+		if len(got) == 0 {
+			fmt.Fprintf(os.Stderr, "rlive-sim: -prof/-perfetto set but no selected experiment supports engine self-profiling (ab-baseline and fleet-scale do)\n")
+			os.Exit(1)
+		}
+		if *profPath != "" {
+			f, err := os.Create(*profPath)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "rlive-sim: create %s: %v\n", *profPath, err)
+				os.Exit(1)
+			}
+			w := bufio.NewWriter(f)
+			if err := profile.WriteReports(w, got...); err != nil {
+				fmt.Fprintf(os.Stderr, "rlive-sim: write %s: %v\n", *profPath, err)
+				os.Exit(1)
+			}
+			if err := w.Flush(); err != nil {
+				fmt.Fprintf(os.Stderr, "rlive-sim: flush %s: %v\n", *profPath, err)
+				os.Exit(1)
+			}
+			if err := f.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "rlive-sim: close %s: %v\n", *profPath, err)
+				os.Exit(1)
+			}
+			fmt.Printf("-- perf report (%d runs) written to %s\n", len(got), *profPath)
+		}
+		if *perfetto != "" {
+			f, err := os.Create(*perfetto)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "rlive-sim: create %s: %v\n", *perfetto, err)
+				os.Exit(1)
+			}
+			w := bufio.NewWriter(f)
+			if err := profile.WritePerfetto(w, got...); err != nil {
+				fmt.Fprintf(os.Stderr, "rlive-sim: write %s: %v\n", *perfetto, err)
+				os.Exit(1)
+			}
+			if err := w.Flush(); err != nil {
+				fmt.Fprintf(os.Stderr, "rlive-sim: flush %s: %v\n", *perfetto, err)
+				os.Exit(1)
+			}
+			if err := f.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "rlive-sim: close %s: %v\n", *perfetto, err)
+				os.Exit(1)
+			}
+			fmt.Printf("-- perfetto timeline (%d runs) written to %s\n", len(got), *perfetto)
+		}
 	}
 	if *jsonPath != "" {
 		buf, err := json.MarshalIndent(doc, "", "  ")

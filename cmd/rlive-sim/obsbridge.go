@@ -27,7 +27,8 @@ import (
 //     active registry (LastSnap — never a request-time snapshot, because
 //     sim gauge funcs must only run on the sim thread).
 //   - Fleet-scale mid-run progress (Scale.WatchFleet): the sharded
-//     engine's conservative watermark, polled on a wall-clock ticker.
+//     engine's conservative watermark plus the engine self-profiler's live
+//     per-worker utilization (prof.* gauges), polled on wall-clock tickers.
 //
 // Everything here only observes — atomic reads, OnScrape side channels —
 // and never adds sim events or instruments, so output stays byte-identical
@@ -44,10 +45,25 @@ type obsBridge struct {
 	expsDone     atomic.Int64
 	watermarkNs  atomic.Int64
 	fleetRunning atomic.Int64
+
+	// probe is the most recent fleet run's utilization probe; the prof.*
+	// gauges read it nil-safely so /metrics is valid before, during, and
+	// after a profiled run.
+	probe atomic.Pointer[experiments.FleetProbe]
+}
+
+// loadProbe returns the current fleet probe, or nil before any fleet run.
+func (b *obsBridge) loadProbe() experiments.FleetProbe {
+	if p := b.probe.Load(); p != nil {
+		return *p
+	}
+	return nil
 }
 
 // newObsBridge builds the bridge and starts the obs server on addr.
-func newObsBridge(addr string) (*obsBridge, error) {
+// shardWorkers sizes the per-worker utilization gauges (the -shards flag;
+// fleet runs clamp to it).
+func newObsBridge(addr string, shardWorkers int) (*obsBridge, error) {
 	b := &obsBridge{}
 	b.progress = telemetry.NewRegistry("rlive-sim", 0)
 	b.cellsDone = b.progress.Counter("sim.cells_completed")
@@ -58,7 +74,56 @@ func newObsBridge(addr string) (*obsBridge, error) {
 	b.progress.GaugeFunc("sim.fleet_watermark_s", func() float64 { return float64(b.watermarkNs.Load()) / 1e9 })
 	b.progress.GaugeFunc("sim.fleet_runs_active", func() float64 { return float64(b.fleetRunning.Load()) })
 
-	b.srv = obs.NewServer(obs.Options{})
+	// Engine self-profiling gauges: live only while a profiled fleet run
+	// is in flight (zero otherwise). All reads are single-owner atomics on
+	// the profiler's slabs — polling them cannot perturb the run.
+	b.progress.GaugeFunc("prof.shard_busy_frac", func() float64 {
+		if p := b.loadProbe(); p != nil {
+			return p.Profile().BusyFrac()
+		}
+		return 0
+	})
+	b.progress.GaugeFunc("prof.park_ms", func() float64 {
+		if p := b.loadProbe(); p != nil {
+			return float64(p.Profile().TotalParkNs()) / 1e6
+		}
+		return 0
+	})
+	b.progress.GaugeFunc("prof.mailbox_depth", func() float64 {
+		if p := b.loadProbe(); p != nil {
+			return float64(p.MailboxHighWater())
+		}
+		return 0
+	})
+	if shardWorkers < 1 {
+		shardWorkers = 1
+	}
+	for w := 0; w < shardWorkers; w++ {
+		w := w
+		b.progress.GaugeFunc(fmt.Sprintf("prof.worker_busy_ms.w%d", w), func() float64 {
+			if p := b.loadProbe(); p != nil && w < p.ShardWorkers() {
+				busy, _, _ := p.WorkerUtil(w)
+				return float64(busy) / 1e6
+			}
+			return 0
+		})
+		b.progress.GaugeFunc(fmt.Sprintf("prof.worker_park_ms.w%d", w), func() float64 {
+			if p := b.loadProbe(); p != nil && w < p.ShardWorkers() {
+				_, park, _ := p.WorkerUtil(w)
+				return float64(park) / 1e6
+			}
+			return 0
+		})
+		b.progress.GaugeFunc(fmt.Sprintf("prof.worker_events.w%d", w), func() float64 {
+			if p := b.loadProbe(); p != nil && w < p.ShardWorkers() {
+				_, _, ev := p.WorkerUtil(w)
+				return float64(ev)
+			}
+			return 0
+		})
+	}
+
+	b.srv = obs.NewServer(obs.Options{EnablePprof: true})
 	b.srv.AddLiveRegistry(b.progress)
 	b.srv.PollRegistry(b.progress, time.Second)
 	b.srv.AddLiveness("sim", func() error { return nil })
@@ -95,8 +160,9 @@ func (b *obsBridge) wire(sc *experiments.Scale) {
 			}
 		})
 	}
-	sc.WatchFleet = func(done <-chan struct{}, watermark func() int64) {
+	sc.WatchFleet = func(done <-chan struct{}, probe experiments.FleetProbe) {
 		b.fleetRunning.Add(1)
+		b.probe.Store(&probe)
 		go func() {
 			defer b.fleetRunning.Add(-1)
 			tick := time.NewTicker(500 * time.Millisecond)
@@ -106,7 +172,7 @@ func (b *obsBridge) wire(sc *experiments.Scale) {
 				case <-done:
 					return
 				case <-tick.C:
-					w := watermark()
+					w := probe.Watermark()
 					for {
 						cur := b.watermarkNs.Load()
 						if w <= cur || b.watermarkNs.CompareAndSwap(cur, w) {

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/fleet"
+	"repro/internal/profile"
 	"repro/internal/simnet"
 	"repro/internal/stats"
 )
@@ -38,6 +39,10 @@ type FleetScaleConfig struct {
 	// churn is enabled (defaults 2 min / 20 s).
 	ViewerStay time.Duration
 	ViewerAway time.Duration
+	// Profile attaches the engine self-profiler (per-region cost slabs,
+	// per-worker park/utilization slabs, mailbox accounting). Observe-only:
+	// the run's output is byte-identical with it on or off.
+	Profile bool
 }
 
 func (c *FleetScaleConfig) setDefaults() {
@@ -153,6 +158,9 @@ func NewFleetScale(cfg FleetScaleConfig) *FleetScaleSystem {
 		Seed:      cfg.Seed,
 		Lookahead: 4 * time.Millisecond,
 	})
+	if cfg.Profile {
+		sys.Sim.EnableProfile("fleet-scale")
+	}
 	sys.Net = simnet.NewShardedNet(sys.Sim)
 	sys.Net.InterRegionOWD = func(ra, rb int) time.Duration {
 		d := ra - rb
@@ -321,6 +329,22 @@ func (sys *FleetScaleSystem) Run(d time.Duration) { sys.Sim.Run(d) }
 // so observability can report live progress on long runs without adding
 // events (which would perturb the byte-determinism gates).
 func (sys *FleetScaleSystem) Watermark() int64 { return sys.Sim.Watermark() }
+
+// Profile returns the engine self-profiler (nil unless Config.Profile).
+func (sys *FleetScaleSystem) Profile() *profile.Prof { return sys.Sim.Profile() }
+
+// ShardWorkers returns the engine's worker count after clamping.
+func (sys *FleetScaleSystem) ShardWorkers() int { return sys.Sim.Workers() }
+
+// WorkerUtil returns shard worker w's live busy-ns / park-ns / events
+// counters; like Watermark, safe to poll mid-run (zeros unless profiling).
+func (sys *FleetScaleSystem) WorkerUtil(w int) (busyNs, parkNs int64, events uint64) {
+	return sys.Sim.WorkerUtil(w)
+}
+
+// MailboxHighWater returns the deepest cross-worker mailbox high-water
+// mark; safe to poll mid-run (0 unless profiling).
+func (sys *FleetScaleSystem) MailboxHighWater() int64 { return sys.Sim.MailboxHighWater() }
 
 // FleetScaleReport is the merged, worker-independent run summary.
 type FleetScaleReport struct {

@@ -11,6 +11,7 @@ import (
 	"repro/internal/fleet"
 	"repro/internal/media"
 	"repro/internal/metrics"
+	"repro/internal/profile"
 	"repro/internal/scheduler"
 	"repro/internal/simnet"
 	"repro/internal/stats"
@@ -107,6 +108,12 @@ type Config struct {
 	// scrape instant, on the simulator thread. nil (the default) keeps the
 	// hook on the zero-cost path.
 	Alerting *alerting.Engine
+	// Profile, when set, attaches the engine self-profiler to this
+	// system's event loop (per-event-kind cost accounting). Observe-only:
+	// it reads the wall clock and writes its own slabs, so run output is
+	// byte-identical with or without it. nil (the default) keeps the
+	// dispatch hook on the zero-cost path.
+	Profile *profile.Prof
 }
 
 func (c *Config) setDefaults() {
@@ -180,6 +187,7 @@ func NewSystem(cfg Config) *System {
 	cfg.setDefaults()
 	rng := stats.NewRNG(cfg.Seed)
 	sim := simnet.NewSim()
+	sim.SetProfile(cfg.Profile)
 	net := simnet.NewNetwork(sim, rng.Fork())
 
 	s := &System{

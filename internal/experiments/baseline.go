@@ -4,6 +4,7 @@ import (
 	"repro/internal/client"
 	"repro/internal/core"
 	"repro/internal/metrics"
+	"repro/internal/profile"
 	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
@@ -26,8 +27,9 @@ func ABBaseline(sc Scale) *Result {
 	cells := RunCells(len(modes), func(i int) cell {
 		var run *trace.Run
 		var reg *telemetry.Registry
+		var prof *profile.Prof
 		var tune func(*core.Config)
-		if sc.Trace || sc.Telemetry {
+		if sc.Trace || sc.Telemetry || sc.profiled() {
 			if sc.Trace {
 				run = trace.NewRun("ab-baseline/"+modes[i].String(), sc.Seed)
 			}
@@ -35,12 +37,18 @@ func ABBaseline(sc Scale) *Result {
 				reg = telemetry.NewRegistry("ab-baseline/"+modes[i].String(), sc.Seed)
 				sc.watch(reg)
 			}
+			if sc.profiled() {
+				// The serial engine is one shard on one worker.
+				prof = profile.New("ab-baseline/"+modes[i].String(), 1, 1)
+			}
 			tune = func(cfg *core.Config) {
 				cfg.Trace = run
 				cfg.Telemetry = reg
+				cfg.Profile = prof
 			}
 		}
 		s := abRun(sc, modes[i], eveningPeak, tune)
+		sc.emitProfile(prof)
 		// Close the telemetry timeline at the end of the run (idempotent
 		// when a periodic scrape already fired at this instant).
 		reg.Scrape(int64(s.Sim.Now()))

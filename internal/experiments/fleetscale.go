@@ -36,16 +36,22 @@ func FleetScale(sc Scale) *Result {
 			NumBestEffort: sizes[i],
 			Workers:       shards,
 			ChurnEnabled:  true,
+			Profile:       sc.profiled(),
 		})
+		if p := sys.Profile(); p != nil {
+			p.Label = fmt.Sprintf("fleet-scale/%d", sizes[i])
+		}
 		// The WatchFleet hook gets a mid-run progress probe: the engine's
-		// conservative watermark is an atomic read, so the poller observes
-		// without adding sim events — the run stays byte-identical.
+		// watermark and the profiler's utilization slabs are atomic reads,
+		// so the poller observes without adding sim events — the run stays
+		// byte-identical.
 		if sc.WatchFleet != nil {
 			done := make(chan struct{})
-			sc.WatchFleet(done, sys.Watermark)
+			sc.WatchFleet(done, sys)
 			defer close(done)
 		}
 		sys.Run(sc.Duration)
+		sc.emitProfile(sys.Profile())
 		return cell{size: sizes[i], rep: sys.Report()}
 	})
 

@@ -15,9 +15,30 @@ import (
 
 	"repro/internal/alerting"
 	"repro/internal/ctrlplane"
+	"repro/internal/profile"
 	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
+
+// FleetProbe is the read-only mid-run view of a sharded fleet-scale run
+// that WatchFleet receives: the conservative watermark plus the engine
+// self-profiler's live per-worker utilization counters. Every method is
+// backed by single-owner atomics, so polling from a wall-clock goroutine
+// cannot perturb the run (the byte-determinism gates cover this).
+type FleetProbe interface {
+	// Watermark is the engine's conservative sim-time lower bound in ns.
+	Watermark() int64
+	// ShardWorkers is the engine's worker count after clamping.
+	ShardWorkers() int
+	// WorkerUtil returns worker w's live busy-ns / park-ns / events
+	// (zeros unless the run is profiled).
+	WorkerUtil(w int) (busyNs, parkNs int64, events uint64)
+	// MailboxHighWater is the deepest cross-worker mailbox high-water
+	// mark (0 unless the run is profiled).
+	MailboxHighWater() int64
+	// Profile is the run's engine self-profiler (nil unless profiled).
+	Profile() *profile.Prof
+}
 
 // Scale sizes an experiment run. Quick keeps tests and benches fast; Full
 // is the CLI default.
@@ -55,12 +76,32 @@ type Scale struct {
 	Watch func(*telemetry.Registry) `json:"-"`
 	// WatchFleet, when set, brackets each fleet-scale cell's sharded run:
 	// it is called just before the run starts with a done channel (closed
-	// when the run finishes) and a watermark function returning the
-	// engine's conservative sim-time lower bound in nanoseconds — safe to
-	// poll from any goroutine mid-run, so a wall-clock poller can report
-	// live sim-time progress on 100k-node runs. Same read-only contract as
-	// Watch. Excluded from the -json document.
-	WatchFleet func(done <-chan struct{}, watermark func() int64) `json:"-"`
+	// when the run finishes) and the run's FleetProbe — safe to poll from
+	// any goroutine mid-run, so a wall-clock poller can report live
+	// sim-time progress and per-shard utilization on 100k-node runs.
+	// Setting it also enables engine self-profiling for the run (the
+	// utilization counters come from the profiler's slabs). Same read-only
+	// contract as Watch. Excluded from the -json document.
+	WatchFleet func(done <-chan struct{}, probe FleetProbe) `json:"-"`
+	// Profile, when set, enables engine self-profiling on experiments that
+	// support it (ab-baseline on the serial engine, fleet-scale on the
+	// sharded engine) and is called once per profiled run with the run's
+	// profiler after that run completes. Calls may come from any cell
+	// goroutine, so implementations must be concurrency-safe. Profiling is
+	// observe-only — wall-clock cost accounting never feeds back into the
+	// simulation, so all deterministic artifacts are byte-identical with
+	// or without it. Excluded from the -json document.
+	Profile func(*profile.Prof) `json:"-"`
+}
+
+// profiled reports whether engine self-profiling should be attached.
+func (sc *Scale) profiled() bool { return sc.Profile != nil || sc.WatchFleet != nil }
+
+// emitProfile hands a completed run's profiler to the Profile sink.
+func (sc *Scale) emitProfile(p *profile.Prof) {
+	if sc.Profile != nil && p != nil {
+		sc.Profile(p)
+	}
 }
 
 // watch notifies the Watch hook, if any, about a freshly created registry.

@@ -44,6 +44,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -62,6 +63,12 @@ type Options struct {
 	// /snapshot timestamp (default time.Now().UnixNano). Tests inject a
 	// fixed clock to make rendered output reproducible.
 	Now func() int64
+	// EnablePprof mounts net/http/pprof under /debug/pprof/ (index,
+	// profile, heap, mutex, block, ...) so a long run can be profiled over
+	// the same port that serves /metrics. Mutex/block sampling rates stay
+	// at the runtime defaults unless the binary's -prof-rates flag raises
+	// them.
+	EnablePprof bool
 }
 
 // probe is one named health check.
@@ -500,6 +507,16 @@ func (s *Server) Handler() http.Handler {
 		s.mu.Unlock()
 		handleProbes(w, probes)
 	})
+	if s.opts.EnablePprof {
+		// pprof.Index serves the whole /debug/pprof/ subtree (heap, mutex,
+		// block, goroutine, ...); the three handlers below are the ones the
+		// index cannot dispatch itself.
+		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 	return mux
 }
 

@@ -246,3 +246,29 @@ func TestIncidentHookUnconnectedAddsZeroAllocs(t *testing.T) {
 		t.Fatalf("unconnected incident record allocates %v/op, want 0", n)
 	}
 }
+
+// TestPprofEndpoint checks the EnablePprof gate: the /debug/pprof/ subtree
+// serves the runtime profiles when opted in and stays unrouted otherwise,
+// so simulation-only deployments expose no introspection surface by default.
+func TestPprofEndpoint(t *testing.T) {
+	get := func(h http.Handler, path string) int {
+		ts := httptest.NewServer(h)
+		defer ts.Close()
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	on := NewServer(Options{EnablePprof: true})
+	for _, path := range []string{"/debug/pprof/", "/debug/pprof/heap", "/debug/pprof/cmdline"} {
+		if code := get(on.Handler(), path); code != 200 {
+			t.Errorf("enabled: GET %s = %d, want 200", path, code)
+		}
+	}
+	off := NewServer(Options{})
+	if code := get(off.Handler(), "/debug/pprof/"); code != 404 {
+		t.Errorf("disabled: GET /debug/pprof/ = %d, want 404", code)
+	}
+}

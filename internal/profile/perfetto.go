@@ -1,0 +1,85 @@
+package profile
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// Chrome trace-event JSON (the "JSON Array Format" Perfetto loads): one
+// process per profiled run, one thread per shard worker, and one complete
+// ("ph":"X") event per busy/parked span with microsecond timestamps.
+
+type perfettoEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type perfettoDoc struct {
+	TraceEvents     []perfettoEvent `json:"traceEvents"`
+	DisplayTimeUnit string          `json:"displayTimeUnit"`
+}
+
+// WritePerfetto writes the merged busy/parked timeline of the given
+// profiled runs as Chrome trace-event JSON, loadable in ui.perfetto.dev.
+// Each run is a process (pid = 1 + its index, named by its label); each
+// worker is a thread carrying its busy and park spans.
+func WritePerfetto(w io.Writer, profs ...*Prof) error {
+	doc := perfettoDoc{TraceEvents: []perfettoEvent{}, DisplayTimeUnit: "ms"}
+	for pi, p := range profs {
+		if p == nil {
+			continue
+		}
+		pid := pi + 1
+		doc.TraceEvents = append(doc.TraceEvents, perfettoEvent{
+			Name: "process_name", Ph: "M", Pid: pid,
+			Args: map[string]any{"name": p.Label},
+		})
+		for wi := range p.workers {
+			wk := &p.workers[wi]
+			doc.TraceEvents = append(doc.TraceEvents, perfettoEvent{
+				Name: "thread_name", Ph: "M", Pid: pid, Tid: wi,
+				Args: map[string]any{"name": workerThreadName(wi)},
+			})
+			for _, sp := range wk.spans {
+				ev := perfettoEvent{
+					Ph: "X", Pid: pid, Tid: wi,
+					Ts:  float64(sp.Start) / 1e3,
+					Dur: float64(sp.Dur) / 1e3,
+				}
+				switch sp.Kind {
+				case SpanPark:
+					ev.Name, ev.Cat = "parked", "horizon"
+				default:
+					ev.Name, ev.Cat = "busy", "events"
+				}
+				doc.TraceEvents = append(doc.TraceEvents, ev)
+			}
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(doc)
+}
+
+func workerThreadName(i int) string {
+	return "worker " + itoa(i)
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	pos := len(buf)
+	for i > 0 {
+		pos--
+		buf[pos] = byte('0' + i%10)
+		i /= 10
+	}
+	return string(buf[pos:])
+}

@@ -1,0 +1,568 @@
+// Package profile is the engine self-profiling layer: an observe-only,
+// zero-overhead-when-disabled recorder of where the simulation engines'
+// wall-time actually goes — per-shard / per-event-kind cost accounting
+// sampled around event dispatch, horizon-protocol visibility (parked
+// duration, park counts, which other shard's clock was the blocker), and
+// mailbox pressure (depth high-water marks, drain-batch histograms).
+//
+// Design (mirrors trace.Buf and telemetry's nil-registry convention):
+//
+//   - A nil *Worker / *Shard / *Mail is the disabled profiler: every hook
+//     is a single inlined nil check that reads no clock and allocates
+//     nothing, so an unprofiled event loop stays on its current fast path.
+//   - Accounting slabs are per-worker and per-shard, written only by the
+//     owning shard worker, with trailing padding so adjacent slabs never
+//     share a cache line — the enabled hot path performs no cross-worker
+//     writes. Utilization totals are stored with atomic writes (plain-read
+//     plus atomic-store is safe for a single owner) so wall-clock pollers
+//     may read them mid-run.
+//   - Self-time uses lap timing: one monotonic clock read per executed
+//     event, where the delta since the previous lap is attributed to the
+//     event's (shard, kind) bucket. Engine overhead between events (heap
+//     pop, clock publish, mailbox drain) rides with the event it precedes,
+//     so the per-bucket self-times sum exactly to the worker busy time —
+//     attribution is 100% by construction.
+//   - The profiler only READS the wall clock and writes its own slabs; it
+//     never schedules events, draws randomness, or touches simulation
+//     state. Every deterministic artifact (tables, trace/telemetry/alert/
+//     ctrl JSONL) is therefore byte-identical with profiling on or off —
+//     CI enforces this with the same identity gates as -obs.
+package profile
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// Kind is the engine event class a dispatch is attributed to. The values
+// mirror simnet's event slabs (fn/deliver/tick) and must stay aligned with
+// its eventKind constants.
+type Kind uint8
+
+const (
+	// KindFn is a generic callback (the At/After API).
+	KindFn Kind = iota
+	// KindDeliver is a packet delivery.
+	KindDeliver
+	// KindTick is a periodic timer (the Every API).
+	KindTick
+
+	NumKinds
+)
+
+var kindNames = [NumKinds]string{"fn", "deliver", "tick"}
+
+// String names the event kind.
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return "unknown"
+}
+
+// Shard is one region loop's cost-accounting slab: execution counts and
+// lap self-time per event kind, written only by the owning worker. Values
+// are stored atomically (single-owner store) so live pollers may read them
+// mid-run; the trailing pad keeps adjacent slabs off one cache line.
+type Shard struct {
+	counts [NumKinds]atomic.Uint64
+	selfNs [NumKinds]atomic.Int64
+	_      [64]byte
+}
+
+// Count returns the executed-event count for one kind (0 on nil).
+func (s *Shard) Count(k Kind) uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.counts[k].Load()
+}
+
+// SelfNs returns the accumulated self-time for one kind (0 on nil).
+func (s *Shard) SelfNs(k Kind) int64 {
+	if s == nil {
+		return 0
+	}
+	return s.selfNs[k].Load()
+}
+
+// Events returns the shard's total executed-event count (0 on nil).
+func (s *Shard) Events() uint64 {
+	if s == nil {
+		return 0
+	}
+	var n uint64
+	for k := range s.counts {
+		n += s.counts[k].Load()
+	}
+	return n
+}
+
+// SpanKind tags a worker timeline span.
+type SpanKind uint8
+
+const (
+	// SpanBusy covers executing events (and the engine overhead between
+	// them) from a Begin/ParkEnd resume to the next ParkBegin/End.
+	SpanBusy SpanKind = iota
+	// SpanPark covers a horizon-protocol wait on the engine condvar.
+	SpanPark
+)
+
+// Span is one busy or parked interval of a worker's wall-clock timeline,
+// in nanoseconds since the profiler's start.
+type Span struct {
+	Start int64
+	Dur   int64
+	Kind  SpanKind
+}
+
+// maxSpans bounds the per-worker span timeline; past it spans are counted
+// as dropped instead of recorded, so a pathological park storm cannot
+// balloon the profiler.
+const maxSpans = 1 << 15
+
+// Worker is one shard worker's park/utilization slab. The utilization
+// totals (busy/park/events) are written only by the owning worker but
+// stored atomically, so the live observability plane may poll them from a
+// wall-clock goroutine mid-run.
+type Worker struct {
+	busyNs atomic.Int64
+	parkNs atomic.Int64
+	parks  atomic.Int64
+	events atomic.Int64
+
+	clock func() int64
+
+	// Owner-only lap and span state. armed/spanOpen are explicit (rather
+	// than a zero-time sentinel) because a lap chain can legitimately
+	// start at clock reading 0.
+	lastNs      int64
+	spanStart   int64
+	parkStart   int64
+	parkBlocker int
+	armed       bool
+	spanOpen    bool
+
+	// blockedOnNs[j] is parked time attributed to worker j being the
+	// horizon blocker (the worker whose published clock was the minimum
+	// when this worker gave up and parked).
+	blockedOnNs  []int64
+	spans        []Span
+	spansDropped uint64
+
+	_ [64]byte
+}
+
+// Begin opens a busy span and arms the lap clock; the engines call it when
+// a worker (re)enters its event loop. Safe (and free) on a nil receiver.
+func (w *Worker) Begin() {
+	if w == nil {
+		return
+	}
+	now := w.clock()
+	w.lastNs = now
+	w.armed = true
+	w.spanStart = now
+	w.spanOpen = true
+}
+
+// Lap attributes the time since the previous lap to (s, k) and counts one
+// executed event. This is the per-event dispatch hook: one clock read per
+// event when enabled, a single inlined nil check when disabled.
+func (w *Worker) Lap(s *Shard, k Kind) {
+	if w == nil {
+		return
+	}
+	w.lap(s, k)
+}
+
+func (w *Worker) lap(s *Shard, k Kind) {
+	now := w.clock()
+	if w.armed {
+		d := now - w.lastNs
+		s.selfNs[k].Store(s.selfNs[k].Load() + d)
+		w.busyNs.Store(w.busyNs.Load() + d)
+	} else {
+		// Lap without Begin (a bare Step): start the chain here.
+		w.armed = true
+		w.spanStart = now
+		w.spanOpen = true
+	}
+	s.counts[k].Store(s.counts[k].Load() + 1)
+	w.events.Store(w.events.Load() + 1)
+	w.lastNs = now
+}
+
+// ParkBegin closes the current busy span and stamps the park start,
+// attributing the upcoming wait to the given blocking worker index (-1
+// when unknown, e.g. single-worker engines). Safe on a nil receiver.
+func (w *Worker) ParkBegin(blocker int) {
+	if w == nil {
+		return
+	}
+	now := w.clock()
+	if w.spanOpen && now > w.spanStart {
+		w.addSpan(Span{Start: w.spanStart, Dur: now - w.spanStart, Kind: SpanBusy})
+	}
+	w.spanOpen = false
+	w.parkStart = now
+	w.parkBlocker = blocker
+	w.parks.Store(w.parks.Load() + 1)
+}
+
+// ParkEnd closes the park span, accumulates parked time (total and
+// per-blocker), and re-arms the lap clock. Safe on a nil receiver.
+func (w *Worker) ParkEnd() {
+	if w == nil {
+		return
+	}
+	now := w.clock()
+	d := now - w.parkStart
+	w.parkNs.Store(w.parkNs.Load() + d)
+	if b := w.parkBlocker; b >= 0 && b < len(w.blockedOnNs) {
+		w.blockedOnNs[b] += d
+	}
+	if d > 0 {
+		w.addSpan(Span{Start: w.parkStart, Dur: d, Kind: SpanPark})
+	}
+	w.lastNs = now
+	w.armed = true
+	w.spanStart = now
+	w.spanOpen = true
+}
+
+// End closes the open busy span and disarms the lap clock; the engines
+// call it when a worker leaves its event loop (each Run phase brackets its
+// spans with Begin/End). Safe on a nil receiver.
+func (w *Worker) End() {
+	if w == nil {
+		return
+	}
+	now := w.clock()
+	if w.spanOpen && now > w.spanStart {
+		w.addSpan(Span{Start: w.spanStart, Dur: now - w.spanStart, Kind: SpanBusy})
+	}
+	w.spanOpen = false
+	w.armed = false
+}
+
+func (w *Worker) addSpan(sp Span) {
+	if len(w.spans) >= maxSpans {
+		w.spansDropped++
+		return
+	}
+	w.spans = append(w.spans, sp)
+}
+
+// Util returns the worker's live utilization counters: busy and parked
+// nanoseconds plus executed events. Safe to call from any goroutine while
+// the run is in flight; all zeros on a nil receiver.
+func (w *Worker) Util() (busyNs, parkNs int64, events uint64) {
+	if w == nil {
+		return 0, 0, 0
+	}
+	return w.busyNs.Load(), w.parkNs.Load(), uint64(w.events.Load())
+}
+
+// Parks returns the number of horizon-protocol parks (0 on nil).
+func (w *Worker) Parks() int64 {
+	if w == nil {
+		return 0
+	}
+	return w.parks.Load()
+}
+
+// BlockedOnNs returns parked time attributed to worker j (0 on nil or out
+// of range). Owner-goroutine or post-Run only.
+func (w *Worker) BlockedOnNs(j int) int64 {
+	if w == nil || j < 0 || j >= len(w.blockedOnNs) {
+		return 0
+	}
+	return w.blockedOnNs[j]
+}
+
+// Spans returns the worker's busy/park timeline (post-Run only).
+func (w *Worker) Spans() []Span {
+	if w == nil {
+		return nil
+	}
+	return w.spans
+}
+
+// mailBatchBuckets is the pow2 resolution of the drain-batch histogram:
+// bucket b counts drains of size in [2^b, 2^(b+1)).
+const mailBatchBuckets = 16
+
+// Mail is one cross-worker mailbox's accounting slab. The depth high-water
+// mark is written by the sending worker (inside the mailbox push) and the
+// drain-batch histogram by the receiving worker; padding keeps the two
+// sides off one cache line.
+type Mail struct {
+	hwm atomic.Int64
+	_   [56]byte
+	// Receiver-side (owner-confined).
+	drains  uint64
+	batches [mailBatchBuckets]uint64
+}
+
+// Push records the post-append queue depth; the sender-side hook. Safe
+// (and free) on a nil receiver.
+func (m *Mail) Push(depth int) {
+	if m == nil {
+		return
+	}
+	m.push(depth)
+}
+
+func (m *Mail) push(depth int) {
+	if d := int64(depth); d > m.hwm.Load() {
+		m.hwm.Store(d)
+	}
+}
+
+// Drain records one non-empty drain of n entries; the receiver-side hook.
+// Safe (and free) on a nil receiver.
+func (m *Mail) Drain(n int) {
+	if m == nil {
+		return
+	}
+	m.drain(n)
+}
+
+func (m *Mail) drain(n int) {
+	m.drains++
+	b := bits.Len(uint(n)) // n >= 1 so b >= 1
+	if b > mailBatchBuckets {
+		b = mailBatchBuckets
+	}
+	m.batches[b-1]++
+}
+
+// HighWater returns the depth high-water mark — safe to poll mid-run (0 on
+// nil).
+func (m *Mail) HighWater() int64 {
+	if m == nil {
+		return 0
+	}
+	return m.hwm.Load()
+}
+
+// Drains returns the non-empty drain count (post-Run only; 0 on nil).
+func (m *Mail) Drains() uint64 {
+	if m == nil {
+		return 0
+	}
+	return m.drains
+}
+
+// BatchQuantile returns the upper edge (2^(b+1)-1 entries, i.e. the
+// largest size the bucket admits) of the drain-batch bucket containing the
+// q-quantile drain, or 0 when no drains happened.
+func (m *Mail) BatchQuantile(q float64) int {
+	if m == nil || m.drains == 0 {
+		return 0
+	}
+	target := uint64(q * float64(m.drains))
+	if target == 0 {
+		target = 1
+	}
+	var cum uint64
+	for b, c := range m.batches {
+		cum += c
+		if cum >= target {
+			return 1<<(b+1) - 1
+		}
+	}
+	return 1<<mailBatchBuckets - 1
+}
+
+// Prof is one engine run's profiler: the per-shard cost slabs, per-worker
+// park/utilization slabs, and per-worker-pair mailbox slabs, plus the
+// monotonic clock they all stamp against. Construct with New, attach to an
+// engine (simnet Sim.SetProfile / ShardedSim.EnableProfile), and render
+// with WriteReport / WritePerfetto after the run.
+type Prof struct {
+	// Label names the run in reports and timelines (experiment/arm).
+	Label string
+
+	clock   func() int64
+	shards  []Shard
+	workers []Worker
+	mail    []Mail
+	nw      int
+}
+
+// New returns a profiler with the given slab counts, stamping against a
+// monotonic wall clock started now.
+func New(label string, shards, workers int) *Prof {
+	base := time.Now()
+	return NewWithClock(label, shards, workers, func() int64 { return int64(time.Since(base)) })
+}
+
+// NewWithClock is New with an injected clock (tests use a fake one to make
+// rendered reports exactly reproducible).
+func NewWithClock(label string, shards, workers int, clock func() int64) *Prof {
+	if shards < 1 {
+		shards = 1
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	p := &Prof{
+		Label:   label,
+		clock:   clock,
+		shards:  make([]Shard, shards),
+		workers: make([]Worker, workers),
+		mail:    make([]Mail, workers*workers),
+		nw:      workers,
+	}
+	for i := range p.workers {
+		w := &p.workers[i]
+		w.clock = clock
+		w.blockedOnNs = make([]int64, workers)
+		w.parkBlocker = -1
+	}
+	return p
+}
+
+// Now reads the profiler's clock (0 on nil).
+func (p *Prof) Now() int64 {
+	if p == nil {
+		return 0
+	}
+	return p.clock()
+}
+
+// NumShards returns the shard slab count (0 on nil).
+func (p *Prof) NumShards() int {
+	if p == nil {
+		return 0
+	}
+	return len(p.shards)
+}
+
+// NumWorkers returns the worker slab count (0 on nil).
+func (p *Prof) NumWorkers() int {
+	if p == nil {
+		return 0
+	}
+	return len(p.workers)
+}
+
+// Shard returns shard slab i (nil on a nil profiler).
+func (p *Prof) Shard(i int) *Shard {
+	if p == nil {
+		return nil
+	}
+	return &p.shards[i]
+}
+
+// Worker returns worker slab i (nil on a nil profiler).
+func (p *Prof) Worker(i int) *Worker {
+	if p == nil {
+		return nil
+	}
+	return &p.workers[i]
+}
+
+// Mail returns the mailbox slab for entries flowing from worker `from` to
+// worker `to` (nil on a nil profiler).
+func (p *Prof) Mail(to, from int) *Mail {
+	if p == nil {
+		return nil
+	}
+	return &p.mail[to*p.nw+from]
+}
+
+// TotalEvents sums executed events across all shards (0 on nil). Safe to
+// poll mid-run.
+func (p *Prof) TotalEvents() uint64 {
+	if p == nil {
+		return 0
+	}
+	var n uint64
+	for i := range p.shards {
+		n += p.shards[i].Events()
+	}
+	return n
+}
+
+// TotalBusyNs and TotalParkNs sum the worker utilization totals (0 on
+// nil). Safe to poll mid-run.
+func (p *Prof) TotalBusyNs() int64 {
+	if p == nil {
+		return 0
+	}
+	var n int64
+	for i := range p.workers {
+		n += p.workers[i].busyNs.Load()
+	}
+	return n
+}
+
+// TotalParkNs sums parked time across workers (0 on nil).
+func (p *Prof) TotalParkNs() int64 {
+	if p == nil {
+		return 0
+	}
+	var n int64
+	for i := range p.workers {
+		n += p.workers[i].parkNs.Load()
+	}
+	return n
+}
+
+// MailboxHighWater returns the maximum depth high-water mark across all
+// mailboxes (0 on nil). Safe to poll mid-run.
+func (p *Prof) MailboxHighWater() int64 {
+	if p == nil {
+		return 0
+	}
+	var max int64
+	for i := range p.mail {
+		if h := p.mail[i].hwm.Load(); h > max {
+			max = h
+		}
+	}
+	return max
+}
+
+// BusyFrac returns the fraction of workers' wall time since the profiler
+// started that was spent executing events — TotalBusy / (workers *
+// elapsed), clamped to [0, 1]. Safe to poll mid-run (0 on nil).
+func (p *Prof) BusyFrac() float64 {
+	if p == nil || len(p.workers) == 0 {
+		return 0
+	}
+	elapsed := p.clock()
+	if elapsed <= 0 {
+		return 0
+	}
+	f := float64(p.TotalBusyNs()) / (float64(len(p.workers)) * float64(elapsed))
+	if f > 1 {
+		f = 1
+	}
+	return f
+}
+
+// AttributedFrac returns the fraction of measured worker busy time that
+// landed in (shard, kind) buckets — 1.0 by construction of lap timing
+// (the acceptance floor is 0.95); 0 when nothing ran.
+func (p *Prof) AttributedFrac() float64 {
+	if p == nil {
+		return 0
+	}
+	busy := p.TotalBusyNs()
+	if busy == 0 {
+		return 0
+	}
+	var attr int64
+	for i := range p.shards {
+		for k := Kind(0); k < NumKinds; k++ {
+			attr += p.shards[i].SelfNs(k)
+		}
+	}
+	return float64(attr) / float64(busy)
+}

@@ -1,0 +1,312 @@
+package profile
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// fakeClock is a controllable monotonic clock for exact accounting tests.
+type fakeClock struct{ ns int64 }
+
+func (c *fakeClock) now() int64       { return c.ns }
+func (c *fakeClock) advance(ns int64) { c.ns += ns }
+func newFakeProf(shards, workers int) (*Prof, *fakeClock) {
+	c := &fakeClock{}
+	return NewWithClock("test", shards, workers, c.now), c
+}
+
+// TestNilProfIsFree pins the disabled path's contract: every hook on a nil
+// receiver is allocation-free (mirroring trace.TestNilBufIsFree). The
+// engines keep nil slab pointers when profiling is off, so this is the
+// 0-alloc guarantee for every unprofiled event dispatch and mailbox op.
+func TestNilProfIsFree(t *testing.T) {
+	var w *Worker
+	var s *Shard
+	var m *Mail
+	var p *Prof
+	if a := testing.AllocsPerRun(1000, func() {
+		w.Begin()
+		w.Lap(s, KindDeliver)
+		w.ParkBegin(1)
+		w.ParkEnd()
+		w.End()
+		m.Push(3)
+		m.Drain(2)
+	}); a != 0 {
+		t.Fatalf("nil profiler hooks allocated %v per run, want 0", a)
+	}
+	if p.Shard(0) != nil || p.Worker(0) != nil || p.Mail(0, 0) != nil {
+		t.Fatal("nil Prof accessors must return nil slabs")
+	}
+	if p.TotalEvents() != 0 || p.TotalBusyNs() != 0 || p.BusyFrac() != 0 {
+		t.Fatal("nil Prof totals must be zero")
+	}
+	if busy, park, ev := w.Util(); busy != 0 || park != 0 || ev != 0 {
+		t.Fatal("nil Worker.Util must be zero")
+	}
+}
+
+// TestLapAccounting drives the lap protocol with a fake clock and checks
+// the invariant the perf report's acceptance criterion rests on: per-bucket
+// self-times sum exactly to worker busy time (attribution = 1.0).
+func TestLapAccounting(t *testing.T) {
+	p, c := newFakeProf(2, 1)
+	w, s0, s1 := p.Worker(0), p.Shard(0), p.Shard(1)
+
+	c.advance(10)
+	w.Begin()
+	c.advance(100)
+	w.Lap(s0, KindFn)
+	c.advance(50)
+	w.Lap(s0, KindDeliver)
+	c.advance(25)
+	w.Lap(s1, KindDeliver)
+	w.End()
+
+	if got := s0.Count(KindFn); got != 1 {
+		t.Fatalf("s0 fn count = %d, want 1", got)
+	}
+	if got := s0.SelfNs(KindFn); got != 100 {
+		t.Fatalf("s0 fn self = %d, want 100", got)
+	}
+	if got := s0.SelfNs(KindDeliver); got != 50 {
+		t.Fatalf("s0 deliver self = %d, want 50", got)
+	}
+	if got := s1.SelfNs(KindDeliver); got != 25 {
+		t.Fatalf("s1 deliver self = %d, want 25", got)
+	}
+	busy, _, ev := w.Util()
+	if busy != 175 || ev != 3 {
+		t.Fatalf("worker util = (%d busy, %d events), want (175, 3)", busy, ev)
+	}
+	if got := p.AttributedFrac(); got != 1.0 {
+		t.Fatalf("attributed fraction = %v, want exactly 1.0", got)
+	}
+	if got := p.TotalEvents(); got != 3 {
+		t.Fatalf("total events = %d, want 3", got)
+	}
+}
+
+// TestParkAttribution checks park accounting: total parked time, the
+// per-blocker attribution, the park count, and the busy/park span timeline.
+func TestParkAttribution(t *testing.T) {
+	p, c := newFakeProf(1, 4)
+	w := p.Worker(0)
+
+	c.advance(5)
+	w.Begin()
+	c.advance(100)
+	w.Lap(p.Shard(0), KindTick)
+	w.ParkBegin(2)
+	c.advance(300)
+	w.ParkEnd()
+	c.advance(40)
+	w.Lap(p.Shard(0), KindTick)
+	w.ParkBegin(1)
+	c.advance(60)
+	w.ParkEnd()
+	w.End()
+
+	if got := w.Parks(); got != 2 {
+		t.Fatalf("parks = %d, want 2", got)
+	}
+	_, park, _ := w.Util()
+	if park != 360 {
+		t.Fatalf("parked ns = %d, want 360", park)
+	}
+	if got := w.BlockedOnNs(2); got != 300 {
+		t.Fatalf("blocked on w2 = %d, want 300", got)
+	}
+	if got := w.BlockedOnNs(1); got != 60 {
+		t.Fatalf("blocked on w1 = %d, want 60", got)
+	}
+	// Timeline: busy [5,105), park [105,405), busy [405,445), park
+	// [445,505). The final End closes no busy span (clock unchanged).
+	spans := w.Spans()
+	want := []Span{
+		{Start: 5, Dur: 100, Kind: SpanBusy},
+		{Start: 105, Dur: 300, Kind: SpanPark},
+		{Start: 405, Dur: 40, Kind: SpanBusy},
+		{Start: 445, Dur: 60, Kind: SpanPark},
+	}
+	if len(spans) != len(want) {
+		t.Fatalf("got %d spans %v, want %d", len(spans), spans, len(want))
+	}
+	for i, sp := range spans {
+		if sp != want[i] {
+			t.Fatalf("span %d = %+v, want %+v", i, sp, want[i])
+		}
+	}
+}
+
+// TestMailAccounting checks the depth high-water mark and the pow2
+// drain-batch histogram quantiles.
+func TestMailAccounting(t *testing.T) {
+	p, _ := newFakeProf(1, 2)
+	m := p.Mail(1, 0)
+	m.Push(1)
+	m.Push(2)
+	m.Push(7)
+	m.Push(3)
+	if got := m.HighWater(); got != 7 {
+		t.Fatalf("high water = %d, want 7", got)
+	}
+	if got := p.MailboxHighWater(); got != 7 {
+		t.Fatalf("prof high water = %d, want 7", got)
+	}
+	m.Drain(1) // bucket 0: [1,2)
+	m.Drain(3) // bucket 1: [2,4)
+	m.Drain(3)
+	m.Drain(12) // bucket 3: [8,16)
+	if got := m.Drains(); got != 4 {
+		t.Fatalf("drains = %d, want 4", got)
+	}
+	if got := m.BatchQuantile(0.5); got != 3 {
+		t.Fatalf("batch p50 = %d, want 3 (bucket [2,4) upper edge)", got)
+	}
+	if got := m.BatchQuantile(1); got != 15 {
+		t.Fatalf("batch max = %d, want 15 (bucket [8,16) upper edge)", got)
+	}
+}
+
+// TestReportLayout renders a report off fully fake-clock-driven slabs and
+// pins the exact text — the deterministic-layout contract of perf-report.
+func TestReportLayout(t *testing.T) {
+	p, c := newFakeProf(1, 2)
+	p.Label = "unit/run"
+	w0, w1 := p.Worker(0), p.Worker(1)
+	w0.Begin()
+	w1.Begin()
+	c.advance(2_000_000) // 2 ms
+	w0.Lap(p.Shard(0), KindDeliver)
+	w1.Lap(p.Shard(0), KindFn)
+	w1.ParkBegin(0)
+	c.advance(1_000_000) // 1 ms
+	w1.ParkEnd()
+	w0.End()
+	w1.End()
+	p.Mail(1, 0).Push(4)
+	p.Mail(1, 0).Drain(4)
+
+	var b strings.Builder
+	if err := p.WriteReport(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `== perf-report: unit/run (shards=1 workers=2)
+events=2 busy-ms=4.000 park-ms=1.000 attributed=100.0%
+
+shard  kind     events        self-ms    %busy
+0      fn       1                  2.000    50.0%
+0      deliver  1                  2.000    50.0%
+0      tick     0                  0.000     0.0%
+all    all      2                  4.000   100.0%
+
+worker events        busy-ms    park-ms  parks  busy%  top-blockers
+0      1                  2.000      0.000      0 100.0%  -
+1      1                  2.000      1.000      1  66.7%  w0:1.0ms
+
+mailbox   hwm    drains  batch-p50  batch-max
+w1<-w0        4         1          7          7
+`
+	if got := b.String(); got != want {
+		t.Fatalf("report layout drifted:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestPerfettoDocument checks the exported JSON parses as a Chrome
+// trace-event document with the expected process/thread metadata and one
+// complete event per recorded span.
+func TestPerfettoDocument(t *testing.T) {
+	p, c := newFakeProf(1, 2)
+	p.Label = "unit/run"
+	w := p.Worker(1)
+	c.advance(1000)
+	w.Begin()
+	c.advance(3000)
+	w.Lap(p.Shard(0), KindFn)
+	w.ParkBegin(0)
+	c.advance(2000)
+	w.ParkEnd()
+	w.End()
+
+	var b strings.Builder
+	if err := WritePerfetto(&b, p); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Pid  int            `json:"pid"`
+			Tid  int            `json:"tid"`
+			Ts   float64        `json:"ts"`
+			Dur  float64        `json:"dur"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal([]byte(b.String()), &doc); err != nil {
+		t.Fatalf("perfetto output is not valid JSON: %v", err)
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Fatalf("displayTimeUnit = %q, want ms", doc.DisplayTimeUnit)
+	}
+	var metas, busy, parks int
+	for _, ev := range doc.TraceEvents {
+		switch ev.Ph {
+		case "M":
+			metas++
+			if ev.Name == "process_name" && ev.Args["name"] != "unit/run" {
+				t.Fatalf("process_name args = %v", ev.Args)
+			}
+		case "X":
+			switch ev.Name {
+			case "busy":
+				busy++
+				if ev.Tid != 1 || ev.Ts != 1.0 || ev.Dur != 3.0 {
+					t.Fatalf("busy span = %+v, want tid 1 ts 1us dur 3us", ev)
+				}
+			case "parked":
+				parks++
+				if ev.Ts != 4.0 || ev.Dur != 2.0 {
+					t.Fatalf("park span = %+v, want ts 4us dur 2us", ev)
+				}
+			}
+		default:
+			t.Fatalf("unexpected event phase %q", ev.Ph)
+		}
+	}
+	// One process_name + two thread_name metas; one busy and one park span.
+	if metas != 3 || busy != 1 || parks != 1 {
+		t.Fatalf("event mix = %d metas %d busy %d parks, want 3/1/1", metas, busy, parks)
+	}
+}
+
+// TestSpanCap checks the per-worker span cap counts drops instead of
+// growing without bound, and that the report mentions them.
+func TestSpanCap(t *testing.T) {
+	p, c := newFakeProf(1, 1)
+	w := p.Worker(0)
+	w.Begin()
+	for i := 0; i < maxSpans+10; i++ {
+		c.advance(10)
+		w.ParkBegin(-1)
+		c.advance(10)
+		w.ParkEnd()
+	}
+	w.End()
+	if len(w.spans) != maxSpans {
+		t.Fatalf("spans = %d, want capped at %d", len(w.spans), maxSpans)
+	}
+	if w.spansDropped == 0 {
+		t.Fatal("expected dropped spans to be counted")
+	}
+	var b strings.Builder
+	if err := p.WriteReport(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "spans dropped") {
+		t.Fatal("report must disclose dropped timeline spans")
+	}
+}

@@ -1,0 +1,150 @@
+package profile
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// WriteReport renders the deterministic-layout perf-report text table for
+// one profiled run: the (shard × event-kind) cost-accounting table, the
+// per-worker horizon-protocol table (parks, parked ms, busy fraction,
+// stall-blocker ranking), the mailbox-pressure table, and the attribution
+// reconciliation line. The LAYOUT is deterministic — same engine shape,
+// same rows and columns — while the measured wall-time values naturally
+// vary run to run; byte-stable artifacts belong in trace/telemetry JSONL,
+// which profiling never touches.
+func (p *Prof) WriteReport(w io.Writer) error {
+	if p == nil {
+		_, err := fmt.Fprintln(w, "perf-report: profiling disabled")
+		return err
+	}
+	busy := p.TotalBusyNs()
+	park := p.TotalParkNs()
+	events := p.TotalEvents()
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "== perf-report: %s (shards=%d workers=%d)\n",
+		p.Label, len(p.shards), len(p.workers))
+	fmt.Fprintf(&b, "events=%d busy-ms=%.3f park-ms=%.3f attributed=%.1f%%\n",
+		events, ms(busy), ms(park), 100*p.AttributedFrac())
+
+	// Shard × kind cost accounting. %busy is the bucket's share of total
+	// measured busy time across all workers.
+	b.WriteString("\nshard  kind     events        self-ms    %busy\n")
+	for i := range p.shards {
+		s := &p.shards[i]
+		for k := Kind(0); k < NumKinds; k++ {
+			fmt.Fprintf(&b, "%-6d %-8s %-13d %10.3f %7.1f%%\n",
+				i, k, s.Count(k), ms(s.SelfNs(k)), pct(s.SelfNs(k), busy))
+		}
+	}
+	var attrNs int64
+	for i := range p.shards {
+		for k := Kind(0); k < NumKinds; k++ {
+			attrNs += p.shards[i].SelfNs(k)
+		}
+	}
+	fmt.Fprintf(&b, "%-6s %-8s %-13d %10.3f %7.1f%%\n", "all", "all", events, ms(attrNs), pct(attrNs, busy))
+
+	// Worker horizon-protocol table. busy%% is the worker's busy share of
+	// its own (busy + parked) loop time; top-blockers ranks the workers
+	// whose published clocks this worker parked behind.
+	b.WriteString("\nworker events        busy-ms    park-ms  parks  busy%  top-blockers\n")
+	for i := range p.workers {
+		wk := &p.workers[i]
+		bn, pn, ev := wk.Util()
+		fmt.Fprintf(&b, "%-6d %-13d %10.3f %10.3f %6d %5.1f%%  %s\n",
+			i, ev, ms(bn), ms(pn), wk.Parks(), pct(bn, bn+pn), blockerRanking(wk))
+	}
+
+	// Mailbox pressure: one row per worker pair that saw traffic. Which
+	// pairs exchange mail is a function of the region→worker layout, so
+	// row presence is as deterministic as the run itself.
+	b.WriteString("\nmailbox   hwm    drains  batch-p50  batch-max\n")
+	mailRows := 0
+	for to := 0; to < p.nw; to++ {
+		for from := 0; from < p.nw; from++ {
+			m := p.Mail(to, from)
+			if m.HighWater() == 0 && m.Drains() == 0 {
+				continue
+			}
+			mailRows++
+			fmt.Fprintf(&b, "w%d<-w%-3d %6d %9d %10d %10d\n",
+				to, from, m.HighWater(), m.Drains(), m.BatchQuantile(0.5), m.BatchQuantile(1))
+		}
+	}
+	if mailRows == 0 {
+		b.WriteString("(no cross-worker mail)\n")
+	}
+
+	var dropped uint64
+	for i := range p.workers {
+		dropped += p.workers[i].spansDropped
+	}
+	if dropped > 0 {
+		fmt.Fprintf(&b, "\n(timeline spans dropped past the %d/worker cap: %d)\n", maxSpans, dropped)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// blockerRanking renders the worker's parked time per blocking worker,
+// most-blamed first, e.g. "w1:12.3ms w3:0.4ms" ("-" when it never parked
+// behind an identified blocker).
+func blockerRanking(w *Worker) string {
+	type blk struct {
+		worker int
+		ns     int64
+	}
+	var blks []blk
+	for j, ns := range w.blockedOnNs {
+		if ns > 0 {
+			blks = append(blks, blk{j, ns})
+		}
+	}
+	if len(blks) == 0 {
+		return "-"
+	}
+	sort.Slice(blks, func(a, b int) bool {
+		if blks[a].ns != blks[b].ns {
+			return blks[a].ns > blks[b].ns
+		}
+		return blks[a].worker < blks[b].worker
+	})
+	if len(blks) > 3 {
+		blks = blks[:3]
+	}
+	parts := make([]string, len(blks))
+	for i, x := range blks {
+		parts[i] = fmt.Sprintf("w%d:%.1fms", x.worker, ms(x.ns))
+	}
+	return strings.Join(parts, " ")
+}
+
+func ms(ns int64) float64 { return float64(ns) / 1e6 }
+
+func pct(part, whole int64) float64 {
+	if whole == 0 {
+		return 0
+	}
+	return 100 * float64(part) / float64(whole)
+}
+
+// WriteReports renders one perf-report per profiler in the given order
+// (callers sort by label for a stable document layout), separated by a
+// blank line.
+func WriteReports(w io.Writer, profs ...*Prof) error {
+	for i, p := range profs {
+		if i > 0 {
+			if _, err := io.WriteString(w, "\n"); err != nil {
+				return err
+			}
+		}
+		if err := p.WriteReport(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,6 +1,10 @@
 package simnet
 
-import "sync"
+import (
+	"sync"
+
+	"repro/internal/profile"
+)
 
 // mailEntry is one cross-shard packet delivery in flight between workers.
 // The ordering key (at, origin, seq) is stamped by the sender: origin is the
@@ -27,12 +31,16 @@ type mailbox struct {
 	mu  sync.Mutex
 	in  []mailEntry // sender appends here
 	out []mailEntry // receiver's recycled drain buffer (empty, capacity kept)
+	// prof is the self-profiling slab (nil = disabled: the hooks are
+	// inlined nil checks). Wired before Run starts, read by both sides.
+	prof *profile.Mail
 }
 
 // push appends one entry; called only by the owning sender worker.
 func (m *mailbox) push(e mailEntry) {
 	m.mu.Lock()
 	m.in = append(m.in, e)
+	m.prof.Push(len(m.in))
 	m.mu.Unlock()
 }
 
@@ -49,5 +57,6 @@ func (m *mailbox) drain() []mailEntry {
 	m.in = m.out[:0]
 	m.out = got
 	m.mu.Unlock()
+	m.prof.Drain(len(got))
 	return got
 }

@@ -1,0 +1,203 @@
+package simnet
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/profile"
+	"repro/internal/stats"
+)
+
+// runSerialWorkload drives a deterministic serial Sim mixing all three event
+// kinds (fn, deliver, tick) and returns the full observable outcome.
+func runSerialWorkload(p *profile.Prof) (*Sim, uint64, uint64, Time) {
+	s := NewSim()
+	s.SetProfile(p)
+	n := NewNetwork(s, stats.NewRNG(77))
+	n.Register(1, LinkState{UplinkBps: 10e6, LossRate: 0.05, JitterStd: 5 * time.Millisecond}, nil)
+	last := Time(0)
+	n.Register(2, LinkState{UplinkBps: 10e6}, func(Addr, any) { last = s.Now() })
+	sent := 0
+	s.Every(2*time.Millisecond, func() bool {
+		n.Send(1, 2, 1200, nil)
+		sent++
+		return sent < 400
+	})
+	for i := 0; i < 100; i++ {
+		s.At(time.Duration(i)*7*time.Millisecond, func() { n.Send(2, 1, 600, nil) })
+	}
+	s.Run(2 * time.Second)
+	return s, n.Delivered, n.Dropped, last
+}
+
+// TestSerialProfObserveOnly is the observe-only contract for the serial
+// engine: attaching a profiler must not change any observable outcome.
+func TestSerialProfObserveOnly(t *testing.T) {
+	_, d1, dr1, l1 := runSerialWorkload(nil)
+	sim, d2, dr2, l2 := runSerialWorkload(profile.New("test", 1, 1))
+	if d1 != d2 || dr1 != dr2 || l1 != l2 {
+		t.Fatalf("profiled run diverged: (%d,%d,%v) vs (%d,%d,%v)", d2, dr2, l2, d1, dr1, l1)
+	}
+	if d1 == 0 {
+		t.Fatal("workload delivered nothing")
+	}
+	_ = sim
+}
+
+// TestSerialProfAccounting checks the serial engine's attribution invariants:
+// every processed event is counted exactly once, self-times sum to worker
+// busy time, and all three event kinds show up in the cost slab.
+func TestSerialProfAccounting(t *testing.T) {
+	p := profile.New("test", 1, 1)
+	sim, _, _, _ := runSerialWorkload(p)
+	if got := p.TotalEvents(); got != sim.Processed() {
+		t.Fatalf("profiler counted %d events, sim processed %d", got, sim.Processed())
+	}
+	if got := p.AttributedFrac(); got != 1.0 {
+		t.Fatalf("attributed fraction = %v, want exactly 1.0", got)
+	}
+	s := p.Shard(0)
+	for _, k := range []profile.Kind{profile.KindFn, profile.KindDeliver, profile.KindTick} {
+		if s.Count(k) == 0 {
+			t.Fatalf("kind %d never counted; workload should exercise fn, deliver, and tick", k)
+		}
+	}
+	busy, _, ev := p.Worker(0).Util()
+	if busy <= 0 || ev != sim.Processed() {
+		t.Fatalf("worker util = (%d busy, %d events), want busy>0 events=%d", busy, ev, sim.Processed())
+	}
+	// Detaching mid-lifecycle must be safe and stop accounting.
+	sim.SetProfile(nil)
+	before := p.TotalEvents()
+	sim.After(time.Millisecond, func() {})
+	sim.Run(3 * time.Second)
+	if p.TotalEvents() != before {
+		t.Fatal("detached profiler kept accumulating")
+	}
+}
+
+// TestShardedProfObserveOnly is the observe-only contract for the sharded
+// engine: for a fixed seed the full run digest is identical with and without
+// a profiler attached, at both serial-reference and parallel worker counts.
+func TestShardedProfObserveOnly(t *testing.T) {
+	const seed, regions = 9, 4
+	for _, workers := range []int{1, 4} {
+		plain, plainNet, plainLogs := buildShardWorkload(seed, regions, workers)
+		plain.Run(5 * time.Second)
+		want := digestShardRun(plain, plainNet, plainLogs)
+
+		prof, profNet, profLogs := buildShardWorkload(seed, regions, workers)
+		p := prof.EnableProfile("test")
+		prof.Run(5 * time.Second)
+		if got := digestShardRun(prof, profNet, profLogs); got != want {
+			t.Errorf("workers %d: profiled digest %x != plain %x", workers, got, want)
+		}
+		if p.TotalEvents() == 0 {
+			t.Errorf("workers %d: profiler attached but saw no events", workers)
+		}
+	}
+}
+
+// TestShardedProfAccounting checks the sharded engine's attribution and the
+// live accessors the observability bridge polls: per-region counts sum to
+// Processed, per-worker busy equals the global self-time sum, parks carry
+// blocker attribution, and cross-worker mailboxes record traffic.
+func TestShardedProfAccounting(t *testing.T) {
+	sim, net, _ := buildShardWorkload(3, 4, 4)
+	p := sim.EnableProfile("test")
+	sim.Run(5 * time.Second)
+
+	if net.TotalDelivered() == 0 {
+		t.Fatal("workload delivered nothing")
+	}
+	if got := p.TotalEvents(); got != sim.Processed() {
+		t.Fatalf("profiler counted %d events, sim processed %d", got, sim.Processed())
+	}
+	if got := p.AttributedFrac(); got != 1.0 {
+		t.Fatalf("attributed fraction = %v, want exactly 1.0", got)
+	}
+	var regionSum uint64
+	for r := 0; r < sim.Regions(); r++ {
+		ev := sim.RegionEvents(r)
+		if ev == 0 {
+			t.Errorf("region %d executed no events", r)
+		}
+		regionSum += ev
+	}
+	if regionSum != sim.Processed() {
+		t.Fatalf("region event sum %d != processed %d", regionSum, sim.Processed())
+	}
+	var busySum, parkSum int64
+	for w := 0; w < sim.Workers(); w++ {
+		busy, park, ev := sim.WorkerUtil(w)
+		if ev == 0 {
+			t.Errorf("worker %d saw no events", w)
+		}
+		busySum += busy
+		parkSum += park
+	}
+	if busySum != p.TotalBusyNs() || busySum <= 0 {
+		t.Fatalf("worker busy sum %d != profiler total %d", busySum, p.TotalBusyNs())
+	}
+	if parkSum != p.TotalParkNs() {
+		t.Fatalf("worker park sum %d != profiler total %d", parkSum, p.TotalParkNs())
+	}
+	// With 4 workers and 30% cross-region traffic, the horizon protocol must
+	// have parked at least once, and every park needs a blocker or the -1
+	// (idle/none) sentinel — i.e. park time is fully attributed too.
+	var parks int64
+	var blockedSum int64
+	for w := 0; w < sim.Workers(); w++ {
+		wp := p.Worker(w)
+		parks += wp.Parks()
+		blockedSum += wp.BlockedOnNs(-1)
+		for o := 0; o < sim.Workers(); o++ {
+			blockedSum += wp.BlockedOnNs(o)
+		}
+	}
+	if parks == 0 {
+		t.Fatal("4-worker run never parked; horizon accounting untested")
+	}
+	if blockedSum != parkSum {
+		t.Fatalf("blocker-attributed park %d != total park %d", blockedSum, parkSum)
+	}
+	if sim.MailboxHighWater() == 0 {
+		t.Fatal("cross-region traffic left no mailbox high-water mark")
+	}
+	// At least one mailbox recorded drains with a sane batch quantile.
+	var drains uint64
+	for to := 0; to < sim.Workers(); to++ {
+		for from := 0; from < sim.Workers(); from++ {
+			if m := p.Mail(to, from); m != nil {
+				drains += m.Drains()
+				if m.Drains() > 0 && m.BatchQuantile(1) <= 0 {
+					t.Fatalf("mailbox w%d<-w%d has drains but zero max batch", to, from)
+				}
+			}
+		}
+	}
+	if drains == 0 {
+		t.Fatal("no mailbox drains recorded")
+	}
+}
+
+// TestProfDisabledDispatchAllocs pins the zero-overhead-when-disabled
+// guarantee at the dispatch layer: a steady-state serial run with the nil
+// profiler must not allocate in Step/Run (mirroring the trace.Buf contract).
+func TestProfDisabledDispatchAllocs(t *testing.T) {
+	s := NewSim()
+	ticks := 0
+	s.Every(time.Millisecond, func() bool { ticks++; return true })
+	var until Time = 100 * time.Millisecond
+	s.Run(until) // warm pools and heap
+	allocs := testing.AllocsPerRun(100, func() {
+		until += 10 * time.Millisecond
+		s.Run(until)
+	})
+	if allocs > 0 {
+		t.Errorf("unprofiled steady-state dispatch allocates %.1f per run, want 0", allocs)
+	}
+	if ticks == 0 {
+		t.Fatal("ticker never fired")
+	}
+}

@@ -44,6 +44,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/profile"
 	"repro/internal/stats"
 )
 
@@ -118,6 +119,9 @@ type Region struct {
 	delFree  int32
 
 	count uint64 // events executed
+
+	// prof is the region's cost-accounting slab (nil = profiling off).
+	prof *profile.Shard
 }
 
 // ID returns the region index.
@@ -282,6 +286,8 @@ type shardWorker struct {
 	clock atomic.Int64
 	// inbox[j] receives entries from worker j (nil for j == index).
 	inbox []*mailbox
+	// prof is the worker's park/utilization slab (nil = profiling off).
+	prof *profile.Worker
 }
 
 // ShardedSim owns the region loops, the workers, and the horizon protocol.
@@ -299,6 +305,7 @@ type ShardedSim struct {
 	cond    *sync.Cond
 
 	started bool
+	prof    *profile.Prof
 }
 
 // NewShardedSim builds the engine. Lookahead must be positive.
@@ -382,6 +389,66 @@ func (s *ShardedSim) Watermark() int64 {
 	return min
 }
 
+// EnableProfile attaches a fresh engine self-profiler — one cost slab per
+// region, one park/utilization slab per worker, one mailbox slab per
+// worker pair — and returns it. Must be called before Run starts (the
+// slab pointers are read by worker goroutines without synchronization
+// beyond Run's own goroutine spawns). Profiling is observe-only: it reads
+// the wall clock and writes profiler-owned slabs only, so a profiled run
+// is byte-identical to an unprofiled one at any worker count.
+func (s *ShardedSim) EnableProfile(label string) *profile.Prof {
+	p := profile.New(label, len(s.regions), len(s.workers))
+	s.setProfile(p)
+	return p
+}
+
+func (s *ShardedSim) setProfile(p *profile.Prof) {
+	s.prof = p
+	for i, r := range s.regions {
+		r.prof = p.Shard(i)
+	}
+	for i, w := range s.workers {
+		w.prof = p.Worker(i)
+		for j, mb := range w.inbox {
+			if mb != nil {
+				mb.prof = p.Mail(i, j)
+			}
+		}
+	}
+}
+
+// Profile returns the attached self-profiler (nil when disabled).
+func (s *ShardedSim) Profile() *profile.Prof { return s.prof }
+
+// WorkerUtil returns worker w's live utilization counters — busy and
+// parked wall nanoseconds plus events executed — all zero unless
+// EnableProfile was called. Like Watermark, the counters are single-owner
+// atomics, so this is safe to poll from any goroutine mid-run.
+func (s *ShardedSim) WorkerUtil(w int) (busyNs, parkNs int64, events uint64) {
+	if w < 0 || w >= len(s.workers) {
+		return 0, 0, 0
+	}
+	return s.workers[w].prof.Util()
+}
+
+// RegionEvents returns region r's live executed-event count from the
+// profiler's cost slab (0 unless EnableProfile was called). Safe to poll
+// mid-run; for the post-run worker-independent count use
+// Region(r).Processed().
+func (s *ShardedSim) RegionEvents(r int) uint64 {
+	if r < 0 || r >= len(s.regions) {
+		return 0
+	}
+	return s.regions[r].prof.Events()
+}
+
+// MailboxHighWater returns the maximum depth high-water mark across all
+// cross-worker mailboxes (0 unless EnableProfile was called). Safe to
+// poll mid-run.
+func (s *ShardedSim) MailboxHighWater() int64 {
+	return s.prof.MailboxHighWater()
+}
+
 // workerOf maps a region id to its owning worker index.
 func (s *ShardedSim) workerOf(region uint16) int { return int(region) % len(s.workers) }
 
@@ -405,21 +472,26 @@ func (w *shardWorker) publish(t Time) {
 }
 
 // safeBound snapshots the other workers' clocks and returns the exclusive
-// execution horizon. Callers must snapshot BEFORE draining mailboxes.
-func (w *shardWorker) safeBound() Time {
+// execution horizon plus the index of the worker whose clock is the
+// current minimum — the horizon blocker a stalled worker is waiting on
+// (-1 when single-worker). Callers must snapshot BEFORE draining
+// mailboxes.
+func (w *shardWorker) safeBound() (Time, int) {
 	if len(w.sim.workers) == 1 {
-		return maxTime
+		return maxTime, -1
 	}
 	min := maxTime
+	blocker := -1
 	for j, other := range w.sim.workers {
 		if j == w.index {
 			continue
 		}
 		if c := Time(other.clock.Load()); c < min {
 			min = c
+			blocker = j
 		}
 	}
-	return min + w.sim.cfg.Lookahead
+	return min + w.sim.cfg.Lookahead, blocker
 }
 
 const maxTime = Time(int64(^uint64(0) >> 1))
@@ -458,10 +530,11 @@ func (w *shardWorker) nextAt() Time {
 // runUntil is one worker's conservative event loop for Run(until).
 func (w *shardWorker) runUntil(until Time) {
 	net := w.sim.net
+	w.prof.Begin()
 	for {
 		// Snapshot clocks FIRST, then drain: any entry enqueued after the
 		// snapshot arrives at or above the resulting safe bound.
-		safe := w.safeBound()
+		safe, blocker := w.safeBound()
 		w.drainMail()
 		next := w.nextAt()
 
@@ -492,6 +565,7 @@ func (w *shardWorker) runUntil(until Time) {
 				e := best.popMin()
 				w.publish(e.at)
 				best.exec(e, net)
+				w.prof.Lap(best.prof, profile.Kind(e.kind))
 			}
 			continue
 		}
@@ -500,6 +574,7 @@ func (w *shardWorker) runUntil(until Time) {
 			// No local work at or below the deadline and no cross-shard
 			// packet can arrive at or below it either: this worker is done.
 			w.publish(until)
+			w.prof.End()
 			return
 		}
 
@@ -516,7 +591,11 @@ func (w *shardWorker) runUntil(until Time) {
 		stamp := w.sim.stamp.Load()
 		w.publish(promise)
 		if w.sim.stamp.Load() == stamp {
+			// The park is attributed to the worker whose published clock was
+			// the horizon minimum at the snapshot — the stall blocker.
+			w.prof.ParkBegin(blocker)
 			w.sim.park(stamp)
+			w.prof.ParkEnd()
 		}
 	}
 }

@@ -15,6 +15,8 @@ package simnet
 
 import (
 	"time"
+
+	"repro/internal/profile"
 )
 
 // Time is virtual simulation time measured from simulation start.
@@ -95,6 +97,11 @@ type Sim struct {
 	// inflight counts packet deliveries currently queued (sent, not yet
 	// delivered or dropped at arrival) — the telemetry in-flight gauge.
 	inflight int
+
+	// wprof/sprof are the self-profiling slabs (nil = disabled: the Step
+	// hook is then a single inlined nil check, 0 allocs, no clock read).
+	wprof *profile.Worker
+	sprof *profile.Shard
 }
 
 // NewSim returns a simulator with the clock at zero.
@@ -104,6 +111,19 @@ func NewSim() *Sim {
 
 // Now returns the current virtual time.
 func (s *Sim) Now() Time { return s.now }
+
+// SetProfile attaches an engine self-profiler (the serial engine is one
+// shard on one worker: slab 0 of each). Profiling is observe-only — it
+// reads the wall clock and writes its own slabs, never simulation state —
+// so a profiled run's outputs are byte-identical to an unprofiled one.
+// nil detaches and restores the zero-cost disabled path.
+func (s *Sim) SetProfile(p *profile.Prof) {
+	if p == nil {
+		s.wprof, s.sprof = nil, nil
+		return
+	}
+	s.wprof, s.sprof = p.Worker(0), p.Shard(0)
+}
 
 // push enqueues the record (kind, idx) at absolute time at, assigning the
 // next seq as the deterministic FIFO tiebreaker, and sifts it up the 4-ary
@@ -255,15 +275,20 @@ func (s *Sim) Step() bool {
 			s.tickFree = idx
 		}
 	}
+	// profile.Kind values mirror eventKind (fn/deliver/tick), so the heap
+	// tag converts directly.
+	s.wprof.Lap(s.sprof, profile.Kind(top.kind))
 	return true
 }
 
 // Run executes events until the queue is empty or the clock passes until.
 // The clock finishes at exactly until when events remain beyond it.
 func (s *Sim) Run(until Time) {
+	s.wprof.Begin()
 	for len(s.heap) > 0 && s.heap[0].at <= until {
 		s.Step()
 	}
+	s.wprof.End()
 	if s.now < until {
 		s.now = until
 	}

@@ -15,6 +15,11 @@
 #   DETERMINISM_OUT  keep outputs (serial.jsonl, serial.clean, ...) in this
 #                    directory instead of a throwaway mktemp dir — CI sets it
 #                    so scorecards/reports survive as artifacts.
+#   PROF_CHECK=1     add a third run with engine self-profiling on (-prof,
+#                    -perfetto) and require its JSONL and tables to match the
+#                    unprofiled serial reference byte for byte — the
+#                    observe-only contract. Also sanity-checks the artifacts:
+#                    perf-report nonempty, Perfetto output valid JSON.
 #
 # The check: same seed, serial then parallel execution, must render identical
 # tables and write byte-identical JSONL. Only the `-- ` status lines
@@ -46,5 +51,23 @@ cmp "$out/serial.jsonl" "$out/parallel.jsonl"
 grep -v '^-- ' "$out/serial.txt" > "$out/serial.clean"
 grep -v '^-- ' "$out/parallel.txt" > "$out/parallel.clean"
 diff -u "$out/serial.clean" "$out/parallel.clean"
+
+if [ -n "${PROF_CHECK:-}" ]; then
+    go run ./cmd/rlive-sim -exp "$exp" -seed "$seed" "$@" -parallel 4 \
+        -prof "$out/prof.txt" -perfetto "$out/prof.perfetto.json" \
+        "$jsonl_flag" "$out/profiled.jsonl" > "$out/profiled.txt"
+    cmp "$out/serial.jsonl" "$out/profiled.jsonl"
+    grep -v '^-- ' "$out/profiled.txt" > "$out/profiled.clean"
+    diff -u "$out/serial.clean" "$out/profiled.clean"
+    test -s "$out/prof.txt" || {
+        echo "prof-check($exp): perf-report is empty" >&2
+        exit 1
+    }
+    python3 -c "import json,sys; json.load(open(sys.argv[1]))" "$out/prof.perfetto.json" || {
+        echo "prof-check($exp): Perfetto output is not valid JSON" >&2
+        exit 1
+    }
+    echo "prof-check($exp seed=$seed): OK (profiled run byte-identical)"
+fi
 
 echo "determinism($exp seed=$seed): OK"

@@ -13,7 +13,9 @@
 #   2. /metrics parses as Prometheus text exposition and the frame
 #      counters are nonzero end to end (origin generated, relay pulled,
 #      viewer played),
-#   3. /snapshot returns a valid JSON document from each process.
+#   3. /snapshot returns a valid JSON document from each process,
+#   4. /debug/pprof/ answers 200 on every obs port (the runtime
+#      introspection surface the binaries mount alongside /metrics).
 #
 # Environment:
 #   OBS_SMOKE_OUT  keep outputs (snapshots, metrics, logs) in this
@@ -101,6 +103,15 @@ curl -fsS "http://$client_obs/metrics" > "$out/client.metrics"
 curl -fsS "http://$cdn_obs/snapshot" > "$out/cdn.snapshot.json"
 curl -fsS "http://$edge_obs/snapshot" > "$out/edge.snapshot.json"
 curl -fsS "http://$client_obs/snapshot" > "$out/client.snapshot.json"
+
+# Runtime introspection: the pprof index must answer 200 on every obs
+# port (profiles themselves are exercised by `go tool pprof` users; the
+# smoke check is that the surface is mounted).
+for port in "$cdn_obs" "$edge_obs" "$client_obs"; do
+    curl -fsS -o /dev/null "http://$port/debug/pprof/" \
+        || { echo "obs-smoke: $port/debug/pprof/ not serving" >&2; exit 1; }
+done
+echo "obs-smoke: /debug/pprof/ serving on all three processes"
 
 # Exposition sanity: every line is a comment or `name value` with the
 # rlive_ prefix and a numeric sample.
